@@ -1,0 +1,97 @@
+//===- bench/BenchUtils.cpp - Shared benchmark plumbing -------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/LayoutEvaluator.h"
+#include "layout/LayoutPlanner.h"
+#include "layout/LinearLayouts.h"
+#include "support/MathUtils.h"
+
+#include <iostream>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+namespace {
+
+struct Regions {
+  PhysAddr Input = 0;
+  PhysAddr Mid = 0;
+  PhysAddr Out = 0;
+};
+
+Regions regionsFor(const SystemConfig &Config) {
+  const std::uint64_t MatrixBytes = Config.N * Config.N * ElementBytes;
+  const std::uint64_t Stride =
+      roundUp(MatrixBytes, Config.Mem.Geo.RowBufferBytes);
+  return Regions{0, Stride, 2 * Stride};
+}
+
+} // namespace
+
+PhaseResult bench::simulateColumnPhase(const SystemConfig &Config,
+                                       const ArchParams &Arch,
+                                       bool Optimized) {
+  const Regions R = regionsFor(Config);
+  const std::uint64_t N = Config.N;
+  const LayoutEvaluator Evaluator(Config);
+  if (!Optimized) {
+    const RowMajorLayout Mid(N, N, ElementBytes, R.Mid);
+    const RowMajorLayout Out(N, N, ElementBytes, R.Out);
+    return Evaluator.runColumnPhase(Arch, Mid, Out);
+  }
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N, Arch.VaultsParallel);
+  const BlockDynamicLayout Mid(N, N, ElementBytes, R.Mid, Plan.W, Plan.H);
+  const BlockDynamicLayout Out(N, N, ElementBytes, R.Out, Plan.W, Plan.H);
+  return Evaluator.runColumnPhase(Arch, Mid, Out);
+}
+
+PhaseResult bench::simulateRowPhase(const SystemConfig &Config,
+                                    const ArchParams &Arch, bool Optimized) {
+  const Regions R = regionsFor(Config);
+  const std::uint64_t N = Config.N;
+  const LayoutEvaluator Evaluator(Config);
+  if (!Optimized) {
+    const RowMajorLayout Mid(N, N, ElementBytes, R.Mid);
+    return Evaluator.runRowPhase(Arch, Mid);
+  }
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N, Arch.VaultsParallel);
+  const BlockDynamicLayout Mid(N, N, ElementBytes, R.Mid, Plan.W, Plan.H);
+  return Evaluator.runRowPhase(Arch, Mid);
+}
+
+PhaseResult bench::simulateColumnPhaseOver(const SystemConfig &Config,
+                                           const ArchParams &Arch,
+                                           const DataLayout &Mid,
+                                           const DataLayout &Out) {
+  return LayoutEvaluator(Config).runColumnPhase(Arch, Mid, Out);
+}
+
+PhaseResult bench::simulateRowPhaseOver(const SystemConfig &Config,
+                                        const ArchParams &Arch,
+                                        const DataLayout &Mid) {
+  return LayoutEvaluator(Config).runRowPhase(Arch, Mid);
+}
+
+void bench::printHeader(const std::string &Title,
+                        const SystemConfig &Config) {
+  const Geometry &G = Config.Mem.Geo;
+  const Timing &T = Config.Mem.Time;
+  const AnalyticalModel Model(Config);
+  std::cout << "=== " << Title << " ===\n"
+            << "device: " << G.NumVaults << " vaults x " << G.LayersPerVault
+            << " layers x " << G.BanksPerLayer << " banks/layer, "
+            << formatBytes(G.RowBufferBytes) << " rows, "
+            << G.NumTsvsPerVault << " TSVs/vault -> peak "
+            << Model.peakGBps() << " GB/s\n"
+            << "timing: t_in_row=" << picosToNanos(T.TInRow)
+            << "ns t_in_vault=" << picosToNanos(T.TInVault)
+            << "ns t_diff_bank=" << picosToNanos(T.TDiffBank)
+            << "ns t_diff_row=" << picosToNanos(T.TDiffRow) << "ns\n\n";
+}

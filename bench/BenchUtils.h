@@ -1,0 +1,57 @@
+//===- bench/BenchUtils.h - Shared benchmark plumbing -----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: single-phase
+/// simulation wrappers (Table 1 and the ablations need the column phase
+/// in isolation) and uniform printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_BENCH_BENCHUTILS_H
+#define FFT3D_BENCH_BENCHUTILS_H
+
+#include "core/AnalyticalModel.h"
+#include "core/Fft2dProcessor.h"
+#include "core/PhaseEngine.h"
+#include "core/SystemConfig.h"
+#include "support/TableWriter.h"
+
+#include <string>
+
+namespace fft3d {
+namespace bench {
+
+/// Simulates only the column-wise phase (phase 2) of the 2D FFT for one
+/// architecture, with the intermediate matrix already resident in the
+/// architecture's layout. Returns the measured phase metrics.
+PhaseResult simulateColumnPhase(const SystemConfig &Config,
+                                const ArchParams &Arch, bool Optimized);
+
+/// Simulates only the row-wise phase (phase 1).
+PhaseResult simulateRowPhase(const SystemConfig &Config,
+                             const ArchParams &Arch, bool Optimized);
+
+/// Simulates the column phase over an arbitrary intermediate layout
+/// (used by the layout-comparison ablation). Block layouts stream whole
+/// blocks; linear/tiled layouts stream per-element column scans.
+PhaseResult simulateColumnPhaseOver(const SystemConfig &Config,
+                                    const ArchParams &Arch,
+                                    const DataLayout &Mid,
+                                    const DataLayout &Out);
+
+/// Simulates the row phase over an arbitrary intermediate layout.
+PhaseResult simulateRowPhaseOver(const SystemConfig &Config,
+                                 const ArchParams &Arch,
+                                 const DataLayout &Mid);
+
+/// Prints the standard bench header with the modelled device summary.
+void printHeader(const std::string &Title, const SystemConfig &Config);
+
+} // namespace bench
+} // namespace fft3d
+
+#endif // FFT3D_BENCH_BENCHUTILS_H

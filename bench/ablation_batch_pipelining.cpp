@@ -1,0 +1,56 @@
+//===- bench/ablation_batch_pipelining.cpp - Multi-frame overlap ----------===//
+//
+// Part of the fft3d project.
+//
+// Ablation F: the paper's streaming argument taken to its conclusion.
+// For frame-after-frame workloads, frame i's column phase can overlap
+// frame i+1's row phase (double-buffered regions, two kernel
+// instances). The combined demand is 64 GB/s against the 80 GB/s
+// device - this bench measures whether the vaults absorb it and what
+// the steady frame rate becomes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/BatchProcessor.h"
+
+#include <iostream>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+int main() {
+  printHeader("Ablation F: pipelined multi-frame batches",
+              SystemConfig::forProblemSize(2048));
+
+  TableWriter Table({"N", "frames", "phase time", "overlap stage",
+                     "fully overlapped?", "overlap GB/s", "total",
+                     "frames/s"});
+  for (const std::uint64_t N : {1024ull, 2048ull, 4096ull}) {
+    const SystemConfig Config = SystemConfig::forProblemSize(N);
+    const BatchProcessor Batch(Config);
+    for (const unsigned Frames : {1u, 4u, 16u}) {
+      const BatchReport R = Batch.run(Frames);
+      Table.addRow({TableWriter::num(N),
+                    TableWriter::num(std::uint64_t(Frames)),
+                    formatDuration(R.PhaseTime),
+                    formatDuration(R.OverlapTime),
+                    R.FullyOverlapped ? "yes" : "no",
+                    TableWriter::num(R.OverlapGBps, 1),
+                    formatDuration(R.TotalTime),
+                    TableWriter::num(R.FramesPerSecond, 1)});
+    }
+    Table.addSeparator();
+  }
+  Table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: at N = 1024 the overlapped demand (64 GB/s)\n"
+         "fits the 80 GB/s device and frames/s approaches 2x sequential.\n"
+         "At larger N cross-phase contention (chunked phase-1 writes\n"
+         "stealing vault activations from the block streams) caps the\n"
+         "overlap at ~46-54 GB/s, still a 1.6-1.7x steady-state gain.\n"
+         "Larger batches amortize the pipeline's fill/drain stages.\n";
+  return 0;
+}

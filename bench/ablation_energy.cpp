@@ -1,0 +1,111 @@
+//===- bench/ablation_energy.cpp - Row-activation energy study ------------===//
+//
+// Part of the fft3d project.
+//
+// Ablation E: the energy side of the dynamic layout. The paper's
+// companion work (reference [6]) frames strided access as a row-
+// activation *energy* problem: activating an 8 KiB page to read 8 bytes
+// wastes three orders of magnitude of sensing energy. This bench prices
+// both phases of the 2D FFT under each layout with the HMC-class energy
+// model and reports pJ/bit, activations per KiB, and average power.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/LayoutEvaluator.h"
+#include "layout/LayoutPlanner.h"
+#include "layout/LinearLayouts.h"
+#include "layout/TiledLayout.h"
+#include "support/MathUtils.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+int main() {
+  const std::uint64_t N = 2048;
+  SystemConfig Config = SystemConfig::forProblemSize(N);
+  printHeader("Ablation E: energy per bit by intermediate layout", Config);
+
+  const EnergyParams Params;
+  std::cout << "energy model: " << Params.ActivatePJ
+            << " pJ/activation, " << Params.ReadBeatPJ << "/"
+            << Params.WriteBeatPJ << " pJ per 8 B read/write beat, "
+            << Params.TsvBeatPJ << " pJ per TSV beat, "
+            << Params.StaticMilliwattsPerVault << " mW/vault static\n\n";
+
+  const std::uint64_t Stride =
+      roundUp(N * N * ElementBytes, Config.Mem.Geo.RowBufferBytes);
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N, Config.Optimized.VaultsParallel);
+
+  struct Entry {
+    const char *Name;
+    std::unique_ptr<DataLayout> Mid;
+    std::unique_ptr<DataLayout> Out;
+    /// The baseline runs the blocking single-lane front end.
+    bool BaselineFrontEnd;
+  };
+  std::vector<Entry> Entries;
+  Entries.push_back({"row-major + blocking front end (paper baseline)",
+                     std::make_unique<RowMajorLayout>(N, N, ElementBytes,
+                                                      Stride),
+                     std::make_unique<RowMajorLayout>(N, N, ElementBytes,
+                                                      2 * Stride),
+                     true});
+  Entries.push_back({"row-major + optimized front end",
+                     std::make_unique<RowMajorLayout>(N, N, ElementBytes,
+                                                      Stride),
+                     std::make_unique<RowMajorLayout>(N, N, ElementBytes,
+                                                      2 * Stride),
+                     false});
+  Entries.push_back(
+      {"tiled (Akin et al.)",
+       std::make_unique<TiledLayout>(TiledLayout::forRowBuffer(
+           N, N, ElementBytes, Stride, Config.Mem.Geo.RowBufferBytes)),
+       std::make_unique<TiledLayout>(TiledLayout::forRowBuffer(
+           N, N, ElementBytes, 2 * Stride, Config.Mem.Geo.RowBufferBytes)),
+       false});
+  Entries.push_back({"block-dynamic, skewed (this paper)",
+                     std::make_unique<BlockDynamicLayout>(
+                         N, N, ElementBytes, Stride, Plan.W, Plan.H, true),
+                     std::make_unique<BlockDynamicLayout>(
+                         N, N, ElementBytes, 2 * Stride, Plan.W, Plan.H,
+                         true),
+                     false});
+
+  const LayoutEvaluator Evaluator(Config, Params);
+  TableWriter Table({"configuration", "app (GB/s)", "pJ/bit",
+                     "activations/KiB", "col-phase power (mW)"});
+  double BaselinePJ = 0.0, OptPJ = 0.0;
+  for (const Entry &E : Entries) {
+    const ArchParams &Arch =
+        E.BaselineFrontEnd ? Config.Baseline : Config.Optimized;
+    EnergyBreakdown ColEnergy;
+    const LayoutMetrics M = Evaluator.evaluate(Arch, *E.Mid, *E.Out);
+    const PhaseResult Col =
+        Evaluator.runColumnPhase(Arch, *E.Mid, *E.Out, &ColEnergy);
+    Table.addRow({E.Name, TableWriter::num(M.AppGBps, 2),
+                  TableWriter::num(M.PicojoulesPerBit, 2),
+                  TableWriter::num(M.ActivationsPerKiB, 3),
+                  TableWriter::num(ColEnergy.milliwatts(Col.Elapsed), 0)});
+    if (E.BaselineFrontEnd)
+      BaselinePJ = M.PicojoulesPerBit;
+    if (std::string(E.Name).find("skewed") != std::string::npos)
+      OptPJ = M.PicojoulesPerBit;
+  }
+  Table.print(std::cout);
+
+  if (OptPJ > 0.0)
+    std::cout << "\nenergy-per-bit improvement, baseline -> dynamic layout: "
+              << TableWriter::num(BaselinePJ / OptPJ, 1) << "x\n";
+  std::cout << "\nExpected shape: the baseline pays one ~0.9 nJ activation\n"
+               "per 8-byte element in phase 2 plus minutes of static\n"
+               "energy at 1 GB/s; the block layout amortizes one\n"
+               "activation over 8 KiB and finishes ~30x sooner, so both\n"
+               "the dynamic and the static pJ/bit collapse.\n";
+  return 0;
+}

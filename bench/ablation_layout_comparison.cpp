@@ -1,0 +1,148 @@
+//===- bench/ablation_layout_comparison.cpp - Layout shoot-out ------------===//
+//
+// Part of the fft3d project.
+//
+// Ablation D: the intermediate-layout design space. Row-major (the
+// paper's baseline), column-major (its mirror image: fixes phase 2,
+// breaks phase 1), the tiled mapping of Akin et al. [2], and the
+// paper's block-dynamic layout with and without the vault skew. All are
+// driven through the same optimized front end (8 lanes, deep windows) so
+// the comparison isolates the layout itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/AccessTrace.h"
+
+#include "layout/LayoutPlanner.h"
+#include "layout/LinearLayouts.h"
+#include "layout/TiledLayout.h"
+#include "permute/ControlUnit.h"
+#include "support/MathUtils.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+int main() {
+  const std::uint64_t N = 2048;
+  SystemConfig Config = SystemConfig::forProblemSize(N);
+  printHeader("Ablation D: intermediate data layout comparison", Config);
+
+  const std::uint64_t MatrixBytes = N * N * ElementBytes;
+  const PhysAddr MidBase = roundUp(MatrixBytes, Config.Mem.Geo.RowBufferBytes);
+  const PhysAddr OutBase = 2 * MidBase;
+
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N, Config.Optimized.VaultsParallel);
+
+  struct Entry {
+    const char *Name;
+    std::unique_ptr<DataLayout> Mid;
+    std::unique_ptr<DataLayout> Out;
+  };
+  std::vector<Entry> Entries;
+  Entries.push_back({"row-major (paper baseline)",
+                     std::make_unique<RowMajorLayout>(N, N, ElementBytes,
+                                                      MidBase),
+                     std::make_unique<RowMajorLayout>(N, N, ElementBytes,
+                                                      OutBase)});
+  Entries.push_back({"col-major (mirror image)",
+                     std::make_unique<ColMajorLayout>(N, N, ElementBytes,
+                                                      MidBase),
+                     std::make_unique<ColMajorLayout>(N, N, ElementBytes,
+                                                      OutBase)});
+  Entries.push_back(
+      {"tiled, row-buffer tiles (Akin et al.)",
+       std::make_unique<TiledLayout>(TiledLayout::forRowBuffer(
+           N, N, ElementBytes, MidBase, Config.Mem.Geo.RowBufferBytes)),
+       std::make_unique<TiledLayout>(TiledLayout::forRowBuffer(
+           N, N, ElementBytes, OutBase, Config.Mem.Geo.RowBufferBytes))});
+  Entries.push_back({"block-dynamic, no skew",
+                     std::make_unique<BlockDynamicLayout>(
+                         N, N, ElementBytes, MidBase, Plan.W, Plan.H, false),
+                     std::make_unique<BlockDynamicLayout>(
+                         N, N, ElementBytes, OutBase, Plan.W, Plan.H,
+                         false)});
+  Entries.push_back({"block-dynamic, skewed (this paper)",
+                     std::make_unique<BlockDynamicLayout>(
+                         N, N, ElementBytes, MidBase, Plan.W, Plan.H, true),
+                     std::make_unique<BlockDynamicLayout>(
+                         N, N, ElementBytes, OutBase, Plan.W, Plan.H,
+                         true)});
+
+  TableWriter Table({"intermediate layout", "phase1 (GB/s)",
+                     "phase2 (GB/s)", "app (GB/s)", "p2 row acts",
+                     "p2 hit rate"});
+  for (const Entry &E : Entries) {
+    const PhaseResult P1 =
+        simulateRowPhaseOver(Config, Config.Optimized, *E.Mid);
+    const PhaseResult P2 =
+        simulateColumnPhaseOver(Config, Config.Optimized, *E.Mid, *E.Out);
+    const double App = AnalyticalModel::harmonicCombine(P1.ThroughputGBps,
+                                                        P2.ThroughputGBps);
+    Table.addRow({E.Name, TableWriter::num(P1.ThroughputGBps, 2),
+                  TableWriter::num(P2.ThroughputGBps, 2),
+                  TableWriter::num(App, 2),
+                  TableWriter::num(P2.RowActivations),
+                  TableWriter::percent(P2.RowHitRate, 1)});
+  }
+
+  // Three-pass alternative (related work [11]): row FFTs into row-major,
+  // an explicit tiled transpose pass, then the "column" FFTs run as
+  // sequential row scans of the transposed matrix. The transpose pass
+  // reads and writes 32 x 32 tiles in 256 B strided chunks.
+  {
+    const RowMajorLayout MidRm(N, N, ElementBytes, MidBase);
+    const RowMajorLayout OutRm(N, N, ElementBytes, OutBase);
+    const PhaseResult P1 =
+        simulateRowPhaseOver(Config, Config.Optimized, MidRm);
+    // Transpose pass: tile-chunk reads of Mid, tile-chunk writes of Out.
+    EventQueue Events;
+    Memory3D Mem(Events, Config.Mem);
+    PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+                       Config.MaxSimOpsPerDirection);
+    TileScanTrace TRead(MidRm, 32, 32);
+    TileScanTrace TWrite(OutRm, 32, 32);
+    const PhaseResult Tp = Engine.run(
+        {&TRead, false, Config.Optimized.ReadWindow, 16.0, 0},
+        {&TWrite, true, Config.Optimized.WriteWindow, 16.0, 0});
+    // After transposing, the second FFT pass is row-sequential.
+    const PhaseResult P2 =
+        simulateRowPhaseOver(Config, Config.Optimized, OutRm);
+    // Same useful work as two passes, so charge the extra traffic as
+    // time: equivalent app rate = 4 matrix volumes / total time.
+    const double TotalNs =
+        picosToNanos(P1.EstimatedPhaseTime) +
+        picosToNanos(Tp.EstimatedPhaseTime) +
+        picosToNanos(P2.EstimatedPhaseTime);
+    const double App = 4.0 * static_cast<double>(N * N * ElementBytes) /
+                       TotalNs;
+    Table.addSeparator();
+    Table.addRow({"row-major + transpose pass [11] (3 passes)",
+                  TableWriter::num(P1.ThroughputGBps, 2),
+                  TableWriter::num(Tp.ThroughputGBps, 2) + " (transpose)",
+                  TableWriter::num(App, 2),
+                  TableWriter::num(Tp.RowActivations),
+                  TableWriter::percent(Tp.RowHitRate, 1)});
+  }
+  Table.print(std::cout);
+
+  std::cout
+      << "\nExpected shape: the linear layouts each sacrifice one phase.\n"
+         "The tiled layout repairs the row-buffer hit rate (~97%) but its\n"
+         "column-of-tiles walk keeps a constant tile-index residue, so on\n"
+         "a vault-interleaved 3D memory it serializes onto one vault -\n"
+         "and it still pays the on-chip transposition the paper\n"
+         "criticizes. The paper's skew is exactly what fixes this: the\n"
+         "skewed block-dynamic layout sustains both phases, while the\n"
+         "unskewed variant shows the same single-vault column pathology\n"
+         "partially hidden by deep queuing. The explicit transpose\n"
+         "strategy [11] keeps every pass fast but pays a whole extra\n"
+         "round trip through memory, landing at ~2/3 of the dynamic\n"
+         "layout's effective rate.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/ablation_timing_sensitivity.cpp - Activation-cost sweep ------===//
+//
+// Part of the fft3d project.
+//
+// Ablation C: the whole point of the dynamic layout is to make the
+// application insensitive to the row-activation penalty. We scale the
+// activation path as a whole - t_diff_row (tRC-like) together with the
+// activate latency (tRCD-like), which track each other in real DRAM -
+// from 0.5x to 4x and show the baseline column phase degrading while
+// the optimized one holds. Eq. 1 reacts by growing h with t_diff_row in
+// the row-conflict regime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "layout/LayoutPlanner.h"
+
+#include <iostream>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+int main() {
+  const std::uint64_t N = 4096;
+  printHeader("Ablation C: sensitivity to the row-activation cost",
+              SystemConfig::forProblemSize(N));
+
+  TableWriter Table({"scale", "t_diff_row (ns)", "activate (ns)",
+                     "baseline col (GB/s)", "optimized col (GB/s)",
+                     "base util", "opt util", "Eq.1 h (m=s*b)"});
+  for (const double Scale : {0.5, 1.0, 2.0, 4.0}) {
+    SystemConfig Config = SystemConfig::forProblemSize(N);
+    Timing &T = Config.Mem.Time;
+    T.TDiffRow = nanosToPicos(40.0 * Scale);
+    T.ActivateLatency = nanosToPicos(14.0 * Scale);
+    // Preserve the validity ordering at the aggressive end.
+    if (T.TDiffBank > T.TDiffRow)
+      T.TDiffBank = T.TDiffRow;
+    if (T.TInVault > T.TDiffBank)
+      T.TInVault = T.TDiffBank;
+
+    const PhaseResult Base =
+        simulateColumnPhase(Config, Config.Baseline, /*Optimized=*/false);
+    const PhaseResult Opt =
+        simulateColumnPhase(Config, Config.Optimized, /*Optimized=*/true);
+    const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time,
+                                ElementBytes);
+    const BlockPlan Plan = Planner.plan(N, 16, /*ColumnStreams=*/8192);
+    Table.addRow({TableWriter::num(Scale, 1) + "x",
+                  TableWriter::num(40.0 * Scale, 0),
+                  TableWriter::num(14.0 * Scale, 0),
+                  TableWriter::num(Base.ThroughputGBps, 3),
+                  TableWriter::num(Opt.ThroughputGBps, 2),
+                  TableWriter::percent(Base.PeakUtilization, 2),
+                  TableWriter::percent(Opt.PeakUtilization, 1),
+                  TableWriter::num(Plan.H)});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nExpected shape: the optimized column is flat (one\n"
+               "activation per 8 KiB transfer is invisible even at 4x)\n"
+               "while the baseline's per-element blocking round trip is\n"
+               "dominated by the activation path and degrades with it.\n"
+               "Eq. 1's h scales with t_diff_row in the row-conflict\n"
+               "regime.\n";
+  return 0;
+}

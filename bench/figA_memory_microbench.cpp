@@ -1,0 +1,106 @@
+//===- bench/figA_memory_microbench.cpp - Validates the Fig. 1 device -----===//
+//
+// Part of the fft3d project.
+//
+// Paper Fig. 1 is the 3D MI-FPGA architecture diagram. This bench
+// validates the modelled device against the diagram's structural claims:
+// per-vault bandwidth through the shared TSV bundle, vault independence,
+// the latency ladder of the four timing parameters, and the aggregate
+// peak when all vaults stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "mem3d/Memory3D.h"
+#include "sim/EventQueue.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+namespace {
+
+/// Streams Count row-buffer reads at the given vault stride and returns
+/// achieved GB/s.
+double streamRows(unsigned Count, unsigned VaultStride) {
+  EventQueue Events;
+  const MemoryConfig Config;
+  Memory3D Mem(Events, Config);
+  const Geometry &G = Config.Geo;
+  Picos Last = 0;
+  for (unsigned I = 0; I != Count; ++I) {
+    MemRequest Req;
+    Req.Addr = PhysAddr(I) * G.RowBufferBytes * VaultStride;
+    Req.Bytes = static_cast<std::uint32_t>(G.RowBufferBytes);
+    Mem.submit(Req, [&Last](const MemRequest &, Picos At) { Last = At; });
+  }
+  Events.run();
+  return bytesOverPicosToGBps(std::uint64_t(Count) * G.RowBufferBytes, Last);
+}
+
+/// Completion time of the second of two 8 B reads at the given addresses.
+Picos pairLatency(PhysAddr First, PhysAddr Second) {
+  EventQueue Events;
+  const MemoryConfig Config;
+  Memory3D Mem(Events, Config);
+  Picos Done = 0;
+  MemRequest A, B;
+  A.Addr = First;
+  B.Addr = Second;
+  A.Bytes = B.Bytes = 8;
+  Mem.submit(A, {});
+  Mem.submit(B, [&Done](const MemRequest &, Picos At) { Done = At; });
+  Events.run();
+  return Done;
+}
+
+} // namespace
+
+int main() {
+  const SystemConfig Config = SystemConfig::forProblemSize(2048);
+  printHeader("Figure 1 companion: 3D MI-FPGA device microbenchmarks",
+              Config);
+  const Geometry &G = Config.Mem.Geo;
+  std::cout << "address map: "
+            << AddressMapper(G, Config.Mem.MapKind).describe() << "\n\n";
+
+  TableWriter Bw({"stream", "claimed", "measured (GB/s)"});
+  Bw.addRow({"one vault (row-sized bursts)", "5 GB/s",
+             TableWriter::num(streamRows(64, G.NumVaults), 2)});
+  Bw.addRow({"all 16 vaults round-robin", "80 GB/s",
+             TableWriter::num(streamRows(256, 1), 2)});
+  Bw.addRow({"two vaults interleaved", "10 GB/s",
+             TableWriter::num(streamRows(64, G.NumVaults / 2), 2)});
+  Bw.print(std::cout);
+
+  std::cout << "\nlatency ladder (second access after an access to "
+               "vault 0, bank 0, row 0):\n";
+  TableWriter Lat({"second access target", "constraint",
+                   "completion (ns)"});
+  const PhysAddr RowBuf = G.RowBufferBytes;
+  Lat.addRow({"same row, same bank", "t_in_row",
+              TableWriter::num(picosToNanos(pairLatency(0, 8)), 1)});
+  Lat.addRow({"different vault", "independent",
+              TableWriter::num(picosToNanos(pairLatency(0, RowBuf)), 1)});
+  Lat.addRow({"other layer, same vault", "t_in_vault",
+              TableWriter::num(
+                  picosToNanos(pairLatency(0, RowBuf * G.NumVaults * 2)),
+                  1)});
+  Lat.addRow({"same layer, other bank", "t_diff_bank",
+              TableWriter::num(
+                  picosToNanos(pairLatency(0, RowBuf * G.NumVaults)), 1)});
+  Lat.addRow(
+      {"same bank, other row", "t_diff_row",
+       TableWriter::num(picosToNanos(pairLatency(
+                            0, RowBuf * G.NumVaults * G.banksPerVault())),
+                        1)});
+  Lat.print(std::cout);
+
+  std::cout << "\nThe ladder must be monotonically increasing: vault\n"
+               "independence first, then pipelined cross-layer ACTs, then\n"
+               "same-layer bank spacing, then same-bank row conflicts.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- bench/figC_permutation_network.cpp - Fig. 3 network costs ----------===//
+//
+// Part of the fft3d project.
+//
+// Paper Fig. 3 shows the 2D FFT processor: 16 vaults feeding an 8-wide
+// permutation network under a controlling unit. This bench quantifies
+// the dynamic-layout machinery: the Eq. 1 plan per problem size, the
+// permutation network's buffer cost and latency in both stream modes,
+// and a functional round-trip check (writeback then fetch restores the
+// stream).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "layout/LayoutPlanner.h"
+#include "permute/BitonicNetwork.h"
+#include "permute/ControlUnit.h"
+
+#include <iostream>
+#include <numeric>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+int main() {
+  const SystemConfig Head = SystemConfig::forProblemSize(2048);
+  printHeader("Figure 3 companion: permutation network + controlling unit",
+              Head);
+
+  TableWriter Table({"N", "plan (w x h)", "regime", "mode", "perm",
+                     "SRAM (dbl-buf)", "block latency", "reconfig/app"});
+  for (std::uint64_t N : {2048ull, 4096ull, 8192ull}) {
+    const SystemConfig Config = SystemConfig::forProblemSize(N);
+    const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time,
+                                ElementBytes);
+    const BlockPlan Plan = Planner.plan(N, Config.Optimized.VaultsParallel);
+    for (const StreamMode Mode :
+         {StreamMode::LaneParallel, StreamMode::ColumnSerial}) {
+      PermutationNetwork Net(Config.Optimized.Lanes, Plan.W * Plan.H);
+      ControlUnit Cu(Net);
+      Cu.configureForWriteback(Plan.W, Plan.H, Mode);
+      const std::uint64_t WbBytes = Net.bufferBytes(ElementBytes);
+      const std::uint64_t WbLat = Net.blockLatencyCycles();
+      Cu.configureForColumnFetch(Plan.W, Plan.H, Mode);
+      const std::uint64_t Bytes =
+          std::max(WbBytes, Net.bufferBytes(ElementBytes));
+      const std::uint64_t Lat = std::max(WbLat, Net.blockLatencyCycles());
+      Table.addRow(
+          {TableWriter::num(N),
+           TableWriter::num(Plan.W) + " x " + TableWriter::num(Plan.H),
+           planRegimeName(Plan.Regime), streamModeName(Mode),
+           Cu.currentConfig(), formatBytes(Bytes),
+           TableWriter::num(Lat) + " cyc",
+           TableWriter::num(Cu.reconfigurations())});
+    }
+    Table.addSeparator();
+  }
+  Table.print(std::cout);
+
+  // Functional round trip: writeback then column fetch must restore the
+  // arrival stream for both modes.
+  std::cout << "\nround-trip check (writeback o fetch == identity): ";
+  bool AllGood = true;
+  for (const StreamMode Mode :
+       {StreamMode::LaneParallel, StreamMode::ColumnSerial}) {
+    const std::uint64_t W = 8, H = 128;
+    const Permutation Wb = ControlUnit::writebackPermutation(W, H, Mode);
+    const Permutation Cf = ControlUnit::columnFetchPermutation(W, H, Mode);
+    std::vector<std::uint32_t> Stream(W * H);
+    std::iota(Stream.begin(), Stream.end(), 0u);
+    const auto Restored = Cf.apply(Wb.apply(Stream));
+    AllGood = AllGood && Restored == Stream;
+  }
+  std::cout << (AllGood ? "PASS" : "FAIL") << "\n";
+
+  // The lane-level switch realization (paper reference [7]): a bitonic
+  // compare-exchange network of the kernel's width.
+  {
+    const BitonicNetwork Net(8);
+    std::cout << "\nlane switch realization (bitonic, ref. [7]): width 8, "
+              << Net.stageCount() << " stages, " << Net.comparatorCount()
+              << " comparators";
+    std::vector<std::uint32_t> Lanes(8);
+    std::iota(Lanes.begin(), Lanes.end(), 0u);
+    const Permutation Rotate({1, 2, 3, 4, 5, 6, 7, 0});
+    std::cout << (Net.route(Lanes, Rotate) == Rotate.apply(Lanes)
+                      ? " (routing check PASS)\n"
+                      : " (routing check FAIL)\n");
+  }
+
+  std::cout << "\nLane-parallel mode (w = kernel lanes) degenerates to the\n"
+               "identity: the dynamic layout was chosen so the expensive\n"
+               "reordering disappears. Column-serial mode shows the cost a\n"
+               "naive single-lane kernel would pay.\n";
+  return AllGood ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+//===- bench/figD_precision.cpp - Numerical precision of the kernel -------===//
+//
+// Part of the fft3d project.
+//
+// Figure companion D: the paper streams 64-bit complex elements (two
+// 32-bit floats). This bench quantifies what that storage precision
+// costs across problem sizes and round trips - the error budget a user
+// of the accelerator inherits. Reference: the double-precision engine
+// (itself checked against the O(N^2) DFT in the test suite).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "fft/Fft1d.h"
+#include "fft/Fft2d.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+namespace {
+
+/// Max relative error of the single-precision path for one N-point frame.
+double singlePrecisionError(std::uint64_t N) {
+  Rng R(N * 17 + 5);
+  const Fft1d Plan(N);
+  std::vector<CplxD> Wide(N);
+  std::vector<CplxF> NarrowData(N);
+  for (std::uint64_t I = 0; I != N; ++I) {
+    Wide[I] = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+    NarrowData[I] = narrow(Wide[I]);
+  }
+  Plan.forward(Wide);
+  Plan.forward(NarrowData);
+  double MaxErr = 0.0, Scale = 0.0;
+  for (std::uint64_t I = 0; I != N; ++I) {
+    MaxErr = std::max(MaxErr, std::abs(widen(NarrowData[I]) - Wide[I]));
+    Scale = std::max(Scale, std::abs(Wide[I]));
+  }
+  return MaxErr / Scale;
+}
+
+/// Max element error after a forward+inverse round trip in storage
+/// precision (what a full through-the-accelerator pass costs).
+double roundTripError(std::uint64_t N) {
+  Rng R(N * 3 + 11);
+  const Fft2d Plan(N, N);
+  Matrix M(N, N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    for (std::uint64_t J = 0; J != N; ++J)
+      M.at(I, J) = CplxF(static_cast<float>(R.nextDouble(-1, 1)),
+                         static_cast<float>(R.nextDouble(-1, 1)));
+  const Matrix Original = M;
+  Plan.forward(M);
+  Plan.inverse(M);
+  return M.maxAbsDiff(Original);
+}
+
+} // namespace
+
+int main() {
+  printHeader("Figure companion D: storage-precision error budget",
+              SystemConfig::forProblemSize(2048));
+
+  std::cout << "1D forward transform, 64-bit complex storage vs "
+               "double-precision engine:\n";
+  TableWriter Table({"N", "max relative error", "bits of accuracy"});
+  for (const std::uint64_t N : {64ull, 256ull, 1024ull, 4096ull, 16384ull}) {
+    const double Err = singlePrecisionError(N);
+    Table.addRow({TableWriter::num(N),
+                  TableWriter::num(Err * 1e7, 2) + "e-7",
+                  TableWriter::num(-std::log2(Err), 1)});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\n2D forward+inverse round trip in storage precision:\n";
+  TableWriter Rt({"N x N", "max element error"});
+  for (const std::uint64_t N : {64ull, 256ull, 1024ull}) {
+    Rt.addRow({TableWriter::num(N) + " x " + TableWriter::num(N),
+               TableWriter::num(roundTripError(N) * 1e6, 2) + "e-6"});
+  }
+  Rt.print(std::cout);
+
+  std::cout << "\nReading: the kernel computes with guard precision (our\n"
+               "engine uses doubles; an FPGA datapath would carry guard\n"
+               "bits), so the error is dominated by the 64-bit storage\n"
+               "quantization at the 2^-24 floor and stays FLAT in N -\n"
+               "~24 bits of accuracy, far beyond the ~60 dB dynamic range\n"
+               "of the imaging and radar workloads the paper targets. An\n"
+               "all-float datapath would instead grow ~sqrt(log N).\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===- bench/micro_kernels.cpp - google-benchmark microbenchmarks ---------===//
+//
+// Part of the fft3d project.
+//
+// Host-side microbenchmarks of the library itself (not the modelled
+// hardware): FFT kernels, permutations, the event queue and the memory
+// simulator. Useful to keep the simulator fast enough for the sweeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseEngine.h"
+#include "fft/Fft1d.h"
+#include "fft/Fft2d.h"
+#include "layout/BlockDynamicLayout.h"
+#include "layout/LinearLayouts.h"
+#include "permute/PermutationNetwork.h"
+#include "sim/EventQueue.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fft3d;
+
+namespace {
+
+std::vector<CplxF> randomFrame(std::uint64_t N) {
+  Rng R(N);
+  std::vector<CplxF> Frame(N);
+  for (auto &V : Frame)
+    V = CplxF(static_cast<float>(R.nextDouble(-1, 1)),
+              static_cast<float>(R.nextDouble(-1, 1)));
+  return Frame;
+}
+
+void BM_Fft1dForward(benchmark::State &State) {
+  const std::uint64_t N = static_cast<std::uint64_t>(State.range(0));
+  const Fft1d Plan(N);
+  std::vector<CplxF> Frame = randomFrame(N);
+  for (auto _ : State) {
+    Plan.forward(Frame);
+    benchmark::DoNotOptimize(Frame.data());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_Fft1dForward)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_Fft2dForward(benchmark::State &State) {
+  const std::uint64_t N = static_cast<std::uint64_t>(State.range(0));
+  const Fft2d Plan(N, N);
+  Matrix M(N, N);
+  Rng R(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    for (std::uint64_t J = 0; J != N; ++J)
+      M.at(I, J) = CplxF(static_cast<float>(R.nextDouble(-1, 1)), 0.0f);
+  for (auto _ : State) {
+    Plan.forward(M);
+    benchmark::DoNotOptimize(M.storage().data());
+  }
+  State.SetItemsProcessed(State.iterations() * N * N);
+}
+BENCHMARK(BM_Fft2dForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PermutationNetworkBlock(benchmark::State &State) {
+  PermutationNetwork Net(8, 1024);
+  Net.configure(Permutation::transpose(8, 128));
+  std::vector<CplxF> Block = randomFrame(1024);
+  for (auto _ : State) {
+    Block = Net.permute(Block);
+    benchmark::DoNotOptimize(Block.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_PermutationNetworkBlock);
+
+void BM_EventQueueChurn(benchmark::State &State) {
+  for (auto _ : State) {
+    EventQueue Q;
+    int Sink = 0;
+    for (int I = 0; I != 1000; ++I)
+      Q.scheduleAt(static_cast<Picos>(I * 7 % 997), [&Sink] { ++Sink; });
+    Q.run();
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_MemorySimSequentialStream(benchmark::State &State) {
+  for (auto _ : State) {
+    EventQueue Events;
+    const MemoryConfig Config;
+    Memory3D Mem(Events, Config);
+    Picos Last = 0;
+    for (unsigned I = 0; I != 512; ++I) {
+      MemRequest Req;
+      Req.Addr = PhysAddr(I) * Config.Geo.RowBufferBytes;
+      Req.Bytes = static_cast<std::uint32_t>(Config.Geo.RowBufferBytes);
+      Mem.submit(Req, [&Last](const MemRequest &, Picos At) { Last = At; });
+    }
+    Events.run();
+    benchmark::DoNotOptimize(Last);
+  }
+  State.SetItemsProcessed(State.iterations() * 512);
+}
+BENCHMARK(BM_MemorySimSequentialStream);
+
+void BM_PhaseEngineStridedScan(benchmark::State &State) {
+  for (auto _ : State) {
+    EventQueue Events;
+    const MemoryConfig Config;
+    Memory3D Mem(Events, Config);
+    PhaseEngine Engine(Mem, Events, 1ull << 20, 10000);
+    const RowMajorLayout L(1024, 1024, 8, 0);
+    ColScanTrace Reads(L, 8192);
+    const PhaseResult Res = Engine.run({&Reads, false, 8, 0.0, 0}, {});
+    benchmark::DoNotOptimize(Res.ThroughputGBps);
+  }
+}
+BENCHMARK(BM_PhaseEngineStridedScan);
+
+void BM_LayoutAddressOf(benchmark::State &State) {
+  const BlockDynamicLayout L(8192, 8192, 8, 0, 8, 128);
+  std::uint64_t I = 0;
+  for (auto _ : State) {
+    const PhysAddr A = L.addressOf((I * 2654435761u) % 8192, I % 8192);
+    benchmark::DoNotOptimize(A);
+    ++I;
+  }
+}
+BENCHMARK(BM_LayoutAddressOf);
+
+} // namespace

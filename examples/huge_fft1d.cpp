@@ -1,0 +1,98 @@
+//===- examples/huge_fft1d.cpp - Out-of-core 1D FFT on the device ---------===//
+//
+// Part of the fft3d project.
+//
+// Big 1D FFTs (2^24 points and beyond) do not fit on chip, so they are
+// computed with the four-step method: view the signal as an N1 x N2
+// matrix, column FFTs, twiddle, row FFTs, transpose. The column pass is
+// *exactly* the 2D FFT's phase-2 access pattern - so the paper's dynamic
+// layout applies verbatim to huge 1D transforms too. This example
+// verifies four-step numerically at a small size, then prices a 2^24-
+// point transform on the modelled device with and without the dynamic
+// layout for the column pass.
+//
+//   $ ./build/examples/huge_fft1d
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LayoutEvaluator.h"
+#include "fft/Fft1d.h"
+#include "fft/FourStep.h"
+#include "fft/ReferenceDft.h"
+#include "layout/LayoutPlanner.h"
+#include "layout/LinearLayouts.h"
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace fft3d;
+
+int main() {
+  // ---------------------------------------------------------------- 1 --
+  // Numerics: four-step equals the direct FFT.
+  {
+    const std::uint64_t N = 4096;
+    Rng R(12);
+    std::vector<CplxD> Data(N), Ref;
+    for (auto &V : Data)
+      V = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+    Ref = Data;
+    Fft1d(N).forward(Ref);
+    fftFourStep(Data, 64, 64);
+    std::printf("four-step vs direct FFT (4096 pts): max err %.3g -> %s\n\n",
+                maxAbsDiff(Data, Ref),
+                maxAbsDiff(Data, Ref) < 1e-8 ? "OK" : "MISMATCH");
+  }
+
+  // ---------------------------------------------------------------- 2 --
+  // Pricing a 2^24-point transform as a 4096 x 4096 matrix.
+  const std::uint64_t N1 = 4096, N2 = 4096;
+  SystemConfig Config = SystemConfig::forProblemSize(N1);
+  const LayoutEvaluator Evaluator(Config);
+  const std::uint64_t Stride = N1 * N2 * ElementBytes;
+
+  const RowMajorLayout RowMajor(N1, N2, ElementBytes, Stride);
+  const RowMajorLayout RowMajorOut(N1, N2, ElementBytes, 2 * Stride);
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N1, 16);
+  const BlockDynamicLayout Blocks(N1, N2, ElementBytes, Stride, Plan.W,
+                                  Plan.H);
+  const BlockDynamicLayout BlocksOut(N1, N2, ElementBytes, 2 * Stride,
+                                     Plan.W, Plan.H);
+
+  // Column pass (the strided one), both ways.
+  const PhaseResult ColNaive =
+      Evaluator.runColumnPhase(Config.Optimized, RowMajor, RowMajorOut);
+  const PhaseResult ColDynamic =
+      Evaluator.runColumnPhase(Config.Optimized, Blocks, BlocksOut);
+  // Twiddle pass and row pass are sequential sweeps.
+  const PhaseResult Sequential =
+      Evaluator.runRowPhase(Config.Optimized, RowMajorOut);
+
+  auto passTime = [](const PhaseResult &R) {
+    return static_cast<double>(R.EstimatedPhaseTime) /
+           static_cast<double>(PicosPerMilli);
+  };
+  // Four passes total: columns, twiddle, rows, transpose-equivalent
+  // (the dynamic layout absorbs the transpose; the naive path pays it as
+  // a second strided pass).
+  const double NaiveMs = passTime(ColNaive) * 2 + passTime(Sequential) * 2;
+  const double DynamicMs = passTime(ColDynamic) + passTime(Sequential) * 2;
+
+  std::printf("2^24-point 1D FFT as %llu x %llu four-step on the device:\n",
+              static_cast<unsigned long long>(N1),
+              static_cast<unsigned long long>(N2));
+  std::printf("  column pass, row-major layout : %6.2f GB/s\n",
+              ColNaive.ThroughputGBps);
+  std::printf("  column pass, dynamic layout   : %6.2f GB/s\n",
+              ColDynamic.ThroughputGBps);
+  std::printf("  sequential pass (twiddle/row) : %6.2f GB/s\n",
+              Sequential.ThroughputGBps);
+  std::printf("\nestimated end-to-end: %.1f ms naive vs %.1f ms with the\n"
+              "dynamic layout (%.1fx)\n",
+              NaiveMs, DynamicMs, NaiveMs / DynamicMs);
+  const bool Ok = ColDynamic.ThroughputGBps > 3.0 * ColNaive.ThroughputGBps;
+  std::printf("%s\n", Ok ? "dynamic layout verified on the 1D workload"
+                         : "UNEXPECTED: dynamic layout did not win");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+//===- examples/layout_explorer.cpp - Interactive Eq. 1 explorer ----------===//
+//
+// Part of the fft3d project.
+//
+// A small CLI around LayoutPlanner: give it a problem size and (optional)
+// device parameters and it prints the Eq. 1 plan - the block shape, the
+// regime, and how the plan moves across regimes as the number of
+// buffered column streams (m) varies.
+//
+//   $ ./build/examples/layout_explorer [N] [n_v] [t_diff_row_ns]
+//   $ ./build/examples/layout_explorer 4096 8 60
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/LayoutPlanner.h"
+#include "support/TableWriter.h"
+#include "support/Units.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace fft3d;
+
+int main(int Argc, char **Argv) {
+  std::uint64_t N = 2048;
+  unsigned Nv = 16;
+  double TDiffRowNs = 40.0;
+  if (Argc > 1)
+    N = std::strtoull(Argv[1], nullptr, 10);
+  if (Argc > 2)
+    Nv = static_cast<unsigned>(std::strtoul(Argv[2], nullptr, 10));
+  if (Argc > 3)
+    TDiffRowNs = std::strtod(Argv[3], nullptr);
+
+  Geometry Geo;
+  Timing Time;
+  Time.TDiffRow = nanosToPicos(TDiffRowNs);
+  if (Time.TDiffBank > Time.TDiffRow)
+    Time.TDiffBank = Time.TDiffRow;
+  if (Time.TInVault > Time.TDiffBank)
+    Time.TInVault = Time.TDiffBank;
+
+  const LayoutPlanner Planner(Geo, Time, /*ElementBytes=*/8);
+
+  std::printf("Eq. 1 layout plan for N=%llu, n_v=%u, t_diff_row=%.0f ns\n",
+              static_cast<unsigned long long>(N), Nv, TDiffRowNs);
+  std::printf("row buffer s = %llu elements, b = %u banks/vault, regime "
+              "boundary m* = %.1f streams\n\n",
+              static_cast<unsigned long long>(Geo.RowBufferBytes / 8),
+              Geo.banksPerVault(), Planner.bufferRegimeBoundary());
+
+  const BlockPlan Default = Planner.plan(N, Nv);
+  std::printf("default plan (m = N): w = %llu, h = %llu  [raw h = %.1f, "
+              "%s]\n\n",
+              static_cast<unsigned long long>(Default.W),
+              static_cast<unsigned long long>(Default.H), Default.RawH,
+              planRegimeName(Default.Regime));
+
+  TableWriter Table({"m (buffered column streams)", "raw h", "h", "w",
+                     "regime"});
+  for (std::uint64_t M = 16; M <= 2 * Geo.banksPerVault() *
+                                      (Geo.RowBufferBytes / 8);
+       M *= 4) {
+    const BlockPlan Plan = Planner.plan(N, Nv, M);
+    Table.addRow({TableWriter::num(M), TableWriter::num(Plan.RawH, 1),
+                  TableWriter::num(Plan.H), TableWriter::num(Plan.W),
+                  planRegimeName(Plan.Regime)});
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nReading the table: with few streams buffered the plan is\n"
+               "buffer-limited (h shrinks as m grows); past m* it snaps to\n"
+               "the bank-limited value n_v*t_diff_bank/t_in_row; at\n"
+               "m >= s*b it pays full row conflicts and h grows to\n"
+               "n_v*t_diff_row/t_in_row.\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+//===- examples/radar_doppler.cpp - Pulse-Doppler range-velocity map ------===//
+//
+// Part of the fft3d project.
+//
+// The workload the paper's introduction motivates ("Signal Processing"):
+// a pulse-Doppler radar builds a range-Doppler map from a matrix of K
+// pulses x M range gates. The Doppler dimension is a *column-wise* FFT
+// over the slow-time samples of each range gate - exactly the strided
+// phase the paper's dynamic data layout exists to fix.
+//
+// We synthesize echoes from three moving targets, form the map, detect
+// the peaks, check them against the injected ground truth, and price the
+// column-heavy transform on the modelled 3D-memory FPGA.
+//
+//   $ ./build/examples/radar_doppler
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fft2dProcessor.h"
+#include "fft/Fft1d.h"
+#include "fft/Matrix.h"
+#include "fft/Window.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+struct Target {
+  std::uint64_t RangeGate;
+  double DopplerCyclesPerPulse; // normalized Doppler in (-0.5, 0.5)
+  double Amplitude;
+};
+
+/// One echo matrix: row = pulse (slow time), column = range gate.
+Matrix synthesizeEchoes(std::uint64_t Pulses, std::uint64_t Gates,
+                        const std::vector<Target> &Targets,
+                        double NoiseSigma) {
+  Rng R(13);
+  Matrix M(Pulses, Gates);
+  for (std::uint64_t P = 0; P != Pulses; ++P)
+    for (std::uint64_t G = 0; G != Gates; ++G) {
+      CplxD Sample(NoiseSigma * R.nextGaussian(),
+                   NoiseSigma * R.nextGaussian());
+      for (const Target &T : Targets) {
+        if (T.RangeGate != G)
+          continue;
+        const double Phase =
+            2.0 * std::numbers::pi * T.DopplerCyclesPerPulse *
+            static_cast<double>(P);
+        Sample += T.Amplitude * CplxD(std::cos(Phase), std::sin(Phase));
+      }
+      M.at(P, G) = narrow(Sample);
+    }
+  return M;
+}
+
+/// Doppler bin an injected normalized frequency lands in after a
+/// Pulses-point FFT.
+std::uint64_t expectedBin(double Doppler, std::uint64_t Pulses) {
+  double F = Doppler;
+  if (F < 0)
+    F += 1.0;
+  return static_cast<std::uint64_t>(std::llround(F * Pulses)) % Pulses;
+}
+
+} // namespace
+
+int main() {
+  const std::uint64_t Pulses = 256; // slow-time samples (Doppler FFT size)
+  const std::uint64_t Gates = 512;  // range gates
+
+  const std::vector<Target> Truth = {
+      {100, 0.125, 6.0},  // approaching
+      {350, -0.25, 4.0},  // receding, faster
+      {350, 0.05, 3.0},   // same gate, slow mover
+  };
+
+  Matrix Echoes = synthesizeEchoes(Pulses, Gates, Truth, 0.3);
+
+  // Doppler processing: window the slow-time samples (Hann keeps strong
+  // targets' sidelobes from burying the weak slow mover sharing gate
+  // 350), then a Pulses-point FFT down every range-gate column.
+  const Window Taper(WindowKind::Hann, Pulses);
+  const Fft1d Doppler(Pulses);
+  std::vector<CplxF> Column;
+  for (std::uint64_t G = 0; G != Gates; ++G) {
+    Echoes.copyCol(G, Column);
+    Taper.apply(Column);
+    Doppler.forward(Column);
+    Echoes.setCol(G, Column);
+  }
+
+  // CFAR-ish detection: everything 8x over the median power.
+  std::vector<double> Powers;
+  Powers.reserve(Pulses * Gates);
+  for (const auto &V : Echoes.storage())
+    Powers.push_back(std::norm(widen(V)));
+  std::vector<double> Sorted = Powers;
+  std::nth_element(Sorted.begin(), Sorted.begin() + Sorted.size() / 2,
+                   Sorted.end());
+  const double Threshold = 64.0 * Sorted[Sorted.size() / 2];
+
+  std::printf("range-Doppler map %llu pulses x %llu gates, threshold %.2f\n",
+              static_cast<unsigned long long>(Pulses),
+              static_cast<unsigned long long>(Gates), Threshold);
+
+  unsigned Hits = 0, Detections = 0;
+  for (std::uint64_t Bin = 0; Bin != Pulses; ++Bin)
+    for (std::uint64_t G = 0; G != Gates; ++G) {
+      if (Powers[Bin * Gates + G] < Threshold)
+        continue;
+      ++Detections;
+      for (const Target &T : Truth)
+        if (T.RangeGate == G && expectedBin(T.DopplerCyclesPerPulse,
+                                            Pulses) == Bin) {
+          ++Hits;
+          std::printf("  detection: gate %4llu, Doppler bin %3llu "
+                      "(injected %+.3f cyc/pulse, amp %.1f)\n",
+                      static_cast<unsigned long long>(G),
+                      static_cast<unsigned long long>(Bin),
+                      T.DopplerCyclesPerPulse, T.Amplitude);
+        }
+    }
+  std::printf("detected %u/%zu injected targets (%u cells above "
+              "threshold)\n\n",
+              Hits, Truth.size(), Detections);
+
+  // Performance: Doppler processing is pure column-wise FFT - the phase
+  // the dynamic layout accelerates by ~40x.
+  const SystemConfig Config = SystemConfig::forProblemSize(2048);
+  Fft2dProcessor Processor(Config);
+  const AppReport Base = Processor.runBaseline();
+  const AppReport Opt = Processor.runOptimized();
+  std::printf("column-phase rate on the modelled device (2048^2 frame):\n");
+  std::printf("  row-major layout    : %6.2f GB/s\n",
+              Base.ColPhase.ThroughputGBps);
+  std::printf("  dynamic block layout: %6.2f GB/s  (%.0fx)\n",
+              Opt.ColPhase.ThroughputGBps,
+              Opt.ColPhase.ThroughputGBps / Base.ColPhase.ThroughputGBps);
+  const bool Ok = Hits == Truth.size();
+  std::printf("\n%s\n", Ok ? "all targets found" : "MISSED TARGETS");
+  return Ok ? 0 : 1;
+}

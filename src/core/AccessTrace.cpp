@@ -1,0 +1,172 @@
+//===- core/AccessTrace.cpp - Phase access-trace generators ---------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AccessTrace.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+TraceSource::~TraceSource() = default;
+
+//===----------------------------------------------------------------------===//
+// RowScanTrace
+//===----------------------------------------------------------------------===//
+
+RowScanTrace::RowScanTrace(const DataLayout &Layout,
+                           std::uint32_t MaxBurstBytes)
+    : Layout(Layout), MaxBurstBytes(MaxBurstBytes) {
+  assert(MaxBurstBytes >= Layout.elementBytes() && "burst below element size");
+}
+
+std::optional<TraceOp> RowScanTrace::next() {
+  if (Row == Layout.numRows())
+    return std::nullopt;
+  const std::uint64_t MaxElems = MaxBurstBytes / Layout.elementBytes();
+  const std::uint64_t Run =
+      std::min(Layout.contiguousRowRun(Row, Col), MaxElems);
+  TraceOp Op;
+  Op.Addr = Layout.addressOf(Row, Col);
+  Op.Bytes = static_cast<std::uint32_t>(Run * Layout.elementBytes());
+  Col += Run;
+  if (Col == Layout.numCols()) {
+    Col = 0;
+    ++Row;
+  }
+  return Op;
+}
+
+std::uint64_t RowScanTrace::totalBytes() const { return Layout.sizeBytes(); }
+
+void RowScanTrace::reset() { Row = Col = 0; }
+
+//===----------------------------------------------------------------------===//
+// ColScanTrace
+//===----------------------------------------------------------------------===//
+
+ColScanTrace::ColScanTrace(const DataLayout &Layout,
+                           std::uint32_t MaxBurstBytes)
+    : Layout(Layout), MaxBurstBytes(MaxBurstBytes) {
+  assert(MaxBurstBytes >= Layout.elementBytes() && "burst below element size");
+}
+
+std::optional<TraceOp> ColScanTrace::next() {
+  if (Col == Layout.numCols())
+    return std::nullopt;
+  const std::uint64_t MaxElems = MaxBurstBytes / Layout.elementBytes();
+  const std::uint64_t Run =
+      std::min(Layout.contiguousColRun(Row, Col), MaxElems);
+  TraceOp Op;
+  Op.Addr = Layout.addressOf(Row, Col);
+  Op.Bytes = static_cast<std::uint32_t>(Run * Layout.elementBytes());
+  Row += Run;
+  if (Row == Layout.numRows()) {
+    Row = 0;
+    ++Col;
+  }
+  return Op;
+}
+
+std::uint64_t ColScanTrace::totalBytes() const { return Layout.sizeBytes(); }
+
+void ColScanTrace::reset() { Row = Col = 0; }
+
+//===----------------------------------------------------------------------===//
+// BlockTrace
+//===----------------------------------------------------------------------===//
+
+BlockTrace::BlockTrace(const BlockDynamicLayout &Layout, BlockOrder Order)
+    : Layout(Layout), Order(Order) {}
+
+std::optional<TraceOp> BlockTrace::next() {
+  const std::uint64_t Bc = Layout.blocksPerRow();
+  const std::uint64_t Br = Layout.blocksPerCol();
+  if (Index == Bc * Br)
+    return std::nullopt;
+  std::uint64_t BlockRow, BlockCol;
+  if (Order == BlockOrder::RowMajorBlocks) {
+    BlockRow = Index / Bc;
+    BlockCol = Index % Bc;
+  } else {
+    BlockCol = Index / Br;
+    BlockRow = Index % Br;
+  }
+  ++Index;
+  TraceOp Op;
+  Op.Addr = Layout.blockBase(BlockRow, BlockCol);
+  Op.Bytes = static_cast<std::uint32_t>(Layout.blockBytes());
+  return Op;
+}
+
+std::uint64_t BlockTrace::totalBytes() const { return Layout.sizeBytes(); }
+
+void BlockTrace::reset() { Index = 0; }
+
+//===----------------------------------------------------------------------===//
+// TileScanTrace
+//===----------------------------------------------------------------------===//
+
+TileScanTrace::TileScanTrace(const DataLayout &Layout, std::uint64_t TileRows,
+                             std::uint64_t TileCols)
+    : Layout(Layout), TileRows(TileRows), TileCols(TileCols) {
+  assert(TileRows != 0 && TileCols != 0 &&
+         Layout.numRows() % TileRows == 0 &&
+         Layout.numCols() % TileCols == 0 &&
+         "tile shape must divide the matrix");
+}
+
+std::optional<TraceOp> TileScanTrace::next() {
+  const std::uint64_t TilesPerRow = Layout.numCols() / TileCols;
+  const std::uint64_t TilesPerCol = Layout.numRows() / TileRows;
+  if (TileRow == TilesPerCol)
+    return std::nullopt;
+  TraceOp Op;
+  Op.Addr = Layout.addressOf(TileRow * TileRows + InRow, TileCol * TileCols);
+  Op.Bytes = static_cast<std::uint32_t>(TileCols * Layout.elementBytes());
+  if (++InRow == TileRows) {
+    InRow = 0;
+    if (++TileCol == TilesPerRow) {
+      TileCol = 0;
+      ++TileRow;
+    }
+  }
+  return Op;
+}
+
+std::uint64_t TileScanTrace::totalBytes() const { return Layout.sizeBytes(); }
+
+void TileScanTrace::reset() { TileRow = TileCol = InRow = 0; }
+
+//===----------------------------------------------------------------------===//
+// ChunkedBlockWriteTrace
+//===----------------------------------------------------------------------===//
+
+ChunkedBlockWriteTrace::ChunkedBlockWriteTrace(
+    const BlockDynamicLayout &Layout)
+    : Layout(Layout) {}
+
+std::optional<TraceOp> ChunkedBlockWriteTrace::next() {
+  if (Row == Layout.numRows())
+    return std::nullopt;
+  const std::uint64_t W = Layout.blockWidth();
+  const std::uint64_t H = Layout.blockHeight();
+  TraceOp Op;
+  Op.Addr = Layout.blockBase(Row / H, BlockCol) +
+            (Row % H) * W * Layout.elementBytes();
+  Op.Bytes = static_cast<std::uint32_t>(W * Layout.elementBytes());
+  if (++BlockCol == Layout.blocksPerRow()) {
+    BlockCol = 0;
+    ++Row;
+  }
+  return Op;
+}
+
+std::uint64_t ChunkedBlockWriteTrace::totalBytes() const {
+  return Layout.sizeBytes();
+}
+
+void ChunkedBlockWriteTrace::reset() { Row = BlockCol = 0; }

@@ -1,0 +1,155 @@
+//===- core/AccessTrace.h - Phase access-trace generators -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lazy generators for the memory access streams of the two 2D FFT
+/// phases under any DataLayout. A trace op is one memory burst (already
+/// split so it never crosses a row buffer); the phase engine paces ops at
+/// the kernel's stream rate and submits them to the simulator.
+///
+/// The generators are lazy because the baseline column phase of an
+/// 8192 x 8192 problem is 67M single-element ops - the engine only pulls
+/// as many as its simulation budget allows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CORE_ACCESSTRACE_H
+#define FFT3D_CORE_ACCESSTRACE_H
+
+#include "layout/BlockDynamicLayout.h"
+#include "layout/DataLayout.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace fft3d {
+
+/// One memory burst of a phase trace.
+struct TraceOp {
+  PhysAddr Addr = 0;
+  std::uint32_t Bytes = 0;
+};
+
+/// Pull-interface over a phase's access stream.
+class TraceSource {
+public:
+  virtual ~TraceSource();
+
+  /// Next burst, or nullopt when the phase's traffic is exhausted.
+  virtual std::optional<TraceOp> next() = 0;
+
+  /// Total bytes the full (uncapped) trace would move.
+  virtual std::uint64_t totalBytes() const = 0;
+
+  /// Restarts the trace from the beginning.
+  virtual void reset() = 0;
+};
+
+/// Row-order scan of a layout (phase-1 reads / writes of linear layouts):
+/// visits elements (r, 0..C-1) for r = 0..R-1, coalescing contiguous runs
+/// up to \p MaxBurstBytes.
+class RowScanTrace : public TraceSource {
+public:
+  RowScanTrace(const DataLayout &Layout, std::uint32_t MaxBurstBytes);
+
+  std::optional<TraceOp> next() override;
+  std::uint64_t totalBytes() const override;
+  void reset() override;
+
+private:
+  const DataLayout &Layout;
+  std::uint32_t MaxBurstBytes;
+  std::uint64_t Row = 0;
+  std::uint64_t Col = 0;
+};
+
+/// Column-order scan (phase-2 streams of linear layouts): visits
+/// (0..R-1, c) for c = 0..C-1 with coalescing. Under a row-major layout
+/// this is the paper's pathological stride-N stream.
+class ColScanTrace : public TraceSource {
+public:
+  ColScanTrace(const DataLayout &Layout, std::uint32_t MaxBurstBytes);
+
+  std::optional<TraceOp> next() override;
+  std::uint64_t totalBytes() const override;
+  void reset() override;
+
+private:
+  const DataLayout &Layout;
+  std::uint32_t MaxBurstBytes;
+  std::uint64_t Row = 0;
+  std::uint64_t Col = 0;
+};
+
+/// Order in which block traces walk the block grid.
+enum class BlockOrder {
+  /// bc inner, br outer (phase-1 writeback order).
+  RowMajorBlocks,
+  /// br inner, bc outer (phase-2 fetch order: down the block columns).
+  ColMajorBlocks,
+};
+
+/// Full-block bursts over a BlockDynamicLayout: each op covers one whole
+/// w x h block (one DRAM row). Used for optimized phase-2 reads and
+/// writes.
+class BlockTrace : public TraceSource {
+public:
+  BlockTrace(const BlockDynamicLayout &Layout, BlockOrder Order);
+
+  std::optional<TraceOp> next() override;
+  std::uint64_t totalBytes() const override;
+  void reset() override;
+
+private:
+  const BlockDynamicLayout &Layout;
+  BlockOrder Order;
+  std::uint64_t Index = 0;
+};
+
+/// Tile-wise traversal of a linear layout, as an explicit transpose pass
+/// (related work [11]) performs it: for each TileRows x TileCols tile in
+/// row-major tile order, emit one TileCols-element burst per tile row.
+/// On a row-major layout the bursts within a tile stride by the matrix
+/// width - the access pattern whose activation cost motivates tiling
+/// the transpose in the first place.
+class TileScanTrace : public TraceSource {
+public:
+  TileScanTrace(const DataLayout &Layout, std::uint64_t TileRows,
+                std::uint64_t TileCols);
+
+  std::optional<TraceOp> next() override;
+  std::uint64_t totalBytes() const override;
+  void reset() override;
+
+private:
+  const DataLayout &Layout;
+  std::uint64_t TileRows;
+  std::uint64_t TileCols;
+  std::uint64_t TileRow = 0;
+  std::uint64_t TileCol = 0;
+  std::uint64_t InRow = 0;
+};
+
+/// Phase-1 writeback of row-FFT results into a block layout: for each
+/// matrix row r, one w-element chunk per block column, landing at
+/// in-block offset (r mod h) * w. Ops are w * ElementBytes bursts.
+class ChunkedBlockWriteTrace : public TraceSource {
+public:
+  explicit ChunkedBlockWriteTrace(const BlockDynamicLayout &Layout);
+
+  std::optional<TraceOp> next() override;
+  std::uint64_t totalBytes() const override;
+  void reset() override;
+
+private:
+  const BlockDynamicLayout &Layout;
+  std::uint64_t Row = 0;
+  std::uint64_t BlockCol = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CORE_ACCESSTRACE_H

@@ -1,0 +1,124 @@
+//===- core/AnalyticalModel.cpp - Closed-form performance model -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalyticalModel.h"
+
+#include "fft/StreamingKernel.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+AnalyticalModel::AnalyticalModel(const SystemConfig &Config) : Config(Config) {
+  Config.validate();
+}
+
+double AnalyticalModel::peakGBps() const {
+  const Geometry &G = Config.Mem.Geo;
+  return G.NumVaults * static_cast<double>(G.bytesPerBeat()) /
+         picosToNanos(Config.Mem.Time.TsvPeriod);
+}
+
+double AnalyticalModel::kernelStreamGBps(const ArchParams &Arch) const {
+  const double Clock = Arch.ClockMHz > 0.0
+                           ? Arch.ClockMHz
+                           : StreamingKernel::achievableClockMHz(Config.N);
+  return Arch.Lanes * 8.0 * Clock * 1e6 / 1e9;
+}
+
+double AnalyticalModel::baselineColumnGBps() const {
+  // Every element pays the full blocking round trip: activate the row,
+  // access the column, move one beat, plus the command slot.
+  const Timing &T = Config.Mem.Time;
+  const double PerAccessNanos = picosToNanos(
+      T.ActivateLatency + T.AccessLatency + T.TsvPeriod + T.TsvPeriod);
+  const double OneDirection = 8.0 / PerAccessNanos; // GB/s
+  return 2.0 * OneDirection;
+}
+
+double AnalyticalModel::blockStreamMemoryLimitGBps() const {
+  // Streaming whole row buffers: each vault alternates banks, so the
+  // activation of the next block overlaps the current transfer as long
+  // as the transfer outlasts t_diff_row. Efficiency is the transfer time
+  // over the max of transfer time and activation spacing.
+  const Geometry &G = Config.Mem.Geo;
+  const Timing &T = Config.Mem.Time;
+  const double TransferNanos =
+      picosToNanos(T.TsvPeriod) *
+      static_cast<double>(G.RowBufferBytes / G.bytesPerBeat());
+  const double Spacing = picosToNanos(T.TDiffRow);
+  const double Efficiency = TransferNanos / std::max(TransferNanos, Spacing);
+  return peakGBps() * Efficiency;
+}
+
+double AnalyticalModel::blockingSequentialGBps(std::uint32_t BurstBytes) const {
+  const Timing &T = Config.Mem.Time;
+  const double Beats = static_cast<double>(
+      ceilDiv(BurstBytes, Config.Mem.Geo.bytesPerBeat()));
+  const double PerBurstNanos =
+      picosToNanos(T.ActivateLatency + T.AccessLatency) +
+      Beats * picosToNanos(T.TsvPeriod);
+  return 2.0 * BurstBytes / PerBurstNanos;
+}
+
+double AnalyticalModel::optimizedColumnGBps() const {
+  const double KernelBound = 2.0 * kernelStreamGBps(Config.Optimized);
+  return std::min(KernelBound, blockStreamMemoryLimitGBps());
+}
+
+double AnalyticalModel::rowPhaseGBps(const ArchParams &Arch) const {
+  const double KernelBound = 2.0 * kernelStreamGBps(Arch);
+  // Row-order streaming is sequential under both intermediates; with a
+  // blocking window the limit is the burst round trip, otherwise the
+  // block-stream limit.
+  const double MemoryBound =
+      Arch.ReadWindow <= 1
+          ? blockingSequentialGBps(
+                static_cast<std::uint32_t>(Config.Mem.Geo.RowBufferBytes))
+          : blockStreamMemoryLimitGBps();
+  return std::min(KernelBound, MemoryBound);
+}
+
+Picos AnalyticalModel::appLatency(const ArchParams &Arch) const {
+  const double Clock = Arch.ClockMHz > 0.0
+                           ? Arch.ClockMHz
+                           : StreamingKernel::achievableClockMHz(Config.N);
+  const StreamingKernel Kernel(Config.N, Arch.Lanes, Clock);
+  // First output needs the kernel pipeline filled with N elements, which
+  // arrive at the phase-1 read rate, plus the first access's round trip.
+  const Timing &T = Config.Mem.Time;
+  const Picos FirstAccess =
+      T.ActivateLatency + T.AccessLatency + T.TsvPeriod;
+  const double ReadGBps = rowPhaseGBps(Arch) / 2.0;
+  const Picos FillInput = static_cast<Picos>(
+      static_cast<double>(Config.N) * 8.0 / ReadGBps *
+      static_cast<double>(PicosPerNano));
+  return FirstAccess + FillInput + Kernel.pipelineFillTime();
+}
+
+AppEstimate AnalyticalModel::estimateApp() const {
+  AppEstimate E;
+  E.BaselineRowGBps = rowPhaseGBps(Config.Baseline);
+  E.BaselineColGBps = baselineColumnGBps();
+  E.OptimizedRowGBps = rowPhaseGBps(Config.Optimized);
+  E.OptimizedColGBps = optimizedColumnGBps();
+  E.BaselineAppGBps = harmonicCombine(E.BaselineRowGBps, E.BaselineColGBps);
+  E.OptimizedAppGBps = harmonicCombine(E.OptimizedRowGBps, E.OptimizedColGBps);
+  E.ImprovementFraction =
+      (E.OptimizedAppGBps - E.BaselineAppGBps) / E.OptimizedAppGBps;
+  E.BaselineLatency = appLatency(Config.Baseline);
+  E.OptimizedLatency = appLatency(Config.Optimized);
+  E.BaselineParallelism = Config.Baseline.Lanes;
+  E.OptimizedParallelism = Config.Optimized.Lanes;
+  return E;
+}
+
+double AnalyticalModel::harmonicCombine(double A, double B) {
+  if (A <= 0.0 || B <= 0.0)
+    return 0.0;
+  return 2.0 / (1.0 / A + 1.0 / B);
+}

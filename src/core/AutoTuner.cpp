@@ -1,0 +1,160 @@
+//===- core/AutoTuner.cpp - Automatic layout optimization -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoTuner.h"
+
+#include "fft/Complex.h"
+#include "layout/LinearLayouts.h"
+#include "layout/TiledLayout.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+using namespace fft3d;
+
+const char *fft3d::tuneObjectiveName(TuneObjective Objective) {
+  switch (Objective) {
+  case TuneObjective::Throughput:
+    return "throughput";
+  case TuneObjective::Energy:
+    return "energy";
+  case TuneObjective::ThroughputPerEnergy:
+    return "throughput-per-energy";
+  }
+  fft3d_unreachable("unknown TuneObjective");
+}
+
+double TuneCandidate::score(TuneObjective Objective) const {
+  switch (Objective) {
+  case TuneObjective::Throughput:
+    return Metrics.AppGBps;
+  case TuneObjective::Energy:
+    return Metrics.PicojoulesPerBit > 0.0
+               ? 1.0 / Metrics.PicojoulesPerBit
+               : 0.0;
+  case TuneObjective::ThroughputPerEnergy:
+    return Metrics.PicojoulesPerBit > 0.0
+               ? Metrics.AppGBps / Metrics.PicojoulesPerBit
+               : 0.0;
+  }
+  fft3d_unreachable("unknown TuneObjective");
+}
+
+bool TuneResult::eq1WithinFractionOfBest(double Fraction,
+                                         TuneObjective Objective) const {
+  const double Best = Candidates.front().score(Objective);
+  for (const TuneCandidate &C : Candidates)
+    if (C.Eq1Pick)
+      return C.score(Objective) >= (1.0 - Fraction) * Best;
+  return false;
+}
+
+AutoTuner::AutoTuner(const SystemConfig &Config, TuneOptions Options,
+                     const EnergyParams &Energy)
+    : Config(Config), Options(Options), Energy(Energy) {
+  Config.validate();
+}
+
+void AutoTuner::addBlockCandidates(std::vector<TuneCandidate> &Out) const {
+  const std::uint64_t N = Config.N;
+  const std::uint64_t S = Config.Mem.Geo.RowBufferBytes / ElementBytes;
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Eq1 = Planner.plan(N, Config.Optimized.VaultsParallel);
+
+  for (std::uint64_t H = 1; H <= S; H *= 2) {
+    const std::uint64_t W = S / H;
+    if (H > N || W > N)
+      continue;
+    if (!Options.SweepBlockShapes && H != Eq1.H)
+      continue;
+    for (const bool Skew : {true, false}) {
+      if (!Skew && !Options.SweepSkew)
+        continue;
+      TuneCandidate C;
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "block w=%llu h=%llu%s",
+                    static_cast<unsigned long long>(W),
+                    static_cast<unsigned long long>(H),
+                    Skew ? "" : " (no skew)");
+      C.Name = Name;
+      C.Kind = LayoutKind::BlockDynamic;
+      C.W = W;
+      C.H = H;
+      C.Skew = Skew;
+      C.Eq1Pick = Skew && H == Eq1.H;
+      Out.push_back(std::move(C));
+    }
+  }
+}
+
+TuneResult AutoTuner::tune(TuneObjective Objective) const {
+  const std::uint64_t N = Config.N;
+  const std::uint64_t MatrixBytes = N * N * ElementBytes;
+  const std::uint64_t Stride =
+      roundUp(MatrixBytes, Config.Mem.Geo.RowBufferBytes);
+  const PhysAddr MidBase = Stride;
+  const PhysAddr OutBase = 2 * Stride;
+
+  std::vector<TuneCandidate> Candidates;
+  if (Options.IncludeLinear) {
+    TuneCandidate Row, Col;
+    Row.Name = "row-major";
+    Row.Kind = LayoutKind::RowMajor;
+    Col.Name = "col-major";
+    Col.Kind = LayoutKind::ColMajor;
+    Candidates.push_back(Row);
+    Candidates.push_back(Col);
+  }
+  if (Options.IncludeTiled) {
+    TuneCandidate Tiled;
+    Tiled.Name = "tiled (row-buffer tiles)";
+    Tiled.Kind = LayoutKind::Tiled;
+    Candidates.push_back(Tiled);
+  }
+  addBlockCandidates(Candidates);
+
+  const LayoutEvaluator Evaluator(Config, Energy);
+  for (TuneCandidate &C : Candidates) {
+    std::unique_ptr<DataLayout> Mid, Out;
+    switch (C.Kind) {
+    case LayoutKind::RowMajor:
+      Mid = std::make_unique<RowMajorLayout>(N, N, ElementBytes, MidBase);
+      Out = std::make_unique<RowMajorLayout>(N, N, ElementBytes, OutBase);
+      break;
+    case LayoutKind::ColMajor:
+      Mid = std::make_unique<ColMajorLayout>(N, N, ElementBytes, MidBase);
+      Out = std::make_unique<ColMajorLayout>(N, N, ElementBytes, OutBase);
+      break;
+    case LayoutKind::Tiled:
+      Mid = std::make_unique<TiledLayout>(TiledLayout::forRowBuffer(
+          N, N, ElementBytes, MidBase, Config.Mem.Geo.RowBufferBytes));
+      Out = std::make_unique<TiledLayout>(TiledLayout::forRowBuffer(
+          N, N, ElementBytes, OutBase, Config.Mem.Geo.RowBufferBytes));
+      break;
+    case LayoutKind::BlockDynamic:
+      Mid = std::make_unique<BlockDynamicLayout>(N, N, ElementBytes, MidBase,
+                                                 C.W, C.H, C.Skew);
+      Out = std::make_unique<BlockDynamicLayout>(N, N, ElementBytes, OutBase,
+                                                 C.W, C.H, C.Skew);
+      break;
+    }
+    C.Metrics = Evaluator.evaluate(Config.Optimized, *Mid, *Out);
+  }
+
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [Objective](const TuneCandidate &A,
+                               const TuneCandidate &B) {
+                     return A.score(Objective) > B.score(Objective);
+                   });
+
+  TuneResult Result;
+  Result.Objective = Objective;
+  Result.Candidates = std::move(Candidates);
+  return Result;
+}

@@ -1,0 +1,103 @@
+//===- core/AutoTuner.h - Automatic layout optimization ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated future work, built: "a design framework targeted
+/// at throughput-oriented signal processing kernels, which enables
+/// automatic data layout optimizations addressing new 3D memory
+/// technologies."
+///
+/// Given a SystemConfig describing any 3D memory (geometry + timing),
+/// the tuner enumerates the layout design space - the linear layouts,
+/// the row-buffer tiled mapping, and every block shape with w*h filling
+/// one row buffer, with and without the vault skew - measures each with
+/// the event-driven simulator, and returns the candidates ranked by the
+/// requested objective (throughput, energy per bit, or a throughput-per-
+/// energy compromise). Eq. 1's analytical pick is marked so its verdict
+/// can be compared with the measured optimum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CORE_AUTOTUNER_H
+#define FFT3D_CORE_AUTOTUNER_H
+
+#include "core/LayoutEvaluator.h"
+#include "layout/LayoutPlanner.h"
+
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// What the tuner maximizes.
+enum class TuneObjective {
+  /// Application GB/s (harmonic over the phases).
+  Throughput,
+  /// Minimize pJ/bit.
+  Energy,
+  /// Maximize GB/s per (pJ/bit): throughput with an energy tiebreak.
+  ThroughputPerEnergy,
+};
+
+const char *tuneObjectiveName(TuneObjective Objective);
+
+/// One evaluated point of the design space.
+struct TuneCandidate {
+  std::string Name;
+  LayoutKind Kind = LayoutKind::BlockDynamic;
+  /// Block shape (block-dynamic candidates only).
+  std::uint64_t W = 0;
+  std::uint64_t H = 0;
+  bool Skew = true;
+  /// True if this is the shape Eq. 1 would pick.
+  bool Eq1Pick = false;
+  LayoutMetrics Metrics;
+
+  /// Objective score (higher is better for every objective).
+  double score(TuneObjective Objective) const;
+};
+
+/// Tuning result: candidates sorted best-first.
+struct TuneResult {
+  TuneObjective Objective = TuneObjective::Throughput;
+  std::vector<TuneCandidate> Candidates;
+
+  const TuneCandidate &best() const { return Candidates.front(); }
+
+  /// True if Eq. 1's shape is within \p Fraction of the best score.
+  bool eq1WithinFractionOfBest(double Fraction,
+                               TuneObjective Objective) const;
+};
+
+/// Options restricting the search space.
+struct TuneOptions {
+  bool IncludeLinear = true;
+  bool IncludeTiled = true;
+  bool SweepBlockShapes = true;
+  bool SweepSkew = true;
+};
+
+/// Enumerates, simulates and ranks intermediate layouts.
+class AutoTuner {
+public:
+  AutoTuner(const SystemConfig &Config, TuneOptions Options = TuneOptions(),
+            const EnergyParams &Energy = EnergyParams());
+
+  /// Runs the search. Every candidate simulates both phases, so cost is
+  /// (number of candidates) x (simulation budget in the SystemConfig).
+  TuneResult tune(TuneObjective Objective = TuneObjective::Throughput) const;
+
+private:
+  void addBlockCandidates(std::vector<TuneCandidate> &Out) const;
+
+  SystemConfig Config;
+  TuneOptions Options;
+  EnergyParams Energy;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CORE_AUTOTUNER_H

@@ -1,0 +1,109 @@
+//===- core/BatchProcessor.cpp - Multi-frame pipelined 2D FFTs ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchProcessor.h"
+
+#include "core/AccessTrace.h"
+#include "core/PhaseEngine.h"
+#include "fft/StreamingKernel.h"
+#include "layout/LayoutPlanner.h"
+#include "layout/LinearLayouts.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+BatchProcessor::BatchProcessor(const SystemConfig &Config) : Config(Config) {
+  Config.validate();
+}
+
+BatchReport BatchProcessor::run(unsigned Frames) const {
+  if (Frames == 0)
+    reportFatalError("batch must contain at least one frame");
+
+  const std::uint64_t N = Config.N;
+  const std::uint64_t Stride =
+      roundUp(N * N * ElementBytes, Config.Mem.Geo.RowBufferBytes);
+  // Double-buffered regions: frame i+1 input / mid interleave with frame
+  // i's mid / out.
+  const RowMajorLayout InputA(N, N, ElementBytes, 0);
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N, Config.Optimized.VaultsParallel);
+  const BlockDynamicLayout MidA(N, N, ElementBytes, Stride, Plan.W, Plan.H);
+  const BlockDynamicLayout MidB(N, N, ElementBytes, 2 * Stride, Plan.W,
+                                Plan.H);
+  const BlockDynamicLayout OutA(N, N, ElementBytes, 3 * Stride, Plan.W,
+                                Plan.H);
+
+  const ArchParams &Arch = Config.Optimized;
+  const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
+  const double Pace = Kernel.streamGBps();
+  const auto RowBuf =
+      static_cast<std::uint32_t>(Config.Mem.Geo.RowBufferBytes);
+
+  BatchReport Report;
+  Report.Frames = Frames;
+
+  // Stage 1: one phase alone (the pipeline's fill and drain stages).
+  {
+    EventQueue Events;
+    Memory3D Mem(Events, Config.Mem);
+    PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+                       Config.MaxSimOpsPerDirection);
+    BlockTrace P2Read(MidA, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Write(OutA, BlockOrder::ColMajorBlocks);
+    const PhaseResult Lone = Engine.run(
+        {&P2Read, false, Arch.ReadWindow, Pace, 0},
+        {&P2Write, true, Arch.WriteWindow, Pace,
+         Kernel.pipelineFillTime()});
+    Report.PhaseTime = Lone.EstimatedPhaseTime;
+  }
+
+  // Stage 2: the overlapped steady stage - four streams on one memory.
+  {
+    EventQueue Events;
+    Memory3D Mem(Events, Config.Mem);
+    PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+                       Config.MaxSimOpsPerDirection);
+    // Frame i: column phase over MidA -> OutA.
+    BlockTrace P2Read(MidA, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Write(OutA, BlockOrder::ColMajorBlocks);
+    // Frame i+1: row phase from InputA -> MidB.
+    RowScanTrace P1Read(InputA, RowBuf);
+    ChunkedBlockWriteTrace P1Write(MidB);
+    const PhaseResult Overlap = Engine.runStreams(
+        {{&P2Read, false, Arch.ReadWindow, Pace, 0},
+         {&P2Write, true, Arch.WriteWindow, Pace,
+          Kernel.pipelineFillTime()},
+         {&P1Read, false, Arch.ReadWindow, Pace, 0},
+         {&P1Write, true, Arch.WriteWindow, Pace,
+          Kernel.pipelineFillTime()}});
+    Report.OverlapGBps = Overlap.ThroughputGBps;
+    // The overlapped stage lasts as long as its slowest member stream
+    // needs for a full frame: infer from the combined achieved rate.
+    // Each member stream moves one matrix; the stage rate per stream is
+    // Throughput/4, so stage time = matrixBytes / (Throughput/4).
+    const double PerStreamGBps = Overlap.ThroughputGBps / 4.0;
+    Report.OverlapTime = static_cast<Picos>(
+        static_cast<double>(N * N * ElementBytes) / PerStreamGBps *
+        static_cast<double>(PicosPerNano));
+  }
+
+  Report.FullyOverlapped = Report.OverlapTime <= Report.PhaseTime +
+                                                     Report.PhaseTime / 20;
+  const Picos Steady = std::max(Report.PhaseTime, Report.OverlapTime);
+  Report.TotalTime = Frames == 1
+                         ? 2 * Report.PhaseTime
+                         : 2 * Report.PhaseTime +
+                               static_cast<Picos>(Frames - 1) * Steady;
+  Report.FramesPerSecond =
+      static_cast<double>(Frames) /
+      (static_cast<double>(Report.TotalTime) /
+       static_cast<double>(PicosPerSecond));
+  return Report;
+}

@@ -1,0 +1,225 @@
+//===- core/Fft2dProcessor.cpp - The full 2D FFT application --------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fft2dProcessor.h"
+
+#include "fft/Fft2d.h"
+#include "fft/StreamingKernel.h"
+#include "layout/LinearLayouts.h"
+#include "permute/ControlUnit.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace fft3d;
+
+Fft2dProcessor::Fft2dProcessor(const SystemConfig &Config) : Config(Config) {
+  Config.validate();
+}
+
+AppReport Fft2dProcessor::runBaseline() {
+  return runArchitecture(Config.Baseline, /*Optimized=*/false);
+}
+
+AppReport Fft2dProcessor::runOptimized() {
+  return runArchitecture(Config.Optimized, /*Optimized=*/true);
+}
+
+AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
+                                          bool Optimized) {
+  const std::uint64_t N = Config.N;
+  const std::uint64_t MatrixBytes = N * N * ElementBytes;
+  const std::uint64_t RegionStride =
+      roundUp(MatrixBytes, Config.Mem.Geo.RowBufferBytes);
+  const PhysAddr InputBase = 0;
+  const PhysAddr MidBase = RegionStride;
+  const PhysAddr OutBase = 2 * RegionStride;
+
+  EventQueue Events;
+  Memory3D Mem(Events, Config.Mem);
+  PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+                     Config.MaxSimOpsPerDirection);
+
+  const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
+  const double PaceGBps = Kernel.streamGBps();
+  const auto RowBuf =
+      static_cast<std::uint32_t>(Config.Mem.Geo.RowBufferBytes);
+
+  AppReport Report;
+  Report.N = N;
+  Report.Optimized = Optimized;
+  Report.DataParallelism = Arch.Lanes;
+
+  // Input always arrives row-major; the output region mirrors the
+  // intermediate's layout family.
+  const RowMajorLayout Input(N, N, ElementBytes, InputBase);
+
+  if (!Optimized) {
+    const RowMajorLayout Mid(N, N, ElementBytes, MidBase);
+    const RowMajorLayout Out(N, N, ElementBytes, OutBase);
+
+    // Phase 1: stream rows in, rows out.
+    RowScanTrace P1Read(Input, RowBuf);
+    RowScanTrace P1Write(Mid, RowBuf);
+    Report.RowPhase = Engine.run(
+        {&P1Read, false, Arch.ReadWindow, PaceGBps, 0},
+        {&P1Write, true, Arch.WriteWindow, PaceGBps,
+         Kernel.pipelineFillTime()});
+
+    // Phase 2: the pathological stride-N column walk, both directions.
+    ColScanTrace P2Read(Mid, RowBuf);
+    ColScanTrace P2Write(Out, RowBuf);
+    Report.ColPhase = Engine.run(
+        {&P2Read, false, Arch.ReadWindow, PaceGBps, 0},
+        {&P2Write, true, Arch.WriteWindow, PaceGBps,
+         Kernel.pipelineFillTime()});
+  } else {
+    const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time,
+                                ElementBytes);
+    Report.Plan = Planner.plan(N, Arch.VaultsParallel);
+    const BlockDynamicLayout Mid(N, N, ElementBytes, MidBase, Report.Plan.W,
+                                 Report.Plan.H);
+    const BlockDynamicLayout Out(N, N, ElementBytes, OutBase, Report.Plan.W,
+                                 Report.Plan.H);
+
+    // The controlling unit programs the permutation network once per
+    // phase; its buffers are the layout's on-chip cost.
+    PermutationNetwork Network(Arch.Lanes, Report.Plan.W * Report.Plan.H);
+    ControlUnit Cu(Network);
+    Cu.configureForWriteback(Report.Plan.W, Report.Plan.H,
+                             StreamMode::LaneParallel);
+    Report.PermuteBufferBytes = Network.bufferBytes(ElementBytes);
+
+    // Phase 1: sequential row reads; block-chunk writes via the network.
+    RowScanTrace P1Read(Input, RowBuf);
+    ChunkedBlockWriteTrace P1Write(Mid);
+    Report.RowPhase = Engine.run(
+        {&P1Read, false, Arch.ReadWindow, PaceGBps, 0},
+        {&P1Write, true, Arch.WriteWindow, PaceGBps,
+         Kernel.pipelineFillTime()});
+
+    Cu.configureForColumnFetch(Report.Plan.W, Report.Plan.H,
+                               StreamMode::LaneParallel);
+    Report.PermuteBufferBytes = std::max(
+        Report.PermuteBufferBytes, Network.bufferBytes(ElementBytes));
+
+    // Phase 2: whole-block reads down the block columns; whole-block
+    // writes of the finished columns.
+    BlockTrace P2Read(Mid, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Write(Out, BlockOrder::ColMajorBlocks);
+    Report.ColPhase = Engine.run(
+        {&P2Read, false, Arch.ReadWindow, PaceGBps, 0},
+        {&P2Write, true, Arch.WriteWindow, PaceGBps,
+         Kernel.pipelineFillTime()});
+    Report.Reconfigurations = Cu.reconfigurations();
+  }
+
+  Report.AppThroughputGBps = AnalyticalModel::harmonicCombine(
+      Report.RowPhase.ThroughputGBps, Report.ColPhase.ThroughputGBps);
+  Report.PeakUtilization =
+      Report.AppThroughputGBps / Mem.peakBandwidthGBps();
+
+  // Latency: first access round trip + time for N inputs at the achieved
+  // phase-1 read rate + kernel pipeline fill.
+  const double ReadGBps = Report.RowPhase.ThroughputGBps / 2.0;
+  const Picos FillInput =
+      ReadGBps > 0.0
+          ? static_cast<Picos>(static_cast<double>(N) * ElementBytes /
+                               ReadGBps * static_cast<double>(PicosPerNano))
+          : 0;
+  Report.AppLatency = Report.RowPhase.FirstReadComplete + FillInput +
+                      Kernel.pipelineFillTime();
+
+  Report.EstimatedTotalTime = Report.RowPhase.EstimatedPhaseTime +
+                              Report.ColPhase.EstimatedPhaseTime;
+  return Report;
+}
+
+Matrix Fft2dProcessor::computeViaDynamicLayout(const Matrix &In,
+                                               const SystemConfig &Config,
+                                               StreamMode Mode) {
+  const std::uint64_t N = In.rows();
+  if (In.cols() != N)
+    reportFatalError("dynamic-layout pipeline requires a square matrix");
+
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan = Planner.plan(N, Config.Optimized.VaultsParallel);
+  const BlockDynamicLayout Layout(N, N, ElementBytes, /*Base=*/0, Plan.W,
+                                  Plan.H);
+
+  PermutationNetwork Network(
+      static_cast<unsigned>(Plan.W),
+      Plan.W * Plan.H);
+  ControlUnit Cu(Network);
+
+  // Byte-accurate image of the intermediate region, element-indexed.
+  std::vector<CplxF> Image(N * N);
+
+  // Phase 1: row FFTs, then per-block writeback through the network.
+  Fft1d RowPlan(N);
+  Matrix RowDone(N, N);
+  std::vector<CplxF> Line;
+  for (std::uint64_t R = 0; R != N; ++R) {
+    In.copyRow(R, Line);
+    RowPlan.forward(Line);
+    RowDone.setRow(R, Line);
+  }
+  Cu.configureForWriteback(Plan.W, Plan.H, Mode);
+  std::vector<CplxF> BlockData(Plan.W * Plan.H);
+  for (std::uint64_t Br = 0; Br != Layout.blocksPerCol(); ++Br) {
+    for (std::uint64_t Bc = 0; Bc != Layout.blocksPerRow(); ++Bc) {
+      // Assemble the block in kernel arrival order: row-major beats for
+      // the lane-parallel kernel, whole columns for the serial one.
+      for (std::uint64_t Ir = 0; Ir != Plan.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
+          const std::uint64_t Arrival = Mode == StreamMode::LaneParallel
+                                            ? Ir * Plan.W + Ic
+                                            : Ic * Plan.H + Ir;
+          BlockData[Arrival] =
+              RowDone.at(Br * Plan.H + Ir, Bc * Plan.W + Ic);
+        }
+      const std::vector<CplxF> Stored = Network.permute(BlockData);
+      const std::uint64_t BaseSlot =
+          Layout.blockBase(Br, Bc) / ElementBytes;
+      for (std::uint64_t I = 0; I != Stored.size(); ++I)
+        Image[BaseSlot + I] = Stored[I];
+    }
+  }
+
+  // Phase 2: stream blocks back, run the column FFTs per block column.
+  Cu.configureForColumnFetch(Plan.W, Plan.H, Mode);
+  Fft1d ColPlan(N);
+  Matrix Out(N, N);
+  std::vector<std::vector<CplxF>> Columns(Plan.W);
+  for (std::uint64_t Bc = 0; Bc != Layout.blocksPerRow(); ++Bc) {
+    for (auto &Column : Columns)
+      Column.clear();
+    for (std::uint64_t Br = 0; Br != Layout.blocksPerCol(); ++Br) {
+      const std::uint64_t BaseSlot =
+          Layout.blockBase(Br, Bc) / ElementBytes;
+      std::vector<CplxF> Fetched(Image.begin() + BaseSlot,
+                                 Image.begin() + BaseSlot +
+                                     Plan.W * Plan.H);
+      const std::vector<CplxF> Stream = Network.permute(Fetched);
+      // LaneParallel: beat Ir carries one element of each of the W
+      // columns; ColumnSerial delivers whole columns back to back.
+      for (std::uint64_t Ir = 0; Ir != Plan.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
+          const std::uint64_t Pos = Mode == StreamMode::LaneParallel
+                                        ? Ir * Plan.W + Ic
+                                        : Ic * Plan.H + Ir;
+          Columns[Ic].push_back(Stream[Pos]);
+        }
+    }
+    for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
+      ColPlan.forward(Columns[Ic]);
+      Out.setCol(Bc * Plan.W + Ic, Columns[Ic]);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,105 @@
+//===- core/LayoutEvaluator.cpp - Evaluate a layout end to end ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LayoutEvaluator.h"
+
+#include "core/AnalyticalModel.h"
+#include "fft/StreamingKernel.h"
+#include "layout/BlockDynamicLayout.h"
+#include "layout/LinearLayouts.h"
+#include "support/MathUtils.h"
+
+using namespace fft3d;
+
+LayoutEvaluator::LayoutEvaluator(const SystemConfig &Config,
+                                 const EnergyParams &Params)
+    : Config(Config), Energy(Params) {
+  Config.validate();
+}
+
+PhaseResult LayoutEvaluator::runWith(const ArchParams &Arch,
+                                     TraceSource &Reads, TraceSource &Writes,
+                                     EnergyBreakdown *EnergyOut) const {
+  EventQueue Events;
+  Memory3D Mem(Events, Config.Mem);
+  PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+                     Config.MaxSimOpsPerDirection);
+  const StreamingKernel Kernel(Config.N, Arch.Lanes, Arch.ClockMHz);
+  const PhaseResult Result = Engine.run(
+      {&Reads, false, Arch.ReadWindow, Kernel.streamGBps(), 0},
+      {&Writes, true, Arch.WriteWindow, Kernel.streamGBps(),
+       Kernel.pipelineFillTime()});
+  if (EnergyOut)
+    *EnergyOut = Energy.compute(Mem.stats(), Result.Elapsed,
+                                Config.Mem.Geo.bytesPerBeat());
+  return Result;
+}
+
+PhaseResult LayoutEvaluator::runRowPhase(const ArchParams &Arch,
+                                         const DataLayout &Mid,
+                                         EnergyBreakdown *EnergyOut) const {
+  const auto RowBuf =
+      static_cast<std::uint32_t>(Config.Mem.Geo.RowBufferBytes);
+  const RowMajorLayout Input(Config.N, Config.N, Mid.elementBytes(),
+                             /*Base=*/0);
+  RowScanTrace Reads(Input, RowBuf);
+  if (Mid.kind() == LayoutKind::BlockDynamic) {
+    const auto &Blocks = static_cast<const BlockDynamicLayout &>(Mid);
+    if (Arch.WriteCombine) {
+      // A full block-row is accumulated on chip and written as whole
+      // blocks: one activation per row buffer.
+      BlockTrace Writes(Blocks, BlockOrder::RowMajorBlocks);
+      return runWith(Arch, Reads, Writes, EnergyOut);
+    }
+    ChunkedBlockWriteTrace Writes(Blocks);
+    return runWith(Arch, Reads, Writes, EnergyOut);
+  }
+  RowScanTrace Writes(Mid, RowBuf);
+  return runWith(Arch, Reads, Writes, EnergyOut);
+}
+
+PhaseResult LayoutEvaluator::runColumnPhase(const ArchParams &Arch,
+                                            const DataLayout &Mid,
+                                            const DataLayout &Out,
+                                            EnergyBreakdown *EnergyOut) const {
+  const auto RowBuf =
+      static_cast<std::uint32_t>(Config.Mem.Geo.RowBufferBytes);
+  if (Mid.kind() == LayoutKind::BlockDynamic &&
+      Out.kind() == LayoutKind::BlockDynamic) {
+    const auto &MidBlocks = static_cast<const BlockDynamicLayout &>(Mid);
+    const auto &OutBlocks = static_cast<const BlockDynamicLayout &>(Out);
+    BlockTrace Reads(MidBlocks, BlockOrder::ColMajorBlocks);
+    BlockTrace Writes(OutBlocks, BlockOrder::ColMajorBlocks);
+    return runWith(Arch, Reads, Writes, EnergyOut);
+  }
+  ColScanTrace Reads(Mid, RowBuf);
+  ColScanTrace Writes(Out, RowBuf);
+  return runWith(Arch, Reads, Writes, EnergyOut);
+}
+
+LayoutMetrics LayoutEvaluator::evaluate(const ArchParams &Arch,
+                                        const DataLayout &Mid,
+                                        const DataLayout &Out) const {
+  LayoutMetrics M;
+  EnergyBreakdown RowEnergy, ColEnergy;
+  M.RowPhase = runRowPhase(Arch, Mid, &RowEnergy);
+  M.ColPhase = runColumnPhase(Arch, Mid, Out, &ColEnergy);
+  M.AppGBps = AnalyticalModel::harmonicCombine(M.RowPhase.ThroughputGBps,
+                                               M.ColPhase.ThroughputGBps);
+  const std::uint64_t Bytes =
+      M.RowPhase.BytesRead + M.RowPhase.BytesWritten + M.ColPhase.BytesRead +
+      M.ColPhase.BytesWritten;
+  const double TotalPJ = RowEnergy.totalPJ() + ColEnergy.totalPJ();
+  M.PicojoulesPerBit =
+      Bytes == 0 ? 0.0 : TotalPJ / (8.0 * static_cast<double>(Bytes));
+  const std::uint64_t Activations =
+      M.RowPhase.RowActivations + M.ColPhase.RowActivations;
+  M.ActivationsPerKiB = Bytes == 0 ? 0.0
+                                   : static_cast<double>(Activations) /
+                                         (static_cast<double>(Bytes) /
+                                          1024.0);
+  return M;
+}

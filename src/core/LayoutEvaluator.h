@@ -1,0 +1,75 @@
+//===- core/LayoutEvaluator.h - Evaluate a layout end to end ----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs both 2D FFT phases against the memory simulator for an arbitrary
+/// intermediate layout and reports throughput *and* energy. This is the
+/// measurement core shared by the layout-comparison ablation and the
+/// AutoTuner (the paper's stated future work: a framework that picks the
+/// layout automatically for new 3D memory technologies).
+///
+/// Trace selection per layout family:
+///  - BlockDynamic: whole-block reads/writes in phase 2, chunked block
+///    writes in phase 1 (the optimized data path);
+///  - everything else: coalesced row scans in phase 1 and column scans
+///    in phase 2 (whatever contiguity the layout offers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CORE_LAYOUTEVALUATOR_H
+#define FFT3D_CORE_LAYOUTEVALUATOR_H
+
+#include "core/PhaseEngine.h"
+#include "core/SystemConfig.h"
+#include "mem3d/Energy.h"
+
+namespace fft3d {
+
+/// Combined throughput/energy verdict for one layout under one front end.
+struct LayoutMetrics {
+  PhaseResult RowPhase;
+  PhaseResult ColPhase;
+  /// Harmonic combination of the two equal-volume phases, GB/s.
+  double AppGBps = 0.0;
+  /// Dynamic + static energy intensity over both simulated phases.
+  double PicojoulesPerBit = 0.0;
+  /// Row activations per KiB moved (the quantity reference [6] frames).
+  double ActivationsPerKiB = 0.0;
+};
+
+/// Stateless phase runner for layout studies.
+class LayoutEvaluator {
+public:
+  explicit LayoutEvaluator(const SystemConfig &Config,
+                           const EnergyParams &Energy = EnergyParams());
+
+  const SystemConfig &config() const { return Config; }
+
+  /// Phase 1 (row FFTs): sequential input reads + layout writes.
+  /// \p Energy, when non-null, receives the phase's energy breakdown.
+  PhaseResult runRowPhase(const ArchParams &Arch, const DataLayout &Mid,
+                          EnergyBreakdown *Energy = nullptr) const;
+
+  /// Phase 2 (column FFTs): layout reads + output-layout writes.
+  PhaseResult runColumnPhase(const ArchParams &Arch, const DataLayout &Mid,
+                             const DataLayout &Out,
+                             EnergyBreakdown *Energy = nullptr) const;
+
+  /// Both phases + combined metrics.
+  LayoutMetrics evaluate(const ArchParams &Arch, const DataLayout &Mid,
+                         const DataLayout &Out) const;
+
+private:
+  PhaseResult runWith(const ArchParams &Arch, TraceSource &Reads,
+                      TraceSource &Writes, EnergyBreakdown *Energy) const;
+
+  SystemConfig Config;
+  EnergyModel Energy;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CORE_LAYOUTEVALUATOR_H

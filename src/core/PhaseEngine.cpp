@@ -1,0 +1,202 @@
+//===- core/PhaseEngine.cpp - Drives one FFT phase through memory ---------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseEngine.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+using namespace fft3d;
+
+namespace {
+
+/// Issues one direction's ops with pacing and window control.
+class StreamDriver {
+public:
+  StreamDriver(Memory3D &Mem, EventQueue &Events, const StreamParams &Params,
+               std::uint64_t MaxBytes, std::uint64_t MaxOps, Picos Start)
+      : Mem(Mem), Events(Events), Params(Params), MaxBytes(MaxBytes),
+        MaxOps(MaxOps), Start(Start) {
+    if (!Params.Trace || Params.Window == 0)
+      Exhausted = true;
+  }
+
+  /// Issues every op that is currently allowed; arms a wakeup if pacing
+  /// blocks progress.
+  void pump() {
+    while (!Exhausted && InFlight < Params.Window) {
+      if (!Pending) {
+        if (BytesIssued >= MaxBytes || OpsIssued >= MaxOps) {
+          Exhausted = true;
+          Truncated = Params.Trace->next().has_value();
+          break;
+        }
+        Pending = Params.Trace->next();
+        if (!Pending) {
+          Exhausted = true;
+          break;
+        }
+      }
+      const Picos Allowed = allowedTime();
+      if (Events.now() < Allowed) {
+        armWakeup(Allowed);
+        return;
+      }
+      issuePending();
+    }
+  }
+
+  bool drained() const { return Exhausted && InFlight == 0; }
+  bool truncated() const { return Truncated; }
+  std::uint64_t bytesIssued() const { return BytesIssued; }
+  std::uint64_t opsIssued() const { return OpsIssued; }
+  Picos lastComplete() const { return LastComplete; }
+  Picos firstComplete() const { return FirstComplete; }
+
+  /// Steady-state rate over this direction's active window, GB/s.
+  double rateGBps() const {
+    if (BytesIssued == 0 || LastComplete <= FirstIssue)
+      return 0.0;
+    return bytesOverPicosToGBps(BytesIssued, LastComplete - FirstIssue);
+  }
+
+  /// Full-trace duration this rate implies.
+  Picos estimatedFullTime() const {
+    const double Rate = rateGBps();
+    if (Rate <= 0.0 || !Params.Trace)
+      return 0;
+    return static_cast<Picos>(
+        static_cast<double>(Params.Trace->totalBytes()) / Rate *
+        static_cast<double>(PicosPerNano));
+  }
+
+private:
+  /// Earliest time the pending op may issue under kernel pacing.
+  Picos allowedTime() const {
+    Picos T = Start + Params.StartLag;
+    if (Params.PaceGBps > 0.0)
+      T += static_cast<Picos>(static_cast<double>(BytesIssued) /
+                                  Params.PaceGBps *
+                                  static_cast<double>(PicosPerNano) +
+                              0.5);
+    return T;
+  }
+
+  void issuePending() {
+    if (OpsIssued == 0)
+      FirstIssue = Events.now();
+    MemRequest Req;
+    Req.IsWrite = Params.IsWrite;
+    Req.Addr = Pending->Addr;
+    Req.Bytes = Pending->Bytes;
+    Pending.reset();
+    ++InFlight;
+    ++OpsIssued;
+    BytesIssued += Req.Bytes;
+    Mem.submit(Req, [this](const MemRequest &, Picos Done) {
+      assert(InFlight != 0 && "completion without an in-flight request");
+      --InFlight;
+      LastComplete = std::max(LastComplete, Done);
+      if (FirstComplete == 0)
+        FirstComplete = Done;
+      pump();
+    });
+  }
+
+  void armWakeup(Picos When) {
+    if (WakeArmed)
+      return;
+    WakeArmed = true;
+    Events.scheduleAt(When, [this] {
+      WakeArmed = false;
+      pump();
+    });
+  }
+
+  Memory3D &Mem;
+  EventQueue &Events;
+  StreamParams Params;
+  std::uint64_t MaxBytes;
+  std::uint64_t MaxOps;
+  Picos Start;
+
+  std::optional<TraceOp> Pending;
+  Picos FirstIssue = 0;
+  unsigned InFlight = 0;
+  std::uint64_t BytesIssued = 0;
+  std::uint64_t OpsIssued = 0;
+  Picos LastComplete = 0;
+  Picos FirstComplete = 0;
+  bool Exhausted = false;
+  bool Truncated = false;
+  bool WakeArmed = false;
+};
+
+} // namespace
+
+PhaseEngine::PhaseEngine(Memory3D &Mem, EventQueue &Events,
+                         std::uint64_t MaxBytes, std::uint64_t MaxOps)
+    : Mem(Mem), Events(Events), MaxBytes(MaxBytes), MaxOps(MaxOps) {}
+
+PhaseResult PhaseEngine::run(StreamParams Reads, StreamParams Writes) {
+  assert(!Reads.IsWrite && "read stream marked as write");
+  Writes.IsWrite = true;
+  return runStreams({Reads, Writes});
+}
+
+PhaseResult PhaseEngine::runStreams(std::vector<StreamParams> Streams) {
+  Mem.stats().reset();
+  const Picos Start = Events.now();
+
+  std::vector<std::unique_ptr<StreamDriver>> Drivers;
+  Drivers.reserve(Streams.size());
+  for (const StreamParams &S : Streams)
+    Drivers.push_back(
+        std::make_unique<StreamDriver>(Mem, Events, S, MaxBytes, MaxOps,
+                                       Start));
+  for (auto &D : Drivers)
+    D->pump();
+  Events.run();
+
+  PhaseResult Result;
+  Picos End = Start;
+  for (std::size_t I = 0; I != Drivers.size(); ++I) {
+    StreamDriver &D = *Drivers[I];
+    if (!D.drained())
+      reportFatalError("phase simulation deadlocked: stream not drained");
+    End = std::max(End, D.lastComplete());
+    Result.Ops += D.opsIssued();
+    Result.Truncated = Result.Truncated || D.truncated();
+    Result.EstimatedPhaseTime =
+        std::max(Result.EstimatedPhaseTime, D.estimatedFullTime());
+    if (Streams[I].Trace)
+      Result.TotalPhaseBytes += Streams[I].Trace->totalBytes();
+    if (Streams[I].IsWrite) {
+      Result.BytesWritten += D.bytesIssued();
+      Result.WriteGBps += D.rateGBps();
+    } else {
+      Result.BytesRead += D.bytesIssued();
+      Result.ReadGBps += D.rateGBps();
+      const Picos First = D.firstComplete();
+      if (First > Start &&
+          (Result.FirstReadComplete == 0 ||
+           First - Start < Result.FirstReadComplete))
+        Result.FirstReadComplete = First - Start;
+    }
+  }
+  Result.Elapsed = End > Start ? End - Start : 0;
+  Result.ThroughputGBps = Result.ReadGBps + Result.WriteGBps;
+  Result.PeakUtilization = Result.ThroughputGBps / Mem.peakBandwidthGBps();
+  const VaultStats Total = Mem.stats().total();
+  Result.RowActivations = Total.RowActivations;
+  Result.RowHitRate = Total.hitRate();
+  Result.MeanReqLatencyNanos = Mem.stats().latencyNanos().mean();
+  Result.MaxReqLatencyNanos = Mem.stats().latencyNanos().max();
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- core/SystemConfig.cpp - Whole-system configuration -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SystemConfig.h"
+
+#include "fft/Complex.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+using namespace fft3d;
+
+SystemConfig SystemConfig::forProblemSize(std::uint64_t N) {
+  SystemConfig Config;
+  Config.N = N;
+
+  // The device of DESIGN.md §6: defaults of Geometry/Timing.
+  Config.Mem = MemoryConfig();
+
+  // Baseline (paper §4.2): single-element data path, strided blocking
+  // access, plain row-major intermediate.
+  Config.Baseline.Lanes = 1;
+  Config.Baseline.ReadWindow = 1;
+  Config.Baseline.WriteWindow = 1;
+  Config.Baseline.Intermediate = LayoutKind::RowMajor;
+  Config.Baseline.VaultsParallel = 1;
+
+  // Optimized (paper §4.3): 8-wide streaming kernel, deep request
+  // pipelining, block-dynamic intermediate over all vaults.
+  Config.Optimized.Lanes = 8;
+  Config.Optimized.ReadWindow = 64;
+  Config.Optimized.WriteWindow = 64;
+  Config.Optimized.Intermediate = LayoutKind::BlockDynamic;
+  Config.Optimized.VaultsParallel = Config.Mem.Geo.NumVaults;
+
+  return Config;
+}
+
+void SystemConfig::validate() const {
+  if (!isPowerOf2(N) || N < 4)
+    reportFatalError("problem size must be a power of two >= 4");
+  Mem.Geo.validate();
+  Mem.Time.validate();
+  // Three matrix regions live in memory at once (input, intermediate,
+  // output).
+  const std::uint64_t MatrixBytes = N * N * ElementBytes;
+  if (3 * MatrixBytes > Mem.Geo.capacityBytes())
+    reportFatalError("problem does not fit in the 3D memory (need room for "
+                     "input, intermediate and output regions)");
+  if (Baseline.Lanes == 0 || Optimized.Lanes == 0)
+    reportFatalError("kernel lanes must be non-zero");
+  if (Optimized.VaultsParallel == 0 ||
+      Optimized.VaultsParallel > Mem.Geo.NumVaults)
+    reportFatalError("vault parallelism out of range");
+}

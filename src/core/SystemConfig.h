@@ -1,0 +1,68 @@
+//===- core/SystemConfig.h - Whole-system configuration ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregates every knob of the modelled system - the 3D memory, the FFT
+/// kernel, the per-architecture stream parameters - with defaults
+/// calibrated per DESIGN.md §6 (16 vaults x 5 GB/s = 80 GB/s peak; the
+/// optimized kernel streams 8 elements per FPGA cycle; the baseline is
+/// the naive single-element, blocking-access design the paper compares
+/// against).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CORE_SYSTEMCONFIG_H
+#define FFT3D_CORE_SYSTEMCONFIG_H
+
+#include "layout/DataLayout.h"
+#include "mem3d/Memory3D.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Per-architecture stream/kernel parameters.
+struct ArchParams {
+  /// Elements ingested/emitted per FPGA cycle (Table 2 "data parallelism").
+  unsigned Lanes = 8;
+  /// Kernel clock in MHz; 0 selects StreamingKernel::achievableClockMHz().
+  double ClockMHz = 0.0;
+  /// Outstanding read/write requests the front end sustains. The baseline
+  /// is a blocking design (1); the optimized controller pipelines deeply.
+  unsigned ReadWindow = 64;
+  unsigned WriteWindow = 64;
+  /// Layout of the intermediate (between-phase) matrix.
+  LayoutKind Intermediate = LayoutKind::BlockDynamic;
+  /// Vaults the dynamic layout spreads over (n_v).
+  unsigned VaultsParallel = 16;
+  /// Phase-1 write combining: buffer h full rows on chip so blocks are
+  /// written whole (one activation per block) instead of in w-element
+  /// chunks. Costs h * N elements of on-chip SRAM; off by default.
+  bool WriteCombine = false;
+};
+
+/// Full system description for one experiment.
+struct SystemConfig {
+  /// Problem size: the matrix is N x N complex elements.
+  std::uint64_t N = 2048;
+  MemoryConfig Mem;
+  ArchParams Baseline;
+  ArchParams Optimized;
+  /// Simulation budget per stream direction; beyond it the phase engine
+  /// extrapolates from the measured steady-state rate.
+  std::uint64_t MaxSimBytesPerDirection = 32ull << 20;
+  std::uint64_t MaxSimOpsPerDirection = 200000;
+
+  /// Calibrated default system for an N x N problem.
+  static SystemConfig forProblemSize(std::uint64_t N);
+
+  /// Sanity-checks the combination (capacity, divisibility).
+  void validate() const;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CORE_SYSTEMCONFIG_H

@@ -1,0 +1,79 @@
+//===- fft/Bluestein.cpp - Arbitrary-length DFT (chirp-z) -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Bluestein.h"
+
+#include "fft/Fft1d.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+using namespace fft3d;
+
+BluesteinFft::BluesteinFft(std::uint64_t N) : N(N) {
+  if (N == 0)
+    reportFatalError("Bluestein transform needs N >= 1");
+  M = std::uint64_t(1) << log2Ceil(2 * N - 1);
+  if (M < 2)
+    M = 2;
+  ConvPlan = std::make_unique<Fft1d>(M);
+
+  // Chirp with the exponent reduced mod 2N to keep the angle accurate
+  // for large n (n^2 overflows double precision of the phase otherwise).
+  Chirp.resize(N);
+  for (std::uint64_t I = 0; I != N; ++I) {
+    const std::uint64_t Sq = (I * I) % (2 * N);
+    const double Angle =
+        -std::numbers::pi * static_cast<double>(Sq) / static_cast<double>(N);
+    Chirp[I] = CplxD(std::cos(Angle), std::sin(Angle));
+  }
+
+  // Convolution kernel b[n] = conj(c(|n|)) wrapped circularly into M.
+  KernelSpectrum.assign(M, CplxD(0, 0));
+  KernelSpectrum[0] = std::conj(Chirp[0]);
+  for (std::uint64_t I = 1; I != N; ++I) {
+    KernelSpectrum[I] = std::conj(Chirp[I]);
+    KernelSpectrum[M - I] = std::conj(Chirp[I]);
+  }
+  ConvPlan->forward(KernelSpectrum);
+}
+
+BluesteinFft::~BluesteinFft() = default;
+
+void BluesteinFft::transform(std::vector<CplxD> &Data, bool Inverse) const {
+  assert(Data.size() == N && "input length must match the plan");
+  // Inverse DFT via conjugation: IDFT(x) = conj(DFT(conj(x))) / N.
+  if (Inverse)
+    for (CplxD &V : Data)
+      V = std::conj(V);
+
+  std::vector<CplxD> A(M, CplxD(0, 0));
+  for (std::uint64_t I = 0; I != N; ++I)
+    A[I] = Data[I] * Chirp[I];
+  ConvPlan->forward(A);
+  for (std::uint64_t I = 0; I != M; ++I)
+    A[I] *= KernelSpectrum[I];
+  ConvPlan->inverse(A);
+  for (std::uint64_t K = 0; K != N; ++K)
+    Data[K] = Chirp[K] * A[K];
+
+  if (Inverse) {
+    const double Scale = 1.0 / static_cast<double>(N);
+    for (CplxD &V : Data)
+      V = std::conj(V) * Scale;
+  }
+}
+
+void BluesteinFft::forward(std::vector<CplxD> &Data) const {
+  transform(Data, /*Inverse=*/false);
+}
+
+void BluesteinFft::inverse(std::vector<CplxD> &Data) const {
+  transform(Data, /*Inverse=*/true);
+}

@@ -1,0 +1,66 @@
+//===- fft/Bluestein.h - Arbitrary-length DFT (chirp-z) ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bluestein's algorithm: an N-point DFT for *any* N, via a circular
+/// convolution of chirp-modulated sequences carried out with power-of-two
+/// FFTs. This is how non-power-of-two problem sizes (the subject of the
+/// paper's reference [15]) ride on the same radix-4 streaming hardware:
+/// the accelerator only ever executes power-of-two transforms plus
+/// pointwise chirp multiplies.
+///
+///   X[k] = c*(k) * IFFT( FFT(x.c) .* FFT(conj-chirp) )[k],
+///   c(n) = exp(-i*pi*n^2/N)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_BLUESTEIN_H
+#define FFT3D_FFT_BLUESTEIN_H
+
+#include "fft/Complex.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace fft3d {
+
+class Fft1d;
+
+/// Planned arbitrary-length transform (precomputes the chirp and the
+/// convolution kernel's spectrum).
+class BluesteinFft {
+public:
+  /// \p N >= 1, any value.
+  explicit BluesteinFft(std::uint64_t N);
+  ~BluesteinFft();
+
+  std::uint64_t size() const { return N; }
+
+  /// Power-of-two length of the internal convolution FFTs.
+  std::uint64_t convolutionSize() const { return M; }
+
+  /// Forward DFT, any length. \p Data.size() == N.
+  void forward(std::vector<CplxD> &Data) const;
+
+  /// Inverse DFT (scaled by 1/N).
+  void inverse(std::vector<CplxD> &Data) const;
+
+private:
+  void transform(std::vector<CplxD> &Data, bool Inverse) const;
+
+  std::uint64_t N;
+  std::uint64_t M;
+  /// Chirp c(n) = exp(-i*pi*n^2/N), n in [0, N).
+  std::vector<CplxD> Chirp;
+  /// FFT_M of the wrapped conjugate chirp (the convolution kernel).
+  std::vector<CplxD> KernelSpectrum;
+  std::unique_ptr<Fft1d> ConvPlan;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_BLUESTEIN_H

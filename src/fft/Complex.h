@@ -1,0 +1,47 @@
+//===- fft/Complex.h - Complex element types --------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Element types for the FFT library. The paper's data element is a
+/// single-precision complex number: real + imaginary part, 64 bits total
+/// ("each data element is a complex number ... hence the data width is 64
+/// bit"). Reference computations (twiddle generation, the O(N^2) DFT)
+/// run in double precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_COMPLEX_H
+#define FFT3D_FFT_COMPLEX_H
+
+#include <complex>
+#include <cstdint>
+
+namespace fft3d {
+
+/// The 64-bit storage element streamed through the FFT kernel and memory.
+using CplxF = std::complex<float>;
+
+/// Double-precision complex used for references and twiddle generation.
+using CplxD = std::complex<double>;
+
+/// Bytes per stored element (matches the paper's 64-bit data width).
+constexpr unsigned ElementBytes = sizeof(CplxF);
+static_assert(ElementBytes == 8, "paper's element is 64 bits");
+
+/// Widens a storage element for double-precision arithmetic.
+inline CplxD widen(CplxF Value) {
+  return CplxD(Value.real(), Value.imag());
+}
+
+/// Narrows a double-precision value to the storage element.
+inline CplxF narrow(CplxD Value) {
+  return CplxF(static_cast<float>(Value.real()),
+               static_cast<float>(Value.imag()));
+}
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_COMPLEX_H

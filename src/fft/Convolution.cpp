@@ -1,0 +1,55 @@
+//===- fft/Convolution.cpp - FFT-based convolution utilities --------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Convolution.h"
+
+#include "fft/Fft1d.h"
+#include "fft/Fft2d.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+std::vector<CplxD> fft3d::circularConvolve(const std::vector<CplxD> &A,
+                                           const std::vector<CplxD> &B) {
+  if (A.size() != B.size())
+    reportFatalError("convolution operands must have equal length");
+  const Fft1d Plan(A.size());
+  std::vector<CplxD> Fa = A, Fb = B;
+  Plan.forward(Fa);
+  Plan.forward(Fb);
+  for (std::size_t I = 0; I != Fa.size(); ++I)
+    Fa[I] *= Fb[I];
+  Plan.inverse(Fa);
+  return Fa;
+}
+
+Matrix fft3d::circularConvolve2d(const Matrix &Image, const Matrix &Kernel) {
+  if (Image.rows() != Kernel.rows() || Image.cols() != Kernel.cols())
+    reportFatalError("convolution operands must have equal shape");
+  const Fft2d Plan(Image.rows(), Image.cols());
+  Matrix FImg = Image, FKer = Kernel;
+  Plan.forward(FImg);
+  Plan.forward(FKer);
+  for (std::uint64_t R = 0; R != Image.rows(); ++R)
+    for (std::uint64_t C = 0; C != Image.cols(); ++C)
+      FImg.at(R, C) *= FKer.at(R, C);
+  Plan.inverse(FImg);
+  return FImg;
+}
+
+std::vector<CplxD>
+fft3d::circularConvolveDirect(const std::vector<CplxD> &A,
+                              const std::vector<CplxD> &B) {
+  assert(A.size() == B.size() && "length mismatch");
+  const std::size_t N = A.size();
+  std::vector<CplxD> Out(N, CplxD(0, 0));
+  for (std::size_t I = 0; I != N; ++I)
+    for (std::size_t K = 0; K != N; ++K)
+      Out[I] += A[K] * B[(I + N - K) % N];
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- fft/Convolution.h - FFT-based convolution utilities ------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Circular convolution via the convolution theorem - the operation the
+/// image-filtering workload of the paper's introduction reduces to. The
+/// 2D variant costs three transforms on the modelled accelerator (two
+/// forward, one inverse).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_CONVOLUTION_H
+#define FFT3D_FFT_CONVOLUTION_H
+
+#include "fft/Matrix.h"
+
+#include <vector>
+
+namespace fft3d {
+
+/// Circular 1D convolution: returns c with c[n] = sum_k a[k] * b[n - k mod N].
+/// Both inputs must have the same power-of-two length.
+std::vector<CplxD> circularConvolve(const std::vector<CplxD> &A,
+                                    const std::vector<CplxD> &B);
+
+/// Circular 2D convolution of two same-shape matrices (power-of-two
+/// dimensions) via pointwise spectral multiplication.
+Matrix circularConvolve2d(const Matrix &Image, const Matrix &Kernel);
+
+/// Direct O(N^2) 1D circular convolution (test oracle).
+std::vector<CplxD> circularConvolveDirect(const std::vector<CplxD> &A,
+                                          const std::vector<CplxD> &B);
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_CONVOLUTION_H

@@ -1,0 +1,62 @@
+//===- fft/DppUnit.cpp - Data path permutation unit -------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/DppUnit.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+DppUnit::DppUnit(std::uint64_t FftSize, unsigned Radix, unsigned StageIndex,
+                 unsigned Lanes)
+    : FftSize(FftSize), Radix(Radix), StageIndex(StageIndex), Lanes(Lanes) {
+  if (!isPowerOf(FftSize, Radix))
+    reportFatalError("DPP unit requires FFT size a power of the radix");
+  assert(StageIndex < digitCount(FftSize, Radix) &&
+         "stage index beyond the last butterfly stage");
+  assert(Lanes != 0 && "zero-lane stream");
+}
+
+std::uint64_t DppUnit::bufferWords() const {
+  // DIT stage s pairs operands M = R^s apart, so the delay lines in front
+  // of it hold (R-1) * M words. Summed over all stages that is N - 1,
+  // the classic single-path delay-feedback memory bound.
+  std::uint64_t M = 1;
+  for (unsigned I = 0; I != StageIndex; ++I)
+    M *= Radix;
+  return (Radix - 1) * M;
+}
+
+unsigned DppUnit::muxCount() const {
+  const unsigned Groups = Lanes >= Radix ? Lanes / Radix : 1;
+  return Groups * 2 * Radix;
+}
+
+std::uint64_t DppUnit::latencyCycles() const {
+  return ceilDiv(bufferWords(), Lanes);
+}
+
+Permutation DppUnit::framePermutation() const {
+  // Between stage s and s+1 the operand grouping widens from R^(s+1) to
+  // R^(s+2); the reordering is a stride-R permutation applied within each
+  // R^(s+2)-element section of the frame.
+  const std::uint64_t Section =
+      std::min<std::uint64_t>(FftSize, [&] {
+        std::uint64_t S = 1;
+        for (unsigned I = 0; I != StageIndex + 2; ++I)
+          S *= Radix;
+        return S;
+      }());
+  const Permutation Local = Permutation::stride(Section, Radix);
+  std::vector<std::uint64_t> Map(FftSize);
+  for (std::uint64_t Base = 0; Base < FftSize; Base += Section)
+    for (std::uint64_t I = 0; I != Section; ++I)
+      Map[Base + I] = Base + Local.sourceOf(I);
+  return Permutation(std::move(Map));
+}

@@ -1,0 +1,75 @@
+//===- fft/DppUnit.h - Data path permutation unit ---------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data path permutation (DPP) unit between butterfly stages of the
+/// streaming kernel (paper Fig. 2b): multiplexers plus data buffers that
+/// delay and reorder the stream so stage s+1 sees its operands in the
+/// right slots. "The size of each data buffer depends on the ordinal
+/// number of its present butterfly computation stage and the FFT problem
+/// size."
+///
+/// The resource model follows the radix-R delay-feedback realization of
+/// a decimation-in-time pipeline: the DPP in front of stage s (0-based
+/// from the input) holds (R-1) * R^s words in total; summed over all
+/// stages that is N - 1 words - the classic SDF memory bound. The
+/// functional model is
+/// the inter-stage stride permutation, checked in tests against the
+/// mathematical definition and against the full transform (composing all
+/// inter-stage permutations yields the digit reversal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_DPPUNIT_H
+#define FFT3D_FFT_DPPUNIT_H
+
+#include "fft/Complex.h"
+#include "permute/Permutation.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// The DPP unit between stage \p StageIndex and stage StageIndex+1 of an
+/// N-point radix-R streaming FFT.
+class DppUnit {
+public:
+  /// \p StageIndex in [0, numStages); \p Lanes is the stream width.
+  DppUnit(std::uint64_t FftSize, unsigned Radix, unsigned StageIndex,
+          unsigned Lanes);
+
+  std::uint64_t fftSize() const { return FftSize; }
+  unsigned radix() const { return Radix; }
+  unsigned stageIndex() const { return StageIndex; }
+  unsigned lanes() const { return Lanes; }
+
+  /// Total buffer words across the unit's data buffers.
+  std::uint64_t bufferWords() const;
+
+  /// Buffer bytes at the stored element width.
+  std::uint64_t bufferBytes() const { return bufferWords() * ElementBytes; }
+
+  /// Multiplexer count: per radix group, 2*R muxes of fan-in R (the paper
+  /// counts eight 4-to-1 muxes per radix-4 group).
+  unsigned muxCount() const;
+
+  /// Cycles a value spends in the unit at steady state.
+  std::uint64_t latencyCycles() const;
+
+  /// The inter-stage reordering as an explicit permutation of the whole
+  /// N-point frame: a stride-R^(StageIndex+1) permutation section.
+  Permutation framePermutation() const;
+
+private:
+  std::uint64_t FftSize;
+  unsigned Radix;
+  unsigned StageIndex;
+  unsigned Lanes;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_DPPUNIT_H

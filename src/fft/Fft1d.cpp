@@ -1,0 +1,114 @@
+//===- fft/Fft1d.cpp - 1D FFT engine ---------------------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Fft1d.h"
+
+#include "fft/RadixBlock.h"
+#include "support/MathUtils.h"
+
+#include <array>
+#include <cassert>
+
+using namespace fft3d;
+
+Fft1d::Fft1d(std::uint64_t N) : N(N), Rom(N) {
+  assert(isPowerOf2(N) && N >= 2 && "transform size must be a power of two");
+  const unsigned Log2N = log2Exact(N);
+  HasRadix2 = (Log2N % 2) != 0;
+  Radix4Stages = (Log2N - (HasRadix2 ? 1 : 0)) / 2;
+}
+
+void Fft1d::forward(std::vector<CplxF> &Data) const {
+  std::vector<CplxD> Wide(Data.size());
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Wide[I] = widen(Data[I]);
+  forward(Wide);
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Data[I] = narrow(Wide[I]);
+}
+
+void Fft1d::inverse(std::vector<CplxF> &Data) const {
+  std::vector<CplxD> Wide(Data.size());
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Wide[I] = widen(Data[I]);
+  inverse(Wide);
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Data[I] = narrow(Wide[I]);
+}
+
+void Fft1d::forward(std::vector<CplxD> &Data) const {
+  transform(Data, /*Inverse=*/false);
+}
+
+void Fft1d::inverse(std::vector<CplxD> &Data) const {
+  transform(Data, /*Inverse=*/true);
+  const double Scale = 1.0 / static_cast<double>(N);
+  for (CplxD &Value : Data)
+    Value *= Scale;
+}
+
+void Fft1d::transform(std::vector<CplxD> &Data, bool Inverse) const {
+  assert(Data.size() == N && "input length must match the plan");
+  if (!HasRadix2) {
+    radix4InPlace(Data.data(), N, Inverse);
+    return;
+  }
+
+  // Odd log2(N): one decimation-in-time radix-2 split; both halves are
+  // powers of four.
+  const std::uint64_t Half = N / 2;
+  std::vector<CplxD> Even(Half), Odd(Half);
+  for (std::uint64_t I = 0; I != Half; ++I) {
+    Even[I] = Data[2 * I];
+    Odd[I] = Data[2 * I + 1];
+  }
+  radix4InPlace(Even.data(), Half, Inverse);
+  radix4InPlace(Odd.data(), Half, Inverse);
+  for (std::uint64_t J = 0; J != Half; ++J) {
+    const CplxD W = Inverse ? Rom.conjRoot(J) : Rom.root(J);
+    CplxD A = Even[J];
+    CplxD B = Odd[J] * W;
+    radix2Butterfly(A, B);
+    Data[J] = A;
+    Data[J + Half] = B;
+  }
+}
+
+void Fft1d::radix4InPlace(CplxD *Data, std::uint64_t Len, bool Inverse) const {
+  assert(isPowerOf(Len, 4) && "radix-4 path requires a power of four");
+  const unsigned Digits = digitCount(Len, 4);
+
+  // Input reordering: base-4 digit reversal (the job the streaming DPP
+  // units perform between stages in hardware).
+  for (std::uint64_t I = 0; I != Len; ++I) {
+    const std::uint64_t J = digitReverse(I, 4, Digits);
+    if (J > I)
+      std::swap(Data[I], Data[J]);
+  }
+
+  // Twiddles for span L come from the shared ROM with stride Rom.size()/L.
+  const std::uint64_t RomN = Rom.size();
+  for (std::uint64_t M = 1, L = 4; M < Len; M = L, L *= 4) {
+    const std::uint64_t Stride = RomN / L;
+    for (std::uint64_t Base = 0; Base != Len; Base += L) {
+      for (std::uint64_t J = 0; J != M; ++J) {
+        std::array<CplxD, 4> V;
+        V[0] = Data[Base + J];
+        for (unsigned Q = 1; Q != 4; ++Q) {
+          const std::uint64_t Exp = Q * J * Stride;
+          const CplxD W = Inverse ? Rom.conjRoot(Exp) : Rom.root(Exp);
+          V[Q] = Data[Base + J + Q * M] * W;
+        }
+        if (Inverse)
+          radix4ButterflyInverse(V);
+        else
+          radix4Butterfly(V);
+        for (unsigned Q = 0; Q != 4; ++Q)
+          Data[Base + J + Q * M] = V[Q];
+      }
+    }
+  }
+}

@@ -1,0 +1,71 @@
+//===- fft/Fft1d.h - 1D FFT engine ------------------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The numeric 1D FFT underlying the kernel model: an iterative radix-4
+/// decimation-in-time transform (the algorithm the paper's radix-4
+/// hardware realizes), extended to all powers of two with a single
+/// radix-2 split when log2(N) is odd. Storage elements are 64-bit
+/// complex (CplxF); arithmetic runs in double precision internally, as
+/// the reference against which the fixed hardware would be validated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_FFT1D_H
+#define FFT3D_FFT_FFT1D_H
+
+#include "fft/Complex.h"
+#include "fft/Twiddle.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Planned N-point transform with precomputed twiddle ROM.
+class Fft1d {
+public:
+  /// \p N must be a power of two >= 2.
+  explicit Fft1d(std::uint64_t N);
+
+  std::uint64_t size() const { return N; }
+
+  /// Number of radix-4 butterfly stages (per half when a radix-2 split is
+  /// needed).
+  unsigned numRadix4Stages() const { return Radix4Stages; }
+
+  /// True when log2(N) is odd and the transform adds one radix-2 stage.
+  bool hasRadix2Stage() const { return HasRadix2; }
+
+  /// Forward transform, storage precision. \p Data.size() == N.
+  void forward(std::vector<CplxF> &Data) const;
+
+  /// Inverse transform (scaled by 1/N), storage precision.
+  void inverse(std::vector<CplxF> &Data) const;
+
+  /// Forward transform in double precision (reference-quality path).
+  void forward(std::vector<CplxD> &Data) const;
+
+  /// Inverse transform in double precision (scaled by 1/N).
+  void inverse(std::vector<CplxD> &Data) const;
+
+  const TwiddleRom &rom() const { return Rom; }
+
+private:
+  void transform(std::vector<CplxD> &Data, bool Inverse) const;
+
+  /// Iterative radix-4 DIT over Data[0..Len), Len a power of 4.
+  void radix4InPlace(CplxD *Data, std::uint64_t Len, bool Inverse) const;
+
+  std::uint64_t N;
+  unsigned Radix4Stages;
+  bool HasRadix2;
+  TwiddleRom Rom;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_FFT1D_H

@@ -1,0 +1,50 @@
+//===- fft/Fft2d.cpp - Row-column 2D FFT ------------------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Fft2d.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+Fft2d::Fft2d(std::uint64_t Rows, std::uint64_t Cols)
+    : NumRows(Rows), NumCols(Cols), RowPlan(Cols), ColPlan(Rows) {}
+
+void Fft2d::forward(Matrix &M) const {
+  rowPhase(M, /*Inverse=*/false);
+  colPhase(M, /*Inverse=*/false);
+}
+
+void Fft2d::inverse(Matrix &M) const {
+  rowPhase(M, /*Inverse=*/true);
+  colPhase(M, /*Inverse=*/true);
+}
+
+void Fft2d::rowPhase(Matrix &M, bool Inverse) const {
+  assert(M.rows() == NumRows && M.cols() == NumCols && "shape mismatch");
+  std::vector<CplxF> Line;
+  for (std::uint64_t R = 0; R != NumRows; ++R) {
+    M.copyRow(R, Line);
+    if (Inverse)
+      RowPlan.inverse(Line);
+    else
+      RowPlan.forward(Line);
+    M.setRow(R, Line);
+  }
+}
+
+void Fft2d::colPhase(Matrix &M, bool Inverse) const {
+  assert(M.rows() == NumRows && M.cols() == NumCols && "shape mismatch");
+  std::vector<CplxF> Line;
+  for (std::uint64_t C = 0; C != NumCols; ++C) {
+    M.copyCol(C, Line);
+    if (Inverse)
+      ColPlan.inverse(Line);
+    else
+      ColPlan.forward(Line);
+    M.setCol(C, Line);
+  }
+}

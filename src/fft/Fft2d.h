@@ -1,0 +1,53 @@
+//===- fft/Fft2d.h - Row-column 2D FFT --------------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The row-column 2D FFT algorithm (paper §2: "the well-known simplest
+/// multidimensional FFT algorithm"): a 1D FFT over every row (phase 1)
+/// followed by a 1D FFT over every column (phase 2). This is the numeric
+/// half of the application; the performance half (how each phase streams
+/// through the 3D memory) lives in src/core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_FFT2D_H
+#define FFT3D_FFT_FFT2D_H
+
+#include "fft/Fft1d.h"
+#include "fft/Matrix.h"
+
+namespace fft3d {
+
+/// Planned 2D transform over Rows x Cols matrices.
+class Fft2d {
+public:
+  Fft2d(std::uint64_t Rows, std::uint64_t Cols);
+
+  std::uint64_t rows() const { return NumRows; }
+  std::uint64_t cols() const { return NumCols; }
+
+  /// Forward row-column transform, in place.
+  void forward(Matrix &M) const;
+
+  /// Inverse transform (scaled by 1/(Rows*Cols)), in place.
+  void inverse(Matrix &M) const;
+
+  /// Runs only phase 1 (row-wise FFTs) - used by the phase engine.
+  void rowPhase(Matrix &M, bool Inverse = false) const;
+
+  /// Runs only phase 2 (column-wise FFTs).
+  void colPhase(Matrix &M, bool Inverse = false) const;
+
+private:
+  std::uint64_t NumRows;
+  std::uint64_t NumCols;
+  Fft1d RowPlan; ///< Cols-point transform applied to each row.
+  Fft1d ColPlan; ///< Rows-point transform applied to each column.
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_FFT2D_H

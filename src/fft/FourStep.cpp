@@ -1,0 +1,87 @@
+//===- fft/FourStep.cpp - Four-step (Bailey) FFT ---------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/FourStep.h"
+
+#include "fft/Fft1d.h"
+#include "fft/Twiddle.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+void fft3d::fftFourStep(std::vector<CplxD> &Data, std::uint64_t N1,
+                        std::uint64_t N2, bool Inverse) {
+  const std::uint64_t N = N1 * N2;
+  if (Data.size() != N)
+    reportFatalError("four-step input length must equal N1 * N2");
+  if (!isPowerOf2(N1) || !isPowerOf2(N2) || N1 < 2 || N2 < 2)
+    reportFatalError("four-step factors must be powers of two >= 2");
+
+  // View the input as an N1 x N2 matrix A[i1][i2] = x[i1 * N2 + i2].
+  // Decimation: x[n], n = i1 * N2 + i2; X[k], k = k2 * N1 + k1.
+  const Fft1d ColPlan(N1);
+  const Fft1d RowPlan(N2);
+  const TwiddleRom Rom(N);
+
+  // Step 1: N1-point FFTs down the columns (stride N2 in this view; an
+  // implementation on the modelled hardware would lay the matrix out so
+  // this streams - the whole point of the algorithm).
+  std::vector<CplxD> Column(N1);
+  for (std::uint64_t I2 = 0; I2 != N2; ++I2) {
+    for (std::uint64_t I1 = 0; I1 != N1; ++I1)
+      Column[I1] = Data[I1 * N2 + I2];
+    if (Inverse)
+      ColPlan.inverse(Column);
+    else
+      ColPlan.forward(Column);
+    for (std::uint64_t K1 = 0; K1 != N1; ++K1)
+      Data[K1 * N2 + I2] = Column[K1];
+  }
+
+  // Step 2: twiddle multiply by W_N^(k1 * i2).
+  for (std::uint64_t K1 = 0; K1 != N1; ++K1)
+    for (std::uint64_t I2 = 0; I2 != N2; ++I2) {
+      const CplxD W = Inverse ? Rom.conjRoot(K1 * I2) : Rom.root(K1 * I2);
+      Data[K1 * N2 + I2] *= W;
+    }
+
+  // Step 3: N2-point FFTs along the rows (unit stride).
+  std::vector<CplxD> Row(N2);
+  for (std::uint64_t K1 = 0; K1 != N1; ++K1) {
+    for (std::uint64_t I2 = 0; I2 != N2; ++I2)
+      Row[I2] = Data[K1 * N2 + I2];
+    if (Inverse)
+      RowPlan.inverse(Row);
+    else
+      RowPlan.forward(Row);
+    for (std::uint64_t K2 = 0; K2 != N2; ++K2)
+      Data[K1 * N2 + K2] = Row[K2];
+  }
+
+  // Step 4: transpose into frequency order X[k2 * N1 + k1].
+  std::vector<CplxD> Out(N);
+  for (std::uint64_t K1 = 0; K1 != N1; ++K1)
+    for (std::uint64_t K2 = 0; K2 != N2; ++K2)
+      Out[K2 * N1 + K1] = Data[K1 * N2 + K2];
+
+  if (Inverse) {
+    // Fft1d::inverse scaled each sub-transform by 1/N1 and 1/N2, which
+    // multiplies to the required 1/N. Nothing further to do.
+  }
+  Data = std::move(Out);
+}
+
+void fft3d::fftFourStep(std::vector<CplxD> &Data, bool Inverse) {
+  const std::uint64_t N = Data.size();
+  if (!isPowerOf2(N) || N < 4)
+    reportFatalError("four-step needs a power-of-two length >= 4");
+  const unsigned Log = log2Exact(N);
+  const std::uint64_t N1 = 1ull << (Log / 2);
+  fftFourStep(Data, N1, N / N1, Inverse);
+}

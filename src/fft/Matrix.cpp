@@ -1,0 +1,76 @@
+//===- fft/Matrix.cpp - Complex matrix container ---------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace fft3d;
+
+Matrix::Matrix(std::uint64_t Rows, std::uint64_t Cols)
+    : NumRows(Rows), NumCols(Cols), Data(Rows * Cols) {
+  assert(Rows != 0 && Cols != 0 && "degenerate matrix");
+}
+
+CplxF &Matrix::at(std::uint64_t Row, std::uint64_t Col) {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return Data[Row * NumCols + Col];
+}
+
+CplxF Matrix::at(std::uint64_t Row, std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return Data[Row * NumCols + Col];
+}
+
+void Matrix::copyRow(std::uint64_t Row, std::vector<CplxF> &Out) const {
+  assert(Row < NumRows && "row out of range");
+  Out.assign(Data.begin() + static_cast<std::ptrdiff_t>(Row * NumCols),
+             Data.begin() + static_cast<std::ptrdiff_t>((Row + 1) * NumCols));
+}
+
+void Matrix::copyCol(std::uint64_t Col, std::vector<CplxF> &Out) const {
+  assert(Col < NumCols && "column out of range");
+  Out.resize(NumRows);
+  for (std::uint64_t R = 0; R != NumRows; ++R)
+    Out[R] = Data[R * NumCols + Col];
+}
+
+void Matrix::setRow(std::uint64_t Row, const std::vector<CplxF> &In) {
+  assert(Row < NumRows && In.size() == NumCols && "row shape mismatch");
+  std::copy(In.begin(), In.end(),
+            Data.begin() + static_cast<std::ptrdiff_t>(Row * NumCols));
+}
+
+void Matrix::setCol(std::uint64_t Col, const std::vector<CplxF> &In) {
+  assert(Col < NumCols && In.size() == NumRows && "column shape mismatch");
+  for (std::uint64_t R = 0; R != NumRows; ++R)
+    Data[R * NumCols + Col] = In[R];
+}
+
+void Matrix::transposeSquare() {
+  assert(NumRows == NumCols && "in-place transpose requires a square matrix");
+  for (std::uint64_t R = 0; R != NumRows; ++R)
+    for (std::uint64_t C = R + 1; C != NumCols; ++C)
+      std::swap(Data[R * NumCols + C], Data[C * NumCols + R]);
+}
+
+std::vector<CplxD> Matrix::widened() const {
+  std::vector<CplxD> Wide(Data.size());
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Wide[I] = widen(Data[I]);
+  return Wide;
+}
+
+double Matrix::maxAbsDiff(const Matrix &Other) const {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "shape mismatch");
+  double Max = 0.0;
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Max = std::max(Max, static_cast<double>(std::abs(Data[I] - Other.Data[I])));
+  return Max;
+}

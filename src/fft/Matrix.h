@@ -1,0 +1,69 @@
+//===- fft/Matrix.h - Complex matrix container ------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The working N x N (or R x C) complex matrix the 2D FFT operates on.
+/// Storage is row-major in host memory; where each element lives in the
+/// simulated 3D memory is the DataLayout's business, not the matrix's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_MATRIX_H
+#define FFT3D_FFT_MATRIX_H
+
+#include "fft/Complex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Dense row-major complex matrix.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(std::uint64_t Rows, std::uint64_t Cols);
+
+  std::uint64_t rows() const { return NumRows; }
+  std::uint64_t cols() const { return NumCols; }
+  std::uint64_t elements() const { return NumRows * NumCols; }
+
+  CplxF &at(std::uint64_t Row, std::uint64_t Col);
+  CplxF at(std::uint64_t Row, std::uint64_t Col) const;
+
+  std::vector<CplxF> &storage() { return Data; }
+  const std::vector<CplxF> &storage() const { return Data; }
+
+  /// Copies row \p Row into \p Out (resized to cols()).
+  void copyRow(std::uint64_t Row, std::vector<CplxF> &Out) const;
+
+  /// Copies column \p Col into \p Out (resized to rows()).
+  void copyCol(std::uint64_t Col, std::vector<CplxF> &Out) const;
+
+  /// Writes \p In (length cols()) into row \p Row.
+  void setRow(std::uint64_t Row, const std::vector<CplxF> &In);
+
+  /// Writes \p In (length rows()) into column \p Col.
+  void setCol(std::uint64_t Col, const std::vector<CplxF> &In);
+
+  /// In-place transpose (square matrices only).
+  void transposeSquare();
+
+  /// Widens to double precision, row-major.
+  std::vector<CplxD> widened() const;
+
+  /// Maximum absolute difference to another same-shape matrix.
+  double maxAbsDiff(const Matrix &Other) const;
+
+private:
+  std::uint64_t NumRows = 0;
+  std::uint64_t NumCols = 0;
+  std::vector<CplxF> Data;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_MATRIX_H

@@ -1,0 +1,62 @@
+//===- fft/RadixBlock.cpp - Butterfly computation blocks ------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/RadixBlock.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+void fft3d::radix2Butterfly(CplxD &A, CplxD &B) {
+  const CplxD Sum = A + B;
+  const CplxD Diff = A - B;
+  A = Sum;
+  B = Diff;
+}
+
+/// Multiplication by -j is a component swap + negation (no multiplier).
+static CplxD mulMinusJ(CplxD V) { return CplxD(V.imag(), -V.real()); }
+static CplxD mulPlusJ(CplxD V) { return CplxD(-V.imag(), V.real()); }
+
+void fft3d::radix4Butterfly(std::array<CplxD, 4> &X) {
+  const CplxD T0 = X[0] + X[2];
+  const CplxD T1 = X[0] - X[2];
+  const CplxD T2 = X[1] + X[3];
+  const CplxD T3 = mulMinusJ(X[1] - X[3]);
+  X[0] = T0 + T2;
+  X[1] = T1 + T3;
+  X[2] = T0 - T2;
+  X[3] = T1 - T3;
+}
+
+void fft3d::radix4ButterflyInverse(std::array<CplxD, 4> &X) {
+  const CplxD T0 = X[0] + X[2];
+  const CplxD T1 = X[0] - X[2];
+  const CplxD T2 = X[1] + X[3];
+  const CplxD T3 = mulPlusJ(X[1] - X[3]);
+  X[0] = T0 + T2;
+  X[1] = T1 + T3;
+  X[2] = T0 - T2;
+  X[3] = T1 - T3;
+}
+
+RadixBlockCost fft3d::radixBlockCost(unsigned Radix) {
+  RadixBlockCost Cost;
+  Cost.Radix = Radix;
+  switch (Radix) {
+  case 2:
+    Cost.ComplexAdders = 1;
+    Cost.ComplexSubtractors = 1;
+    return Cost;
+  case 4:
+    // Two stages of 2 adds + 2 subs each (T0..T3 then the outputs).
+    Cost.ComplexAdders = 4;
+    Cost.ComplexSubtractors = 4;
+    return Cost;
+  default:
+    fft3d_unreachable("only radix 2 and 4 blocks are modelled");
+  }
+}

@@ -1,0 +1,55 @@
+//===- fft/RadixBlock.h - Butterfly computation blocks ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The radix blocks of the paper's 1D FFT kernel (Fig. 2a): radix-2 and
+/// radix-4 butterflies built from complex adders/subtractors only (the
+/// radix-4 block's multiplications by -j are wiring swaps, not
+/// multipliers). The functions compute the decimation-in-time butterfly
+/// on already-twiddled inputs; resource accessors report the adder/
+/// subtractor cost the paper's architecture pays per block instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_RADIXBLOCK_H
+#define FFT3D_FFT_RADIXBLOCK_H
+
+#include "fft/Complex.h"
+
+#include <array>
+
+namespace fft3d {
+
+/// Radix-2 DIT butterfly: (a, b) -> (a + b, a - b). Inputs are
+/// pre-twiddled.
+void radix2Butterfly(CplxD &A, CplxD &B);
+
+/// Radix-4 DIT butterfly on pre-twiddled inputs (forward transform,
+/// i.e. the internal 4-point DFT uses omega = -i). In-place over \p X.
+void radix4Butterfly(std::array<CplxD, 4> &X);
+
+/// Radix-4 DIT butterfly for the inverse transform (omega = +i).
+void radix4ButterflyInverse(std::array<CplxD, 4> &X);
+
+/// Resource model of one radix block instance (per paper Fig. 2a: "each
+/// radix block is composed of complex adders and subtractors").
+struct RadixBlockCost {
+  unsigned Radix = 4;
+  unsigned ComplexAdders = 0;
+  unsigned ComplexSubtractors = 0;
+
+  /// A complex adder/subtractor is two real ones.
+  unsigned realAddSub() const {
+    return 2 * (ComplexAdders + ComplexSubtractors);
+  }
+};
+
+/// Cost of a radix-\p Radix block (Radix must be 2 or 4).
+RadixBlockCost radixBlockCost(unsigned Radix);
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_RADIXBLOCK_H

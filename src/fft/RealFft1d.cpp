@@ -1,0 +1,75 @@
+//===- fft/RealFft1d.cpp - Real-input FFT (r2c / c2r) ----------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/RealFft1d.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+/// Validates the size before the half-size engine is constructed.
+static std::uint64_t checkedHalfSize(std::uint64_t N) {
+  if (!isPowerOf2(N) || N < 4)
+    reportFatalError("real FFT requires a power-of-two size >= 4");
+  return N / 2;
+}
+
+RealFft1d::RealFft1d(std::uint64_t N)
+    : N(N), Half(checkedHalfSize(N)), Rom(N) {}
+
+std::vector<CplxD> RealFft1d::forward(const std::vector<double> &Input) const {
+  assert(Input.size() == N && "input length must match the plan");
+  const std::uint64_t M = N / 2;
+
+  // Pack: z[k] = x[2k] + i*x[2k+1].
+  std::vector<CplxD> Z(M);
+  for (std::uint64_t K = 0; K != M; ++K)
+    Z[K] = CplxD(Input[2 * K], Input[2 * K + 1]);
+  Half.forward(Z);
+
+  // Unpack: with A = FFT(even), B = FFT(odd),
+  //   A[k] = (Z[k] + conj(Z[M-k])) / 2
+  //   B[k] = -i * (Z[k] - conj(Z[M-k])) / 2
+  //   X[k] = A[k] + W_N^k * B[k],  k = 0..M (Z indices mod M).
+  std::vector<CplxD> Spectrum(M + 1);
+  for (std::uint64_t K = 0; K <= M; ++K) {
+    const CplxD Zk = Z[K % M];
+    const CplxD Zc = std::conj(Z[(M - K) % M]);
+    const CplxD A = (Zk + Zc) * 0.5;
+    const CplxD B = (Zk - Zc) * CplxD(0.0, -0.5);
+    Spectrum[K] = A + Rom.root(K) * B;
+  }
+  return Spectrum;
+}
+
+std::vector<double>
+RealFft1d::inverse(const std::vector<CplxD> &Spectrum) const {
+  assert(Spectrum.size() == bins() && "spectrum must have N/2+1 bins");
+  const std::uint64_t M = N / 2;
+
+  // Re-pack: A[k] = (X[k] + conj(X[M-k])) / 2,
+  //          B[k] = W_N^{-k} * (X[k] - conj(X[M-k])) / 2,
+  //          Z[k] = A[k] + i * B[k].
+  std::vector<CplxD> Z(M);
+  for (std::uint64_t K = 0; K != M; ++K) {
+    const CplxD Xk = Spectrum[K];
+    const CplxD Xc = std::conj(Spectrum[M - K]);
+    const CplxD A = (Xk + Xc) * 0.5;
+    const CplxD B = Rom.conjRoot(K) * (Xk - Xc) * 0.5;
+    Z[K] = A + CplxD(0.0, 1.0) * B;
+  }
+  Half.inverse(Z);
+
+  std::vector<double> Output(N);
+  for (std::uint64_t K = 0; K != M; ++K) {
+    Output[2 * K] = Z[K].real();
+    Output[2 * K + 1] = Z[K].imag();
+  }
+  return Output;
+}

@@ -1,0 +1,57 @@
+//===- fft/RealFft1d.h - Real-input FFT (r2c / c2r) -------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Real-input transforms via the classic packing trick: the N real
+/// samples are folded into an N/2-point complex FFT and unpacked with
+/// one twiddle pass, halving both the kernel size and the memory
+/// traffic. Both workloads the paper's introduction motivates (images,
+/// radar pulses) are real-valued at the sensor, so a production FFT
+/// library needs this path; on the modelled hardware it means the same
+/// streaming kernel serves 2x the sample rate.
+///
+/// The forward transform returns the N/2 + 1 non-redundant bins of the
+/// Hermitian spectrum; the inverse reconstructs the real signal from
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_REALFFT1D_H
+#define FFT3D_FFT_REALFFT1D_H
+
+#include "fft/Fft1d.h"
+
+#include <vector>
+
+namespace fft3d {
+
+/// Planned N-point real transform (N a power of two >= 4).
+class RealFft1d {
+public:
+  explicit RealFft1d(std::uint64_t N);
+
+  std::uint64_t size() const { return N; }
+
+  /// Number of spectrum bins returned by forward(): N/2 + 1.
+  std::uint64_t bins() const { return N / 2 + 1; }
+
+  /// r2c: \p Input.size() == N; returns bins() spectrum values
+  /// X[0..N/2] (X[0] and X[N/2] are purely real for real input).
+  std::vector<CplxD> forward(const std::vector<double> &Input) const;
+
+  /// c2r: \p Spectrum.size() == bins(); returns the N real samples,
+  /// scaled so that inverse(forward(x)) == x.
+  std::vector<double> inverse(const std::vector<CplxD> &Spectrum) const;
+
+private:
+  std::uint64_t N;
+  Fft1d Half; ///< The N/2-point complex engine.
+  TwiddleRom Rom; ///< N-th roots for the unpack/pack twiddle pass.
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_REALFFT1D_H

@@ -1,0 +1,79 @@
+//===- fft/RealFft2d.cpp - 2D real-input FFT --------------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/RealFft2d.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+RealFft2d::RealFft2d(std::uint64_t Rows, std::uint64_t Cols)
+    : NumRows(Rows), NumCols(Cols), RowPlan(Cols), ColPlan(Rows) {
+  if (!isPowerOf2(Rows) || Rows < 2)
+    reportFatalError("real 2D FFT requires power-of-two row count >= 2");
+}
+
+HalfSpectrum RealFft2d::forward(const std::vector<double> &Field) const {
+  assert(Field.size() == NumRows * NumCols && "field shape mismatch");
+  HalfSpectrum Spectrum;
+  Spectrum.Rows = NumRows;
+  Spectrum.Bins = bins();
+  Spectrum.Data.resize(NumRows * Spectrum.Bins);
+
+  // Phase 1: r2c along each row.
+  std::vector<double> Row(NumCols);
+  for (std::uint64_t R = 0; R != NumRows; ++R) {
+    std::copy(Field.begin() + static_cast<std::ptrdiff_t>(R * NumCols),
+              Field.begin() + static_cast<std::ptrdiff_t>((R + 1) * NumCols),
+              Row.begin());
+    const std::vector<CplxD> Bins = RowPlan.forward(Row);
+    std::copy(Bins.begin(), Bins.end(),
+              Spectrum.Data.begin() +
+                  static_cast<std::ptrdiff_t>(R * Spectrum.Bins));
+  }
+
+  // Phase 2: complex transform down each of the Cols/2 + 1 bin columns.
+  std::vector<CplxD> Column(NumRows);
+  for (std::uint64_t B = 0; B != Spectrum.Bins; ++B) {
+    for (std::uint64_t R = 0; R != NumRows; ++R)
+      Column[R] = Spectrum.at(R, B);
+    ColPlan.forward(Column);
+    for (std::uint64_t R = 0; R != NumRows; ++R)
+      Spectrum.at(R, B) = Column[R];
+  }
+  return Spectrum;
+}
+
+std::vector<double> RealFft2d::inverse(const HalfSpectrum &Spectrum) const {
+  assert(Spectrum.Rows == NumRows && Spectrum.Bins == bins() &&
+         "spectrum shape mismatch");
+  HalfSpectrum Mid = Spectrum;
+
+  // Undo phase 2.
+  std::vector<CplxD> Column(NumRows);
+  for (std::uint64_t B = 0; B != Mid.Bins; ++B) {
+    for (std::uint64_t R = 0; R != NumRows; ++R)
+      Column[R] = Mid.at(R, B);
+    ColPlan.inverse(Column);
+    for (std::uint64_t R = 0; R != NumRows; ++R)
+      Mid.at(R, B) = Column[R];
+  }
+
+  // Undo phase 1 row by row.
+  std::vector<double> Field(NumRows * NumCols);
+  std::vector<CplxD> Bins(bins());
+  for (std::uint64_t R = 0; R != NumRows; ++R) {
+    for (std::uint64_t B = 0; B != bins(); ++B)
+      Bins[B] = Mid.at(R, B);
+    const std::vector<double> Row = RowPlan.inverse(Bins);
+    std::copy(Row.begin(), Row.end(),
+              Field.begin() + static_cast<std::ptrdiff_t>(R * NumCols));
+  }
+  return Field;
+}

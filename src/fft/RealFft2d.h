@@ -1,0 +1,67 @@
+//===- fft/RealFft2d.h - 2D real-input FFT ----------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 2D transform of a real-valued Rows x Cols field: r2c row transforms
+/// (keeping the Cols/2 + 1 non-redundant bins) followed by complex
+/// column transforms. Images and radar dwell data are real at the
+/// sensor, so this halves phase-1 arithmetic and - on the modelled
+/// accelerator - phase-2 memory traffic, since only half the spectrum
+/// columns exist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_REALFFT2D_H
+#define FFT3D_FFT_REALFFT2D_H
+
+#include "fft/Fft1d.h"
+#include "fft/RealFft1d.h"
+
+#include <vector>
+
+namespace fft3d {
+
+/// Half-spectrum result of a 2D real transform: Rows x (Cols/2 + 1)
+/// complex bins, row-major.
+struct HalfSpectrum {
+  std::uint64_t Rows = 0;
+  std::uint64_t Bins = 0;
+  std::vector<CplxD> Data;
+
+  CplxD &at(std::uint64_t Row, std::uint64_t Bin) {
+    return Data[Row * Bins + Bin];
+  }
+  CplxD at(std::uint64_t Row, std::uint64_t Bin) const {
+    return Data[Row * Bins + Bin];
+  }
+};
+
+/// Planned Rows x Cols real 2D transform.
+class RealFft2d {
+public:
+  /// Both dimensions powers of two; Cols >= 4.
+  RealFft2d(std::uint64_t Rows, std::uint64_t Cols);
+
+  std::uint64_t rows() const { return NumRows; }
+  std::uint64_t cols() const { return NumCols; }
+  std::uint64_t bins() const { return NumCols / 2 + 1; }
+
+  /// r2c: \p Field is Rows x Cols row-major; returns the half spectrum.
+  HalfSpectrum forward(const std::vector<double> &Field) const;
+
+  /// c2r: inverse of forward() (full round trip restores the field).
+  std::vector<double> inverse(const HalfSpectrum &Spectrum) const;
+
+private:
+  std::uint64_t NumRows;
+  std::uint64_t NumCols;
+  RealFft1d RowPlan;
+  Fft1d ColPlan;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_REALFFT2D_H

@@ -1,0 +1,68 @@
+//===- fft/ReferenceDft.cpp - O(N^2) reference transforms -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/ReferenceDft.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+using namespace fft3d;
+
+std::vector<CplxD> fft3d::referenceDft(const std::vector<CplxD> &Input,
+                                       bool Inverse) {
+  const std::size_t N = Input.size();
+  assert(N != 0 && "empty input");
+  const double Sign = Inverse ? 1.0 : -1.0;
+  std::vector<CplxD> Output(N);
+  for (std::size_t K = 0; K != N; ++K) {
+    CplxD Sum = 0.0;
+    for (std::size_t J = 0; J != N; ++J) {
+      const double Angle = Sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(K * J % N) /
+                           static_cast<double>(N);
+      Sum += Input[J] * CplxD(std::cos(Angle), std::sin(Angle));
+    }
+    Output[K] = Inverse ? Sum / static_cast<double>(N) : Sum;
+  }
+  return Output;
+}
+
+std::vector<CplxD> fft3d::referenceDft2d(const std::vector<CplxD> &Input,
+                                         std::uint64_t Rows,
+                                         std::uint64_t Cols, bool Inverse) {
+  assert(Input.size() == Rows * Cols && "matrix shape mismatch");
+  const double Sign = Inverse ? 1.0 : -1.0;
+  std::vector<CplxD> Output(Input.size());
+  for (std::uint64_t KR = 0; KR != Rows; ++KR) {
+    for (std::uint64_t KC = 0; KC != Cols; ++KC) {
+      CplxD Sum = 0.0;
+      for (std::uint64_t R = 0; R != Rows; ++R) {
+        for (std::uint64_t C = 0; C != Cols; ++C) {
+          const double Angle =
+              Sign * 2.0 * std::numbers::pi *
+              (static_cast<double>(KR * R) / static_cast<double>(Rows) +
+               static_cast<double>(KC * C) / static_cast<double>(Cols));
+          Sum += Input[R * Cols + C] * CplxD(std::cos(Angle), std::sin(Angle));
+        }
+      }
+      if (Inverse)
+        Sum /= static_cast<double>(Rows * Cols);
+      Output[KR * Cols + KC] = Sum;
+    }
+  }
+  return Output;
+}
+
+double fft3d::maxAbsDiff(const std::vector<CplxD> &A,
+                         const std::vector<CplxD> &B) {
+  assert(A.size() == B.size() && "length mismatch");
+  double Max = 0.0;
+  for (std::size_t I = 0; I != A.size(); ++I)
+    Max = std::max(Max, std::abs(A[I] - B[I]));
+  return Max;
+}

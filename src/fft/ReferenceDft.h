@@ -1,0 +1,38 @@
+//===- fft/ReferenceDft.h - O(N^2) reference transforms ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct-summation DFTs used as the oracle for every FFT test. Slow by
+/// design; never used outside tests and examples' verification paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_REFERENCEDFT_H
+#define FFT3D_FFT_REFERENCEDFT_H
+
+#include "fft/Complex.h"
+
+#include <vector>
+
+namespace fft3d {
+
+/// Direct N^2 DFT. \p Inverse applies conjugated kernels and the 1/N
+/// scale (matching Fft1d::inverse).
+std::vector<CplxD> referenceDft(const std::vector<CplxD> &Input,
+                                bool Inverse = false);
+
+/// Direct 2D DFT of a RowsxCols matrix stored row-major. O((R*C)^2);
+/// keep the inputs tiny.
+std::vector<CplxD> referenceDft2d(const std::vector<CplxD> &Input,
+                                  std::uint64_t Rows, std::uint64_t Cols,
+                                  bool Inverse = false);
+
+/// Maximum absolute element difference between two equal-length vectors.
+double maxAbsDiff(const std::vector<CplxD> &A, const std::vector<CplxD> &B);
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_REFERENCEDFT_H

@@ -1,0 +1,131 @@
+//===- fft/StreamingKernel.cpp - Streaming FFT kernel model ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/StreamingKernel.h"
+
+#include "fft/RadixBlock.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace fft3d;
+
+const char *fft3d::kernelRadixName(KernelRadix Radix) {
+  switch (Radix) {
+  case KernelRadix::Radix4:
+    return "radix-4";
+  case KernelRadix::Radix2:
+    return "radix-2";
+  }
+  return "unknown";
+}
+
+StreamingKernel::StreamingKernel(std::uint64_t FftSize, unsigned Lanes,
+                                 double ClockMHz, KernelRadix Radix)
+    : Plan(FftSize), Lanes(Lanes),
+      ClockMHz(ClockMHz > 0.0 ? ClockMHz : achievableClockMHz(FftSize)),
+      Radix(Radix) {
+  assert(Lanes != 0 && isPowerOf2(Lanes) && "lanes must be a power of two");
+}
+
+unsigned StreamingKernel::numStages() const {
+  if (Radix == KernelRadix::Radix2)
+    return log2Exact(fftSize());
+  return Plan.numRadix4Stages() + (Plan.hasRadix2Stage() ? 1 : 0);
+}
+
+double StreamingKernel::streamGBps() const {
+  // Bytes per cycle * cycles per second.
+  return static_cast<double>(Lanes) * ElementBytes * ClockMHz * 1e6 / 1e9;
+}
+
+std::uint64_t StreamingKernel::pipelineFillCycles() const {
+  const std::uint64_t N = fftSize();
+  if (Radix == KernelRadix::Radix2) {
+    // One DPP per stage ((2-1)*2^s words) plus 4 pipeline registers each.
+    std::uint64_t Cycles = 0;
+    for (unsigned S = 0; S != log2Exact(N); ++S)
+      Cycles += DppUnit(N, 2, S, Lanes).latencyCycles() + 4;
+    return Cycles;
+  }
+  const std::uint64_t Radix4Size = Plan.hasRadix2Stage() ? N / 2 : N;
+  std::uint64_t Cycles = 0;
+  // Per radix-4 stage: DPP delay-line fill plus butterfly/TFC pipeline
+  // registers (4 for the butterfly tree, 2 for the multiplier).
+  for (unsigned S = 0; S != Plan.numRadix4Stages(); ++S) {
+    const DppUnit Dpp(Radix4Size, 4, S, Lanes);
+    Cycles += Dpp.latencyCycles() + 6;
+  }
+  if (Plan.hasRadix2Stage()) {
+    // The DIT combine pairs j with j + N/2: half a frame must be resident.
+    Cycles += ceilDiv(N / 2, Lanes) + 4;
+  }
+  return Cycles;
+}
+
+Picos StreamingKernel::pipelineFillTime() const {
+  return pipelineFillCycles() * cyclePicos();
+}
+
+std::uint64_t StreamingKernel::cyclesPerFrame() const {
+  return ceilDiv(fftSize(), Lanes);
+}
+
+KernelResources StreamingKernel::resources() const {
+  KernelResources R;
+  const std::uint64_t N = fftSize();
+  if (Radix == KernelRadix::Radix2) {
+    const unsigned R2Groups = Lanes >= 2 ? Lanes / 2 : 1;
+    for (unsigned S = 0; S != log2Exact(N); ++S) {
+      const DppUnit Dpp(N, 2, S, Lanes);
+      const TfcUnit Tfc(N, 2, S, Lanes);
+      R.DelayBufferBytes += Dpp.bufferBytes();
+      R.TwiddleRomBytes += Tfc.romBytes();
+      R.RealMultipliers += Tfc.realMultipliers();
+      R.RealAddSub += Tfc.realAddSub();
+      R.Muxes += Dpp.muxCount();
+      R.RealAddSub += R2Groups * radixBlockCost(2).realAddSub();
+    }
+    return R;
+  }
+  const std::uint64_t Radix4Size = Plan.hasRadix2Stage() ? N / 2 : N;
+  const unsigned Groups = Lanes >= 4 ? Lanes / 4 : 1;
+
+  for (unsigned S = 0; S != Plan.numRadix4Stages(); ++S) {
+    const DppUnit Dpp(Radix4Size, 4, S, Lanes);
+    const TfcUnit Tfc(Radix4Size, 4, S, Lanes);
+    R.DelayBufferBytes += Dpp.bufferBytes();
+    R.TwiddleRomBytes += Tfc.romBytes();
+    R.RealMultipliers += Tfc.realMultipliers();
+    R.RealAddSub += Tfc.realAddSub();
+    R.Muxes += Dpp.muxCount();
+    R.RealAddSub += Groups * radixBlockCost(4).realAddSub();
+  }
+  if (Plan.hasRadix2Stage()) {
+    R.DelayBufferBytes += (N / 2) * ElementBytes;
+    R.TwiddleRomBytes += (N / 2) * ElementBytes;
+    const unsigned R2Groups = Lanes >= 2 ? Lanes / 2 : 1;
+    R.RealMultipliers += 4 * R2Groups;
+    R.RealAddSub += 2 * R2Groups + R2Groups * radixBlockCost(2).realAddSub();
+    R.Muxes += R2Groups * 4;
+  }
+  return R;
+}
+
+double StreamingKernel::achievableClockMHz(std::uint64_t FftSize) {
+  // Anchored at the paper's Virtex-7 implementation points; log-linear
+  // between them, flat below, gently degrading above.
+  const double Log2N = std::log2(static_cast<double>(FftSize));
+  if (Log2N <= 11.0)
+    return 250.0;
+  if (Log2N <= 12.0)
+    return 250.0 + (200.0 - 250.0) * (Log2N - 11.0);
+  if (Log2N <= 13.0)
+    return 200.0 + (180.0 - 200.0) * (Log2N - 12.0);
+  const double Beyond = Log2N - 13.0;
+  return std::max(100.0, 180.0 - 15.0 * Beyond);
+}

@@ -1,0 +1,107 @@
+//===- fft/StreamingKernel.h - Streaming FFT kernel model -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle/resource model of the paper's streaming 1D FFT kernel (§4.1):
+/// a pipeline of radix blocks, DPP units and TFC units that "supports
+/// processing continuous data streams so as to maximize design throughput
+/// and the memory bandwidth utilization". The kernel ingests Lanes
+/// elements per FPGA cycle with initiation interval 1; after a pipeline
+/// fill it emits Lanes results per cycle indefinitely.
+///
+/// The achievable FPGA clock drops with problem size (bigger delay
+/// buffers and twiddle ROMs stretch routing); achievableClockMHz() is
+/// anchored at the paper's implementation points: 250 MHz at N = 2048,
+/// 200 MHz at 4096, 180 MHz at 8192.
+///
+/// Functionally the kernel delegates to Fft1d: the model and the numbers
+/// it streams are always consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_STREAMINGKERNEL_H
+#define FFT3D_FFT_STREAMINGKERNEL_H
+
+#include "fft/DppUnit.h"
+#include "fft/Fft1d.h"
+#include "fft/TfcUnit.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Aggregate resource estimate for one kernel instance.
+struct KernelResources {
+  std::uint64_t DelayBufferBytes = 0; ///< DPP data buffers.
+  std::uint64_t TwiddleRomBytes = 0;  ///< TFC lookup tables.
+  unsigned RealMultipliers = 0;       ///< DSP multipliers.
+  unsigned RealAddSub = 0;            ///< Adder/subtractor LUT logic.
+  unsigned Muxes = 0;                 ///< DPP multiplexers.
+};
+
+/// Butterfly architecture of the kernel data path.
+enum class KernelRadix {
+  /// Radix-4 stages with one radix-2 combine when log2(N) is odd (the
+  /// paper's architecture; fewest multiplier stages).
+  Radix4,
+  /// Pure radix-2 pipeline: twice the stages, simpler blocks. Same N-1
+  /// words of delay memory but more multiplier/register stages - the
+  /// classic tradeoff figB quantifies.
+  Radix2,
+};
+
+const char *kernelRadixName(KernelRadix Radix);
+
+/// Streaming N-point FFT kernel with \p Lanes elements per cycle.
+class StreamingKernel {
+public:
+  /// \p ClockMHz == 0 selects achievableClockMHz(FftSize).
+  StreamingKernel(std::uint64_t FftSize, unsigned Lanes,
+                  double ClockMHz = 0.0,
+                  KernelRadix Radix = KernelRadix::Radix4);
+
+  std::uint64_t fftSize() const { return Plan.size(); }
+  unsigned lanes() const { return Lanes; }
+  double clockMHz() const { return ClockMHz; }
+  KernelRadix radix() const { return Radix; }
+  Picos cyclePicos() const { return periodFromMHz(ClockMHz); }
+
+  /// Butterfly stages of the selected architecture.
+  unsigned numStages() const;
+
+  /// One-direction stream bandwidth: Lanes * 8 B * clock, in GB/s.
+  double streamGBps() const;
+
+  /// Cycles from the first input beat to the first output beat: delay
+  /// buffers plus per-stage pipeline registers.
+  std::uint64_t pipelineFillCycles() const;
+  Picos pipelineFillTime() const;
+
+  /// Cycles to stream one N-point frame through (steady state).
+  std::uint64_t cyclesPerFrame() const;
+
+  /// Aggregate resources over all stages.
+  KernelResources resources() const;
+
+  /// Runs the transform the hardware would produce (numeric path).
+  void runForward(std::vector<CplxF> &Frame) const { Plan.forward(Frame); }
+  void runInverse(std::vector<CplxF> &Frame) const { Plan.inverse(Frame); }
+
+  /// Post-place-and-route clock model anchored at the paper's points.
+  static double achievableClockMHz(std::uint64_t FftSize);
+
+private:
+  Fft1d Plan;
+  unsigned Lanes;
+  double ClockMHz;
+  KernelRadix Radix;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_STREAMINGKERNEL_H

@@ -1,0 +1,53 @@
+//===- fft/TfcUnit.cpp - Twiddle factor computation unit --------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/TfcUnit.h"
+
+#include "fft/Twiddle.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+TfcUnit::TfcUnit(std::uint64_t FftSize, unsigned Radix, unsigned StageIndex,
+                 unsigned Lanes)
+    : FftSize(FftSize), Radix(Radix), StageIndex(StageIndex), Lanes(Lanes) {
+  if (!isPowerOf(FftSize, Radix))
+    reportFatalError("TFC unit requires FFT size a power of the radix");
+  assert(StageIndex < digitCount(FftSize, Radix) &&
+         "stage index beyond the last butterfly stage");
+
+  // DIT stage s combines sub-transforms of span R^s into span L = R^(s+1);
+  // operand q is twiddled by W_L^(q*j), j in [0, R^s).
+  TablePeriod = 1;
+  for (unsigned I = 0; I != StageIndex; ++I)
+    TablePeriod *= Radix;
+  const std::uint64_t L = TablePeriod * Radix;
+
+  Tables.resize(Radix - 1);
+  for (unsigned Q = 1; Q != Radix; ++Q) {
+    Tables[Q - 1].reserve(TablePeriod);
+    for (std::uint64_t J = 0; J != TablePeriod; ++J)
+      Tables[Q - 1].push_back(twiddle(L, Q * J));
+  }
+}
+
+CplxD TfcUnit::factor(unsigned Q, std::uint64_t J, bool Conjugate) const {
+  assert(Q >= 1 && Q < Radix && "operand index out of range");
+  const CplxD W = Tables[Q - 1][J % TablePeriod];
+  return Conjugate ? std::conj(W) : W;
+}
+
+unsigned TfcUnit::complexMultipliers() const {
+  const unsigned Groups = Lanes >= Radix ? Lanes / Radix : 1;
+  // Stage 0 twiddles are all 1 in a DIT kernel; the hardware still
+  // instantiates the data path but a real design elides the multipliers.
+  if (StageIndex == 0)
+    return 0;
+  return Groups * (Radix - 1);
+}

@@ -1,0 +1,77 @@
+//===- fft/TfcUnit.h - Twiddle factor computation unit ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The twiddle factor computation (TFC) unit of the streaming kernel
+/// (paper Fig. 2c): lookup tables (functional ROMs) holding the twiddle
+/// coefficients used by one butterfly stage, plus the complex multipliers
+/// that apply them. "The size of each lookup table is determined by the
+/// ordinal number of its present butterfly computation stage and the FFT
+/// problem size"; "each complex number multiplier consists of four real
+/// number multipliers and two real number adders/subtractors".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_TFCUNIT_H
+#define FFT3D_FFT_TFCUNIT_H
+
+#include "fft/Complex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// TFC unit feeding stage \p StageIndex of an N-point radix-R DIT kernel.
+class TfcUnit {
+public:
+  TfcUnit(std::uint64_t FftSize, unsigned Radix, unsigned StageIndex,
+          unsigned Lanes);
+
+  std::uint64_t fftSize() const { return FftSize; }
+  unsigned stageIndex() const { return StageIndex; }
+
+  /// Distinct coefficient exponents per operand table at this stage
+  /// (= R^StageIndex for DIT).
+  std::uint64_t entriesPerTable() const { return TablePeriod; }
+
+  /// Number of tables: one per non-trivial operand (R - 1).
+  unsigned tableCount() const { return Radix - 1; }
+
+  /// Total ROM words across the unit.
+  std::uint64_t romWords() const { return TablePeriod * tableCount(); }
+
+  /// ROM bytes at the stored element width.
+  std::uint64_t romBytes() const { return romWords() * ElementBytes; }
+
+  /// The coefficient applied to operand \p Q (1..R-1) at butterfly offset
+  /// \p J (reduced mod entriesPerTable()). \p Conjugate for the inverse
+  /// transform.
+  CplxD factor(unsigned Q, std::uint64_t J, bool Conjugate = false) const;
+
+  /// Complex multipliers instantiated (one per non-trivial operand per
+  /// radix group across the lane width).
+  unsigned complexMultipliers() const;
+
+  /// Real DSP multipliers: 4 per complex multiplier.
+  unsigned realMultipliers() const { return 4 * complexMultipliers(); }
+
+  /// Real adders/subtractors inside the multipliers: 2 per complex one.
+  unsigned realAddSub() const { return 2 * complexMultipliers(); }
+
+private:
+  std::uint64_t FftSize;
+  unsigned Radix;
+  unsigned StageIndex;
+  unsigned Lanes;
+  std::uint64_t TablePeriod;
+  /// Tables[q-1][j] = W_{R^(s+1)}^(q*j).
+  std::vector<std::vector<CplxD>> Tables;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_TFCUNIT_H

@@ -1,0 +1,30 @@
+//===- fft/Twiddle.cpp - Twiddle factor generation and ROMs ---------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Twiddle.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+using namespace fft3d;
+
+CplxD fft3d::twiddle(std::uint64_t N, std::uint64_t K) {
+  assert(N != 0 && "twiddle base must be non-zero");
+  const double Angle =
+      -2.0 * std::numbers::pi * static_cast<double>(K % N) /
+      static_cast<double>(N);
+  return CplxD(std::cos(Angle), std::sin(Angle));
+}
+
+TwiddleRom::TwiddleRom(std::uint64_t N) {
+  assert(isPowerOf2(N) && "transform size must be a power of two");
+  Roots.reserve(N);
+  for (std::uint64_t K = 0; K != N; ++K)
+    Roots.push_back(twiddle(N, K));
+}

@@ -1,0 +1,52 @@
+//===- fft/Twiddle.h - Twiddle factor generation and ROMs -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Twiddle factors W_N^k = exp(-2*pi*i*k/N) and the lookup-table storage
+/// model of the paper's TFC generation logic (Fig. 2c): "several lookup
+/// tables (functional ROMs) for storing twiddle factor coefficients",
+/// sized per butterfly stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_TWIDDLE_H
+#define FFT3D_FFT_TWIDDLE_H
+
+#include "fft/Complex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Computes W_N^K in double precision.
+CplxD twiddle(std::uint64_t N, std::uint64_t K);
+
+/// Precomputed table of the N-th roots of unity, exponent 0..N-1, shared
+/// by every stage of an N-point transform. Lookups index the full table
+/// by (stage-local exponent * stride), so one ROM image serves all stages.
+class TwiddleRom {
+public:
+  explicit TwiddleRom(std::uint64_t N);
+
+  std::uint64_t size() const { return Roots.size(); }
+
+  /// W_N^K; \p K is reduced mod N.
+  CplxD root(std::uint64_t K) const { return Roots[K % Roots.size()]; }
+
+  /// Conjugate root (for inverse transforms).
+  CplxD conjRoot(std::uint64_t K) const { return std::conj(root(K)); }
+
+  /// ROM footprint in bytes if realized at the stored element width.
+  std::uint64_t romBytes() const { return Roots.size() * ElementBytes; }
+
+private:
+  std::vector<CplxD> Roots;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_TWIDDLE_H

@@ -1,0 +1,89 @@
+//===- fft/Window.cpp - Spectral window functions --------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Window.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+using namespace fft3d;
+
+const char *fft3d::windowKindName(WindowKind Kind) {
+  switch (Kind) {
+  case WindowKind::Rectangular:
+    return "rectangular";
+  case WindowKind::Hann:
+    return "hann";
+  case WindowKind::Hamming:
+    return "hamming";
+  case WindowKind::Blackman:
+    return "blackman";
+  }
+  fft3d_unreachable("unknown WindowKind");
+}
+
+Window::Window(WindowKind Kind, std::uint64_t N) : Kind(Kind) {
+  assert(N >= 2 && "window needs at least two points");
+  Coefficients.resize(N);
+  const double Den = static_cast<double>(N - 1);
+  for (std::uint64_t I = 0; I != N; ++I) {
+    const double X = static_cast<double>(I) / Den;
+    double W = 1.0;
+    switch (Kind) {
+    case WindowKind::Rectangular:
+      W = 1.0;
+      break;
+    case WindowKind::Hann:
+      W = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * X);
+      break;
+    case WindowKind::Hamming:
+      W = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * X);
+      break;
+    case WindowKind::Blackman:
+      W = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * X) +
+          0.08 * std::cos(4.0 * std::numbers::pi * X);
+      break;
+    }
+    Coefficients[I] = W;
+  }
+}
+
+double Window::coherentGain() const {
+  double Sum = 0.0;
+  for (double W : Coefficients)
+    Sum += W;
+  return Sum / static_cast<double>(Coefficients.size());
+}
+
+double Window::equivalentNoiseBandwidth() const {
+  double Sum = 0.0, SumSq = 0.0;
+  for (double W : Coefficients) {
+    Sum += W;
+    SumSq += W * W;
+  }
+  return static_cast<double>(Coefficients.size()) * SumSq / (Sum * Sum);
+}
+
+void Window::apply(std::vector<double> &Signal) const {
+  assert(Signal.size() == Coefficients.size() && "length mismatch");
+  for (std::size_t I = 0; I != Signal.size(); ++I)
+    Signal[I] *= Coefficients[I];
+}
+
+void Window::apply(std::vector<CplxD> &Signal) const {
+  assert(Signal.size() == Coefficients.size() && "length mismatch");
+  for (std::size_t I = 0; I != Signal.size(); ++I)
+    Signal[I] *= Coefficients[I];
+}
+
+void Window::apply(std::vector<CplxF> &Signal) const {
+  assert(Signal.size() == Coefficients.size() && "length mismatch");
+  for (std::size_t I = 0; I != Signal.size(); ++I)
+    Signal[I] *= static_cast<float>(Coefficients[I]);
+}

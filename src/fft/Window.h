@@ -1,0 +1,67 @@
+//===- fft/Window.h - Spectral window functions -----------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard tapering windows for spectral analysis. Streaming transform
+/// kernels of the paper's kind are invariably preceded by a window
+/// multiply in real deployments (the radar example uses one to keep
+/// strong targets from leaking over weak ones); the window is one more
+/// ROM + complex multiplier in the TFC style of Fig. 2c.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_WINDOW_H
+#define FFT3D_FFT_WINDOW_H
+
+#include "fft/Complex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Window families.
+enum class WindowKind {
+  Rectangular,
+  Hann,
+  Hamming,
+  Blackman,
+};
+
+const char *windowKindName(WindowKind Kind);
+
+/// Precomputed N-point window.
+class Window {
+public:
+  Window(WindowKind Kind, std::uint64_t N);
+
+  WindowKind kind() const { return Kind; }
+  std::uint64_t size() const { return Coefficients.size(); }
+
+  double coefficient(std::uint64_t I) const { return Coefficients[I]; }
+  const std::vector<double> &coefficients() const { return Coefficients; }
+
+  /// Coherent gain: mean coefficient (amplitude scaling of a tone).
+  double coherentGain() const;
+
+  /// Equivalent noise bandwidth in bins: N * sum(w^2) / sum(w)^2.
+  double equivalentNoiseBandwidth() const;
+
+  /// Applies the window in place to a real signal.
+  void apply(std::vector<double> &Signal) const;
+
+  /// Applies the window in place to a complex signal.
+  void apply(std::vector<CplxD> &Signal) const;
+  void apply(std::vector<CplxF> &Signal) const;
+
+private:
+  WindowKind Kind;
+  std::vector<double> Coefficients;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_WINDOW_H

@@ -1,0 +1,74 @@
+//===- layout/BlockDynamicLayout.cpp - The paper's dynamic layout ---------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/BlockDynamicLayout.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace fft3d;
+
+BlockDynamicLayout::BlockDynamicLayout(std::uint64_t NumRows,
+                                       std::uint64_t NumCols,
+                                       unsigned ElementBytes, PhysAddr Base,
+                                       std::uint64_t BlockWidth,
+                                       std::uint64_t BlockHeight, bool Skew)
+    : DataLayout(NumRows, NumCols, ElementBytes, Base), BlockWidth(BlockWidth),
+      BlockHeight(BlockHeight), Skew(Skew) {
+  if (BlockWidth == 0 || BlockHeight == 0 || NumCols % BlockWidth != 0 ||
+      NumRows % BlockHeight != 0)
+    reportFatalError("block dimensions must be non-zero and divide the "
+                     "matrix dimensions");
+}
+
+BlockCoord BlockDynamicLayout::blockOf(std::uint64_t Row,
+                                       std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return BlockCoord{Row / BlockHeight, Col / BlockWidth, Row % BlockHeight,
+                    Col % BlockWidth};
+}
+
+PhysAddr BlockDynamicLayout::blockBase(std::uint64_t BlockRow,
+                                       std::uint64_t BlockCol) const {
+  assert(BlockRow < blocksPerCol() && BlockCol < blocksPerRow() &&
+         "block out of range");
+  const std::uint64_t Bc = blocksPerRow();
+  const std::uint64_t SkewedCol = Skew ? (BlockCol + BlockRow) % Bc : BlockCol;
+  const std::uint64_t Slot = BlockRow * Bc + SkewedCol;
+  return Base + Slot * blockBytes();
+}
+
+PhysAddr BlockDynamicLayout::addressOf(std::uint64_t Row,
+                                       std::uint64_t Col) const {
+  const BlockCoord BC = blockOf(Row, Col);
+  const std::uint64_t InOffset = BC.InRow * BlockWidth + BC.InCol;
+  return blockBase(BC.BlockRow, BC.BlockCol) + InOffset * ElementBytes;
+}
+
+std::string BlockDynamicLayout::describe() const {
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer), "block-dynamic w=%llu h=%llu%s",
+                static_cast<unsigned long long>(BlockWidth),
+                static_cast<unsigned long long>(BlockHeight),
+                Skew ? " (skewed)" : "");
+  return Buffer;
+}
+
+std::uint64_t BlockDynamicLayout::contiguousRowRun(std::uint64_t Row,
+                                                   std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return BlockWidth - Col % BlockWidth;
+}
+
+std::uint64_t BlockDynamicLayout::contiguousColRun(std::uint64_t Row,
+                                                   std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  if (BlockWidth == 1)
+    return BlockHeight - Row % BlockHeight;
+  return 1;
+}

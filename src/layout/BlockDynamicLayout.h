@@ -1,0 +1,90 @@
+//===- layout/BlockDynamicLayout.h - The paper's dynamic layout -*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution (§4.4): the matrix is organized into w x h
+/// blocks (w columns by h rows) with w * h elements filling exactly one
+/// DRAM row buffer, so fetching a block costs a single row activation.
+///
+/// Two properties make the layout "dynamic" and vault-friendly:
+///  - w and h are chosen at run time from the memory timing parameters by
+///    LayoutPlanner (Eq. 1), not fixed at design time;
+///  - block-rows are cyclically skewed (block (br, bc) is stored at
+///    block-slot br * Bc + ((bc + br) mod Bc)), so both the phase-1 block
+///    writes (sweeping bc at fixed br) and the phase-2 block reads
+///    (sweeping br at fixed bc) visit consecutive block slots modulo the
+///    vault count - i.e. they round-robin all n_v vaults instead of
+///    hammering one. The skew is a bijection per block-row, so the whole
+///    layout remains a bijection.
+///
+/// The on-chip permutation network (src/permute) performs the local w x h
+/// reordering between the streaming FFT kernel and the blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_LAYOUT_BLOCKDYNAMICLAYOUT_H
+#define FFT3D_LAYOUT_BLOCKDYNAMICLAYOUT_H
+
+#include "layout/DataLayout.h"
+
+namespace fft3d {
+
+/// Block coordinates of an element under a BlockDynamicLayout.
+struct BlockCoord {
+  std::uint64_t BlockRow = 0;
+  std::uint64_t BlockCol = 0;
+  std::uint64_t InRow = 0;
+  std::uint64_t InCol = 0;
+};
+
+/// w x h block layout with cyclic block-row skew.
+class BlockDynamicLayout : public DataLayout {
+public:
+  /// \p BlockWidth (w) and \p BlockHeight (h) must divide NumCols and
+  /// NumRows respectively. \p Skew enables the cyclic vault skew
+  /// (disabled only in ablations).
+  BlockDynamicLayout(std::uint64_t NumRows, std::uint64_t NumCols,
+                     unsigned ElementBytes, PhysAddr Base,
+                     std::uint64_t BlockWidth, std::uint64_t BlockHeight,
+                     bool Skew = true);
+
+  std::uint64_t blockWidth() const { return BlockWidth; }
+  std::uint64_t blockHeight() const { return BlockHeight; }
+  bool skewEnabled() const { return Skew; }
+
+  /// Bytes in one block (= w * h * ElementBytes).
+  std::uint64_t blockBytes() const {
+    return BlockWidth * BlockHeight * ElementBytes;
+  }
+
+  /// Blocks per matrix block-row / block-column.
+  std::uint64_t blocksPerRow() const { return NumCols / BlockWidth; }
+  std::uint64_t blocksPerCol() const { return NumRows / BlockHeight; }
+
+  /// Block decomposition of element (\p Row, \p Col).
+  BlockCoord blockOf(std::uint64_t Row, std::uint64_t Col) const;
+
+  /// Physical address of the first byte of block (\p BlockRow, \p BlockCol)
+  /// after skew.
+  PhysAddr blockBase(std::uint64_t BlockRow, std::uint64_t BlockCol) const;
+
+  PhysAddr addressOf(std::uint64_t Row, std::uint64_t Col) const override;
+  LayoutKind kind() const override { return LayoutKind::BlockDynamic; }
+  std::string describe() const override;
+  std::uint64_t contiguousRowRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+  std::uint64_t contiguousColRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+
+private:
+  std::uint64_t BlockWidth;
+  std::uint64_t BlockHeight;
+  bool Skew;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_LAYOUT_BLOCKDYNAMICLAYOUT_H

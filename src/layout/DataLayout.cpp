@@ -1,0 +1,67 @@
+//===- layout/DataLayout.cpp - Matrix-to-memory layout interface ----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/DataLayout.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+const char *fft3d::layoutKindName(LayoutKind Kind) {
+  switch (Kind) {
+  case LayoutKind::RowMajor:
+    return "row-major";
+  case LayoutKind::ColMajor:
+    return "col-major";
+  case LayoutKind::Tiled:
+    return "tiled";
+  case LayoutKind::BlockDynamic:
+    return "block-dynamic";
+  }
+  fft3d_unreachable("unknown LayoutKind");
+}
+
+DataLayout::DataLayout(std::uint64_t NumRows, std::uint64_t NumCols,
+                       unsigned ElementBytes, PhysAddr Base)
+    : NumRows(NumRows), NumCols(NumCols), ElementBytes(ElementBytes),
+      Base(Base) {
+  assert(NumRows != 0 && NumCols != 0 && "degenerate matrix");
+  assert(isPowerOf2(ElementBytes) && "element size must be a power of two");
+}
+
+DataLayout::~DataLayout() = default;
+
+std::uint64_t DataLayout::contiguousRowRun(std::uint64_t Row,
+                                           std::uint64_t Col) const {
+  // Generic (slow) fallback: walk until the addresses stop being adjacent.
+  std::uint64_t Run = 1;
+  PhysAddr Prev = addressOf(Row, Col);
+  while (Col + Run < NumCols) {
+    const PhysAddr Next = addressOf(Row, Col + Run);
+    if (Next != Prev + ElementBytes)
+      break;
+    Prev = Next;
+    ++Run;
+  }
+  return Run;
+}
+
+std::uint64_t DataLayout::contiguousColRun(std::uint64_t Row,
+                                           std::uint64_t Col) const {
+  std::uint64_t Run = 1;
+  PhysAddr Prev = addressOf(Row, Col);
+  while (Row + Run < NumRows) {
+    const PhysAddr Next = addressOf(Row + Run, Col);
+    if (Next != Prev + ElementBytes)
+      break;
+    Prev = Next;
+    ++Run;
+  }
+  return Run;
+}

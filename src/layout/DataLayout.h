@@ -1,0 +1,87 @@
+//===- layout/DataLayout.h - Matrix-to-memory layout interface --*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DataLayout decides where element (row, col) of the N x N working
+/// matrix lives in the 3D memory's physical address space. Layouts must be
+/// bijections from matrix coordinates onto a contiguous address range so
+/// each layout can be swapped in without changing anything else; the
+/// property tests enforce this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_LAYOUT_DATALAYOUT_H
+#define FFT3D_LAYOUT_DATALAYOUT_H
+
+#include "mem3d/Address.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fft3d {
+
+/// Identifies the layout family; used by configuration and reporting.
+enum class LayoutKind {
+  /// Elements of a matrix row are contiguous (the paper's baseline).
+  RowMajor,
+  /// Elements of a matrix column are contiguous (ideal for phase 2 alone,
+  /// pathological for phase 1; used in ablations).
+  ColMajor,
+  /// Tile-based mapping of Akin et al. [2]: row-buffer-sized tiles stored
+  /// contiguously (the related-work baseline).
+  Tiled,
+  /// The paper's contribution: w x h blocks, h from Eq. 1, blocks skewed
+  /// across vaults.
+  BlockDynamic,
+};
+
+const char *layoutKindName(LayoutKind Kind);
+
+/// Abstract mapping from matrix coordinates to physical byte addresses.
+class DataLayout {
+public:
+  /// \p NumRows x \p NumCols matrix of \p ElementBytes -byte elements laid
+  /// out starting at physical address \p Base.
+  DataLayout(std::uint64_t NumRows, std::uint64_t NumCols,
+             unsigned ElementBytes, PhysAddr Base);
+  virtual ~DataLayout();
+
+  std::uint64_t numRows() const { return NumRows; }
+  std::uint64_t numCols() const { return NumCols; }
+  unsigned elementBytes() const { return ElementBytes; }
+  PhysAddr base() const { return Base; }
+
+  /// Total footprint in bytes.
+  std::uint64_t sizeBytes() const {
+    return NumRows * NumCols * ElementBytes;
+  }
+
+  /// Physical address of element (\p Row, \p Col).
+  virtual PhysAddr addressOf(std::uint64_t Row, std::uint64_t Col) const = 0;
+
+  virtual LayoutKind kind() const = 0;
+  virtual std::string describe() const = 0;
+
+  /// Length in elements of the longest contiguous run that starts at
+  /// (\p Row, \p Col) and continues along the matrix row. Trace generators
+  /// use this to coalesce accesses into bursts.
+  virtual std::uint64_t contiguousRowRun(std::uint64_t Row,
+                                         std::uint64_t Col) const;
+
+  /// Same, along the matrix column.
+  virtual std::uint64_t contiguousColRun(std::uint64_t Row,
+                                         std::uint64_t Col) const;
+
+protected:
+  std::uint64_t NumRows;
+  std::uint64_t NumCols;
+  unsigned ElementBytes;
+  PhysAddr Base;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_LAYOUT_DATALAYOUT_H

@@ -1,0 +1,98 @@
+//===- layout/LayoutPlanner.cpp - Eq. 1: choosing the block shape ---------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/LayoutPlanner.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+const char *fft3d::planRegimeName(PlanRegime Regime) {
+  switch (Regime) {
+  case PlanRegime::BufferLimited:
+    return "buffer-limited";
+  case PlanRegime::BankLimited:
+    return "bank-limited";
+  case PlanRegime::RowConflictLimited:
+    return "row-conflict-limited";
+  }
+  fft3d_unreachable("unknown PlanRegime");
+}
+
+LayoutPlanner::LayoutPlanner(const Geometry &G, const Timing &T,
+                             unsigned ElementBytes)
+    : Geo(G), Time(T), ElementBytes(ElementBytes) {
+  Geo.validate();
+  Time.validate();
+  if (ElementBytes == 0 || Geo.RowBufferBytes % ElementBytes != 0)
+    reportFatalError("element size must divide the row buffer size");
+}
+
+double LayoutPlanner::bufferRegimeBoundary() const {
+  const double S =
+      static_cast<double>(Geo.RowBufferBytes / ElementBytes);
+  const double B = Geo.banksPerVault();
+  return S * B * static_cast<double>(Time.TInRow) /
+         static_cast<double>(Time.TDiffRow);
+}
+
+BlockPlan LayoutPlanner::plan(std::uint64_t N, unsigned VaultsParallel,
+                              std::uint64_t ColumnStreams) const {
+  assert(isPowerOf2(N) && "problem size must be a power of two");
+  assert(VaultsParallel != 0 && VaultsParallel <= Geo.NumVaults &&
+         "invalid vault parallelism");
+  const std::uint64_t S = Geo.RowBufferBytes / ElementBytes;
+  if (N * N < S)
+    reportFatalError("matrix smaller than one row buffer: no block shape "
+                     "with w*h = s fits");
+  const std::uint64_t B = Geo.banksPerVault();
+  const std::uint64_t M = ColumnStreams == 0 ? N : ColumnStreams;
+
+  BlockPlan Plan;
+  Plan.VaultsParallel = VaultsParallel;
+  Plan.ColumnStreams = M;
+  Plan.RowBufferElems = S;
+
+  const double Nv = VaultsParallel;
+  const double InRow = static_cast<double>(Time.TInRow);
+  if (static_cast<double>(M) < bufferRegimeBoundary()) {
+    Plan.Regime = PlanRegime::BufferLimited;
+    Plan.RawH = Nv * static_cast<double>(S) * static_cast<double>(B) /
+                static_cast<double>(M);
+  } else if (M < S * B) {
+    Plan.Regime = PlanRegime::BankLimited;
+    Plan.RawH = Nv * static_cast<double>(Time.TDiffBank) / InRow;
+  } else {
+    Plan.Regime = PlanRegime::RowConflictLimited;
+    Plan.RawH = Nv * static_cast<double>(Time.TDiffRow) / InRow;
+  }
+
+  // Shape to hardware: h a power of two, h | N, w = s/h >= 1 and w | N.
+  // The lower clamp keeps w <= N when the matrix is narrow relative to
+  // the row buffer.
+  std::uint64_t H = 1;
+  while (H * 2 <= static_cast<std::uint64_t>(Plan.RawH))
+    H *= 2;
+  H = std::min({H, S, N});
+  Plan.H = std::max<std::uint64_t>(H, ceilDiv(S, N));
+  Plan.W = S / Plan.H;
+  assert(Plan.H * Plan.W == S && "block must fill the row buffer exactly");
+  assert(Plan.H <= N && Plan.W <= N && "block exceeds the matrix");
+  return Plan;
+}
+
+std::unique_ptr<BlockDynamicLayout>
+LayoutPlanner::createLayout(std::uint64_t N, unsigned VaultsParallel,
+                            PhysAddr Base,
+                            std::uint64_t ColumnStreams) const {
+  const BlockPlan Plan = plan(N, VaultsParallel, ColumnStreams);
+  return std::make_unique<BlockDynamicLayout>(N, N, ElementBytes, Base,
+                                              Plan.W, Plan.H);
+}

@@ -1,0 +1,96 @@
+//===- layout/LayoutPlanner.h - Eq. 1: choosing the block shape -*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements Eq. 1 of the paper: the optimal block height h for the
+/// dynamic data layout, as a function of the 3D-memory timing parameters.
+/// With s = row-buffer capacity in elements, b = banks per vault,
+/// n_v = vaults accessed in parallel, and m = the number of column-FFT
+/// input streams buffered concurrently on chip:
+///
+///   h = n_v * s * b / m            if 0 < m <  s*b * t_in_row/t_diff_row
+///   h = n_v * t_diff_bank/t_in_row if  ...  <= m < s*b
+///   h = n_v * t_diff_row /t_in_row if           m >= s*b
+///
+/// and w = s / h (a block always fills one row buffer). Intuition: h rows
+/// of a column stream are fetched from one open row per vault; h must be
+/// large enough that streaming h*w elements hides the next activation
+/// (t_diff_bank when the next block sits in another bank of the vault,
+/// t_diff_row when it reuses the same bank), scaled by the n_v-way vault
+/// parallelism. When only a few streams are buffered (small m), h is
+/// instead limited by what the on-chip buffers can turn around.
+///
+/// The raw h is then shaped to hardware: rounded down to a power of two,
+/// clamped so h divides the matrix dimension and w = s/h >= 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_LAYOUT_LAYOUTPLANNER_H
+#define FFT3D_LAYOUT_LAYOUTPLANNER_H
+
+#include "layout/BlockDynamicLayout.h"
+#include "mem3d/Geometry.h"
+#include "mem3d/Timing.h"
+
+#include <memory>
+
+namespace fft3d {
+
+/// Which branch of Eq. 1 produced the plan.
+enum class PlanRegime {
+  /// m < s*b*t_in_row/t_diff_row: buffer-limited, h = n_v*s*b/m.
+  BufferLimited,
+  /// m < s*b: activation spacing limited by t_diff_bank.
+  BankLimited,
+  /// m >= s*b: activation spacing limited by t_diff_row.
+  RowConflictLimited,
+};
+
+const char *planRegimeName(PlanRegime Regime);
+
+/// Result of planning: the raw Eq. 1 value and the hardware-shaped block.
+struct BlockPlan {
+  /// Eq. 1's h before rounding/clamping.
+  double RawH = 0.0;
+  /// Final block height/width (elements), h * w = s.
+  std::uint64_t H = 0;
+  std::uint64_t W = 0;
+  PlanRegime Regime = PlanRegime::RowConflictLimited;
+  /// Inputs echoed for reporting.
+  unsigned VaultsParallel = 0;
+  std::uint64_t ColumnStreams = 0;
+  std::uint64_t RowBufferElems = 0;
+};
+
+/// Computes block shapes per Eq. 1 for a given device.
+class LayoutPlanner {
+public:
+  LayoutPlanner(const Geometry &G, const Timing &T, unsigned ElementBytes);
+
+  /// Plans the block shape for an \p N x \p N problem using \p
+  /// VaultsParallel vaults and \p ColumnStreams concurrently buffered
+  /// column streams (m). \p ColumnStreams == 0 means "use the default":
+  /// m = N, i.e. a whole matrix row of column streams in flight.
+  BlockPlan plan(std::uint64_t N, unsigned VaultsParallel,
+                 std::uint64_t ColumnStreams = 0) const;
+
+  /// Convenience: plans and constructs the layout in one step.
+  std::unique_ptr<BlockDynamicLayout>
+  createLayout(std::uint64_t N, unsigned VaultsParallel, PhysAddr Base = 0,
+               std::uint64_t ColumnStreams = 0) const;
+
+  /// Regime boundary m* = s*b*t_in_row/t_diff_row (elements).
+  double bufferRegimeBoundary() const;
+
+private:
+  Geometry Geo;
+  Timing Time;
+  unsigned ElementBytes;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_LAYOUT_LAYOUTPLANNER_H

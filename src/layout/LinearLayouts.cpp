@@ -1,0 +1,49 @@
+//===- layout/LinearLayouts.cpp - Row- and column-major layouts -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/LinearLayouts.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+PhysAddr RowMajorLayout::addressOf(std::uint64_t Row, std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return Base + (Row * NumCols + Col) * ElementBytes;
+}
+
+std::string RowMajorLayout::describe() const { return "row-major"; }
+
+std::uint64_t RowMajorLayout::contiguousRowRun(std::uint64_t Row,
+                                               std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return NumCols - Col;
+}
+
+std::uint64_t RowMajorLayout::contiguousColRun(std::uint64_t Row,
+                                               std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return 1;
+}
+
+PhysAddr ColMajorLayout::addressOf(std::uint64_t Row, std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return Base + (Col * NumRows + Row) * ElementBytes;
+}
+
+std::string ColMajorLayout::describe() const { return "col-major"; }
+
+std::uint64_t ColMajorLayout::contiguousRowRun(std::uint64_t Row,
+                                               std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return 1;
+}
+
+std::uint64_t ColMajorLayout::contiguousColRun(std::uint64_t Row,
+                                               std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return NumRows - Row;
+}

@@ -1,0 +1,53 @@
+//===- layout/LinearLayouts.h - Row- and column-major layouts --*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two linear layouts. Row-major is the paper's baseline: perfect for
+/// the row-wise FFT phase, catastrophic for the column-wise phase (every
+/// access lands in a different DRAM row). Column-major is its mirror
+/// image, included so ablations can show the conflict is symmetric - no
+/// static linear layout can serve both phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_LAYOUT_LINEARLAYOUTS_H
+#define FFT3D_LAYOUT_LINEARLAYOUTS_H
+
+#include "layout/DataLayout.h"
+
+namespace fft3d {
+
+/// addr(r, c) = Base + (r * NumCols + c) * ElementBytes.
+class RowMajorLayout : public DataLayout {
+public:
+  using DataLayout::DataLayout;
+
+  PhysAddr addressOf(std::uint64_t Row, std::uint64_t Col) const override;
+  LayoutKind kind() const override { return LayoutKind::RowMajor; }
+  std::string describe() const override;
+  std::uint64_t contiguousRowRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+  std::uint64_t contiguousColRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+};
+
+/// addr(r, c) = Base + (c * NumRows + r) * ElementBytes.
+class ColMajorLayout : public DataLayout {
+public:
+  using DataLayout::DataLayout;
+
+  PhysAddr addressOf(std::uint64_t Row, std::uint64_t Col) const override;
+  LayoutKind kind() const override { return LayoutKind::ColMajor; }
+  std::string describe() const override;
+  std::uint64_t contiguousRowRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+  std::uint64_t contiguousColRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_LAYOUT_LINEARLAYOUTS_H

@@ -1,0 +1,80 @@
+//===- layout/TiledLayout.cpp - Akin et al. tiled mapping -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/TiledLayout.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace fft3d;
+
+TiledLayout::TiledLayout(std::uint64_t NumRows, std::uint64_t NumCols,
+                         unsigned ElementBytes, PhysAddr Base,
+                         std::uint64_t TileRows, std::uint64_t TileCols)
+    : DataLayout(NumRows, NumCols, ElementBytes, Base), TileRows(TileRows),
+      TileCols(TileCols) {
+  if (TileRows == 0 || TileCols == 0 || NumRows % TileRows != 0 ||
+      NumCols % TileCols != 0)
+    reportFatalError("tile dimensions must be non-zero and divide the "
+                     "matrix dimensions");
+}
+
+PhysAddr TiledLayout::addressOf(std::uint64_t Row, std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  const std::uint64_t TileR = Row / TileRows;
+  const std::uint64_t TileC = Col / TileCols;
+  const std::uint64_t InR = Row % TileRows;
+  const std::uint64_t InC = Col % TileCols;
+  const std::uint64_t TilesPerRow = NumCols / TileCols;
+  const std::uint64_t TileIndex = TileR * TilesPerRow + TileC;
+  const std::uint64_t TileElems = TileRows * TileCols;
+  const std::uint64_t Offset = TileIndex * TileElems + InR * TileCols + InC;
+  return Base + Offset * ElementBytes;
+}
+
+std::string TiledLayout::describe() const {
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer), "tiled %llux%llu (row-major tiles)",
+                static_cast<unsigned long long>(TileRows),
+                static_cast<unsigned long long>(TileCols));
+  return Buffer;
+}
+
+std::uint64_t TiledLayout::contiguousRowRun(std::uint64_t Row,
+                                            std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  return TileCols - Col % TileCols;
+}
+
+std::uint64_t TiledLayout::contiguousColRun(std::uint64_t Row,
+                                            std::uint64_t Col) const {
+  assert(Row < NumRows && Col < NumCols && "element out of range");
+  // Column-adjacent elements within a tile are TileCols apart, never
+  // contiguous unless the tile is a single column wide.
+  if (TileCols == 1)
+    return TileRows - Row % TileRows;
+  return 1;
+}
+
+TiledLayout TiledLayout::forRowBuffer(std::uint64_t NumRows,
+                                      std::uint64_t NumCols,
+                                      unsigned ElementBytes, PhysAddr Base,
+                                      std::uint64_t RowBufferBytes) {
+  const std::uint64_t TileElems = RowBufferBytes / ElementBytes;
+  assert(isPowerOf2(TileElems) && "row buffer must hold 2^k elements");
+  // Split the tile as evenly as possible: rows get the larger half so the
+  // column phase sees the longer same-row run.
+  const unsigned Bits = log2Exact(TileElems);
+  std::uint64_t TileRows = 1ULL << ((Bits + 1) / 2);
+  std::uint64_t TileCols = TileElems / TileRows;
+  TileRows = std::min<std::uint64_t>(TileRows, NumRows);
+  TileCols = std::min<std::uint64_t>(TileElems / TileRows, NumCols);
+  return TiledLayout(NumRows, NumCols, ElementBytes, Base, TileRows, TileCols);
+}

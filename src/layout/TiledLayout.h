@@ -1,0 +1,56 @@
+//===- layout/TiledLayout.h - Akin et al. tiled mapping ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The related-work baseline (Akin, Milder, Franchetti, Hoe, FCCM 2012,
+/// reference [2] of the paper): the N x N array is divided into
+/// TileRows x TileCols tiles whose elements are stored contiguously, with
+/// tiles themselves in row-major order. Bandwidth utilization is maximized
+/// when one tile fills exactly one DRAM row buffer; the cost the paper
+/// criticizes is the on-chip transposition needed at tile granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_LAYOUT_TILEDLAYOUT_H
+#define FFT3D_LAYOUT_TILEDLAYOUT_H
+
+#include "layout/DataLayout.h"
+
+namespace fft3d {
+
+/// Tile-contiguous layout; tiles are row-major within and across.
+class TiledLayout : public DataLayout {
+public:
+  /// Tile dimensions must divide the matrix dimensions.
+  TiledLayout(std::uint64_t NumRows, std::uint64_t NumCols,
+              unsigned ElementBytes, PhysAddr Base, std::uint64_t TileRows,
+              std::uint64_t TileCols);
+
+  std::uint64_t tileRows() const { return TileRows; }
+  std::uint64_t tileCols() const { return TileCols; }
+
+  PhysAddr addressOf(std::uint64_t Row, std::uint64_t Col) const override;
+  LayoutKind kind() const override { return LayoutKind::Tiled; }
+  std::string describe() const override;
+  std::uint64_t contiguousRowRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+  std::uint64_t contiguousColRun(std::uint64_t Row,
+                                 std::uint64_t Col) const override;
+
+  /// Builds the square-ish tile shape Akin et al. recommend: a tile holds
+  /// exactly \p RowBufferBytes of data, split as evenly as possible.
+  static TiledLayout forRowBuffer(std::uint64_t NumRows, std::uint64_t NumCols,
+                                  unsigned ElementBytes, PhysAddr Base,
+                                  std::uint64_t RowBufferBytes);
+
+private:
+  std::uint64_t TileRows;
+  std::uint64_t TileCols;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_LAYOUT_TILEDLAYOUT_H

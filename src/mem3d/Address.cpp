@@ -1,0 +1,170 @@
+//===- mem3d/Address.cpp - Physical address mapping ------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Address.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace fft3d;
+
+const char *fft3d::addressMapKindName(AddressMapKind Kind) {
+  switch (Kind) {
+  case AddressMapKind::ColVaultBankRow:
+    return "col-vault-bank-row";
+  case AddressMapKind::ColBankVaultRow:
+    return "col-bank-vault-row";
+  case AddressMapKind::ColVaultRowBank:
+    return "col-vault-row-bank";
+  case AddressMapKind::ColRowBankVault:
+    return "col-row-bank-vault";
+  }
+  fft3d_unreachable("unknown AddressMapKind");
+}
+
+AddressMapper::AddressMapper(const Geometry &G, AddressMapKind Kind,
+                             bool XorHashRowIntoBank)
+    : Geo(G), Kind(Kind), XorHash(XorHashRowIntoBank) {
+  Geo.validate();
+  ColBits = log2Exact(Geo.RowBufferBytes);
+  VaultBits = log2Exact(Geo.NumVaults);
+  BankBits = log2Exact(Geo.banksPerVault());
+  RowBits = log2Exact(Geo.RowsPerBank);
+}
+
+DecodedAddr AddressMapper::decode(PhysAddr Addr) const {
+  assert(Addr < Geo.capacityBytes() && "address beyond device capacity");
+  DecodedAddr D;
+  auto take = [&Addr](unsigned Bits) {
+    const std::uint64_t Value = Addr & ((1ULL << Bits) - 1);
+    Addr >>= Bits;
+    return Value;
+  };
+
+  D.Column = take(ColBits);
+  switch (Kind) {
+  case AddressMapKind::ColVaultBankRow:
+    D.Vault = static_cast<unsigned>(take(VaultBits));
+    D.Bank = static_cast<unsigned>(take(BankBits));
+    D.Row = take(RowBits);
+    break;
+  case AddressMapKind::ColBankVaultRow:
+    D.Bank = static_cast<unsigned>(take(BankBits));
+    D.Vault = static_cast<unsigned>(take(VaultBits));
+    D.Row = take(RowBits);
+    break;
+  case AddressMapKind::ColVaultRowBank:
+    D.Vault = static_cast<unsigned>(take(VaultBits));
+    D.Row = take(RowBits);
+    D.Bank = static_cast<unsigned>(take(BankBits));
+    break;
+  case AddressMapKind::ColRowBankVault:
+    D.Row = take(RowBits);
+    D.Bank = static_cast<unsigned>(take(BankBits));
+    D.Vault = static_cast<unsigned>(take(VaultBits));
+    break;
+  }
+  assert(Addr == 0 && "address wider than the decoded fields");
+
+  if (XorHash) {
+    // Permute bank and vault with the low row bits. XOR keeps the mapping
+    // bijective because the row field itself is untouched.
+    D.Bank = static_cast<unsigned>((D.Bank ^ D.Row) & (Geo.banksPerVault() - 1));
+    D.Vault = static_cast<unsigned>((D.Vault ^ (D.Row >> BankBits)) &
+                                    (Geo.NumVaults - 1));
+  }
+  return D;
+}
+
+PhysAddr AddressMapper::encode(const DecodedAddr &DIn) const {
+  DecodedAddr D = DIn;
+  assert(D.Vault < Geo.NumVaults && D.Bank < Geo.banksPerVault() &&
+         D.Row < Geo.RowsPerBank && D.Column < Geo.RowBufferBytes &&
+         "decoded coordinates out of range");
+
+  if (XorHash) {
+    // Invert the XOR permutation (XOR is its own inverse).
+    D.Vault = static_cast<unsigned>((D.Vault ^ (D.Row >> BankBits)) &
+                                    (Geo.NumVaults - 1));
+    D.Bank = static_cast<unsigned>((D.Bank ^ D.Row) & (Geo.banksPerVault() - 1));
+  }
+
+  PhysAddr Addr = 0;
+  unsigned Shift = 0;
+  auto put = [&](std::uint64_t Value, unsigned Bits) {
+    Addr |= Value << Shift;
+    Shift += Bits;
+  };
+
+  put(D.Column, ColBits);
+  switch (Kind) {
+  case AddressMapKind::ColVaultBankRow:
+    put(D.Vault, VaultBits);
+    put(D.Bank, BankBits);
+    put(D.Row, RowBits);
+    break;
+  case AddressMapKind::ColBankVaultRow:
+    put(D.Bank, BankBits);
+    put(D.Vault, VaultBits);
+    put(D.Row, RowBits);
+    break;
+  case AddressMapKind::ColVaultRowBank:
+    put(D.Vault, VaultBits);
+    put(D.Row, RowBits);
+    put(D.Bank, BankBits);
+    break;
+  case AddressMapKind::ColRowBankVault:
+    put(D.Row, RowBits);
+    put(D.Bank, BankBits);
+    put(D.Vault, VaultBits);
+    break;
+  }
+  return Addr;
+}
+
+std::string AddressMapper::describe() const {
+  char Buffer[128];
+  const char *Layout = nullptr;
+  switch (Kind) {
+  case AddressMapKind::ColVaultBankRow:
+    Layout = "[col:%u][vault:%u][bank:%u][row:%u]";
+    break;
+  case AddressMapKind::ColBankVaultRow:
+    Layout = "[col:%u][bank:%u][vault:%u][row:%u]";
+    break;
+  case AddressMapKind::ColVaultRowBank:
+    Layout = "[col:%u][vault:%u][row:%u][bank:%u]";
+    break;
+  case AddressMapKind::ColRowBankVault:
+    Layout = "[col:%u][row:%u][bank:%u][vault:%u]";
+    break;
+  }
+  // The middle two field widths follow the same order as the format string;
+  // pick them per kind.
+  unsigned A = 0, B = 0, C = 0;
+  switch (Kind) {
+  case AddressMapKind::ColVaultBankRow:
+    A = VaultBits, B = BankBits, C = RowBits;
+    break;
+  case AddressMapKind::ColBankVaultRow:
+    A = BankBits, B = VaultBits, C = RowBits;
+    break;
+  case AddressMapKind::ColVaultRowBank:
+    A = VaultBits, B = RowBits, C = BankBits;
+    break;
+  case AddressMapKind::ColRowBankVault:
+    A = RowBits, B = BankBits, C = VaultBits;
+    break;
+  }
+  std::snprintf(Buffer, sizeof(Buffer), Layout, ColBits, A, B, C);
+  std::string Result = Buffer;
+  if (XorHash)
+    Result += " (xor-hashed)";
+  return Result;
+}

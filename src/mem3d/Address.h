@@ -1,0 +1,97 @@
+//===- mem3d/Address.h - Physical address mapping ---------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps linear physical byte addresses onto (vault, bank, row, column)
+/// coordinates. The interleaving order is a first-class design choice: the
+/// paper's bandwidth results depend on where the vault bits sit relative to
+/// the row-offset bits, so the mapper supports several orders plus an
+/// optional XOR (bank-hash) permutation, all bijective by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_ADDRESS_H
+#define FFT3D_MEM3D_ADDRESS_H
+
+#include "mem3d/Geometry.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fft3d {
+
+/// Physical byte address into the 3D memory.
+using PhysAddr = std::uint64_t;
+
+/// Decomposed address. Column is the byte offset within the row buffer;
+/// Bank is the vault-local bank id (layer-major).
+struct DecodedAddr {
+  unsigned Vault = 0;
+  unsigned Bank = 0;
+  std::uint64_t Row = 0;
+  std::uint64_t Column = 0;
+
+  bool operator==(const DecodedAddr &Other) const = default;
+};
+
+/// Bit-field orders, listed from least-significant field upwards.
+enum class AddressMapKind {
+  /// [column][vault][bank][row] - sequential addresses round-robin all
+  /// vaults at row-buffer granularity. Default: maximizes sequential
+  /// bandwidth, which the row-major layout relies on in phase 1.
+  ColVaultBankRow,
+
+  /// [column][bank][vault][row] - sequential addresses sweep the banks of
+  /// one vault before moving to the next vault.
+  ColBankVaultRow,
+
+  /// [column][vault][row][bank] - vault-interleaved, bank chosen by high
+  /// bits; whole vault-row planes are contiguous.
+  ColVaultRowBank,
+
+  /// [column][row][bank][vault] - each bank is one big contiguous extent.
+  /// The pathological mapping: no interleaving at all.
+  ColRowBankVault,
+};
+
+/// Returns a human-readable name for \p Kind.
+const char *addressMapKindName(AddressMapKind Kind);
+
+/// Bijective translator between PhysAddr and DecodedAddr for a Geometry.
+class AddressMapper {
+public:
+  /// \p XorHashRowIntoBank enables the classic bank-permutation hash
+  /// (bank/vault bits XORed with low row bits) that real controllers use
+  /// to spread pathological strides.
+  AddressMapper(const Geometry &G, AddressMapKind Kind,
+                bool XorHashRowIntoBank = false);
+
+  const Geometry &geometry() const { return Geo; }
+  AddressMapKind kind() const { return Kind; }
+  bool xorHashEnabled() const { return XorHash; }
+
+  /// Decodes a byte address. \p Addr must be < capacityBytes().
+  DecodedAddr decode(PhysAddr Addr) const;
+
+  /// Encodes coordinates back to a byte address (inverse of decode()).
+  PhysAddr encode(const DecodedAddr &D) const;
+
+  /// Describes the bit layout, e.g. "[col:13][vault:4][bank:3][row:14]".
+  std::string describe() const;
+
+private:
+  Geometry Geo;
+  AddressMapKind Kind;
+  bool XorHash;
+  unsigned ColBits;
+  unsigned VaultBits;
+  unsigned BankBits;
+  unsigned RowBits;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_ADDRESS_H

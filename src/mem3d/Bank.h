@@ -1,0 +1,68 @@
+//===- mem3d/Bank.h - DRAM bank state machine -------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-bank state: which row (if any) is latched in the row buffer, and
+/// the earliest times the bank may accept another ACTIVATE or another
+/// column access. The controller owns all scheduling decisions; the bank
+/// only records the consequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_BANK_H
+#define FFT3D_MEM3D_BANK_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace fft3d {
+
+/// State of one DRAM bank.
+class Bank {
+public:
+  /// Row currently held in the row buffer, if any.
+  std::optional<std::uint64_t> openRow() const { return OpenRow; }
+
+  /// Earliest time the next ACTIVATE to this bank may issue (t_diff_row
+  /// after the previous one).
+  Picos nextActivateTime() const { return NextActivate; }
+
+  /// Earliest time the next column access to this bank may issue.
+  Picos nextColumnTime() const { return NextColumn; }
+
+  /// Returns true if \p Row is open in the row buffer.
+  bool isRowHit(std::uint64_t Row) const {
+    return OpenRow.has_value() && *OpenRow == Row;
+  }
+
+  /// Records an ACTIVATE of \p Row at \p When with same-bank spacing
+  /// \p TDiffRow.
+  void recordActivate(std::uint64_t Row, Picos When, Picos TDiffRow) {
+    OpenRow = Row;
+    NextActivate = When + TDiffRow;
+  }
+
+  /// Records a column burst whose first column command issued at \p CmdTime
+  /// and which occupies the bank column path for \p Beats beats of
+  /// \p TInRow each.
+  void recordColumnBurst(Picos CmdTime, std::uint64_t Beats, Picos TInRow) {
+    NextColumn = CmdTime + Beats * TInRow;
+  }
+
+  /// Closes the row buffer (closed-page policy / precharge).
+  void closeRow() { OpenRow.reset(); }
+
+private:
+  std::optional<std::uint64_t> OpenRow;
+  Picos NextActivate = 0;
+  Picos NextColumn = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_BANK_H

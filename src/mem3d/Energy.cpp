@@ -1,0 +1,75 @@
+//===- mem3d/Energy.cpp - 3D-memory energy model ---------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Energy.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+using namespace fft3d;
+
+bool EnergyParams::isValid() const {
+  return ActivatePJ >= 0 && ReadBeatPJ >= 0 && WriteBeatPJ >= 0 &&
+         TsvBeatPJ >= 0 && StaticMilliwattsPerVault >= 0;
+}
+
+void EnergyParams::validate() const {
+  if (!isValid())
+    reportFatalError("energy coefficients must be non-negative");
+}
+
+double EnergyBreakdown::milliwatts(Picos Elapsed) const {
+  if (Elapsed == 0)
+    return 0.0;
+  // pJ / ps = W; scale to mW.
+  return totalPJ() / static_cast<double>(Elapsed) * 1e3;
+}
+
+void EnergyBreakdown::print(std::ostream &OS, std::uint64_t Bytes,
+                            Picos Elapsed) const {
+  OS << "energy: " << totalPJ() / 1e6 << " uJ total ("
+     << ActivatePJ / 1e6 << " activate, " << (ReadPJ + WritePJ) / 1e6
+     << " column, " << TsvPJ / 1e6 << " TSV, " << StaticPJ / 1e6
+     << " static)\n"
+     << "  " << picojoulesPerBit(Bytes) << " pJ/bit at "
+     << milliwatts(Elapsed) << " mW average\n";
+}
+
+EnergyModel::EnergyModel(const EnergyParams &Params) : Params(Params) {
+  Params.validate();
+}
+
+EnergyBreakdown EnergyModel::compute(const VaultStats &Stats, Picos Elapsed,
+                                     unsigned BytesPerBeat) const {
+  EnergyBreakdown E;
+  const double ReadBeats = static_cast<double>(
+      ceilDiv(Stats.BytesRead, BytesPerBeat));
+  const double WriteBeats = static_cast<double>(
+      ceilDiv(Stats.BytesWritten, BytesPerBeat));
+  E.ActivatePJ = Params.ActivatePJ * static_cast<double>(Stats.RowActivations);
+  E.ReadPJ = Params.ReadBeatPJ * ReadBeats;
+  E.WritePJ = Params.WriteBeatPJ * WriteBeats;
+  E.TsvPJ = Params.TsvBeatPJ * (ReadBeats + WriteBeats);
+  // mW * ps = pJ * 1e-3.
+  E.StaticPJ = Params.StaticMilliwattsPerVault *
+               static_cast<double>(Elapsed) * 1e-3;
+  return E;
+}
+
+EnergyBreakdown EnergyModel::compute(const MemStats &Stats, Picos Elapsed,
+                                     unsigned BytesPerBeat) const {
+  EnergyBreakdown Sum;
+  for (unsigned V = 0; V != Stats.numVaults(); ++V) {
+    const EnergyBreakdown E =
+        compute(Stats.vault(V), Elapsed, BytesPerBeat);
+    Sum.ActivatePJ += E.ActivatePJ;
+    Sum.ReadPJ += E.ReadPJ;
+    Sum.WritePJ += E.WritePJ;
+    Sum.TsvPJ += E.TsvPJ;
+    Sum.StaticPJ += E.StaticPJ;
+  }
+  return Sum;
+}

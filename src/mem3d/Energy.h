@@ -1,0 +1,103 @@
+//===- mem3d/Energy.h - 3D-memory energy model ------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Energy accounting for the 3D memory. The paper's companion work
+/// (reference [6], "DRAM Row Activation Energy Optimization for Stride
+/// Memory Access") motivates the dynamic layout as much by activation
+/// *energy* as by bandwidth: a row activation senses an entire 8 KiB
+/// page, so a layout that reads one 8-byte element per activation pays
+/// three orders of magnitude more pJ/bit than one that drains the whole
+/// row buffer.
+///
+/// The default coefficients are representative of low-voltage stacked
+/// DRAM (HMC-class, ~3.7 pJ/bit end-to-end for streaming access, an
+/// order of magnitude below DDR3's ~40 pJ/bit): ~0.9 nJ per activation
+/// (activate + precharge of an 8 KiB page), per-beat column/array and
+/// TSV transport energy, and per-vault background power.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_ENERGY_H
+#define FFT3D_MEM3D_ENERGY_H
+
+#include "mem3d/MemStats.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <ostream>
+
+namespace fft3d {
+
+/// Energy coefficients (picojoules unless noted).
+struct EnergyParams {
+  /// One ACTIVATE + PRECHARGE pair: sensing and restoring a full row.
+  double ActivatePJ = 900.0;
+
+  /// Column access + array read per 8-byte beat.
+  double ReadBeatPJ = 18.0;
+
+  /// Column access + array write per 8-byte beat.
+  double WriteBeatPJ = 20.0;
+
+  /// Moving one 8-byte beat across the TSV bundle (either direction).
+  double TsvBeatPJ = 6.0;
+
+  /// Background + peripheral power per vault, in milliwatts.
+  double StaticMilliwattsPerVault = 30.0;
+
+  bool isValid() const;
+  void validate() const;
+};
+
+/// Per-component energy totals for one measurement window.
+struct EnergyBreakdown {
+  double ActivatePJ = 0.0;
+  double ReadPJ = 0.0;
+  double WritePJ = 0.0;
+  double TsvPJ = 0.0;
+  double StaticPJ = 0.0;
+
+  double totalPJ() const {
+    return ActivatePJ + ReadPJ + WritePJ + TsvPJ + StaticPJ;
+  }
+
+  /// Dynamic energy only (everything but the background term).
+  double dynamicPJ() const { return totalPJ() - StaticPJ; }
+
+  /// Energy per transferred bit over \p Bytes of traffic.
+  double picojoulesPerBit(std::uint64_t Bytes) const {
+    return Bytes == 0 ? 0.0 : totalPJ() / (8.0 * static_cast<double>(Bytes));
+  }
+
+  /// Average power over \p Elapsed, in milliwatts.
+  double milliwatts(Picos Elapsed) const;
+
+  void print(std::ostream &OS, std::uint64_t Bytes, Picos Elapsed) const;
+};
+
+/// Turns memory statistics into energy figures.
+class EnergyModel {
+public:
+  explicit EnergyModel(const EnergyParams &Params = EnergyParams());
+
+  const EnergyParams &params() const { return Params; }
+
+  /// Energy of one vault's recorded activity over \p Elapsed.
+  EnergyBreakdown compute(const VaultStats &Stats, Picos Elapsed,
+                          unsigned BytesPerBeat = 8) const;
+
+  /// Whole-device energy: sums vaults and charges static power per vault.
+  EnergyBreakdown compute(const MemStats &Stats, Picos Elapsed,
+                          unsigned BytesPerBeat = 8) const;
+
+private:
+  EnergyParams Params;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_ENERGY_H

@@ -1,0 +1,31 @@
+//===- mem3d/Geometry.cpp - 3D-memory organization -------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Geometry.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+using namespace fft3d;
+
+bool Geometry::isValid() const {
+  if (!isPowerOf2(NumVaults) || !isPowerOf2(LayersPerVault) ||
+      !isPowerOf2(BanksPerLayer) || !isPowerOf2(RowsPerBank) ||
+      !isPowerOf2(RowBufferBytes))
+    return false;
+  if (NumTsvsPerVault == 0 || NumTsvsPerVault % 8 != 0)
+    return false;
+  if (RowBufferBytes < bytesPerBeat())
+    return false;
+  return true;
+}
+
+void Geometry::validate() const {
+  if (!isValid())
+    reportFatalError("invalid 3D-memory geometry: all structural dimensions "
+                     "must be powers of two and NumTsvsPerVault a non-zero "
+                     "multiple of 8 no wider than the row buffer");
+}

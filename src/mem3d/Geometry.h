@@ -1,0 +1,77 @@
+//===- mem3d/Geometry.h - 3D-memory organization ----------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural description of the 3D-stacked memory (paper Fig. 1b):
+/// vertically stacked layers partitioned into banks; the banks that share
+/// one set of TSVs across layers form a vault; each vault has a dedicated
+/// memory controller. All dimensions are powers of two so address mapping
+/// is pure bit slicing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_GEOMETRY_H
+#define FFT3D_MEM3D_GEOMETRY_H
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Structural parameters of the 3D memory. The defaults describe the
+/// 16-vault, 80 GB/s device calibrated in DESIGN.md §6.
+struct Geometry {
+  /// Number of vaults (V in the paper). Vaults are fully independent.
+  unsigned NumVaults = 16;
+
+  /// Number of stacked memory layers (L in the paper).
+  unsigned LayersPerVault = 4;
+
+  /// Banks per layer belonging to one vault (B in the paper).
+  unsigned BanksPerLayer = 2;
+
+  /// DRAM rows per bank.
+  std::uint64_t RowsPerBank = 16384;
+
+  /// Row-buffer (DRAM page) capacity in bytes (s, in bytes).
+  std::uint64_t RowBufferBytes = 8192;
+
+  /// TSVs in the bundle shared by one vault (N_tsv). Each TSV moves one
+  /// bit per TSV clock, so a vault transfers NumTsvsPerVault/8 bytes per
+  /// beat.
+  unsigned NumTsvsPerVault = 64;
+
+  /// Banks per vault (= LayersPerVault * BanksPerLayer).
+  unsigned banksPerVault() const { return LayersPerVault * BanksPerLayer; }
+
+  /// Total banks in the device.
+  unsigned totalBanks() const { return NumVaults * banksPerVault(); }
+
+  /// Bytes moved per vault per TSV beat.
+  unsigned bytesPerBeat() const { return NumTsvsPerVault / 8; }
+
+  /// Capacity of one bank in bytes.
+  std::uint64_t bankBytes() const { return RowsPerBank * RowBufferBytes; }
+
+  /// Capacity of one vault in bytes.
+  std::uint64_t vaultBytes() const { return banksPerVault() * bankBytes(); }
+
+  /// Total device capacity in bytes.
+  std::uint64_t capacityBytes() const { return NumVaults * vaultBytes(); }
+
+  /// Returns true if every field is a power of two and non-degenerate.
+  bool isValid() const;
+
+  /// Aborts with a diagnostic if the geometry is invalid.
+  void validate() const;
+
+  /// Layer index of a vault-local bank id (banks are numbered layer-major:
+  /// bank = layer * BanksPerLayer + bankInLayer).
+  unsigned layerOfBank(unsigned Bank) const { return Bank / BanksPerLayer; }
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_GEOMETRY_H

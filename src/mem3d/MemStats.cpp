@@ -1,0 +1,91 @@
+//===- mem3d/MemStats.cpp - Memory simulator statistics -------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/MemStats.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+double VaultStats::hitRate() const {
+  const std::uint64_t Total = RowHits + RowMisses;
+  return Total == 0 ? 0.0
+                    : static_cast<double>(RowHits) / static_cast<double>(Total);
+}
+
+void VaultStats::merge(const VaultStats &Other) {
+  Reads += Other.Reads;
+  Writes += Other.Writes;
+  BytesRead += Other.BytesRead;
+  BytesWritten += Other.BytesWritten;
+  RowActivations += Other.RowActivations;
+  RowHits += Other.RowHits;
+  RowMisses += Other.RowMisses;
+  RefreshStalls += Other.RefreshStalls;
+  BusBusy += Other.BusBusy;
+}
+
+MemStats::MemStats(unsigned NumVaults) : Vaults(NumVaults) {}
+
+VaultStats &MemStats::vault(unsigned Index) {
+  assert(Index < Vaults.size() && "vault index out of range");
+  return Vaults[Index];
+}
+
+const VaultStats &MemStats::vault(unsigned Index) const {
+  assert(Index < Vaults.size() && "vault index out of range");
+  return Vaults[Index];
+}
+
+VaultStats MemStats::total() const {
+  VaultStats Sum;
+  for (const VaultStats &V : Vaults)
+    Sum.merge(V);
+  return Sum;
+}
+
+double MemStats::achievedGBps(Picos Elapsed) const {
+  return bytesOverPicosToGBps(total().totalBytes(), Elapsed);
+}
+
+double MemStats::busUtilization(Picos Elapsed) const {
+  if (Elapsed == 0 || Vaults.empty())
+    return 0.0;
+  return static_cast<double>(total().BusBusy) /
+         (static_cast<double>(Elapsed) * static_cast<double>(Vaults.size()));
+}
+
+void MemStats::enableLatencyHistogram(double BucketNanos,
+                                      unsigned NumBuckets) {
+  LatencyHist = std::make_unique<Histogram>(BucketNanos, NumBuckets);
+}
+
+double MemStats::latencyPercentileNanos(double Fraction) const {
+  return LatencyHist ? LatencyHist->percentile(Fraction) : 0.0;
+}
+
+void MemStats::reset() {
+  for (VaultStats &V : Vaults)
+    V = VaultStats();
+  LatencyStat.reset();
+  if (LatencyHist)
+    enableLatencyHistogram(LatencyHist->bucketWidth(),
+                           LatencyHist->numBuckets());
+}
+
+void MemStats::print(std::ostream &OS, Picos Elapsed) const {
+  const VaultStats Sum = total();
+  OS << "memory: " << Sum.totalAccesses() << " accesses, "
+     << formatBytes(Sum.totalBytes()) << " moved in "
+     << formatDuration(Elapsed) << "\n"
+     << "  bandwidth: " << achievedGBps(Elapsed) << " GB/s, TSV occupancy "
+     << busUtilization(Elapsed) * 100.0 << "%\n"
+     << "  row buffer: " << Sum.RowActivations << " activations, hit rate "
+     << Sum.hitRate() * 100.0 << "%\n"
+     << "  latency: mean " << LatencyStat.mean() << " ns, max "
+     << LatencyStat.max() << " ns over " << LatencyStat.count()
+     << " requests\n";
+}

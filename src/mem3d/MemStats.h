@@ -1,0 +1,105 @@
+//===- mem3d/MemStats.h - Memory simulator statistics -----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the benchmark harness reads out of the memory simulator:
+/// traffic, row-buffer behaviour, TSV occupancy and request latency. These
+/// are exactly the quantities the paper's evaluation reasons about (row
+/// activations, bandwidth utilization, latency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_MEMSTATS_H
+#define FFT3D_MEM3D_MEMSTATS_H
+
+#include "support/Stats.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+namespace fft3d {
+
+/// Per-vault traffic and row-buffer counters.
+struct VaultStats {
+  std::uint64_t Reads = 0;
+  std::uint64_t Writes = 0;
+  std::uint64_t BytesRead = 0;
+  std::uint64_t BytesWritten = 0;
+  std::uint64_t RowActivations = 0;
+  std::uint64_t RowHits = 0;
+  std::uint64_t RowMisses = 0;
+  /// Commands pushed out of a periodic refresh window.
+  std::uint64_t RefreshStalls = 0;
+  /// Total time the vault's TSV bus carried data.
+  Picos BusBusy = 0;
+
+  std::uint64_t totalBytes() const { return BytesRead + BytesWritten; }
+  std::uint64_t totalAccesses() const { return Reads + Writes; }
+
+  /// Row-buffer hit rate in [0, 1]; 0 when there were no accesses.
+  double hitRate() const;
+
+  void merge(const VaultStats &Other);
+};
+
+/// Aggregate statistics for the whole device.
+class MemStats {
+public:
+  explicit MemStats(unsigned NumVaults);
+
+  VaultStats &vault(unsigned Index);
+  const VaultStats &vault(unsigned Index) const;
+  unsigned numVaults() const { return static_cast<unsigned>(Vaults.size()); }
+
+  /// Sum over all vaults.
+  VaultStats total() const;
+
+  /// Records a completed request's latency (enqueue to last beat).
+  void recordLatency(Picos Latency) {
+    LatencyStat.addSample(picosToNanos(Latency));
+  }
+
+  /// Request latency statistics, in nanoseconds.
+  const RunningStat &latencyNanos() const { return LatencyStat; }
+
+  /// Mutable access for the controllers that feed the latency statistic.
+  RunningStat &latencyStatForUpdate() { return LatencyStat; }
+
+  /// Enables a latency histogram (\p BucketNanos-wide buckets); the
+  /// controllers then feed it alongside the running statistic. Replaces
+  /// any previous histogram.
+  void enableLatencyHistogram(double BucketNanos, unsigned NumBuckets);
+
+  /// The histogram, or nullptr when not enabled.
+  const Histogram *latencyHistogram() const { return LatencyHist.get(); }
+  Histogram *latencyHistogramForUpdate() { return LatencyHist.get(); }
+
+  /// Latency percentile in nanoseconds (0 when no histogram is enabled).
+  double latencyPercentileNanos(double Fraction) const;
+
+  /// Achieved bandwidth over \p Elapsed, in GB/s.
+  double achievedGBps(Picos Elapsed) const;
+
+  /// Mean TSV-bus occupancy over \p Elapsed, in [0, 1].
+  double busUtilization(Picos Elapsed) const;
+
+  void reset();
+
+  /// Prints a short human-readable summary.
+  void print(std::ostream &OS, Picos Elapsed) const;
+
+private:
+  std::vector<VaultStats> Vaults;
+  RunningStat LatencyStat;
+  std::unique_ptr<Histogram> LatencyHist;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_MEMSTATS_H

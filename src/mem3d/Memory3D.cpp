@@ -1,0 +1,79 @@
+//===- mem3d/Memory3D.cpp - Top-level 3D memory device --------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Memory3D.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config)
+    : Events(Events), Config(Config),
+      Mapper(Config.Geo, Config.MapKind, Config.XorHash),
+      Stats(Config.Geo.NumVaults) {
+  Config.Geo.validate();
+  Config.Time.validate();
+  Vaults.reserve(Config.Geo.NumVaults);
+  for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+    Vaults.emplace_back(this->Config.Geo, this->Config.Time);
+  for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+    Controllers.push_back(std::make_unique<MemoryController>(
+        Events, Vaults[V], this->Config.Geo, this->Config.Time, Config.Sched,
+        Config.Page, Stats.vault(V), Stats));
+}
+
+double Memory3D::peakBandwidthGBps() const {
+  const double BytesPerBeat = Config.Geo.bytesPerBeat();
+  const double BeatNanos = picosToNanos(Config.Time.TsvPeriod);
+  return Config.Geo.NumVaults * BytesPerBeat / BeatNanos;
+}
+
+void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
+  MemRequest Req = ReqIn;
+  if (Req.Id == 0)
+    Req.Id = ++NextRequestId;
+  const DecodedAddr Where = Mapper.decode(Req.Addr);
+  if (Observer)
+    Observer(Req, Where);
+  Controllers[Where.Vault]->enqueue(Req, Where, std::move(Done));
+}
+
+unsigned Memory3D::submitSpan(PhysAddr Addr, std::uint64_t Bytes, bool IsWrite,
+                              MemCallback Done) {
+  assert(Bytes != 0 && "empty span");
+  const std::uint64_t RowBytes = Config.Geo.RowBufferBytes;
+  unsigned Submitted = 0;
+  while (Bytes != 0) {
+    const std::uint64_t Offset = Addr % RowBytes;
+    const std::uint64_t Chunk = std::min(Bytes, RowBytes - Offset);
+    MemRequest Req;
+    Req.IsWrite = IsWrite;
+    Req.Addr = Addr;
+    Req.Bytes = static_cast<std::uint32_t>(Chunk);
+    submit(Req, Done);
+    Addr += Chunk;
+    Bytes -= Chunk;
+    ++Submitted;
+  }
+  return Submitted;
+}
+
+std::size_t Memory3D::pendingRequests() const {
+  std::size_t Total = 0;
+  for (const auto &C : Controllers)
+    Total += C->pending();
+  return Total;
+}
+
+std::size_t Memory3D::maxQueueDepth() const {
+  std::size_t Max = 0;
+  for (const auto &C : Controllers)
+    Max = std::max(Max, C->maxQueueDepth());
+  return Max;
+}

@@ -1,0 +1,100 @@
+//===- mem3d/Memory3D.h - Top-level 3D memory device ------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete 3D-stacked memory device (paper Fig. 1): an address mapper
+/// in front of V independent vaults, each with its own controller. This is
+/// the substrate every experiment runs on; the FPGA side submits timed
+/// read/write bursts and receives completion callbacks through the shared
+/// event queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_MEMORY3D_H
+#define FFT3D_MEM3D_MEMORY3D_H
+
+#include "mem3d/Address.h"
+#include "mem3d/MemStats.h"
+#include "mem3d/MemoryController.h"
+#include "mem3d/Request.h"
+#include "sim/EventQueue.h"
+
+#include <memory>
+#include <vector>
+
+namespace fft3d {
+
+/// Configuration of a Memory3D instance.
+struct MemoryConfig {
+  Geometry Geo;
+  Timing Time;
+  AddressMapKind MapKind = AddressMapKind::ColVaultBankRow;
+  bool XorHash = false;
+  SchedulePolicy Sched = SchedulePolicy::FrFcfs;
+  PagePolicy Page = PagePolicy::OpenPage;
+};
+
+/// The 3D memory device model.
+class Memory3D {
+public:
+  Memory3D(EventQueue &Events, const MemoryConfig &Config);
+
+  // Not copyable or movable: controllers hold references into the device.
+  Memory3D(const Memory3D &) = delete;
+  Memory3D &operator=(const Memory3D &) = delete;
+
+  const MemoryConfig &config() const { return Config; }
+  const AddressMapper &mapper() const { return Mapper; }
+  const Geometry &geometry() const { return Config.Geo; }
+  const Timing &timing() const { return Config.Time; }
+
+  /// Theoretical peak bandwidth of the device in GB/s: every vault's TSV
+  /// bundle streaming a beat per TSV clock.
+  double peakBandwidthGBps() const;
+
+  /// Observer invoked for every submitted request with its decoded
+  /// coordinates; used by tests and trace studies. Null disables.
+  using RequestObserver =
+      std::function<void(const MemRequest &, const DecodedAddr &)>;
+
+  /// Installs (or clears, with nullptr) the request observer.
+  void setRequestObserver(RequestObserver Observer) {
+    this->Observer = std::move(Observer);
+  }
+
+  /// Submits a request; \p Done fires when its last data beat completes.
+  /// The request must lie within one row buffer (callers split bursts).
+  void submit(const MemRequest &Req, MemCallback Done);
+
+  /// Splits an arbitrary [Addr, Addr+Bytes) transfer into row-buffer-sized
+  /// requests and submits them all; \p Done fires once per piece.
+  /// Returns the number of requests submitted.
+  unsigned submitSpan(PhysAddr Addr, std::uint64_t Bytes, bool IsWrite,
+                      MemCallback Done);
+
+  /// Total requests queued in all vault controllers.
+  std::size_t pendingRequests() const;
+
+  /// Deepest any single vault controller queue has been.
+  std::size_t maxQueueDepth() const;
+
+  MemStats &stats() { return Stats; }
+  const MemStats &stats() const { return Stats; }
+
+private:
+  EventQueue &Events;
+  MemoryConfig Config;
+  AddressMapper Mapper;
+  MemStats Stats;
+  std::vector<Vault> Vaults;
+  std::vector<std::unique_ptr<MemoryController>> Controllers;
+  RequestObserver Observer;
+  std::uint64_t NextRequestId = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_MEMORY3D_H

@@ -1,0 +1,145 @@
+//===- mem3d/MemoryController.cpp - Per-vault controller ------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/MemoryController.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+const char *fft3d::schedulePolicyName(SchedulePolicy P) {
+  switch (P) {
+  case SchedulePolicy::Fcfs:
+    return "FCFS";
+  case SchedulePolicy::FrFcfs:
+    return "FR-FCFS";
+  }
+  fft3d_unreachable("unknown SchedulePolicy");
+}
+
+const char *fft3d::pagePolicyName(PagePolicy P) {
+  switch (P) {
+  case PagePolicy::OpenPage:
+    return "open-page";
+  case PagePolicy::ClosedPage:
+    return "closed-page";
+  }
+  fft3d_unreachable("unknown PagePolicy");
+}
+
+MemoryController::MemoryController(EventQueue &Events, Vault &V,
+                                   const Geometry &G, const Timing &T,
+                                   SchedulePolicy Sched, PagePolicy Page,
+                                   VaultStats &Stats, MemStats &DeviceStats)
+    : Events(Events), TheVault(V), Geo(G), Time(T), Sched(Sched), Page(Page),
+      Stats(Stats), DeviceStats(DeviceStats) {}
+
+void MemoryController::enqueue(const MemRequest &Req, const DecodedAddr &Where,
+                               MemCallback Done) {
+  assert(Where.Column + Req.Bytes <= Geo.RowBufferBytes &&
+         "request crosses a row-buffer boundary; split it upstream");
+  assert(Req.Bytes != 0 && "zero-length request");
+  Queue.push_back(PendingReq{Req, Where, std::move(Done), Events.now()});
+  MaxDepth = std::max(MaxDepth, Queue.size());
+  armWakeup();
+}
+
+void MemoryController::armWakeup() {
+  if (WakeArmed || Queue.empty())
+    return;
+  WakeArmed = true;
+  const Picos When = std::max(Events.now(), NextDecisionTime);
+  Events.scheduleAt(When, [this] { wake(); });
+}
+
+void MemoryController::wake() {
+  WakeArmed = false;
+  if (Queue.empty())
+    return;
+  const std::size_t Index = selectNext();
+  PendingReq P = std::move(Queue[Index]);
+  Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(Index));
+  issue(P);
+  // Command-bus pacing: the next decision happens no earlier than one TSV
+  // period from now.
+  NextDecisionTime = Events.now() + Time.TsvPeriod;
+  armWakeup();
+}
+
+std::size_t MemoryController::selectNext() const {
+  assert(!Queue.empty() && "selecting from an empty queue");
+  if (Sched == SchedulePolicy::Fcfs || Page == PagePolicy::ClosedPage)
+    return 0;
+  // FR-FCFS: oldest row-buffer hit first, else the oldest request.
+  for (std::size_t I = 0; I != Queue.size(); ++I) {
+    const PendingReq &P = Queue[I];
+    if (TheVault.bank(P.Where.Bank).isRowHit(P.Where.Row))
+      return I;
+  }
+  return 0;
+}
+
+Picos MemoryController::avoidRefresh(Picos T) {
+  if (Time.RefreshInterval == 0)
+    return T;
+  const Picos Phase = T % Time.RefreshInterval;
+  if (Phase >= Time.RefreshDuration)
+    return T;
+  ++Stats.RefreshStalls;
+  return T - Phase + Time.RefreshDuration;
+}
+
+Picos MemoryController::issue(PendingReq &P) {
+  Bank &B = TheVault.bank(P.Where.Bank);
+  const Picos Now = Events.now();
+  const std::uint64_t Beats = ceilDiv(P.Req.Bytes, Geo.bytesPerBeat());
+
+  const bool Hit = Page == PagePolicy::OpenPage && B.isRowHit(P.Where.Row);
+  Picos CmdTime;
+  if (Hit) {
+    ++Stats.RowHits;
+    CmdTime = avoidRefresh(std::max(Now, B.nextColumnTime()));
+  } else {
+    ++Stats.RowMisses;
+    ++Stats.RowActivations;
+    const Picos ActTime = avoidRefresh(
+        std::max({Now, B.nextActivateTime(),
+                  TheVault.earliestActivate(P.Where.Bank)}));
+    B.recordActivate(P.Where.Row, ActTime, Time.TDiffRow);
+    TheVault.recordActivate(P.Where.Bank, ActTime);
+    CmdTime = std::max(ActTime + Time.ActivateLatency, B.nextColumnTime());
+  }
+
+  const Picos DataStart =
+      std::max(CmdTime + Time.AccessLatency, TheVault.busFreeTime());
+  const Picos DataEnd = DataStart + Beats * Time.TsvPeriod;
+  B.recordColumnBurst(CmdTime, Beats, Time.TInRow);
+  TheVault.reserveBus(DataStart, DataEnd);
+  if (Page == PagePolicy::ClosedPage)
+    B.closeRow();
+
+  if (P.Req.IsWrite) {
+    ++Stats.Writes;
+    Stats.BytesWritten += P.Req.Bytes;
+  } else {
+    ++Stats.Reads;
+    Stats.BytesRead += P.Req.Bytes;
+  }
+  Stats.BusBusy += DataEnd - DataStart;
+  DeviceStats.recordLatency(DataEnd - P.EnqueueTime);
+  if (Histogram *Hist = DeviceStats.latencyHistogramForUpdate())
+    Hist->addSample(picosToNanos(DataEnd - P.EnqueueTime));
+
+  if (P.Done) {
+    Events.scheduleAt(DataEnd, [Done = std::move(P.Done), Req = P.Req,
+                                DataEnd] { Done(Req, DataEnd); });
+  }
+  return DataEnd;
+}

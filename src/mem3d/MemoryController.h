@@ -1,0 +1,112 @@
+//===- mem3d/MemoryController.h - Per-vault controller ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-vault memory controller (paper Fig. 1: "each vault has a
+/// dedicated memory controller"). It queues requests, picks the next one
+/// per its scheduling policy, resolves the paper's timing constraints
+/// against the vault/bank state, and reports completions into the event
+/// queue. One command can issue per TSV clock; all deeper parallelism
+/// comes from bank pipelining.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_MEMORYCONTROLLER_H
+#define FFT3D_MEM3D_MEMORYCONTROLLER_H
+
+#include "mem3d/MemStats.h"
+#include "mem3d/Request.h"
+#include "mem3d/Timing.h"
+#include "mem3d/Vault.h"
+#include "sim/EventQueue.h"
+
+#include <deque>
+
+namespace fft3d {
+
+/// Request selection policy.
+enum class SchedulePolicy {
+  /// Strictly first-come, first-served.
+  Fcfs,
+  /// First-ready FCFS: prefer the oldest row-buffer hit, else the oldest
+  /// request.
+  FrFcfs,
+};
+
+/// Row-buffer management policy.
+enum class PagePolicy {
+  /// Leave rows open after access (default; the dynamic layouts exploit
+  /// open rows).
+  OpenPage,
+  /// Precharge after every access: every access pays an ACTIVATE.
+  ClosedPage,
+};
+
+const char *schedulePolicyName(SchedulePolicy P);
+const char *pagePolicyName(PagePolicy P);
+
+/// One vault's controller.
+class MemoryController {
+public:
+  MemoryController(EventQueue &Events, Vault &V, const Geometry &G,
+                   const Timing &T, SchedulePolicy Sched, PagePolicy Page,
+                   VaultStats &Stats, MemStats &DeviceStats);
+
+  /// Enqueues a request; \p Done fires (via the event queue) when the last
+  /// data beat crosses the TSVs.
+  void enqueue(const MemRequest &Req, const DecodedAddr &Where,
+               MemCallback Done);
+
+  /// Number of requests waiting to issue.
+  std::size_t pending() const { return Queue.size(); }
+
+  /// Deepest the queue has ever been (front-end sizing input).
+  std::size_t maxQueueDepth() const { return MaxDepth; }
+
+private:
+  struct PendingReq {
+    MemRequest Req;
+    DecodedAddr Where;
+    MemCallback Done;
+    Picos EnqueueTime;
+  };
+
+  /// Schedules the next decision point if one is needed.
+  void armWakeup();
+
+  /// Decision point: select and issue at most one request.
+  void wake();
+
+  /// Index into Queue of the request to issue next, per policy.
+  std::size_t selectNext() const;
+
+  /// Pushes \p T out of any periodic all-bank refresh window (no-op when
+  /// refresh is disabled). Counts a refresh stall when it adjusts.
+  Picos avoidRefresh(Picos T);
+
+  /// Resolves timing for \p P, updates bank/vault state and statistics,
+  /// and schedules the completion callback. Returns the completion time.
+  Picos issue(PendingReq &P);
+
+  EventQueue &Events;
+  Vault &TheVault;
+  const Geometry &Geo;
+  const Timing &Time;
+  SchedulePolicy Sched;
+  PagePolicy Page;
+  VaultStats &Stats;
+  MemStats &DeviceStats;
+
+  std::deque<PendingReq> Queue;
+  std::size_t MaxDepth = 0;
+  bool WakeArmed = false;
+  /// Command-bus pacing: at most one command decision per TSV period.
+  Picos NextDecisionTime = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_MEMORYCONTROLLER_H

@@ -1,0 +1,40 @@
+//===- mem3d/Request.h - Memory request descriptor --------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of work the FPGA side submits to the 3D memory. The simulator
+/// is a timing model: requests carry addresses and sizes, not payload bytes
+/// (the numeric FFT data lives in the functional layer, src/fft).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_REQUEST_H
+#define FFT3D_MEM3D_REQUEST_H
+
+#include "mem3d/Address.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace fft3d {
+
+/// A read or write burst. A request must not cross a row-buffer boundary;
+/// the trace generators split larger transfers.
+struct MemRequest {
+  std::uint64_t Id = 0;
+  bool IsWrite = false;
+  PhysAddr Addr = 0;
+  std::uint32_t Bytes = 8;
+};
+
+/// Completion notification: the request and the simulation time at which
+/// its last data beat crossed the TSVs.
+using MemCallback = std::function<void(const MemRequest &, Picos)>;
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_REQUEST_H

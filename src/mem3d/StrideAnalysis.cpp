@@ -1,0 +1,115 @@
+//===- mem3d/StrideAnalysis.cpp - Strided-stream structure ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/StrideAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+using namespace fft3d;
+
+StrideProfile fft3d::analyzeStride(const AddressMapper &Mapper, PhysAddr Base,
+                                   std::uint64_t StrideBytes,
+                                   std::uint64_t Accesses) {
+  assert(Accesses != 0 && "empty analysis horizon");
+  const std::uint64_t Capacity = Mapper.geometry().capacityBytes();
+
+  StrideProfile Profile;
+  Profile.Accesses = Accesses;
+
+  struct BankState {
+    std::uint64_t LastIndex = 0;
+    std::uint64_t LastRow = 0;
+    std::uint64_t Visits = 0;
+    std::uint64_t GapSum = 0;
+    std::uint64_t RowChanges = 0;
+  };
+  std::map<std::pair<unsigned, unsigned>, BankState> Banks;
+  std::map<unsigned, unsigned> VaultLastLayer;
+  std::uint64_t SameLayerTransitions = 0, VaultTransitions = 0;
+  const Geometry &Geo = Mapper.geometry();
+
+  for (std::uint64_t I = 0; I != Accesses; ++I) {
+    const PhysAddr Addr = (Base + I * StrideBytes) % Capacity;
+    const DecodedAddr D = Mapper.decode(Addr);
+    const unsigned Layer = Geo.layerOfBank(D.Bank);
+    auto [VaultIt, FirstVisit] = VaultLastLayer.try_emplace(D.Vault, Layer);
+    if (!FirstVisit) {
+      ++VaultTransitions;
+      if (VaultIt->second == Layer)
+        ++SameLayerTransitions;
+      VaultIt->second = Layer;
+    }
+    BankState &B = Banks[{D.Vault, D.Bank}];
+    if (B.Visits != 0) {
+      B.GapSum += I - B.LastIndex;
+      if (B.LastRow != D.Row)
+        ++B.RowChanges;
+    }
+    B.LastIndex = I;
+    B.LastRow = D.Row;
+    ++B.Visits;
+  }
+
+  Profile.DistinctVaults = static_cast<unsigned>(VaultLastLayer.size());
+  Profile.DistinctBanks = static_cast<unsigned>(Banks.size());
+  Profile.SameLayerTransitionFraction =
+      VaultTransitions == 0 ? 0.0
+                            : static_cast<double>(SameLayerTransitions) /
+                                  static_cast<double>(VaultTransitions);
+
+  std::uint64_t GapSum = 0, GapCount = 0, RowChanges = 0, Revisits = 0;
+  for (const auto &[Key, B] : Banks) {
+    GapSum += B.GapSum;
+    GapCount += B.Visits - 1;
+    RowChanges += B.RowChanges;
+    Revisits += B.Visits - 1;
+  }
+  Profile.MeanSameBankGap =
+      GapCount == 0 ? static_cast<double>(Accesses)
+                    : static_cast<double>(GapSum) /
+                          static_cast<double>(GapCount);
+  Profile.RowMissFraction =
+      Revisits == 0 ? 0.0
+                    : static_cast<double>(RowChanges) /
+                          static_cast<double>(Accesses);
+  return Profile;
+}
+
+double fft3d::predictStridedAccessRate(const StrideProfile &Profile,
+                                       const Timing &Time, unsigned Window) {
+  assert(Window != 0 && "zero-window front end");
+  const double RoundTripNs = picosToNanos(
+      Time.ActivateLatency + Time.AccessLatency + Time.TsvPeriod);
+
+  // Window bound: W requests in flight over one round trip each.
+  const double WindowRate = Window / RoundTripNs;
+
+  // Bank bound: each ACT to the same bank needs t_diff_row; a bank sees
+  // one access per MeanSameBankGap stream accesses. Only row-changing
+  // revisits pay it (RowMissFraction of the stream).
+  double BankRate = std::numeric_limits<double>::infinity();
+  if (Profile.RowMissFraction > 0.0)
+    BankRate = Profile.MeanSameBankGap / picosToNanos(Time.TDiffRow);
+
+  // Vault bound: consecutive ACTs within a vault space at t_diff_bank
+  // when the banks share a layer and pipeline at t_in_vault otherwise;
+  // the profile knows the mix.
+  const double MeanActSpacingNs =
+      Profile.SameLayerTransitionFraction * picosToNanos(Time.TDiffBank) +
+      (1.0 - Profile.SameLayerTransitionFraction) *
+          picosToNanos(Time.TInVault);
+  const double VaultRate =
+      Profile.DistinctVaults / std::max(MeanActSpacingNs, 1e-9);
+
+  // Command bound: one command per TSV period per touched vault.
+  const double CommandRate =
+      Profile.DistinctVaults / picosToNanos(Time.TsvPeriod);
+
+  return std::min({WindowRate, BankRate, VaultRate, CommandRate});
+}

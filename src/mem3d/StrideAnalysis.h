@@ -1,0 +1,66 @@
+//===- mem3d/StrideAnalysis.h - Strided-stream structure --------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analysis of a strided access stream against an address
+/// mapping: which vaults and banks the walk touches, how often it
+/// revisits the same bank, and how often that revisit lands in a
+/// different DRAM row. These structural quantities are what turn a
+/// stride + mapping into a bandwidth number - the analytical model uses
+/// them to predict strided throughput for any request window, and the
+/// tests cross-check the prediction against the event-driven simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_STRIDEANALYSIS_H
+#define FFT3D_MEM3D_STRIDEANALYSIS_H
+
+#include "mem3d/Address.h"
+#include "mem3d/Timing.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Structural profile of a strided walk.
+struct StrideProfile {
+  /// Accesses examined (the analysis horizon).
+  std::uint64_t Accesses = 0;
+  /// Distinct vaults touched.
+  unsigned DistinctVaults = 0;
+  /// Distinct (vault, bank) pairs touched.
+  unsigned DistinctBanks = 0;
+  /// Mean number of stream accesses between successive visits to the
+  /// same (vault, bank); equals Accesses when a bank is never revisited
+  /// within the horizon.
+  double MeanSameBankGap = 0.0;
+  /// Fraction of accesses whose target row differs from the previous
+  /// access to the same bank (i.e. guaranteed row misses).
+  double RowMissFraction = 0.0;
+  /// Over consecutive accesses to the same vault: fraction whose bank
+  /// sits on the same layer as the previous one (those ACTs space at
+  /// t_diff_bank; cross-layer ones pipeline at t_in_vault).
+  double SameLayerTransitionFraction = 0.0;
+};
+
+/// Walks \p Accesses addresses Base, Base+Stride, ... through \p Mapper.
+StrideProfile analyzeStride(const AddressMapper &Mapper, PhysAddr Base,
+                            std::uint64_t StrideBytes,
+                            std::uint64_t Accesses);
+
+/// Predicted sustained rate of the strided read stream in accesses per
+/// nanosecond, for a front end with \p Window outstanding requests. The
+/// rate is the tightest of four structural bounds:
+///  - window:   Window / blocking round trip;
+///  - bank:     same-bank ACTs must be t_diff_row apart;
+///  - vault:    per-vault ACT pipelining at t_in_vault;
+///  - command:  one command per TSV period per touched vault.
+double predictStridedAccessRate(const StrideProfile &Profile,
+                                const Timing &Time, unsigned Window);
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_STRIDEANALYSIS_H

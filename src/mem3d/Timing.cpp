@@ -1,0 +1,50 @@
+//===- mem3d/Timing.cpp - 3D-memory timing parameters ---------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Timing.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+bool Timing::isValid() const {
+  if (TsvPeriod == 0 || TInRow == 0)
+    return false;
+  if (RefreshInterval != 0 && RefreshDuration >= RefreshInterval)
+    return false;
+  // The paper's latency ordering (§3.1): same-row access is fastest, then
+  // cross-layer pipelined ACTs, then same-layer bank ACTs, then same-bank
+  // row conflicts.
+  return TInRow <= TInVault && TInVault <= TDiffBank && TDiffBank <= TDiffRow;
+}
+
+void Timing::validate() const {
+  if (!isValid())
+    reportFatalError("invalid 3D-memory timing: require 0 < t_in_row <= "
+                     "t_in_vault <= t_diff_bank <= t_diff_row");
+}
+
+Timing fft3d::defaultHmcTiming() { return Timing(); }
+
+Timing fft3d::conservativeTiming() {
+  Timing T;
+  T.TDiffRow = nanosToPicos(50.0);
+  T.TDiffBank = nanosToPicos(24.0);
+  T.TInVault = nanosToPicos(12.0);
+  T.ActivateLatency = nanosToPicos(18.0);
+  T.AccessLatency = nanosToPicos(14.0);
+  return T;
+}
+
+Timing fft3d::aggressiveTiming() {
+  Timing T;
+  T.TDiffRow = nanosToPicos(20.0);
+  T.TDiffBank = nanosToPicos(8.0);
+  T.TInVault = nanosToPicos(4.0);
+  T.ActivateLatency = nanosToPicos(7.0);
+  T.AccessLatency = nanosToPicos(5.0);
+  return T;
+}

@@ -1,0 +1,91 @@
+//===- mem3d/Timing.h - 3D-memory timing parameters -------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing model of the 3D memory, built around the four parameters the
+/// paper defines in §3.1:
+///
+///   t_diff_row  - minimum time between ACTIVATEs to different rows of the
+///                 same bank (the classic tRC; the worst case).
+///   t_diff_bank - minimum time between ACTIVATEs to different banks on the
+///                 same layer of a vault (they share layer-local circuitry).
+///   t_in_row    - minimum time between successive column accesses to the
+///                 same open row of a bank (one TSV data beat interval).
+///   t_in_vault  - minimum time between ACTIVATEs to banks on *different
+///                 layers* of the same vault; the layers pipeline through
+///                 the shared TSVs, so t_in_vault < t_diff_bank.
+///
+/// Different vaults never constrain each other ("accessing data from
+/// different vaults causes zero latency" - there is no t_diff_vault).
+/// Two conventional latencies complete the model: ActivateLatency (row to
+/// sense amps, tRCD-like) and AccessLatency (column access + TSV hop,
+/// CAS-like).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_TIMING_H
+#define FFT3D_MEM3D_TIMING_H
+
+#include "support/Units.h"
+
+namespace fft3d {
+
+/// Timing parameter set for the 3D memory (all durations in picoseconds).
+struct Timing {
+  /// TSV clock period; one beat moves Geometry::bytesPerBeat() bytes per
+  /// vault. 1.6 ns = 625 MHz so a 64-TSV vault moves 8 B per beat = 5 GB/s.
+  Picos TsvPeriod = nanosToPicos(1.6);
+
+  /// ACT-to-ACT, same bank, different row (tRC).
+  Picos TDiffRow = nanosToPicos(40.0);
+
+  /// ACT-to-ACT, different banks on the same layer of one vault.
+  Picos TDiffBank = nanosToPicos(16.0);
+
+  /// Successive column accesses within one open row (data beat interval).
+  Picos TInRow = nanosToPicos(1.6);
+
+  /// ACT-to-ACT, banks on different layers of one vault.
+  Picos TInVault = nanosToPicos(8.0);
+
+  /// Row activation latency before the first column access (tRCD).
+  Picos ActivateLatency = nanosToPicos(14.0);
+
+  /// Column access + TSV traversal latency (CAS + hop).
+  Picos AccessLatency = nanosToPicos(10.0);
+
+  /// All-bank refresh period (tREFI-like): every RefreshInterval the
+  /// vault is unavailable for RefreshDuration. 0 disables refresh; the
+  /// calibrated experiments run without it (a ~2% rate tax), the
+  /// realism tests with it.
+  Picos RefreshInterval = 0;
+
+  /// Vault-blocking duration of one all-bank refresh (tRFC-like).
+  Picos RefreshDuration = nanosToPicos(160.0);
+
+  /// Returns true if the parameters are internally consistent (non-zero
+  /// beat, and the paper's ordering t_in_row <= t_in_vault <= t_diff_bank
+  /// <= t_diff_row holds).
+  bool isValid() const;
+
+  /// Aborts with a diagnostic if the timing set is invalid.
+  void validate() const;
+};
+
+/// Default HMC-like parameter set calibrated in DESIGN.md §6 (identical to
+/// a default-constructed Timing; spelled as a function for discoverability).
+Timing defaultHmcTiming();
+
+/// A slower, conservative set (DDR3-on-TSV-like): larger activate costs,
+/// same beat rate. Used by the timing-sensitivity ablation.
+Timing conservativeTiming();
+
+/// An aggressive projection: halved activation overheads.
+Timing aggressiveTiming();
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_TIMING_H

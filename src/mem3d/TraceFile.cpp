@@ -1,0 +1,127 @@
+//===- mem3d/TraceFile.cpp - Request-trace capture and replay -------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/TraceFile.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace fft3d;
+
+void fft3d::writeTrace(std::ostream &OS,
+                       const std::vector<TraceRecord> &Records) {
+  OS << "# fft3d memory trace v1: time_ps R|W hex_addr bytes\n";
+  for (const TraceRecord &R : Records)
+    OS << R.Time << ' ' << (R.IsWrite ? 'W' : 'R') << " 0x" << std::hex
+       << R.Addr << std::dec << ' ' << R.Bytes << '\n';
+}
+
+bool fft3d::readTrace(std::istream &IS, std::vector<TraceRecord> &Records,
+                      std::uint64_t *ErrorLine) {
+  std::string Line;
+  std::uint64_t LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream SS(Line);
+    TraceRecord R;
+    std::string Dir, AddrText;
+    if (!(SS >> R.Time >> Dir >> AddrText >> R.Bytes) ||
+        (Dir != "R" && Dir != "W") || R.Bytes == 0) {
+      if (ErrorLine)
+        *ErrorLine = LineNo;
+      return false;
+    }
+    R.IsWrite = Dir == "W";
+    try {
+      R.Addr = std::stoull(AddrText, nullptr, 16);
+    } catch (...) {
+      if (ErrorLine)
+        *ErrorLine = LineNo;
+      return false;
+    }
+    Records.push_back(R);
+  }
+  return true;
+}
+
+TraceCapture::TraceCapture(Memory3D &Mem, EventQueue &Events) : Mem(Mem) {
+  Mem.setRequestObserver(
+      [this, &Events](const MemRequest &Req, const DecodedAddr &) {
+        Records.push_back(
+            TraceRecord{Events.now(), Req.IsWrite, Req.Addr, Req.Bytes});
+      });
+}
+
+TraceCapture::~TraceCapture() { detach(); }
+
+void TraceCapture::detach() {
+  if (Attached) {
+    Mem.setRequestObserver(nullptr);
+    Attached = false;
+  }
+}
+
+ReplayResult fft3d::replayTrace(Memory3D &Mem, EventQueue &Events,
+                                const std::vector<TraceRecord> &Records,
+                                bool HonorTimestamps, unsigned Window) {
+  ReplayResult Result;
+  if (Records.empty())
+    return Result;
+  const Picos Start = Events.now();
+  Picos Last = Start;
+
+  if (HonorTimestamps) {
+    for (const TraceRecord &R : Records) {
+      Result.Bytes += R.Bytes;
+      Events.scheduleAt(Start + R.Time, [&Mem, &Last, R] {
+        MemRequest Req;
+        Req.IsWrite = R.IsWrite;
+        Req.Addr = R.Addr;
+        Req.Bytes = R.Bytes;
+        Mem.submit(Req, [&Last](const MemRequest &, Picos At) {
+          Last = std::max(Last, At);
+        });
+      });
+    }
+    Result.Requests = Records.size();
+    Events.run();
+  } else {
+    if (Window == 0)
+      reportFatalError("replay needs a non-zero request window");
+    std::size_t Next = 0;
+    unsigned InFlight = 0;
+    std::function<void()> Pump = [&] {
+      while (Next < Records.size() && InFlight < Window) {
+        const TraceRecord &R = Records[Next++];
+        Result.Bytes += R.Bytes;
+        ++Result.Requests;
+        ++InFlight;
+        MemRequest Req;
+        Req.IsWrite = R.IsWrite;
+        Req.Addr = R.Addr;
+        Req.Bytes = R.Bytes;
+        Mem.submit(Req, [&](const MemRequest &, Picos At) {
+          Last = std::max(Last, At);
+          --InFlight;
+          Pump();
+        });
+      }
+    };
+    Pump();
+    Events.run();
+  }
+
+  Result.Elapsed = Last > Start ? Last - Start : 0;
+  Result.AchievedGBps = bytesOverPicosToGBps(Result.Bytes, Result.Elapsed);
+  return Result;
+}

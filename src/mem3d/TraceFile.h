@@ -1,0 +1,87 @@
+//===- mem3d/TraceFile.h - Request-trace capture and replay -----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny text trace format so external workloads can be run through the
+/// simulator (and fft3d-generated traffic can be inspected with ordinary
+/// tools). One record per line:
+///
+///   <time_ps> <R|W> <hex address> <bytes>
+///
+/// Lines starting with '#' are comments. Capture attaches to a Memory3D
+/// via its request observer; replay submits the records at their
+/// recorded times (or back to back with a window, for rate measurement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_TRACEFILE_H
+#define FFT3D_MEM3D_TRACEFILE_H
+
+#include "mem3d/Memory3D.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// One trace record.
+struct TraceRecord {
+  Picos Time = 0;
+  bool IsWrite = false;
+  PhysAddr Addr = 0;
+  std::uint32_t Bytes = 8;
+
+  bool operator==(const TraceRecord &Other) const = default;
+};
+
+/// Serializes records to the text format.
+void writeTrace(std::ostream &OS, const std::vector<TraceRecord> &Records);
+
+/// Parses the text format. Returns false (and stops) on a malformed
+/// line; \p ErrorLine receives its 1-based number when non-null.
+bool readTrace(std::istream &IS, std::vector<TraceRecord> &Records,
+               std::uint64_t *ErrorLine = nullptr);
+
+/// Captures every request submitted to \p Mem (via the request observer)
+/// until detach() or destruction.
+class TraceCapture {
+public:
+  explicit TraceCapture(Memory3D &Mem, EventQueue &Events);
+  ~TraceCapture();
+
+  TraceCapture(const TraceCapture &) = delete;
+  TraceCapture &operator=(const TraceCapture &) = delete;
+
+  const std::vector<TraceRecord> &records() const { return Records; }
+
+  /// Stops capturing (clears the observer).
+  void detach();
+
+private:
+  Memory3D &Mem;
+  bool Attached = true;
+  std::vector<TraceRecord> Records;
+};
+
+/// Outcome of a replay.
+struct ReplayResult {
+  std::uint64_t Requests = 0;
+  std::uint64_t Bytes = 0;
+  Picos Elapsed = 0;
+  double AchievedGBps = 0.0;
+};
+
+/// Replays \p Records into \p Mem. With \p HonorTimestamps, each request
+/// is submitted at its recorded time; otherwise requests are issued as
+/// fast as \p Window outstanding requests allow (rate measurement mode).
+ReplayResult replayTrace(Memory3D &Mem, EventQueue &Events,
+                         const std::vector<TraceRecord> &Records,
+                         bool HonorTimestamps = true, unsigned Window = 64);
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_TRACEFILE_H

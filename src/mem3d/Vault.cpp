@@ -1,0 +1,43 @@
+//===- mem3d/Vault.cpp - Vault: banks + shared TSV channel ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Vault.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+Vault::Vault(const Geometry &G, const Timing &T)
+    : Geo(G), Time(T), Banks(G.banksPerVault()),
+      LayerNextActivate(G.LayersPerVault, 0) {}
+
+Bank &Vault::bank(unsigned Index) {
+  assert(Index < Banks.size() && "bank index out of range");
+  return Banks[Index];
+}
+
+const Bank &Vault::bank(unsigned Index) const {
+  assert(Index < Banks.size() && "bank index out of range");
+  return Banks[Index];
+}
+
+Picos Vault::earliestActivate(unsigned Bank) const {
+  const unsigned Layer = Geo.layerOfBank(Bank);
+  return std::max(LayerNextActivate[Layer], VaultNextActivate);
+}
+
+void Vault::recordActivate(unsigned Bank, Picos When) {
+  const unsigned Layer = Geo.layerOfBank(Bank);
+  LayerNextActivate[Layer] = When + Time.TDiffBank;
+  VaultNextActivate = When + Time.TInVault;
+}
+
+void Vault::reserveBus(Picos Start, Picos End) {
+  assert(Start >= BusFree && "overlapping TSV bus reservation");
+  assert(End >= Start && "negative bus occupancy");
+  BusFree = End;
+}

@@ -1,0 +1,62 @@
+//===- mem3d/Vault.h - Vault: banks + shared TSV channel --------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vault groups the banks that share one TSV bundle across all layers
+/// (paper Fig. 1b). The vault tracks the shared resources: the TSV data
+/// bus, the per-layer ACT spacing (t_diff_bank) and the cross-layer ACT
+/// pipeline (t_in_vault). Different vaults share nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_VAULT_H
+#define FFT3D_MEM3D_VAULT_H
+
+#include "mem3d/Bank.h"
+#include "mem3d/Geometry.h"
+#include "mem3d/Timing.h"
+
+#include <vector>
+
+namespace fft3d {
+
+/// Shared-resource state of one vault.
+class Vault {
+public:
+  Vault(const Geometry &G, const Timing &T);
+
+  Bank &bank(unsigned Index);
+  const Bank &bank(unsigned Index) const;
+  unsigned numBanks() const { return static_cast<unsigned>(Banks.size()); }
+
+  /// Earliest time the TSV data bus is free.
+  Picos busFreeTime() const { return BusFree; }
+
+  /// Earliest time an ACTIVATE may issue to \p Bank given the vault-level
+  /// constraints (same-layer t_diff_bank, cross-layer t_in_vault). The
+  /// bank's own t_diff_row constraint is checked separately by the caller.
+  Picos earliestActivate(unsigned Bank) const;
+
+  /// Records an ACTIVATE to \p Bank at \p When.
+  void recordActivate(unsigned Bank, Picos When);
+
+  /// Reserves the data bus for [Start, End).
+  void reserveBus(Picos Start, Picos End);
+
+private:
+  const Geometry &Geo;
+  const Timing &Time;
+  std::vector<Bank> Banks;
+  /// Earliest next ACT per layer (set to lastLayerAct + t_diff_bank).
+  std::vector<Picos> LayerNextActivate;
+  /// Earliest next ACT anywhere in the vault (lastAct + t_in_vault).
+  Picos VaultNextActivate = 0;
+  Picos BusFree = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_VAULT_H

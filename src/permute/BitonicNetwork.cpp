@@ -1,0 +1,29 @@
+//===- permute/BitonicNetwork.cpp - Compare-exchange permuter -------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "permute/BitonicNetwork.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+using namespace fft3d;
+
+BitonicNetwork::BitonicNetwork(unsigned Width) : Width(Width), Stages(0) {
+  if (!isPowerOf2(Width) || Width < 2)
+    reportFatalError("bitonic network width must be a power of two >= 2");
+  // Standard iterative Batcher schedule: merge spans K = 2,4,..,W; within
+  // each span, exchange distances J = K/2, K/4, .., 1.
+  for (unsigned K = 2; K <= Width; K <<= 1) {
+    for (unsigned J = K >> 1; J != 0; J >>= 1) {
+      ++Stages;
+      for (unsigned I = 0; I != Width; ++I) {
+        const unsigned L = I ^ J;
+        if (L > I)
+          Schedule.push_back(CompareExchange{I, L, (I & K) == 0});
+      }
+    }
+  }
+}

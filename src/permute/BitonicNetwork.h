@@ -1,0 +1,89 @@
+//===- permute/BitonicNetwork.h - Compare-exchange permuter -----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Batcher bitonic compare-exchange network. The paper's permutation
+/// network "is developed based on our work in [7]" (Chen & Prasanna,
+/// "Energy and Memory Efficient Bitonic Sorting on FPGA"): a sorting
+/// network routes *any* permutation by sorting destination tags, with
+/// wiring that is oblivious to the permutation - only the comparator
+/// decisions depend on data, which is what makes it cheap to reconfigure
+/// per block. This class models that realization: the fixed
+/// compare-exchange schedule, the comparator/stage resource counts, and
+/// functional routing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_PERMUTE_BITONICNETWORK_H
+#define FFT3D_PERMUTE_BITONICNETWORK_H
+
+#include "permute/Permutation.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fft3d {
+
+/// Width-W bitonic network (W a power of two).
+class BitonicNetwork {
+public:
+  explicit BitonicNetwork(unsigned Width);
+
+  unsigned width() const { return Width; }
+
+  /// Compare-exchange elements in the fixed schedule.
+  std::uint64_t comparatorCount() const { return Schedule.size(); }
+
+  /// Pipeline stages: log2(W) * (log2(W) + 1) / 2.
+  unsigned stageCount() const { return Stages; }
+
+  /// Routes \p In through the network so that In[Dest.destinationOf(i)]
+  /// arrives at... concretely: output[o] = In[Dest.sourceOf(o)], i.e.
+  /// the network realizes exactly Permutation::apply, by sorting
+  /// destination tags.
+  template <typename T>
+  std::vector<T> route(const std::vector<T> &In,
+                       const Permutation &Dest) const {
+    std::vector<std::pair<std::uint64_t, T>> Tagged(In.size());
+    for (std::uint64_t I = 0; I != In.size(); ++I)
+      Tagged[I] = {Dest.destinationOf(I), In[I]};
+    sortTagged(Tagged);
+    std::vector<T> Out(In.size());
+    for (std::uint64_t O = 0; O != In.size(); ++O)
+      Out[O] = Tagged[O].second;
+    return Out;
+  }
+
+  /// The schedule as (lane A, lane B, ascending) triples, stage-major.
+  struct CompareExchange {
+    unsigned LaneA;
+    unsigned LaneB;
+    bool Ascending;
+  };
+  const std::vector<CompareExchange> &schedule() const { return Schedule; }
+
+private:
+  template <typename T>
+  void sortTagged(std::vector<std::pair<std::uint64_t, T>> &Data) const {
+    for (const CompareExchange &Cx : Schedule) {
+      auto &A = Data[Cx.LaneA];
+      auto &B = Data[Cx.LaneB];
+      const bool OutOfOrder = Cx.Ascending ? B.first < A.first
+                                           : A.first < B.first;
+      if (OutOfOrder)
+        std::swap(A, B);
+    }
+  }
+
+  unsigned Width;
+  unsigned Stages;
+  std::vector<CompareExchange> Schedule;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_PERMUTE_BITONICNETWORK_H

@@ -1,0 +1,73 @@
+//===- permute/ControlUnit.cpp - Layout controlling unit --------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "permute/ControlUnit.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace fft3d;
+
+const char *fft3d::streamModeName(StreamMode Mode) {
+  switch (Mode) {
+  case StreamMode::LaneParallel:
+    return "lane-parallel";
+  case StreamMode::ColumnSerial:
+    return "column-serial";
+  }
+  fft3d_unreachable("unknown StreamMode");
+}
+
+ControlUnit::ControlUnit(PermutationNetwork &Network) : Network(Network) {}
+
+Permutation ControlUnit::writebackPermutation(std::uint64_t W, std::uint64_t H,
+                                              StreamMode Mode) {
+  // Storage order within a block is row-major: offset = ir*W + ic.
+  switch (Mode) {
+  case StreamMode::LaneParallel:
+    // Arrival order equals storage order: the kernel emits W consecutive
+    // columns' elements per beat, row by row.
+    return Permutation::identity(W * H);
+  case StreamMode::ColumnSerial:
+    // Arrival index ic*H + ir must land at storage ir*W + ic.
+    return Permutation::transpose(W, H);
+  }
+  fft3d_unreachable("unknown StreamMode");
+}
+
+Permutation ControlUnit::columnFetchPermutation(std::uint64_t W,
+                                                std::uint64_t H,
+                                                StreamMode Mode) {
+  switch (Mode) {
+  case StreamMode::LaneParallel:
+    return Permutation::identity(W * H);
+  case StreamMode::ColumnSerial:
+    // Consumption index ic*H + ir is fed from storage ir*W + ic.
+    return Permutation::transpose(H, W);
+  }
+  fft3d_unreachable("unknown StreamMode");
+}
+
+void ControlUnit::configureForWriteback(std::uint64_t W, std::uint64_t H,
+                                        StreamMode Mode) {
+  Network.configure(writebackPermutation(W, H, Mode));
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer), "writeback w=%llu h=%llu (%s)",
+                static_cast<unsigned long long>(W),
+                static_cast<unsigned long long>(H), streamModeName(Mode));
+  Config = Buffer;
+}
+
+void ControlUnit::configureForColumnFetch(std::uint64_t W, std::uint64_t H,
+                                          StreamMode Mode) {
+  Network.configure(columnFetchPermutation(W, H, Mode));
+  char Buffer[96];
+  std::snprintf(Buffer, sizeof(Buffer), "column-fetch w=%llu h=%llu (%s)",
+                static_cast<unsigned long long>(W),
+                static_cast<unsigned long long>(H), streamModeName(Mode));
+  Config = Buffer;
+}

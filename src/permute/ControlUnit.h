@@ -1,0 +1,78 @@
+//===- permute/ControlUnit.h - Layout controlling unit ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controlling unit (CU) of the optimized architecture (paper Fig. 3):
+/// "the CU is responsible for reconfiguring the permutation network to
+/// achieve the dynamic data layout". It derives the local w x h block
+/// permutations for each phase and pushes them into the network.
+///
+/// Two stream disciplines are supported:
+///  - LaneParallel: the kernel processes w columns side by side, one
+///    element of each per beat; blocks then stream in storage order and
+///    the permutation degenerates to the identity (the cheap case the
+///    layout is designed for, with w = kernel data parallelism).
+///  - ColumnSerial: a single-lane kernel consumes/produces one full
+///    column at a time; the CU programs a w x h transpose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_PERMUTE_CONTROLUNIT_H
+#define FFT3D_PERMUTE_CONTROLUNIT_H
+
+#include "permute/PermutationNetwork.h"
+
+#include <cstdint>
+#include <string>
+
+namespace fft3d {
+
+/// How the FFT kernel's stream interleaves the block's columns.
+enum class StreamMode {
+  LaneParallel,
+  ColumnSerial,
+};
+
+const char *streamModeName(StreamMode Mode);
+
+/// Derives and installs block permutations for the dynamic data layout.
+class ControlUnit {
+public:
+  explicit ControlUnit(PermutationNetwork &Network);
+
+  /// Permutation from the row-FFT output stream onto block storage order
+  /// for w x h blocks.
+  static Permutation writebackPermutation(std::uint64_t W, std::uint64_t H,
+                                          StreamMode Mode);
+
+  /// Permutation from block storage order onto the column-FFT input
+  /// stream.
+  static Permutation columnFetchPermutation(std::uint64_t W, std::uint64_t H,
+                                            StreamMode Mode);
+
+  /// Reconfigures the network for phase-1 block writeback.
+  void configureForWriteback(std::uint64_t W, std::uint64_t H,
+                             StreamMode Mode);
+
+  /// Reconfigures the network for phase-2 block fetch.
+  void configureForColumnFetch(std::uint64_t W, std::uint64_t H,
+                               StreamMode Mode);
+
+  /// Human-readable description of the last configuration.
+  const std::string &currentConfig() const { return Config; }
+
+  std::uint64_t reconfigurations() const {
+    return Network.reconfigurations();
+  }
+
+private:
+  PermutationNetwork &Network;
+  std::string Config = "unconfigured";
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_PERMUTE_CONTROLUNIT_H

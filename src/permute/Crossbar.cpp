@@ -1,0 +1,24 @@
+//===- permute/Crossbar.cpp - P x P crossbar switch -------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "permute/Crossbar.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+Crossbar::Crossbar(unsigned Ports)
+    : Ports(Ports), Setting(Permutation::identity(Ports)) {
+  if (Ports == 0)
+    reportFatalError("crossbar needs at least one port");
+}
+
+void Crossbar::configure(const Permutation &NewSetting) {
+  if (NewSetting.size() != Ports)
+    reportFatalError("crossbar setting width does not match port count");
+  Setting = NewSetting;
+  ++Reconfigs;
+}

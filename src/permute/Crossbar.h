@@ -1,0 +1,57 @@
+//===- permute/Crossbar.h - P x P crossbar switch ---------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A P-port crossbar switch: any one-to-one port assignment per cycle
+/// (the "front/back crossbar switches" of the paper's permutation
+/// network, Fig. 2b/3). Functional routing plus a mux-count resource
+/// model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_PERMUTE_CROSSBAR_H
+#define FFT3D_PERMUTE_CROSSBAR_H
+
+#include "permute/Permutation.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// P x P single-cycle crossbar.
+class Crossbar {
+public:
+  explicit Crossbar(unsigned Ports);
+
+  unsigned ports() const { return Ports; }
+
+  /// Sets the port mapping for subsequent route() calls. \p Setting must
+  /// be a permutation of exactly Ports elements. Counts a reconfiguration.
+  void configure(const Permutation &Setting);
+
+  const Permutation &setting() const { return Setting; }
+  std::uint64_t reconfigurations() const { return Reconfigs; }
+
+  /// Routes one beat: Out[o] = In[setting.sourceOf(o)].
+  template <typename T>
+  std::vector<T> route(const std::vector<T> &In) const {
+    return Setting.apply(In);
+  }
+
+  /// Resource model: P muxes, each P-to-1.
+  unsigned muxCount() const { return Ports; }
+  unsigned muxFanIn() const { return Ports; }
+
+private:
+  unsigned Ports;
+  Permutation Setting;
+  std::uint64_t Reconfigs = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_PERMUTE_CROSSBAR_H

@@ -1,0 +1,145 @@
+//===- permute/Permutation.cpp - Index permutations ------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "permute/Permutation.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+Permutation::Permutation(std::vector<std::uint64_t> SourceOfOutput)
+    : Source(std::move(SourceOfOutput)) {
+  assert(isValid() && "not a bijection");
+}
+
+std::uint64_t Permutation::destinationOf(std::uint64_t I) const {
+  assert(I < Source.size() && "index out of range");
+  if (Dest.size() != Source.size()) {
+    Dest.assign(Source.size(), 0);
+    for (std::uint64_t O = 0; O != Source.size(); ++O)
+      Dest[Source[O]] = O;
+  }
+  return Dest[I];
+}
+
+bool Permutation::isValid() const {
+  std::vector<bool> Seen(Source.size(), false);
+  for (std::uint64_t Value : Source) {
+    if (Value >= Source.size() || Seen[Value])
+      return false;
+    Seen[Value] = true;
+  }
+  return true;
+}
+
+bool Permutation::isIdentity() const {
+  for (std::uint64_t O = 0; O != Source.size(); ++O)
+    if (Source[O] != O)
+      return false;
+  return true;
+}
+
+Permutation Permutation::inverted() const {
+  std::vector<std::uint64_t> Inv(Source.size());
+  for (std::uint64_t O = 0; O != Source.size(); ++O)
+    Inv[Source[O]] = O;
+  return Permutation(std::move(Inv));
+}
+
+Permutation Permutation::after(const Permutation &First) const {
+  assert(size() == First.size() && "size mismatch in composition");
+  // Output O of the composite takes this's source, then First's source.
+  std::vector<std::uint64_t> Composed(Source.size());
+  for (std::uint64_t O = 0; O != Source.size(); ++O)
+    Composed[O] = First.Source[Source[O]];
+  return Permutation(std::move(Composed));
+}
+
+Permutation Permutation::identity(std::uint64_t N) {
+  std::vector<std::uint64_t> Map(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    Map[I] = I;
+  return Permutation(std::move(Map));
+}
+
+Permutation Permutation::stride(std::uint64_t N, std::uint64_t S) {
+  if (S == 0 || N % S != 0)
+    reportFatalError("stride permutation requires S | N");
+  // Input i = q*S + r goes to output r*(N/S) + q, so the source of output
+  // o = r*(N/S) + q is q*S + r.
+  const std::uint64_t Q = N / S;
+  std::vector<std::uint64_t> Map(N);
+  for (std::uint64_t R = 0; R != S; ++R)
+    for (std::uint64_t QI = 0; QI != Q; ++QI)
+      Map[R * Q + QI] = QI * S + R;
+  return Permutation(std::move(Map));
+}
+
+Permutation Permutation::digitReversal(std::uint64_t N, unsigned Radix) {
+  if (!isPowerOf(N, Radix))
+    reportFatalError("digit reversal requires N to be a power of the radix");
+  const unsigned Digits = digitCount(N, Radix);
+  std::vector<std::uint64_t> Map(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    Map[I] = digitReverse(I, Radix, Digits);
+  return Permutation(std::move(Map));
+}
+
+Permutation Permutation::transpose(std::uint64_t Rows, std::uint64_t Cols) {
+  // transpose(R, C) == stride(R*C, C): element r*C + c -> c*R + r.
+  return stride(Rows * Cols, Cols);
+}
+
+std::uint64_t fft3d::streamingBufferWords(const Permutation &Perm,
+                                          unsigned Lanes) {
+  assert(Lanes != 0 && "zero-lane stream");
+  const std::uint64_t N = Perm.size();
+  if (N == 0)
+    return 0;
+  // Inputs arrive Lanes per cycle in index order and cannot stall.
+  // Output group g may depart once every source in it has arrived and the
+  // previous group has left.
+  std::uint64_t Peak = 0;
+  std::uint64_t PrevDepart = 0;
+  const std::uint64_t Groups = ceilDiv(N, Lanes);
+  for (std::uint64_t G = 0; G != Groups; ++G) {
+    std::uint64_t Ready = 0;
+    const std::uint64_t Begin = G * Lanes;
+    const std::uint64_t End = std::min<std::uint64_t>(Begin + Lanes, N);
+    for (std::uint64_t O = Begin; O != End; ++O)
+      Ready = std::max(Ready, Perm.sourceOf(O) / Lanes);
+    const std::uint64_t Depart = G == 0 ? Ready : std::max(PrevDepart + 1,
+                                                           Ready);
+    const std::uint64_t Arrived = std::min<std::uint64_t>((Depart + 1) * Lanes,
+                                                          N);
+    Peak = std::max(Peak, Arrived - Begin);
+    PrevDepart = Depart;
+  }
+  return Peak;
+}
+
+std::uint64_t fft3d::streamingLatencyCycles(const Permutation &Perm,
+                                            unsigned Lanes) {
+  assert(Lanes != 0 && "zero-lane stream");
+  const std::uint64_t N = Perm.size();
+  if (N == 0)
+    return 0;
+  std::uint64_t PrevDepart = 0;
+  const std::uint64_t Groups = ceilDiv(N, Lanes);
+  for (std::uint64_t G = 0; G != Groups; ++G) {
+    std::uint64_t Ready = 0;
+    const std::uint64_t Begin = G * Lanes;
+    const std::uint64_t End = std::min<std::uint64_t>(Begin + Lanes, N);
+    for (std::uint64_t O = Begin; O != End; ++O)
+      Ready = std::max(Ready, Perm.sourceOf(O) / Lanes);
+    PrevDepart = G == 0 ? Ready : std::max(PrevDepart + 1, Ready);
+  }
+  return PrevDepart + 1;
+}

@@ -1,0 +1,97 @@
+//===- permute/Permutation.h - Index permutations ---------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Index permutations and their streaming cost. A Permutation maps input
+/// position to output position; the factory functions build the families
+/// the FFT architecture needs (stride permutations, digit reversals,
+/// block transposes). streamingBufferWords() computes the minimum on-chip
+/// buffer needed to realize a permutation on a P-lane stream - this is
+/// the paper's "data reorganization overhead ... on-chip SRAM buffer
+/// consumption" made concrete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_PERMUTE_PERMUTATION_H
+#define FFT3D_PERMUTE_PERMUTATION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// A permutation of [0, size()). Out[I] receives In[Map[I]]... see apply().
+class Permutation {
+public:
+  Permutation() = default;
+
+  /// \p SourceOfOutput[O] is the input index routed to output slot O.
+  explicit Permutation(std::vector<std::uint64_t> SourceOfOutput);
+
+  std::uint64_t size() const { return Source.size(); }
+
+  /// Input index feeding output slot \p O.
+  std::uint64_t sourceOf(std::uint64_t O) const { return Source[O]; }
+
+  /// Output slot receiving input index \p I (inverse lookup, O(1) after
+  /// first use).
+  std::uint64_t destinationOf(std::uint64_t I) const;
+
+  /// True if this is a bijection on [0, size()).
+  bool isValid() const;
+
+  /// Identity test.
+  bool isIdentity() const;
+
+  /// Returns the inverse permutation.
+  Permutation inverted() const;
+
+  /// Composition: applying *this after \p First. (this o First)(x).
+  Permutation after(const Permutation &First) const;
+
+  /// Applies to a buffer: Out[O] = In[sourceOf(O)].
+  template <typename T>
+  std::vector<T> apply(const std::vector<T> &In) const {
+    std::vector<T> Out(In.size());
+    for (std::uint64_t O = 0; O != Source.size(); ++O)
+      Out[O] = In[Source[O]];
+    return Out;
+  }
+
+  /// Identity permutation of \p N elements.
+  static Permutation identity(std::uint64_t N);
+
+  /// Stride permutation L(N, S): input index i = q*S + r (r < S) moves to
+  /// output r*(N/S) + q. S must divide N. L(N, S) followed by L(N, N/S)
+  /// is the identity.
+  static Permutation stride(std::uint64_t N, std::uint64_t S);
+
+  /// Base-\p Radix digit reversal of \p N indices (Radix a power of two,
+  /// N a power of Radix).
+  static Permutation digitReversal(std::uint64_t N, unsigned Radix);
+
+  /// Transpose of a Rows x Cols row-major block: element (r, c) at index
+  /// r*Cols + c moves to c*Rows + r.
+  static Permutation transpose(std::uint64_t Rows, std::uint64_t Cols);
+
+private:
+  std::vector<std::uint64_t> Source;
+  mutable std::vector<std::uint64_t> Dest; ///< Lazy inverse cache.
+};
+
+/// Minimum buffer words to realize \p Perm on a \p Lanes -wide stream:
+/// inputs arrive in index order, Lanes per cycle; outputs must depart in
+/// index order, Lanes per cycle, each no earlier than its source arrives.
+/// The result is the peak number of elements resident on chip under the
+/// earliest-feasible schedule.
+std::uint64_t streamingBufferWords(const Permutation &Perm, unsigned Lanes);
+
+/// Cycles from first input to last output for the same schedule.
+std::uint64_t streamingLatencyCycles(const Permutation &Perm, unsigned Lanes);
+
+} // namespace fft3d
+
+#endif // FFT3D_PERMUTE_PERMUTATION_H

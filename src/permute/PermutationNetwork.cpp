@@ -1,0 +1,71 @@
+//===- permute/PermutationNetwork.cpp - Streaming permuter -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "permute/PermutationNetwork.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+PermutationNetwork::PermutationNetwork(unsigned Lanes,
+                                       std::uint64_t MaxBlockElements)
+    : Lanes(Lanes), MaxBlock(MaxBlockElements), Front(Lanes), Back(Lanes),
+      Block(Permutation::identity(0)) {
+  if (Lanes == 0 || MaxBlockElements == 0)
+    reportFatalError("permutation network needs lanes and buffer capacity");
+}
+
+void PermutationNetwork::configure(Permutation BlockPerm) {
+  if (BlockPerm.size() > MaxBlock)
+    reportFatalError("block permutation exceeds the network's buffers");
+  Block = std::move(BlockPerm);
+  // The lane-level crossbar settings are derived from the block
+  // permutation's residues mod Lanes; reconfiguring both switches models
+  // the controlling unit pushing new control words (paper Fig. 3).
+  std::vector<std::uint64_t> FrontMap(Lanes), BackMap(Lanes);
+  for (unsigned L = 0; L != Lanes; ++L) {
+    FrontMap[L] = Block.size() == 0
+                      ? L
+                      : static_cast<unsigned>(Block.sourceOf(L % Block.size()) %
+                                              Lanes);
+    BackMap[L] = L;
+  }
+  // FrontMap built from residues may collide; fall back to identity wiring
+  // in that case (the buffers absorb the reordering).
+  Permutation Candidate = Permutation::identity(Lanes);
+  {
+    std::vector<bool> Seen(Lanes, false);
+    bool Bijective = true;
+    for (std::uint64_t V : FrontMap) {
+      if (V >= Lanes || Seen[V]) {
+        Bijective = false;
+        break;
+      }
+      Seen[V] = true;
+    }
+    if (Bijective)
+      Candidate = Permutation(std::move(FrontMap));
+  }
+  Front.configure(Candidate);
+  Back.configure(Permutation(std::move(BackMap)));
+}
+
+std::uint64_t PermutationNetwork::bufferWords() const {
+  if (Block.size() == 0)
+    return 0;
+  return streamingBufferWords(Block, Lanes);
+}
+
+std::uint64_t PermutationNetwork::bufferBytes(unsigned ElementBytes) const {
+  // Double buffering: one block drains while the next fills.
+  return 2 * bufferWords() * ElementBytes;
+}
+
+std::uint64_t PermutationNetwork::blockLatencyCycles() const {
+  if (Block.size() == 0)
+    return 0;
+  return streamingLatencyCycles(Block, Lanes);
+}

@@ -1,0 +1,88 @@
+//===- permute/PermutationNetwork.h - Streaming permuter --------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-chip permutation network of the optimized architecture (paper
+/// Fig. 2b / Fig. 3): front crossbar switches, a bank of data buffers,
+/// and back crossbar switches, P lanes wide. The controlling unit
+/// reconfigures it per block so the dynamic data layout's local w x h
+/// reorderings happen on chip at stream rate.
+///
+/// Functionally it applies an arbitrary block permutation; its cost model
+/// (buffer words, fill latency, reconfiguration count) is derived from
+/// the streaming schedule in Permutation.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_PERMUTE_PERMUTATIONNETWORK_H
+#define FFT3D_PERMUTE_PERMUTATIONNETWORK_H
+
+#include "permute/Crossbar.h"
+#include "permute/Permutation.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// P-lane streaming permutation engine with double-buffered SRAM.
+class PermutationNetwork {
+public:
+  /// \p Lanes is the stream width (the paper's 8-element data path);
+  /// \p MaxBlockElements bounds the block size the buffers can hold.
+  PermutationNetwork(unsigned Lanes, std::uint64_t MaxBlockElements);
+
+  unsigned lanes() const { return Lanes; }
+  std::uint64_t maxBlockElements() const { return MaxBlock; }
+
+  /// Loads a block permutation (size <= MaxBlockElements). Counts as one
+  /// reconfiguration of both crossbars.
+  void configure(Permutation BlockPerm);
+
+  const Permutation &current() const { return Block; }
+  std::uint64_t reconfigurations() const { return Front.reconfigurations(); }
+
+  /// Applies the configured permutation to \p Data (Data.size() must equal
+  /// the permutation size). Tracks cycle/beat statistics.
+  template <typename T>
+  std::vector<T> permute(const std::vector<T> &Data) {
+    BeatsStreamed += (Data.size() + Lanes - 1) / Lanes;
+    ++BlocksPermuted;
+    return Block.apply(Data);
+  }
+
+  /// Peak SRAM occupancy (elements) of the configured permutation on this
+  /// lane width; double buffering doubles it.
+  std::uint64_t bufferWords() const;
+
+  /// SRAM bytes at \p ElementBytes per word, double-buffered.
+  std::uint64_t bufferBytes(unsigned ElementBytes) const;
+
+  /// First-in to last-out cycles for one block.
+  std::uint64_t blockLatencyCycles() const;
+
+  /// Cycles to stream \p Elements elements through the network at full
+  /// rate (it is a streaming pipeline: one group of Lanes per cycle).
+  std::uint64_t cyclesFor(std::uint64_t Elements) const {
+    return (Elements + Lanes - 1) / Lanes;
+  }
+
+  std::uint64_t blocksPermuted() const { return BlocksPermuted; }
+  std::uint64_t beatsStreamed() const { return BeatsStreamed; }
+
+private:
+  unsigned Lanes;
+  std::uint64_t MaxBlock;
+  Crossbar Front;
+  Crossbar Back;
+  Permutation Block;
+  std::uint64_t BlocksPermuted = 0;
+  std::uint64_t BeatsStreamed = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_PERMUTE_PERMUTATIONNETWORK_H

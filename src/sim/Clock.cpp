@@ -1,0 +1,27 @@
+//===- sim/Clock.cpp - Clock-domain helpers -------------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Clock.h"
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+Clock::Clock(Picos Period) : Period(Period) {
+  assert(Period != 0 && "zero clock period");
+}
+
+Clock Clock::fromMHz(double MHz) { return Clock(periodFromMHz(MHz)); }
+
+double Clock::frequencyMHz() const {
+  return 1e6 / static_cast<double>(Period);
+}
+
+Picos Clock::nextEdgeAtOrAfter(Picos T) const {
+  return roundUp(T, Period);
+}

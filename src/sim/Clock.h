@@ -1,0 +1,52 @@
+//===- sim/Clock.h - Clock-domain helpers -----------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A clock domain converts between cycle counts and picosecond timestamps.
+/// The system has two domains: the memory/TSV clock (625 MHz by default)
+/// and the FPGA kernel clock (problem-size dependent, 180-250 MHz).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SIM_CLOCK_H
+#define FFT3D_SIM_CLOCK_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// A fixed-frequency clock domain.
+class Clock {
+public:
+  /// Creates a clock with the given period. \p Period must be non-zero.
+  explicit Clock(Picos Period);
+
+  /// Creates a clock from a frequency in MHz.
+  static Clock fromMHz(double MHz);
+
+  Picos period() const { return Period; }
+  double frequencyMHz() const;
+
+  /// Duration of \p Cycles cycles.
+  Picos cyclesToPicos(std::uint64_t Cycles) const { return Cycles * Period; }
+
+  /// Number of complete cycles in \p Duration.
+  std::uint64_t picosToCycles(Picos Duration) const {
+    return Duration / Period;
+  }
+
+  /// Smallest cycle-aligned timestamp >= \p T.
+  Picos nextEdgeAtOrAfter(Picos T) const;
+
+private:
+  Picos Period;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SIM_CLOCK_H

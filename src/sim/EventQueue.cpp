@@ -1,0 +1,58 @@
+//===- sim/EventQueue.cpp - Discrete-event simulation core ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EventQueue.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+void EventQueue::scheduleAt(Picos When, Action A) {
+  assert(When >= Now && "scheduling an event in the past");
+  Heap.push(Entry{When, NextSequence++, std::move(A)});
+}
+
+void EventQueue::scheduleAfter(Picos Delay, Action A) {
+  scheduleAt(Now + Delay, std::move(A));
+}
+
+bool EventQueue::step() {
+  if (Heap.empty())
+    return false;
+  // The action may schedule new events, so pop before running it.
+  Entry Next = Heap.top();
+  Heap.pop();
+  assert(Next.When >= Now && "event queue went backwards");
+  Now = Next.When;
+  Next.Act();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t MaxEvents) {
+  std::uint64_t Ran = 0;
+  while (step()) {
+    ++Ran;
+    if (MaxEvents != 0 && Ran >= MaxEvents) {
+      if (!Heap.empty())
+        reportFatalError("event budget exhausted with events still pending");
+      break;
+    }
+  }
+  return Ran;
+}
+
+std::uint64_t EventQueue::runUntil(Picos Until) {
+  std::uint64_t Ran = 0;
+  while (!Heap.empty() && Heap.top().When <= Until) {
+    step();
+    ++Ran;
+  }
+  if (Now < Until)
+    Now = Until;
+  return Ran;
+}

@@ -1,0 +1,81 @@
+//===- sim/EventQueue.h - Discrete-event simulation core --------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal discrete-event simulation kernel. The 3D-memory model and the
+/// FFT-processor phase engine schedule callbacks at absolute picosecond
+/// timestamps; the queue runs them in (time, insertion-order) order, which
+/// makes simulations fully deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SIM_EVENTQUEUE_H
+#define FFT3D_SIM_EVENTQUEUE_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fft3d {
+
+/// Priority queue of timed callbacks with a monotonically advancing clock.
+class EventQueue {
+public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time. Starts at zero.
+  Picos now() const { return Now; }
+
+  /// Schedules \p A at absolute time \p When. \p When must not be in the
+  /// past. Events at equal timestamps run in insertion order.
+  void scheduleAt(Picos When, Action A);
+
+  /// Schedules \p A \p Delay picoseconds from now.
+  void scheduleAfter(Picos Delay, Action A);
+
+  /// Returns true if no events remain.
+  bool empty() const { return Heap.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const { return Heap.size(); }
+
+  /// Runs the earliest pending event, advancing the clock to its timestamp.
+  /// Returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue drains. Returns the number of events run.
+  /// \p MaxEvents guards against runaway simulations (0 = unlimited).
+  std::uint64_t run(std::uint64_t MaxEvents = 0);
+
+  /// Runs events with timestamps <= \p Until (inclusive); the clock ends at
+  /// max(now, Until). Returns the number of events run.
+  std::uint64_t runUntil(Picos Until);
+
+private:
+  struct Entry {
+    Picos When;
+    std::uint64_t Sequence;
+    Action Act;
+  };
+  struct Later {
+    bool operator()(const Entry &A, const Entry &B) const {
+      if (A.When != B.When)
+        return A.When > B.When;
+      return A.Sequence > B.Sequence;
+    }
+  };
+
+  Picos Now = 0;
+  std::uint64_t NextSequence = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> Heap;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SIM_EVENTQUEUE_H

@@ -1,0 +1,22 @@
+//===- support/ErrorHandling.cpp - Fatal errors and unreachables ----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fft3d;
+
+void fft3d::reportFatalError(const char *Reason, const char *File,
+                             unsigned Line) {
+  if (File)
+    std::fprintf(stderr, "fft3d fatal error at %s:%u: %s\n", File, Line,
+                 Reason);
+  else
+    std::fprintf(stderr, "fft3d fatal error: %s\n", Reason);
+  std::abort();
+}

@@ -1,0 +1,36 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachables --*- C++ -*-===//
+//
+// Part of the fft3d project: a reproduction of "Optimal Dynamic Data
+// Layouts for 2D FFT on 3D Memory Integrated FPGA" (PACT 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error reporting used across the fft3d libraries.
+///
+/// Library code never throws; invariant violations abort with a message via
+/// reportFatalError() or fft3d_unreachable(). Recoverable conditions are
+/// returned through std::optional or boolean results at the API boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_ERRORHANDLING_H
+#define FFT3D_SUPPORT_ERRORHANDLING_H
+
+namespace fft3d {
+
+/// Prints \p Reason (with file/line context when provided) to stderr and
+/// aborts. Used for invariant violations that must be diagnosed even in
+/// builds with assertions disabled.
+[[noreturn]] void reportFatalError(const char *Reason,
+                                   const char *File = nullptr,
+                                   unsigned Line = 0);
+
+} // namespace fft3d
+
+/// Marks a point in control flow that must never execute. Aborts with the
+/// given message and source location when reached.
+#define fft3d_unreachable(MSG)                                                 \
+  ::fft3d::reportFatalError(MSG, __FILE__, __LINE__)
+
+#endif // FFT3D_SUPPORT_ERRORHANDLING_H

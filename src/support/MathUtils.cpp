@@ -1,0 +1,50 @@
+//===- support/MathUtils.cpp - Power-of-two and index utilities -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+
+using namespace fft3d;
+
+std::uint64_t fft3d::bitReverse(std::uint64_t Value, unsigned NumBits) {
+  assert(NumBits <= 64 && "at most 64 bits can be reversed");
+  std::uint64_t Result = 0;
+  for (unsigned I = 0; I != NumBits; ++I) {
+    Result = (Result << 1) | (Value & 1);
+    Value >>= 1;
+  }
+  return Result;
+}
+
+std::uint64_t fft3d::digitReverse(std::uint64_t Value, unsigned Radix,
+                                  unsigned NumDigits) {
+  assert(isPowerOf2(Radix) && Radix >= 2 && "radix must be a power of two");
+  const unsigned DigitBits = log2Exact(Radix);
+  const std::uint64_t DigitMask = Radix - 1;
+  std::uint64_t Result = 0;
+  for (unsigned I = 0; I != NumDigits; ++I) {
+    Result = (Result << DigitBits) | (Value & DigitMask);
+    Value >>= DigitBits;
+  }
+  return Result;
+}
+
+unsigned fft3d::digitCount(std::uint64_t Size, unsigned Radix) {
+  assert(isPowerOf(Size, Radix) && "size must be a power of the radix");
+  unsigned Count = 0;
+  while (Size > 1) {
+    Size /= Radix;
+    ++Count;
+  }
+  return Count;
+}
+
+bool fft3d::isPowerOf(std::uint64_t Size, unsigned Radix) {
+  if (Radix < 2 || Size == 0)
+    return false;
+  while (Size % Radix == 0)
+    Size /= Radix;
+  return Size == 1;
+}

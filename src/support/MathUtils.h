@@ -1,0 +1,80 @@
+//===- support/MathUtils.h - Power-of-two and index utilities ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer utilities used throughout the memory model and the FFT
+/// library: power-of-two predicates, exact logs, bit and digit reversal,
+/// and ceiling division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_MATHUTILS_H
+#define FFT3D_SUPPORT_MATHUTILS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace fft3d {
+
+/// Returns true if \p Value is a power of two. Zero is not a power of two.
+constexpr bool isPowerOf2(std::uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Returns floor(log2(Value)). \p Value must be non-zero.
+constexpr unsigned log2Floor(std::uint64_t Value) {
+  assert(Value != 0 && "log2Floor of zero");
+  unsigned Result = 0;
+  while (Value >>= 1)
+    ++Result;
+  return Result;
+}
+
+/// Returns log2(Value) for an exact power of two.
+constexpr unsigned log2Exact(std::uint64_t Value) {
+  assert(isPowerOf2(Value) && "log2Exact requires a power of two");
+  return log2Floor(Value);
+}
+
+/// Returns ceil(log2(Value)). \p Value must be non-zero.
+constexpr unsigned log2Ceil(std::uint64_t Value) {
+  assert(Value != 0 && "log2Ceil of zero");
+  return Value == 1 ? 0 : log2Floor(Value - 1) + 1;
+}
+
+/// Returns ceil(Num / Den). \p Den must be non-zero.
+constexpr std::uint64_t ceilDiv(std::uint64_t Num, std::uint64_t Den) {
+  assert(Den != 0 && "division by zero");
+  return (Num + Den - 1) / Den;
+}
+
+/// Rounds \p Value up to the next multiple of \p Multiple (non-zero).
+constexpr std::uint64_t roundUp(std::uint64_t Value, std::uint64_t Multiple) {
+  return ceilDiv(Value, Multiple) * Multiple;
+}
+
+/// Reverses the low \p NumBits bits of \p Value; higher bits are dropped.
+/// bitReverse(0b0110, 4) == 0b0110 reversed == 0b0110 -> 0b0110? No:
+/// the result is 0b0110 read back-to-front, i.e. 0b0110 -> 0b0110 only for
+/// palindromes; e.g. bitReverse(0b0001, 4) == 0b1000.
+std::uint64_t bitReverse(std::uint64_t Value, unsigned NumBits);
+
+/// Reverses the base-\p Radix digits of \p Value, where \p Value is treated
+/// as a \p NumDigits -digit number. Radix must be a power of two. This is
+/// the index permutation applied by an in-order radix-R FFT.
+std::uint64_t digitReverse(std::uint64_t Value, unsigned Radix,
+                           unsigned NumDigits);
+
+/// Returns the number of base-\p Radix digits needed for indices in
+/// [0, Size), where \p Size is an exact power of \p Radix.
+unsigned digitCount(std::uint64_t Size, unsigned Radix);
+
+/// Returns true if \p Size is an exact power of \p Radix (both >= 2).
+bool isPowerOf(std::uint64_t Size, unsigned Radix);
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_MATHUTILS_H

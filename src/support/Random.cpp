@@ -1,0 +1,70 @@
+//===- support/Random.cpp - Deterministic random number source ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace fft3d;
+
+static std::uint64_t rotl(std::uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+/// SplitMix64 step, used only to expand the user seed into full state.
+static std::uint64_t splitMix64(std::uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(std::uint64_t Seed) {
+  std::uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const std::uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t Bound) {
+  assert(Bound != 0 && "bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    const std::uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+double Rng::nextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDouble(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * nextDouble();
+}
+
+double Rng::nextGaussian() {
+  // Irwin-Hall approximation: sum of 12 uniforms has variance 1, mean 6.
+  double Sum = 0.0;
+  for (int I = 0; I != 12; ++I)
+    Sum += nextDouble();
+  return Sum - 6.0;
+}

@@ -1,0 +1,49 @@
+//===- support/Random.h - Deterministic random number source ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, reproducible PRNG (xoshiro256** variant) used to build
+/// synthetic workloads for tests, examples and benchmarks. Determinism per
+/// seed matters more here than statistical perfection: every experiment in
+/// EXPERIMENTS.md must be re-runnable bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_RANDOM_H
+#define FFT3D_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Deterministic 64-bit pseudo-random generator.
+class Rng {
+public:
+  /// Seeds the generator; the same seed always yields the same sequence.
+  explicit Rng(std::uint64_t Seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64-bit value.
+  std::uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound > 0.
+  std::uint64_t nextBelow(std::uint64_t Bound);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double nextDouble(double Lo, double Hi);
+
+  /// Returns an approximately standard-normal sample (sum of uniforms).
+  double nextGaussian();
+
+private:
+  std::uint64_t State[4];
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_RANDOM_H

@@ -1,0 +1,71 @@
+//===- support/Stats.cpp - Counters and running statistics ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+void RunningStat::addSample(double Value) {
+  ++Count;
+  Sum += Value;
+  Min = std::min(Min, Value);
+  Max = std::max(Max, Value);
+}
+
+void RunningStat::merge(const RunningStat &Other) {
+  if (Other.Count == 0)
+    return;
+  Count += Other.Count;
+  Sum += Other.Sum;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+void RunningStat::reset() { *this = RunningStat(); }
+
+Histogram::Histogram(double BucketWidth, unsigned NumBuckets)
+    : Width(BucketWidth), Buckets(NumBuckets, 0) {
+  assert(BucketWidth > 0 && NumBuckets > 0 && "degenerate histogram");
+}
+
+void Histogram::addSample(double Value) {
+  ++Total;
+  if (Value < 0) {
+    // Negative samples indicate a modelling bug upstream; clamp to bucket 0
+    // so the histogram still tells a coherent story in release builds.
+    assert(false && "negative histogram sample");
+    ++Buckets.front();
+    return;
+  }
+  const auto Bucket = static_cast<std::uint64_t>(Value / Width);
+  if (Bucket >= Buckets.size())
+    ++Overflow;
+  else
+    ++Buckets[static_cast<unsigned>(Bucket)];
+}
+
+std::uint64_t Histogram::bucketCount(unsigned Bucket) const {
+  assert(Bucket < Buckets.size() && "bucket index out of range");
+  return Buckets[Bucket];
+}
+
+double Histogram::percentile(double Fraction) const {
+  assert(Fraction >= 0.0 && Fraction <= 1.0 && "fraction out of range");
+  if (Total == 0)
+    return 0.0;
+  const auto Target =
+      static_cast<std::uint64_t>(Fraction * static_cast<double>(Total));
+  std::uint64_t Seen = 0;
+  for (unsigned I = 0; I != Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Target)
+      return (I + 1) * Width;
+  }
+  return Buckets.size() * Width;
+}

@@ -1,0 +1,90 @@
+//===- support/Stats.h - Counters and running statistics -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight statistics helpers shared by the memory simulator and the
+/// benchmark harness: named counters, a running mean/min/max accumulator,
+/// and a fixed-bucket histogram for latency distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_STATS_H
+#define FFT3D_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// Accumulates count/sum/min/max/mean of a stream of samples.
+class RunningStat {
+public:
+  void addSample(double Value);
+
+  std::uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / Count; }
+  double min() const { return Count == 0 ? 0.0 : Min; }
+  double max() const { return Count == 0 ? 0.0 : Max; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat &Other);
+
+  void reset();
+
+private:
+  std::uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width-bucket histogram over [0, BucketWidth * NumBuckets); samples
+/// beyond the last bucket accumulate in an overflow bucket.
+class Histogram {
+public:
+  Histogram(double BucketWidth, unsigned NumBuckets);
+
+  void addSample(double Value);
+
+  std::uint64_t bucketCount(unsigned Bucket) const;
+  std::uint64_t overflowCount() const { return Overflow; }
+  std::uint64_t totalCount() const { return Total; }
+  unsigned numBuckets() const { return static_cast<unsigned>(Buckets.size()); }
+  double bucketWidth() const { return Width; }
+
+  /// Returns the smallest value V such that at least \p Fraction of samples
+  /// are <= V, resolved to bucket granularity. \p Fraction in [0, 1].
+  double percentile(double Fraction) const;
+
+private:
+  double Width;
+  std::vector<std::uint64_t> Buckets;
+  std::uint64_t Overflow = 0;
+  std::uint64_t Total = 0;
+};
+
+/// A named monotonically increasing counter, collected in registration
+/// order so statistic dumps are deterministic.
+struct Counter {
+  std::string Name;
+  std::uint64_t Value = 0;
+
+  Counter &operator+=(std::uint64_t Delta) {
+    Value += Delta;
+    return *this;
+  }
+  Counter &operator++() {
+    ++Value;
+    return *this;
+  }
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_STATS_H

@@ -1,0 +1,77 @@
+//===- support/TableWriter.cpp - ASCII table formatting -------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace fft3d;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Headers.size() && "row has more cells than columns");
+  Rows.push_back({/*IsSeparator=*/false, std::move(Cells)});
+}
+
+void TableWriter::addSeparator() { Rows.push_back({/*IsSeparator=*/true, {}}); }
+
+void TableWriter::print(std::ostream &OS) const {
+  std::vector<std::size_t> Widths(Headers.size(), 0);
+  for (std::size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const Row &R : Rows)
+    for (std::size_t I = 0; I != R.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+
+  auto printLine = [&](const std::vector<std::string> &Cells) {
+    OS << "|";
+    for (std::size_t I = 0; I != Headers.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << " " << Cell << std::string(Widths[I] - Cell.size(), ' ') << " |";
+    }
+    OS << "\n";
+  };
+  auto printRule = [&] {
+    OS << "+";
+    for (std::size_t Width : Widths)
+      OS << std::string(Width + 2, '-') << "+";
+    OS << "\n";
+  };
+
+  printRule();
+  printLine(Headers);
+  printRule();
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      printRule();
+    else
+      printLine(R.Cells);
+  }
+  printRule();
+}
+
+std::string TableWriter::num(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+std::string TableWriter::num(std::uint64_t Value) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buffer;
+}
+
+std::string TableWriter::percent(double Fraction, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f%%", Precision, Fraction * 100.0);
+  return Buffer;
+}

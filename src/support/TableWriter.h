@@ -1,0 +1,60 @@
+//===- support/TableWriter.h - ASCII table formatting ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats aligned ASCII tables for the benchmark harness. Every paper
+/// table/figure reproduction prints through this class so the output of
+/// `bench/table1_column_fft` etc. is uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_TABLEWRITER_H
+#define FFT3D_SUPPORT_TABLEWRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TableWriter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Appends a data row; it may have fewer cells than there are columns
+  /// (missing cells print empty) but not more.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table to \p OS.
+  void print(std::ostream &OS) const;
+
+  /// Convenience: formats a double with \p Precision fraction digits.
+  static std::string num(double Value, int Precision = 2);
+
+  /// Convenience: formats an integer.
+  static std::string num(std::uint64_t Value);
+
+  /// Convenience: formats a ratio as a percentage, e.g. 0.40 -> "40.0%".
+  static std::string percent(double Fraction, int Precision = 1);
+
+private:
+  struct Row {
+    bool IsSeparator = false;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Headers;
+  std::vector<Row> Rows;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_TABLEWRITER_H

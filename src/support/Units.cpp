@@ -1,0 +1,57 @@
+//===- support/Units.cpp - Time and bandwidth unit helpers ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace fft3d;
+
+double fft3d::bytesOverPicosToGBps(std::uint64_t Bytes, Picos Duration) {
+  if (Duration == 0)
+    return 0.0;
+  // GB/s == bytes per nanosecond.
+  return static_cast<double>(Bytes) /
+         (static_cast<double>(Duration) / static_cast<double>(PicosPerNano));
+}
+
+std::string fft3d::formatDuration(Picos Duration) {
+  char Buffer[64];
+  const auto Value = static_cast<double>(Duration);
+  if (Duration < PicosPerNano)
+    std::snprintf(Buffer, sizeof(Buffer), "%llu ps",
+                  static_cast<unsigned long long>(Duration));
+  else if (Duration < PicosPerMicro)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f ns",
+                  Value / static_cast<double>(PicosPerNano));
+  else if (Duration < PicosPerMilli)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f us",
+                  Value / static_cast<double>(PicosPerMicro));
+  else if (Duration < PicosPerSecond)
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f ms",
+                  Value / static_cast<double>(PicosPerMilli));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.3f s",
+                  Value / static_cast<double>(PicosPerSecond));
+  return Buffer;
+}
+
+std::string fft3d::formatBytes(std::uint64_t Bytes) {
+  char Buffer[64];
+  if (Bytes < 1024)
+    std::snprintf(Buffer, sizeof(Buffer), "%llu B",
+                  static_cast<unsigned long long>(Bytes));
+  else if (Bytes < 1024 * 1024)
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f KiB",
+                  static_cast<double>(Bytes) / 1024.0);
+  else if (Bytes < 1024ULL * 1024 * 1024)
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f MiB",
+                  static_cast<double>(Bytes) / (1024.0 * 1024.0));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.2f GiB",
+                  static_cast<double>(Bytes) / (1024.0 * 1024.0 * 1024.0));
+  return Buffer;
+}

@@ -1,0 +1,64 @@
+//===- support/Units.h - Time and bandwidth unit helpers -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical units used across the project, and formatting helpers.
+///
+/// Simulation time is kept in integer picoseconds (Picos) so event ordering
+/// is exact; bandwidth is reported in GB/s (10^9 bytes per second, the unit
+/// the paper uses) and occasionally in Gb/s for Table 1's baseline rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_UNITS_H
+#define FFT3D_SUPPORT_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace fft3d {
+
+/// Simulation timestamp / duration in picoseconds.
+using Picos = std::uint64_t;
+
+constexpr Picos PicosPerNano = 1000;
+constexpr Picos PicosPerMicro = 1000 * PicosPerNano;
+constexpr Picos PicosPerMilli = 1000 * PicosPerMicro;
+constexpr Picos PicosPerSecond = 1000 * PicosPerMilli;
+
+/// Converts a duration in nanoseconds to picoseconds.
+constexpr Picos nanosToPicos(double Nanos) {
+  return static_cast<Picos>(Nanos * static_cast<double>(PicosPerNano) + 0.5);
+}
+
+/// Converts picoseconds to (double) nanoseconds.
+constexpr double picosToNanos(Picos Ps) {
+  return static_cast<double>(Ps) / static_cast<double>(PicosPerNano);
+}
+
+/// Returns the period of a clock with frequency \p MHz, in picoseconds.
+constexpr Picos periodFromMHz(double MHz) {
+  return static_cast<Picos>(1e6 / MHz + 0.5);
+}
+
+/// Bytes-per-second rate over a duration, in GB/s (10^9 B/s). Returns 0 for
+/// a zero duration.
+double bytesOverPicosToGBps(std::uint64_t Bytes, Picos Duration);
+
+/// Converts GB/s to Gb/s (the unit Table 1 uses for its baseline rows).
+constexpr double gbpsToGbitps(double GBps) { return GBps * 8.0; }
+
+/// Formats a duration with an adaptive unit: "123.4 ns", "56.78 us",
+/// "9.01 ms". Used by the benchmark tables.
+std::string formatDuration(Picos Duration);
+
+/// Formats a byte count with an adaptive binary unit: "512 B", "8.0 KiB",
+/// "2.0 MiB".
+std::string formatBytes(std::uint64_t Bytes);
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_UNITS_H

@@ -1,0 +1,133 @@
+//===- tests/core_autotuner_test.cpp - AutoTuner + LayoutEvaluator --------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoTuner.h"
+#include "layout/LinearLayouts.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+SystemConfig quickConfig(std::uint64_t N = 1024) {
+  SystemConfig Config = SystemConfig::forProblemSize(N);
+  Config.MaxSimBytesPerDirection = 1ull << 20;
+  Config.MaxSimOpsPerDirection = 5000;
+  return Config;
+}
+
+} // namespace
+
+TEST(LayoutEvaluator, MatchesProcessorStyleResults) {
+  const SystemConfig Config = quickConfig(2048);
+  const LayoutEvaluator Evaluator(Config);
+  const std::uint64_t Stride = 2048ull * 2048 * 8;
+  const RowMajorLayout Mid(2048, 2048, 8, Stride);
+  const RowMajorLayout Out(2048, 2048, 8, 2 * Stride);
+  const LayoutMetrics M = Evaluator.evaluate(Config.Baseline, Mid, Out);
+  // The row-major baseline: fast rows, crawling columns.
+  EXPECT_GT(M.RowPhase.ThroughputGBps, 3.0);
+  EXPECT_LT(M.ColPhase.ThroughputGBps, 1.0);
+  EXPECT_LT(M.AppGBps, 2.0);
+  EXPECT_GT(M.PicojoulesPerBit, 0.0);
+  EXPECT_GT(M.ActivationsPerKiB, 1.0);
+}
+
+TEST(LayoutEvaluator, ReportsEnergyWhenAsked) {
+  const SystemConfig Config = quickConfig();
+  const LayoutEvaluator Evaluator(Config);
+  const std::uint64_t Stride = 1024ull * 1024 * 8;
+  const RowMajorLayout Mid(1024, 1024, 8, Stride);
+  EnergyBreakdown E;
+  const PhaseResult P = Evaluator.runRowPhase(Config.Optimized, Mid, &E);
+  EXPECT_GT(P.ThroughputGBps, 0.0);
+  EXPECT_GT(E.totalPJ(), 0.0);
+  EXPECT_GT(E.ActivatePJ, 0.0);
+}
+
+TEST(AutoTuner, BlockLayoutWinsOnThroughput) {
+  // N = 2048: a matrix row spans two DRAM rows, so the row-major column
+  // walk shows the paper's pathology (at N = 1024 one matrix row is
+  // exactly one DRAM row and bank pipelining partly hides it).
+  const AutoTuner Tuner(quickConfig(2048));
+  const TuneResult Result = Tuner.tune(TuneObjective::Throughput);
+  ASSERT_FALSE(Result.Candidates.empty());
+  EXPECT_EQ(Result.best().Kind, LayoutKind::BlockDynamic);
+  // The winner must beat the row-major baseline by a wide margin.
+  double RowMajorGBps = 0.0;
+  for (const TuneCandidate &C : Result.Candidates)
+    if (C.Kind == LayoutKind::RowMajor)
+      RowMajorGBps = C.Metrics.AppGBps;
+  EXPECT_GT(Result.best().Metrics.AppGBps, 2.0 * RowMajorGBps);
+}
+
+TEST(AutoTuner, ContainsEq1PickAndItIsCompetitive) {
+  const AutoTuner Tuner(quickConfig());
+  const TuneResult Result = Tuner.tune(TuneObjective::Throughput);
+  bool Found = false;
+  for (const TuneCandidate &C : Result.Candidates)
+    Found = Found || C.Eq1Pick;
+  EXPECT_TRUE(Found);
+  EXPECT_TRUE(
+      Result.eq1WithinFractionOfBest(0.10, TuneObjective::Throughput));
+}
+
+TEST(AutoTuner, CandidatesAreSortedByObjective) {
+  const AutoTuner Tuner(quickConfig());
+  for (const TuneObjective Objective :
+       {TuneObjective::Throughput, TuneObjective::Energy,
+        TuneObjective::ThroughputPerEnergy}) {
+    const TuneResult Result = Tuner.tune(Objective);
+    for (std::size_t I = 1; I < Result.Candidates.size(); ++I)
+      EXPECT_GE(Result.Candidates[I - 1].score(Objective),
+                Result.Candidates[I].score(Objective));
+  }
+}
+
+TEST(AutoTuner, OptionsRestrictTheSpace) {
+  TuneOptions Options;
+  Options.IncludeLinear = false;
+  Options.IncludeTiled = false;
+  Options.SweepSkew = false;
+  const AutoTuner Tuner(quickConfig(), Options);
+  const TuneResult Result = Tuner.tune();
+  for (const TuneCandidate &C : Result.Candidates) {
+    EXPECT_EQ(C.Kind, LayoutKind::BlockDynamic);
+    EXPECT_TRUE(C.Skew);
+  }
+}
+
+TEST(AutoTuner, EnergyObjectivePrefersFewActivationsPerByte) {
+  const AutoTuner Tuner(quickConfig());
+  const TuneResult Result = Tuner.tune(TuneObjective::Energy);
+  // The energy winner must not be the row-major layout (whose strided
+  // phase pays an activation per element).
+  EXPECT_NE(Result.best().Kind, LayoutKind::RowMajor);
+  EXPECT_LT(Result.best().Metrics.PicojoulesPerBit, 5.0);
+}
+
+TEST(AutoTuner, ObjectiveNamesStable) {
+  EXPECT_STREQ(tuneObjectiveName(TuneObjective::Throughput), "throughput");
+  EXPECT_STREQ(tuneObjectiveName(TuneObjective::Energy), "energy");
+  EXPECT_STREQ(tuneObjectiveName(TuneObjective::ThroughputPerEnergy),
+               "throughput-per-energy");
+}
+
+TEST(LayoutEvaluator, WriteCombiningRescuesTallBlocks) {
+  // At h = 1024 (w = 1) chunked writes collapse phase 1; write combining
+  // restores the kernel-bound rate.
+  SystemConfig Config = quickConfig(2048);
+  const BlockDynamicLayout Mid(2048, 2048, 8, 2048ull * 2048 * 8, 1, 1024);
+  const LayoutEvaluator Evaluator(Config);
+  const PhaseResult Chunked =
+      Evaluator.runRowPhase(Config.Optimized, Mid);
+  ArchParams Combining = Config.Optimized;
+  Combining.WriteCombine = true;
+  const PhaseResult Combined = Evaluator.runRowPhase(Combining, Mid);
+  EXPECT_GT(Combined.ThroughputGBps, Chunked.ThroughputGBps + 5.0);
+  EXPECT_NEAR(Combined.ThroughputGBps, 32.0, 2.0);
+}

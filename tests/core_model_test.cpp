@@ -1,0 +1,118 @@
+//===- tests/core_model_test.cpp - Analytical model vs paper numbers ------===//
+//
+// Part of the fft3d project.
+//
+// These tests lock the closed-form model to the paper's Tables 1 and 2:
+// the optimized column-phase throughput/utilization cells are reproduced
+// exactly; the improvement percentages to within a point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnalyticalModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+TEST(AnalyticalModel, PeakBandwidthIs80GBps) {
+  const AnalyticalModel M(SystemConfig::forProblemSize(2048));
+  EXPECT_NEAR(M.peakGBps(), 80.0, 1e-9);
+}
+
+TEST(AnalyticalModel, Table1OptimizedThroughputCells) {
+  // Paper Table 1, optimized: 32 / 25.6 / 23.04 GB/s.
+  EXPECT_NEAR(AnalyticalModel(SystemConfig::forProblemSize(2048))
+                  .optimizedColumnGBps(),
+              32.0, 1e-9);
+  EXPECT_NEAR(AnalyticalModel(SystemConfig::forProblemSize(4096))
+                  .optimizedColumnGBps(),
+              25.6, 1e-9);
+  EXPECT_NEAR(AnalyticalModel(SystemConfig::forProblemSize(8192))
+                  .optimizedColumnGBps(),
+              23.04, 1e-9);
+}
+
+TEST(AnalyticalModel, Table1OptimizedUtilizationCells) {
+  // 40.0%, 32.0%, 28.8% of peak.
+  for (const auto &[N, Util] :
+       std::vector<std::pair<std::uint64_t, double>>{
+           {2048, 0.400}, {4096, 0.320}, {8192, 0.288}}) {
+    const AnalyticalModel M(SystemConfig::forProblemSize(N));
+    EXPECT_NEAR(M.optimizedColumnGBps() / M.peakGBps(), Util, 1e-9) << N;
+  }
+}
+
+TEST(AnalyticalModel, BaselineColumnIsAboutOnePercentOfPeak) {
+  // Paper Table 1 baseline: 1.0% / 0.5% / 0.5%. Our blocking model is
+  // flat in N; assert it sits in the sub-1.5% band the paper describes.
+  for (std::uint64_t N : {2048ull, 4096ull, 8192ull}) {
+    const AnalyticalModel M(SystemConfig::forProblemSize(N));
+    const double Util = M.baselineColumnGBps() / M.peakGBps();
+    EXPECT_GT(Util, 0.003) << N;
+    EXPECT_LT(Util, 0.015) << N;
+  }
+}
+
+TEST(AnalyticalModel, BaselineColumnFortyTimesWorseThanOptimized) {
+  // The headline: "up to 40x peak memory bandwidth utilization for
+  // column-wise FFT".
+  const AnalyticalModel M(SystemConfig::forProblemSize(2048));
+  const double Gain = M.optimizedColumnGBps() / M.baselineColumnGBps();
+  EXPECT_GT(Gain, 30.0);
+  EXPECT_LT(Gain, 80.0);
+}
+
+TEST(AnalyticalModel, Table2ImprovementPercentages) {
+  // Paper Table 2: 95.1 / 97.0 / 96.6 % throughput improvement. Our
+  // baseline row phase differs slightly (we derive it instead of fitting
+  // it), so allow a band of +/- 2 points.
+  for (const auto &[N, Expected] :
+       std::vector<std::pair<std::uint64_t, double>>{
+           {2048, 0.951}, {4096, 0.970}, {8192, 0.966}}) {
+    const AppEstimate E =
+        AnalyticalModel(SystemConfig::forProblemSize(N)).estimateApp();
+    EXPECT_NEAR(E.ImprovementFraction, Expected, 0.02) << N;
+  }
+}
+
+TEST(AnalyticalModel, Table2OptimizedAppThroughput) {
+  // The optimized app throughput equals the column-phase value (both
+  // phases run at the kernel bound): 32 / 25.6 / 23.04 GB/s.
+  for (const auto &[N, Expected] :
+       std::vector<std::pair<std::uint64_t, double>>{
+           {2048, 32.0}, {4096, 25.6}, {8192, 23.04}}) {
+    const AppEstimate E =
+        AnalyticalModel(SystemConfig::forProblemSize(N)).estimateApp();
+    EXPECT_NEAR(E.OptimizedAppGBps, Expected, 1e-6) << N;
+  }
+}
+
+TEST(AnalyticalModel, LatencyImprovesSubstantially) {
+  // Paper: "latency is reduced by up to 3x".
+  for (std::uint64_t N : {2048ull, 4096ull, 8192ull}) {
+    const AppEstimate E =
+        AnalyticalModel(SystemConfig::forProblemSize(N)).estimateApp();
+    const double Ratio = static_cast<double>(E.BaselineLatency) /
+                         static_cast<double>(E.OptimizedLatency);
+    EXPECT_GT(Ratio, 3.0) << N;
+  }
+}
+
+TEST(AnalyticalModel, HarmonicCombine) {
+  EXPECT_NEAR(AnalyticalModel::harmonicCombine(32.0, 0.8), 1.5609756, 1e-6);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::harmonicCombine(10.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::harmonicCombine(0.0, 10.0), 0.0);
+}
+
+TEST(AnalyticalModel, KernelStreamRates) {
+  const SystemConfig C = SystemConfig::forProblemSize(2048);
+  const AnalyticalModel M(C);
+  EXPECT_NEAR(M.kernelStreamGBps(C.Optimized), 16.0, 1e-9);
+  EXPECT_NEAR(M.kernelStreamGBps(C.Baseline), 2.0, 1e-9);
+}
+
+TEST(AnalyticalModel, BlockStreamingNearPeak) {
+  const AnalyticalModel M(SystemConfig::forProblemSize(2048));
+  // 8 KiB transfers dwarf the 40 ns activation spacing.
+  EXPECT_GT(M.blockStreamMemoryLimitGBps(), 0.95 * M.peakGBps());
+}

@@ -1,0 +1,170 @@
+//===- tests/core_phase_test.cpp - Phase engine behaviour ------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseEngine.h"
+#include "layout/BlockDynamicLayout.h"
+#include "layout/LinearLayouts.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+struct Rig {
+  EventQueue Events;
+  MemoryConfig Config;
+  std::unique_ptr<Memory3D> Mem;
+  std::unique_ptr<PhaseEngine> Engine;
+
+  explicit Rig(std::uint64_t MaxBytes = 1ull << 30,
+               std::uint64_t MaxOps = 1ull << 30) {
+    Mem = std::make_unique<Memory3D>(Events, Config);
+    Engine = std::make_unique<PhaseEngine>(*Mem, Events, MaxBytes, MaxOps);
+  }
+};
+
+} // namespace
+
+TEST(PhaseEngine, ReadOnlyPhaseMovesAllBytes) {
+  Rig R;
+  const RowMajorLayout L(64, 64, 8, 0);
+  RowScanTrace Reads(L, 8192);
+  const PhaseResult Res = R.Engine->run(
+      {&Reads, false, 16, /*PaceGBps=*/0.0, 0}, {});
+  EXPECT_EQ(Res.BytesRead, L.sizeBytes());
+  EXPECT_EQ(Res.BytesWritten, 0u);
+  EXPECT_FALSE(Res.Truncated);
+  EXPECT_GT(Res.ThroughputGBps, 0.0);
+  EXPECT_GT(Res.FirstReadComplete, 0u);
+}
+
+TEST(PhaseEngine, PacingCapsThroughput) {
+  Rig R;
+  const RowMajorLayout L(128, 128, 8, 0);
+  RowScanTrace Fast(L, 8192);
+  const PhaseResult Unpaced =
+      R.Engine->run({&Fast, false, 32, 0.0, 0}, {});
+  RowScanTrace Slow(L, 8192);
+  const PhaseResult Paced =
+      R.Engine->run({&Slow, false, 32, /*PaceGBps=*/2.0, 0}, {});
+  EXPECT_GT(Unpaced.ThroughputGBps, 10.0);
+  EXPECT_LE(Paced.ThroughputGBps, 2.2);
+  EXPECT_GT(Paced.ThroughputGBps, 1.5);
+}
+
+TEST(PhaseEngine, BlockingWindowSerializesStridedReads) {
+  // N must be large enough that the stride (N * 8 B) exceeds the row
+  // buffer, otherwise consecutive column elements share a DRAM row.
+  Rig R(1ull << 30, /*MaxOps=*/20000);
+  const RowMajorLayout L(1024, 1024, 8, 0);
+  ColScanTrace Strided(L, 8192);
+  const PhaseResult Res =
+      R.Engine->run({&Strided, false, /*Window=*/1, 0.0, 0}, {});
+  // Every 8-byte element pays the full blocking round trip: ~25-30 ns.
+  // That is well under 1 GB/s.
+  EXPECT_LT(Res.ThroughputGBps, 1.0);
+  EXPECT_GT(Res.MeanReqLatencyNanos, 20.0);
+}
+
+TEST(PhaseEngine, WiderWindowRecoversStridedBandwidth) {
+  Rig R(1ull << 30, /*MaxOps=*/20000);
+  const RowMajorLayout L(1024, 1024, 8, 0);
+  ColScanTrace Blocking(L, 8192);
+  const PhaseResult Slow =
+      R.Engine->run({&Blocking, false, 1, 0.0, 0}, {});
+  ColScanTrace Pipelined(L, 8192);
+  const PhaseResult Fast =
+      R.Engine->run({&Pipelined, false, 64, 0.0, 0}, {});
+  EXPECT_GT(Fast.ThroughputGBps, 2.0 * Slow.ThroughputGBps);
+}
+
+TEST(PhaseEngine, WriteLagDelaysWrites) {
+  Rig R;
+  const RowMajorLayout L(32, 32, 8, 0);
+  RowScanTrace Reads(L, 8192);
+  RowScanTrace Writes(L, 8192);
+  const Picos Lag = nanosToPicos(10000.0);
+  const PhaseResult Res = R.Engine->run(
+      {&Reads, false, 8, 0.0, 0}, {&Writes, true, 8, 0.0, Lag});
+  // The phase cannot end before the lagged writes even start.
+  EXPECT_GE(Res.Elapsed, Lag);
+  EXPECT_EQ(Res.BytesWritten, L.sizeBytes());
+}
+
+TEST(PhaseEngine, BudgetTruncatesAndExtrapolates) {
+  Rig R(/*MaxBytes=*/16 * 8192, /*MaxOps=*/1ull << 30);
+  const RowMajorLayout L(256, 256, 8, 0); // 512 KiB footprint.
+  RowScanTrace Reads(L, 8192);
+  const PhaseResult Res = R.Engine->run({&Reads, false, 16, 0.0, 0}, {});
+  EXPECT_TRUE(Res.Truncated);
+  EXPECT_EQ(Res.BytesRead, 16u * 8192);
+  EXPECT_EQ(Res.TotalPhaseBytes, L.sizeBytes());
+  EXPECT_GT(Res.EstimatedPhaseTime, Res.Elapsed);
+}
+
+TEST(PhaseEngine, OpBudgetAlsoTruncates) {
+  Rig R(1ull << 30, /*MaxOps=*/10);
+  const RowMajorLayout L(256, 256, 8, 0);
+  ColScanTrace Reads(L, 8192);
+  const PhaseResult Res = R.Engine->run({&Reads, false, 4, 0.0, 0}, {});
+  EXPECT_TRUE(Res.Truncated);
+  EXPECT_EQ(Res.Ops, 10u);
+}
+
+TEST(PhaseEngine, BlockStreamSaturatesMemory) {
+  Rig R;
+  const BlockDynamicLayout L(512, 512, 8, 0, 8, 128); // 8 KiB blocks.
+  BlockTrace Reads(L, BlockOrder::ColMajorBlocks);
+  const PhaseResult Res = R.Engine->run({&Reads, false, 64, 0.0, 0}, {});
+  // Full-row bursts across skewed vaults: close to the 80 GB/s peak.
+  EXPECT_GT(Res.ThroughputGBps, 60.0);
+  EXPECT_GT(Res.RowHitRate, -0.01); // defined
+  // One activation per block, nothing more.
+  EXPECT_EQ(Res.RowActivations, L.blocksPerRow() * L.blocksPerCol());
+}
+
+TEST(PhaseEngine, EmptyPhaseIsZero) {
+  Rig R;
+  const PhaseResult Res = R.Engine->run({}, {});
+  EXPECT_EQ(Res.BytesRead + Res.BytesWritten, 0u);
+  EXPECT_EQ(Res.Elapsed, 0u);
+}
+
+TEST(PhaseEngine, RunStreamsAggregatesDirections) {
+  Rig R;
+  const RowMajorLayout A(32, 32, 8, 0);
+  const RowMajorLayout B(32, 32, 8, 32 * 32 * 8);
+  const RowMajorLayout C(32, 32, 8, 2 * 32 * 32 * 8);
+  RowScanTrace ReadA(A, 8192);
+  RowScanTrace ReadB(B, 8192);
+  RowScanTrace WriteC(C, 8192);
+  const PhaseResult Res = R.Engine->runStreams(
+      {{&ReadA, false, 8, 0.0, 0},
+       {&ReadB, false, 8, 0.0, 0},
+       {&WriteC, true, 8, 0.0, 0}});
+  EXPECT_EQ(Res.BytesRead, 2 * A.sizeBytes());
+  EXPECT_EQ(Res.BytesWritten, A.sizeBytes());
+  EXPECT_EQ(Res.TotalPhaseBytes, 3 * A.sizeBytes());
+  EXPECT_GT(Res.ReadGBps, 0.0);
+  EXPECT_GT(Res.WriteGBps, 0.0);
+  EXPECT_GT(Res.FirstReadComplete, 0u);
+}
+
+TEST(PhaseEngine, RunStreamsMatchesRunForTwoStreams) {
+  const RowMajorLayout L(64, 64, 8, 0);
+  Rig R1, R2;
+  RowScanTrace ReadsA(L, 8192), WritesA(L, 8192);
+  const PhaseResult Via2 = R1.Engine->run({&ReadsA, false, 8, 4.0, 0},
+                                          {&WritesA, true, 8, 4.0, 0});
+  RowScanTrace ReadsB(L, 8192), WritesB(L, 8192);
+  StreamParams WP{&WritesB, true, 8, 4.0, 0};
+  const PhaseResult ViaN =
+      R2.Engine->runStreams({{&ReadsB, false, 8, 4.0, 0}, WP});
+  EXPECT_EQ(Via2.Elapsed, ViaN.Elapsed);
+  EXPECT_EQ(Via2.BytesRead, ViaN.BytesRead);
+  EXPECT_DOUBLE_EQ(Via2.ThroughputGBps, ViaN.ThroughputGBps);
+}

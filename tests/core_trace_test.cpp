@@ -1,0 +1,177 @@
+//===- tests/core_trace_test.cpp - Access-trace generator tests -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AccessTrace.h"
+#include "layout/LinearLayouts.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+std::vector<TraceOp> drain(TraceSource &T) {
+  std::vector<TraceOp> Ops;
+  while (auto Op = T.next())
+    Ops.push_back(*Op);
+  return Ops;
+}
+
+std::uint64_t sumBytes(const std::vector<TraceOp> &Ops) {
+  std::uint64_t Sum = 0;
+  for (const TraceOp &Op : Ops)
+    Sum += Op.Bytes;
+  return Sum;
+}
+
+/// Each byte of the layout's footprint must be covered exactly once.
+void expectExactCover(const DataLayout &L, const std::vector<TraceOp> &Ops) {
+  std::set<PhysAddr> Seen;
+  for (const TraceOp &Op : Ops)
+    for (std::uint64_t B = 0; B != Op.Bytes; B += L.elementBytes())
+      EXPECT_TRUE(Seen.insert(Op.Addr + B).second) << Op.Addr + B;
+  EXPECT_EQ(Seen.size(), L.numRows() * L.numCols());
+}
+
+} // namespace
+
+TEST(RowScanTrace, CoalescesRowMajorIntoMaxBursts) {
+  const RowMajorLayout L(16, 16, 8, 0);
+  RowScanTrace T(L, /*MaxBurstBytes=*/64);
+  const auto Ops = drain(T);
+  // 16 rows x 128 B per row / 64 B bursts = 32 ops.
+  EXPECT_EQ(Ops.size(), 32u);
+  for (const TraceOp &Op : Ops)
+    EXPECT_EQ(Op.Bytes, 64u);
+  EXPECT_EQ(sumBytes(Ops), L.sizeBytes());
+  expectExactCover(L, Ops);
+}
+
+TEST(RowScanTrace, ResetRestarts) {
+  const RowMajorLayout L(4, 4, 8, 0);
+  RowScanTrace T(L, 8192);
+  const auto First = drain(T);
+  T.reset();
+  const auto Second = drain(T);
+  ASSERT_EQ(First.size(), Second.size());
+  for (std::size_t I = 0; I != First.size(); ++I)
+    EXPECT_EQ(First[I].Addr, Second[I].Addr);
+}
+
+TEST(ColScanTrace, RowMajorColumnsDegradeToElementOps) {
+  const RowMajorLayout L(16, 16, 8, 0);
+  ColScanTrace T(L, 8192);
+  const auto Ops = drain(T);
+  // The pathological stream: one element per op.
+  EXPECT_EQ(Ops.size(), 256u);
+  for (const TraceOp &Op : Ops)
+    EXPECT_EQ(Op.Bytes, 8u);
+  // Stride between consecutive ops within a column is N * 8.
+  EXPECT_EQ(Ops[1].Addr - Ops[0].Addr, 16u * 8);
+  expectExactCover(L, Ops);
+}
+
+TEST(ColScanTrace, ColMajorColumnsCoalesce) {
+  const ColMajorLayout L(16, 16, 8, 0);
+  ColScanTrace T(L, /*MaxBurstBytes=*/128);
+  const auto Ops = drain(T);
+  EXPECT_EQ(Ops.size(), 16u);
+  for (const TraceOp &Op : Ops)
+    EXPECT_EQ(Op.Bytes, 128u);
+  expectExactCover(L, Ops);
+}
+
+TEST(BlockTrace, EmitsOneOpPerBlock) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8); // 256 B blocks, 8x4 grid.
+  BlockTrace T(L, BlockOrder::ColMajorBlocks);
+  const auto Ops = drain(T);
+  EXPECT_EQ(Ops.size(), 32u);
+  for (const TraceOp &Op : Ops)
+    EXPECT_EQ(Op.Bytes, 256u);
+  EXPECT_EQ(sumBytes(Ops), L.sizeBytes());
+  expectExactCover(L, Ops);
+}
+
+TEST(BlockTrace, ColumnOrderWalksDownBlockColumns) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8);
+  BlockTrace T(L, BlockOrder::ColMajorBlocks);
+  const auto Ops = drain(T);
+  // First blocksPerCol() ops are block column 0, rows 0..: base matches.
+  for (std::uint64_t Br = 0; Br != L.blocksPerCol(); ++Br)
+    EXPECT_EQ(Ops[Br].Addr, L.blockBase(Br, 0));
+}
+
+TEST(BlockTrace, RowOrderWalksAcrossBlockRows) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8);
+  BlockTrace T(L, BlockOrder::RowMajorBlocks);
+  const auto Ops = drain(T);
+  for (std::uint64_t Bc = 0; Bc != L.blocksPerRow(); ++Bc)
+    EXPECT_EQ(Ops[Bc].Addr, L.blockBase(0, Bc));
+}
+
+TEST(ChunkedBlockWriteTrace, OneChunkPerRowPerBlockColumn) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8);
+  ChunkedBlockWriteTrace T(L);
+  const auto Ops = drain(T);
+  // 32 rows x 8 block columns.
+  EXPECT_EQ(Ops.size(), 32u * 8);
+  for (const TraceOp &Op : Ops)
+    EXPECT_EQ(Op.Bytes, 4u * 8); // w elements.
+  EXPECT_EQ(sumBytes(Ops), L.sizeBytes());
+  expectExactCover(L, Ops);
+}
+
+TEST(ChunkedBlockWriteTrace, ChunksLandAtRowOffsetWithinBlock) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8);
+  ChunkedBlockWriteTrace T(L);
+  // Row 0 chunks land at offset 0 of each block of block-row 0.
+  for (std::uint64_t Bc = 0; Bc != 8; ++Bc) {
+    const auto Op = T.next();
+    ASSERT_TRUE(Op.has_value());
+    EXPECT_EQ(Op->Addr, L.blockBase(0, Bc));
+  }
+  // Row 1's first chunk lands one in-block row further.
+  const auto Op = T.next();
+  ASSERT_TRUE(Op.has_value());
+  EXPECT_EQ(Op->Addr, L.blockBase(0, 0) + 4 * 8);
+}
+
+TEST(Traces, TotalBytesMatchFootprint) {
+  const BlockDynamicLayout L(64, 64, 8, 0, 8, 8);
+  EXPECT_EQ(BlockTrace(L, BlockOrder::ColMajorBlocks).totalBytes(),
+            L.sizeBytes());
+  EXPECT_EQ(ChunkedBlockWriteTrace(L).totalBytes(), L.sizeBytes());
+  const RowMajorLayout R(64, 64, 8, 0);
+  EXPECT_EQ(RowScanTrace(R, 8192).totalBytes(), R.sizeBytes());
+  EXPECT_EQ(ColScanTrace(R, 8192).totalBytes(), R.sizeBytes());
+}
+
+TEST(TileScanTrace, CoversFootprintInTileChunks) {
+  const RowMajorLayout L(32, 32, 8, 0);
+  TileScanTrace T(L, 8, 8);
+  const auto Ops = drain(T);
+  // 16 tiles x 8 chunk rows.
+  EXPECT_EQ(Ops.size(), 128u);
+  for (const TraceOp &Op : Ops)
+    EXPECT_EQ(Op.Bytes, 8u * 8);
+  EXPECT_EQ(sumBytes(Ops), L.sizeBytes());
+  expectExactCover(L, Ops);
+}
+
+TEST(TileScanTrace, ChunksWithinATileStrideByMatrixWidth) {
+  const RowMajorLayout L(32, 32, 8, 0);
+  TileScanTrace T(L, 8, 8);
+  const auto First = T.next();
+  const auto Second = T.next();
+  ASSERT_TRUE(First && Second);
+  EXPECT_EQ(First->Addr, 0u);
+  EXPECT_EQ(Second->Addr, 32u * 8); // Next matrix row, same tile.
+  T.reset();
+  EXPECT_EQ(T.next()->Addr, 0u);
+}

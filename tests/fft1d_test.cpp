@@ -1,0 +1,264 @@
+//===- tests/fft1d_test.cpp - 1D FFT correctness and properties -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Fft1d.h"
+#include "fft/RadixBlock.h"
+#include "fft/ReferenceDft.h"
+#include "fft/Twiddle.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fft3d;
+
+namespace {
+
+std::vector<CplxD> randomSignal(std::uint64_t N, std::uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<CplxD> Signal(N);
+  for (auto &Value : Signal)
+    Value = CplxD(R.nextDouble(-1.0, 1.0), R.nextDouble(-1.0, 1.0));
+  return Signal;
+}
+
+double l2Norm(const std::vector<CplxD> &V) {
+  double Sum = 0.0;
+  for (const CplxD &Value : V)
+    Sum += std::norm(Value);
+  return std::sqrt(Sum);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Twiddle / radix blocks
+//===----------------------------------------------------------------------===//
+
+TEST(Twiddle, KnownValues) {
+  EXPECT_NEAR(std::abs(twiddle(4, 0) - CplxD(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(twiddle(4, 1) - CplxD(0, -1)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(twiddle(4, 2) - CplxD(-1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(twiddle(8, 1) - CplxD(std::sqrt(0.5), -std::sqrt(0.5))),
+              0.0, 1e-15);
+}
+
+TEST(Twiddle, RomIsPeriodic) {
+  const TwiddleRom Rom(16);
+  EXPECT_EQ(Rom.size(), 16u);
+  EXPECT_NEAR(std::abs(Rom.root(17) - Rom.root(1)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(Rom.conjRoot(1) - std::conj(Rom.root(1))), 0.0, 1e-15);
+  EXPECT_EQ(Rom.romBytes(), 16u * 8);
+}
+
+TEST(RadixBlock, Radix2IsTwoPointDft) {
+  CplxD A(1, 2), B(3, -1);
+  radix2Butterfly(A, B);
+  EXPECT_NEAR(std::abs(A - CplxD(4, 1)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(B - CplxD(-2, 3)), 0.0, 1e-15);
+}
+
+TEST(RadixBlock, Radix4IsFourPointDft) {
+  std::array<CplxD, 4> X = {CplxD(1, 0), CplxD(2, 1), CplxD(0, -1),
+                            CplxD(-1, 3)};
+  const std::vector<CplxD> Ref =
+      referenceDft({X[0], X[1], X[2], X[3]});
+  radix4Butterfly(X);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_NEAR(std::abs(X[I] - Ref[I]), 0.0, 1e-12) << I;
+}
+
+TEST(RadixBlock, Radix4InverseIsConjugateTransform) {
+  std::array<CplxD, 4> X = {CplxD(1, 0), CplxD(2, 1), CplxD(0, -1),
+                            CplxD(-1, 3)};
+  std::array<CplxD, 4> Y = X;
+  radix4ButterflyInverse(Y);
+  const std::vector<CplxD> Ref =
+      referenceDft({X[0], X[1], X[2], X[3]}, /*Inverse=*/true);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_NEAR(std::abs(Y[I] - Ref[I] * 4.0), 0.0, 1e-12) << I;
+}
+
+TEST(RadixBlock, CostModel) {
+  EXPECT_EQ(radixBlockCost(2).realAddSub(), 4u);
+  EXPECT_EQ(radixBlockCost(4).realAddSub(), 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fft1d vs the reference DFT
+//===----------------------------------------------------------------------===//
+
+class Fft1dSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fft1dSizes, ForwardMatchesReference) {
+  const std::uint64_t N = GetParam();
+  const Fft1d Plan(N);
+  std::vector<CplxD> Data = randomSignal(N, N);
+  const std::vector<CplxD> Ref = referenceDft(Data);
+  Plan.forward(Data);
+  EXPECT_LT(maxAbsDiff(Data, Ref), 1e-9 * static_cast<double>(N));
+}
+
+TEST_P(Fft1dSizes, InverseMatchesReference) {
+  const std::uint64_t N = GetParam();
+  const Fft1d Plan(N);
+  std::vector<CplxD> Data = randomSignal(N, N + 1);
+  const std::vector<CplxD> Ref = referenceDft(Data, /*Inverse=*/true);
+  Plan.inverse(Data);
+  EXPECT_LT(maxAbsDiff(Data, Ref), 1e-9 * static_cast<double>(N));
+}
+
+TEST_P(Fft1dSizes, RoundTripRestoresInput) {
+  const std::uint64_t N = GetParam();
+  const Fft1d Plan(N);
+  const std::vector<CplxD> Original = randomSignal(N, 7 * N);
+  std::vector<CplxD> Data = Original;
+  Plan.forward(Data);
+  Plan.inverse(Data);
+  EXPECT_LT(maxAbsDiff(Data, Original), 1e-10 * static_cast<double>(N));
+}
+
+TEST_P(Fft1dSizes, ParsevalHolds) {
+  const std::uint64_t N = GetParam();
+  const Fft1d Plan(N);
+  std::vector<CplxD> Data = randomSignal(N, 3 * N);
+  const double TimeNorm = l2Norm(Data);
+  Plan.forward(Data);
+  const double FreqNorm = l2Norm(Data) / std::sqrt(static_cast<double>(N));
+  EXPECT_NEAR(FreqNorm, TimeNorm, 1e-9 * TimeNorm * N);
+}
+
+TEST_P(Fft1dSizes, LinearityHolds) {
+  const std::uint64_t N = GetParam();
+  const Fft1d Plan(N);
+  std::vector<CplxD> A = randomSignal(N, 11);
+  std::vector<CplxD> B = randomSignal(N, 13);
+  const CplxD Alpha(0.5, -1.25);
+  std::vector<CplxD> Mix(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    Mix[I] = A[I] + Alpha * B[I];
+  Plan.forward(A);
+  Plan.forward(B);
+  Plan.forward(Mix);
+  double Max = 0.0;
+  for (std::uint64_t I = 0; I != N; ++I)
+    Max = std::max(Max, std::abs(Mix[I] - (A[I] + Alpha * B[I])));
+  EXPECT_LT(Max, 1e-9 * static_cast<double>(N));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, Fft1dSizes,
+                         ::testing::Values<std::uint64_t>(2, 4, 8, 16, 32, 64,
+                                                          128, 256, 512, 1024,
+                                                          2048));
+
+TEST(Fft1d, ImpulseGivesFlatSpectrum) {
+  const Fft1d Plan(64);
+  std::vector<CplxD> Data(64, CplxD(0, 0));
+  Data[0] = CplxD(1, 0);
+  Plan.forward(Data);
+  for (const CplxD &Value : Data)
+    EXPECT_NEAR(std::abs(Value - CplxD(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft1d, ShiftedImpulseGivesTwiddleRamp) {
+  const std::uint64_t N = 32;
+  const Fft1d Plan(N);
+  std::vector<CplxD> Data(N, CplxD(0, 0));
+  Data[1] = CplxD(1, 0);
+  Plan.forward(Data);
+  for (std::uint64_t K = 0; K != N; ++K)
+    EXPECT_NEAR(std::abs(Data[K] - twiddle(N, K)), 0.0, 1e-12);
+}
+
+TEST(Fft1d, ConstantGivesDcSpike) {
+  const Fft1d Plan(128);
+  std::vector<CplxD> Data(128, CplxD(2, 0));
+  Plan.forward(Data);
+  EXPECT_NEAR(std::abs(Data[0] - CplxD(256, 0)), 0.0, 1e-9);
+  for (std::uint64_t K = 1; K != 128; ++K)
+    EXPECT_NEAR(std::abs(Data[K]), 0.0, 1e-9);
+}
+
+TEST(Fft1d, StagePlanMatchesSize) {
+  const Fft1d P4096(4096); // 4^6
+  EXPECT_FALSE(P4096.hasRadix2Stage());
+  EXPECT_EQ(P4096.numRadix4Stages(), 6u);
+  const Fft1d P2048(2048); // 2 * 4^5
+  EXPECT_TRUE(P2048.hasRadix2Stage());
+  EXPECT_EQ(P2048.numRadix4Stages(), 5u);
+}
+
+TEST(Fft1d, SinglePrecisionPathTracksDouble) {
+  const std::uint64_t N = 256;
+  const Fft1d Plan(N);
+  const std::vector<CplxD> Wide = randomSignal(N, 99);
+  std::vector<CplxF> NarrowData(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    NarrowData[I] = narrow(Wide[I]);
+  std::vector<CplxD> WideData = Wide;
+  Plan.forward(WideData);
+  Plan.forward(NarrowData);
+  double Max = 0.0;
+  for (std::uint64_t I = 0; I != N; ++I)
+    Max = std::max(Max, std::abs(widen(NarrowData[I]) - WideData[I]));
+  // Single-precision storage: expect ~1e-5 relative at this size.
+  EXPECT_LT(Max, 1e-3);
+}
+
+//===----------------------------------------------------------------------===//
+// Four-step (Bailey) FFT
+//===----------------------------------------------------------------------===//
+
+#include "fft/FourStep.h"
+
+TEST(FourStep, MatchesDirectFftAcrossFactorizations) {
+  for (const auto &[N1, N2] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {2, 2}, {4, 8}, {8, 4}, {16, 16}, {4, 64}, {64, 4}}) {
+    const std::uint64_t N = N1 * N2;
+    std::vector<CplxD> Data = randomSignal(N, N1 * 1000 + N2);
+    std::vector<CplxD> Ref = Data;
+    Fft1d(N).forward(Ref);
+    fftFourStep(Data, N1, N2);
+    EXPECT_LT(maxAbsDiff(Data, Ref), 1e-9 * static_cast<double>(N))
+        << N1 << "x" << N2;
+  }
+}
+
+TEST(FourStep, AutoSplitMatches) {
+  for (const std::uint64_t N : {16ull, 128ull, 1024ull}) {
+    std::vector<CplxD> Data = randomSignal(N, N + 3);
+    std::vector<CplxD> Ref = Data;
+    Fft1d(N).forward(Ref);
+    fftFourStep(Data);
+    EXPECT_LT(maxAbsDiff(Data, Ref), 1e-9 * static_cast<double>(N));
+  }
+}
+
+TEST(FourStep, InverseRoundTrips) {
+  const std::vector<CplxD> Original = randomSignal(256, 5);
+  std::vector<CplxD> Data = Original;
+  fftFourStep(Data, 16, 16);
+  fftFourStep(Data, 16, 16, /*Inverse=*/true);
+  EXPECT_LT(maxAbsDiff(Data, Original), 1e-10 * 256);
+}
+
+TEST(FourStep, InverseUndoesDirectForward) {
+  // Cross-engine: four-step inverse must undo Fft1d's forward.
+  const std::vector<CplxD> Original = randomSignal(512, 6);
+  std::vector<CplxD> Data = Original;
+  Fft1d(512).forward(Data);
+  fftFourStep(Data, 32, 16, /*Inverse=*/true);
+  EXPECT_LT(maxAbsDiff(Data, Original), 1e-10 * 512);
+}
+
+TEST(FourStep, RejectsBadFactors) {
+  std::vector<CplxD> Data(12);
+  EXPECT_DEATH(fftFourStep(Data, 3, 4), "powers of two");
+  std::vector<CplxD> Data2(8);
+  EXPECT_DEATH(fftFourStep(Data2, 4, 4), "N1 \\* N2");
+}

@@ -1,0 +1,174 @@
+//===- tests/fft2d_test.cpp - 2D FFT and matrix tests ----------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Fft2d.h"
+#include "fft/ReferenceDft.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fft3d;
+
+namespace {
+
+Matrix randomMatrix(std::uint64_t Rows, std::uint64_t Cols,
+                    std::uint64_t Seed) {
+  Rng R(Seed);
+  Matrix M(Rows, Cols);
+  for (std::uint64_t I = 0; I != Rows; ++I)
+    for (std::uint64_t J = 0; J != Cols; ++J)
+      M.at(I, J) = CplxF(static_cast<float>(R.nextDouble(-1, 1)),
+                         static_cast<float>(R.nextDouble(-1, 1)));
+  return M;
+}
+
+double maxDiffToReference(const Matrix &M, const std::vector<CplxD> &Ref) {
+  double Max = 0.0;
+  for (std::uint64_t R = 0; R != M.rows(); ++R)
+    for (std::uint64_t C = 0; C != M.cols(); ++C)
+      Max = std::max(Max,
+                     std::abs(widen(M.at(R, C)) - Ref[R * M.cols() + C]));
+  return Max;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(Matrix, RowColAccessors) {
+  Matrix M(4, 8);
+  M.at(2, 5) = CplxF(1.5f, -2.5f);
+  EXPECT_EQ(M.at(2, 5), CplxF(1.5f, -2.5f));
+  std::vector<CplxF> Row;
+  M.copyRow(2, Row);
+  ASSERT_EQ(Row.size(), 8u);
+  EXPECT_EQ(Row[5], CplxF(1.5f, -2.5f));
+  std::vector<CplxF> Col;
+  M.copyCol(5, Col);
+  ASSERT_EQ(Col.size(), 4u);
+  EXPECT_EQ(Col[2], CplxF(1.5f, -2.5f));
+}
+
+TEST(Matrix, SetRowSetColRoundTrip) {
+  Matrix M(4, 4);
+  std::vector<CplxF> Line = {CplxF(1, 0), CplxF(2, 0), CplxF(3, 0),
+                             CplxF(4, 0)};
+  M.setRow(1, Line);
+  std::vector<CplxF> Out;
+  M.copyRow(1, Out);
+  EXPECT_EQ(Out, Line);
+  M.setCol(2, Line);
+  M.copyCol(2, Out);
+  EXPECT_EQ(Out, Line);
+}
+
+TEST(Matrix, TransposeSquare) {
+  Matrix M = randomMatrix(8, 8, 1);
+  Matrix T = M;
+  T.transposeSquare();
+  for (std::uint64_t R = 0; R != 8; ++R)
+    for (std::uint64_t C = 0; C != 8; ++C)
+      EXPECT_EQ(T.at(R, C), M.at(C, R));
+  T.transposeSquare();
+  EXPECT_DOUBLE_EQ(T.maxAbsDiff(M), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fft2d
+//===----------------------------------------------------------------------===//
+
+class Fft2dShapes
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(Fft2dShapes, ForwardMatchesReference2d) {
+  const auto [Rows, Cols] = GetParam();
+  Matrix M = randomMatrix(Rows, Cols, Rows * 100 + Cols);
+  const std::vector<CplxD> Ref = referenceDft2d(M.widened(), Rows, Cols);
+  const Fft2d Plan(Rows, Cols);
+  Plan.forward(M);
+  EXPECT_LT(maxDiffToReference(M, Ref), 2e-3);
+}
+
+TEST_P(Fft2dShapes, RoundTripRestoresInput) {
+  const auto [Rows, Cols] = GetParam();
+  const Matrix Original = randomMatrix(Rows, Cols, 42);
+  Matrix M = Original;
+  const Fft2d Plan(Rows, Cols);
+  Plan.forward(M);
+  Plan.inverse(M);
+  EXPECT_LT(M.maxAbsDiff(Original), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Fft2dShapes,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{4, 4},
+                      std::pair<std::uint64_t, std::uint64_t>{8, 8},
+                      std::pair<std::uint64_t, std::uint64_t>{16, 16},
+                      std::pair<std::uint64_t, std::uint64_t>{8, 32},
+                      std::pair<std::uint64_t, std::uint64_t>{32, 8}));
+
+TEST(Fft2d, RowThenColEqualsColThenRow) {
+  // The row-column algorithm commutes: both orders give the 2D DFT.
+  Matrix A = randomMatrix(16, 16, 5);
+  Matrix B = A;
+  const Fft2d Plan(16, 16);
+  Plan.rowPhase(A);
+  Plan.colPhase(A);
+  Plan.colPhase(B);
+  Plan.rowPhase(B);
+  EXPECT_LT(A.maxAbsDiff(B), 1e-3);
+}
+
+TEST(Fft2d, SeparablePhasesComposeToForward) {
+  Matrix A = randomMatrix(16, 16, 6);
+  Matrix B = A;
+  const Fft2d Plan(16, 16);
+  Plan.forward(A);
+  Plan.rowPhase(B);
+  Plan.colPhase(B);
+  EXPECT_DOUBLE_EQ(A.maxAbsDiff(B), 0.0);
+}
+
+TEST(Fft2d, Impulse2dIsFlat) {
+  Matrix M(8, 8);
+  M.at(0, 0) = CplxF(1, 0);
+  const Fft2d Plan(8, 8);
+  Plan.forward(M);
+  for (std::uint64_t R = 0; R != 8; ++R)
+    for (std::uint64_t C = 0; C != 8; ++C)
+      EXPECT_NEAR(std::abs(widen(M.at(R, C)) - CplxD(1, 0)), 0.0, 1e-5);
+}
+
+TEST(Fft2d, ConvolutionTheoremHolds) {
+  // Circular convolution via pointwise spectral product: convolving with
+  // a one-pixel shift kernel must rotate the image.
+  const std::uint64_t N = 8;
+  Matrix Img = randomMatrix(N, N, 9);
+  Matrix Kernel(N, N);
+  Kernel.at(0, 1) = CplxF(1, 0); // Shift by one column.
+
+  const Fft2d Plan(N, N);
+  Matrix FImg = Img, FKer = Kernel;
+  Plan.forward(FImg);
+  Plan.forward(FKer);
+  Matrix Prod(N, N);
+  for (std::uint64_t R = 0; R != N; ++R)
+    for (std::uint64_t C = 0; C != N; ++C)
+      Prod.at(R, C) = FImg.at(R, C) * FKer.at(R, C);
+  Plan.inverse(Prod);
+
+  for (std::uint64_t R = 0; R != N; ++R)
+    for (std::uint64_t C = 0; C != N; ++C)
+      EXPECT_NEAR(std::abs(widen(Prod.at(R, C)) -
+                           widen(Img.at(R, (C + N - 1) % N))),
+                  0.0, 1e-4)
+          << R << "," << C;
+}

@@ -1,0 +1,89 @@
+//===- tests/fft_bluestein_test.cpp - Arbitrary-length DFT tests ----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Bluestein.h"
+#include "fft/Fft1d.h"
+#include "fft/ReferenceDft.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+using namespace fft3d;
+
+namespace {
+
+std::vector<CplxD> randomSignal(std::uint64_t N, std::uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<CplxD> Signal(N);
+  for (auto &V : Signal)
+    V = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+  return Signal;
+}
+
+} // namespace
+
+class BluesteinSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BluesteinSizes, ForwardMatchesReference) {
+  const std::uint64_t N = GetParam();
+  const BluesteinFft Plan(N);
+  std::vector<CplxD> Data = randomSignal(N, N * 3 + 1);
+  const std::vector<CplxD> Ref = referenceDft(Data);
+  Plan.forward(Data);
+  EXPECT_LT(maxAbsDiff(Data, Ref), 1e-8 * static_cast<double>(N));
+}
+
+TEST_P(BluesteinSizes, RoundTripRestores) {
+  const std::uint64_t N = GetParam();
+  const BluesteinFft Plan(N);
+  const std::vector<CplxD> Original = randomSignal(N, N + 7);
+  std::vector<CplxD> Data = Original;
+  Plan.forward(Data);
+  Plan.inverse(Data);
+  EXPECT_LT(maxAbsDiff(Data, Original), 1e-9 * static_cast<double>(N));
+}
+
+// Primes, composites with odd factors, and a power of two for sanity.
+INSTANTIATE_TEST_SUITE_P(AnyLength, BluesteinSizes,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 5, 7, 12,
+                                                          17, 30, 97, 100,
+                                                          128, 210, 509));
+
+TEST(BluesteinFft, MatchesPowerOfTwoEngine) {
+  const std::uint64_t N = 256;
+  const BluesteinFft Chirp(N);
+  const Fft1d Direct(N);
+  std::vector<CplxD> A = randomSignal(N, 2), B = A;
+  Chirp.forward(A);
+  Direct.forward(B);
+  EXPECT_LT(maxAbsDiff(A, B), 1e-9);
+}
+
+TEST(BluesteinFft, ConvolutionSizeIsNextPow2Of2Nm1) {
+  EXPECT_EQ(BluesteinFft(100).convolutionSize(), 256u);
+  EXPECT_EQ(BluesteinFft(3).convolutionSize(), 8u);
+  EXPECT_EQ(BluesteinFft(1).convolutionSize(), 2u);
+}
+
+TEST(BluesteinFft, LargePrimeSpotTone) {
+  // A pure tone in a prime-length frame must land in one bin.
+  const std::uint64_t N = 251;
+  const BluesteinFft Plan(N);
+  std::vector<CplxD> Data(N);
+  for (std::uint64_t I = 0; I != N; ++I) {
+    const double Angle = 2.0 * std::numbers::pi * 13.0 *
+                         static_cast<double>(I) / static_cast<double>(N);
+    Data[I] = CplxD(std::cos(Angle), std::sin(Angle));
+  }
+  Plan.forward(Data);
+  for (std::uint64_t K = 0; K != N; ++K) {
+    const double Expected = K == 13 ? static_cast<double>(N) : 0.0;
+    EXPECT_NEAR(std::abs(Data[K]), Expected, 1e-7) << K;
+  }
+}

@@ -1,0 +1,189 @@
+//===- tests/fft_components_test.cpp - Kernel component models ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/DppUnit.h"
+#include "fft/StreamingKernel.h"
+#include "fft/TfcUnit.h"
+#include "fft/Twiddle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace fft3d;
+
+//===----------------------------------------------------------------------===//
+// DppUnit
+//===----------------------------------------------------------------------===//
+
+TEST(DppUnit, BufferWordsSumToSdfBound) {
+  // Sum over all stages of a radix-4 pipeline = N - 1.
+  const std::uint64_t N = 1024;
+  std::uint64_t Total = 0;
+  for (unsigned S = 0; S != 5; ++S)
+    Total += DppUnit(N, 4, S, 8).bufferWords();
+  EXPECT_EQ(Total, N - 1);
+}
+
+TEST(DppUnit, BufferGrowsWithStage) {
+  std::uint64_t Prev = 0;
+  for (unsigned S = 0; S != 5; ++S) {
+    const std::uint64_t Words = DppUnit(1024, 4, S, 8).bufferWords();
+    EXPECT_GT(Words, Prev);
+    Prev = Words;
+  }
+  EXPECT_EQ(DppUnit(1024, 4, 0, 8).bufferWords(), 3u);
+  EXPECT_EQ(DppUnit(1024, 4, 4, 8).bufferWords(), 3u * 256);
+}
+
+TEST(DppUnit, MuxCountMatchesPaperPerGroup) {
+  // Paper Fig. 2b: a radix-4 DPP group uses eight 4-to-1 muxes. With 8
+  // lanes there are two groups.
+  EXPECT_EQ(DppUnit(1024, 4, 1, 8).muxCount(), 16u);
+  EXPECT_EQ(DppUnit(1024, 4, 1, 4).muxCount(), 8u);
+}
+
+TEST(DppUnit, FramePermutationIsValidAndLocal) {
+  const DppUnit Dpp(256, 4, 1, 8);
+  const Permutation P = Dpp.framePermutation();
+  EXPECT_EQ(P.size(), 256u);
+  EXPECT_TRUE(P.isValid());
+  // Stage 1 reorders within 4^3 = 64-element sections.
+  for (std::uint64_t O = 0; O != 256; ++O)
+    EXPECT_EQ(P.sourceOf(O) / 64, O / 64);
+}
+
+TEST(DppUnit, LatencyScalesInverselyWithLanes) {
+  const std::uint64_t W1 = DppUnit(1024, 4, 4, 1).latencyCycles();
+  const std::uint64_t W8 = DppUnit(1024, 4, 4, 8).latencyCycles();
+  EXPECT_EQ(W1, 768u);
+  EXPECT_EQ(W8, 96u);
+}
+
+//===----------------------------------------------------------------------===//
+// TfcUnit
+//===----------------------------------------------------------------------===//
+
+TEST(TfcUnit, TableSizesGrowWithStage) {
+  // "The size of each lookup table is determined by the ordinal number of
+  // its present butterfly computation stage and the FFT problem size."
+  EXPECT_EQ(TfcUnit(1024, 4, 0, 8).entriesPerTable(), 1u);
+  EXPECT_EQ(TfcUnit(1024, 4, 1, 8).entriesPerTable(), 4u);
+  EXPECT_EQ(TfcUnit(1024, 4, 4, 8).entriesPerTable(), 256u);
+  EXPECT_EQ(TfcUnit(1024, 4, 4, 8).romWords(), 3u * 256);
+}
+
+TEST(TfcUnit, FactorsMatchTwiddles) {
+  const unsigned Stage = 2;
+  const TfcUnit Tfc(256, 4, Stage, 8);
+  const std::uint64_t L = 64; // 4^(stage+1)
+  for (unsigned Q = 1; Q != 4; ++Q)
+    for (std::uint64_t J = 0; J != 16; ++J) {
+      EXPECT_NEAR(std::abs(Tfc.factor(Q, J) - twiddle(L, Q * J)), 0.0, 1e-15);
+      EXPECT_NEAR(std::abs(Tfc.factor(Q, J, /*Conjugate=*/true) -
+                           std::conj(twiddle(L, Q * J))),
+                  0.0, 1e-15);
+    }
+}
+
+TEST(TfcUnit, MultiplierModelMatchesPaper) {
+  // "Each complex number multiplier consists of four real number
+  // multipliers and two real number adders/subtractors."
+  const TfcUnit Tfc(1024, 4, 2, 8);
+  EXPECT_EQ(Tfc.complexMultipliers(), 2u * 3); // two groups, three operands
+  EXPECT_EQ(Tfc.realMultipliers(), 4u * 6);
+  EXPECT_EQ(Tfc.realAddSub(), 2u * 6);
+  // Stage 0 twiddles are unity: no multipliers.
+  EXPECT_EQ(TfcUnit(1024, 4, 0, 8).complexMultipliers(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// StreamingKernel
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingKernel, ClockAnchorsMatchPaper) {
+  EXPECT_DOUBLE_EQ(StreamingKernel::achievableClockMHz(2048), 250.0);
+  EXPECT_DOUBLE_EQ(StreamingKernel::achievableClockMHz(4096), 200.0);
+  EXPECT_DOUBLE_EQ(StreamingKernel::achievableClockMHz(8192), 180.0);
+  EXPECT_DOUBLE_EQ(StreamingKernel::achievableClockMHz(512), 250.0);
+  EXPECT_LT(StreamingKernel::achievableClockMHz(16384), 180.0);
+}
+
+TEST(StreamingKernel, StreamRateMatchesTable) {
+  // 8 lanes x 8 B x 250 MHz = 16 GB/s per direction at N = 2048.
+  EXPECT_NEAR(StreamingKernel(2048, 8).streamGBps(), 16.0, 1e-9);
+  EXPECT_NEAR(StreamingKernel(4096, 8).streamGBps(), 12.8, 1e-9);
+  EXPECT_NEAR(StreamingKernel(8192, 8).streamGBps(), 11.52, 1e-9);
+  EXPECT_NEAR(StreamingKernel(2048, 1).streamGBps(), 2.0, 1e-9);
+}
+
+TEST(StreamingKernel, StageCounts) {
+  EXPECT_EQ(StreamingKernel(4096, 8).numStages(), 6u);
+  EXPECT_EQ(StreamingKernel(2048, 8).numStages(), 6u); // 5 radix-4 + 1 radix-2
+  EXPECT_EQ(StreamingKernel(8192, 8).numStages(), 7u);
+}
+
+TEST(StreamingKernel, PipelineFillIsAboutAFrame) {
+  const StreamingKernel K(2048, 8);
+  const std::uint64_t Fill = K.pipelineFillCycles();
+  // Delay memory totals about one frame; at 8 lanes that is ~N/8 cycles.
+  EXPECT_GT(Fill, 2048u / 8);
+  EXPECT_LT(Fill, 2 * 2048u / 8 + 64);
+  EXPECT_EQ(K.cyclesPerFrame(), 256u);
+}
+
+TEST(StreamingKernel, ResourcesScaleWithSize) {
+  const KernelResources Small = StreamingKernel(1024, 8).resources();
+  const KernelResources Large = StreamingKernel(4096, 8).resources();
+  EXPECT_GT(Large.DelayBufferBytes, Small.DelayBufferBytes);
+  EXPECT_GT(Large.TwiddleRomBytes, Small.TwiddleRomBytes);
+  EXPECT_GE(Large.RealMultipliers, Small.RealMultipliers);
+  EXPECT_GT(Small.RealAddSub, 0u);
+  EXPECT_GT(Small.Muxes, 0u);
+}
+
+TEST(StreamingKernel, FunctionalPathIsTheFft) {
+  const StreamingKernel K(64, 8);
+  std::vector<CplxF> Frame(64);
+  Frame[1] = CplxF(1, 0);
+  K.runForward(Frame);
+  for (std::uint64_t I = 0; I != 64; ++I)
+    EXPECT_NEAR(std::abs(widen(Frame[I]) - twiddle(64, I)), 0.0, 1e-5);
+  K.runInverse(Frame);
+  EXPECT_NEAR(std::abs(widen(Frame[1]) - CplxD(1, 0)), 0.0, 1e-5);
+}
+
+TEST(StreamingKernel, PipelineFillTimeUsesClock) {
+  const StreamingKernel K(2048, 8, 250.0);
+  EXPECT_EQ(K.pipelineFillTime(), K.pipelineFillCycles() * periodFromMHz(250));
+}
+
+TEST(StreamingKernel, Radix2ArchitectureTradeoff) {
+  const StreamingKernel R4(1024, 8, 250.0, KernelRadix::Radix4);
+  const StreamingKernel R2(1024, 8, 250.0, KernelRadix::Radix2);
+  // Twice the stages...
+  EXPECT_EQ(R2.numStages(), 10u);
+  EXPECT_EQ(R4.numStages(), 5u);
+  // ...same N-1 words of delay memory...
+  EXPECT_EQ(R2.resources().DelayBufferBytes, R4.resources().DelayBufferBytes);
+  // ...but more multiplier stages and muxes.
+  EXPECT_GT(R2.resources().RealMultipliers, R4.resources().RealMultipliers);
+  EXPECT_GT(R2.resources().Muxes, R4.resources().Muxes);
+  // Stream rate is set by lanes and clock, not the radix.
+  EXPECT_DOUBLE_EQ(R2.streamGBps(), R4.streamGBps());
+  // Numerics are the same engine.
+  std::vector<CplxF> A(64), B(64);
+  A[3] = B[3] = CplxF(1, 0);
+  StreamingKernel(64, 8, 250.0, KernelRadix::Radix2).runForward(A);
+  StreamingKernel(64, 8, 250.0, KernelRadix::Radix4).runForward(B);
+  for (std::size_t I = 0; I != 64; ++I)
+    EXPECT_EQ(A[I], B[I]);
+}
+
+TEST(StreamingKernel, RadixNamesStable) {
+  EXPECT_STREQ(kernelRadixName(KernelRadix::Radix2), "radix-2");
+  EXPECT_STREQ(kernelRadixName(KernelRadix::Radix4), "radix-4");
+}

@@ -1,0 +1,187 @@
+//===- tests/fft_dsp_test.cpp - Windows, convolution, bitonic routing -----===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/Convolution.h"
+#include "fft/ReferenceDft.h"
+#include "fft/Window.h"
+#include "permute/BitonicNetwork.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+using namespace fft3d;
+
+//===----------------------------------------------------------------------===//
+// Window
+//===----------------------------------------------------------------------===//
+
+TEST(Window, RectangularIsUnity) {
+  const Window W(WindowKind::Rectangular, 64);
+  for (std::uint64_t I = 0; I != 64; ++I)
+    EXPECT_DOUBLE_EQ(W.coefficient(I), 1.0);
+  EXPECT_DOUBLE_EQ(W.coherentGain(), 1.0);
+  EXPECT_DOUBLE_EQ(W.equivalentNoiseBandwidth(), 1.0);
+}
+
+TEST(Window, HannProperties) {
+  const Window W(WindowKind::Hann, 256);
+  EXPECT_NEAR(W.coefficient(0), 0.0, 1e-12);
+  EXPECT_NEAR(W.coefficient(255), 0.0, 1e-12);
+  // Peak at the center, symmetric.
+  EXPECT_NEAR(W.coefficient(127), 1.0, 1e-3);
+  for (std::uint64_t I = 0; I != 128; ++I)
+    EXPECT_NEAR(W.coefficient(I), W.coefficient(255 - I), 1e-12);
+  // Textbook values: CG ~= 0.5, ENBW ~= 1.5 bins.
+  EXPECT_NEAR(W.coherentGain(), 0.5, 0.01);
+  EXPECT_NEAR(W.equivalentNoiseBandwidth(), 1.5, 0.02);
+}
+
+TEST(Window, HammingAndBlackmanTextbookFigures) {
+  const Window Hm(WindowKind::Hamming, 1024);
+  EXPECT_NEAR(Hm.coherentGain(), 0.54, 0.01);
+  EXPECT_NEAR(Hm.equivalentNoiseBandwidth(), 1.36, 0.02);
+  const Window Bk(WindowKind::Blackman, 1024);
+  EXPECT_NEAR(Bk.coherentGain(), 0.42, 0.01);
+  EXPECT_NEAR(Bk.equivalentNoiseBandwidth(), 1.73, 0.03);
+}
+
+TEST(Window, ReducesSpectralLeakage) {
+  // An off-bin tone leaks everywhere with a rectangular window; Hann
+  // must push distant sidelobes down by orders of magnitude.
+  const std::uint64_t N = 256;
+  std::vector<CplxD> Rect(N), Hann(N);
+  for (std::uint64_t I = 0; I != N; ++I) {
+    const double Phase = 2.0 * std::numbers::pi * 10.5 *
+                         static_cast<double>(I) / N;
+    Rect[I] = Hann[I] = CplxD(std::cos(Phase), std::sin(Phase));
+  }
+  Window(WindowKind::Hann, N).apply(Hann);
+  const std::vector<CplxD> SRect = referenceDft(Rect);
+  const std::vector<CplxD> SHann = referenceDft(Hann);
+  // Compare leakage far from the tone (bin 100).
+  const double LeakRect = std::abs(SRect[100]);
+  const double LeakHann = std::abs(SHann[100]);
+  EXPECT_GT(LeakRect, 50.0 * LeakHann);
+}
+
+TEST(Window, AppliesToAllTypes) {
+  const Window W(WindowKind::Hamming, 8);
+  std::vector<double> D(8, 2.0);
+  std::vector<CplxF> F(8, CplxF(2.0f, 0.0f));
+  W.apply(D);
+  W.apply(F);
+  for (std::uint64_t I = 0; I != 8; ++I) {
+    EXPECT_NEAR(D[I], 2.0 * W.coefficient(I), 1e-12);
+    EXPECT_NEAR(F[I].real(), 2.0 * W.coefficient(I), 1e-5);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Convolution
+//===----------------------------------------------------------------------===//
+
+TEST(Convolution, MatchesDirectOracle) {
+  Rng R(9);
+  for (const std::size_t N : {8ull, 32ull, 128ull}) {
+    std::vector<CplxD> A(N), B(N);
+    for (std::size_t I = 0; I != N; ++I) {
+      A[I] = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+      B[I] = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+    }
+    const auto Fast = circularConvolve(A, B);
+    const auto Slow = circularConvolveDirect(A, B);
+    EXPECT_LT(maxAbsDiff(Fast, Slow), 1e-9 * N);
+  }
+}
+
+TEST(Convolution, DeltaIsIdentity) {
+  std::vector<CplxD> A = {CplxD(1, 2), CplxD(3, 4), CplxD(5, 6),
+                          CplxD(7, 8)};
+  std::vector<CplxD> Delta(4, CplxD(0, 0));
+  Delta[0] = CplxD(1, 0);
+  const auto Out = circularConvolve(A, Delta);
+  EXPECT_LT(maxAbsDiff(Out, A), 1e-12);
+}
+
+TEST(Convolution, ShiftKernelRotates) {
+  std::vector<CplxD> A = {CplxD(1, 0), CplxD(2, 0), CplxD(3, 0),
+                          CplxD(4, 0)};
+  std::vector<CplxD> Shift(4, CplxD(0, 0));
+  Shift[1] = CplxD(1, 0);
+  const auto Out = circularConvolve(A, Shift);
+  const std::vector<CplxD> Expected = {CplxD(4, 0), CplxD(1, 0), CplxD(2, 0),
+                                       CplxD(3, 0)};
+  EXPECT_LT(maxAbsDiff(Out, Expected), 1e-12);
+}
+
+TEST(Convolution, TwoDimensionalShift) {
+  Matrix Img(4, 4);
+  for (std::uint64_t R = 0; R != 4; ++R)
+    for (std::uint64_t C = 0; C != 4; ++C)
+      Img.at(R, C) = CplxF(static_cast<float>(R * 4 + C), 0.0f);
+  Matrix Kernel(4, 4);
+  Kernel.at(1, 0) = CplxF(1, 0); // Shift down one row.
+  const Matrix Out = circularConvolve2d(Img, Kernel);
+  for (std::uint64_t R = 0; R != 4; ++R)
+    for (std::uint64_t C = 0; C != 4; ++C)
+      EXPECT_NEAR(std::abs(widen(Out.at(R, C)) -
+                           widen(Img.at((R + 3) % 4, C))),
+                  0.0, 1e-4);
+}
+
+TEST(Convolution, RejectsShapeMismatch) {
+  const std::vector<CplxD> A(8), B(16);
+  EXPECT_DEATH(circularConvolve(A, B), "equal length");
+}
+
+//===----------------------------------------------------------------------===//
+// BitonicNetwork
+//===----------------------------------------------------------------------===//
+
+TEST(BitonicNetwork, ResourceCountsMatchBatcher) {
+  // W/2 comparators per stage, log2(W)(log2(W)+1)/2 stages.
+  for (const unsigned W : {2u, 8u, 64u}) {
+    const BitonicNetwork Net(W);
+    const unsigned Log = static_cast<unsigned>(std::log2(W));
+    EXPECT_EQ(Net.stageCount(), Log * (Log + 1) / 2);
+    EXPECT_EQ(Net.comparatorCount(),
+              std::uint64_t(W) / 2 * Net.stageCount());
+  }
+}
+
+TEST(BitonicNetwork, RealizesStructuredPermutations) {
+  const BitonicNetwork Net(16);
+  std::vector<int> In(16);
+  std::iota(In.begin(), In.end(), 100);
+  for (const auto &P :
+       {Permutation::identity(16), Permutation::stride(16, 4),
+        Permutation::digitReversal(16, 2), Permutation::transpose(4, 4)}) {
+    EXPECT_EQ(Net.route(In, P), P.apply(In));
+  }
+}
+
+TEST(BitonicNetwork, RealizesRandomPermutations) {
+  const BitonicNetwork Net(64);
+  std::vector<int> In(64);
+  std::iota(In.begin(), In.end(), 0);
+  Rng R(31);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    std::vector<std::uint64_t> Map(64);
+    std::iota(Map.begin(), Map.end(), 0u);
+    for (std::uint64_t I = 64; I > 1; --I)
+      std::swap(Map[I - 1], Map[R.nextBelow(I)]);
+    const Permutation P{Map};
+    EXPECT_EQ(Net.route(In, P), P.apply(In)) << "trial " << Trial;
+  }
+}
+
+TEST(BitonicNetwork, RejectsBadWidth) {
+  EXPECT_DEATH(BitonicNetwork(12), "power of two");
+  EXPECT_DEATH(BitonicNetwork(1), "power of two");
+}

@@ -1,0 +1,167 @@
+//===- tests/fft_real_test.cpp - Real-input FFT tests ----------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/RealFft1d.h"
+#include "fft/RealFft2d.h"
+#include "fft/ReferenceDft.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+using namespace fft3d;
+
+namespace {
+
+std::vector<double> randomReal(std::uint64_t N, std::uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<double> Signal(N);
+  for (double &V : Signal)
+    V = R.nextDouble(-1.0, 1.0);
+  return Signal;
+}
+
+} // namespace
+
+class RealFftSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RealFftSizes, MatchesComplexReference) {
+  const std::uint64_t N = GetParam();
+  const RealFft1d Plan(N);
+  const std::vector<double> Signal = randomReal(N, N);
+  std::vector<CplxD> Wide(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    Wide[I] = CplxD(Signal[I], 0.0);
+  const std::vector<CplxD> Ref = referenceDft(Wide);
+  const std::vector<CplxD> Spectrum = Plan.forward(Signal);
+  ASSERT_EQ(Spectrum.size(), N / 2 + 1);
+  for (std::uint64_t K = 0; K <= N / 2; ++K)
+    EXPECT_LT(std::abs(Spectrum[K] - Ref[K]), 1e-9 * N) << "bin " << K;
+}
+
+TEST_P(RealFftSizes, RoundTripRestoresSignal) {
+  const std::uint64_t N = GetParam();
+  const RealFft1d Plan(N);
+  const std::vector<double> Signal = randomReal(N, 3 * N + 1);
+  const std::vector<double> Back = Plan.inverse(Plan.forward(Signal));
+  ASSERT_EQ(Back.size(), N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    EXPECT_NEAR(Back[I], Signal[I], 1e-10 * N);
+}
+
+TEST_P(RealFftSizes, EdgeBinsAreReal) {
+  const std::uint64_t N = GetParam();
+  const RealFft1d Plan(N);
+  const std::vector<CplxD> Spectrum =
+      Plan.forward(randomReal(N, 7 * N + 5));
+  EXPECT_NEAR(Spectrum.front().imag(), 0.0, 1e-9 * N);
+  EXPECT_NEAR(Spectrum.back().imag(), 0.0, 1e-9 * N);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, RealFftSizes,
+                         ::testing::Values<std::uint64_t>(4, 8, 16, 64, 256,
+                                                          1024, 4096));
+
+TEST(RealFft1d, CosineHitsOneBin) {
+  const std::uint64_t N = 64;
+  const RealFft1d Plan(N);
+  std::vector<double> Signal(N);
+  const std::uint64_t Tone = 5;
+  for (std::uint64_t I = 0; I != N; ++I)
+    Signal[I] = std::cos(2.0 * std::numbers::pi * Tone *
+                         static_cast<double>(I) / N);
+  const std::vector<CplxD> Spectrum = Plan.forward(Signal);
+  for (std::uint64_t K = 0; K <= N / 2; ++K) {
+    const double Expected = K == Tone ? N / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(Spectrum[K]), Expected, 1e-9) << K;
+  }
+}
+
+TEST(RealFft1d, DcSignal) {
+  const RealFft1d Plan(16);
+  const std::vector<double> Ones(16, 1.0);
+  const std::vector<CplxD> Spectrum = Plan.forward(Ones);
+  EXPECT_NEAR(Spectrum[0].real(), 16.0, 1e-12);
+  for (std::uint64_t K = 1; K <= 8; ++K)
+    EXPECT_NEAR(std::abs(Spectrum[K]), 0.0, 1e-12);
+}
+
+TEST(RealFft1d, LinearityHolds) {
+  const std::uint64_t N = 128;
+  const RealFft1d Plan(N);
+  const std::vector<double> A = randomReal(N, 21);
+  const std::vector<double> B = randomReal(N, 22);
+  std::vector<double> Mix(N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    Mix[I] = 2.0 * A[I] - 0.5 * B[I];
+  const auto SA = Plan.forward(A);
+  const auto SB = Plan.forward(B);
+  const auto SM = Plan.forward(Mix);
+  for (std::uint64_t K = 0; K != SM.size(); ++K)
+    EXPECT_LT(std::abs(SM[K] - (2.0 * SA[K] - 0.5 * SB[K])), 1e-9 * N);
+}
+
+TEST(RealFft1d, RejectsBadSizes) {
+  EXPECT_DEATH(RealFft1d(2), "power-of-two size");
+  EXPECT_DEATH(RealFft1d(12), "power-of-two size");
+}
+
+//===----------------------------------------------------------------------===//
+// RealFft2d
+//===----------------------------------------------------------------------===//
+
+TEST(RealFft2d, MatchesComplexReference) {
+  const std::uint64_t Rows = 8, Cols = 16;
+  const RealFft2d Plan(Rows, Cols);
+  Rng R(17);
+  std::vector<double> Field(Rows * Cols);
+  for (double &V : Field)
+    V = R.nextDouble(-1, 1);
+  std::vector<CplxD> Wide(Rows * Cols);
+  for (std::size_t I = 0; I != Field.size(); ++I)
+    Wide[I] = CplxD(Field[I], 0.0);
+  const std::vector<CplxD> Ref = referenceDft2d(Wide, Rows, Cols);
+  const HalfSpectrum S = Plan.forward(Field);
+  ASSERT_EQ(S.Bins, Cols / 2 + 1);
+  for (std::uint64_t KR = 0; KR != Rows; ++KR)
+    for (std::uint64_t KC = 0; KC != S.Bins; ++KC)
+      EXPECT_LT(std::abs(S.at(KR, KC) - Ref[KR * Cols + KC]), 1e-9)
+          << KR << "," << KC;
+}
+
+TEST(RealFft2d, RoundTripRestoresField) {
+  const std::uint64_t Rows = 32, Cols = 64;
+  const RealFft2d Plan(Rows, Cols);
+  Rng R(18);
+  std::vector<double> Field(Rows * Cols);
+  for (double &V : Field)
+    V = R.nextDouble(-1, 1);
+  const std::vector<double> Back = Plan.inverse(Plan.forward(Field));
+  ASSERT_EQ(Back.size(), Field.size());
+  for (std::size_t I = 0; I != Field.size(); ++I)
+    EXPECT_NEAR(Back[I], Field[I], 1e-9);
+}
+
+TEST(RealFft2d, DcFieldConcentratesAtOrigin) {
+  const RealFft2d Plan(8, 8);
+  const std::vector<double> Ones(64, 1.0);
+  const HalfSpectrum S = Plan.forward(Ones);
+  EXPECT_NEAR(S.at(0, 0).real(), 64.0, 1e-10);
+  for (std::uint64_t R = 0; R != 8; ++R)
+    for (std::uint64_t B = 0; B != 5; ++B)
+      if (R != 0 || B != 0) {
+        EXPECT_NEAR(std::abs(S.at(R, B)), 0.0, 1e-10);
+      }
+}
+
+TEST(RealFft2d, HalvesTheSpectrumFootprint) {
+  const RealFft2d Plan(64, 64);
+  EXPECT_EQ(Plan.bins(), 33u);
+  // Half-spectrum storage vs full complex: 33/64 of the columns.
+  EXPECT_LT(Plan.bins() * 2, Plan.cols() + 3);
+}

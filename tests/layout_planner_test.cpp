@@ -1,0 +1,119 @@
+//===- tests/layout_planner_test.cpp - Eq. 1 planner tests -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/LayoutPlanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+LayoutPlanner defaultPlanner() {
+  return LayoutPlanner(Geometry(), Timing(), /*ElementBytes=*/8);
+}
+
+} // namespace
+
+TEST(LayoutPlanner, RegimeBoundaryMatchesHand) {
+  // s = 1024 elements, b = 8 banks, t_in_row/t_diff_row = 1.6/40.
+  // m* = 1024 * 8 * 1.6 / 40 = 327.68.
+  EXPECT_NEAR(defaultPlanner().bufferRegimeBoundary(), 327.68, 1e-6);
+}
+
+TEST(LayoutPlanner, BankLimitedRegimeForPaperSizes) {
+  const LayoutPlanner P = defaultPlanner();
+  // m defaults to N; 2048 and 4096 sit between m* and s*b = 8192.
+  for (std::uint64_t N : {2048ull, 4096ull}) {
+    const BlockPlan Plan = P.plan(N, 16);
+    EXPECT_EQ(Plan.Regime, PlanRegime::BankLimited) << N;
+    // Raw h = n_v * t_diff_bank / t_in_row = 16 * 16 / 1.6 = 160.
+    EXPECT_NEAR(Plan.RawH, 160.0, 1e-9);
+    EXPECT_EQ(Plan.H, 128u);
+    EXPECT_EQ(Plan.W, 8u);
+  }
+}
+
+TEST(LayoutPlanner, RowConflictRegimeAtLargeM) {
+  const LayoutPlanner P = defaultPlanner();
+  const BlockPlan Plan = P.plan(8192, 16); // m = 8192 = s*b.
+  EXPECT_EQ(Plan.Regime, PlanRegime::RowConflictLimited);
+  // Raw h = 16 * 40 / 1.6 = 400 -> 256.
+  EXPECT_NEAR(Plan.RawH, 400.0, 1e-9);
+  EXPECT_EQ(Plan.H, 256u);
+  EXPECT_EQ(Plan.W, 4u);
+}
+
+TEST(LayoutPlanner, BufferLimitedRegimeAtSmallM) {
+  const LayoutPlanner P = defaultPlanner();
+  const BlockPlan Plan = P.plan(2048, 16, /*ColumnStreams=*/64);
+  EXPECT_EQ(Plan.Regime, PlanRegime::BufferLimited);
+  // Raw h = 16 * 1024 * 8 / 64 = 2048; clamped to s = 1024 -> w = 1.
+  EXPECT_NEAR(Plan.RawH, 2048.0, 1e-9);
+  EXPECT_EQ(Plan.H, 1024u);
+  EXPECT_EQ(Plan.W, 1u);
+}
+
+TEST(LayoutPlanner, BlockAlwaysFillsRowBuffer) {
+  const LayoutPlanner P = defaultPlanner();
+  for (std::uint64_t N : {256ull, 512ull, 1024ull, 2048ull, 4096ull, 8192ull})
+    for (unsigned Nv : {1u, 2u, 4u, 8u, 16u}) {
+      const BlockPlan Plan = P.plan(N, Nv);
+      EXPECT_EQ(Plan.H * Plan.W, 1024u) << "N=" << N << " nv=" << Nv;
+      EXPECT_LE(Plan.H, N);
+    }
+}
+
+TEST(LayoutPlanner, HGrowsWithVaultParallelism) {
+  const LayoutPlanner P = defaultPlanner();
+  std::uint64_t PrevH = 0;
+  for (unsigned Nv : {1u, 2u, 4u, 8u, 16u}) {
+    const BlockPlan Plan = P.plan(2048, Nv);
+    EXPECT_GE(Plan.H, PrevH);
+    PrevH = Plan.H;
+  }
+}
+
+TEST(LayoutPlanner, HGrowsWithRowConflictCost) {
+  Timing Slow;
+  Slow.TDiffRow = nanosToPicos(80.0);
+  const LayoutPlanner Fast(Geometry(), Timing(), 8);
+  const LayoutPlanner SlowP(Geometry(), Slow, 8);
+  // At m >= s*b the raw h scales with t_diff_row.
+  EXPECT_GT(SlowP.plan(8192, 16).RawH, Fast.plan(8192, 16).RawH);
+}
+
+TEST(LayoutPlanner, CreateLayoutHonorsPlan) {
+  const LayoutPlanner P = defaultPlanner();
+  const BlockPlan Plan = P.plan(2048, 16);
+  const auto Layout = P.createLayout(2048, 16, /*Base=*/8192);
+  ASSERT_NE(Layout, nullptr);
+  EXPECT_EQ(Layout->blockWidth(), Plan.W);
+  EXPECT_EQ(Layout->blockHeight(), Plan.H);
+  EXPECT_EQ(Layout->base(), 8192u);
+  EXPECT_EQ(Layout->blockBytes(), Geometry().RowBufferBytes);
+}
+
+TEST(LayoutPlanner, RegimeNamesAreStable) {
+  EXPECT_STREQ(planRegimeName(PlanRegime::BufferLimited), "buffer-limited");
+  EXPECT_STREQ(planRegimeName(PlanRegime::BankLimited), "bank-limited");
+  EXPECT_STREQ(planRegimeName(PlanRegime::RowConflictLimited),
+               "row-conflict-limited");
+}
+
+TEST(LayoutPlanner, RejectsMatricesSmallerThanOneRowBuffer) {
+  // 16 x 16 x 8 B = 2 KiB < 8 KiB row buffer: no valid block shape.
+  EXPECT_DEATH(defaultPlanner().plan(16, 16), "row buffer");
+}
+
+TEST(LayoutPlanner, NarrowMatrixClampsWidthIntoRange) {
+  // N = 32: the matrix is exactly one row buffer; h is forced up so that
+  // w = s/h fits the 32-wide matrix.
+  const BlockPlan Plan = defaultPlanner().plan(32, 16);
+  EXPECT_LE(Plan.W, 32u);
+  EXPECT_LE(Plan.H, 32u);
+  EXPECT_EQ(Plan.W * Plan.H, 1024u);
+}

@@ -1,0 +1,191 @@
+//===- tests/layout_test.cpp - Data layout tests ---------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/BlockDynamicLayout.h"
+#include "layout/LinearLayouts.h"
+#include "layout/TiledLayout.h"
+#include "mem3d/Address.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+using namespace fft3d;
+
+namespace {
+
+/// Checks the layout is a bijection onto [Base, Base + sizeBytes).
+void expectBijective(const DataLayout &L) {
+  std::set<PhysAddr> Seen;
+  for (std::uint64_t R = 0; R != L.numRows(); ++R) {
+    for (std::uint64_t C = 0; C != L.numCols(); ++C) {
+      const PhysAddr A = L.addressOf(R, C);
+      EXPECT_GE(A, L.base());
+      EXPECT_LT(A, L.base() + L.sizeBytes());
+      EXPECT_EQ(A % L.elementBytes(), 0u);
+      EXPECT_TRUE(Seen.insert(A).second)
+          << "duplicate address for (" << R << "," << C << ")";
+    }
+  }
+  EXPECT_EQ(Seen.size(), L.numRows() * L.numCols());
+}
+
+enum class Family { RowMajor, ColMajor, Tiled, BlockSkewed, BlockPlain };
+
+std::unique_ptr<DataLayout> makeLayout(Family F, std::uint64_t N,
+                                       PhysAddr Base) {
+  switch (F) {
+  case Family::RowMajor:
+    return std::make_unique<RowMajorLayout>(N, N, 8, Base);
+  case Family::ColMajor:
+    return std::make_unique<ColMajorLayout>(N, N, 8, Base);
+  case Family::Tiled:
+    return std::make_unique<TiledLayout>(N, N, 8, Base, N >= 8 ? 8 : N,
+                                         N >= 4 ? 4 : N);
+  case Family::BlockSkewed:
+    return std::make_unique<BlockDynamicLayout>(N, N, 8, Base, 4, 8, true);
+  case Family::BlockPlain:
+    return std::make_unique<BlockDynamicLayout>(N, N, 8, Base, 4, 8, false);
+  }
+  return nullptr;
+}
+
+class LayoutBijectionTest
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {};
+
+} // namespace
+
+TEST_P(LayoutBijectionTest, IsBijective) {
+  const auto [F, N] = GetParam();
+  const auto L = makeLayout(F, N, /*Base=*/4096);
+  ASSERT_NE(L, nullptr);
+  expectBijective(*L);
+}
+
+TEST_P(LayoutBijectionTest, RunsAreContiguousAndInRange) {
+  const auto [F, N] = GetParam();
+  const auto L = makeLayout(F, N, 0);
+  for (std::uint64_t R = 0; R < N; R += 3) {
+    for (std::uint64_t C = 0; C < N; C += 3) {
+      const std::uint64_t Run = L->contiguousRowRun(R, C);
+      ASSERT_GE(Run, 1u);
+      ASSERT_LE(Run, N - C);
+      for (std::uint64_t I = 1; I < Run; ++I)
+        EXPECT_EQ(L->addressOf(R, C + I), L->addressOf(R, C) + I * 8);
+      const std::uint64_t ColRun = L->contiguousColRun(R, C);
+      ASSERT_GE(ColRun, 1u);
+      ASSERT_LE(ColRun, N - R);
+      for (std::uint64_t I = 1; I < ColRun; ++I)
+        EXPECT_EQ(L->addressOf(R + I, C), L->addressOf(R, C) + I * 8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, LayoutBijectionTest,
+    ::testing::Combine(::testing::Values(Family::RowMajor, Family::ColMajor,
+                                         Family::Tiled, Family::BlockSkewed,
+                                         Family::BlockPlain),
+                       ::testing::Values<std::uint64_t>(16, 32, 64)));
+
+TEST(RowMajorLayout, MatchesFormula) {
+  const RowMajorLayout L(8, 8, 8, 100);
+  EXPECT_EQ(L.addressOf(0, 0), 100u);
+  EXPECT_EQ(L.addressOf(0, 1), 108u);
+  EXPECT_EQ(L.addressOf(1, 0), 100u + 64);
+  EXPECT_EQ(L.contiguousRowRun(2, 3), 5u);
+  EXPECT_EQ(L.contiguousColRun(2, 3), 1u);
+}
+
+TEST(ColMajorLayout, MatchesFormula) {
+  const ColMajorLayout L(8, 8, 8, 0);
+  EXPECT_EQ(L.addressOf(1, 0), 8u);
+  EXPECT_EQ(L.addressOf(0, 1), 64u);
+  EXPECT_EQ(L.contiguousColRun(3, 2), 5u);
+  EXPECT_EQ(L.contiguousRowRun(3, 2), 1u);
+}
+
+TEST(TiledLayout, TileInteriorIsContiguous) {
+  const TiledLayout L(16, 16, 8, 0, 4, 4);
+  // Tile (0,0) occupies the first 16 elements.
+  EXPECT_EQ(L.addressOf(0, 0), 0u);
+  EXPECT_EQ(L.addressOf(0, 3), 24u);
+  EXPECT_EQ(L.addressOf(1, 0), 32u);
+  EXPECT_EQ(L.addressOf(3, 3), 15u * 8);
+  // Next tile to the right starts right after.
+  EXPECT_EQ(L.addressOf(0, 4), 16u * 8);
+}
+
+TEST(TiledLayout, ForRowBufferFillsOneRow) {
+  const auto L = TiledLayout::forRowBuffer(2048, 2048, 8, 0, 8192);
+  EXPECT_EQ(L.tileRows() * L.tileCols() * 8, 8192u);
+}
+
+TEST(TiledLayout, RejectsNonDividingTiles) {
+  EXPECT_DEATH(TiledLayout(16, 16, 8, 0, 5, 4), "divide");
+}
+
+TEST(BlockDynamicLayout, BlockBasesAreRowBufferAligned) {
+  // w=4, h=8 with 8-byte elements: 256-byte blocks.
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8);
+  EXPECT_EQ(L.blockBytes(), 256u);
+  for (std::uint64_t Br = 0; Br != L.blocksPerCol(); ++Br)
+    for (std::uint64_t Bc = 0; Bc != L.blocksPerRow(); ++Bc)
+      EXPECT_EQ(L.blockBase(Br, Bc) % L.blockBytes(), 0u);
+}
+
+TEST(BlockDynamicLayout, InteriorIsRowMajorWithinBlock) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8);
+  const PhysAddr Base = L.blockBase(0, 0);
+  EXPECT_EQ(L.addressOf(0, 0), Base);
+  EXPECT_EQ(L.addressOf(0, 1), Base + 8);
+  EXPECT_EQ(L.addressOf(1, 0), Base + 4 * 8);
+  EXPECT_EQ(L.addressOf(7, 3), Base + (7 * 4 + 3) * 8);
+}
+
+TEST(BlockDynamicLayout, SkewRotatesBlockRows) {
+  const BlockDynamicLayout L(32, 32, 8, 0, 4, 8); // 8 x 4 blocks, skewed.
+  const std::uint64_t Bc = L.blocksPerRow();
+  // Block (1, 0) is stored at slot 1*Bc + 1 (shifted by one).
+  EXPECT_EQ(L.blockBase(1, 0), (Bc + 1) * L.blockBytes());
+  // And the last block column of block-row 1 wraps to slot Bc + 0.
+  EXPECT_EQ(L.blockBase(1, Bc - 1), Bc * L.blockBytes());
+}
+
+TEST(BlockDynamicLayout, SkewSpreadsColumnWalkOverVaults) {
+  // Geometry-scale check: with row-buffer-sized blocks under the default
+  // vault-interleaved mapping, walking DOWN a block column must visit
+  // distinct vaults, not hammer one.
+  Geometry G;
+  const AddressMapper Mapper(G, AddressMapKind::ColVaultBankRow);
+  const std::uint64_t N = 2048;
+  const std::uint64_t W = 8, H = 128; // 8 KiB blocks.
+  const BlockDynamicLayout Skewed(N, N, 8, 0, W, H, true);
+  const BlockDynamicLayout Plain(N, N, 8, 0, W, H, false);
+
+  std::set<unsigned> SkewedVaults, PlainVaults;
+  for (std::uint64_t Br = 0; Br != 16; ++Br) {
+    SkewedVaults.insert(Mapper.decode(Skewed.blockBase(Br, 0)).Vault);
+    PlainVaults.insert(Mapper.decode(Plain.blockBase(Br, 0)).Vault);
+  }
+  EXPECT_EQ(SkewedVaults.size(), 16u) << "skew must round-robin all vaults";
+  EXPECT_EQ(PlainVaults.size(), 1u) << "unskewed layout hammers one vault";
+}
+
+TEST(BlockDynamicLayout, SkewSpreadsRowWritebackOverVaults) {
+  Geometry G;
+  const AddressMapper Mapper(G, AddressMapKind::ColVaultBankRow);
+  const BlockDynamicLayout Skewed(2048, 2048, 8, 0, 8, 128, true);
+  std::set<unsigned> Vaults;
+  for (std::uint64_t Bc = 0; Bc != 16; ++Bc)
+    Vaults.insert(Mapper.decode(Skewed.blockBase(3, Bc)).Vault);
+  EXPECT_EQ(Vaults.size(), 16u);
+}
+
+TEST(BlockDynamicLayout, RejectsNonDividingBlocks) {
+  EXPECT_DEATH(BlockDynamicLayout(32, 32, 8, 0, 5, 8), "divide");
+}

@@ -1,0 +1,160 @@
+//===- tests/mem3d_address_test.cpp - Geometry and address mapping --------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Address.h"
+#include "mem3d/Geometry.h"
+#include "mem3d/Timing.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+TEST(Geometry, DefaultsAreValidAndSized) {
+  Geometry G;
+  EXPECT_TRUE(G.isValid());
+  EXPECT_EQ(G.banksPerVault(), 8u);
+  EXPECT_EQ(G.totalBanks(), 128u);
+  EXPECT_EQ(G.bytesPerBeat(), 8u);
+  EXPECT_EQ(G.bankBytes(), 16384ull * 8192);
+  // 16 vaults x 8 banks x 16384 rows x 8 KiB = 16 GiB.
+  EXPECT_EQ(G.capacityBytes(), 16ull << 30);
+}
+
+TEST(Geometry, RejectsNonPowerOfTwo) {
+  Geometry G;
+  G.NumVaults = 12;
+  EXPECT_FALSE(G.isValid());
+  G = Geometry();
+  G.RowBufferBytes = 3000;
+  EXPECT_FALSE(G.isValid());
+  G = Geometry();
+  G.NumTsvsPerVault = 12; // not a multiple of 8
+  EXPECT_FALSE(G.isValid());
+}
+
+TEST(Geometry, LayerOfBank) {
+  Geometry G; // 4 layers x 2 banks per layer.
+  EXPECT_EQ(G.layerOfBank(0), 0u);
+  EXPECT_EQ(G.layerOfBank(1), 0u);
+  EXPECT_EQ(G.layerOfBank(2), 1u);
+  EXPECT_EQ(G.layerOfBank(7), 3u);
+}
+
+TEST(Timing, DefaultsValidAndOrdered) {
+  Timing T;
+  EXPECT_TRUE(T.isValid());
+  EXPECT_LE(T.TInRow, T.TInVault);
+  EXPECT_LE(T.TInVault, T.TDiffBank);
+  EXPECT_LE(T.TDiffBank, T.TDiffRow);
+  EXPECT_TRUE(conservativeTiming().isValid());
+  EXPECT_TRUE(aggressiveTiming().isValid());
+}
+
+TEST(Timing, RejectsInvertedOrdering) {
+  Timing T;
+  T.TInVault = T.TDiffRow * 2;
+  EXPECT_FALSE(T.isValid());
+}
+
+namespace {
+
+class AddressMapperParamTest
+    : public ::testing::TestWithParam<std::tuple<AddressMapKind, bool>> {};
+
+} // namespace
+
+TEST_P(AddressMapperParamTest, DecodeEncodeRoundTripsRandomAddresses) {
+  const auto [Kind, Hash] = GetParam();
+  Geometry G;
+  const AddressMapper Mapper(G, Kind, Hash);
+  Rng R(123);
+  for (int I = 0; I != 5000; ++I) {
+    const PhysAddr Addr = R.nextBelow(G.capacityBytes());
+    const DecodedAddr D = Mapper.decode(Addr);
+    EXPECT_LT(D.Vault, G.NumVaults);
+    EXPECT_LT(D.Bank, G.banksPerVault());
+    EXPECT_LT(D.Row, G.RowsPerBank);
+    EXPECT_LT(D.Column, G.RowBufferBytes);
+    EXPECT_EQ(Mapper.encode(D), Addr);
+  }
+}
+
+TEST_P(AddressMapperParamTest, SameRowStaysTogether) {
+  const auto [Kind, Hash] = GetParam();
+  Geometry G;
+  const AddressMapper Mapper(G, Kind, Hash);
+  // Addresses within one row-buffer-aligned span share vault/bank/row.
+  const PhysAddr Base = 42 * G.RowBufferBytes;
+  const DecodedAddr First = Mapper.decode(Base);
+  for (std::uint64_t Off = 0; Off != G.RowBufferBytes; Off += 512) {
+    const DecodedAddr D = Mapper.decode(Base + Off);
+    EXPECT_EQ(D.Vault, First.Vault);
+    EXPECT_EQ(D.Bank, First.Bank);
+    EXPECT_EQ(D.Row, First.Row);
+    EXPECT_EQ(D.Column, Off);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AddressMapperParamTest,
+    ::testing::Combine(::testing::Values(AddressMapKind::ColVaultBankRow,
+                                         AddressMapKind::ColBankVaultRow,
+                                         AddressMapKind::ColVaultRowBank,
+                                         AddressMapKind::ColRowBankVault),
+                       ::testing::Bool()));
+
+TEST(AddressMapper, DefaultKindInterleavesVaultsAtRowGranularity) {
+  Geometry G;
+  const AddressMapper Mapper(G, AddressMapKind::ColVaultBankRow);
+  for (unsigned I = 0; I != 2 * G.NumVaults; ++I) {
+    const DecodedAddr D = Mapper.decode(PhysAddr(I) * G.RowBufferBytes);
+    EXPECT_EQ(D.Vault, I % G.NumVaults);
+  }
+}
+
+TEST(AddressMapper, PathologicalKindKeepsBankContiguous) {
+  Geometry G;
+  const AddressMapper Mapper(G, AddressMapKind::ColRowBankVault);
+  // The whole first bank's capacity maps to vault 0, bank 0.
+  const DecodedAddr Lo = Mapper.decode(0);
+  const DecodedAddr Hi = Mapper.decode(G.bankBytes() - 1);
+  EXPECT_EQ(Lo.Vault, Hi.Vault);
+  EXPECT_EQ(Lo.Bank, Hi.Bank);
+  const DecodedAddr Next = Mapper.decode(G.bankBytes());
+  EXPECT_TRUE(Next.Bank != Lo.Bank || Next.Vault != Lo.Vault);
+}
+
+TEST(AddressMapper, DescribeMentionsFieldWidths) {
+  Geometry G;
+  const AddressMapper Mapper(G, AddressMapKind::ColVaultBankRow);
+  const std::string Desc = Mapper.describe();
+  EXPECT_NE(Desc.find("[col:13]"), std::string::npos);
+  EXPECT_NE(Desc.find("[vault:4]"), std::string::npos);
+  const AddressMapper Hashed(G, AddressMapKind::ColVaultBankRow, true);
+  EXPECT_NE(Hashed.describe().find("xor-hashed"), std::string::npos);
+}
+
+TEST(AddressMapper, XorHashSpreadsPathologicalStride) {
+  Geometry G;
+  // Under the pathological mapping, a stride of one row lands in the same
+  // bank every time; the XOR hash must spread it.
+  const AddressMapper Plain(G, AddressMapKind::ColRowBankVault, false);
+  const AddressMapper Hashed(G, AddressMapKind::ColRowBankVault, true);
+  unsigned PlainSame = 0, HashedSame = 0;
+  DecodedAddr PrevPlain = Plain.decode(0), PrevHashed = Hashed.decode(0);
+  for (unsigned I = 1; I != 64; ++I) {
+    const PhysAddr Addr = PhysAddr(I) * G.RowBufferBytes;
+    const DecodedAddr DP = Plain.decode(Addr);
+    const DecodedAddr DH = Hashed.decode(Addr);
+    PlainSame += DP.Bank == PrevPlain.Bank && DP.Vault == PrevPlain.Vault;
+    HashedSame += DH.Bank == PrevHashed.Bank && DH.Vault == PrevHashed.Vault;
+    PrevPlain = DP;
+    PrevHashed = DH;
+  }
+  EXPECT_EQ(PlainSame, 63u);
+  EXPECT_LT(HashedSame, 8u);
+}

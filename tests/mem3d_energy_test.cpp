@@ -1,0 +1,92 @@
+//===- tests/mem3d_energy_test.cpp - Energy model tests --------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Energy.h"
+#include "mem3d/Memory3D.h"
+#include "sim/EventQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+TEST(EnergyParams, DefaultsValid) {
+  EXPECT_TRUE(EnergyParams().isValid());
+  EnergyParams Bad;
+  Bad.ActivatePJ = -1.0;
+  EXPECT_FALSE(Bad.isValid());
+}
+
+TEST(EnergyModel, HandComputedVault) {
+  EnergyParams P;
+  P.ActivatePJ = 1000.0;
+  P.ReadBeatPJ = 10.0;
+  P.WriteBeatPJ = 20.0;
+  P.TsvBeatPJ = 5.0;
+  P.StaticMilliwattsPerVault = 0.0;
+  const EnergyModel Model(P);
+
+  VaultStats S;
+  S.RowActivations = 3;
+  S.BytesRead = 64;    // 8 beats
+  S.BytesWritten = 16; // 2 beats
+  const EnergyBreakdown E = Model.compute(S, /*Elapsed=*/0);
+  EXPECT_DOUBLE_EQ(E.ActivatePJ, 3000.0);
+  EXPECT_DOUBLE_EQ(E.ReadPJ, 80.0);
+  EXPECT_DOUBLE_EQ(E.WritePJ, 40.0);
+  EXPECT_DOUBLE_EQ(E.TsvPJ, 50.0);
+  EXPECT_DOUBLE_EQ(E.StaticPJ, 0.0);
+  EXPECT_DOUBLE_EQ(E.totalPJ(), 3170.0);
+  EXPECT_DOUBLE_EQ(E.dynamicPJ(), 3170.0);
+  EXPECT_DOUBLE_EQ(E.picojoulesPerBit(80), 3170.0 / 640.0);
+}
+
+TEST(EnergyModel, StaticScalesWithTimeAndVaults) {
+  EnergyParams P;
+  P.StaticMilliwattsPerVault = 10.0; // 10 mW = 10e-3 J/s = 0.01 pJ/ps.
+  const EnergyModel Model(P);
+  MemStats Stats(4);
+  const EnergyBreakdown E = Model.compute(Stats, /*Elapsed=*/1000000);
+  // 4 vaults x 10 mW x 1 us = 40 nJ = 40000 pJ.
+  EXPECT_DOUBLE_EQ(E.StaticPJ, 40000.0);
+  EXPECT_DOUBLE_EQ(E.milliwatts(1000000), 40.0);
+}
+
+TEST(EnergyModel, StridedAccessCostsOrdersOfMagnitudeMore) {
+  // One activation per 8 B vs one activation per 8 KiB.
+  const EnergyModel Model{EnergyParams()};
+  VaultStats Strided, Streamed;
+  Strided.RowActivations = 1024;
+  Strided.BytesRead = 1024 * 8;
+  Streamed.RowActivations = 1;
+  Streamed.BytesRead = 8192;
+  const double StridedPJ =
+      Model.compute(Strided, 0).picojoulesPerBit(Strided.BytesRead);
+  const double StreamedPJ =
+      Model.compute(Streamed, 0).picojoulesPerBit(Streamed.BytesRead);
+  EXPECT_GT(StridedPJ / StreamedPJ, 30.0);
+}
+
+TEST(EnergyModel, IntegratesWithSimulatorStats) {
+  EventQueue Events;
+  const MemoryConfig Config;
+  Memory3D Mem(Events, Config);
+  Picos Last = 0;
+  for (unsigned I = 0; I != 16; ++I) {
+    MemRequest Req;
+    Req.Addr = PhysAddr(I) * Config.Geo.RowBufferBytes;
+    Req.Bytes = static_cast<std::uint32_t>(Config.Geo.RowBufferBytes);
+    Mem.submit(Req, [&Last](const MemRequest &, Picos At) { Last = At; });
+  }
+  Events.run();
+  const EnergyModel Model{EnergyParams()};
+  const EnergyBreakdown E =
+      Model.compute(Mem.stats(), Last, Config.Geo.bytesPerBeat());
+  // 16 activations and 16 KiB-rows of beats must be priced.
+  EXPECT_DOUBLE_EQ(E.ActivatePJ, 16 * EnergyParams().ActivatePJ);
+  EXPECT_GT(E.ReadPJ, 0.0);
+  EXPECT_GT(E.StaticPJ, 0.0);
+  EXPECT_GT(E.totalPJ(), 0.0);
+}

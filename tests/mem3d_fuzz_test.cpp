@@ -1,0 +1,179 @@
+//===- tests/mem3d_fuzz_test.cpp - Randomized simulator invariants --------===//
+//
+// Part of the fft3d project.
+//
+// Property tests over random request streams: every request completes,
+// accounting balances, per-vault data is serialized, FCFS preserves
+// per-vault order, and the whole simulation is deterministic. The
+// internal asserts (non-overlapping bus reservations, monotonic event
+// time) act as additional oracles while these run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Memory3D.h"
+#include "sim/EventQueue.h"
+#include "support/MathUtils.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+struct Completion {
+  MemRequest Req;
+  Picos Done;
+};
+
+/// Random mixed read/write stream with bursts of 8..RowBuffer bytes,
+/// submitted in randomized batches with idle gaps.
+std::vector<Completion> runRandomStream(std::uint64_t Seed,
+                                        SchedulePolicy Sched,
+                                        PagePolicy Page, unsigned Count) {
+  EventQueue Events;
+  MemoryConfig Config;
+  Config.Sched = Sched;
+  Config.Page = Page;
+  Memory3D Mem(Events, Config);
+  const Geometry &G = Config.Geo;
+
+  Rng R(Seed);
+  std::vector<Completion> Done;
+  Done.reserve(Count);
+  Picos SubmitTime = 0;
+  unsigned Submitted = 0;
+  // Submit in bursts at increasing times via scheduled events so arrival
+  // interleaves with service.
+  while (Submitted < Count) {
+    const unsigned Batch =
+        std::min<unsigned>(1 + static_cast<unsigned>(R.nextBelow(16)),
+                           Count - Submitted);
+    std::vector<MemRequest> Reqs;
+    for (unsigned I = 0; I != Batch; ++I) {
+      MemRequest Req;
+      Req.IsWrite = R.nextBelow(2) == 0;
+      // Keep the burst inside one row.
+      const std::uint64_t Row = R.nextBelow(G.capacityBytes() /
+                                            G.RowBufferBytes);
+      const std::uint64_t MaxLen = G.RowBufferBytes;
+      const std::uint64_t Offset = R.nextBelow(MaxLen / 8) * 8;
+      const std::uint64_t Len =
+          std::min<std::uint64_t>(8 * (1 + R.nextBelow(64)),
+                                  MaxLen - Offset);
+      Req.Addr = Row * G.RowBufferBytes + Offset;
+      Req.Bytes = static_cast<std::uint32_t>(Len);
+      Reqs.push_back(Req);
+    }
+    Events.scheduleAt(SubmitTime, [&Mem, &Done, Reqs] {
+      for (const MemRequest &Req : Reqs)
+        Mem.submit(Req, [&Done](const MemRequest &R2, Picos At) {
+          Done.push_back({R2, At});
+        });
+    });
+    SubmitTime += R.nextBelow(2000) * 100; // 0..200 ns gaps
+    Submitted += Batch;
+  }
+  Events.run();
+  EXPECT_EQ(Done.size(), Count);
+  EXPECT_EQ(Mem.pendingRequests(), 0u);
+
+  // Accounting balances.
+  std::uint64_t Bytes = 0;
+  for (const Completion &C : Done)
+    Bytes += C.Req.Bytes;
+  EXPECT_EQ(Mem.stats().total().totalBytes(), Bytes);
+  EXPECT_EQ(Mem.stats().total().totalAccesses(), Count);
+  EXPECT_EQ(Mem.stats().total().RowHits + Mem.stats().total().RowMisses,
+            Count);
+  return Done;
+}
+
+} // namespace
+
+class MemFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemFuzz, AllPoliciesCompleteAndBalance) {
+  for (const SchedulePolicy Sched :
+       {SchedulePolicy::Fcfs, SchedulePolicy::FrFcfs})
+    for (const PagePolicy Page :
+         {PagePolicy::OpenPage, PagePolicy::ClosedPage})
+      runRandomStream(GetParam(), Sched, Page, 400);
+}
+
+TEST_P(MemFuzz, DeterministicAcrossRuns) {
+  const auto A =
+      runRandomStream(GetParam(), SchedulePolicy::FrFcfs,
+                      PagePolicy::OpenPage, 300);
+  const auto B =
+      runRandomStream(GetParam(), SchedulePolicy::FrFcfs,
+                      PagePolicy::OpenPage, 300);
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Req.Addr, B[I].Req.Addr);
+    EXPECT_EQ(A[I].Done, B[I].Done);
+  }
+}
+
+TEST_P(MemFuzz, PerVaultDataIsSerialized) {
+  const auto Done = runRandomStream(GetParam(), SchedulePolicy::FrFcfs,
+                                    PagePolicy::OpenPage, 400);
+  const Geometry G;
+  const AddressMapper Mapper(G, AddressMapKind::ColVaultBankRow);
+  const Timing T;
+  // Within one vault, data windows [Done - beats*TsvPeriod, Done) must
+  // not overlap: sort completions per vault and check spacing.
+  std::map<unsigned, std::vector<std::pair<Picos, Picos>>> Windows;
+  for (const Completion &C : Done) {
+    const unsigned Vault = Mapper.decode(C.Req.Addr).Vault;
+    const std::uint64_t Beats = ceilDiv(C.Req.Bytes, G.bytesPerBeat());
+    Windows[Vault].push_back({C.Done - Beats * T.TsvPeriod, C.Done});
+  }
+  for (auto &[Vault, W] : Windows) {
+    std::sort(W.begin(), W.end());
+    for (std::size_t I = 1; I < W.size(); ++I)
+      EXPECT_GE(W[I].first, W[I - 1].second)
+          << "vault " << Vault << " overlapping data windows";
+  }
+}
+
+TEST_P(MemFuzz, FcfsPreservesPerVaultOrder) {
+  EventQueue Events;
+  MemoryConfig Config;
+  Config.Sched = SchedulePolicy::Fcfs;
+  Memory3D Mem(Events, Config);
+  const Geometry &G = Config.Geo;
+
+  Rng R(GetParam() * 77 + 1);
+  std::vector<Picos> DoneTimes;
+  std::vector<unsigned> Vaults;
+  for (unsigned I = 0; I != 200; ++I) {
+    MemRequest Req;
+    const std::uint64_t Row =
+        R.nextBelow(G.capacityBytes() / G.RowBufferBytes);
+    Req.Addr = Row * G.RowBufferBytes;
+    Req.Bytes = 8 * static_cast<std::uint32_t>(1 + R.nextBelow(32));
+    const std::size_t Index = DoneTimes.size();
+    DoneTimes.push_back(0);
+    Vaults.push_back(Mem.mapper().decode(Req.Addr).Vault);
+    Mem.submit(Req, [&DoneTimes, Index](const MemRequest &, Picos At) {
+      DoneTimes[Index] = At;
+    });
+  }
+  Events.run();
+  // For each vault, completion times must be increasing in submit order.
+  std::map<unsigned, Picos> LastPerVault;
+  for (std::size_t I = 0; I != DoneTimes.size(); ++I) {
+    auto [It, Inserted] = LastPerVault.try_emplace(Vaults[I], DoneTimes[I]);
+    if (!Inserted) {
+      EXPECT_GT(DoneTimes[I], It->second);
+      It->second = DoneTimes[I];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemFuzz,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 17, 42));

@@ -1,0 +1,128 @@
+//===- tests/mem3d_geometry_sweep_test.cpp - Cross-geometry properties ----===//
+//
+// Part of the fft3d project.
+//
+// Property tests across device geometries: peak bandwidth must follow
+// V * beat / period, sequential streams must approach it, and the
+// latency ladder must keep the paper's ordering - for every geometry,
+// not just the calibrated default.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Memory3D.h"
+#include "sim/EventQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+struct GeometryCase {
+  unsigned Vaults;
+  unsigned Layers;
+  unsigned BanksPerLayer;
+  std::uint64_t RowBufferBytes;
+  unsigned Tsvs;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeometryCase> {
+protected:
+  MemoryConfig makeConfig() const {
+    MemoryConfig Config;
+    const GeometryCase &C = GetParam();
+    Config.Geo.NumVaults = C.Vaults;
+    Config.Geo.LayersPerVault = C.Layers;
+    Config.Geo.BanksPerLayer = C.BanksPerLayer;
+    Config.Geo.RowBufferBytes = C.RowBufferBytes;
+    Config.Geo.NumTsvsPerVault = C.Tsvs;
+    return Config;
+  }
+};
+
+} // namespace
+
+TEST_P(GeometrySweep, GeometryIsValid) {
+  EXPECT_TRUE(makeConfig().Geo.isValid());
+}
+
+TEST_P(GeometrySweep, PeakFollowsStructure) {
+  const MemoryConfig Config = makeConfig();
+  EventQueue Events;
+  Memory3D Mem(Events, Config);
+  const double Expected = Config.Geo.NumVaults *
+                          (Config.Geo.NumTsvsPerVault / 8.0) /
+                          picosToNanos(Config.Time.TsvPeriod);
+  EXPECT_NEAR(Mem.peakBandwidthGBps(), Expected, 1e-9);
+}
+
+TEST_P(GeometrySweep, SequentialStreamApproachesPeak) {
+  const MemoryConfig Config = makeConfig();
+  EventQueue Events;
+  Memory3D Mem(Events, Config);
+  const unsigned Count = 16 * Config.Geo.NumVaults;
+  Picos Last = 0;
+  for (unsigned I = 0; I != Count; ++I) {
+    MemRequest Req;
+    Req.Addr = PhysAddr(I) * Config.Geo.RowBufferBytes;
+    Req.Bytes = static_cast<std::uint32_t>(Config.Geo.RowBufferBytes);
+    Mem.submit(Req, [&Last](const MemRequest &, Picos At) { Last = At; });
+  }
+  Events.run();
+  const double GBps = bytesOverPicosToGBps(
+      std::uint64_t(Count) * Config.Geo.RowBufferBytes, Last);
+  EXPECT_GT(GBps, 0.85 * Mem.peakBandwidthGBps());
+  EXPECT_LE(GBps, Mem.peakBandwidthGBps() + 1e-9);
+}
+
+TEST_P(GeometrySweep, LatencyLadderOrderingHolds) {
+  const MemoryConfig Config = makeConfig();
+  const Geometry &G = Config.Geo;
+  auto pairLatency = [&Config](PhysAddr First, PhysAddr Second) {
+    EventQueue Events;
+    Memory3D Mem(Events, Config);
+    Picos Done = 0;
+    MemRequest A, B;
+    A.Addr = First;
+    A.Bytes = 8;
+    B.Addr = Second;
+    B.Bytes = 8;
+    Mem.submit(A, {});
+    Mem.submit(B, [&Done](const MemRequest &, Picos At) { Done = At; });
+    Events.run();
+    return Done;
+  };
+
+  const PhysAddr RowBuf = G.RowBufferBytes;
+  const Picos SameBankRow =
+      pairLatency(0, RowBuf * G.NumVaults * G.banksPerVault());
+  const Picos SameLayerBank =
+      G.BanksPerLayer > 1 ? pairLatency(0, RowBuf * G.NumVaults) : 0;
+  const Picos OtherLayer =
+      G.LayersPerVault > 1
+          ? pairLatency(0, RowBuf * G.NumVaults * G.BanksPerLayer)
+          : 0;
+  const Picos OtherVault =
+      G.NumVaults > 1 ? pairLatency(0, RowBuf) : 0;
+
+  if (G.NumVaults > 1 && G.LayersPerVault > 1) {
+    EXPECT_LT(OtherVault, OtherLayer);
+  }
+  if (G.LayersPerVault > 1 && G.BanksPerLayer > 1) {
+    EXPECT_LT(OtherLayer, SameLayerBank);
+  }
+  if (G.BanksPerLayer > 1) {
+    EXPECT_LT(SameLayerBank, SameBankRow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweep,
+    ::testing::Values(GeometryCase{16, 4, 2, 8192, 64},  // default
+                      GeometryCase{8, 4, 2, 8192, 64},   // half vaults
+                      GeometryCase{32, 4, 2, 8192, 32},  // many narrow
+                      GeometryCase{16, 8, 2, 8192, 64},  // tall stack
+                      GeometryCase{16, 2, 4, 4096, 64},  // small rows
+                      GeometryCase{16, 4, 2, 16384, 128}, // wide rows
+                      GeometryCase{4, 1, 8, 8192, 64},   // planar-ish
+                      GeometryCase{1, 4, 2, 8192, 64})); // single vault

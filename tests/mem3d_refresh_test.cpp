@@ -1,0 +1,96 @@
+//===- tests/mem3d_refresh_test.cpp - Refresh-window modelling -------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Memory3D.h"
+#include "sim/EventQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+Picos completeOne(const MemoryConfig &Config, PhysAddr Addr) {
+  EventQueue Events;
+  Memory3D Mem(Events, Config);
+  Picos Done = 0;
+  MemRequest Req;
+  Req.Addr = Addr;
+  Req.Bytes = 8;
+  Mem.submit(Req, [&Done](const MemRequest &, Picos At) { Done = At; });
+  Events.run();
+  return Done;
+}
+
+} // namespace
+
+TEST(Refresh, DisabledByDefault) {
+  const Timing T;
+  EXPECT_EQ(T.RefreshInterval, 0u);
+  EXPECT_TRUE(T.isValid());
+}
+
+TEST(Refresh, InvalidWhenDurationSwallowsInterval) {
+  Timing T;
+  T.RefreshInterval = nanosToPicos(100.0);
+  T.RefreshDuration = nanosToPicos(100.0);
+  EXPECT_FALSE(T.isValid());
+  T.RefreshDuration = nanosToPicos(50.0);
+  EXPECT_TRUE(T.isValid());
+}
+
+TEST(Refresh, FirstCommandWaitsOutTheWindow) {
+  MemoryConfig Config;
+  Config.Time.RefreshInterval = nanosToPicos(7800.0);
+  Config.Time.RefreshDuration = nanosToPicos(160.0);
+  // Time zero falls inside the first refresh window, so the ACT slides
+  // to 160 ns and the read completes at 160 + 25.6 ns.
+  EXPECT_EQ(completeOne(Config, 0), nanosToPicos(185.6));
+  // Without refresh: 25.6 ns.
+  MemoryConfig Plain;
+  EXPECT_EQ(completeOne(Plain, 0), nanosToPicos(25.6));
+}
+
+TEST(Refresh, CountsStalls) {
+  MemoryConfig Config;
+  Config.Time.RefreshInterval = nanosToPicos(1000.0);
+  Config.Time.RefreshDuration = nanosToPicos(160.0);
+  EventQueue Events;
+  Memory3D Mem(Events, Config);
+  MemRequest Req;
+  Req.Addr = 0;
+  Req.Bytes = 8;
+  Mem.submit(Req, {});
+  Events.run();
+  EXPECT_EQ(Mem.stats().total().RefreshStalls, 1u);
+}
+
+TEST(Refresh, SteadyStateTaxIsSmall) {
+  // Stream row reads with and without refresh; the bandwidth tax must be
+  // roughly RefreshDuration / RefreshInterval (~2%), not catastrophic.
+  auto stream = [](bool WithRefresh) {
+    MemoryConfig Config;
+    if (WithRefresh) {
+      Config.Time.RefreshInterval = nanosToPicos(7800.0);
+      Config.Time.RefreshDuration = nanosToPicos(160.0);
+    }
+    EventQueue Events;
+    Memory3D Mem(Events, Config);
+    Picos Last = 0;
+    for (unsigned I = 0; I != 512; ++I) {
+      MemRequest Req;
+      Req.Addr = PhysAddr(I) * Config.Geo.RowBufferBytes;
+      Req.Bytes = static_cast<std::uint32_t>(Config.Geo.RowBufferBytes);
+      Mem.submit(Req, [&Last](const MemRequest &, Picos At) { Last = At; });
+    }
+    Events.run();
+    return bytesOverPicosToGBps(512ull * Config.Geo.RowBufferBytes, Last);
+  };
+  const double Without = stream(false);
+  const double With = stream(true);
+  EXPECT_LT(With, Without);
+  EXPECT_GT(With, 0.90 * Without);
+}

@@ -1,0 +1,297 @@
+//===- tests/permute_test.cpp - Permutation library tests ------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "permute/ControlUnit.h"
+#include "permute/Crossbar.h"
+#include "permute/Permutation.h"
+#include "permute/PermutationNetwork.h"
+
+#include <gtest/gtest.h>
+
+#include "support/Random.h"
+
+#include <numeric>
+
+using namespace fft3d;
+
+//===----------------------------------------------------------------------===//
+// Permutation
+//===----------------------------------------------------------------------===//
+
+TEST(Permutation, IdentityProperties) {
+  const Permutation Id = Permutation::identity(16);
+  EXPECT_TRUE(Id.isValid());
+  EXPECT_TRUE(Id.isIdentity());
+  EXPECT_TRUE(Id.inverted().isIdentity());
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation P = Permutation::stride(24, 6);
+  EXPECT_TRUE(P.after(P.inverted()).isIdentity());
+  EXPECT_TRUE(P.inverted().after(P).isIdentity());
+}
+
+TEST(Permutation, DestinationInvertsSource) {
+  const Permutation P = Permutation::stride(32, 4);
+  for (std::uint64_t O = 0; O != 32; ++O)
+    EXPECT_EQ(P.destinationOf(P.sourceOf(O)), O);
+}
+
+TEST(Permutation, StrideDefinition) {
+  // L(8, 2): input q*2 + r -> output r*4 + q.
+  const Permutation P = Permutation::stride(8, 2);
+  const std::vector<int> In = {0, 1, 2, 3, 4, 5, 6, 7};
+  // Output o = r*4 + q takes input q*2 + r: [0,2,4,6,1,3,5,7].
+  EXPECT_EQ(P.apply(In), (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(Permutation, StrideInverseIsComplementaryStride) {
+  // L(N,S)^-1 == L(N, N/S).
+  for (std::uint64_t N : {16ull, 64ull, 256ull})
+    for (std::uint64_t S : {2ull, 4ull, 8ull}) {
+      const Permutation A = Permutation::stride(N, S).inverted();
+      const Permutation B = Permutation::stride(N, N / S);
+      for (std::uint64_t O = 0; O != N; ++O)
+        EXPECT_EQ(A.sourceOf(O), B.sourceOf(O));
+    }
+}
+
+TEST(Permutation, TransposeRoundTrips) {
+  const Permutation T = Permutation::transpose(4, 8);
+  const Permutation Back = Permutation::transpose(8, 4);
+  EXPECT_TRUE(Back.after(T).isIdentity());
+}
+
+TEST(Permutation, TransposeMovesElements) {
+  // 2 x 3 block: [a b c; d e f] -> [a d; b e; c f] flattened.
+  const Permutation T = Permutation::transpose(2, 3);
+  const std::vector<char> In = {'a', 'b', 'c', 'd', 'e', 'f'};
+  EXPECT_EQ(T.apply(In), (std::vector<char>{'a', 'd', 'b', 'e', 'c', 'f'}));
+}
+
+TEST(Permutation, DigitReversalMatchesRadix) {
+  const Permutation P2 = Permutation::digitReversal(16, 2);
+  const Permutation P4 = Permutation::digitReversal(16, 4);
+  EXPECT_EQ(P2.sourceOf(1), 8u);
+  EXPECT_EQ(P4.sourceOf(1), 4u);
+  // Digit reversal is an involution.
+  EXPECT_TRUE(P4.after(P4).isIdentity());
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming cost model
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingCost, IdentityNeedsOneGroup) {
+  const Permutation Id = Permutation::identity(64);
+  EXPECT_EQ(streamingBufferWords(Id, 8), 8u);
+  EXPECT_EQ(streamingLatencyCycles(Id, 8), 8u);
+}
+
+TEST(StreamingCost, FullReversalNeedsWholeFrame) {
+  std::vector<std::uint64_t> Rev(64);
+  for (std::uint64_t I = 0; I != 64; ++I)
+    Rev[I] = 63 - I;
+  const Permutation P{Rev};
+  // The first output group depends on the last arrivals.
+  EXPECT_EQ(streamingBufferWords(P, 8), 64u);
+  EXPECT_EQ(streamingLatencyCycles(P, 8), 15u);
+}
+
+TEST(StreamingCost, TransposeIsBetweenExtremes) {
+  const Permutation T = Permutation::transpose(16, 16);
+  const std::uint64_t Words = streamingBufferWords(T, 8);
+  EXPECT_GT(Words, 8u);
+  EXPECT_LE(Words, 256u);
+}
+
+TEST(StreamingCost, MoreLanesNeverLowersLatency) {
+  const Permutation T = Permutation::transpose(16, 16);
+  EXPECT_GE(streamingLatencyCycles(T, 1), streamingLatencyCycles(T, 4));
+  EXPECT_GE(streamingLatencyCycles(T, 4), streamingLatencyCycles(T, 16));
+}
+
+//===----------------------------------------------------------------------===//
+// Crossbar
+//===----------------------------------------------------------------------===//
+
+TEST(Crossbar, RoutesPerSetting) {
+  Crossbar X(4);
+  EXPECT_EQ(X.muxCount(), 4u);
+  X.configure(Permutation({2, 3, 0, 1}));
+  const std::vector<int> In = {10, 11, 12, 13};
+  EXPECT_EQ(X.route(In), (std::vector<int>{12, 13, 10, 11}));
+  EXPECT_EQ(X.reconfigurations(), 1u);
+}
+
+TEST(Crossbar, RejectsWidthMismatch) {
+  Crossbar X(4);
+  EXPECT_DEATH(X.configure(Permutation::identity(8)), "width");
+}
+
+//===----------------------------------------------------------------------===//
+// PermutationNetwork + ControlUnit
+//===----------------------------------------------------------------------===//
+
+TEST(PermutationNetwork, PermutesBlocks) {
+  PermutationNetwork Net(8, 1024);
+  Net.configure(Permutation::transpose(8, 16));
+  std::vector<int> Block(128);
+  std::iota(Block.begin(), Block.end(), 0);
+  const std::vector<int> Out = Net.permute(Block);
+  // Element (r, c) of the 8 x 16 input lands at c*8 + r.
+  EXPECT_EQ(Out[1], 16); // (1, 0)
+  EXPECT_EQ(Out[8], 1);  // (0, 1)
+  EXPECT_EQ(Net.blocksPermuted(), 1u);
+  EXPECT_EQ(Net.beatsStreamed(), 16u);
+}
+
+TEST(PermutationNetwork, TracksBufferCost) {
+  PermutationNetwork Net(8, 2048);
+  Net.configure(Permutation::identity(1024));
+  const std::uint64_t IdWords = Net.bufferWords();
+  Net.configure(Permutation::transpose(32, 32));
+  EXPECT_GT(Net.bufferWords(), IdWords);
+  EXPECT_EQ(Net.bufferBytes(8), 2 * Net.bufferWords() * 8);
+  EXPECT_EQ(Net.reconfigurations(), 2u);
+}
+
+TEST(PermutationNetwork, RejectsOversizedBlocks) {
+  PermutationNetwork Net(8, 64);
+  EXPECT_DEATH(Net.configure(Permutation::identity(128)), "exceeds");
+}
+
+TEST(ControlUnit, LaneParallelIsIdentity) {
+  EXPECT_TRUE(
+      ControlUnit::writebackPermutation(8, 128, StreamMode::LaneParallel)
+          .isIdentity());
+  EXPECT_TRUE(
+      ControlUnit::columnFetchPermutation(8, 128, StreamMode::LaneParallel)
+          .isIdentity());
+}
+
+TEST(ControlUnit, ColumnSerialPermutationsInvertEachOther) {
+  // Writing column-serial then fetching column-serial restores the
+  // original stream order.
+  const Permutation Wb =
+      ControlUnit::writebackPermutation(4, 8, StreamMode::ColumnSerial);
+  const Permutation Cf =
+      ControlUnit::columnFetchPermutation(4, 8, StreamMode::ColumnSerial);
+  EXPECT_TRUE(Cf.after(Wb).isIdentity());
+}
+
+TEST(ControlUnit, ColumnSerialWritebackStoresRowMajor) {
+  // Arrival order is column-serial: (ic, ir) pairs column by column.
+  // After the writeback permutation, storage must be row-major.
+  const std::uint64_t W = 4, H = 3;
+  const Permutation Wb =
+      ControlUnit::writebackPermutation(W, H, StreamMode::ColumnSerial);
+  std::vector<std::pair<int, int>> Arrival;
+  for (std::uint64_t Ic = 0; Ic != W; ++Ic)
+    for (std::uint64_t Ir = 0; Ir != H; ++Ir)
+      Arrival.push_back({static_cast<int>(Ir), static_cast<int>(Ic)});
+  const auto Stored = Wb.apply(Arrival);
+  for (std::uint64_t Ir = 0; Ir != H; ++Ir)
+    for (std::uint64_t Ic = 0; Ic != W; ++Ic) {
+      const auto &E = Stored[Ir * W + Ic];
+      EXPECT_EQ(E.first, static_cast<int>(Ir));
+      EXPECT_EQ(E.second, static_cast<int>(Ic));
+    }
+}
+
+TEST(ControlUnit, ConfiguresNetworkAndCounts) {
+  PermutationNetwork Net(8, 1024);
+  ControlUnit Cu(Net);
+  Cu.configureForWriteback(8, 128, StreamMode::LaneParallel);
+  EXPECT_NE(Cu.currentConfig().find("writeback"), std::string::npos);
+  Cu.configureForColumnFetch(8, 128, StreamMode::LaneParallel);
+  EXPECT_NE(Cu.currentConfig().find("column-fetch"), std::string::npos);
+  EXPECT_EQ(Cu.reconfigurations(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cycle-accurate oracle for the streaming cost model
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct StreamOracle {
+  std::uint64_t PeakOccupancy = 0;
+  std::uint64_t TotalCycles = 0;
+};
+
+/// Independent per-cycle simulation of the streaming schedule: arrivals
+/// enter a buffer set Lanes per cycle; the in-order output group leaves
+/// as soon as all of its sources are resident.
+StreamOracle simulateStreaming(const Permutation &P, unsigned Lanes) {
+  const std::uint64_t N = P.size();
+  std::vector<bool> Resident(N, false);
+  std::uint64_t Arrived = 0, NextOut = 0, Occupancy = 0;
+  StreamOracle Result;
+  std::uint64_t Cycle = 0;
+  while (NextOut < N) {
+    // Arrivals this cycle.
+    for (unsigned L = 0; L != Lanes && Arrived < N; ++L) {
+      Resident[Arrived++] = true;
+      ++Occupancy;
+    }
+    Result.PeakOccupancy = std::max(Result.PeakOccupancy, Occupancy);
+    // At most one output group departs per cycle.
+    const std::uint64_t End = std::min<std::uint64_t>(NextOut + Lanes, N);
+    bool Ready = true;
+    for (std::uint64_t O = NextOut; O != End; ++O)
+      Ready = Ready && Resident[P.sourceOf(O)];
+    if (Ready) {
+      for (std::uint64_t O = NextOut; O != End; ++O) {
+        Resident[P.sourceOf(O)] = false;
+        --Occupancy;
+      }
+      NextOut = End;
+    }
+    ++Cycle;
+  }
+  Result.TotalCycles = Cycle;
+  return Result;
+}
+
+Permutation randomPermutation(std::uint64_t N, std::uint64_t Seed) {
+  std::vector<std::uint64_t> Map(N);
+  std::iota(Map.begin(), Map.end(), 0u);
+  // Fisher-Yates with the project RNG.
+  fft3d::Rng R(Seed);
+  for (std::uint64_t I = N; I > 1; --I)
+    std::swap(Map[I - 1], Map[R.nextBelow(I)]);
+  return Permutation(Map);
+}
+
+} // namespace
+
+TEST(StreamingCost, AnalyticMatchesCycleOracleOnStructured) {
+  for (const unsigned Lanes : {1u, 4u, 8u}) {
+    for (const auto &P :
+         {Permutation::identity(64), Permutation::stride(64, 4),
+          Permutation::transpose(8, 8), Permutation::digitReversal(64, 4)}) {
+      const StreamOracle Oracle = simulateStreaming(P, Lanes);
+      EXPECT_EQ(streamingBufferWords(P, Lanes), Oracle.PeakOccupancy)
+          << "lanes " << Lanes;
+      EXPECT_EQ(streamingLatencyCycles(P, Lanes), Oracle.TotalCycles)
+          << "lanes " << Lanes;
+    }
+  }
+}
+
+TEST(StreamingCost, AnalyticMatchesCycleOracleOnRandom) {
+  for (std::uint64_t Seed = 1; Seed != 12; ++Seed) {
+    const Permutation P = randomPermutation(96, Seed);
+    for (const unsigned Lanes : {2u, 8u}) {
+      const StreamOracle Oracle = simulateStreaming(P, Lanes);
+      EXPECT_EQ(streamingBufferWords(P, Lanes), Oracle.PeakOccupancy)
+          << "seed " << Seed << " lanes " << Lanes;
+      EXPECT_EQ(streamingLatencyCycles(P, Lanes), Oracle.TotalCycles)
+          << "seed " << Seed << " lanes " << Lanes;
+    }
+  }
+}

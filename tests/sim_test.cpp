@@ -1,0 +1,89 @@
+//===- tests/sim_test.cpp - Unit tests for src/sim -------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Clock.h"
+#include "sim/EventQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace fft3d;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  Q.scheduleAt(30, [&] { Order.push_back(3); });
+  Q.scheduleAt(10, [&] { Order.push_back(1); });
+  Q.scheduleAt(20, [&] { Order.push_back(2); });
+  Q.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimestampsRunInInsertionOrder) {
+  EventQueue Q;
+  std::vector<int> Order;
+  for (int I = 0; I != 5; ++I)
+    Q.scheduleAt(100, [&Order, I] { Order.push_back(I); });
+  Q.run();
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue Q;
+  int Count = 0;
+  std::function<void()> Chain = [&] {
+    ++Count;
+    if (Count < 10)
+      Q.scheduleAfter(5, Chain);
+  };
+  Q.scheduleAt(0, Chain);
+  Q.run();
+  EXPECT_EQ(Count, 10);
+  EXPECT_EQ(Q.now(), 45u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue Q;
+  int Ran = 0;
+  Q.scheduleAt(10, [&] { ++Ran; });
+  Q.scheduleAt(20, [&] { ++Ran; });
+  Q.scheduleAt(30, [&] { ++Ran; });
+  EXPECT_EQ(Q.runUntil(20), 2u);
+  EXPECT_EQ(Ran, 2);
+  EXPECT_EQ(Q.now(), 20u);
+  EXPECT_EQ(Q.size(), 1u);
+  Q.run();
+  EXPECT_EQ(Ran, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue Q;
+  Q.runUntil(500);
+  EXPECT_EQ(Q.now(), 500u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue Q;
+  EXPECT_FALSE(Q.step());
+}
+
+TEST(Clock, CycleConversions) {
+  const Clock C = Clock::fromMHz(625.0);
+  EXPECT_EQ(C.period(), 1600u);
+  EXPECT_EQ(C.cyclesToPicos(10), 16000u);
+  EXPECT_EQ(C.picosToCycles(16000), 10u);
+  EXPECT_NEAR(C.frequencyMHz(), 625.0, 1e-9);
+}
+
+TEST(Clock, NextEdge) {
+  const Clock C(4000);
+  EXPECT_EQ(C.nextEdgeAtOrAfter(0), 0u);
+  EXPECT_EQ(C.nextEdgeAtOrAfter(1), 4000u);
+  EXPECT_EQ(C.nextEdgeAtOrAfter(4000), 4000u);
+  EXPECT_EQ(C.nextEdgeAtOrAfter(4001), 8000u);
+}

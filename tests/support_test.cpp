@@ -1,0 +1,232 @@
+//===- tests/support_test.cpp - Unit tests for src/support ----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/TableWriter.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace fft3d;
+
+//===----------------------------------------------------------------------===//
+// MathUtils
+//===----------------------------------------------------------------------===//
+
+TEST(MathUtils, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(1ULL << 40));
+  EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(MathUtils, Log2Exact) {
+  EXPECT_EQ(log2Exact(1), 0u);
+  EXPECT_EQ(log2Exact(2), 1u);
+  EXPECT_EQ(log2Exact(8192), 13u);
+  EXPECT_EQ(log2Exact(1ULL << 63), 63u);
+}
+
+TEST(MathUtils, Log2FloorAndCeil) {
+  EXPECT_EQ(log2Floor(5), 2u);
+  EXPECT_EQ(log2Ceil(5), 3u);
+  EXPECT_EQ(log2Ceil(1), 0u);
+  EXPECT_EQ(log2Ceil(8), 3u);
+  EXPECT_EQ(log2Floor(8), 3u);
+}
+
+TEST(MathUtils, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceilDiv(10, 3), 4u);
+  EXPECT_EQ(ceilDiv(9, 3), 3u);
+  EXPECT_EQ(roundUp(10, 8), 16u);
+  EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+TEST(MathUtils, BitReverse) {
+  EXPECT_EQ(bitReverse(0b0001, 4), 0b1000u);
+  EXPECT_EQ(bitReverse(0b0110, 4), 0b0110u);
+  EXPECT_EQ(bitReverse(0b1011, 4), 0b1101u);
+  // Involution: reversing twice restores the value.
+  for (std::uint64_t I = 0; I != 256; ++I)
+    EXPECT_EQ(bitReverse(bitReverse(I, 8), 8), I);
+}
+
+TEST(MathUtils, DigitReverse) {
+  // Base-4, two digits: 0x1 (digits 0,1) -> digits 1,0 = 4.
+  EXPECT_EQ(digitReverse(1, 4, 2), 4u);
+  EXPECT_EQ(digitReverse(4, 4, 2), 1u);
+  // Base-4 digit reversal is an involution as well.
+  for (std::uint64_t I = 0; I != 64; ++I)
+    EXPECT_EQ(digitReverse(digitReverse(I, 4, 3), 4, 3), I);
+  // Radix 2 digit reversal equals bit reversal.
+  for (std::uint64_t I = 0; I != 32; ++I)
+    EXPECT_EQ(digitReverse(I, 2, 5), bitReverse(I, 5));
+}
+
+TEST(MathUtils, IsPowerOfAndDigitCount) {
+  EXPECT_TRUE(isPowerOf(64, 4));
+  EXPECT_FALSE(isPowerOf(32, 4));
+  EXPECT_TRUE(isPowerOf(32, 2));
+  EXPECT_FALSE(isPowerOf(0, 2));
+  EXPECT_EQ(digitCount(64, 4), 3u);
+  EXPECT_EQ(digitCount(1, 4), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  bool Differs = false;
+  for (int I = 0; I != 100; ++I) {
+    const std::uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    if (VA != C.next())
+      Differs = true;
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Random, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Random, NextBelowCoversAllResidues) {
+  Rng R(1);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Random, DoublesInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    const double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Random, GaussianRoughMoments) {
+  Rng R(5);
+  double Sum = 0.0, SumSq = 0.0;
+  const int Samples = 20000;
+  for (int I = 0; I != Samples; ++I) {
+    const double V = R.nextGaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  const double Mean = Sum / Samples;
+  const double Var = SumSq / Samples - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, RunningStatBasics) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  S.addSample(2.0);
+  S.addSample(4.0);
+  S.addSample(6.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+}
+
+TEST(Stats, RunningStatMerge) {
+  RunningStat A, B;
+  A.addSample(1.0);
+  B.addSample(3.0);
+  B.addSample(5.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 3u);
+  EXPECT_DOUBLE_EQ(A.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(A.max(), 5.0);
+}
+
+TEST(Stats, HistogramBucketsAndPercentile) {
+  Histogram H(10.0, 10); // [0,100) in tens.
+  for (int I = 0; I != 100; ++I)
+    H.addSample(I);
+  EXPECT_EQ(H.totalCount(), 100u);
+  EXPECT_EQ(H.bucketCount(0), 10u);
+  EXPECT_EQ(H.overflowCount(), 0u);
+  EXPECT_NEAR(H.percentile(0.5), 50.0, 10.0);
+  H.addSample(1e9);
+  EXPECT_EQ(H.overflowCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Units
+//===----------------------------------------------------------------------===//
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(nanosToPicos(1.6), 1600u);
+  EXPECT_DOUBLE_EQ(picosToNanos(2500), 2.5);
+  EXPECT_EQ(periodFromMHz(250.0), 4000u);
+  EXPECT_EQ(periodFromMHz(625.0), 1600u);
+}
+
+TEST(Units, Bandwidth) {
+  // 80 bytes in 1 ns = 80 GB/s.
+  EXPECT_DOUBLE_EQ(bytesOverPicosToGBps(80, 1000), 80.0);
+  EXPECT_DOUBLE_EQ(bytesOverPicosToGBps(100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(gbpsToGbitps(0.8), 6.4);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(formatDuration(500), "500 ps");
+  EXPECT_EQ(formatDuration(nanosToPicos(1.6)), "1.60 ns");
+  EXPECT_EQ(formatDuration(PicosPerMilli * 3 / 2), "1.50 ms");
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(8192), "8.0 KiB");
+}
+
+//===----------------------------------------------------------------------===//
+// TableWriter
+//===----------------------------------------------------------------------===//
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("| name   |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer |"), std::string::npos);
+}
+
+TEST(TableWriter, Formatters) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(std::uint64_t(42)), "42");
+  EXPECT_EQ(TableWriter::percent(0.4), "40.0%");
+}
+
+TEST(Stats, CounterBasics) {
+  Counter C{"row_activations", 0};
+  ++C;
+  C += 41;
+  EXPECT_EQ(C.Value, 42u);
+  EXPECT_EQ(C.Name, "row_activations");
+}

@@ -1,0 +1,269 @@
+//===- tools/fft3d_sim.cpp - Command-line simulator driver ----------------===//
+//
+// Part of the fft3d project.
+//
+// One-stop driver around the library: configure the device and the
+// architecture from flags, simulate either or both architectures, and
+// optionally run the auto-tuner or print energy figures.
+//
+//   fft3d_sim [--n=2048] [--arch=both|baseline|optimized]
+//             [--sched=frfcfs|fcfs] [--page=open|closed]
+//             [--map=cvbr|cbvr|cvrb|crbv] [--xor-hash]
+//             [--t-diff-row=40] [--t-diff-bank=16] [--t-in-vault=8]
+//             [--t-in-row=1.6] [--refresh]
+//             [--lanes=8] [--clock=<MHz>] [--window=64]
+//             [--vaults=16] [--energy] [--tune[=throughput|energy]]
+//
+// Examples:
+//   fft3d_sim --n=4096 --energy
+//   fft3d_sim --n=2048 --t-diff-row=80 --tune
+//   fft3d_sim --n=1024 --page=closed --arch=optimized
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoTuner.h"
+#include "core/Fft2dProcessor.h"
+#include "core/LayoutEvaluator.h"
+#include "mem3d/TraceFile.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+using namespace fft3d;
+
+namespace {
+
+struct Cli {
+  std::uint64_t N = 2048;
+  std::string Arch = "both";
+  bool Energy = false;
+  bool Tune = false;
+  TuneObjective Objective = TuneObjective::Throughput;
+  std::string ReplayFile;
+  bool ReplayAsap = false;
+  SystemConfig Config;
+  bool Ok = true;
+};
+
+[[noreturn]] void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--n=SIZE] [--arch=both|baseline|optimized]\n"
+               "  [--sched=frfcfs|fcfs] [--page=open|closed]\n"
+               "  [--map=cvbr|cbvr|cvrb|crbv] [--xor-hash] [--refresh]\n"
+               "  [--t-diff-row=NS] [--t-diff-bank=NS] [--t-in-vault=NS]\n"
+               "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
+               "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
+               "  [--replay=FILE [--replay-asap]]\n",
+               Prog);
+  std::exit(2);
+}
+
+bool consume(const char *Arg, const char *Key, const char **Value) {
+  const std::size_t Len = std::strlen(Key);
+  if (std::strncmp(Arg, Key, Len) != 0)
+    return false;
+  if (Arg[Len] == '\0') {
+    *Value = nullptr;
+    return true;
+  }
+  if (Arg[Len] == '=') {
+    *Value = Arg + Len + 1;
+    return true;
+  }
+  return false;
+}
+
+Cli parse(int Argc, char **Argv) {
+  Cli C;
+  C.Config = SystemConfig::forProblemSize(C.N);
+  Timing &T = C.Config.Mem.Time;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    const char *Value = nullptr;
+    if (consume(Arg, "--n", &Value) && Value) {
+      C.N = std::strtoull(Value, nullptr, 10);
+    } else if (consume(Arg, "--arch", &Value) && Value) {
+      C.Arch = Value;
+    } else if (consume(Arg, "--sched", &Value) && Value) {
+      C.Config.Mem.Sched = std::string(Value) == "fcfs"
+                               ? SchedulePolicy::Fcfs
+                               : SchedulePolicy::FrFcfs;
+    } else if (consume(Arg, "--page", &Value) && Value) {
+      C.Config.Mem.Page = std::string(Value) == "closed"
+                              ? PagePolicy::ClosedPage
+                              : PagePolicy::OpenPage;
+    } else if (consume(Arg, "--map", &Value) && Value) {
+      const std::string M = Value;
+      if (M == "cvbr")
+        C.Config.Mem.MapKind = AddressMapKind::ColVaultBankRow;
+      else if (M == "cbvr")
+        C.Config.Mem.MapKind = AddressMapKind::ColBankVaultRow;
+      else if (M == "cvrb")
+        C.Config.Mem.MapKind = AddressMapKind::ColVaultRowBank;
+      else if (M == "crbv")
+        C.Config.Mem.MapKind = AddressMapKind::ColRowBankVault;
+      else
+        usage(Argv[0]);
+    } else if (consume(Arg, "--xor-hash", &Value)) {
+      C.Config.Mem.XorHash = true;
+    } else if (consume(Arg, "--refresh", &Value)) {
+      T.RefreshInterval = nanosToPicos(7800.0);
+      T.RefreshDuration = nanosToPicos(160.0);
+    } else if (consume(Arg, "--t-diff-row", &Value) && Value) {
+      T.TDiffRow = nanosToPicos(std::strtod(Value, nullptr));
+    } else if (consume(Arg, "--t-diff-bank", &Value) && Value) {
+      T.TDiffBank = nanosToPicos(std::strtod(Value, nullptr));
+    } else if (consume(Arg, "--t-in-vault", &Value) && Value) {
+      T.TInVault = nanosToPicos(std::strtod(Value, nullptr));
+    } else if (consume(Arg, "--t-in-row", &Value) && Value) {
+      T.TInRow = nanosToPicos(std::strtod(Value, nullptr));
+    } else if (consume(Arg, "--lanes", &Value) && Value) {
+      C.Config.Optimized.Lanes =
+          static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    } else if (consume(Arg, "--clock", &Value) && Value) {
+      C.Config.Optimized.ClockMHz = std::strtod(Value, nullptr);
+      C.Config.Baseline.ClockMHz = C.Config.Optimized.ClockMHz;
+    } else if (consume(Arg, "--window", &Value) && Value) {
+      const auto W = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+      C.Config.Optimized.ReadWindow = C.Config.Optimized.WriteWindow = W;
+    } else if (consume(Arg, "--vaults", &Value) && Value) {
+      const auto V = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+      C.Config.Mem.Geo.NumVaults = V;
+      C.Config.Optimized.VaultsParallel = V;
+    } else if (consume(Arg, "--replay", &Value) && Value) {
+      C.ReplayFile = Value;
+    } else if (consume(Arg, "--replay-asap", &Value)) {
+      C.ReplayAsap = true;
+    } else if (consume(Arg, "--energy", &Value)) {
+      C.Energy = true;
+    } else if (consume(Arg, "--tune", &Value)) {
+      C.Tune = true;
+      if (Value && std::string(Value) == "energy")
+        C.Objective = TuneObjective::Energy;
+    } else {
+      usage(Argv[0]);
+    }
+  }
+  C.Config.N = C.N;
+  // Keep three matrices resident if the device was shrunk.
+  while (3 * C.N * C.N * ElementBytes > C.Config.Mem.Geo.capacityBytes())
+    C.Config.Mem.Geo.RowsPerBank *= 2;
+  if (!C.Config.Mem.Time.isValid()) {
+    std::fprintf(stderr, "error: timing parameters violate the ordering "
+                         "t_in_row <= t_in_vault <= t_diff_bank <= "
+                         "t_diff_row\n");
+    std::exit(2);
+  }
+  return C;
+}
+
+void printReport(const char *Name, const AppReport &R) {
+  std::printf("%s architecture:\n", Name);
+  std::printf("  row phase    %8.2f GB/s   (%llu activations, hit rate "
+              "%.1f%%)\n",
+              R.RowPhase.ThroughputGBps,
+              static_cast<unsigned long long>(R.RowPhase.RowActivations),
+              100.0 * R.RowPhase.RowHitRate);
+  std::printf("  column phase %8.2f GB/s   (%llu activations, hit rate "
+              "%.1f%%)\n",
+              R.ColPhase.ThroughputGBps,
+              static_cast<unsigned long long>(R.ColPhase.RowActivations),
+              100.0 * R.ColPhase.RowHitRate);
+  std::printf("  application  %8.2f GB/s = %.1f%% of peak\n",
+              R.AppThroughputGBps, 100.0 * R.PeakUtilization);
+  std::printf("  latency      %s, est. total %s\n",
+              formatDuration(R.AppLatency).c_str(),
+              formatDuration(R.EstimatedTotalTime).c_str());
+  if (R.Optimized)
+    std::printf("  block plan   w=%llu h=%llu (%s), permute SRAM %s\n",
+                static_cast<unsigned long long>(R.Plan.W),
+                static_cast<unsigned long long>(R.Plan.H),
+                planRegimeName(R.Plan.Regime),
+                formatBytes(R.PermuteBufferBytes).c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Cli C = parse(Argc, Argv);
+  const AnalyticalModel Model(C.Config);
+  std::printf("fft3d_sim: N=%llu, %u vaults, peak %.1f GB/s, %s/%s, map "
+              "%s%s%s\n\n",
+              static_cast<unsigned long long>(C.N),
+              C.Config.Mem.Geo.NumVaults, Model.peakGBps(),
+              schedulePolicyName(C.Config.Mem.Sched),
+              pagePolicyName(C.Config.Mem.Page),
+              addressMapKindName(C.Config.Mem.MapKind),
+              C.Config.Mem.XorHash ? ", xor-hash" : "",
+              C.Config.Mem.Time.RefreshInterval ? ", refresh on" : "");
+
+  if (!C.ReplayFile.empty()) {
+    std::ifstream In(C.ReplayFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open trace '%s'\n",
+                   C.ReplayFile.c_str());
+      return 1;
+    }
+    std::vector<TraceRecord> Records;
+    std::uint64_t ErrorLine = 0;
+    if (!readTrace(In, Records, &ErrorLine)) {
+      std::fprintf(stderr, "error: malformed trace at line %llu\n",
+                   static_cast<unsigned long long>(ErrorLine));
+      return 1;
+    }
+    EventQueue Events;
+    Memory3D Mem(Events, C.Config.Mem);
+    const ReplayResult R = replayTrace(Mem, Events, Records,
+                                       /*HonorTimestamps=*/!C.ReplayAsap);
+    std::printf("replayed %llu requests (%s) in %s -> %.2f GB/s, "
+                "%llu activations, hit rate %.1f%%\n",
+                static_cast<unsigned long long>(R.Requests),
+                formatBytes(R.Bytes).c_str(),
+                formatDuration(R.Elapsed).c_str(), R.AchievedGBps,
+                static_cast<unsigned long long>(
+                    Mem.stats().total().RowActivations),
+                100.0 * Mem.stats().total().hitRate());
+    return 0;
+  }
+
+  Fft2dProcessor Processor(C.Config);
+  if (C.Arch == "baseline" || C.Arch == "both")
+    printReport("baseline", Processor.runBaseline());
+  if (C.Arch == "optimized" || C.Arch == "both")
+    printReport("optimized", Processor.runOptimized());
+
+  if (C.Energy) {
+    const AutoTuner Tuner(C.Config, TuneOptions{true, true, false, false});
+    const TuneResult Result = Tuner.tune(TuneObjective::Energy);
+    std::printf("energy (both phases, simulated volume):\n");
+    for (const TuneCandidate &Cand : Result.Candidates)
+      std::printf("  %-28s %7.2f pJ/bit  %8.3f activations/KiB\n",
+                  Cand.Name.c_str(), Cand.Metrics.PicojoulesPerBit,
+                  Cand.Metrics.ActivationsPerKiB);
+    std::printf("\n");
+  }
+
+  if (C.Tune) {
+    const AutoTuner Tuner(C.Config);
+    const TuneResult Result = Tuner.tune(C.Objective);
+    std::printf("auto-tuning (%s objective):\n",
+                tuneObjectiveName(C.Objective));
+    unsigned Rank = 1;
+    for (const TuneCandidate &Cand : Result.Candidates) {
+      if (Rank > 8)
+        break;
+      std::printf("  #%u %-28s %7.2f GB/s  %6.2f pJ/bit%s\n", Rank,
+                  Cand.Name.c_str(), Cand.Metrics.AppGBps,
+                  Cand.Metrics.PicojoulesPerBit,
+                  Cand.Eq1Pick ? "   <== Eq. 1" : "");
+      ++Rank;
+    }
+  }
+  return 0;
+}
