@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_pipelining.dir/ablation_batch_pipelining.cpp.o"
+  "CMakeFiles/ablation_batch_pipelining.dir/ablation_batch_pipelining.cpp.o.d"
+  "ablation_batch_pipelining"
+  "ablation_batch_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

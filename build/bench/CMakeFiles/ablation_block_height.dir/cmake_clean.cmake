@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_height.dir/ablation_block_height.cpp.o"
+  "CMakeFiles/ablation_block_height.dir/ablation_block_height.cpp.o.d"
+  "ablation_block_height"
+  "ablation_block_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layout_comparison.dir/ablation_layout_comparison.cpp.o"
+  "CMakeFiles/ablation_layout_comparison.dir/ablation_layout_comparison.cpp.o.d"
+  "ablation_layout_comparison"
+  "ablation_layout_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layout_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

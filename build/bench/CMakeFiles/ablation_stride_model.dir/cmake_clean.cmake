@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stride_model.dir/ablation_stride_model.cpp.o"
+  "CMakeFiles/ablation_stride_model.dir/ablation_stride_model.cpp.o.d"
+  "ablation_stride_model"
+  "ablation_stride_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stride_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

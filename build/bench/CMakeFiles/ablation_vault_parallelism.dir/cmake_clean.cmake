@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vault_parallelism.dir/ablation_vault_parallelism.cpp.o"
+  "CMakeFiles/ablation_vault_parallelism.dir/ablation_vault_parallelism.cpp.o.d"
+  "ablation_vault_parallelism"
+  "ablation_vault_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vault_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

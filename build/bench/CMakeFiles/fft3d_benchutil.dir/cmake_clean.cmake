@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_benchutil.dir/BenchUtils.cpp.o"
+  "CMakeFiles/fft3d_benchutil.dir/BenchUtils.cpp.o.d"
+  "libfft3d_benchutil.a"
+  "libfft3d_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

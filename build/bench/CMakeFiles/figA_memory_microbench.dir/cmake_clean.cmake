@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figA_memory_microbench.dir/figA_memory_microbench.cpp.o"
+  "CMakeFiles/figA_memory_microbench.dir/figA_memory_microbench.cpp.o.d"
+  "figA_memory_microbench"
+  "figA_memory_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figA_memory_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

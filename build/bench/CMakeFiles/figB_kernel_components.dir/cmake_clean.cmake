@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figB_kernel_components.dir/figB_kernel_components.cpp.o"
+  "CMakeFiles/figB_kernel_components.dir/figB_kernel_components.cpp.o.d"
+  "figB_kernel_components"
+  "figB_kernel_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figB_kernel_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

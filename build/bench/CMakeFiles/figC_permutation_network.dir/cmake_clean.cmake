@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figC_permutation_network.dir/figC_permutation_network.cpp.o"
+  "CMakeFiles/figC_permutation_network.dir/figC_permutation_network.cpp.o.d"
+  "figC_permutation_network"
+  "figC_permutation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figC_permutation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figD_precision.dir/figD_precision.cpp.o"
+  "CMakeFiles/figD_precision.dir/figD_precision.cpp.o.d"
+  "figD_precision"
+  "figD_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figD_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

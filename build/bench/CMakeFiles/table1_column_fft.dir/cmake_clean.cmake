@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_column_fft.dir/table1_column_fft.cpp.o"
+  "CMakeFiles/table1_column_fft.dir/table1_column_fft.cpp.o.d"
+  "table1_column_fft"
+  "table1_column_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_column_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_full_2dfft.dir/table2_full_2dfft.cpp.o"
+  "CMakeFiles/table2_full_2dfft.dir/table2_full_2dfft.cpp.o.d"
+  "table2_full_2dfft"
+  "table2_full_2dfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_full_2dfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

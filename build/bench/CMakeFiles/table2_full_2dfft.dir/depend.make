@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_full_2dfft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_framework.dir/autotune_framework.cpp.o"
+  "CMakeFiles/autotune_framework.dir/autotune_framework.cpp.o.d"
+  "autotune_framework"
+  "autotune_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

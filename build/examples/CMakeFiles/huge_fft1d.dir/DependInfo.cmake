@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/huge_fft1d.cpp" "examples/CMakeFiles/huge_fft1d.dir/huge_fft1d.cpp.o" "gcc" "examples/CMakeFiles/huge_fft1d.dir/huge_fft1d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fft3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fft3d_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/fft3d_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem3d/CMakeFiles/fft3d_mem3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/fft3d_permute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fft3d_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fft3d_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_fft1d.dir/huge_fft1d.cpp.o"
+  "CMakeFiles/huge_fft1d.dir/huge_fft1d.cpp.o.d"
+  "huge_fft1d"
+  "huge_fft1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_fft1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_analyzer.dir/spectrum_analyzer.cpp.o"
+  "CMakeFiles/spectrum_analyzer.dir/spectrum_analyzer.cpp.o.d"
+  "spectrum_analyzer"
+  "spectrum_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

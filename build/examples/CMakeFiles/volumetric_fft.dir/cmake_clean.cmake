@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volumetric_fft.dir/volumetric_fft.cpp.o"
+  "CMakeFiles/volumetric_fft.dir/volumetric_fft.cpp.o.d"
+  "volumetric_fft"
+  "volumetric_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volumetric_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AccessTrace.cpp" "src/core/CMakeFiles/fft3d_core.dir/AccessTrace.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/AccessTrace.cpp.o.d"
+  "/root/repo/src/core/AnalyticalModel.cpp" "src/core/CMakeFiles/fft3d_core.dir/AnalyticalModel.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/AnalyticalModel.cpp.o.d"
+  "/root/repo/src/core/AutoTuner.cpp" "src/core/CMakeFiles/fft3d_core.dir/AutoTuner.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/AutoTuner.cpp.o.d"
+  "/root/repo/src/core/BatchProcessor.cpp" "src/core/CMakeFiles/fft3d_core.dir/BatchProcessor.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/BatchProcessor.cpp.o.d"
+  "/root/repo/src/core/Fft2dProcessor.cpp" "src/core/CMakeFiles/fft3d_core.dir/Fft2dProcessor.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/Fft2dProcessor.cpp.o.d"
+  "/root/repo/src/core/LayoutEvaluator.cpp" "src/core/CMakeFiles/fft3d_core.dir/LayoutEvaluator.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/LayoutEvaluator.cpp.o.d"
+  "/root/repo/src/core/PhaseEngine.cpp" "src/core/CMakeFiles/fft3d_core.dir/PhaseEngine.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/PhaseEngine.cpp.o.d"
+  "/root/repo/src/core/SystemConfig.cpp" "src/core/CMakeFiles/fft3d_core.dir/SystemConfig.cpp.o" "gcc" "src/core/CMakeFiles/fft3d_core.dir/SystemConfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/fft3d_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/fft3d_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem3d/CMakeFiles/fft3d_mem3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/fft3d_permute.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fft3d_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fft3d_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_core.dir/AccessTrace.cpp.o"
+  "CMakeFiles/fft3d_core.dir/AccessTrace.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/AnalyticalModel.cpp.o"
+  "CMakeFiles/fft3d_core.dir/AnalyticalModel.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/AutoTuner.cpp.o"
+  "CMakeFiles/fft3d_core.dir/AutoTuner.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/BatchProcessor.cpp.o"
+  "CMakeFiles/fft3d_core.dir/BatchProcessor.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/Fft2dProcessor.cpp.o"
+  "CMakeFiles/fft3d_core.dir/Fft2dProcessor.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/LayoutEvaluator.cpp.o"
+  "CMakeFiles/fft3d_core.dir/LayoutEvaluator.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/PhaseEngine.cpp.o"
+  "CMakeFiles/fft3d_core.dir/PhaseEngine.cpp.o.d"
+  "CMakeFiles/fft3d_core.dir/SystemConfig.cpp.o"
+  "CMakeFiles/fft3d_core.dir/SystemConfig.cpp.o.d"
+  "libfft3d_core.a"
+  "libfft3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

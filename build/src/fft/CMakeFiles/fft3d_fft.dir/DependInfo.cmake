@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/Bluestein.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Bluestein.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Bluestein.cpp.o.d"
+  "/root/repo/src/fft/Convolution.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Convolution.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Convolution.cpp.o.d"
+  "/root/repo/src/fft/DppUnit.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/DppUnit.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/DppUnit.cpp.o.d"
+  "/root/repo/src/fft/Fft1d.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Fft1d.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Fft1d.cpp.o.d"
+  "/root/repo/src/fft/Fft2d.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Fft2d.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Fft2d.cpp.o.d"
+  "/root/repo/src/fft/FourStep.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/FourStep.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/FourStep.cpp.o.d"
+  "/root/repo/src/fft/Matrix.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Matrix.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Matrix.cpp.o.d"
+  "/root/repo/src/fft/RadixBlock.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/RadixBlock.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/RadixBlock.cpp.o.d"
+  "/root/repo/src/fft/RealFft1d.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/RealFft1d.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/RealFft1d.cpp.o.d"
+  "/root/repo/src/fft/RealFft2d.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/RealFft2d.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/RealFft2d.cpp.o.d"
+  "/root/repo/src/fft/ReferenceDft.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/ReferenceDft.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/ReferenceDft.cpp.o.d"
+  "/root/repo/src/fft/StreamingKernel.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/StreamingKernel.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/StreamingKernel.cpp.o.d"
+  "/root/repo/src/fft/TfcUnit.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/TfcUnit.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/TfcUnit.cpp.o.d"
+  "/root/repo/src/fft/Twiddle.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Twiddle.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Twiddle.cpp.o.d"
+  "/root/repo/src/fft/Window.cpp" "src/fft/CMakeFiles/fft3d_fft.dir/Window.cpp.o" "gcc" "src/fft/CMakeFiles/fft3d_fft.dir/Window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fft3d_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/permute/CMakeFiles/fft3d_permute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

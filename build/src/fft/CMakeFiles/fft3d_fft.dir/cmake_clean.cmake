@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_fft.dir/Bluestein.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Bluestein.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/Convolution.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Convolution.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/DppUnit.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/DppUnit.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/Fft1d.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Fft1d.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/Fft2d.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Fft2d.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/FourStep.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/FourStep.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/Matrix.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Matrix.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/RadixBlock.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/RadixBlock.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/RealFft1d.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/RealFft1d.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/RealFft2d.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/RealFft2d.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/ReferenceDft.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/ReferenceDft.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/StreamingKernel.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/StreamingKernel.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/TfcUnit.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/TfcUnit.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/Twiddle.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Twiddle.cpp.o.d"
+  "CMakeFiles/fft3d_fft.dir/Window.cpp.o"
+  "CMakeFiles/fft3d_fft.dir/Window.cpp.o.d"
+  "libfft3d_fft.a"
+  "libfft3d_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/BlockDynamicLayout.cpp" "src/layout/CMakeFiles/fft3d_layout.dir/BlockDynamicLayout.cpp.o" "gcc" "src/layout/CMakeFiles/fft3d_layout.dir/BlockDynamicLayout.cpp.o.d"
+  "/root/repo/src/layout/DataLayout.cpp" "src/layout/CMakeFiles/fft3d_layout.dir/DataLayout.cpp.o" "gcc" "src/layout/CMakeFiles/fft3d_layout.dir/DataLayout.cpp.o.d"
+  "/root/repo/src/layout/LayoutPlanner.cpp" "src/layout/CMakeFiles/fft3d_layout.dir/LayoutPlanner.cpp.o" "gcc" "src/layout/CMakeFiles/fft3d_layout.dir/LayoutPlanner.cpp.o.d"
+  "/root/repo/src/layout/LinearLayouts.cpp" "src/layout/CMakeFiles/fft3d_layout.dir/LinearLayouts.cpp.o" "gcc" "src/layout/CMakeFiles/fft3d_layout.dir/LinearLayouts.cpp.o.d"
+  "/root/repo/src/layout/TiledLayout.cpp" "src/layout/CMakeFiles/fft3d_layout.dir/TiledLayout.cpp.o" "gcc" "src/layout/CMakeFiles/fft3d_layout.dir/TiledLayout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem3d/CMakeFiles/fft3d_mem3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fft3d_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fft3d_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

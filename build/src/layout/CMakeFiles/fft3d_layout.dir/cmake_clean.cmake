@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_layout.dir/BlockDynamicLayout.cpp.o"
+  "CMakeFiles/fft3d_layout.dir/BlockDynamicLayout.cpp.o.d"
+  "CMakeFiles/fft3d_layout.dir/DataLayout.cpp.o"
+  "CMakeFiles/fft3d_layout.dir/DataLayout.cpp.o.d"
+  "CMakeFiles/fft3d_layout.dir/LayoutPlanner.cpp.o"
+  "CMakeFiles/fft3d_layout.dir/LayoutPlanner.cpp.o.d"
+  "CMakeFiles/fft3d_layout.dir/LinearLayouts.cpp.o"
+  "CMakeFiles/fft3d_layout.dir/LinearLayouts.cpp.o.d"
+  "CMakeFiles/fft3d_layout.dir/TiledLayout.cpp.o"
+  "CMakeFiles/fft3d_layout.dir/TiledLayout.cpp.o.d"
+  "libfft3d_layout.a"
+  "libfft3d_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem3d/Address.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Address.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Address.cpp.o.d"
+  "/root/repo/src/mem3d/Energy.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Energy.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Energy.cpp.o.d"
+  "/root/repo/src/mem3d/Geometry.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Geometry.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Geometry.cpp.o.d"
+  "/root/repo/src/mem3d/MemStats.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/MemStats.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/MemStats.cpp.o.d"
+  "/root/repo/src/mem3d/Memory3D.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Memory3D.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Memory3D.cpp.o.d"
+  "/root/repo/src/mem3d/MemoryController.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/MemoryController.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/MemoryController.cpp.o.d"
+  "/root/repo/src/mem3d/StrideAnalysis.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/StrideAnalysis.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/StrideAnalysis.cpp.o.d"
+  "/root/repo/src/mem3d/Timing.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Timing.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Timing.cpp.o.d"
+  "/root/repo/src/mem3d/TraceFile.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/TraceFile.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/TraceFile.cpp.o.d"
+  "/root/repo/src/mem3d/Vault.cpp" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Vault.cpp.o" "gcc" "src/mem3d/CMakeFiles/fft3d_mem3d.dir/Vault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fft3d_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fft3d_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

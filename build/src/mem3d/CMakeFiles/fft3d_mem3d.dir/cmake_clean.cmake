@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_mem3d.dir/Address.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/Address.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/Energy.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/Energy.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/Geometry.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/Geometry.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/MemStats.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/MemStats.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/Memory3D.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/Memory3D.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/MemoryController.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/MemoryController.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/StrideAnalysis.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/StrideAnalysis.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/Timing.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/Timing.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/TraceFile.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/TraceFile.cpp.o.d"
+  "CMakeFiles/fft3d_mem3d.dir/Vault.cpp.o"
+  "CMakeFiles/fft3d_mem3d.dir/Vault.cpp.o.d"
+  "libfft3d_mem3d.a"
+  "libfft3d_mem3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_mem3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

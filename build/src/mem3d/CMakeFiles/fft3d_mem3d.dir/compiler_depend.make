@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fft3d_mem3d.
+# This may be replaced when dependencies are built.

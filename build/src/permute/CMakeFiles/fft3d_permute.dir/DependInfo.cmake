@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/permute/BitonicNetwork.cpp" "src/permute/CMakeFiles/fft3d_permute.dir/BitonicNetwork.cpp.o" "gcc" "src/permute/CMakeFiles/fft3d_permute.dir/BitonicNetwork.cpp.o.d"
+  "/root/repo/src/permute/ControlUnit.cpp" "src/permute/CMakeFiles/fft3d_permute.dir/ControlUnit.cpp.o" "gcc" "src/permute/CMakeFiles/fft3d_permute.dir/ControlUnit.cpp.o.d"
+  "/root/repo/src/permute/Crossbar.cpp" "src/permute/CMakeFiles/fft3d_permute.dir/Crossbar.cpp.o" "gcc" "src/permute/CMakeFiles/fft3d_permute.dir/Crossbar.cpp.o.d"
+  "/root/repo/src/permute/Permutation.cpp" "src/permute/CMakeFiles/fft3d_permute.dir/Permutation.cpp.o" "gcc" "src/permute/CMakeFiles/fft3d_permute.dir/Permutation.cpp.o.d"
+  "/root/repo/src/permute/PermutationNetwork.cpp" "src/permute/CMakeFiles/fft3d_permute.dir/PermutationNetwork.cpp.o" "gcc" "src/permute/CMakeFiles/fft3d_permute.dir/PermutationNetwork.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fft3d_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

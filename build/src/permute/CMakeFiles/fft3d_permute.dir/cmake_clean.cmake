@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_permute.dir/BitonicNetwork.cpp.o"
+  "CMakeFiles/fft3d_permute.dir/BitonicNetwork.cpp.o.d"
+  "CMakeFiles/fft3d_permute.dir/ControlUnit.cpp.o"
+  "CMakeFiles/fft3d_permute.dir/ControlUnit.cpp.o.d"
+  "CMakeFiles/fft3d_permute.dir/Crossbar.cpp.o"
+  "CMakeFiles/fft3d_permute.dir/Crossbar.cpp.o.d"
+  "CMakeFiles/fft3d_permute.dir/Permutation.cpp.o"
+  "CMakeFiles/fft3d_permute.dir/Permutation.cpp.o.d"
+  "CMakeFiles/fft3d_permute.dir/PermutationNetwork.cpp.o"
+  "CMakeFiles/fft3d_permute.dir/PermutationNetwork.cpp.o.d"
+  "libfft3d_permute.a"
+  "libfft3d_permute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_permute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

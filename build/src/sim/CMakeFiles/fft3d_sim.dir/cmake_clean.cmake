@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_sim.dir/Clock.cpp.o"
+  "CMakeFiles/fft3d_sim.dir/Clock.cpp.o.d"
+  "CMakeFiles/fft3d_sim.dir/EventQueue.cpp.o"
+  "CMakeFiles/fft3d_sim.dir/EventQueue.cpp.o.d"
+  "libfft3d_sim.a"
+  "libfft3d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

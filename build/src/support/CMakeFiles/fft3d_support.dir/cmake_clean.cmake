@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/fft3d_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/fft3d_support.dir/MathUtils.cpp.o"
+  "CMakeFiles/fft3d_support.dir/MathUtils.cpp.o.d"
+  "CMakeFiles/fft3d_support.dir/Random.cpp.o"
+  "CMakeFiles/fft3d_support.dir/Random.cpp.o.d"
+  "CMakeFiles/fft3d_support.dir/Stats.cpp.o"
+  "CMakeFiles/fft3d_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/fft3d_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/fft3d_support.dir/TableWriter.cpp.o.d"
+  "CMakeFiles/fft3d_support.dir/Units.cpp.o"
+  "CMakeFiles/fft3d_support.dir/Units.cpp.o.d"
+  "libfft3d_support.a"
+  "libfft3d_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

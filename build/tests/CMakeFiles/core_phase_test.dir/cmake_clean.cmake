@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_phase_test.dir/core_phase_test.cpp.o"
+  "CMakeFiles/core_phase_test.dir/core_phase_test.cpp.o.d"
+  "core_phase_test"
+  "core_phase_test.pdb"
+  "core_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_processor_test.dir/core_processor_test.cpp.o"
+  "CMakeFiles/core_processor_test.dir/core_processor_test.cpp.o.d"
+  "core_processor_test"
+  "core_processor_test.pdb"
+  "core_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_test.dir/fft2d_test.cpp.o"
+  "CMakeFiles/fft2d_test.dir/fft2d_test.cpp.o.d"
+  "fft2d_test"
+  "fft2d_test.pdb"
+  "fft2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

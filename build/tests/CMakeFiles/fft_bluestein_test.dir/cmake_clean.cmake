@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_bluestein_test.dir/fft_bluestein_test.cpp.o"
+  "CMakeFiles/fft_bluestein_test.dir/fft_bluestein_test.cpp.o.d"
+  "fft_bluestein_test"
+  "fft_bluestein_test.pdb"
+  "fft_bluestein_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_bluestein_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

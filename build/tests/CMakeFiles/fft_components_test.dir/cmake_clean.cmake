@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_components_test.dir/fft_components_test.cpp.o"
+  "CMakeFiles/fft_components_test.dir/fft_components_test.cpp.o.d"
+  "fft_components_test"
+  "fft_components_test.pdb"
+  "fft_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_dsp_test.dir/fft_dsp_test.cpp.o"
+  "CMakeFiles/fft_dsp_test.dir/fft_dsp_test.cpp.o.d"
+  "fft_dsp_test"
+  "fft_dsp_test.pdb"
+  "fft_dsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_dsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_planner_test.dir/layout_planner_test.cpp.o"
+  "CMakeFiles/layout_planner_test.dir/layout_planner_test.cpp.o.d"
+  "layout_planner_test"
+  "layout_planner_test.pdb"
+  "layout_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem3d_geometry_sweep_test.dir/mem3d_geometry_sweep_test.cpp.o"
+  "CMakeFiles/mem3d_geometry_sweep_test.dir/mem3d_geometry_sweep_test.cpp.o.d"
+  "mem3d_geometry_sweep_test"
+  "mem3d_geometry_sweep_test.pdb"
+  "mem3d_geometry_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem3d_geometry_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

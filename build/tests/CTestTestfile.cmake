@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_address_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_energy_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_refresh_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_stride_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_geometry_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/mem3d_trace_file_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/permute_test[1]_include.cmake")
+include("/root/repo/build/tests/fft1d_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_real_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_bluestein_test[1]_include.cmake")
+include("/root/repo/build/tests/fft2d_test[1]_include.cmake")
+include("/root/repo/build/tests/fft_components_test[1]_include.cmake")
+include("/root/repo/build/tests/core_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core_phase_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_processor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_autotuner_test[1]_include.cmake")
+include("/root/repo/build/tests/core_integration_test[1]_include.cmake")

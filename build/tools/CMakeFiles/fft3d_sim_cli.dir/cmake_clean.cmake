@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_sim_cli.dir/fft3d_sim.cpp.o"
+  "CMakeFiles/fft3d_sim_cli.dir/fft3d_sim.cpp.o.d"
+  "fft3d_sim"
+  "fft3d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

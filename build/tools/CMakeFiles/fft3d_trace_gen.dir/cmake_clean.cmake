@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft3d_trace_gen.dir/fft3d_trace_gen.cpp.o"
+  "CMakeFiles/fft3d_trace_gen.dir/fft3d_trace_gen.cpp.o.d"
+  "fft3d_trace_gen"
+  "fft3d_trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft3d_trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_optimized "/root/repo/build/tools/fft3d_sim" "--n=1024" "--arch=optimized")
+set_tests_properties(cli_smoke_optimized PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_tune "/root/repo/build/tools/fft3d_sim" "--n=1024" "--tune" "--arch=optimized")
+set_tests_properties(cli_smoke_tune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_refresh_closed "/root/repo/build/tools/fft3d_sim" "--n=1024" "--page=closed" "--refresh" "--arch=baseline")
+set_tests_properties(cli_smoke_refresh_closed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "sh" "-c" "/root/repo/build/tools/fft3d_trace_gen --pattern=colscan --n=1024 --ops=500 > /root/repo/build/tools/t.trace && /root/repo/build/tools/fft3d_sim --replay=/root/repo/build/tools/t.trace")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
