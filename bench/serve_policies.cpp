@@ -1,0 +1,70 @@
+//===- bench/serve_policies.cpp - Scheduler policies under load -----------===//
+//
+// Part of the fft3d project.
+//
+// Sweeps the offered load on the mixed 2048^2/4096^2 workload and
+// compares every scheduling policy's tail latency and SLO behaviour on
+// the identical arrival trace. The shape to expect: at low load all
+// policies look alike; as load approaches saturation FCFS's p99 blows up
+// on head-of-line blocking behind 4096^2 batches, SJF rescues the median
+// but not the tail, and vault-partitioned space-sharing - possible
+// because a kernel-bound job cannot use all 16 vaults' bandwidth -
+// holds the tail down until the device itself saturates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "serve/ServeSimulator.h"
+
+#include <iostream>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+int main() {
+  printHeader("Serving: scheduler policies under mixed tenant load",
+              SystemConfig::forProblemSize(2048));
+
+  const MemoryConfig Mem;
+  ServiceModel Model(Mem);
+  const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
+  const std::uint64_t Seed = 42;
+  const unsigned Jobs = 400;
+
+  ServeConfig Config;
+  Config.QueueCapacity = 64;
+  ServeSimulator Sim(Config, Model);
+
+  TableWriter Table({"rate", "policy", "done", "shed", "jobs/s", "p50 ms",
+                     "p95 ms", "p99 ms", "miss %"});
+  for (const double Rate : {40.0, 80.0, 120.0, 160.0}) {
+    TraceWorkload Load(generatePoissonTrace(Mix, Jobs, Rate, Seed, Model));
+    for (const PolicyKind Kind :
+         {PolicyKind::Fcfs, PolicyKind::Sjf, PolicyKind::PriorityAging,
+          PolicyKind::VaultPartition}) {
+      const auto Policy = createPolicy(Kind);
+      const ServeResult R = Sim.run(Load, *Policy);
+      const SloSummary &S = R.Summary;
+      Table.addRow({TableWriter::num(Rate, 0), R.PolicyName,
+                    TableWriter::num(S.Completed), TableWriter::num(S.Shed),
+                    TableWriter::num(S.ThroughputJobsPerSec, 1),
+                    TableWriter::num(S.P50LatencyMs, 2),
+                    TableWriter::num(S.P95LatencyMs, 2),
+                    TableWriter::num(S.P99LatencyMs, 2),
+                    TableWriter::percent(S.DeadlineMissRate)});
+    }
+    Table.addSeparator();
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nExpected shape: below ~80 jobs/s every policy completes\n"
+               "everything and the table differs only in tail latency. At\n"
+               "120+ jobs/s the single-job policies saturate (the mixed\n"
+               "mean service is ~10 ms) and shed load at the bounded\n"
+               "queue, while the 2-way vault partition keeps absorbing\n"
+               "the offered stream: a kernel-bound job leaves half the\n"
+               "device's bandwidth idle, so two jobs space-share it at\n"
+               "nearly full speed.\n";
+  return 0;
+}

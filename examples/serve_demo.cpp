@@ -1,0 +1,68 @@
+//===- examples/serve_demo.cpp - Serving-layer quickstart -----------------===//
+//
+// Part of the fft3d project.
+//
+// Minimal tour of src/serve/: generate a Poisson stream of mixed-size
+// FFT requests, run it through FCFS and vault-partitioned scheduling on
+// the same simulated device, and compare the tails. Self-verifies (like
+// every example) so ctest can run it end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeSimulator.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace fft3d;
+
+int main() {
+  // 1. The device: the calibrated 16-vault, 80 GB/s part. The service
+  //    model memoizes one pipeline measurement per (size, vault share).
+  const MemoryConfig Mem;
+  ServiceModel Model(Mem);
+
+  // 2. The tenants: urgent 2048^2 singles mixed with heavyweight 4096^2
+  //    batches, Poisson arrivals at 80 jobs/s, all derived from one seed.
+  const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
+  TraceWorkload Load(
+      generatePoissonTrace(Mix, /*NumJobs=*/120, /*RatePerSec=*/80.0,
+                           /*Seed=*/2026, Model));
+
+  // 3. The serving loop: bounded queue, two policies on the same trace.
+  ServeSimulator Sim(ServeConfig{}, Model);
+  const ServeResult Fcfs = Sim.run(Load, *createPolicy(PolicyKind::Fcfs));
+  const ServeResult Vault =
+      Sim.run(Load, *createPolicy(PolicyKind::VaultPartition));
+
+  TableWriter Table({"policy", "done", "p50 ms", "p99 ms", "miss %"});
+  for (const ServeResult *R : {&Fcfs, &Vault})
+    Table.addRow({R->PolicyName, TableWriter::num(R->Summary.Completed),
+                  TableWriter::num(R->Summary.P50LatencyMs, 2),
+                  TableWriter::num(R->Summary.P99LatencyMs, 2),
+                  TableWriter::percent(R->Summary.DeadlineMissRate)});
+  Table.print(std::cout);
+
+  // Self-verification: every request is answered, both runs replay the
+  // identical trace, and space-sharing must not worsen the tail - the
+  // serving layer's core claim.
+  bool Ok = true;
+  if (Fcfs.Summary.Offered != 120 || Vault.Summary.Offered != 120) {
+    std::printf("FAIL: requests lost (%llu vs %llu offered)\n",
+                static_cast<unsigned long long>(Fcfs.Summary.Offered),
+                static_cast<unsigned long long>(Vault.Summary.Offered));
+    Ok = false;
+  }
+  if (Vault.Summary.P99LatencyMs > Fcfs.Summary.P99LatencyMs) {
+    std::printf("FAIL: vault partitioning worsened p99 (%.2f > %.2f ms)\n",
+                Vault.Summary.P99LatencyMs, Fcfs.Summary.P99LatencyMs);
+    Ok = false;
+  }
+  if (Vault.PeakConcurrency < 2) {
+    std::printf("FAIL: partitions never ran concurrently\n");
+    Ok = false;
+  }
+  std::printf("%s\n", Ok ? "serve_demo: OK" : "serve_demo: FAILED");
+  return Ok ? 0 : 1;
+}

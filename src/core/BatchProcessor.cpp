@@ -84,6 +84,8 @@ BatchReport BatchProcessor::run(unsigned Frames) const {
          {&P1Write, true, Arch.WriteWindow, Pace,
           Kernel.pipelineFillTime()}});
     Report.OverlapGBps = Overlap.ThroughputGBps;
+    Report.OverlapRowHitRate = Overlap.RowHitRate;
+    Report.OverlapRowActivations = Overlap.RowActivations;
     // The overlapped stage lasts as long as its slowest member stream
     // needs for a full frame: infer from the combined achieved rate.
     // Each member stream moves one matrix; the stage rate per stream is

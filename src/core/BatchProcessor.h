@@ -40,6 +40,11 @@ struct BatchReport {
   Picos OverlapTime = 0;
   /// Combined memory traffic rate during the overlapped stage.
   double OverlapGBps = 0.0;
+  /// Row-buffer behaviour of the overlapped stage, where the four
+  /// concurrent streams contend for vault row buffers and the memory
+  /// scheduling policy (FR-FCFS vs FCFS) matters most.
+  double OverlapRowHitRate = 0.0;
+  std::uint64_t OverlapRowActivations = 0;
   /// End-to-end estimate for the batch.
   Picos TotalTime = 0;
   /// Frames per second at steady state.

@@ -1,0 +1,44 @@
+//===- serve/AdmissionController.cpp - Load shedding at the door ----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AdmissionController.h"
+
+using namespace fft3d;
+
+const char *fft3d::admissionDecisionName(AdmissionDecision D) {
+  switch (D) {
+  case AdmissionDecision::Admit:
+    return "admit";
+  case AdmissionDecision::ShedQueueFull:
+    return "shed-queue-full";
+  case AdmissionDecision::ShedInfeasible:
+    return "shed-infeasible";
+  }
+  return "?";
+}
+
+AdmissionDecision AdmissionController::decide(const JobRequest &Job,
+                                              const JobQueue &Queue,
+                                              Picos Now, Picos Backlog,
+                                              Picos EstService) {
+  if (Queue.full()) {
+    ++NumShedFull;
+    return AdmissionDecision::ShedQueueFull;
+  }
+  if (ShedInfeasibleEnabled && Job.hasDeadline() &&
+      Now + Backlog + EstService > Job.Deadline) {
+    ++NumShedInfeasible;
+    return AdmissionDecision::ShedInfeasible;
+  }
+  ++NumAdmitted;
+  return AdmissionDecision::Admit;
+}
+
+void AdmissionController::reset() {
+  NumAdmitted = 0;
+  NumShedFull = 0;
+  NumShedInfeasible = 0;
+}

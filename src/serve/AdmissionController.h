@@ -1,0 +1,73 @@
+//===- serve/AdmissionController.h - Load shedding at the door --*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides at arrival time whether a request enters the pending queue.
+/// Two shedding rules, both cheap enough to run per arrival:
+///
+///  - queue-full: the bounded queue is the backpressure signal; once it
+///    is full every new arrival is shed rather than growing an unbounded
+///    backlog (open-loop overload otherwise diverges);
+///  - infeasible-deadline (optional): if the backlog already guarantees
+///    the job will miss its deadline, shed it now - the tenant learns
+///    immediately instead of burning a machine slot on a doomed request.
+///
+/// The controller only decides; the simulator routes shed jobs to the
+/// SloTracker and (for closed-loop tenants) back to the workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_ADMISSIONCONTROLLER_H
+#define FFT3D_SERVE_ADMISSIONCONTROLLER_H
+
+#include "serve/JobQueue.h"
+#include "serve/JobRequest.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Outcome of an admission decision.
+enum class AdmissionDecision {
+  Admit,
+  /// Shed: the bounded queue is full.
+  ShedQueueFull,
+  /// Shed: backlog + service time already exceeds the job's deadline.
+  ShedInfeasible,
+};
+
+const char *admissionDecisionName(AdmissionDecision D);
+
+/// Per-arrival admission control with running counters.
+class AdmissionController {
+public:
+  /// \p ShedInfeasible enables the deadline-feasibility rule.
+  explicit AdmissionController(bool ShedInfeasible = false)
+      : ShedInfeasibleEnabled(ShedInfeasible) {}
+
+  /// Decides \p Job's fate. \p Backlog is the estimated time until the
+  /// machine could start this job (running remainder + queued service);
+  /// \p EstService its estimated service time on the full machine.
+  AdmissionDecision decide(const JobRequest &Job, const JobQueue &Queue,
+                           Picos Now, Picos Backlog, Picos EstService);
+
+  std::uint64_t admitted() const { return NumAdmitted; }
+  std::uint64_t shedQueueFull() const { return NumShedFull; }
+  std::uint64_t shedInfeasible() const { return NumShedInfeasible; }
+  std::uint64_t shedTotal() const { return NumShedFull + NumShedInfeasible; }
+
+  void reset();
+
+private:
+  bool ShedInfeasibleEnabled;
+  std::uint64_t NumAdmitted = 0;
+  std::uint64_t NumShedFull = 0;
+  std::uint64_t NumShedInfeasible = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_ADMISSIONCONTROLLER_H

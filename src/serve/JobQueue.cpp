@@ -1,0 +1,48 @@
+//===- serve/JobQueue.cpp - Bounded queue of pending requests -------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobQueue.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+JobQueue::JobQueue(std::size_t Capacity) : Cap(Capacity) {
+  if (Capacity == 0)
+    reportFatalError("job queue capacity must be positive");
+}
+
+void JobQueue::push(const JobRequest &Job) {
+  if (full())
+    reportFatalError("push into a full job queue (admission control must "
+                     "shed first)");
+  Pending.push_back(Job);
+}
+
+const JobRequest &JobQueue::at(std::size_t Index) const {
+  if (Index >= Pending.size())
+    reportFatalError("job queue index out of range");
+  return Pending[Index];
+}
+
+JobRequest JobQueue::take(std::size_t Index) {
+  if (Index >= Pending.size())
+    reportFatalError("job queue index out of range");
+  const JobRequest Job = Pending[Index];
+  Pending.erase(Pending.begin() + static_cast<std::ptrdiff_t>(Index));
+  return Job;
+}
+
+Picos JobQueue::oldestArrival() const {
+  return Pending.empty() ? 0 : Pending.front().Arrival;
+}
+
+std::uint64_t JobQueue::pendingElements() const {
+  std::uint64_t Total = 0;
+  for (const JobRequest &Job : Pending)
+    Total += Job.totalElements();
+  return Total;
+}

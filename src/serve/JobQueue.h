@@ -1,0 +1,64 @@
+//===- serve/JobQueue.h - Bounded queue of pending requests -----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pending-job buffer between admission control and the scheduler.
+/// Jobs sit in arrival order; policies inspect the whole queue and remove
+/// an arbitrary element (FCFS takes the front, SJF/priority pick by
+/// estimate), so the container is a deque with indexed removal rather
+/// than a plain FIFO. Capacity is fixed at construction - the admission
+/// controller, not the queue, decides what happens to the overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_JOBQUEUE_H
+#define FFT3D_SERVE_JOBQUEUE_H
+
+#include "serve/JobRequest.h"
+
+#include <cstddef>
+#include <deque>
+
+namespace fft3d {
+
+/// Bounded, arrival-ordered buffer of pending jobs.
+class JobQueue {
+public:
+  /// \p Capacity > 0: the maximum number of queued (not yet dispatched)
+  /// jobs.
+  explicit JobQueue(std::size_t Capacity);
+
+  std::size_t capacity() const { return Cap; }
+  std::size_t size() const { return Pending.size(); }
+  bool empty() const { return Pending.empty(); }
+  bool full() const { return Pending.size() >= Cap; }
+
+  /// Appends an admitted job. Aborts if the queue is full (the admission
+  /// controller must have shed it instead).
+  void push(const JobRequest &Job);
+
+  /// The pending jobs, oldest first. Indices are stable until the next
+  /// push/take.
+  const JobRequest &at(std::size_t Index) const;
+
+  /// Removes and returns the job at \p Index (0 = oldest).
+  JobRequest take(std::size_t Index);
+
+  /// Arrival time of the oldest pending job (0 when empty).
+  Picos oldestArrival() const;
+
+  /// Sum of per-frame elements over all pending jobs - a cheap backlog
+  /// proxy for admission decisions.
+  std::uint64_t pendingElements() const;
+
+private:
+  std::size_t Cap;
+  std::deque<JobRequest> Pending;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_JOBQUEUE_H

@@ -1,0 +1,19 @@
+//===- serve/JobRequest.cpp - One tenant's 2D FFT request -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobRequest.h"
+
+using namespace fft3d;
+
+const char *fft3d::jobPrecisionName(JobPrecision P) {
+  switch (P) {
+  case JobPrecision::Fp32:
+    return "fp32";
+  case JobPrecision::Fp16:
+    return "fp16";
+  }
+  return "?";
+}

@@ -1,0 +1,69 @@
+//===- serve/JobRequest.h - One tenant's 2D FFT request ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of work the serving layer schedules: one tenant asks for an
+/// N x N 2D FFT (optionally a multi-frame batch of them) at a given
+/// precision, with a priority class and an optional completion deadline.
+/// Requests are pure data - service-time estimation lives in
+/// serve/ServiceModel, scheduling in serve/Scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_JOBREQUEST_H
+#define FFT3D_SERVE_JOBREQUEST_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Element precision of a request. The hardware streams 64-bit complex
+/// words; half precision packs two elements per word, halving the memory
+/// traffic of both phases.
+enum class JobPrecision { Fp32, Fp16 };
+
+const char *jobPrecisionName(JobPrecision P);
+
+/// One 2D-FFT service request.
+struct JobRequest {
+  /// Unique, monotonically increasing id (assigned by the workload
+  /// generator; also the FCFS tiebreaker).
+  std::uint64_t Id = 0;
+
+  /// Problem size: an N x N complex matrix per frame. Power of two.
+  std::uint64_t N = 2048;
+
+  /// Frames in the request (>= 1); multi-frame requests pipeline through
+  /// the double-buffered batch path.
+  unsigned Frames = 1;
+
+  JobPrecision Precision = JobPrecision::Fp32;
+
+  /// Priority class; SMALLER values are MORE urgent (0 = highest).
+  unsigned Priority = 1;
+
+  /// Absolute arrival timestamp.
+  Picos Arrival = 0;
+
+  /// Absolute completion deadline; 0 means "no deadline".
+  Picos Deadline = 0;
+
+  /// Issuing client, for closed-loop workloads (0 for open-loop traces).
+  std::uint64_t ClientId = 0;
+
+  /// Complex elements the request moves per phase (frames x N x N).
+  std::uint64_t totalElements() const {
+    return static_cast<std::uint64_t>(Frames) * N * N;
+  }
+
+  bool hasDeadline() const { return Deadline != 0; }
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_JOBREQUEST_H

@@ -1,0 +1,151 @@
+//===- serve/Scheduler.cpp - Pluggable job scheduling policies ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Scheduler.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+const char *fft3d::policyKindName(PolicyKind Kind) {
+  switch (Kind) {
+  case PolicyKind::Fcfs:
+    return "fcfs";
+  case PolicyKind::Sjf:
+    return "sjf";
+  case PolicyKind::PriorityAging:
+    return "prio-aging";
+  case PolicyKind::VaultPartition:
+    return "vault-part";
+  }
+  return "?";
+}
+
+namespace {
+
+/// FCFS on the whole machine: dispatch the oldest job when idle.
+class FcfsPolicy final : public SchedulerPolicy {
+public:
+  const char *name() const override { return policyKindName(PolicyKind::Fcfs); }
+
+  std::optional<DispatchDecision>
+  selectNext(const JobQueue &Queue, unsigned FreeVaults,
+             unsigned TotalVaults, Picos, const ServiceModel &) override {
+    if (Queue.empty() || FreeVaults < TotalVaults)
+      return std::nullopt;
+    return DispatchDecision{0, TotalVaults};
+  }
+};
+
+/// Shortest estimated full-machine service time first (non-preemptive).
+class SjfPolicy final : public SchedulerPolicy {
+public:
+  const char *name() const override { return policyKindName(PolicyKind::Sjf); }
+
+  std::optional<DispatchDecision>
+  selectNext(const JobQueue &Queue, unsigned FreeVaults,
+             unsigned TotalVaults, Picos,
+             const ServiceModel &Model) override {
+    if (Queue.empty() || FreeVaults < TotalVaults)
+      return std::nullopt;
+    std::size_t Best = 0;
+    Picos BestTime = Model.fullMachineServiceTime(Queue.at(0));
+    for (std::size_t I = 1; I != Queue.size(); ++I) {
+      const Picos Time = Model.fullMachineServiceTime(Queue.at(I));
+      // Strict < keeps ties in arrival order.
+      if (Time < BestTime) {
+        Best = I;
+        BestTime = Time;
+      }
+    }
+    return DispatchDecision{Best, TotalVaults};
+  }
+};
+
+/// Smallest priority value first; urgency grows by one class per
+/// AgingQuantum of waiting, so a starving background job eventually
+/// outranks fresh foreground traffic.
+class PriorityAgingPolicy final : public SchedulerPolicy {
+public:
+  explicit PriorityAgingPolicy(Picos AgingQuantum) : Quantum(AgingQuantum) {
+    if (Quantum == 0)
+      reportFatalError("aging quantum must be positive");
+  }
+
+  const char *name() const override {
+    return policyKindName(PolicyKind::PriorityAging);
+  }
+
+  std::optional<DispatchDecision>
+  selectNext(const JobQueue &Queue, unsigned FreeVaults,
+             unsigned TotalVaults, Picos Now,
+             const ServiceModel &) override {
+    if (Queue.empty() || FreeVaults < TotalVaults)
+      return std::nullopt;
+    std::size_t Best = 0;
+    double BestUrgency = effective(Queue.at(0), Now);
+    for (std::size_t I = 1; I != Queue.size(); ++I) {
+      const double Urgency = effective(Queue.at(I), Now);
+      if (Urgency < BestUrgency) {
+        Best = I;
+        BestUrgency = Urgency;
+      }
+    }
+    return DispatchDecision{Best, TotalVaults};
+  }
+
+private:
+  double effective(const JobRequest &Job, Picos Now) const {
+    const Picos Waited = Now >= Job.Arrival ? Now - Job.Arrival : 0;
+    return static_cast<double>(Job.Priority) -
+           static_cast<double>(Waited) / static_cast<double>(Quantum);
+  }
+
+  Picos Quantum;
+};
+
+/// Equal vault shares, FCFS within: up to P jobs run concurrently, each
+/// on TotalVaults/P vaults with its own block plan.
+class VaultPartitionPolicy final : public SchedulerPolicy {
+public:
+  explicit VaultPartitionPolicy(unsigned Partitions) : Parts(Partitions) {
+    if (Parts == 0)
+      reportFatalError("partition count must be positive");
+  }
+
+  const char *name() const override {
+    return policyKindName(PolicyKind::VaultPartition);
+  }
+
+  std::optional<DispatchDecision>
+  selectNext(const JobQueue &Queue, unsigned FreeVaults,
+             unsigned TotalVaults, Picos, const ServiceModel &) override {
+    const unsigned Share = std::max(1u, TotalVaults / Parts);
+    if (Queue.empty() || FreeVaults < Share)
+      return std::nullopt;
+    return DispatchDecision{0, Share};
+  }
+
+private:
+  unsigned Parts;
+};
+
+} // namespace
+
+std::unique_ptr<SchedulerPolicy>
+fft3d::createPolicy(PolicyKind Kind, const PolicyOptions &Options) {
+  switch (Kind) {
+  case PolicyKind::Fcfs:
+    return std::make_unique<FcfsPolicy>();
+  case PolicyKind::Sjf:
+    return std::make_unique<SjfPolicy>();
+  case PolicyKind::PriorityAging:
+    return std::make_unique<PriorityAgingPolicy>(Options.AgingQuantum);
+  case PolicyKind::VaultPartition:
+    return std::make_unique<VaultPartitionPolicy>(Options.Partitions);
+  }
+  reportFatalError("unknown policy kind");
+}

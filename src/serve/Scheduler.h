@@ -1,0 +1,88 @@
+//===- serve/Scheduler.h - Pluggable job scheduling policies ----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides which pending job runs next and on how many vaults. The
+/// simulator calls selectNext() after every arrival and completion until
+/// the policy declines; each grant is a (queue index, vault share) pair.
+///
+/// Time-sharing policies (FCFS, SJF, priority-with-aging) run one job at
+/// a time on the whole device: one streaming-kernel pair, all n_v vaults,
+/// the configuration the paper evaluates. The space-sharing policy
+/// partitions the vaults into equal shares and runs up to P jobs
+/// concurrently, each with its own Eq. 1 block plan for its share -
+/// profitable exactly when the kernel's stream rate, not vault
+/// bandwidth, bounds a full-machine job, so a share serves a job at
+/// nearly full speed while the queue drains P at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_SCHEDULER_H
+#define FFT3D_SERVE_SCHEDULER_H
+
+#include "serve/JobQueue.h"
+#include "serve/ServiceModel.h"
+
+#include <memory>
+#include <optional>
+
+namespace fft3d {
+
+/// The built-in policies.
+enum class PolicyKind {
+  /// First come, first served, whole machine per job.
+  Fcfs,
+  /// Shortest (estimated full-machine service time) first.
+  Sjf,
+  /// Smallest priority value first; waiting jobs gain urgency over time
+  /// so low classes cannot starve.
+  PriorityAging,
+  /// Vault-partitioned space sharing: P equal vault shares, FCFS within.
+  VaultPartition,
+};
+
+const char *policyKindName(PolicyKind Kind);
+
+/// One scheduling grant.
+struct DispatchDecision {
+  /// Index into the pending queue (0 = oldest).
+  std::size_t QueueIndex = 0;
+  /// Vaults granted to the job.
+  unsigned Vaults = 0;
+};
+
+/// Interface all policies implement. Implementations must be
+/// deterministic: the same queue/machine state always yields the same
+/// grant (ties break by arrival order, then id).
+class SchedulerPolicy {
+public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Picks the next job to launch, or std::nullopt to leave the machine
+  /// as is. \p FreeVaults of \p TotalVaults are currently unused.
+  virtual std::optional<DispatchDecision>
+  selectNext(const JobQueue &Queue, unsigned FreeVaults,
+             unsigned TotalVaults, Picos Now, const ServiceModel &Model) = 0;
+};
+
+/// Tuning knobs for the built-in policies.
+struct PolicyOptions {
+  /// PriorityAging: waiting this long raises a job's urgency by one
+  /// whole priority class.
+  Picos AgingQuantum = 10 * PicosPerMilli;
+  /// VaultPartition: number of equal vault shares (>= 1).
+  unsigned Partitions = 2;
+};
+
+/// Constructs a policy instance.
+std::unique_ptr<SchedulerPolicy>
+createPolicy(PolicyKind Kind, const PolicyOptions &Options = PolicyOptions());
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_SCHEDULER_H

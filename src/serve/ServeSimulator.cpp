@@ -1,0 +1,128 @@
+//===- serve/ServeSimulator.cpp - Multi-tenant serving loop ---------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeSimulator.h"
+
+#include "sim/EventQueue.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace fft3d;
+
+ServeSimulator::ServeSimulator(const ServeConfig &Config,
+                               const ServiceModel &Model)
+    : Config(Config), Model(Model) {}
+
+namespace {
+
+/// Mutable state of one run, shared by the event callbacks.
+struct RunState {
+  EventQueue Events;
+  JobQueue Queue;
+  AdmissionController Admission;
+  SloTracker Tracker;
+  /// Vaults currently granted to running jobs.
+  unsigned BusyVaults = 0;
+  /// Completion times of running jobs, for the admission backlog
+  /// estimate.
+  std::map<std::uint64_t, Picos> Running;
+  unsigned PeakConcurrency = 0;
+
+  RunState(std::size_t QueueCapacity, bool ShedInfeasible)
+      : Queue(QueueCapacity), Admission(ShedInfeasible) {}
+};
+
+} // namespace
+
+ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
+  Load.reset();
+  RunState State(Config.QueueCapacity, Config.ShedInfeasible);
+  const unsigned TotalVaults = Model.totalVaults();
+
+  // The three mutually recursive event handlers.
+  std::function<void()> TrySchedule;
+  std::function<void(JobRequest)> Arrive;
+
+  auto ScheduleArrival = [&](const JobRequest &Job) {
+    State.Events.scheduleAt(Job.Arrival, [&, Job] { Arrive(Job); });
+  };
+
+  TrySchedule = [&] {
+    while (true) {
+      const Picos Now = State.Events.now();
+      const auto Decision = Policy.selectNext(
+          State.Queue, TotalVaults - State.BusyVaults, TotalVaults, Now,
+          Model);
+      if (!Decision)
+        return;
+      if (Decision->Vaults == 0 ||
+          Decision->Vaults > TotalVaults - State.BusyVaults)
+        reportFatalError("policy granted more vaults than are free");
+      const JobRequest Job = State.Queue.take(Decision->QueueIndex);
+      const Picos Service = Model.serviceTime(Job, Decision->Vaults);
+      State.BusyVaults += Decision->Vaults;
+      State.PeakConcurrency = std::max(
+          State.PeakConcurrency,
+          static_cast<unsigned>(State.Running.size()) + 1);
+      const Picos Complete = Now + Service;
+      State.Running.emplace(Job.Id, Complete);
+      const unsigned Vaults = Decision->Vaults;
+      State.Events.scheduleAt(Complete, [&, Job, Now, Vaults, Complete] {
+        State.BusyVaults -= Vaults;
+        State.Running.erase(Job.Id);
+        State.Tracker.recordCompletion({Job, Now, Complete, Vaults});
+        for (const JobRequest &Next :
+             Load.onResponse(Job, State.Events.now()))
+          ScheduleArrival(Next);
+        TrySchedule();
+      });
+    }
+  };
+
+  Arrive = [&](JobRequest Job) {
+    const Picos Now = State.Events.now();
+    // Backlog: time until the machine could plausibly start this job -
+    // running remainders plus the queued jobs' full-machine estimates.
+    Picos Backlog = 0;
+    for (const auto &[Id, Complete] : State.Running)
+      Backlog += Complete > Now ? Complete - Now : 0;
+    for (std::size_t I = 0; I != State.Queue.size(); ++I)
+      Backlog += Model.fullMachineServiceTime(State.Queue.at(I));
+    const Picos EstService = Model.fullMachineServiceTime(Job);
+
+    const AdmissionDecision Decision =
+        State.Admission.decide(Job, State.Queue, Now, Backlog, EstService);
+    if (Decision == AdmissionDecision::Admit) {
+      State.Queue.push(Job);
+      TrySchedule();
+    } else {
+      State.Tracker.recordShed(Job, Decision);
+      // A shed is still a response: closed-loop clients move on.
+      for (const JobRequest &Next : Load.onResponse(Job, Now))
+        ScheduleArrival(Next);
+    }
+  };
+
+  for (const JobRequest &Job : Load.initialJobs())
+    ScheduleArrival(Job);
+  State.Events.run();
+
+  if (State.BusyVaults != 0 || !State.Running.empty() ||
+      !State.Queue.empty())
+    reportFatalError("serving run drained with work still in flight");
+
+  ServeResult Result;
+  Result.PolicyName = Policy.name();
+  Result.EndTime = State.Events.now();
+  Result.Summary = State.Tracker.summarize(Result.EndTime);
+  Result.Tracker = State.Tracker;
+  Result.ShedQueueFull = State.Admission.shedQueueFull();
+  Result.ShedInfeasible = State.Admission.shedInfeasible();
+  Result.PeakConcurrency = State.PeakConcurrency;
+  return Result;
+}

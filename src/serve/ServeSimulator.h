@@ -1,0 +1,76 @@
+//===- serve/ServeSimulator.h - Multi-tenant serving loop -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving control loop, run as a discrete-event simulation on the
+/// shared sim EventQueue: arrivals pass admission control into the
+/// bounded JobQueue; after every arrival and completion the scheduler
+/// policy is offered the machine until it declines; dispatched jobs
+/// occupy their vault share for the ServiceModel's estimated service
+/// time; completions notify the workload (closing the loop for
+/// closed-loop tenants) and the SloTracker.
+///
+/// Everything downstream of the (workload, policy, seed) triple is
+/// deterministic: events at equal timestamps run in insertion order and
+/// all estimates are memoized measurements, so two runs of the same
+/// configuration produce byte-identical reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_SERVESIMULATOR_H
+#define FFT3D_SERVE_SERVESIMULATOR_H
+
+#include "serve/AdmissionController.h"
+#include "serve/Scheduler.h"
+#include "serve/SloTracker.h"
+#include "serve/Workload.h"
+
+#include <string>
+
+namespace fft3d {
+
+/// Serving-layer configuration (the device itself comes from the
+/// ServiceModel).
+struct ServeConfig {
+  /// Bounded pending-queue depth (backpressure point).
+  std::size_t QueueCapacity = 64;
+  /// Shed jobs whose deadline is already infeasible at arrival.
+  bool ShedInfeasible = false;
+};
+
+/// Outcome of one (workload, policy) run.
+struct ServeResult {
+  std::string PolicyName;
+  SloSummary Summary;
+  /// Full per-job record, for tests and detailed reporting.
+  SloTracker Tracker;
+  /// Simulation time when the last event ran.
+  Picos EndTime = 0;
+  std::uint64_t ShedQueueFull = 0;
+  std::uint64_t ShedInfeasible = 0;
+  /// Peak number of concurrently running jobs (1 for the time-sharing
+  /// policies; up to P under vault partitioning).
+  unsigned PeakConcurrency = 0;
+};
+
+/// Runs workloads against scheduling policies on one simulated device.
+class ServeSimulator {
+public:
+  ServeSimulator(const ServeConfig &Config, const ServiceModel &Model);
+
+  /// Simulates \p Workload under \p Policy to completion. Resets the
+  /// workload first, so the same workload object can be replayed across
+  /// policies.
+  ServeResult run(Workload &Load, SchedulerPolicy &Policy);
+
+private:
+  ServeConfig Config;
+  const ServiceModel &Model;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_SERVESIMULATOR_H

@@ -1,0 +1,71 @@
+//===- serve/ServiceModel.cpp - Per-job service-time estimation -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServiceModel.h"
+
+#include "core/BatchProcessor.h"
+#include "fft/Complex.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+Picos ServiceEstimate::totalTime(unsigned Frames) const {
+  if (Frames <= 1)
+    return 2 * PhaseTime;
+  const Picos Steady = std::max(PhaseTime, OverlapTime);
+  return 2 * PhaseTime + static_cast<Picos>(Frames - 1) * Steady;
+}
+
+ServiceModel::ServiceModel(const MemoryConfig &Mem,
+                           std::uint64_t MaxSimBytes,
+                           std::uint64_t MaxSimOps)
+    : Mem(Mem), MaxSimBytes(MaxSimBytes), MaxSimOps(MaxSimOps) {}
+
+const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
+                                              unsigned Vaults) const {
+  if (Vaults == 0 || Vaults > Mem.Geo.NumVaults)
+    reportFatalError("vault share out of range");
+  const auto Key = std::make_pair(N, Vaults);
+  const auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  // A share is a vault-disjoint slice of the device, so the measurement
+  // must run on a device of that size: Memory3D's aggregate bandwidth is
+  // NumVaults x the per-vault beat rate, and a 4-vault share really does
+  // pace a job at 20 GB/s, not 80. The address mapping needs a
+  // power-of-two vault count, so odd shares measure conservatively on
+  // the largest power of two that fits.
+  unsigned DeviceVaults = 1;
+  while (2 * DeviceVaults <= Vaults)
+    DeviceVaults *= 2;
+
+  SystemConfig Config = SystemConfig::forProblemSize(N);
+  Config.Mem = Mem;
+  Config.Mem.Geo.NumVaults = DeviceVaults;
+  Config.Optimized.VaultsParallel = DeviceVaults;
+  Config.MaxSimBytesPerDirection = MaxSimBytes;
+  Config.MaxSimOpsPerDirection = MaxSimOps;
+
+  const BatchReport Report = BatchProcessor(Config).run(2);
+  ServiceEstimate Est;
+  Est.PhaseTime = Report.PhaseTime;
+  Est.OverlapTime = Report.OverlapTime;
+  Est.Plan = LayoutPlanner(Config.Mem.Geo, Mem.Time, ElementBytes)
+                 .plan(N, DeviceVaults);
+  return Cache.emplace(Key, Est).first->second;
+}
+
+Picos ServiceModel::serviceTime(const JobRequest &Job,
+                                unsigned Vaults) const {
+  const Picos Fp32Time = estimate(Job.N, Vaults).totalTime(Job.Frames);
+  // Half-precision packs two elements per 64-bit stream word; these
+  // phases are byte-paced (kernel stream rate and vault bandwidth are
+  // both in bytes), so the request finishes in half the time.
+  return Job.Precision == JobPrecision::Fp16 ? Fp32Time / 2 : Fp32Time;
+}

@@ -1,0 +1,94 @@
+//===- serve/ServiceModel.h - Per-job service-time estimation ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps a JobRequest onto the measured performance of the optimized
+/// architecture. For every distinct (problem size, vault share) the model
+/// runs the event-driven pipeline measurement once - a LayoutPlanner plan
+/// for that share plus the BatchProcessor's lone-phase / overlapped-stage
+/// simulation - and memoizes the result, so scheduling thousands of jobs
+/// costs a handful of simulations.
+///
+/// A job on a v-vault partition gets the block plan Eq. 1 produces for
+/// n_v = v; its per-frame time comes from the same simulation the batch
+/// ablation uses. Multi-frame requests assemble the pipelined batch
+/// timing; fp16 requests halve the streamed bytes (two elements per
+/// 64-bit word), which halves the time of these memory-paced phases.
+///
+/// Partitions are assumed vault-disjoint: each vault has its own
+/// controller, row buffers and TSV bundle, so co-running jobs on
+/// different vault sets do not steal each other's activations. Shared
+/// front-end effects (link arbitration, refresh alignment) are outside
+/// the model; docs/Serving.md discusses the error this introduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_SERVICEMODEL_H
+#define FFT3D_SERVE_SERVICEMODEL_H
+
+#include "core/SystemConfig.h"
+#include "layout/LayoutPlanner.h"
+#include "serve/JobRequest.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace fft3d {
+
+/// Memoized per-configuration measurement.
+struct ServiceEstimate {
+  /// One phase alone on the share (fill/drain stages of the pipeline).
+  Picos PhaseTime = 0;
+  /// The overlapped steady stage (column phase of frame i + row phase of
+  /// frame i+1 sharing the partition's vaults).
+  Picos OverlapTime = 0;
+  /// Eq. 1 block plan for the share.
+  BlockPlan Plan;
+
+  /// End-to-end time of an F-frame request at fp32:
+  ///   2*PhaseTime                       for F = 1,
+  ///   2*PhaseTime + (F-1)*max(PhaseTime, OverlapTime)  otherwise.
+  Picos totalTime(unsigned Frames) const;
+};
+
+/// Estimates service times for jobs on vault shares of one device.
+class ServiceModel {
+public:
+  /// \p Mem describes the whole device; shares are expressed as a number
+  /// of vaults <= Mem.Geo.NumVaults. \p MaxSimBytes / \p MaxSimOps bound
+  /// each underlying phase simulation (smaller than the defaults: the
+  /// serving layer needs dozens of estimates, not one deep measurement).
+  explicit ServiceModel(const MemoryConfig &Mem,
+                        std::uint64_t MaxSimBytes = 8ull << 20,
+                        std::uint64_t MaxSimOps = 50000);
+
+  unsigned totalVaults() const { return Mem.Geo.NumVaults; }
+
+  /// The memoized measurement for (\p N, \p Vaults). Runs the simulations
+  /// on first use. \p Vaults in [1, totalVaults()].
+  const ServiceEstimate &estimate(std::uint64_t N, unsigned Vaults) const;
+
+  /// Service time of \p Job when granted \p Vaults vaults.
+  Picos serviceTime(const JobRequest &Job, unsigned Vaults) const;
+
+  /// Shorthand: service time on the whole device (used for deadline
+  /// assignment and SJF ranking).
+  Picos fullMachineServiceTime(const JobRequest &Job) const {
+    return serviceTime(Job, totalVaults());
+  }
+
+private:
+  MemoryConfig Mem;
+  std::uint64_t MaxSimBytes;
+  std::uint64_t MaxSimOps;
+  mutable std::map<std::pair<std::uint64_t, unsigned>, ServiceEstimate>
+      Cache;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_SERVICEMODEL_H

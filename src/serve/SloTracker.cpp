@@ -1,0 +1,99 @@
+//===- serve/SloTracker.cpp - Per-policy latency/SLO accounting -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SloTracker.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace fft3d;
+
+void SloTracker::recordCompletion(const JobOutcome &Outcome) {
+  if (Outcome.CompleteTime < Outcome.DispatchTime ||
+      Outcome.DispatchTime < Outcome.Job.Arrival)
+    reportFatalError("job outcome timestamps out of order");
+  Outcomes.push_back(Outcome);
+}
+
+void SloTracker::recordShed(const JobRequest &Job, AdmissionDecision Why) {
+  if (Why == AdmissionDecision::Admit)
+    reportFatalError("recordShed called with an admit decision");
+  ShedJobs.push_back(Job);
+}
+
+double SloTracker::percentile(std::vector<double> Samples, double Fraction) {
+  if (Samples.empty())
+    return 0.0;
+  if (Fraction <= 0.0 || Fraction > 1.0)
+    reportFatalError("percentile fraction must be in (0, 1]");
+  std::sort(Samples.begin(), Samples.end());
+  // Nearest rank: ceil(F * n), 1-based.
+  const auto Rank = static_cast<std::size_t>(
+      std::ceil(Fraction * static_cast<double>(Samples.size())));
+  return Samples[std::max<std::size_t>(Rank, 1) - 1];
+}
+
+static double picosToMillis(Picos Duration) {
+  return static_cast<double>(Duration) / static_cast<double>(PicosPerMilli);
+}
+
+SloSummary SloTracker::summarize(Picos End) const {
+  SloSummary S;
+  S.Completed = Outcomes.size();
+  S.Shed = ShedJobs.size();
+  S.Offered = S.Completed + S.Shed;
+  if (S.Offered == 0)
+    return S;
+  S.ShedRate = static_cast<double>(S.Shed) / static_cast<double>(S.Offered);
+
+  Picos FirstArrival = End;
+  std::vector<double> LatencyMs, QueueMs;
+  double ServiceSumMs = 0.0;
+  std::uint64_t WithDeadline = 0, Missed = 0;
+  for (const JobOutcome &O : Outcomes) {
+    FirstArrival = std::min(FirstArrival, O.Job.Arrival);
+    LatencyMs.push_back(picosToMillis(O.totalLatency()));
+    QueueMs.push_back(picosToMillis(O.queueingDelay()));
+    ServiceSumMs += picosToMillis(O.serviceTime());
+    if (O.Job.hasDeadline()) {
+      ++WithDeadline;
+      if (O.missedDeadline())
+        ++Missed;
+    }
+  }
+  for (const JobRequest &J : ShedJobs) {
+    FirstArrival = std::min(FirstArrival, J.Arrival);
+    if (J.hasDeadline()) {
+      ++WithDeadline;
+      ++Missed;
+    }
+  }
+
+  if (S.Completed != 0) {
+    const Picos Makespan = End > FirstArrival ? End - FirstArrival : 0;
+    if (Makespan != 0)
+      S.ThroughputJobsPerSec = static_cast<double>(S.Completed) /
+                               (static_cast<double>(Makespan) /
+                                static_cast<double>(PicosPerSecond));
+    S.P50LatencyMs = percentile(LatencyMs, 0.50);
+    S.P95LatencyMs = percentile(LatencyMs, 0.95);
+    S.P99LatencyMs = percentile(LatencyMs, 0.99);
+    S.P50QueueMs = percentile(QueueMs, 0.50);
+    S.P99QueueMs = percentile(QueueMs, 0.99);
+    S.MeanServiceMs = ServiceSumMs / static_cast<double>(S.Completed);
+  }
+  if (WithDeadline != 0)
+    S.DeadlineMissRate =
+        static_cast<double>(Missed) / static_cast<double>(WithDeadline);
+  return S;
+}
+
+void SloTracker::reset() {
+  Outcomes.clear();
+  ShedJobs.clear();
+}

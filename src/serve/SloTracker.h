@@ -1,0 +1,97 @@
+//===- serve/SloTracker.h - Per-policy latency/SLO accounting ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records every job outcome (completion or shed) during a serving run
+/// and reduces them to the quantities a capacity planner compares across
+/// policies: throughput, exact p50/p95/p99 of queueing and end-to-end
+/// latency, deadline-miss rate and shed rate. Percentiles use the
+/// nearest-rank definition over the exact sample set (the runs are a few
+/// hundred to a few thousand jobs - no need for the bucketed Histogram),
+/// so results are deterministic and unit-testable.
+///
+/// A shed job counts as a deadline miss when it carried a deadline: from
+/// the tenant's point of view rejection and lateness are both SLO
+/// violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_SLOTRACKER_H
+#define FFT3D_SERVE_SLOTRACKER_H
+
+#include "serve/AdmissionController.h"
+#include "serve/JobRequest.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// One finished job with its lifecycle timestamps.
+struct JobOutcome {
+  JobRequest Job;
+  /// When the scheduler launched it.
+  Picos DispatchTime = 0;
+  /// When it finished.
+  Picos CompleteTime = 0;
+  /// Vault share it ran on.
+  unsigned Vaults = 0;
+
+  Picos queueingDelay() const { return DispatchTime - Job.Arrival; }
+  Picos serviceTime() const { return CompleteTime - DispatchTime; }
+  Picos totalLatency() const { return CompleteTime - Job.Arrival; }
+  bool missedDeadline() const {
+    return Job.hasDeadline() && CompleteTime > Job.Deadline;
+  }
+};
+
+/// Aggregated run summary (times in milliseconds where not stated).
+struct SloSummary {
+  std::uint64_t Offered = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t Shed = 0;
+  /// Completed jobs per second over the run's makespan.
+  double ThroughputJobsPerSec = 0.0;
+  double P50LatencyMs = 0.0;
+  double P95LatencyMs = 0.0;
+  double P99LatencyMs = 0.0;
+  double P50QueueMs = 0.0;
+  double P99QueueMs = 0.0;
+  double MeanServiceMs = 0.0;
+  /// (late completions + shed jobs with deadlines) / jobs with deadlines.
+  double DeadlineMissRate = 0.0;
+  double ShedRate = 0.0;
+};
+
+/// Collects outcomes for one (policy, workload) run.
+class SloTracker {
+public:
+  void recordCompletion(const JobOutcome &Outcome);
+  void recordShed(const JobRequest &Job, AdmissionDecision Why);
+
+  const std::vector<JobOutcome> &completions() const { return Outcomes; }
+  std::uint64_t completed() const { return Outcomes.size(); }
+  std::uint64_t shed() const { return ShedJobs.size(); }
+
+  /// Nearest-rank percentile of \p Samples (need not be sorted):
+  /// the smallest sample S such that at least Fraction of samples <= S.
+  /// \p Fraction in (0, 1]; returns 0 for an empty set.
+  static double percentile(std::vector<double> Samples, double Fraction);
+
+  /// Reduces the recorded outcomes. \p End is the run's end time (last
+  /// event); throughput is completions over (End - first arrival).
+  SloSummary summarize(Picos End) const;
+
+  void reset();
+
+private:
+  std::vector<JobOutcome> Outcomes;
+  std::vector<JobRequest> ShedJobs;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_SLOTRACKER_H

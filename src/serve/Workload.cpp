@@ -1,0 +1,154 @@
+//===- serve/Workload.cpp - Synthetic request generators ------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Workload.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+
+using namespace fft3d;
+
+std::vector<JobTemplate> fft3d::mixedWorkloadTemplates() {
+  // Urgent interactive 2048^2 singles vs heavyweight 4096^2 batches: the
+  // head-of-line-blocking mix where policy choice matters most. Both
+  // carry deadlines so miss rates are comparable across classes.
+  return {
+      {2048, 1, JobPrecision::Fp32, /*Priority=*/0, /*Weight=*/3.0,
+       /*DeadlineSlack=*/8.0},
+      {2048, 1, JobPrecision::Fp16, /*Priority=*/1, /*Weight=*/1.0,
+       /*DeadlineSlack=*/8.0},
+      {4096, 1, JobPrecision::Fp32, /*Priority=*/2, /*Weight=*/1.5,
+       /*DeadlineSlack=*/6.0},
+      {4096, 2, JobPrecision::Fp32, /*Priority=*/2, /*Weight=*/0.5,
+       /*DeadlineSlack=*/6.0},
+  };
+}
+
+namespace {
+
+/// Weighted template draw.
+const JobTemplate &drawTemplate(const std::vector<JobTemplate> &Mix,
+                                Rng &Random) {
+  if (Mix.empty())
+    reportFatalError("workload mix must not be empty");
+  double Total = 0.0;
+  for (const JobTemplate &T : Mix) {
+    if (T.Weight <= 0.0)
+      reportFatalError("workload template weight must be positive");
+    Total += T.Weight;
+  }
+  double Pick = Random.nextDouble() * Total;
+  for (const JobTemplate &T : Mix) {
+    Pick -= T.Weight;
+    if (Pick < 0.0)
+      return T;
+  }
+  return Mix.back();
+}
+
+/// Exponential draw with the given mean (picoseconds).
+Picos exponential(Rng &Random, double MeanPicos) {
+  // Clamp the uniform away from 1.0 so log() stays finite.
+  const double U = std::min(Random.nextDouble(), 0.999999999);
+  return static_cast<Picos>(-MeanPicos * std::log(1.0 - U));
+}
+
+JobRequest instantiate(const JobTemplate &T, std::uint64_t Id, Picos Arrival,
+                       const ServiceModel &Model) {
+  JobRequest Job;
+  Job.Id = Id;
+  Job.N = T.N;
+  Job.Frames = T.Frames;
+  Job.Precision = T.Precision;
+  Job.Priority = T.Priority;
+  Job.Arrival = Arrival;
+  if (T.DeadlineSlack > 0.0) {
+    const Picos Est = Model.fullMachineServiceTime(Job);
+    Job.Deadline = Arrival + static_cast<Picos>(
+                                 T.DeadlineSlack * static_cast<double>(Est));
+  }
+  return Job;
+}
+
+} // namespace
+
+std::vector<JobRequest>
+fft3d::generatePoissonTrace(const std::vector<JobTemplate> &Mix,
+                            unsigned NumJobs, double RatePerSec,
+                            std::uint64_t Seed, const ServiceModel &Model) {
+  if (RatePerSec <= 0.0)
+    reportFatalError("arrival rate must be positive");
+  Rng Random(Seed);
+  const double MeanGapPicos =
+      static_cast<double>(PicosPerSecond) / RatePerSec;
+  std::vector<JobRequest> Trace;
+  Trace.reserve(NumJobs);
+  Picos Now = 0;
+  for (unsigned I = 0; I != NumJobs; ++I) {
+    Now += exponential(Random, MeanGapPicos);
+    Trace.push_back(instantiate(drawTemplate(Mix, Random), I + 1, Now, Model));
+  }
+  return Trace;
+}
+
+ClosedLoopWorkload::ClosedLoopWorkload(std::vector<JobTemplate> Mix,
+                                       unsigned NumClients,
+                                       unsigned JobsPerClient,
+                                       Picos MeanThinkTime,
+                                       std::uint64_t Seed,
+                                       const ServiceModel &Model)
+    : Mix(std::move(Mix)), NumClients(NumClients),
+      JobsPerClient(JobsPerClient), MeanThinkTime(MeanThinkTime), Seed(Seed),
+      Model(Model) {
+  if (NumClients == 0)
+    reportFatalError("closed loop needs at least one client");
+  reset();
+}
+
+void ClosedLoopWorkload::reset() {
+  ClientRngs.clear();
+  ClientRngs.reserve(NumClients);
+  // Decorrelated per-client streams: a client's think/draw sequence
+  // depends only on its own response order, so different policies replay
+  // each client identically up to response timing.
+  for (unsigned C = 0; C != NumClients; ++C)
+    ClientRngs.emplace_back(Seed + 0x9E3779B97F4A7C15ULL * (C + 1));
+  Issued.assign(NumClients, 0);
+  NextId = 1;
+}
+
+Picos ClosedLoopWorkload::thinkTime(std::uint64_t ClientId) {
+  return exponential(ClientRngs[static_cast<std::size_t>(ClientId - 1)],
+                     static_cast<double>(MeanThinkTime));
+}
+
+JobRequest ClosedLoopWorkload::makeJob(std::uint64_t ClientId,
+                                       Picos Arrival) {
+  Rng &Random = ClientRngs[static_cast<std::size_t>(ClientId - 1)];
+  JobRequest Job = instantiate(drawTemplate(Mix, Random), NextId++, Arrival,
+                               Model);
+  Job.ClientId = ClientId;
+  ++Issued[static_cast<std::size_t>(ClientId - 1)];
+  return Job;
+}
+
+std::vector<JobRequest> ClosedLoopWorkload::initialJobs() {
+  std::vector<JobRequest> Jobs;
+  Jobs.reserve(NumClients);
+  for (unsigned C = 1; C <= NumClients; ++C)
+    Jobs.push_back(makeJob(C, thinkTime(C)));
+  return Jobs;
+}
+
+std::vector<JobRequest> ClosedLoopWorkload::onResponse(const JobRequest &Job,
+                                                       Picos Now) {
+  if (Job.ClientId == 0 || Job.ClientId > NumClients)
+    return {};
+  if (Issued[static_cast<std::size_t>(Job.ClientId - 1)] >= JobsPerClient)
+    return {};
+  return {makeJob(Job.ClientId, Now + thinkTime(Job.ClientId))};
+}

@@ -1,0 +1,138 @@
+//===- serve/Workload.h - Synthetic request generators ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Produces the request streams the serving simulator schedules. Two
+/// classic shapes:
+///
+///  - open loop: arrivals are a Poisson process at a fixed offered rate,
+///    independent of how the system is doing - the overload-revealing
+///    model (generatePoissonTrace / TraceWorkload);
+///  - closed loop: a fixed population of clients, each thinking for an
+///    exponential pause after every response before issuing its next
+///    request - arrivals self-throttle to the system's speed
+///    (ClosedLoopWorkload).
+///
+/// Jobs are drawn from a weighted mix of templates (size, frames,
+/// precision, priority, deadline slack). All randomness flows through
+/// support/Random's seeded generator, so a (mix, seed) pair always
+/// produces the identical stream - the property the `--seed` CLI flag
+/// and the byte-identical-output acceptance test rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_WORKLOAD_H
+#define FFT3D_SERVE_WORKLOAD_H
+
+#include "serve/JobRequest.h"
+#include "serve/ServiceModel.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// One entry of the workload mix.
+struct JobTemplate {
+  std::uint64_t N = 2048;
+  unsigned Frames = 1;
+  JobPrecision Precision = JobPrecision::Fp32;
+  /// Smaller = more urgent (see JobRequest::Priority).
+  unsigned Priority = 1;
+  /// Relative draw weight within the mix (> 0).
+  double Weight = 1.0;
+  /// Deadline = arrival + DeadlineSlack * full-machine service estimate;
+  /// 0 disables the deadline.
+  double DeadlineSlack = 0.0;
+};
+
+/// The standard mixed workload of the serving experiments: urgent
+/// single-frame 2048^2 requests alongside heavyweight 4096^2 batches.
+std::vector<JobTemplate> mixedWorkloadTemplates();
+
+/// Draws \p NumJobs jobs from \p Mix with Poisson (exponential
+/// inter-arrival) timing at \p RatePerSec offered jobs per second.
+/// Deadlines are assigned from \p Model 's full-machine estimates. Ids
+/// are 1..NumJobs in arrival order.
+std::vector<JobRequest> generatePoissonTrace(const std::vector<JobTemplate> &Mix,
+                                             unsigned NumJobs,
+                                             double RatePerSec,
+                                             std::uint64_t Seed,
+                                             const ServiceModel &Model);
+
+/// Interface the simulator pulls arrivals through.
+class Workload {
+public:
+  virtual ~Workload() = default;
+
+  /// Restores the initial state so the same object replays the identical
+  /// workload for the next policy.
+  virtual void reset() = 0;
+
+  /// Arrivals known at time zero (ascending arrival times).
+  virtual std::vector<JobRequest> initialJobs() = 0;
+
+  /// Response hook, called when \p Job completes or is shed at \p Now;
+  /// returns follow-up arrivals (times >= \p Now). Open-loop workloads
+  /// return nothing.
+  virtual std::vector<JobRequest> onResponse(const JobRequest &Job,
+                                             Picos Now) = 0;
+};
+
+/// Open loop: replays a pre-generated trace.
+class TraceWorkload final : public Workload {
+public:
+  explicit TraceWorkload(std::vector<JobRequest> Trace)
+      : Trace(std::move(Trace)) {}
+
+  void reset() override {}
+  std::vector<JobRequest> initialJobs() override { return Trace; }
+  std::vector<JobRequest> onResponse(const JobRequest &, Picos) override {
+    return {};
+  }
+
+private:
+  std::vector<JobRequest> Trace;
+};
+
+/// Closed loop: \p NumClients clients, each issuing \p JobsPerClient
+/// requests with exponential think time between response and next
+/// request.
+class ClosedLoopWorkload final : public Workload {
+public:
+  ClosedLoopWorkload(std::vector<JobTemplate> Mix, unsigned NumClients,
+                     unsigned JobsPerClient, Picos MeanThinkTime,
+                     std::uint64_t Seed, const ServiceModel &Model);
+
+  void reset() override;
+  std::vector<JobRequest> initialJobs() override;
+  std::vector<JobRequest> onResponse(const JobRequest &Job,
+                                     Picos Now) override;
+
+  /// Total jobs the population will issue.
+  std::uint64_t totalJobs() const {
+    return static_cast<std::uint64_t>(NumClients) * JobsPerClient;
+  }
+
+private:
+  JobRequest makeJob(std::uint64_t ClientId, Picos Arrival);
+  Picos thinkTime(std::uint64_t ClientId);
+
+  std::vector<JobTemplate> Mix;
+  unsigned NumClients;
+  unsigned JobsPerClient;
+  Picos MeanThinkTime;
+  std::uint64_t Seed;
+  const ServiceModel &Model;
+  std::vector<Rng> ClientRngs;
+  std::vector<unsigned> Issued;
+  std::uint64_t NextId = 1;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_WORKLOAD_H

@@ -1,0 +1,273 @@
+//===- tests/serve_policy_test.cpp - Scheduler policy invariants ----------===//
+//
+// Part of the fft3d project.
+//
+// Small problem sizes (512/1024) keep the memoized service-time
+// simulations fast; the scheduling logic under test is size-independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace fft3d;
+
+namespace {
+
+/// Shared fast service model: small simulation budget, default device.
+ServiceModel &model() {
+  static ServiceModel Model(MemoryConfig(), /*MaxSimBytes=*/2ull << 20,
+                            /*MaxSimOps=*/10000);
+  return Model;
+}
+
+JobRequest job(std::uint64_t Id, Picos Arrival, std::uint64_t N,
+               unsigned Priority = 1, unsigned Frames = 1) {
+  JobRequest J;
+  J.Id = Id;
+  J.N = N;
+  J.Frames = Frames;
+  J.Priority = Priority;
+  J.Arrival = Arrival;
+  return J;
+}
+
+std::vector<std::uint64_t> dispatchOrder(const ServeResult &R) {
+  std::vector<const JobOutcome *> ByDispatch;
+  for (const JobOutcome &O : R.Tracker.completions())
+    ByDispatch.push_back(&O);
+  std::sort(ByDispatch.begin(), ByDispatch.end(),
+            [](const JobOutcome *A, const JobOutcome *B) {
+              if (A->DispatchTime != B->DispatchTime)
+                return A->DispatchTime < B->DispatchTime;
+              return A->Job.Id < B->Job.Id;
+            });
+  std::vector<std::uint64_t> Ids;
+  for (const JobOutcome *O : ByDispatch)
+    Ids.push_back(O->Job.Id);
+  return Ids;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Direct selection invariants
+//===----------------------------------------------------------------------===//
+
+TEST(FcfsPolicy, TakesOldestAndOnlyWhenIdle) {
+  JobQueue Q(8);
+  Q.push(job(1, 100, 1024));
+  Q.push(job(2, 200, 512));
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const auto D = Policy->selectNext(Q, 16, 16, 300, model());
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->QueueIndex, 0u);
+  EXPECT_EQ(D->Vaults, 16u);
+  // A busy machine (any vault in use) defers the next job.
+  EXPECT_FALSE(Policy->selectNext(Q, 8, 16, 300, model()).has_value());
+  EXPECT_FALSE(
+      Policy->selectNext(JobQueue(1), 16, 16, 300, model()).has_value());
+}
+
+TEST(SjfPolicy, PicksShortestEstimatedJob) {
+  JobQueue Q(8);
+  Q.push(job(1, 0, 1024));
+  Q.push(job(2, 0, 512)); // shortest
+  Q.push(job(3, 0, 1024, 1, /*Frames=*/4));
+  const auto Policy = createPolicy(PolicyKind::Sjf);
+  const auto D = Policy->selectNext(Q, 16, 16, 0, model());
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(Q.at(D->QueueIndex).Id, 2u);
+  // Ties resolve in arrival order: two identical jobs -> the earlier one.
+  JobQueue Ties(8);
+  Ties.push(job(7, 0, 512));
+  Ties.push(job(8, 50, 512));
+  const auto T = Policy->selectNext(Ties, 16, 16, 100, model());
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(Ties.at(T->QueueIndex).Id, 7u);
+}
+
+TEST(PriorityAgingPolicy, UrgencyClassesFirstButWaitingAges) {
+  PolicyOptions Options;
+  Options.AgingQuantum = 10 * PicosPerMilli;
+  const auto Policy = createPolicy(PolicyKind::PriorityAging, Options);
+
+  // Nearly simultaneous arrivals: the priority-0 job wins outright
+  // (aging credit accrues to both almost equally).
+  JobQueue Fresh(8);
+  Fresh.push(job(1, 0, 512, /*Priority=*/5));
+  Fresh.push(job(2, 1000, 512, /*Priority=*/0));
+  const auto F = Policy->selectNext(Fresh, 16, 16, 2000, model());
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(Fresh.at(F->QueueIndex).Id, 2u);
+
+  // A background job that has already waited >5 quanta longer than a
+  // newly arrived priority-0 job outranks it (5 classes of aging
+  // credit): no starvation.
+  JobQueue Aged(8);
+  Aged.push(job(3, 0, 512, /*Priority=*/5));
+  Aged.push(job(4, 60 * PicosPerMilli, 512, /*Priority=*/0));
+  const auto A =
+      Policy->selectNext(Aged, 16, 16, 61 * PicosPerMilli, model());
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(Aged.at(A->QueueIndex).Id, 3u);
+}
+
+TEST(VaultPartitionPolicy, GrantsEqualSharesWhileVaultsRemain) {
+  JobQueue Q(8);
+  Q.push(job(1, 0, 512));
+  Q.push(job(2, 0, 512));
+  PolicyOptions Options;
+  Options.Partitions = 2;
+  const auto Policy = createPolicy(PolicyKind::VaultPartition, Options);
+
+  const auto First = Policy->selectNext(Q, 16, 16, 0, model());
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(First->QueueIndex, 0u);
+  EXPECT_EQ(First->Vaults, 8u);
+  // Half the machine busy: the second share is still grantable...
+  const auto Second = Policy->selectNext(Q, 8, 16, 0, model());
+  ASSERT_TRUE(Second.has_value());
+  EXPECT_EQ(Second->Vaults, 8u);
+  // ...but a third is not.
+  EXPECT_FALSE(Policy->selectNext(Q, 0, 16, 0, model()).has_value());
+  EXPECT_FALSE(Policy->selectNext(Q, 4, 16, 0, model()).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end ordering and tail-latency behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSimulator, FcfsDispatchesInArrivalOrder) {
+  std::vector<JobRequest> Trace;
+  for (unsigned I = 0; I != 12; ++I)
+    Trace.push_back(job(I + 1, I * 100 * PicosPerNano,
+                        I % 3 == 0 ? 1024 : 512));
+  TraceWorkload Load(Trace);
+  ServeSimulator Sim(ServeConfig{}, model());
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const ServeResult R = Sim.run(Load, *Policy);
+  ASSERT_EQ(R.Summary.Completed, 12u);
+  const std::vector<std::uint64_t> Order = dispatchOrder(R);
+  for (std::size_t I = 0; I != Order.size(); ++I)
+    EXPECT_EQ(Order[I], I + 1) << "position " << I;
+  EXPECT_EQ(R.PeakConcurrency, 1u);
+}
+
+TEST(ServeSimulator, SjfReordersBacklogShortestFirst) {
+  // All jobs arrive in one burst; the long job arrived first but must
+  // dispatch last.
+  std::vector<JobRequest> Trace;
+  Trace.push_back(job(1, 0, 1024, 1, /*Frames=*/4));
+  Trace.push_back(job(2, 1, 512));
+  Trace.push_back(job(3, 2, 1024));
+  Trace.push_back(job(4, 3, 512));
+  TraceWorkload Load(Trace);
+  ServeSimulator Sim(ServeConfig{}, model());
+  const auto Policy = createPolicy(PolicyKind::Sjf);
+  const ServeResult R = Sim.run(Load, *Policy);
+  ASSERT_EQ(R.Summary.Completed, 4u);
+  // First dispatch is whatever is pending when the machine is free at
+  // t=0 (job 1, alone); after that burst backlog is reordered.
+  const std::vector<std::uint64_t> Order = dispatchOrder(R);
+  EXPECT_EQ(Order[0], 1u);
+  EXPECT_EQ(Order[1], 2u);
+  EXPECT_EQ(Order[2], 4u);
+  EXPECT_EQ(Order[3], 3u);
+}
+
+TEST(ServeSimulator, VaultPartitionRunsJobsConcurrently) {
+  std::vector<JobRequest> Trace;
+  for (unsigned I = 0; I != 8; ++I)
+    Trace.push_back(job(I + 1, I, 1024));
+  TraceWorkload Load(Trace);
+  ServeSimulator Sim(ServeConfig{}, model());
+  PolicyOptions Options;
+  Options.Partitions = 2;
+  const auto Policy = createPolicy(PolicyKind::VaultPartition, Options);
+  const ServeResult R = Sim.run(Load, *Policy);
+  ASSERT_EQ(R.Summary.Completed, 8u);
+  EXPECT_EQ(R.PeakConcurrency, 2u);
+  for (const JobOutcome &O : R.Tracker.completions())
+    EXPECT_EQ(O.Vaults, 8u);
+}
+
+TEST(ServeSimulator, VaultPartitionBeatsFcfsTailOnMixedLoad) {
+  // Mixed small/large open-loop stream near saturation: FCFS queues
+  // small jobs behind multi-frame batches; the 2-way partition drains
+  // them alongside. The kernel-bound service rate makes a half-machine
+  // share nearly as fast as the whole device, so the tail collapses.
+  const std::vector<JobTemplate> Mix = {
+      {512, 1, JobPrecision::Fp32, 0, 3.0, 0.0},
+      {1024, 4, JobPrecision::Fp32, 2, 1.0, 0.0},
+  };
+  TraceWorkload Load(
+      generatePoissonTrace(Mix, 80, /*RatePerSec=*/1000.0, 11, model()));
+  ServeSimulator Sim(ServeConfig{}, model());
+
+  const ServeResult Fcfs = Sim.run(Load, *createPolicy(PolicyKind::Fcfs));
+  PolicyOptions Options;
+  Options.Partitions = 2;
+  const ServeResult Vault =
+      Sim.run(Load, *createPolicy(PolicyKind::VaultPartition, Options));
+
+  ASSERT_EQ(Fcfs.Summary.Completed, Vault.Summary.Completed);
+  EXPECT_LT(Vault.Summary.P99LatencyMs, Fcfs.Summary.P99LatencyMs);
+  EXPECT_LT(Vault.Summary.P50LatencyMs, Fcfs.Summary.P50LatencyMs);
+}
+
+TEST(ServeSimulator, SameSeedReplaysByteIdentically) {
+  const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
+  // Small sizes via explicit templates to stay fast.
+  const std::vector<JobTemplate> Fast = {
+      {512, 1, JobPrecision::Fp32, 0, 2.0, 4.0},
+      {1024, 1, JobPrecision::Fp16, 1, 1.0, 4.0},
+  };
+  (void)Mix;
+  TraceWorkload Load(
+      generatePoissonTrace(Fast, 40, /*RatePerSec=*/800.0, 123, model()));
+  ServeSimulator Sim(ServeConfig{}, model());
+  const ServeResult A = Sim.run(Load, *createPolicy(PolicyKind::Sjf));
+  const ServeResult B = Sim.run(Load, *createPolicy(PolicyKind::Sjf));
+  EXPECT_EQ(A.EndTime, B.EndTime);
+  EXPECT_EQ(A.Summary.Completed, B.Summary.Completed);
+  EXPECT_EQ(A.Summary.P99LatencyMs, B.Summary.P99LatencyMs);
+  EXPECT_EQ(A.Summary.P50QueueMs, B.Summary.P50QueueMs);
+  EXPECT_EQ(A.Summary.ThroughputJobsPerSec, B.Summary.ThroughputJobsPerSec);
+}
+
+TEST(ServeSimulator, ClosedLoopSelfThrottlesAndCompletes) {
+  const std::vector<JobTemplate> Fast = {
+      {512, 1, JobPrecision::Fp32, 0, 1.0, 0.0}};
+  ClosedLoopWorkload Load(Fast, /*NumClients=*/3, /*JobsPerClient=*/5,
+                          /*MeanThinkTime=*/PicosPerMilli, /*Seed=*/5,
+                          model());
+  ServeSimulator Sim(ServeConfig{}, model());
+  const ServeResult R = Sim.run(Load, *createPolicy(PolicyKind::Fcfs));
+  // Every issued job is answered; a closed loop can never overrun the
+  // bounded queue (population <= clients).
+  EXPECT_EQ(R.Summary.Completed, Load.totalJobs());
+  EXPECT_EQ(R.Summary.Shed, 0u);
+}
+
+TEST(ServeSimulator, BoundedQueueShedsOverload) {
+  // 30 near-simultaneous arrivals into a 8-deep queue on a serial
+  // machine: the burst beyond queue + in-flight capacity is shed.
+  std::vector<JobRequest> Trace;
+  for (unsigned I = 0; I != 30; ++I)
+    Trace.push_back(job(I + 1, I + 1, 1024));
+  TraceWorkload Load(Trace);
+  ServeConfig Config;
+  Config.QueueCapacity = 8;
+  ServeSimulator Sim(Config, model());
+  const ServeResult R = Sim.run(Load, *createPolicy(PolicyKind::Fcfs));
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 30u);
+  EXPECT_EQ(R.ShedQueueFull, R.Summary.Shed);
+  EXPECT_GT(R.Summary.Shed, 0u);
+  // The first arrival dispatches immediately; 8 queue up; most of the
+  // rest shed before the first completion frees the machine.
+  EXPECT_GE(R.Summary.Shed, 20u);
+}

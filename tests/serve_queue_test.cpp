@@ -1,0 +1,110 @@
+//===- tests/serve_queue_test.cpp - Queue + admission control -------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AdmissionController.h"
+#include "serve/JobQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+JobRequest job(std::uint64_t Id, Picos Arrival, std::uint64_t N = 1024) {
+  JobRequest J;
+  J.Id = Id;
+  J.N = N;
+  J.Arrival = Arrival;
+  return J;
+}
+
+} // namespace
+
+TEST(JobQueue, KeepsArrivalOrderAndIndexedRemoval) {
+  JobQueue Q(4);
+  EXPECT_TRUE(Q.empty());
+  Q.push(job(1, 100));
+  Q.push(job(2, 200));
+  Q.push(job(3, 300));
+  EXPECT_EQ(Q.size(), 3u);
+  EXPECT_EQ(Q.oldestArrival(), 100u);
+  EXPECT_EQ(Q.at(1).Id, 2u);
+
+  // Removing the middle element keeps the rest in order.
+  EXPECT_EQ(Q.take(1).Id, 2u);
+  EXPECT_EQ(Q.size(), 2u);
+  EXPECT_EQ(Q.at(0).Id, 1u);
+  EXPECT_EQ(Q.at(1).Id, 3u);
+  EXPECT_EQ(Q.take(0).Id, 1u);
+  EXPECT_EQ(Q.take(0).Id, 3u);
+  EXPECT_TRUE(Q.empty());
+  EXPECT_EQ(Q.oldestArrival(), 0u);
+}
+
+TEST(JobQueue, ReportsCapacityAndBacklog) {
+  JobQueue Q(2);
+  Q.push(job(1, 0, 512));
+  EXPECT_FALSE(Q.full());
+  Q.push(job(2, 0, 1024));
+  EXPECT_TRUE(Q.full());
+  EXPECT_EQ(Q.pendingElements(), 512ull * 512 + 1024ull * 1024);
+}
+
+TEST(AdmissionController, AdmitsUntilQueueFull) {
+  JobQueue Q(2);
+  AdmissionController Admission;
+  EXPECT_EQ(Admission.decide(job(1, 0), Q, 0, 0, 0),
+            AdmissionDecision::Admit);
+  Q.push(job(1, 0));
+  EXPECT_EQ(Admission.decide(job(2, 0), Q, 0, 0, 0),
+            AdmissionDecision::Admit);
+  Q.push(job(2, 0));
+  // Queue at capacity: every further arrival is shed.
+  EXPECT_EQ(Admission.decide(job(3, 0), Q, 0, 0, 0),
+            AdmissionDecision::ShedQueueFull);
+  EXPECT_EQ(Admission.decide(job(4, 0), Q, 0, 0, 0),
+            AdmissionDecision::ShedQueueFull);
+  EXPECT_EQ(Admission.admitted(), 2u);
+  EXPECT_EQ(Admission.shedQueueFull(), 2u);
+  EXPECT_EQ(Admission.shedTotal(), 2u);
+}
+
+TEST(AdmissionController, ShedsInfeasibleDeadlinesOnlyWhenEnabled) {
+  JobQueue Q(8);
+  JobRequest Doomed = job(1, 1000);
+  Doomed.Deadline = 2000;
+
+  // Backlog 5000 + service 1000 > deadline 2000: infeasible at arrival.
+  AdmissionController Lenient(/*ShedInfeasible=*/false);
+  EXPECT_EQ(Lenient.decide(Doomed, Q, 1000, 5000, 1000),
+            AdmissionDecision::Admit);
+
+  AdmissionController Strict(/*ShedInfeasible=*/true);
+  EXPECT_EQ(Strict.decide(Doomed, Q, 1000, 5000, 1000),
+            AdmissionDecision::ShedInfeasible);
+  EXPECT_EQ(Strict.shedInfeasible(), 1u);
+
+  // Feasible job passes the same controller.
+  JobRequest Fine = job(2, 1000);
+  Fine.Deadline = 10000;
+  EXPECT_EQ(Strict.decide(Fine, Q, 1000, 5000, 1000),
+            AdmissionDecision::Admit);
+
+  // No deadline means the feasibility rule never applies.
+  EXPECT_EQ(Strict.decide(job(3, 1000), Q, 1000, 500000, 100000),
+            AdmissionDecision::Admit);
+}
+
+TEST(AdmissionController, ResetClearsCounters) {
+  JobQueue Q(1);
+  Q.push(job(1, 0));
+  AdmissionController Admission;
+  (void)Admission.decide(job(2, 0), Q, 0, 0, 0);
+  EXPECT_EQ(Admission.shedTotal(), 1u);
+  Admission.reset();
+  EXPECT_EQ(Admission.shedTotal(), 0u);
+  EXPECT_EQ(Admission.admitted(), 0u);
+}

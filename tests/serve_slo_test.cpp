@@ -1,0 +1,117 @@
+//===- tests/serve_slo_test.cpp - SLO percentile/summary math -------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SloTracker.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+JobOutcome outcome(std::uint64_t Id, Picos Arrival, Picos Dispatch,
+                   Picos Complete, Picos Deadline = 0) {
+  JobOutcome O;
+  O.Job.Id = Id;
+  O.Job.Arrival = Arrival;
+  O.Job.Deadline = Deadline;
+  O.DispatchTime = Dispatch;
+  O.CompleteTime = Complete;
+  O.Vaults = 16;
+  return O;
+}
+
+} // namespace
+
+TEST(SloPercentile, NearestRankDefinition) {
+  // 10 samples: p50 is the 5th smallest, p95 and p99 the 10th.
+  const std::vector<double> S = {9, 1, 8, 2, 7, 3, 6, 4, 10, 5};
+  EXPECT_DOUBLE_EQ(SloTracker::percentile(S, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(SloTracker::percentile(S, 0.95), 10.0);
+  EXPECT_DOUBLE_EQ(SloTracker::percentile(S, 0.99), 10.0);
+  EXPECT_DOUBLE_EQ(SloTracker::percentile(S, 1.00), 10.0);
+  // p10 of 10 samples is the smallest.
+  EXPECT_DOUBLE_EQ(SloTracker::percentile(S, 0.10), 1.0);
+  // Tiny fractions clamp to the first sample, not index -1.
+  EXPECT_DOUBLE_EQ(SloTracker::percentile(S, 0.001), 1.0);
+}
+
+TEST(SloPercentile, SingleSampleAndEmpty) {
+  EXPECT_DOUBLE_EQ(SloTracker::percentile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(SloTracker::percentile({42.0}, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(SloTracker::percentile({}, 0.5), 0.0);
+}
+
+TEST(SloTracker, OutcomeDerivedQuantities) {
+  const JobOutcome O =
+      outcome(1, 1 * PicosPerMilli, 3 * PicosPerMilli, 7 * PicosPerMilli,
+              /*Deadline=*/6 * PicosPerMilli);
+  EXPECT_EQ(O.queueingDelay(), 2 * PicosPerMilli);
+  EXPECT_EQ(O.serviceTime(), 4 * PicosPerMilli);
+  EXPECT_EQ(O.totalLatency(), 6 * PicosPerMilli);
+  EXPECT_TRUE(O.missedDeadline());
+  // Completing exactly at the deadline is a hit.
+  const JobOutcome OnTime =
+      outcome(2, 0, 0, 6 * PicosPerMilli, 6 * PicosPerMilli);
+  EXPECT_FALSE(OnTime.missedDeadline());
+}
+
+TEST(SloTracker, SummarizeCountsThroughputAndMisses) {
+  SloTracker T;
+  // Three jobs arriving at 0/10/20 ms, each 10 ms of service, serial.
+  T.recordCompletion(outcome(1, 0, 0, 10 * PicosPerMilli));
+  T.recordCompletion(outcome(2, 10 * PicosPerMilli, 10 * PicosPerMilli,
+                             20 * PicosPerMilli,
+                             /*Deadline=*/15 * PicosPerMilli));
+  T.recordCompletion(outcome(3, 20 * PicosPerMilli, 25 * PicosPerMilli,
+                             30 * PicosPerMilli,
+                             /*Deadline=*/40 * PicosPerMilli));
+  const SloSummary S = T.summarize(30 * PicosPerMilli);
+  EXPECT_EQ(S.Offered, 3u);
+  EXPECT_EQ(S.Completed, 3u);
+  EXPECT_EQ(S.Shed, 0u);
+  // 3 jobs over a 30 ms makespan = 100 jobs/s.
+  EXPECT_NEAR(S.ThroughputJobsPerSec, 100.0, 1e-9);
+  // Latencies: 10, 10, 10 ms.
+  EXPECT_NEAR(S.P50LatencyMs, 10.0, 1e-9);
+  EXPECT_NEAR(S.P99LatencyMs, 10.0, 1e-9);
+  // Queue delays: 0, 0, 5 -> p99 = 5 ms.
+  EXPECT_NEAR(S.P99QueueMs, 5.0, 1e-9);
+  EXPECT_NEAR(S.MeanServiceMs, 25.0 / 3.0, 1e-9);
+  // Job 2 missed (20 > 15), job 3 hit: one of two deadlines missed.
+  EXPECT_NEAR(S.DeadlineMissRate, 0.5, 1e-9);
+}
+
+TEST(SloTracker, ShedJobsCountAsDeadlineMisses) {
+  SloTracker T;
+  T.recordCompletion(outcome(1, 0, 0, 10 * PicosPerMilli,
+                             /*Deadline=*/20 * PicosPerMilli));
+  JobRequest Shed;
+  Shed.Id = 2;
+  Shed.Arrival = PicosPerMilli;
+  Shed.Deadline = 30 * PicosPerMilli;
+  T.recordShed(Shed, AdmissionDecision::ShedQueueFull);
+  JobRequest ShedNoDeadline;
+  ShedNoDeadline.Id = 3;
+  ShedNoDeadline.Arrival = 2 * PicosPerMilli;
+  T.recordShed(ShedNoDeadline, AdmissionDecision::ShedQueueFull);
+
+  const SloSummary S = T.summarize(10 * PicosPerMilli);
+  EXPECT_EQ(S.Offered, 3u);
+  EXPECT_EQ(S.Completed, 1u);
+  EXPECT_EQ(S.Shed, 2u);
+  EXPECT_NEAR(S.ShedRate, 2.0 / 3.0, 1e-9);
+  // Deadlines: job 1 hit, job 2 shed (counts as miss); job 3 had none.
+  EXPECT_NEAR(S.DeadlineMissRate, 0.5, 1e-9);
+}
+
+TEST(SloTracker, EmptyRunSummarizesToZeros) {
+  const SloSummary S = SloTracker().summarize(0);
+  EXPECT_EQ(S.Offered, 0u);
+  EXPECT_DOUBLE_EQ(S.ThroughputJobsPerSec, 0.0);
+  EXPECT_DOUBLE_EQ(S.P99LatencyMs, 0.0);
+  EXPECT_DOUBLE_EQ(S.DeadlineMissRate, 0.0);
+}

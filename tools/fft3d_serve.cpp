@@ -1,0 +1,237 @@
+//===- tools/fft3d_serve.cpp - Multi-tenant serving driver ----------------===//
+//
+// Part of the fft3d project.
+//
+// Runs a stream of heterogeneous 2D-FFT requests through the serving
+// layer under one or all scheduling policies and prints a per-policy
+// SLO table. The same seed always reproduces the same arrival trace and
+// therefore byte-identical output.
+//
+//   fft3d_serve [--jobs N] [--policy fcfs|sjf|prio|vault|all] [--seed S]
+//               [--rate JOBS_PER_SEC] [--queue-cap N] [--partitions P]
+//               [--aging-ms MS] [--mix mixed|small|large]
+//               [--closed-loop CLIENTS] [--think-ms MS]
+//               [--shed-infeasible] [--vaults V]
+//
+// Flags accept both "--key value" and "--key=value".
+//
+// Examples:
+//   fft3d_serve --jobs 200 --policy all --seed 42
+//   fft3d_serve --jobs 500 --rate 120 --policy vault --partitions 4
+//   fft3d_serve --closed-loop 8 --jobs 160 --policy all
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeSimulator.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+struct Cli {
+  unsigned Jobs = 200;
+  std::string Policy = "all";
+  std::uint64_t Seed = 42;
+  double RatePerSec = 80.0;
+  std::size_t QueueCap = 64;
+  unsigned Partitions = 2;
+  double AgingMs = 10.0;
+  std::string Mix = "mixed";
+  unsigned ClosedLoopClients = 0;
+  double ThinkMs = 20.0;
+  bool ShedInfeasible = false;
+  unsigned Vaults = 16;
+};
+
+[[noreturn]] void usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--policy fcfs|sjf|prio|vault|all]\n"
+               "  [--seed S] [--rate JOBS_PER_SEC] [--queue-cap N]\n"
+               "  [--partitions P] [--aging-ms MS] [--mix mixed|small|large]\n"
+               "  [--closed-loop CLIENTS] [--think-ms MS]\n"
+               "  [--shed-infeasible] [--vaults V]\n",
+               Prog);
+  std::exit(2);
+}
+
+/// Matches "--key=value" or "--key value"; advances \p I for the latter.
+bool consumeValue(int Argc, char **Argv, int &I, const char *Key,
+                  const char **Value) {
+  const char *Arg = Argv[I];
+  const std::size_t Len = std::strlen(Key);
+  if (std::strncmp(Arg, Key, Len) != 0)
+    return false;
+  if (Arg[Len] == '=') {
+    *Value = Arg + Len + 1;
+    return true;
+  }
+  if (Arg[Len] == '\0' && I + 1 < Argc) {
+    *Value = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+/// Matches a valueless "--key" flag exactly.
+bool consumeFlag(char **Argv, int I, const char *Key) {
+  return std::strcmp(Argv[I], Key) == 0;
+}
+
+Cli parse(int Argc, char **Argv) {
+  Cli C;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Value = nullptr;
+    if (consumeValue(Argc, Argv, I, "--jobs", &Value))
+      C.Jobs = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    else if (consumeValue(Argc, Argv, I, "--policy", &Value))
+      C.Policy = Value;
+    else if (consumeValue(Argc, Argv, I, "--seed", &Value))
+      C.Seed = std::strtoull(Value, nullptr, 10);
+    else if (consumeValue(Argc, Argv, I, "--rate", &Value))
+      C.RatePerSec = std::strtod(Value, nullptr);
+    else if (consumeValue(Argc, Argv, I, "--queue-cap", &Value))
+      C.QueueCap = std::strtoul(Value, nullptr, 10);
+    else if (consumeValue(Argc, Argv, I, "--partitions", &Value))
+      C.Partitions = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    else if (consumeValue(Argc, Argv, I, "--aging-ms", &Value))
+      C.AgingMs = std::strtod(Value, nullptr);
+    else if (consumeValue(Argc, Argv, I, "--mix", &Value))
+      C.Mix = Value;
+    else if (consumeValue(Argc, Argv, I, "--closed-loop", &Value))
+      C.ClosedLoopClients =
+          static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    else if (consumeValue(Argc, Argv, I, "--think-ms", &Value))
+      C.ThinkMs = std::strtod(Value, nullptr);
+    else if (consumeValue(Argc, Argv, I, "--vaults", &Value))
+      C.Vaults = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    else if (consumeFlag(Argv, I, "--shed-infeasible"))
+      C.ShedInfeasible = true;
+    else
+      usage(Argv[0]);
+  }
+  if (C.Jobs == 0 || C.QueueCap == 0 || C.Partitions == 0 ||
+      C.RatePerSec <= 0.0)
+    usage(Argv[0]);
+  return C;
+}
+
+std::vector<JobTemplate> mixFor(const std::string &Name) {
+  if (Name == "mixed")
+    return mixedWorkloadTemplates();
+  if (Name == "small")
+    return {{2048, 1, JobPrecision::Fp32, 0, 1.0, 8.0}};
+  if (Name == "large")
+    return {{4096, 1, JobPrecision::Fp32, 1, 1.0, 6.0}};
+  std::fprintf(stderr, "error: unknown mix '%s'\n", Name.c_str());
+  std::exit(2);
+}
+
+std::vector<PolicyKind> policiesFor(const std::string &Name) {
+  if (Name == "fcfs")
+    return {PolicyKind::Fcfs};
+  if (Name == "sjf")
+    return {PolicyKind::Sjf};
+  if (Name == "prio")
+    return {PolicyKind::PriorityAging};
+  if (Name == "vault")
+    return {PolicyKind::VaultPartition};
+  if (Name == "all")
+    return {PolicyKind::Fcfs, PolicyKind::Sjf, PolicyKind::PriorityAging,
+            PolicyKind::VaultPartition};
+  std::fprintf(stderr, "error: unknown policy '%s'\n", Name.c_str());
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Cli C = parse(Argc, Argv);
+
+  MemoryConfig Mem;
+  Mem.Geo.NumVaults = C.Vaults;
+  ServiceModel Model(Mem);
+
+  std::printf("fft3d_serve: %u jobs, mix %s, seed %llu, %u vaults, "
+              "queue cap %zu%s\n",
+              C.Jobs, C.Mix.c_str(),
+              static_cast<unsigned long long>(C.Seed), C.Vaults, C.QueueCap,
+              C.ShedInfeasible ? ", shed-infeasible" : "");
+
+  const std::vector<JobTemplate> Mix = mixFor(C.Mix);
+  std::unique_ptr<Workload> Load;
+  if (C.ClosedLoopClients != 0) {
+    const unsigned PerClient =
+        (C.Jobs + C.ClosedLoopClients - 1) / C.ClosedLoopClients;
+    std::printf("closed loop: %u clients x %u jobs, mean think %.1f ms\n\n",
+                C.ClosedLoopClients, PerClient, C.ThinkMs);
+    Load = std::make_unique<ClosedLoopWorkload>(
+        Mix, C.ClosedLoopClients, PerClient,
+        static_cast<Picos>(C.ThinkMs * static_cast<double>(PicosPerMilli)),
+        C.Seed, Model);
+  } else {
+    std::printf("open loop: Poisson arrivals at %.1f jobs/s\n\n",
+                C.RatePerSec);
+    Load = std::make_unique<TraceWorkload>(
+        generatePoissonTrace(Mix, C.Jobs, C.RatePerSec, C.Seed, Model));
+  }
+
+  PolicyOptions Options;
+  Options.Partitions = C.Partitions;
+  Options.AgingQuantum =
+      static_cast<Picos>(C.AgingMs * static_cast<double>(PicosPerMilli));
+
+  ServeConfig Config;
+  Config.QueueCapacity = C.QueueCap;
+  Config.ShedInfeasible = C.ShedInfeasible;
+  ServeSimulator Sim(Config, Model);
+
+  TableWriter Table({"policy", "done", "shed", "jobs/s", "p50 ms", "p95 ms",
+                     "p99 ms", "queue p99", "miss %", "conc"});
+  for (const PolicyKind Kind : policiesFor(C.Policy)) {
+    const auto Policy = createPolicy(Kind, Options);
+    const ServeResult R = Sim.run(*Load, *Policy);
+    const SloSummary &S = R.Summary;
+    Table.addRow({R.PolicyName, TableWriter::num(S.Completed),
+                  TableWriter::num(S.Shed),
+                  TableWriter::num(S.ThroughputJobsPerSec, 1),
+                  TableWriter::num(S.P50LatencyMs, 2),
+                  TableWriter::num(S.P95LatencyMs, 2),
+                  TableWriter::num(S.P99LatencyMs, 2),
+                  TableWriter::num(S.P99QueueMs, 2),
+                  TableWriter::percent(S.DeadlineMissRate),
+                  TableWriter::num(std::uint64_t(R.PeakConcurrency))});
+  }
+  Table.print(std::cout);
+
+  std::printf("\nService estimates (full machine vs one partition "
+              "share):\n");
+  for (const JobTemplate &T : Mix) {
+    JobRequest Probe;
+    Probe.N = T.N;
+    Probe.Frames = T.Frames;
+    Probe.Precision = T.Precision;
+    const unsigned Share = std::max(1u, C.Vaults / C.Partitions);
+    std::printf("  %llux%llu x%u %s: %s on %u vaults, %s on %u vaults "
+                "(block %llux%llu)\n",
+                static_cast<unsigned long long>(T.N),
+                static_cast<unsigned long long>(T.N), T.Frames,
+                jobPrecisionName(T.Precision),
+                formatDuration(Model.serviceTime(Probe, C.Vaults)).c_str(),
+                C.Vaults,
+                formatDuration(Model.serviceTime(Probe, Share)).c_str(),
+                Share,
+                static_cast<unsigned long long>(
+                    Model.estimate(T.N, Share).Plan.W),
+                static_cast<unsigned long long>(
+                    Model.estimate(T.N, Share).Plan.H));
+  }
+  return 0;
+}

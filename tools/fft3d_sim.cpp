@@ -41,6 +41,11 @@ namespace {
 struct Cli {
   std::uint64_t N = 2048;
   std::string Arch = "both";
+  /// Echoed into the report header so runs are attributable to a seed;
+  /// the simulations themselves are fully deterministic. Accepts both
+  /// "--seed=N" and "--seed N" (the serving tool shares the convention).
+  std::uint64_t Seed = 0;
+  bool SeedSet = false;
   bool Energy = false;
   bool Tune = false;
   TuneObjective Objective = TuneObjective::Throughput;
@@ -58,7 +63,7 @@ struct Cli {
                "  [--t-diff-row=NS] [--t-diff-bank=NS] [--t-in-vault=NS]\n"
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
-               "  [--replay=FILE [--replay-asap]]\n",
+               "  [--replay=FILE [--replay-asap]] [--seed N]\n",
                Prog);
   std::exit(2);
 }
@@ -135,6 +140,13 @@ Cli parse(int Argc, char **Argv) {
       const auto V = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
       C.Config.Mem.Geo.NumVaults = V;
       C.Config.Optimized.VaultsParallel = V;
+    } else if (consume(Arg, "--seed", &Value)) {
+      if (!Value && I + 1 < Argc)
+        Value = Argv[++I];
+      if (!Value)
+        usage(Argv[0]);
+      C.Seed = std::strtoull(Value, nullptr, 10);
+      C.SeedSet = true;
     } else if (consume(Arg, "--replay", &Value) && Value) {
       C.ReplayFile = Value;
     } else if (consume(Arg, "--replay-asap", &Value)) {
@@ -193,15 +205,19 @@ void printReport(const char *Name, const AppReport &R) {
 int main(int Argc, char **Argv) {
   const Cli C = parse(Argc, Argv);
   const AnalyticalModel Model(C.Config);
+  std::string SeedNote;
+  if (C.SeedSet)
+    SeedNote = ", seed " + std::to_string(C.Seed);
   std::printf("fft3d_sim: N=%llu, %u vaults, peak %.1f GB/s, %s/%s, map "
-              "%s%s%s\n\n",
+              "%s%s%s%s\n\n",
               static_cast<unsigned long long>(C.N),
               C.Config.Mem.Geo.NumVaults, Model.peakGBps(),
               schedulePolicyName(C.Config.Mem.Sched),
               pagePolicyName(C.Config.Mem.Page),
               addressMapKindName(C.Config.Mem.MapKind),
               C.Config.Mem.XorHash ? ", xor-hash" : "",
-              C.Config.Mem.Time.RefreshInterval ? ", refresh on" : "");
+              C.Config.Mem.Time.RefreshInterval ? ", refresh on" : "",
+              SeedNote.c_str());
 
   if (!C.ReplayFile.empty()) {
     std::ifstream In(C.ReplayFile);
