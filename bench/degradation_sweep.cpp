@@ -1,0 +1,119 @@
+//===- bench/degradation_sweep.cpp - Throughput under injected faults -----===//
+//
+// Part of the fft3d project.
+//
+// Sweeps the two degradation axes of the fault model - vaults failed at
+// start {0, 1, 2, 4, 8, 12} and thermal-throttle duty {0%, 25%, 50%} -
+// and reports, per cell:
+//
+//  - the optimized 2D-FFT application throughput (Eq. 1 re-planned for
+//    the surviving vaults, the failed vaults' traffic spread round-robin
+//    across them), and
+//  - the serving layer's job throughput and p99 latency on the mixed
+//    tenant workload with retry + brownout enabled.
+//
+// The shape to expect: the optimized design needs only ~32 of the
+// device's 80 GB/s, so the balanced spare mapping absorbs vault failures
+// with almost no FFT throughput loss until the survivors' aggregate
+// bandwidth drops below the kernel demand (the failed=12 rows sit past
+// that cliff). Throttle duty cuts into the kernel window directly and is
+// felt at every failure count. The serving layer converts the same
+// capacity loss into queueing delay and deadline misses long before the
+// FFT itself slows down - the brownout column shows it shedding
+// background work to protect the latency of what remains.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "fault/FaultSpec.h"
+#include "serve/ServeSimulator.h"
+
+#include <iostream>
+#include <string>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+namespace {
+
+/// Builds the spec text for \p FailedVaults vaults dead at t=0 and a
+/// run-long throttle window of \p DutyPct percent.
+std::string specFor(unsigned FailedVaults, unsigned DutyPct) {
+  std::string Text = "seed 1\n";
+  for (unsigned V = 0; V != FailedVaults; ++V)
+    Text += "vault_fail " + std::to_string(V) + " at 0\n";
+  if (DutyPct != 0)
+    Text += "throttle from 0 until 60000 period 100 duty " +
+            std::to_string(DutyPct) + "\n";
+  return Text;
+}
+
+} // namespace
+
+int main() {
+  SystemConfig Base = SystemConfig::forProblemSize(1024);
+  printHeader("Degradation sweep: vault failures x thermal throttling",
+              Base);
+
+  const MemoryConfig HealthyMem = Base.Mem;
+  ServiceModel Model(HealthyMem);
+  const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
+  const std::uint64_t Seed = 42;
+  const unsigned Jobs = 150;
+  const double RatePerSec = 90.0;
+
+  TableWriter Table({"failed", "duty %", "healthy", "fft GB/s", "jobs/s",
+                     "p99 ms", "miss %", "brownout"});
+  for (const unsigned Failed : {0u, 1u, 2u, 4u, 8u, 12u}) {
+    for (const unsigned Duty : {0u, 25u, 50u}) {
+      const std::string Text = specFor(Failed, Duty);
+      auto Spec = std::make_shared<FaultSpec>();
+      std::string Error;
+      if (!Spec->parse(Text, &Error)) {
+        std::cerr << "internal spec error: " << Error << "\n";
+        return 1;
+      }
+
+      // Application throughput: the full optimized 2D FFT on the
+      // degraded device.
+      SystemConfig Config = Base;
+      Config.Mem.Faults = Spec;
+      Fft2dProcessor Processor(Config);
+      const AppReport App = Processor.runOptimized();
+
+      // Serving behaviour on the same degraded device.
+      ServeConfig Serve;
+      Serve.QueueCapacity = 64;
+      Serve.Health = std::make_shared<HealthMonitor>(
+          Spec, HealthyMem.Geo.NumVaults);
+      Serve.Brownout.Enabled = true;
+      ServeSimulator Sim(Serve, Model);
+      TraceWorkload Load(
+          generatePoissonTrace(Mix, Jobs, RatePerSec, Seed, Model));
+      const auto Policy = createPolicy(PolicyKind::VaultPartition);
+      const ServeResult R = Sim.run(Load, *Policy);
+      const SloSummary &S = R.Summary;
+
+      Table.addRow({TableWriter::num(std::uint64_t(Failed)),
+                    TableWriter::num(std::uint64_t(Duty)),
+                    TableWriter::num(std::uint64_t(App.HealthyVaultsEnd)),
+                    TableWriter::num(App.AppThroughputGBps, 2),
+                    TableWriter::num(S.ThroughputJobsPerSec, 1),
+                    TableWriter::num(S.P99LatencyMs, 2),
+                    TableWriter::percent(S.DeadlineMissRate),
+                    TableWriter::num(S.BrownoutSheds)});
+    }
+    Table.addSeparator();
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nThe design's bandwidth headroom (80 GB/s peak vs ~32 "
+               "GB/s kernel demand)\nabsorbs vault failures until the "
+               "survivors' aggregate bandwidth falls below\nthe kernel "
+               "rate; throttle duty is felt everywhere. The serving "
+               "columns show\nthe same capacity loss as queueing delay, "
+               "deadline misses and, past the\nbrownout threshold, shed "
+               "background jobs.\n";
+  return 0;
+}

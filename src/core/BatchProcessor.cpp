@@ -8,6 +8,7 @@
 
 #include "core/AccessTrace.h"
 #include "core/PhaseEngine.h"
+#include "fault/FaultInjector.h"
 #include "fft/StreamingKernel.h"
 #include "layout/LayoutPlanner.h"
 #include "layout/LinearLayouts.h"
@@ -33,7 +34,17 @@ BatchReport BatchProcessor::run(unsigned Frames) const {
   // i's mid / out.
   const RowMajorLayout InputA(N, N, ElementBytes, 0);
   const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
-  const BlockPlan Plan = Planner.plan(N, Config.Optimized.VaultsParallel);
+  // Under fault injection, plan for the vaults healthy at batch start -
+  // the steady-state layout after any initial failures were remapped.
+  unsigned PlanVaults = Config.Optimized.VaultsParallel;
+  if (Config.Mem.Faults && !Config.Mem.Faults->empty()) {
+    const FaultInjector Probe(*Config.Mem.Faults, Config.Mem.Geo.NumVaults);
+    const unsigned Healthy = Probe.healthyVaults(0);
+    if (Healthy == 0)
+      reportFatalError("fault spec fails every vault at time zero");
+    PlanVaults = std::min(PlanVaults, Healthy);
+  }
+  const BlockPlan Plan = Planner.plan(N, PlanVaults);
   const BlockDynamicLayout MidA(N, N, ElementBytes, Stride, Plan.W, Plan.H);
   const BlockDynamicLayout MidB(N, N, ElementBytes, 2 * Stride, Plan.W,
                                 Plan.H);

@@ -54,6 +54,9 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   Report.N = N;
   Report.Optimized = Optimized;
   Report.DataParallelism = Arch.Lanes;
+  Report.HealthyVaultsStart = Mem.healthyVaults(0);
+  if (Report.HealthyVaultsStart == 0)
+    reportFatalError("fault spec fails every vault at time zero");
 
   // Input always arrives row-major; the output region mirrors the
   // intermediate's layout family.
@@ -81,7 +84,11 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   } else {
     const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time,
                                 ElementBytes);
-    Report.Plan = Planner.plan(N, Arch.VaultsParallel);
+    // Plan with the vaults that are actually healthy when the run starts:
+    // a vault already failed at t=0 never receives blocks.
+    const unsigned PlanVaults =
+        std::min<unsigned>(Arch.VaultsParallel, Report.HealthyVaultsStart);
+    Report.Plan = Planner.plan(N, PlanVaults);
     const BlockDynamicLayout Mid(N, N, ElementBytes, MidBase, Report.Plan.W,
                                  Report.Plan.H);
     const BlockDynamicLayout Out(N, N, ElementBytes, OutBase, Report.Plan.W,
@@ -103,15 +110,54 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
         {&P1Write, true, Arch.WriteWindow, PaceGBps,
          Kernel.pipelineFillTime()});
 
-    Cu.configureForColumnFetch(Report.Plan.W, Report.Plan.H,
+    // Checkpoint at the phase boundary: if vaults died during phase 1,
+    // re-solve Eq. 1 for the survivors and migrate the intermediate into
+    // the re-planned layout before the column phase touches it. The
+    // migration stage reuses the OutBase region for the new intermediate
+    // and the (now stale) MidBase region for phase-2 output, so no extra
+    // memory is needed - the regions swap roles.
+    const BlockDynamicLayout *P2Mid = &Mid;
+    const BlockDynamicLayout *P2Out = &Out;
+    std::unique_ptr<BlockDynamicLayout> ReplannedMid, ReplannedOut;
+    BlockPlan P2Plan = Report.Plan;
+    if (Mem.faults()) {
+      const unsigned HealthyNow = Mem.healthyVaults(Events.now());
+      if (HealthyNow == 0)
+        reportFatalError("every vault failed during phase 1; the "
+                         "checkpoint cannot be recovered");
+      if (HealthyNow < PlanVaults) {
+        const DegradedPlan Degraded = Planner.planDegraded(
+            N, Mem.faults()->onlineVaults(Events.now()), Arch.VaultsParallel);
+        Report.Replanned = true;
+        Report.ReplannedPlan = Degraded.Plan;
+        P2Plan = Degraded.Plan;
+        ReplannedMid = std::make_unique<BlockDynamicLayout>(
+            N, N, ElementBytes, OutBase, P2Plan.W, P2Plan.H);
+        ReplannedOut = std::make_unique<BlockDynamicLayout>(
+            N, N, ElementBytes, MidBase, P2Plan.W, P2Plan.H);
+        // Migration: stream every checkpointed block out of the old
+        // layout and straight into the new one, memory-bound (no kernel
+        // pacing - this is a pure copy through the permutation network).
+        BlockTrace MigRead(Mid, BlockOrder::RowMajorBlocks);
+        BlockTrace MigWrite(*ReplannedMid, BlockOrder::RowMajorBlocks);
+        const PhaseResult Migration =
+            Engine.run({&MigRead, false, Arch.ReadWindow, 0.0, 0},
+                       {&MigWrite, true, Arch.WriteWindow, 0.0, 0});
+        Report.MigrationTime = Migration.EstimatedPhaseTime;
+        P2Mid = ReplannedMid.get();
+        P2Out = ReplannedOut.get();
+      }
+    }
+
+    Cu.configureForColumnFetch(P2Plan.W, P2Plan.H,
                                StreamMode::LaneParallel);
     Report.PermuteBufferBytes = std::max(
         Report.PermuteBufferBytes, Network.bufferBytes(ElementBytes));
 
     // Phase 2: whole-block reads down the block columns; whole-block
     // writes of the finished columns.
-    BlockTrace P2Read(Mid, BlockOrder::ColMajorBlocks);
-    BlockTrace P2Write(Out, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Read(*P2Mid, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Write(*P2Out, BlockOrder::ColMajorBlocks);
     Report.ColPhase = Engine.run(
         {&P2Read, false, Arch.ReadWindow, PaceGBps, 0},
         {&P2Write, true, Arch.WriteWindow, PaceGBps,
@@ -136,7 +182,9 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
                       Kernel.pipelineFillTime();
 
   Report.EstimatedTotalTime = Report.RowPhase.EstimatedPhaseTime +
+                              Report.MigrationTime +
                               Report.ColPhase.EstimatedPhaseTime;
+  Report.HealthyVaultsEnd = Mem.healthyVaults(Events.now());
   return Report;
 }
 
@@ -219,6 +267,144 @@ Matrix Fft2dProcessor::computeViaDynamicLayout(const Matrix &In,
     for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
       ColPlan.forward(Columns[Ic]);
       Out.setCol(Bc * Plan.W + Ic, Columns[Ic]);
+    }
+  }
+  return Out;
+}
+
+Matrix Fft2dProcessor::computeViaDynamicLayoutWithVaultLoss(
+    const Matrix &In, const SystemConfig &Config, unsigned FailedVaults,
+    StreamMode Mode) {
+  const std::uint64_t N = In.rows();
+  if (In.cols() != N)
+    reportFatalError("dynamic-layout pipeline requires a square matrix");
+  if (FailedVaults >= Config.Mem.Geo.NumVaults)
+    reportFatalError("vault-loss run requires at least one surviving vault");
+
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+
+  // Phase 1 runs on the healthy device, exactly as computeViaDynamicLayout.
+  const BlockPlan Plan0 = Planner.plan(N, Config.Optimized.VaultsParallel);
+  const BlockDynamicLayout Layout0(N, N, ElementBytes, /*Base=*/0, Plan0.W,
+                                   Plan0.H);
+  PermutationNetwork Net0(static_cast<unsigned>(Plan0.W), Plan0.W * Plan0.H);
+  ControlUnit Cu0(Net0);
+
+  std::vector<CplxF> Image(N * N);
+  Fft1d RowPlan(N);
+  Matrix RowDone(N, N);
+  std::vector<CplxF> Line;
+  for (std::uint64_t R = 0; R != N; ++R) {
+    In.copyRow(R, Line);
+    RowPlan.forward(Line);
+    RowDone.setRow(R, Line);
+  }
+  Cu0.configureForWriteback(Plan0.W, Plan0.H, Mode);
+  std::vector<CplxF> BlockData(Plan0.W * Plan0.H);
+  for (std::uint64_t Br = 0; Br != Layout0.blocksPerCol(); ++Br) {
+    for (std::uint64_t Bc = 0; Bc != Layout0.blocksPerRow(); ++Bc) {
+      for (std::uint64_t Ir = 0; Ir != Plan0.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan0.W; ++Ic) {
+          const std::uint64_t Arrival = Mode == StreamMode::LaneParallel
+                                            ? Ir * Plan0.W + Ic
+                                            : Ic * Plan0.H + Ir;
+          BlockData[Arrival] =
+              RowDone.at(Br * Plan0.H + Ir, Bc * Plan0.W + Ic);
+        }
+      const std::vector<CplxF> Stored = Net0.permute(BlockData);
+      const std::uint64_t BaseSlot =
+          Layout0.blockBase(Br, Bc) / ElementBytes;
+      for (std::uint64_t I = 0; I != Stored.size(); ++I)
+        Image[BaseSlot + I] = Stored[I];
+    }
+  }
+
+  // The phase boundary: FailedVaults vaults drop out. Re-solve Eq. 1 for
+  // the survivors, then migrate the checkpointed intermediate - fetch
+  // every block back through the network (undoing the phase-1
+  // permutation) and re-store it under the new plan's writeback
+  // configuration. The elements only move; no value is recomputed.
+  std::vector<bool> Online(Config.Mem.Geo.NumVaults, true);
+  for (unsigned V = 0; V != FailedVaults; ++V)
+    Online[V] = false;
+  const DegradedPlan Degraded =
+      Planner.planDegraded(N, Online, Config.Optimized.VaultsParallel);
+  const BlockPlan Plan1 = Degraded.Plan;
+  const BlockDynamicLayout Layout1(N, N, ElementBytes, /*Base=*/0, Plan1.W,
+                                   Plan1.H);
+
+  Cu0.configureForColumnFetch(Plan0.W, Plan0.H, Mode);
+  Matrix Mid(N, N);
+  for (std::uint64_t Br = 0; Br != Layout0.blocksPerCol(); ++Br) {
+    for (std::uint64_t Bc = 0; Bc != Layout0.blocksPerRow(); ++Bc) {
+      const std::uint64_t BaseSlot =
+          Layout0.blockBase(Br, Bc) / ElementBytes;
+      std::vector<CplxF> Fetched(Image.begin() + BaseSlot,
+                                 Image.begin() + BaseSlot +
+                                     Plan0.W * Plan0.H);
+      const std::vector<CplxF> Stream = Net0.permute(Fetched);
+      for (std::uint64_t Ir = 0; Ir != Plan0.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan0.W; ++Ic) {
+          const std::uint64_t Pos = Mode == StreamMode::LaneParallel
+                                        ? Ir * Plan0.W + Ic
+                                        : Ic * Plan0.H + Ir;
+          Mid.at(Br * Plan0.H + Ir, Bc * Plan0.W + Ic) = Stream[Pos];
+        }
+    }
+  }
+
+  PermutationNetwork Net1(static_cast<unsigned>(Plan1.W), Plan1.W * Plan1.H);
+  ControlUnit Cu1(Net1);
+  Cu1.configureForWriteback(Plan1.W, Plan1.H, Mode);
+  std::vector<CplxF> MigImage(N * N);
+  BlockData.assign(Plan1.W * Plan1.H, CplxF{});
+  for (std::uint64_t Br = 0; Br != Layout1.blocksPerCol(); ++Br) {
+    for (std::uint64_t Bc = 0; Bc != Layout1.blocksPerRow(); ++Bc) {
+      for (std::uint64_t Ir = 0; Ir != Plan1.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan1.W; ++Ic) {
+          const std::uint64_t Arrival = Mode == StreamMode::LaneParallel
+                                            ? Ir * Plan1.W + Ic
+                                            : Ic * Plan1.H + Ir;
+          BlockData[Arrival] =
+              Mid.at(Br * Plan1.H + Ir, Bc * Plan1.W + Ic);
+        }
+      const std::vector<CplxF> Stored = Net1.permute(BlockData);
+      const std::uint64_t BaseSlot =
+          Layout1.blockBase(Br, Bc) / ElementBytes;
+      for (std::uint64_t I = 0; I != Stored.size(); ++I)
+        MigImage[BaseSlot + I] = Stored[I];
+    }
+  }
+
+  // Phase 2 on the re-planned blocks across the surviving vaults. Each
+  // logical column is assembled in natural row order whatever the block
+  // shape, so the column FFTs see bit-identical inputs to the fault-free
+  // run.
+  Cu1.configureForColumnFetch(Plan1.W, Plan1.H, Mode);
+  Fft1d ColPlan(N);
+  Matrix Out(N, N);
+  std::vector<std::vector<CplxF>> Columns(Plan1.W);
+  for (std::uint64_t Bc = 0; Bc != Layout1.blocksPerRow(); ++Bc) {
+    for (auto &Column : Columns)
+      Column.clear();
+    for (std::uint64_t Br = 0; Br != Layout1.blocksPerCol(); ++Br) {
+      const std::uint64_t BaseSlot =
+          Layout1.blockBase(Br, Bc) / ElementBytes;
+      std::vector<CplxF> Fetched(MigImage.begin() + BaseSlot,
+                                 MigImage.begin() + BaseSlot +
+                                     Plan1.W * Plan1.H);
+      const std::vector<CplxF> Stream = Net1.permute(Fetched);
+      for (std::uint64_t Ir = 0; Ir != Plan1.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan1.W; ++Ic) {
+          const std::uint64_t Pos = Mode == StreamMode::LaneParallel
+                                        ? Ir * Plan1.W + Ic
+                                        : Ic * Plan1.H + Ir;
+          Columns[Ic].push_back(Stream[Pos]);
+        }
+    }
+    for (std::uint64_t Ic = 0; Ic != Plan1.W; ++Ic) {
+      ColPlan.forward(Columns[Ic]);
+      Out.setCol(Bc * Plan1.W + Ic, Columns[Ic]);
     }
   }
   return Out;

@@ -52,6 +52,17 @@ struct AppReport {
   std::uint64_t PermuteBufferBytes = 0;
   std::uint64_t Reconfigurations = 0;
   BlockPlan Plan;
+  /// Fault-injection outcome (defaults without a fault spec). Healthy
+  /// vault counts observed at the start and end of the run.
+  unsigned HealthyVaultsStart = 0;
+  unsigned HealthyVaultsEnd = 0;
+  /// True when a vault loss at the phase boundary forced an Eq. 1
+  /// re-plan; ReplannedPlan is the surviving-vault plan phase 2 used and
+  /// MigrationTime the cost of streaming the checkpointed intermediate
+  /// into the new layout.
+  bool Replanned = false;
+  BlockPlan ReplannedPlan;
+  Picos MigrationTime = 0;
 };
 
 /// Runs the two architectures of the paper against the simulated memory.
@@ -78,6 +89,19 @@ public:
   static Matrix
   computeViaDynamicLayout(const Matrix &In, const SystemConfig &Config,
                           StreamMode Mode = StreamMode::LaneParallel);
+
+  /// Functional graceful-degradation path: phase 1 runs with the full
+  /// Eq. 1 plan; then \p FailedVaults of the device's vaults drop out, the
+  /// phase-boundary checkpoint streams every block out of the old layout
+  /// and back through the permutation network into the layout re-planned
+  /// for the surviving n_v' = NumVaults - FailedVaults, and phase 2 runs
+  /// on the re-planned blocks. The transform itself touches identical
+  /// values in identical order, so the output is bit-identical to the
+  /// fault-free computeViaDynamicLayout run - the property the recovery
+  /// test pins down to the last ulp.
+  static Matrix computeViaDynamicLayoutWithVaultLoss(
+      const Matrix &In, const SystemConfig &Config, unsigned FailedVaults,
+      StreamMode Mode = StreamMode::LaneParallel);
 
 private:
   AppReport runArchitecture(const ArchParams &Arch, bool Optimized);

@@ -1,0 +1,126 @@
+//===- fault/FaultInjector.cpp - Runtime fault oracle ---------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultInjector.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+namespace {
+
+/// splitmix64 finalizer: the stateless hash behind every probabilistic
+/// fault decision. Full-avalanche, so consecutive ids decorrelate.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+/// True with probability \p Rate for the hash stream (Seed, A, B).
+bool hashBelow(std::uint64_t Seed, std::uint64_t A, std::uint64_t B,
+               double Rate) {
+  if (Rate <= 0.0)
+    return false;
+  const std::uint64_t H = mix64(mix64(Seed ^ (A * 0xA24BAED4963EE407ULL)) ^
+                                (B * 0x9FB21C651E98DF25ULL));
+  // Compare in double space: exact enough for fault rates and avoids
+  // overflow pitfalls near Rate ~ 1.
+  return static_cast<double>(H) <
+         Rate * 18446744073709551616.0 /* 2^64 */;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultSpec &Spec, unsigned NumVaults)
+    : Spec(Spec), NumVaults(NumVaults), AvailTimeline(NumVaults),
+      TsvTimeline(NumVaults) {
+  if (Spec.maxVaultNamed() >= static_cast<int>(NumVaults))
+    reportFatalError("fault spec names a vault beyond the device geometry");
+  for (const VaultAvailEvent &E : Spec.vaultEvents())
+    AvailTimeline[E.Vault].push_back({E.At, E.Online ? 1.0 : 0.0});
+  for (const TsvDegradeEvent &E : Spec.tsvEvents())
+    TsvTimeline[E.Vault].push_back({E.At, E.Factor});
+}
+
+double FaultInjector::stepValueAt(const std::vector<Step> &Steps, Picos Now,
+                                  double Initial) {
+  double Value = Initial;
+  for (const Step &S : Steps) {
+    if (S.At > Now)
+      break;
+    Value = S.Value;
+  }
+  return Value;
+}
+
+bool FaultInjector::vaultOffline(unsigned Vault, Picos Now) const {
+  return stepValueAt(AvailTimeline[Vault], Now, 1.0) == 0.0;
+}
+
+unsigned FaultInjector::healthyVaults(Picos Now) const {
+  unsigned Healthy = 0;
+  for (unsigned V = 0; V != NumVaults; ++V)
+    Healthy += vaultOffline(V, Now) ? 0 : 1;
+  return Healthy;
+}
+
+std::vector<bool> FaultInjector::onlineVaults(Picos Now) const {
+  std::vector<bool> Online(NumVaults);
+  for (unsigned V = 0; V != NumVaults; ++V)
+    Online[V] = !vaultOffline(V, Now);
+  return Online;
+}
+
+unsigned FaultInjector::redirectVault(unsigned Vault, Picos Now) const {
+  if (!vaultOffline(Vault, Now))
+    return Vault;
+  return spareVaultMap(onlineVaults(Now))[Vault];
+}
+
+double FaultInjector::tsvScale(unsigned Vault, Picos Now) const {
+  return stepValueAt(TsvTimeline[Vault], Now, 1.0);
+}
+
+Picos FaultInjector::throttleAdjust(Picos T, bool *Stalled) const {
+  for (const ThrottleWindow &W : Spec.throttleWindows()) {
+    if (T < W.From || T >= W.Until)
+      continue;
+    const Picos Pause =
+        static_cast<Picos>(W.Duty * static_cast<double>(W.Period) + 0.5);
+    const Picos Phase = (T - W.From) % W.Period;
+    if (Phase < Pause) {
+      if (Stalled)
+        *Stalled = true;
+      T += Pause - Phase;
+    }
+  }
+  return T;
+}
+
+bool FaultInjector::readTakesEccRetry(unsigned Vault,
+                                      std::uint64_t RequestId) const {
+  return hashBelow(Spec.seed() ^ 0x45CC0B8E1ULL, Vault, RequestId,
+                   Spec.transientReadRate());
+}
+
+bool FaultInjector::jobTransientlyFails(std::uint64_t JobId,
+                                        unsigned Attempt) const {
+  return hashBelow(Spec.seed() ^ 0x10B5A11ULL, JobId, Attempt,
+                   Spec.jobFailRate());
+}
+
+double FaultInjector::capacityFactor(Picos Now) const {
+  double Factor = static_cast<double>(healthyVaults(Now)) /
+                  static_cast<double>(NumVaults);
+  for (const ThrottleWindow &W : Spec.throttleWindows())
+    if (Now >= W.From && Now < W.Until)
+      Factor *= 1.0 - W.Duty;
+  return Factor;
+}

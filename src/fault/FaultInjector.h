@@ -1,0 +1,99 @@
+//===- fault/FaultInjector.h - Runtime fault oracle -------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Answers the memory model's and the serving layer's fault questions at
+/// simulation time: is vault V online at time T, how slow are its TSV
+/// lanes, must a command stall for a thermal-throttle window, does this
+/// read take an ECC retry, does this job dispatch transiently fail.
+///
+/// Every answer is a pure function of (FaultSpec, coordinates): vault
+/// timelines are precomputed sorted step functions and the probabilistic
+/// decisions hash the spec seed with the request/job identity (splitmix64)
+/// instead of consuming a shared RNG stream. Replaying the same spec
+/// therefore yields byte-identical schedules no matter how callers
+/// interleave, which the determinism tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FAULT_FAULTINJECTOR_H
+#define FFT3D_FAULT_FAULTINJECTOR_H
+
+#include "fault/FaultSpec.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Immutable runtime view of a FaultSpec for an \p NumVaults-vault device.
+class FaultInjector {
+public:
+  /// Aborts if the spec names a vault outside [0, NumVaults).
+  FaultInjector(const FaultSpec &Spec, unsigned NumVaults);
+
+  const FaultSpec &spec() const { return Spec; }
+  unsigned numVaults() const { return NumVaults; }
+
+  /// True when \p Vault is hard-failed at \p Now.
+  bool vaultOffline(unsigned Vault, Picos Now) const;
+
+  /// Number of online vaults at \p Now (>= 1 is not guaranteed; a spec
+  /// may fail everything).
+  unsigned healthyVaults(Picos Now) const;
+
+  /// Online flags for every vault at \p Now.
+  std::vector<bool> onlineVaults(Picos Now) const;
+
+  /// Where \p Vault's traffic goes at \p Now: itself when online, else
+  /// its round-robin-assigned spare (spareVaultMap), so concurrent
+  /// failures spread across distinct survivors. Returns \p Vault itself
+  /// when every vault is offline.
+  unsigned redirectVault(unsigned Vault, Picos Now) const;
+
+  /// TSV beat-interval multiplier for \p Vault at \p Now (>= 1).
+  double tsvScale(unsigned Vault, Picos Now) const;
+
+  /// Earliest time >= \p T at which a command may issue given the
+  /// thermal-throttle windows; sets \p Stalled when it moved.
+  Picos throttleAdjust(Picos T, bool *Stalled = nullptr) const;
+
+  /// True when the read with device-assigned id \p RequestId to \p Vault
+  /// takes an ECC retry (pay eccRetryPenalty() extra latency).
+  bool readTakesEccRetry(unsigned Vault, std::uint64_t RequestId) const;
+
+  Picos eccRetryPenalty() const { return Spec.eccRetryPenalty(); }
+
+  /// True when attempt \p Attempt of job \p JobId transiently fails
+  /// (serving layer; retried with backoff by the HealthMonitor policy).
+  bool jobTransientlyFails(std::uint64_t JobId, unsigned Attempt) const;
+
+  /// Mean available-bandwidth fraction at \p Now: (healthy/total) x
+  /// (1 - throttle duty of the window containing \p Now). The serving
+  /// layer uses it to re-estimate capacity under degradation.
+  double capacityFactor(Picos Now) const;
+
+private:
+  struct Step {
+    Picos At;
+    double Value;
+  };
+
+  /// Value of a sorted step function at \p Now, else \p Initial.
+  static double stepValueAt(const std::vector<Step> &Steps, Picos Now,
+                            double Initial);
+
+  FaultSpec Spec;
+  unsigned NumVaults;
+  /// Per-vault availability timeline (Value: 1 online, 0 offline).
+  std::vector<std::vector<Step>> AvailTimeline;
+  /// Per-vault TSV scale timeline.
+  std::vector<std::vector<Step>> TsvTimeline;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FAULT_FAULTINJECTOR_H

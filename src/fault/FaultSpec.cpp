@@ -1,0 +1,198 @@
+//===- fault/FaultSpec.cpp - Declarative fault schedule -------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultSpec.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+using namespace fft3d;
+
+namespace {
+
+/// One tokenized directive line.
+struct Line {
+  std::uint64_t Number = 0;
+  std::vector<std::string> Tokens;
+};
+
+bool parseDouble(const std::string &Token, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtod(Token.c_str(), &End);
+  return errno == 0 && End && *End == '\0' && End != Token.c_str();
+}
+
+bool parseU64(const std::string &Token, std::uint64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Token.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0' && End != Token.c_str();
+}
+
+bool parseMillis(const std::string &Token, Picos &Out) {
+  double Ms = 0.0;
+  if (!parseDouble(Token, Ms) || Ms < 0.0)
+    return false;
+  Out = static_cast<Picos>(Ms * static_cast<double>(PicosPerMilli) + 0.5);
+  return true;
+}
+
+/// Expects \p Keyword at \p Index and a value token right after it.
+bool keyed(const Line &L, std::size_t Index, const char *Keyword,
+           std::string &Value) {
+  if (Index + 1 >= L.Tokens.size() || L.Tokens[Index] != Keyword)
+    return false;
+  Value = L.Tokens[Index + 1];
+  return true;
+}
+
+bool fail(std::string *Error, std::uint64_t LineNo, const std::string &Msg) {
+  if (Error)
+    *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+} // namespace
+
+bool FaultSpec::parse(std::istream &Stream, std::string *Error) {
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return parse(Buffer.str(), Error);
+}
+
+bool FaultSpec::parse(const std::string &Text, std::string *Error) {
+  FaultSpec Parsed;
+  std::istringstream Input(Text);
+  std::string Raw;
+  std::uint64_t LineNo = 0;
+  while (std::getline(Input, Raw)) {
+    ++LineNo;
+    const std::size_t Hash = Raw.find('#');
+    if (Hash != std::string::npos)
+      Raw.erase(Hash);
+    Line L;
+    L.Number = LineNo;
+    std::istringstream Words(Raw);
+    std::string Word;
+    while (Words >> Word)
+      L.Tokens.push_back(Word);
+    if (L.Tokens.empty())
+      continue;
+
+    const std::string &Kind = L.Tokens[0];
+    std::string V1, V2, V3, V4;
+    if (Kind == "seed") {
+      if (L.Tokens.size() != 2 || !parseU64(L.Tokens[1], Parsed.Seed))
+        return fail(Error, LineNo, "expected: seed <u64>");
+    } else if (Kind == "vault_fail" || Kind == "vault_recover") {
+      VaultAvailEvent E;
+      E.Online = Kind == "vault_recover";
+      std::uint64_t Vault = 0;
+      if (L.Tokens.size() != 4 || !parseU64(L.Tokens[1], Vault) ||
+          !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At))
+        return fail(Error, LineNo,
+                    "expected: " + Kind + " <vault> at <ms>");
+      E.Vault = static_cast<unsigned>(Vault);
+      Parsed.VaultEvents.push_back(E);
+    } else if (Kind == "tsv_degrade") {
+      TsvDegradeEvent E;
+      std::uint64_t Vault = 0;
+      if (L.Tokens.size() != 6 || !parseU64(L.Tokens[1], Vault) ||
+          !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At) ||
+          !keyed(L, 4, "factor", V2) || !parseDouble(V2, E.Factor) ||
+          E.Factor < 1.0)
+        return fail(Error, LineNo,
+                    "expected: tsv_degrade <vault> at <ms> factor <f>=1>");
+      E.Vault = static_cast<unsigned>(Vault);
+      Parsed.TsvEvents.push_back(E);
+    } else if (Kind == "throttle") {
+      ThrottleWindow W;
+      double PeriodUs = 0.0, DutyPct = 0.0;
+      if (L.Tokens.size() != 9 || !keyed(L, 1, "from", V1) ||
+          !parseMillis(V1, W.From) || !keyed(L, 3, "until", V2) ||
+          !parseMillis(V2, W.Until) || !keyed(L, 5, "period", V3) ||
+          !parseDouble(V3, PeriodUs) || PeriodUs <= 0.0 ||
+          !keyed(L, 7, "duty", V4) || !parseDouble(V4, DutyPct) ||
+          DutyPct < 0.0 || DutyPct >= 100.0 || W.Until <= W.From)
+        return fail(Error, LineNo,
+                    "expected: throttle from <ms> until <ms> period <us> "
+                    "duty <pct in [0,100)>");
+      W.Period = static_cast<Picos>(
+          PeriodUs * static_cast<double>(PicosPerMicro) + 0.5);
+      W.Duty = DutyPct / 100.0;
+      if (W.Duty > 0.0)
+        Parsed.Throttles.push_back(W);
+    } else if (Kind == "transient") {
+      double PenaltyNs = 0.0;
+      if (L.Tokens.size() != 5 || !keyed(L, 1, "rate", V1) ||
+          !parseDouble(V1, Parsed.TransientRate) ||
+          Parsed.TransientRate < 0.0 || Parsed.TransientRate >= 1.0 ||
+          !keyed(L, 3, "penalty", V2) || !parseDouble(V2, PenaltyNs) ||
+          PenaltyNs < 0.0)
+        return fail(Error, LineNo,
+                    "expected: transient rate <p in [0,1)> penalty <ns>");
+      Parsed.EccPenalty = nanosToPicos(PenaltyNs);
+    } else if (Kind == "job_fail_rate") {
+      if (L.Tokens.size() != 2 || !parseDouble(L.Tokens[1], Parsed.JobFailRate) ||
+          Parsed.JobFailRate < 0.0 || Parsed.JobFailRate >= 1.0)
+        return fail(Error, LineNo, "expected: job_fail_rate <p in [0,1)>");
+    } else {
+      return fail(Error, LineNo, "unknown directive '" + Kind + "'");
+    }
+  }
+
+  // Stable chronological order so injector timelines are well defined
+  // regardless of spec line order.
+  std::stable_sort(Parsed.VaultEvents.begin(), Parsed.VaultEvents.end(),
+                   [](const VaultAvailEvent &A, const VaultAvailEvent &B) {
+                     return A.At < B.At;
+                   });
+  std::stable_sort(Parsed.TsvEvents.begin(), Parsed.TsvEvents.end(),
+                   [](const TsvDegradeEvent &A, const TsvDegradeEvent &B) {
+                     return A.At < B.At;
+                   });
+  *this = std::move(Parsed);
+  return true;
+}
+
+bool FaultSpec::empty() const {
+  return VaultEvents.empty() && TsvEvents.empty() && Throttles.empty() &&
+         TransientRate == 0.0 && JobFailRate == 0.0;
+}
+
+int FaultSpec::maxVaultNamed() const {
+  int Max = -1;
+  for (const VaultAvailEvent &E : VaultEvents)
+    Max = std::max(Max, static_cast<int>(E.Vault));
+  for (const TsvDegradeEvent &E : TsvEvents)
+    Max = std::max(Max, static_cast<int>(E.Vault));
+  return Max;
+}
+
+std::vector<unsigned> fft3d::spareVaultMap(const std::vector<bool> &Online) {
+  const unsigned NumVaults = static_cast<unsigned>(Online.size());
+  std::vector<unsigned> Map(NumVaults);
+  std::vector<unsigned> Survivors;
+  for (unsigned V = 0; V != NumVaults; ++V) {
+    Map[V] = V;
+    if (Online[V])
+      Survivors.push_back(V);
+  }
+  if (Survivors.empty())
+    return Map;
+  unsigned NextSpare = 0;
+  for (unsigned V = 0; V != NumVaults; ++V) {
+    if (Online[V])
+      continue;
+    Map[V] = Survivors[NextSpare % Survivors.size()];
+    ++NextSpare;
+  }
+  return Map;
+}

@@ -1,0 +1,126 @@
+//===- fault/FaultSpec.h - Declarative fault schedule -----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic schedule of fault events for the 3D memory and
+/// the serving layer: vault hard failures (and recoveries), per-vault TSV
+/// lane degradation, thermal-throttle duty-cycle windows, transient read
+/// errors with an ECC retry penalty, and job-level transient failures.
+///
+/// The schedule is parsed from a small line-oriented text spec
+/// (docs/FaultModel.md documents the grammar) and is pure data: all
+/// runtime decisions live in FaultInjector, and every decision is a pure
+/// function of (spec, seed, coordinates), so a replay with the same spec
+/// is byte-identical.
+///
+/// Grammar (one directive per line, '#' starts a comment; times in ms
+/// unless suffixed otherwise):
+///
+///   seed <u64>
+///   vault_fail <vault> at <ms>
+///   vault_recover <vault> at <ms>
+///   tsv_degrade <vault> at <ms> factor <f>      # f >= 1; 1 restores
+///   throttle from <ms> until <ms> period <us> duty <pct>
+///   transient rate <p> penalty <ns>             # per-read ECC retry
+///   job_fail_rate <p>                           # per-dispatch job failure
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FAULT_FAULTSPEC_H
+#define FFT3D_FAULT_FAULTSPEC_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// A step change in one vault's availability.
+struct VaultAvailEvent {
+  unsigned Vault = 0;
+  Picos At = 0;
+  /// false = vault_fail, true = vault_recover.
+  bool Online = false;
+};
+
+/// A step change in one vault's TSV lane health. Factor multiplies the
+/// vault's beat interval (t_in_row and the TSV data period): factor 2
+/// models half the lanes surviving.
+struct TsvDegradeEvent {
+  unsigned Vault = 0;
+  Picos At = 0;
+  double Factor = 1.0;
+};
+
+/// A thermal-throttle window: within [From, Until), the first Duty
+/// fraction of every Period the memory may not issue commands (the
+/// controller stalls exactly like it does for refresh).
+struct ThrottleWindow {
+  Picos From = 0;
+  Picos Until = 0;
+  Picos Period = 0;
+  /// Fraction of each period spent paused, in [0, 1).
+  double Duty = 0.0;
+};
+
+/// The full parsed schedule.
+class FaultSpec {
+public:
+  /// Parses \p Text. Returns false and sets \p Error (with a line number)
+  /// on malformed input; the spec is unchanged on failure.
+  bool parse(const std::string &Text, std::string *Error = nullptr);
+
+  /// Parses the contents of \p Stream (e.g. an open spec file).
+  bool parse(std::istream &Stream, std::string *Error = nullptr);
+
+  /// True when no directive was given: the zero-overhead off path.
+  bool empty() const;
+
+  /// Largest vault index any directive names, or -1 when none do; lets a
+  /// device validate the spec against its geometry.
+  int maxVaultNamed() const;
+
+  std::uint64_t seed() const { return Seed; }
+  const std::vector<VaultAvailEvent> &vaultEvents() const {
+    return VaultEvents;
+  }
+  const std::vector<TsvDegradeEvent> &tsvEvents() const { return TsvEvents; }
+  const std::vector<ThrottleWindow> &throttleWindows() const {
+    return Throttles;
+  }
+  /// Per-read probability of a transient error (ECC retry), in [0, 1).
+  double transientReadRate() const { return TransientRate; }
+  /// Latency added to a read that takes an ECC retry.
+  Picos eccRetryPenalty() const { return EccPenalty; }
+  /// Per-dispatch probability that a job transiently fails (serving
+  /// layer), in [0, 1).
+  double jobFailRate() const { return JobFailRate; }
+
+private:
+  std::uint64_t Seed = 0;
+  std::vector<VaultAvailEvent> VaultEvents;
+  std::vector<TsvDegradeEvent> TsvEvents;
+  std::vector<ThrottleWindow> Throttles;
+  double TransientRate = 0.0;
+  Picos EccPenalty = 0;
+  double JobFailRate = 0.0;
+};
+
+/// The deterministic spare mapping shared by the memory's runtime
+/// redirect and the layout planner's block remap: the i-th offline vault
+/// (in vault order) moves to the i-th online vault, round-robin, so the
+/// redirected load spreads evenly across the survivors instead of piling
+/// onto one hot spare. \p Online has one entry per vault; returns the
+/// identity for online vaults. When no vault is online every entry maps
+/// to itself.
+std::vector<unsigned> spareVaultMap(const std::vector<bool> &Online);
+
+} // namespace fft3d
+
+#endif // FFT3D_FAULT_FAULTSPEC_H

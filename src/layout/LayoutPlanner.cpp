@@ -6,6 +6,7 @@
 
 #include "layout/LayoutPlanner.h"
 
+#include "fault/FaultSpec.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -86,6 +87,27 @@ BlockPlan LayoutPlanner::plan(std::uint64_t N, unsigned VaultsParallel,
   assert(Plan.H * Plan.W == S && "block must fill the row buffer exactly");
   assert(Plan.H <= N && Plan.W <= N && "block exceeds the matrix");
   return Plan;
+}
+
+DegradedPlan LayoutPlanner::planDegraded(std::uint64_t N,
+                                         const std::vector<bool> &VaultOnline,
+                                         unsigned VaultsParallel,
+                                         std::uint64_t ColumnStreams) const {
+  if (VaultOnline.size() != Geo.NumVaults)
+    reportFatalError("online-vault vector does not match the geometry");
+  unsigned Healthy = 0;
+  for (const bool Online : VaultOnline)
+    Healthy += Online ? 1 : 0;
+  if (Healthy == 0)
+    reportFatalError("cannot plan a layout with every vault offline");
+
+  DegradedPlan Result;
+  Result.HealthyVaults = Healthy;
+  if (VaultsParallel != 0)
+    Result.HealthyVaults = std::min(Result.HealthyVaults, VaultsParallel);
+  Result.Plan = plan(N, Result.HealthyVaults, ColumnStreams);
+  Result.VaultMap = spareVaultMap(VaultOnline);
+  return Result;
 }
 
 std::unique_ptr<BlockDynamicLayout>

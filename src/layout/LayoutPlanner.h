@@ -36,6 +36,7 @@
 #include "mem3d/Timing.h"
 
 #include <memory>
+#include <vector>
 
 namespace fft3d {
 
@@ -65,6 +66,18 @@ struct BlockPlan {
   std::uint64_t RowBufferElems = 0;
 };
 
+/// A plan re-solved for a degraded device: Eq. 1 with the surviving
+/// vault count n_v', plus the deterministic spare mapping that moves
+/// each failed vault's blocks onto a healthy vault.
+struct DegradedPlan {
+  BlockPlan Plan;
+  /// Surviving vaults n_v' the plan was solved for.
+  unsigned HealthyVaults = 0;
+  /// Per-vault remap (identity for healthy vaults; spareVaultMap for
+  /// failed ones).
+  std::vector<unsigned> VaultMap;
+};
+
 /// Computes block shapes per Eq. 1 for a given device.
 class LayoutPlanner {
 public:
@@ -81,6 +94,15 @@ public:
   std::unique_ptr<BlockDynamicLayout>
   createLayout(std::uint64_t N, unsigned VaultsParallel, PhysAddr Base = 0,
                std::uint64_t ColumnStreams = 0) const;
+
+  /// Re-solves Eq. 1 for a partially failed device: n_v' = the number of
+  /// true entries in \p VaultOnline (capped by \p VaultsParallel when
+  /// non-zero), and the block remap that sends failed vaults' traffic to
+  /// their spares. Aborts when no vault survives.
+  DegradedPlan planDegraded(std::uint64_t N,
+                            const std::vector<bool> &VaultOnline,
+                            unsigned VaultsParallel = 0,
+                            std::uint64_t ColumnStreams = 0) const;
 
   /// Regime boundary m* = s*b*t_in_row/t_diff_row (elements).
   double bufferRegimeBoundary() const;

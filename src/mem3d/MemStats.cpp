@@ -26,6 +26,10 @@ void VaultStats::merge(const VaultStats &Other) {
   RowMisses += Other.RowMisses;
   RefreshStalls += Other.RefreshStalls;
   BusBusy += Other.BusBusy;
+  EccRetries += Other.EccRetries;
+  ThrottleStalls += Other.ThrottleStalls;
+  OfflineRedirects += Other.OfflineRedirects;
+  OfflineFailed += Other.OfflineFailed;
 }
 
 MemStats::MemStats(unsigned NumVaults) : Vaults(NumVaults) {}
@@ -88,4 +92,11 @@ void MemStats::print(std::ostream &OS, Picos Elapsed) const {
      << "  latency: mean " << LatencyStat.mean() << " ns, max "
      << LatencyStat.max() << " ns over " << LatencyStat.count()
      << " requests\n";
+  // Fault counters only appear under fault injection, so fault-free
+  // output stays byte-identical to the pre-fault model.
+  if (Sum.EccRetries != 0 || Sum.ThrottleStalls != 0 ||
+      Sum.OfflineRedirects != 0 || Sum.OfflineFailed != 0)
+    OS << "  faults: " << Sum.EccRetries << " ECC retries, "
+       << Sum.ThrottleStalls << " throttle stalls, " << Sum.OfflineRedirects
+       << " redirects, " << Sum.OfflineFailed << " failed completions\n";
 }

@@ -38,6 +38,17 @@ struct VaultStats {
   std::uint64_t RefreshStalls = 0;
   /// Total time the vault's TSV bus carried data.
   Picos BusBusy = 0;
+  /// Fault-injection counters (all zero without a fault spec).
+  /// Reads that paid an ECC retry penalty.
+  std::uint64_t EccRetries = 0;
+  /// Commands pushed out of a thermal-throttle pause window.
+  std::uint64_t ThrottleStalls = 0;
+  /// Requests redirected to this vault's spare because it was offline at
+  /// submit time (counted on the failed vault).
+  std::uint64_t OfflineRedirects = 0;
+  /// Queued requests completed with Failed=true because the vault went
+  /// offline before they issued.
+  std::uint64_t OfflineFailed = 0;
 
   std::uint64_t totalBytes() const { return BytesRead + BytesWritten; }
   std::uint64_t totalAccesses() const { return Reads + Writes; }

@@ -19,13 +19,16 @@ Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config)
       Stats(Config.Geo.NumVaults) {
   Config.Geo.validate();
   Config.Time.validate();
+  if (Config.Faults && !Config.Faults->empty())
+    Injector =
+        std::make_unique<FaultInjector>(*Config.Faults, Config.Geo.NumVaults);
   Vaults.reserve(Config.Geo.NumVaults);
   for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
     Vaults.emplace_back(this->Config.Geo, this->Config.Time);
   for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
     Controllers.push_back(std::make_unique<MemoryController>(
         Events, Vaults[V], this->Config.Geo, this->Config.Time, Config.Sched,
-        Config.Page, Stats.vault(V), Stats));
+        Config.Page, Stats.vault(V), Stats, Injector.get(), V));
 }
 
 double Memory3D::peakBandwidthGBps() const {
@@ -38,7 +41,28 @@ void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
   MemRequest Req = ReqIn;
   if (Req.Id == 0)
     Req.Id = ++NextRequestId;
-  const DecodedAddr Where = Mapper.decode(Req.Addr);
+  DecodedAddr Where = Mapper.decode(Req.Addr);
+  if (Injector && Injector->vaultOffline(Where.Vault, Events.now())) {
+    // Post-re-plan steady state: an offline vault's blocks live on its
+    // deterministic spare, so new traffic is redirected there (same bank
+    // and row coordinates, a different controller). Only requests already
+    // queued when a vault dies fail (see MemoryController::wake).
+    const unsigned Spare = Injector->redirectVault(Where.Vault, Events.now());
+    if (Spare == Where.Vault) {
+      // Every vault is offline: fail fast, retryably.
+      ++Stats.vault(Where.Vault).OfflineFailed;
+      if (Done) {
+        Req.Failed = true;
+        const Picos FailAt = Events.now() + Config.Time.AccessLatency;
+        Events.scheduleAt(FailAt, [Done = std::move(Done), Req, FailAt] {
+          Done(Req, FailAt);
+        });
+      }
+      return;
+    }
+    ++Stats.vault(Where.Vault).OfflineRedirects;
+    Where.Vault = Spare;
+  }
   if (Observer)
     Observer(Req, Where);
   Controllers[Where.Vault]->enqueue(Req, Where, std::move(Done));

@@ -16,6 +16,7 @@
 #ifndef FFT3D_MEM3D_MEMORY3D_H
 #define FFT3D_MEM3D_MEMORY3D_H
 
+#include "fault/FaultInjector.h"
 #include "mem3d/Address.h"
 #include "mem3d/MemStats.h"
 #include "mem3d/MemoryController.h"
@@ -35,6 +36,10 @@ struct MemoryConfig {
   bool XorHash = false;
   SchedulePolicy Sched = SchedulePolicy::FrFcfs;
   PagePolicy Page = PagePolicy::OpenPage;
+  /// Optional fault schedule. Null (the default) is the zero-overhead
+  /// off path: no injector is built and every timing decision is
+  /// bit-identical to the fault-free model.
+  std::shared_ptr<const FaultSpec> Faults;
 };
 
 /// The 3D memory device model.
@@ -84,11 +89,20 @@ public:
   MemStats &stats() { return Stats; }
   const MemStats &stats() const { return Stats; }
 
+  /// The fault oracle, or nullptr when no fault spec is configured.
+  const FaultInjector *faults() const { return Injector.get(); }
+
+  /// Vaults online at \p Now (all of them without a fault spec).
+  unsigned healthyVaults(Picos Now) const {
+    return Injector ? Injector->healthyVaults(Now) : Config.Geo.NumVaults;
+  }
+
 private:
   EventQueue &Events;
   MemoryConfig Config;
   AddressMapper Mapper;
   MemStats Stats;
+  std::unique_ptr<FaultInjector> Injector;
   std::vector<Vault> Vaults;
   std::vector<std::unique_ptr<MemoryController>> Controllers;
   RequestObserver Observer;

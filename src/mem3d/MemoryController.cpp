@@ -37,9 +37,12 @@ const char *fft3d::pagePolicyName(PagePolicy P) {
 MemoryController::MemoryController(EventQueue &Events, Vault &V,
                                    const Geometry &G, const Timing &T,
                                    SchedulePolicy Sched, PagePolicy Page,
-                                   VaultStats &Stats, MemStats &DeviceStats)
+                                   VaultStats &Stats, MemStats &DeviceStats,
+                                   const FaultInjector *Faults,
+                                   unsigned VaultIndex)
     : Events(Events), TheVault(V), Geo(G), Time(T), Sched(Sched), Page(Page),
-      Stats(Stats), DeviceStats(DeviceStats) {}
+      Stats(Stats), DeviceStats(DeviceStats), Faults(Faults),
+      VaultIndex(VaultIndex) {}
 
 void MemoryController::enqueue(const MemRequest &Req, const DecodedAddr &Where,
                                MemCallback Done) {
@@ -66,7 +69,10 @@ void MemoryController::wake() {
   const std::size_t Index = selectNext();
   PendingReq P = std::move(Queue[Index]);
   Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(Index));
-  issue(P);
+  if (Faults && Faults->vaultOffline(VaultIndex, Events.now()))
+    failOffline(P);
+  else
+    issue(P);
   // Command-bus pacing: the next decision happens no earlier than one TSV
   // period from now.
   NextDecisionTime = Events.now() + Time.TsvPeriod;
@@ -87,13 +93,30 @@ std::size_t MemoryController::selectNext() const {
 }
 
 Picos MemoryController::avoidRefresh(Picos T) {
-  if (Time.RefreshInterval == 0)
-    return T;
-  const Picos Phase = T % Time.RefreshInterval;
-  if (Phase >= Time.RefreshDuration)
-    return T;
-  ++Stats.RefreshStalls;
-  return T - Phase + Time.RefreshDuration;
+  if (Time.RefreshInterval != 0) {
+    const Picos Phase = T % Time.RefreshInterval;
+    if (Phase < Time.RefreshDuration) {
+      ++Stats.RefreshStalls;
+      T = T - Phase + Time.RefreshDuration;
+    }
+  }
+  if (Faults) {
+    bool Stalled = false;
+    T = Faults->throttleAdjust(T, &Stalled);
+    if (Stalled)
+      ++Stats.ThrottleStalls;
+  }
+  return T;
+}
+
+void MemoryController::failOffline(PendingReq &P) {
+  ++Stats.OfflineFailed;
+  if (P.Done) {
+    P.Req.Failed = true;
+    const Picos FailAt = Events.now() + Time.AccessLatency;
+    Events.scheduleAt(FailAt, [Done = std::move(P.Done), Req = P.Req,
+                               FailAt] { Done(Req, FailAt); });
+  }
 }
 
 Picos MemoryController::issue(PendingReq &P) {
@@ -119,8 +142,28 @@ Picos MemoryController::issue(PendingReq &P) {
 
   const Picos DataStart =
       std::max(CmdTime + Time.AccessLatency, TheVault.busFreeTime());
-  const Picos DataEnd = DataStart + Beats * Time.TsvPeriod;
-  B.recordColumnBurst(CmdTime, Beats, Time.TInRow);
+  Picos BeatInterval = Time.TsvPeriod;
+  Picos ColInterval = Time.TInRow;
+  if (Faults) {
+    // Degraded TSV lanes stretch the beat interval (fewer bits per
+    // clock), which slows both the data bus and the in-row column pace.
+    const double Scale = Faults->tsvScale(VaultIndex, Events.now());
+    if (Scale > 1.0) {
+      BeatInterval = static_cast<Picos>(
+          static_cast<double>(BeatInterval) * Scale + 0.5);
+      ColInterval = static_cast<Picos>(
+          static_cast<double>(ColInterval) * Scale + 0.5);
+    }
+  }
+  Picos DataEnd = DataStart + Beats * BeatInterval;
+  if (Faults && !P.Req.IsWrite &&
+      Faults->readTakesEccRetry(VaultIndex, P.Req.Id)) {
+    // A transient read error: the ECC retry re-transfers the burst after
+    // the penalty, holding the bus for the whole exchange.
+    ++Stats.EccRetries;
+    DataEnd += Faults->eccRetryPenalty() + Beats * BeatInterval;
+  }
+  B.recordColumnBurst(CmdTime, Beats, ColInterval);
   TheVault.reserveBus(DataStart, DataEnd);
   if (Page == PagePolicy::ClosedPage)
     B.closeRow();

@@ -17,6 +17,7 @@
 #ifndef FFT3D_MEM3D_MEMORYCONTROLLER_H
 #define FFT3D_MEM3D_MEMORYCONTROLLER_H
 
+#include "fault/FaultInjector.h"
 #include "mem3d/MemStats.h"
 #include "mem3d/Request.h"
 #include "mem3d/Timing.h"
@@ -51,9 +52,13 @@ const char *pagePolicyName(PagePolicy P);
 /// One vault's controller.
 class MemoryController {
 public:
+  /// \p Faults may be null (the fault-free fast path); \p VaultIndex is
+  /// this controller's vault id, used for per-vault fault queries.
   MemoryController(EventQueue &Events, Vault &V, const Geometry &G,
                    const Timing &T, SchedulePolicy Sched, PagePolicy Page,
-                   VaultStats &Stats, MemStats &DeviceStats);
+                   VaultStats &Stats, MemStats &DeviceStats,
+                   const FaultInjector *Faults = nullptr,
+                   unsigned VaultIndex = 0);
 
   /// Enqueues a request; \p Done fires (via the event queue) when the last
   /// data beat crosses the TSVs.
@@ -84,8 +89,14 @@ private:
   std::size_t selectNext() const;
 
   /// Pushes \p T out of any periodic all-bank refresh window (no-op when
-  /// refresh is disabled). Counts a refresh stall when it adjusts.
+  /// refresh is disabled). Counts a refresh stall when it adjusts. Under
+  /// fault injection the same point also stalls for thermal-throttle
+  /// pause windows.
   Picos avoidRefresh(Picos T);
+
+  /// Completes \p P with Failed=true (its vault went offline before it
+  /// issued): a fast, retryable rejection.
+  void failOffline(PendingReq &P);
 
   /// Resolves timing for \p P, updates bank/vault state and statistics,
   /// and schedules the completion callback. Returns the completion time.
@@ -99,6 +110,8 @@ private:
   PagePolicy Page;
   VaultStats &Stats;
   MemStats &DeviceStats;
+  const FaultInjector *Faults;
+  unsigned VaultIndex;
 
   std::deque<PendingReq> Queue;
   std::size_t MaxDepth = 0;

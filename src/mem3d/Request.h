@@ -29,6 +29,11 @@ struct MemRequest {
   bool IsWrite = false;
   PhysAddr Addr = 0;
   std::uint32_t Bytes = 8;
+  /// Set on the copy handed to the completion callback when the request
+  /// could not be served (its vault went offline mid-flight under fault
+  /// injection). Failed completions are retryable: the data was never
+  /// transferred and the caller may resubmit after re-planning.
+  bool Failed = false;
 };
 
 /// Completion notification: the request and the simulation time at which

@@ -16,6 +16,10 @@ const char *fft3d::admissionDecisionName(AdmissionDecision D) {
     return "shed-queue-full";
   case AdmissionDecision::ShedInfeasible:
     return "shed-infeasible";
+  case AdmissionDecision::ShedBrownout:
+    return "shed-brownout";
+  case AdmissionDecision::ShedFailed:
+    return "shed-failed";
   }
   return "?";
 }
@@ -24,6 +28,10 @@ AdmissionDecision AdmissionController::decide(const JobRequest &Job,
                                               const JobQueue &Queue,
                                               Picos Now, Picos Backlog,
                                               Picos EstService) {
+  if (BrownoutActive && Job.Priority >= BrownoutPriorityFloor) {
+    ++NumShedBrownout;
+    return AdmissionDecision::ShedBrownout;
+  }
   if (Queue.full()) {
     ++NumShedFull;
     return AdmissionDecision::ShedQueueFull;
@@ -37,8 +45,16 @@ AdmissionDecision AdmissionController::decide(const JobRequest &Job,
   return AdmissionDecision::Admit;
 }
 
+void AdmissionController::setBrownout(bool Active, unsigned PriorityFloor) {
+  BrownoutActive = Active;
+  BrownoutPriorityFloor = PriorityFloor;
+}
+
 void AdmissionController::reset() {
+  BrownoutActive = false;
+  BrownoutPriorityFloor = 0;
   NumAdmitted = 0;
   NumShedFull = 0;
   NumShedInfeasible = 0;
+  NumShedBrownout = 0;
 }

@@ -37,6 +37,11 @@ enum class AdmissionDecision {
   ShedQueueFull,
   /// Shed: backlog + service time already exceeds the job's deadline.
   ShedInfeasible,
+  /// Shed: brownout mode is shedding low-priority arrivals.
+  ShedBrownout,
+  /// Dropped by the serving loop after exhausting transient-fault
+  /// retries (not an arrival-time decision).
+  ShedFailed,
 };
 
 const char *admissionDecisionName(AdmissionDecision D);
@@ -54,18 +59,30 @@ public:
   AdmissionDecision decide(const JobRequest &Job, const JobQueue &Queue,
                            Picos Now, Picos Backlog, Picos EstService);
 
+  /// Enters/leaves brownout: while active, arrivals with Priority >=
+  /// \p PriorityFloor are shed before any other rule runs. The serving
+  /// loop drives this from its SLO-miss window.
+  void setBrownout(bool Active, unsigned PriorityFloor);
+  bool inBrownout() const { return BrownoutActive; }
+
   std::uint64_t admitted() const { return NumAdmitted; }
   std::uint64_t shedQueueFull() const { return NumShedFull; }
   std::uint64_t shedInfeasible() const { return NumShedInfeasible; }
-  std::uint64_t shedTotal() const { return NumShedFull + NumShedInfeasible; }
+  std::uint64_t shedBrownout() const { return NumShedBrownout; }
+  std::uint64_t shedTotal() const {
+    return NumShedFull + NumShedInfeasible + NumShedBrownout;
+  }
 
   void reset();
 
 private:
   bool ShedInfeasibleEnabled;
+  bool BrownoutActive = false;
+  unsigned BrownoutPriorityFloor = 0;
   std::uint64_t NumAdmitted = 0;
   std::uint64_t NumShedFull = 0;
   std::uint64_t NumShedInfeasible = 0;
+  std::uint64_t NumShedBrownout = 0;
 };
 
 } // namespace fft3d

@@ -1,0 +1,55 @@
+//===- serve/HealthMonitor.cpp - Device health for the serving loop -------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/HealthMonitor.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+Picos RetryPolicy::backoffFor(unsigned NextAttempt) const {
+  Picos Backoff = InitialBackoff;
+  for (unsigned I = 1; I < NextAttempt; ++I) {
+    if (Backoff >= MaxBackoff / std::max(1u, BackoffFactor))
+      return MaxBackoff;
+    Backoff *= BackoffFactor;
+  }
+  return std::min(Backoff, MaxBackoff);
+}
+
+HealthMonitor::HealthMonitor(std::shared_ptr<const FaultSpec> Spec,
+                             unsigned NumVaults)
+    : Spec(std::move(Spec)), NumVaults(NumVaults) {
+  if (this->Spec && !this->Spec->empty())
+    Injector = std::make_unique<FaultInjector>(*this->Spec, NumVaults);
+}
+
+unsigned HealthMonitor::healthyVaults(Picos Now) const {
+  return Injector ? Injector->healthyVaults(Now) : NumVaults;
+}
+
+double HealthMonitor::throttleSlowdown(Picos Now) const {
+  if (!Injector)
+    return 1.0;
+  // capacityFactor = (healthy/total) * (1 - duty); divide the vault term
+  // back out so only the throttle remains.
+  const unsigned Healthy = Injector->healthyVaults(Now);
+  if (Healthy == 0)
+    return 1.0;
+  const double Throttle = Injector->capacityFactor(Now) *
+                          static_cast<double>(NumVaults) /
+                          static_cast<double>(Healthy);
+  return Throttle > 0.0 && Throttle < 1.0 ? 1.0 / Throttle : 1.0;
+}
+
+double HealthMonitor::capacityFactor(Picos Now) const {
+  return Injector ? Injector->capacityFactor(Now) : 1.0;
+}
+
+bool HealthMonitor::jobTransientlyFails(std::uint64_t JobId,
+                                        unsigned Attempt) const {
+  return Injector && Injector->jobTransientlyFails(JobId, Attempt);
+}

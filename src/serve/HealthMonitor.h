@@ -1,0 +1,94 @@
+//===- serve/HealthMonitor.h - Device health for the serving loop -*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's view of device health under fault injection: how
+/// many vaults are grantable right now, how much thermal throttling slows
+/// a dispatched job, and whether a particular dispatch attempt transiently
+/// fails (and must be retried with backoff). A monitor without a fault
+/// spec answers "everything is healthy" at zero cost, preserving the
+/// fault-free serving behaviour bit for bit.
+///
+/// All answers delegate to the same FaultInjector the memory model uses,
+/// so the scheduler and the memory timing agree on when a vault died.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_HEALTHMONITOR_H
+#define FFT3D_SERVE_HEALTHMONITOR_H
+
+#include "fault/FaultInjector.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace fft3d {
+
+/// Exponential-backoff retry policy for transiently failed jobs.
+struct RetryPolicy {
+  /// Total dispatch attempts per job (first try + retries).
+  unsigned MaxAttempts = 4;
+  /// Backoff before retry k is InitialBackoff * BackoffFactor^k, capped.
+  Picos InitialBackoff = PicosPerMilli;
+  unsigned BackoffFactor = 2;
+  Picos MaxBackoff = 16 * PicosPerMilli;
+
+  /// Backoff to wait before re-queueing attempt \p NextAttempt (>= 1).
+  Picos backoffFor(unsigned NextAttempt) const;
+};
+
+/// Brownout policy: when the deadline-miss rate over a sliding window of
+/// recent completions crosses EnterMissRate, admission sheds every
+/// arrival at or below the priority floor until the rate recovers below
+/// ExitMissRate (hysteresis keeps the mode from flapping).
+struct BrownoutPolicy {
+  bool Enabled = false;
+  double EnterMissRate = 0.5;
+  double ExitMissRate = 0.25;
+  /// Sliding-window length, in deadline-carrying completions.
+  std::size_t Window = 32;
+  /// Jobs with Priority >= PriorityFloor (lower value = more urgent) are
+  /// shed during brownout.
+  unsigned PriorityFloor = 2;
+};
+
+/// Health oracle for one serving run.
+class HealthMonitor {
+public:
+  /// \p Spec may be null (always healthy); \p NumVaults is the device's
+  /// vault count.
+  HealthMonitor(std::shared_ptr<const FaultSpec> Spec, unsigned NumVaults);
+
+  /// True when a non-empty fault spec is attached.
+  bool active() const { return Injector != nullptr; }
+
+  unsigned numVaults() const { return NumVaults; }
+
+  /// Vaults the scheduler may grant at \p Now.
+  unsigned healthyVaults(Picos Now) const;
+
+  /// Service-time multiplier (>= 1) from thermal throttling at \p Now.
+  /// Vault losses are not folded in here - the scheduler already models
+  /// them by granting fewer vaults.
+  double throttleSlowdown(Picos Now) const;
+
+  /// Mean available-bandwidth fraction at \p Now (healthy/total x
+  /// throttle), for capacity reporting.
+  double capacityFactor(Picos Now) const;
+
+  /// True when dispatch attempt \p Attempt of job \p JobId transiently
+  /// fails. Deterministic in (spec seed, JobId, Attempt).
+  bool jobTransientlyFails(std::uint64_t JobId, unsigned Attempt) const;
+
+private:
+  std::shared_ptr<const FaultSpec> Spec;
+  unsigned NumVaults;
+  std::unique_ptr<FaultInjector> Injector;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_HEALTHMONITOR_H

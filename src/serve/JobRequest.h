@@ -56,6 +56,10 @@ struct JobRequest {
   /// Issuing client, for closed-loop workloads (0 for open-loop traces).
   std::uint64_t ClientId = 0;
 
+  /// Dispatch attempt number (0 = first try). Bumped by the serving loop
+  /// when a transient fault fails the job and it re-enters with backoff.
+  unsigned Attempt = 0;
+
   /// Complex elements the request moves per phase (frames x N x N).
   std::uint64_t totalElements() const {
     return static_cast<std::uint64_t>(Frames) * N * N;

@@ -10,6 +10,7 @@
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 
 using namespace fft3d;
@@ -32,6 +33,14 @@ struct RunState {
   /// estimate.
   std::map<std::uint64_t, Picos> Running;
   unsigned PeakConcurrency = 0;
+  /// Sliding window of deadline outcomes (true = missed) driving
+  /// brownout entry/exit.
+  std::deque<bool> MissWindow;
+  std::uint64_t BrownoutEpisodes = 0;
+  /// A delayed re-poll is pending (armed when work is queued but no
+  /// vault is healthy and nothing is running - a completion cannot
+  /// re-trigger scheduling, so a recovery must be polled for).
+  bool RepollArmed = false;
 
   RunState(std::size_t QueueCapacity, bool ShedInfeasible)
       : Queue(QueueCapacity), Admission(ShedInfeasible) {}
@@ -43,6 +52,9 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
   Load.reset();
   RunState State(Config.QueueCapacity, Config.ShedInfeasible);
   const unsigned TotalVaults = Model.totalVaults();
+  const HealthMonitor *Health =
+      Config.Health && Config.Health->active() ? Config.Health.get()
+                                               : nullptr;
 
   // The three mutually recursive event handlers.
   std::function<void()> TrySchedule;
@@ -52,35 +64,123 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
     State.Events.scheduleAt(Job.Arrival, [&, Job] { Arrive(Job); });
   };
 
+  // Re-checks the brownout mode after a deadline-carrying completion.
+  auto UpdateBrownout = [&](bool Missed) {
+    if (!Config.Brownout.Enabled)
+      return;
+    State.MissWindow.push_back(Missed);
+    if (State.MissWindow.size() > Config.Brownout.Window)
+      State.MissWindow.pop_front();
+    if (State.MissWindow.size() < Config.Brownout.Window)
+      return;
+    const double MissRate =
+        static_cast<double>(std::count(State.MissWindow.begin(),
+                                       State.MissWindow.end(), true)) /
+        static_cast<double>(State.MissWindow.size());
+    if (!State.Admission.inBrownout() &&
+        MissRate >= Config.Brownout.EnterMissRate) {
+      State.Admission.setBrownout(true, Config.Brownout.PriorityFloor);
+      ++State.BrownoutEpisodes;
+    } else if (State.Admission.inBrownout() &&
+               MissRate <= Config.Brownout.ExitMissRate) {
+      State.Admission.setBrownout(false, Config.Brownout.PriorityFloor);
+    }
+  };
+
   TrySchedule = [&] {
     while (true) {
       const Picos Now = State.Events.now();
-      const auto Decision = Policy.selectNext(
-          State.Queue, TotalVaults - State.BusyVaults, TotalVaults, Now,
-          Model);
-      if (!Decision)
+      // Under fault injection, only the currently healthy vaults are
+      // grantable; jobs already running on a vault that dies finish at
+      // their estimated time (their data was remapped by the memory
+      // layer), but no new grant may use it.
+      unsigned Avail = TotalVaults;
+      if (Health)
+        Avail = std::min(Avail, Health->healthyVaults(Now));
+      const unsigned Free =
+          Avail > State.BusyVaults ? Avail - State.BusyVaults : 0;
+      // The policy sees the degraded machine as the whole machine, so
+      // "take everything" policies keep dispatching on the survivors and
+      // partition shares shrink proportionally.
+      std::optional<DispatchDecision> Decision;
+      if (Avail != 0)
+        Decision = Policy.selectNext(State.Queue, Free, Avail, Now, Model);
+      if (!Decision) {
+        // Full outage with nothing running: no completion will re-enter
+        // the scheduler, so poll for the device's recovery.
+        if (Avail == 0 && !State.Queue.empty() && State.Running.empty() &&
+            !State.RepollArmed) {
+          State.RepollArmed = true;
+          State.Events.scheduleAt(Now + PicosPerMilli, [&] {
+            State.RepollArmed = false;
+            TrySchedule();
+          });
+        }
         return;
-      if (Decision->Vaults == 0 ||
-          Decision->Vaults > TotalVaults - State.BusyVaults)
+      }
+      if (Decision->Vaults == 0 || Decision->Vaults > Free)
         reportFatalError("policy granted more vaults than are free");
       const JobRequest Job = State.Queue.take(Decision->QueueIndex);
-      const Picos Service = Model.serviceTime(Job, Decision->Vaults);
+      Picos Service = Model.serviceTime(Job, Decision->Vaults);
+      bool Degraded = false;
+      if (Health) {
+        // Re-estimate at degraded capacity: thermal throttling stretches
+        // the service time (the vault loss is already reflected in the
+        // smaller grant).
+        const double Slow = Health->throttleSlowdown(Now);
+        if (Slow > 1.0)
+          Service = static_cast<Picos>(
+              static_cast<double>(Service) * Slow + 0.5);
+        Degraded = Slow > 1.0 || Avail < TotalVaults;
+      }
       State.BusyVaults += Decision->Vaults;
       State.PeakConcurrency = std::max(
           State.PeakConcurrency,
           static_cast<unsigned>(State.Running.size()) + 1);
+      const unsigned Vaults = Decision->Vaults;
+
+      if (Health && Health->jobTransientlyFails(Job.Id, Job.Attempt)) {
+        // Transient fault: the job burns half its service time before
+        // failing, then retries with capped exponential backoff (or is
+        // dropped once the attempts are exhausted).
+        const Picos FailAt = Now + std::max<Picos>(Service / 2, 1);
+        State.Running.emplace(Job.Id, FailAt);
+        State.Events.scheduleAt(FailAt, [&, Job, Vaults] {
+          State.BusyVaults -= Vaults;
+          State.Running.erase(Job.Id);
+          const Picos FailNow = State.Events.now();
+          if (Job.Attempt + 1 >= Config.Retry.MaxAttempts) {
+            State.Tracker.recordShed(Job, AdmissionDecision::ShedFailed);
+            for (const JobRequest &Next : Load.onResponse(Job, FailNow))
+              ScheduleArrival(Next);
+          } else {
+            State.Tracker.recordRetry(Job);
+            JobRequest Retry = Job;
+            ++Retry.Attempt;
+            Retry.Arrival =
+                FailNow + Config.Retry.backoffFor(Retry.Attempt);
+            ScheduleArrival(Retry);
+          }
+          TrySchedule();
+        });
+        continue;
+      }
+
       const Picos Complete = Now + Service;
       State.Running.emplace(Job.Id, Complete);
-      const unsigned Vaults = Decision->Vaults;
-      State.Events.scheduleAt(Complete, [&, Job, Now, Vaults, Complete] {
-        State.BusyVaults -= Vaults;
-        State.Running.erase(Job.Id);
-        State.Tracker.recordCompletion({Job, Now, Complete, Vaults});
-        for (const JobRequest &Next :
-             Load.onResponse(Job, State.Events.now()))
-          ScheduleArrival(Next);
-        TrySchedule();
-      });
+      State.Events.scheduleAt(
+          Complete, [&, Job, Now, Vaults, Complete, Degraded] {
+            State.BusyVaults -= Vaults;
+            State.Running.erase(Job.Id);
+            State.Tracker.recordCompletion(
+                {Job, Now, Complete, Vaults, Degraded});
+            if (Job.hasDeadline())
+              UpdateBrownout(Complete > Job.Deadline);
+            for (const JobRequest &Next :
+                 Load.onResponse(Job, State.Events.now()))
+              ScheduleArrival(Next);
+            TrySchedule();
+          });
     }
   };
 
@@ -123,6 +223,8 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
   Result.Tracker = State.Tracker;
   Result.ShedQueueFull = State.Admission.shedQueueFull();
   Result.ShedInfeasible = State.Admission.shedInfeasible();
+  Result.ShedBrownout = State.Admission.shedBrownout();
   Result.PeakConcurrency = State.PeakConcurrency;
+  Result.BrownoutEpisodes = State.BrownoutEpisodes;
   return Result;
 }

@@ -24,10 +24,12 @@
 #define FFT3D_SERVE_SERVESIMULATOR_H
 
 #include "serve/AdmissionController.h"
+#include "serve/HealthMonitor.h"
 #include "serve/Scheduler.h"
 #include "serve/SloTracker.h"
 #include "serve/Workload.h"
 
+#include <memory>
 #include <string>
 
 namespace fft3d {
@@ -39,6 +41,14 @@ struct ServeConfig {
   std::size_t QueueCapacity = 64;
   /// Shed jobs whose deadline is already infeasible at arrival.
   bool ShedInfeasible = false;
+  /// Device health oracle; null means always healthy (the fault-free
+  /// behaviour is then bit-identical to a config without this field).
+  std::shared_ptr<const HealthMonitor> Health;
+  /// Retry policy for transiently failed dispatches (used only when
+  /// Health is active).
+  RetryPolicy Retry;
+  /// Brownout shedding under sustained SLO misses.
+  BrownoutPolicy Brownout;
 };
 
 /// Outcome of one (workload, policy) run.
@@ -51,9 +61,12 @@ struct ServeResult {
   Picos EndTime = 0;
   std::uint64_t ShedQueueFull = 0;
   std::uint64_t ShedInfeasible = 0;
+  std::uint64_t ShedBrownout = 0;
   /// Peak number of concurrently running jobs (1 for the time-sharing
   /// policies; up to P under vault partitioning).
   unsigned PeakConcurrency = 0;
+  /// Number of times brownout mode was entered.
+  std::uint64_t BrownoutEpisodes = 0;
 };
 
 /// Runs workloads against scheduling policies on one simulated device.

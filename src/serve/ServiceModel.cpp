@@ -56,6 +56,18 @@ const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
   ServiceEstimate Est;
   Est.PhaseTime = Report.PhaseTime;
   Est.OverlapTime = Report.OverlapTime;
+  if (DeviceVaults != Vaults) {
+    // The phases are memory-paced at small shares, so the extra vaults
+    // beyond the measured power of two speed the job up linearly. This
+    // keeps the estimate monotone in the share - essential when vault
+    // failures leave a degraded, non-power-of-two machine.
+    const double Ratio =
+        static_cast<double>(DeviceVaults) / static_cast<double>(Vaults);
+    Est.PhaseTime = static_cast<Picos>(
+        static_cast<double>(Est.PhaseTime) * Ratio + 0.5);
+    Est.OverlapTime = static_cast<Picos>(
+        static_cast<double>(Est.OverlapTime) * Ratio + 0.5);
+  }
   Est.Plan = LayoutPlanner(Config.Mem.Geo, Mem.Time, ElementBytes)
                  .plan(N, DeviceVaults);
   return Cache.emplace(Key, Est).first->second;

@@ -24,6 +24,12 @@ void SloTracker::recordShed(const JobRequest &Job, AdmissionDecision Why) {
   if (Why == AdmissionDecision::Admit)
     reportFatalError("recordShed called with an admit decision");
   ShedJobs.push_back(Job);
+  ShedReasons.push_back(Why);
+}
+
+void SloTracker::recordRetry(const JobRequest &Job) {
+  (void)Job;
+  ++NumRetries;
 }
 
 double SloTracker::percentile(std::vector<double> Samples, double Fraction) {
@@ -73,6 +79,16 @@ SloSummary SloTracker::summarize(Picos End) const {
       ++Missed;
     }
   }
+  S.Retries = NumRetries;
+  for (const AdmissionDecision Why : ShedReasons) {
+    if (Why == AdmissionDecision::ShedBrownout)
+      ++S.BrownoutSheds;
+    else if (Why == AdmissionDecision::ShedFailed)
+      ++S.FailedDropped;
+  }
+  for (const JobOutcome &O : Outcomes)
+    if (O.Degraded)
+      ++S.DegradedCompletions;
 
   if (S.Completed != 0) {
     const Picos Makespan = End > FirstArrival ? End - FirstArrival : 0;
@@ -96,4 +112,6 @@ SloSummary SloTracker::summarize(Picos End) const {
 void SloTracker::reset() {
   Outcomes.clear();
   ShedJobs.clear();
+  ShedReasons.clear();
+  NumRetries = 0;
 }

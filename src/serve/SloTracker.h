@@ -39,6 +39,9 @@ struct JobOutcome {
   Picos CompleteTime = 0;
   /// Vault share it ran on.
   unsigned Vaults = 0;
+  /// Completed while the device was degraded (vaults offline or
+  /// throttled at dispatch).
+  bool Degraded = false;
 
   Picos queueingDelay() const { return DispatchTime - Job.Arrival; }
   Picos serviceTime() const { return CompleteTime - DispatchTime; }
@@ -64,6 +67,14 @@ struct SloSummary {
   /// (late completions + shed jobs with deadlines) / jobs with deadlines.
   double DeadlineMissRate = 0.0;
   double ShedRate = 0.0;
+  /// Fault accounting (all zero on a fault-free run).
+  std::uint64_t Retries = 0;
+  /// Jobs dropped after exhausting transient-fault retries.
+  std::uint64_t FailedDropped = 0;
+  /// Arrivals shed by brownout mode.
+  std::uint64_t BrownoutSheds = 0;
+  /// Completions dispatched on a degraded device.
+  std::uint64_t DegradedCompletions = 0;
 };
 
 /// Collects outcomes for one (policy, workload) run.
@@ -71,10 +82,13 @@ class SloTracker {
 public:
   void recordCompletion(const JobOutcome &Outcome);
   void recordShed(const JobRequest &Job, AdmissionDecision Why);
+  /// One transient-fault retry was scheduled for \p Job.
+  void recordRetry(const JobRequest &Job);
 
   const std::vector<JobOutcome> &completions() const { return Outcomes; }
   std::uint64_t completed() const { return Outcomes.size(); }
   std::uint64_t shed() const { return ShedJobs.size(); }
+  std::uint64_t retries() const { return NumRetries; }
 
   /// Nearest-rank percentile of \p Samples (need not be sorted):
   /// the smallest sample S such that at least Fraction of samples <= S.
@@ -90,6 +104,9 @@ public:
 private:
   std::vector<JobOutcome> Outcomes;
   std::vector<JobRequest> ShedJobs;
+  /// Why ShedJobs[i] was shed (parallel to ShedJobs).
+  std::vector<AdmissionDecision> ShedReasons;
+  std::uint64_t NumRetries = 0;
 };
 
 } // namespace fft3d

@@ -1,0 +1,334 @@
+//===- tests/fault_integration_test.cpp - Faults through the full stack ---===//
+//
+// Part of the fft3d project.
+//
+// End-to-end properties of fault injection: the memory model's counters
+// and redirects, the zero-overhead off path (no fault spec => bit-identical
+// behaviour), byte-identical deterministic replay, the degraded-consistency
+// throughput property, and the bit-exact functional recovery after a
+// mid-run vault loss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fft2dProcessor.h"
+#include "fft/Fft2d.h"
+#include "mem3d/Memory3D.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+using namespace fft3d;
+
+namespace {
+
+std::shared_ptr<const FaultSpec> spec(const std::string &Text) {
+  auto Spec = std::make_shared<FaultSpec>();
+  std::string Error;
+  EXPECT_TRUE(Spec->parse(Text, &Error)) << Error;
+  return Spec;
+}
+
+/// A memory device with an optional fault schedule attached.
+struct Harness {
+  EventQueue Events;
+  MemoryConfig Config;
+  std::unique_ptr<Memory3D> Mem;
+
+  explicit Harness(std::shared_ptr<const FaultSpec> Faults = nullptr) {
+    Config.Faults = std::move(Faults);
+    Mem = std::make_unique<Memory3D>(Events, Config);
+  }
+
+  /// First row-buffer-aligned address that decodes to \p Vault.
+  PhysAddr addrInVault(unsigned Vault) const {
+    for (PhysAddr A = 0;; A += Config.Geo.RowBufferBytes)
+      if (Mem->mapper().decode(A).Vault == Vault)
+        return A;
+  }
+};
+
+MemRequest read8(PhysAddr Addr) {
+  MemRequest Req;
+  Req.Addr = Addr;
+  Req.Bytes = 8;
+  return Req;
+}
+
+/// Submits \p Count reads striding row buffers from \p Base; returns the
+/// completion times in submission order and flags any failed completion.
+std::vector<Picos> drain(Harness &H, PhysAddr Base, unsigned Count,
+                         unsigned *FailedCompletions = nullptr) {
+  std::vector<Picos> Done(Count, 0);
+  for (unsigned I = 0; I != Count; ++I)
+    H.Mem->submit(read8(Base + I * H.Config.Geo.RowBufferBytes),
+                  [&Done, I, FailedCompletions](const MemRequest &Req,
+                                                Picos At) {
+                    Done[I] = At;
+                    if (Req.Failed && FailedCompletions)
+                      ++*FailedCompletions;
+                  });
+  H.Events.run();
+  return Done;
+}
+
+SystemConfig quickConfig(std::uint64_t N) {
+  SystemConfig C = SystemConfig::forProblemSize(N);
+  C.MaxSimBytesPerDirection = 4ull << 20;
+  C.MaxSimOpsPerDirection = 20000;
+  return C;
+}
+
+Matrix randomMatrix(std::uint64_t N, std::uint64_t Seed) {
+  Rng R(Seed);
+  Matrix M(N, N);
+  for (std::uint64_t I = 0; I != N; ++I)
+    for (std::uint64_t J = 0; J != N; ++J)
+      M.at(I, J) = CplxF(static_cast<float>(R.nextDouble(-1, 1)),
+                         static_cast<float>(R.nextDouble(-1, 1)));
+  return M;
+}
+
+/// The report fields that must match bit for bit between two runs.
+void expectReportsIdentical(const AppReport &A, const AppReport &B) {
+  EXPECT_EQ(A.RowPhase.Elapsed, B.RowPhase.Elapsed);
+  EXPECT_EQ(A.ColPhase.Elapsed, B.ColPhase.Elapsed);
+  EXPECT_EQ(A.RowPhase.RowActivations, B.RowPhase.RowActivations);
+  EXPECT_EQ(A.ColPhase.RowActivations, B.ColPhase.RowActivations);
+  EXPECT_EQ(A.RowPhase.BytesRead, B.RowPhase.BytesRead);
+  EXPECT_EQ(A.ColPhase.BytesRead, B.ColPhase.BytesRead);
+  EXPECT_EQ(A.EstimatedTotalTime, B.EstimatedTotalTime);
+  EXPECT_EQ(A.AppLatency, B.AppLatency);
+  EXPECT_EQ(A.MigrationTime, B.MigrationTime);
+  EXPECT_EQ(A.Replanned, B.Replanned);
+  // Doubles compare exactly: same event schedule, same arithmetic.
+  EXPECT_EQ(A.AppThroughputGBps, B.AppThroughputGBps);
+  EXPECT_EQ(A.RowPhase.ThroughputGBps, B.RowPhase.ThroughputGBps);
+  EXPECT_EQ(A.ColPhase.ThroughputGBps, B.ColPhase.ThroughputGBps);
+  EXPECT_EQ(A.ColPhase.RowHitRate, B.ColPhase.RowHitRate);
+}
+
+std::string statsText(const Memory3D &Mem, Picos Elapsed) {
+  std::ostringstream OS;
+  Mem.stats().print(OS, Elapsed);
+  return OS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Memory-model counters
+//===----------------------------------------------------------------------===//
+
+TEST(FaultMemory, OfflineVaultTrafficRedirectsToItsSpare) {
+  Harness H(spec("vault_fail 0 at 0\n"));
+  const PhysAddr InV0 = H.addrInVault(0);
+  unsigned Failed = 0;
+  const auto Done = drain(H, InV0, 1, &Failed);
+  EXPECT_GT(Done[0], 0);
+  EXPECT_EQ(Failed, 0u);
+  // The redirect is charged to the failed vault; the spare does the work.
+  EXPECT_EQ(H.Mem->stats().vault(0).OfflineRedirects, 1u);
+  EXPECT_EQ(H.Mem->stats().vault(0).Reads, 0u);
+  EXPECT_EQ(H.Mem->stats().total().Reads, 1u);
+  EXPECT_EQ(H.Mem->healthyVaults(0), 15u);
+}
+
+TEST(FaultMemory, TotalOutageFailsFastAndRetryably) {
+  std::string Text;
+  for (unsigned V = 0; V != 16; ++V)
+    Text += "vault_fail " + std::to_string(V) + " at 0\n";
+  Harness H(spec(Text));
+  unsigned Failed = 0;
+  const auto Done = drain(H, 0, 4, &Failed);
+  EXPECT_EQ(Failed, 4u);
+  for (const Picos At : Done)
+    EXPECT_GT(At, 0);
+  EXPECT_EQ(H.Mem->stats().total().OfflineFailed, 4u);
+  EXPECT_EQ(H.Mem->stats().total().Reads, 0u);
+}
+
+TEST(FaultMemory, MidRunLossFailsQueuedRequestsOnly) {
+  // The vault dies 10 ns in: requests issued before that complete
+  // normally, the rest of the queue fails retryably (their data was
+  // never read).
+  Harness H(spec("vault_fail 0 at 0.00001\n"));
+  const PhysAddr InV0 = H.addrInVault(0);
+  unsigned Failed = 0;
+  std::vector<Picos> Done(64, 0);
+  for (unsigned I = 0; I != 64; ++I)
+    H.Mem->submit(read8(InV0 + I * 8),
+                  [&, I](const MemRequest &Req, Picos At) {
+                    Done[I] = At;
+                    if (Req.Failed)
+                      ++Failed;
+                  });
+  H.Events.run();
+  EXPECT_GT(Failed, 0u);
+  EXPECT_LT(Failed, 64u);
+  EXPECT_EQ(H.Mem->stats().vault(0).OfflineFailed, Failed);
+}
+
+TEST(FaultMemory, EccRetriesStretchReadsAndAreCounted) {
+  Harness Clean;
+  Harness Faulty(spec("seed 3\ntransient rate 0.3 penalty 200\n"));
+  const auto CleanDone = drain(Clean, 0, 64);
+  const auto FaultyDone = drain(Faulty, 0, 64);
+  EXPECT_GT(Faulty.Mem->stats().total().EccRetries, 0u);
+  EXPECT_LT(Faulty.Mem->stats().total().EccRetries, 64u);
+  // No retried read finishes earlier than its fault-free twin.
+  for (unsigned I = 0; I != 64; ++I)
+    EXPECT_GE(FaultyDone[I], CleanDone[I]) << I;
+}
+
+TEST(FaultMemory, ThrottleWindowDelaysCommands) {
+  Harness Clean;
+  Harness Faulty(spec("throttle from 0 until 10 period 100 duty 50\n"));
+  const Picos CleanDone = drain(Clean, 0, 1)[0];
+  const Picos FaultyDone = drain(Faulty, 0, 1)[0];
+  // The command lands at phase 0 of the period: it waits the full 50 us
+  // pause before issuing.
+  EXPECT_EQ(FaultyDone, CleanDone + 50 * PicosPerMicro);
+  EXPECT_GT(Faulty.Mem->stats().total().ThrottleStalls, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-overhead off path
+//===----------------------------------------------------------------------===//
+
+TEST(FaultOffPath, NoSpecAndBenignSpecAreBitIdentical) {
+  const SystemConfig Base = quickConfig(1024);
+
+  SystemConfig SeedOnly = Base;
+  SeedOnly.Mem.Faults = spec("seed 42\n");
+  // Events scheduled far beyond any simulated time build an injector but
+  // must not perturb a single timing decision.
+  SystemConfig FarFuture = Base;
+  FarFuture.Mem.Faults =
+      spec("vault_fail 3 at 1e9\nthrottle from 1e9 until 2e9 period "
+           "100 duty 50\n");
+
+  const AppReport Plain = Fft2dProcessor(Base).runOptimized();
+  const AppReport WithSeed = Fft2dProcessor(SeedOnly).runOptimized();
+  const AppReport WithFuture = Fft2dProcessor(FarFuture).runOptimized();
+  expectReportsIdentical(Plain, WithSeed);
+  expectReportsIdentical(Plain, WithFuture);
+
+  EXPECT_EQ(Plain.HealthyVaultsStart, 16u);
+  EXPECT_EQ(Plain.HealthyVaultsEnd, 16u);
+  EXPECT_FALSE(Plain.Replanned);
+  EXPECT_EQ(WithFuture.HealthyVaultsEnd, 16u);
+
+  // The same holds for the raw device: identical request streams give
+  // byte-identical stats printouts.
+  Harness Plain2;
+  Harness Benign(spec("vault_fail 3 at 1e9\n"));
+  drain(Plain2, 0, 64);
+  drain(Benign, 0, 64);
+  EXPECT_EQ(statsText(*Plain2.Mem, Plain2.Events.now()),
+            statsText(*Benign.Mem, Benign.Events.now()));
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic replay
+//===----------------------------------------------------------------------===//
+
+TEST(FaultDeterminism, IdenticalSpecReplaysByteIdentically) {
+  const std::string Text = "seed 7\n"
+                           "vault_fail 2 at 0.01\n"
+                           "vault_recover 2 at 0.05\n"
+                           "tsv_degrade 5 at 0 factor 2\n"
+                           "throttle from 0 until 1 period 10 duty 20\n"
+                           "transient rate 0.05 penalty 100\n";
+  // Two independently parsed specs, two independent devices, the same
+  // request stream: the MemStats printouts match byte for byte.
+  Harness A(spec(Text));
+  Harness B(spec(Text));
+  drain(A, 0, 256);
+  drain(B, 0, 256);
+  EXPECT_EQ(A.Events.now(), B.Events.now());
+  EXPECT_EQ(statsText(*A.Mem, A.Events.now()),
+            statsText(*B.Mem, B.Events.now()));
+  EXPECT_GT(A.Mem->stats().total().EccRetries, 0u);
+
+  // And the full application replays identically, including the re-plan.
+  SystemConfig Config = quickConfig(1024);
+  Config.Mem.Faults = spec("seed 9\nvault_fail 1 at 0.2\n"
+                           "transient rate 0.02 penalty 100\n");
+  const AppReport R1 = Fft2dProcessor(Config).runOptimized();
+  const AppReport R2 = Fft2dProcessor(Config).runOptimized();
+  expectReportsIdentical(R1, R2);
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded consistency
+//===----------------------------------------------------------------------===//
+
+TEST(FaultDegraded, HalfFailedDeviceTracksHalfSizedHealthyDevice) {
+  // A 16-vault device with 8 vaults dead at t=0 must sustain (within
+  // tolerance) the throughput of a healthy 8-vault device: Eq. 1
+  // re-planned for the survivors, traffic remapped onto them.
+  std::string Text;
+  for (unsigned V = 0; V != 8; ++V)
+    Text += "vault_fail " + std::to_string(V) + " at 0\n";
+  SystemConfig Degraded = quickConfig(1024);
+  Degraded.Mem.Faults = spec(Text);
+
+  SystemConfig Half = quickConfig(1024);
+  Half.Mem.Geo.NumVaults = 8;
+  Half.Optimized.VaultsParallel = 8;
+
+  const AppReport DegradedR = Fft2dProcessor(Degraded).runOptimized();
+  const AppReport HalfR = Fft2dProcessor(Half).runOptimized();
+
+  EXPECT_EQ(DegradedR.HealthyVaultsStart, 8u);
+  EXPECT_EQ(DegradedR.Plan.VaultsParallel, 8u);
+  // Same Eq. 1 solution as the healthy half-sized device.
+  EXPECT_EQ(DegradedR.Plan.W, HalfR.Plan.W);
+  EXPECT_EQ(DegradedR.Plan.H, HalfR.Plan.H);
+  const double Ratio =
+      DegradedR.AppThroughputGBps / HalfR.AppThroughputGBps;
+  EXPECT_GT(Ratio, 0.75) << DegradedR.AppThroughputGBps << " vs "
+                         << HalfR.AppThroughputGBps;
+  EXPECT_LT(Ratio, 1.25) << DegradedR.AppThroughputGBps << " vs "
+                         << HalfR.AppThroughputGBps;
+  // It never beats the healthy full device (at this size both are close
+  // to kernel-bound: the optimized design's bandwidth headroom is what
+  // absorbs the vault loss).
+  const AppReport FullR = Fft2dProcessor(quickConfig(1024)).runOptimized();
+  EXPECT_LE(DegradedR.AppThroughputGBps, FullR.AppThroughputGBps * 1.01);
+}
+
+//===----------------------------------------------------------------------===//
+// Functional recovery
+//===----------------------------------------------------------------------===//
+
+TEST(FaultRecovery, VaultLossRecoveryIsBitIdentical) {
+  // The acceptance property: a 2048^2 2D FFT that loses 4 of 16 vaults at
+  // the phase boundary checkpoints, re-plans for the 12 survivors,
+  // migrates, and still produces max-ulp-identical output.
+  const std::uint64_t N = 2048;
+  const SystemConfig C = SystemConfig::forProblemSize(N);
+  const Matrix In = randomMatrix(N, 77);
+  const Matrix Healthy = Fft2dProcessor::computeViaDynamicLayout(In, C);
+  const Matrix Recovered =
+      Fft2dProcessor::computeViaDynamicLayoutWithVaultLoss(In, C, 4);
+  EXPECT_DOUBLE_EQ(Recovered.maxAbsDiff(Healthy), 0.0);
+
+  // Zero failures degenerates to the plain path.
+  const std::uint64_t Small = 128;
+  const SystemConfig SC = SystemConfig::forProblemSize(Small);
+  const Matrix SIn = randomMatrix(Small, 78);
+  EXPECT_DOUBLE_EQ(
+      Fft2dProcessor::computeViaDynamicLayoutWithVaultLoss(SIn, SC, 0)
+          .maxAbsDiff(Fft2dProcessor::computeViaDynamicLayout(SIn, SC)),
+      0.0);
+
+  // Odd survivor counts work too: 16 - 5 = 11 vaults.
+  EXPECT_DOUBLE_EQ(
+      Fft2dProcessor::computeViaDynamicLayoutWithVaultLoss(SIn, SC, 5)
+          .maxAbsDiff(Fft2dProcessor::computeViaDynamicLayout(SIn, SC)),
+      0.0);
+}

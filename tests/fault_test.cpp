@@ -1,0 +1,282 @@
+//===- tests/fault_test.cpp - Fault spec and injector unit tests ----------===//
+//
+// Part of the fft3d project.
+//
+// Pins the fault subsystem's contract: the spec grammar (units, validation,
+// line-numbered errors), the deterministic spare mapping, the injector's
+// step-function timelines and stateless hash decisions, and the layout
+// planner's degraded re-plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultInjector.h"
+#include "layout/LayoutPlanner.h"
+#include "mem3d/Geometry.h"
+#include "mem3d/Timing.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace fft3d;
+
+namespace {
+
+FaultSpec parsed(const std::string &Text) {
+  FaultSpec Spec;
+  std::string Error;
+  EXPECT_TRUE(Spec.parse(Text, &Error)) << Error;
+  return Spec;
+}
+
+/// Expects \p Text to fail parsing with an error naming \p LineNo.
+void expectParseError(const std::string &Text, unsigned LineNo) {
+  FaultSpec Spec;
+  std::string Error;
+  EXPECT_FALSE(Spec.parse(Text, &Error)) << Text;
+  EXPECT_NE(Error.find("line " + std::to_string(LineNo)), std::string::npos)
+      << Error;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec grammar
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpec, ParsesEveryDirectiveWithUnits) {
+  const FaultSpec Spec = parsed("# full schedule\n"
+                                "seed 99\n"
+                                "vault_fail 3 at 5\n"
+                                "vault_recover 3 at 12.5  # heals\n"
+                                "tsv_degrade 7 at 1 factor 2\n"
+                                "throttle from 2 until 10 period 100 duty 25\n"
+                                "transient rate 0.01 penalty 50\n"
+                                "job_fail_rate 0.05\n");
+  EXPECT_EQ(Spec.seed(), 99u);
+  EXPECT_FALSE(Spec.empty());
+  EXPECT_EQ(Spec.maxVaultNamed(), 7);
+
+  ASSERT_EQ(Spec.vaultEvents().size(), 2u);
+  EXPECT_EQ(Spec.vaultEvents()[0].Vault, 3u);
+  EXPECT_EQ(Spec.vaultEvents()[0].At, 5 * PicosPerMilli);
+  EXPECT_FALSE(Spec.vaultEvents()[0].Online);
+  EXPECT_EQ(Spec.vaultEvents()[1].At,
+            static_cast<Picos>(12.5 * PicosPerMilli));
+  EXPECT_TRUE(Spec.vaultEvents()[1].Online);
+
+  ASSERT_EQ(Spec.tsvEvents().size(), 1u);
+  EXPECT_EQ(Spec.tsvEvents()[0].Vault, 7u);
+  EXPECT_DOUBLE_EQ(Spec.tsvEvents()[0].Factor, 2.0);
+
+  ASSERT_EQ(Spec.throttleWindows().size(), 1u);
+  const ThrottleWindow &W = Spec.throttleWindows()[0];
+  EXPECT_EQ(W.From, 2 * PicosPerMilli);
+  EXPECT_EQ(W.Until, 10 * PicosPerMilli);
+  EXPECT_EQ(W.Period, 100 * PicosPerMicro);
+  EXPECT_DOUBLE_EQ(W.Duty, 0.25);
+
+  EXPECT_DOUBLE_EQ(Spec.transientReadRate(), 0.01);
+  EXPECT_EQ(Spec.eccRetryPenalty(), nanosToPicos(50));
+  EXPECT_DOUBLE_EQ(Spec.jobFailRate(), 0.05);
+}
+
+TEST(FaultSpec, EventsSortChronologicallyRegardlessOfLineOrder) {
+  const FaultSpec Spec = parsed("vault_fail 1 at 9\n"
+                                "vault_fail 0 at 3\n"
+                                "vault_recover 1 at 6\n");
+  ASSERT_EQ(Spec.vaultEvents().size(), 3u);
+  EXPECT_EQ(Spec.vaultEvents()[0].At, 3 * PicosPerMilli);
+  EXPECT_EQ(Spec.vaultEvents()[1].At, 6 * PicosPerMilli);
+  EXPECT_EQ(Spec.vaultEvents()[2].At, 9 * PicosPerMilli);
+}
+
+TEST(FaultSpec, SeedOnlySpecIsTheOffPath) {
+  EXPECT_TRUE(FaultSpec().empty());
+  const FaultSpec Spec = parsed("seed 7\n# nothing else\n");
+  EXPECT_TRUE(Spec.empty());
+  EXPECT_EQ(Spec.maxVaultNamed(), -1);
+}
+
+TEST(FaultSpec, ParsesFromStream) {
+  std::istringstream In("vault_fail 2 at 1\n");
+  FaultSpec Spec;
+  ASSERT_TRUE(Spec.parse(In));
+  ASSERT_EQ(Spec.vaultEvents().size(), 1u);
+  EXPECT_EQ(Spec.vaultEvents()[0].Vault, 2u);
+}
+
+TEST(FaultSpec, RejectsMalformedInputWithLineNumbers) {
+  expectParseError("frobnicate 3\n", 1);
+  expectParseError("seed 1\nvault_fail 0\n", 2);
+  expectParseError("vault_fail 0 at -3\n", 1);
+  expectParseError("seed x\n", 1);
+  // Validation rules: factor >= 1, duty in [0, 100), rates in [0, 1),
+  // until > from, period > 0.
+  expectParseError("tsv_degrade 0 at 1 factor 0.5\n", 1);
+  expectParseError("throttle from 0 until 10 period 100 duty 100\n", 1);
+  expectParseError("throttle from 10 until 10 period 100 duty 25\n", 1);
+  expectParseError("throttle from 0 until 10 period 0 duty 25\n", 1);
+  expectParseError("transient rate 1.0 penalty 50\n", 1);
+  expectParseError("transient rate 0.1 penalty -1\n", 1);
+  expectParseError("seed 1\n\n# ok\njob_fail_rate 1\n", 4);
+}
+
+TEST(FaultSpec, FailedParseLeavesSpecUnchanged) {
+  FaultSpec Spec = parsed("vault_fail 5 at 2\n");
+  EXPECT_FALSE(Spec.parse("vault_fail 6 at nonsense\n"));
+  ASSERT_EQ(Spec.vaultEvents().size(), 1u);
+  EXPECT_EQ(Spec.vaultEvents()[0].Vault, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spare mapping
+//===----------------------------------------------------------------------===//
+
+TEST(SpareVaultMap, IdentityWhenHealthyAndRoundRobinWhenNot) {
+  EXPECT_EQ(spareVaultMap({true, true, true, true}),
+            (std::vector<unsigned>{0, 1, 2, 3}));
+  // Failed vaults take distinct spares round-robin: no hot spot.
+  EXPECT_EQ(spareVaultMap({true, false, false, true}),
+            (std::vector<unsigned>{0, 0, 3, 3}));
+  EXPECT_EQ(spareVaultMap({false, true, true, false}),
+            (std::vector<unsigned>{1, 1, 2, 2}));
+  // More failures than survivors: the spares wrap around.
+  EXPECT_EQ(spareVaultMap({false, false, false, true}),
+            (std::vector<unsigned>{3, 3, 3, 3}));
+  // No survivor: identity (the caller treats this as fatal).
+  EXPECT_EQ(spareVaultMap({false, false}), (std::vector<unsigned>{0, 1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Injector timelines
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjector, VaultTimelineStepsThroughFailAndRecover) {
+  const FaultSpec Spec = parsed("vault_fail 2 at 5\nvault_recover 2 at 9\n");
+  const FaultInjector Inj(Spec, 4);
+  EXPECT_FALSE(Inj.vaultOffline(2, 0));
+  EXPECT_FALSE(Inj.vaultOffline(2, 5 * PicosPerMilli - 1));
+  EXPECT_TRUE(Inj.vaultOffline(2, 5 * PicosPerMilli));
+  EXPECT_TRUE(Inj.vaultOffline(2, 9 * PicosPerMilli - 1));
+  EXPECT_FALSE(Inj.vaultOffline(2, 9 * PicosPerMilli));
+  EXPECT_FALSE(Inj.vaultOffline(1, 6 * PicosPerMilli));
+
+  EXPECT_EQ(Inj.healthyVaults(0), 4u);
+  EXPECT_EQ(Inj.healthyVaults(6 * PicosPerMilli), 3u);
+  const std::vector<bool> Online = Inj.onlineVaults(6 * PicosPerMilli);
+  EXPECT_EQ(Online, (std::vector<bool>{true, true, false, true}));
+
+  EXPECT_EQ(Inj.redirectVault(2, 0), 2u);
+  EXPECT_EQ(Inj.redirectVault(2, 6 * PicosPerMilli), 0u);
+}
+
+TEST(FaultInjector, TsvScaleStepsAndRestores) {
+  const FaultSpec Spec =
+      parsed("tsv_degrade 1 at 2 factor 4\ntsv_degrade 1 at 8 factor 1\n");
+  const FaultInjector Inj(Spec, 2);
+  EXPECT_DOUBLE_EQ(Inj.tsvScale(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Inj.tsvScale(1, 3 * PicosPerMilli), 4.0);
+  EXPECT_DOUBLE_EQ(Inj.tsvScale(1, 8 * PicosPerMilli), 1.0);
+  EXPECT_DOUBLE_EQ(Inj.tsvScale(0, 3 * PicosPerMilli), 1.0);
+}
+
+TEST(FaultInjector, ThrottleStallsOnlyInsidePauseWindows) {
+  // Window [2 ms, 4 ms), 100 us period, 25% duty: the first 25 us of
+  // every period is paused.
+  const FaultSpec Spec =
+      parsed("throttle from 2 until 4 period 100 duty 25\n");
+  const FaultInjector Inj(Spec, 16);
+  const Picos From = 2 * PicosPerMilli;
+  const Picos Pause = 25 * PicosPerMicro;
+
+  bool Stalled = false;
+  EXPECT_EQ(Inj.throttleAdjust(From, &Stalled), From + Pause);
+  EXPECT_TRUE(Stalled);
+  // A command in the duty-free part of the period is untouched.
+  Stalled = false;
+  EXPECT_EQ(Inj.throttleAdjust(From + Pause, &Stalled), From + Pause);
+  EXPECT_FALSE(Stalled);
+  // Outside the window, no effect even at a pause phase.
+  EXPECT_EQ(Inj.throttleAdjust(0, &Stalled), 0);
+  EXPECT_EQ(Inj.throttleAdjust(5 * PicosPerMilli), 5 * PicosPerMilli);
+  EXPECT_FALSE(Stalled);
+}
+
+TEST(FaultInjector, CapacityFactorCombinesVaultsAndDuty) {
+  const FaultSpec Spec =
+      parsed("vault_fail 0 at 0\nvault_fail 1 at 0\n"
+             "throttle from 1 until 2 period 100 duty 50\n");
+  const FaultInjector Inj(Spec, 16);
+  EXPECT_DOUBLE_EQ(Inj.capacityFactor(0), 14.0 / 16.0);
+  EXPECT_DOUBLE_EQ(Inj.capacityFactor(PicosPerMilli + 1),
+                   14.0 / 16.0 * 0.5);
+  EXPECT_DOUBLE_EQ(Inj.capacityFactor(2 * PicosPerMilli), 14.0 / 16.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Stateless hash decisions
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjector, HashDecisionsAreDeterministicAndRateShaped) {
+  const FaultSpec Spec =
+      parsed("seed 13\ntransient rate 0.25 penalty 40\njob_fail_rate 0.1\n");
+  const FaultInjector A(Spec, 16);
+  const FaultInjector B(Spec, 16);
+
+  unsigned Retries = 0;
+  const unsigned Trials = 4000;
+  for (std::uint64_t Id = 0; Id != Trials; ++Id) {
+    // Two injectors over the same spec agree on every single decision.
+    EXPECT_EQ(A.readTakesEccRetry(3, Id), B.readTakesEccRetry(3, Id));
+    EXPECT_EQ(A.jobTransientlyFails(Id, 0), B.jobTransientlyFails(Id, 0));
+    Retries += A.readTakesEccRetry(3, Id) ? 1 : 0;
+  }
+  // The empirical rate tracks the configured 25%.
+  EXPECT_NEAR(static_cast<double>(Retries) / Trials, 0.25, 0.03);
+
+  // A different seed reshuffles which requests fail.
+  const FaultSpec Other =
+      parsed("seed 14\ntransient rate 0.25 penalty 40\n");
+  const FaultInjector C(Other, 16);
+  unsigned Differs = 0;
+  for (std::uint64_t Id = 0; Id != Trials; ++Id)
+    Differs += A.readTakesEccRetry(3, Id) != C.readTakesEccRetry(3, Id) ? 1 : 0;
+  EXPECT_GT(Differs, 0u);
+}
+
+TEST(FaultInjector, ZeroRatesNeverFire) {
+  const FaultSpec Spec = parsed("seed 5\nvault_fail 0 at 1\n");
+  const FaultInjector Inj(Spec, 16);
+  for (std::uint64_t Id = 0; Id != 1000; ++Id) {
+    EXPECT_FALSE(Inj.readTakesEccRetry(Id % 16, Id));
+    EXPECT_FALSE(Inj.jobTransientlyFails(Id, 0));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded re-planning
+//===----------------------------------------------------------------------===//
+
+TEST(LayoutPlanner, PlanDegradedMatchesHealthyPlanOfSameSize) {
+  const Geometry Geo;
+  const Timing Time;
+  const LayoutPlanner Planner(Geo, Time, 8);
+
+  // 4 of 16 vaults down: the degraded plan is Eq. 1 solved for 12.
+  std::vector<bool> Online(Geo.NumVaults, true);
+  for (unsigned V = 0; V != 4; ++V)
+    Online[V] = false;
+  const DegradedPlan D = Planner.planDegraded(2048, Online);
+  EXPECT_EQ(D.HealthyVaults, 12u);
+  const BlockPlan Direct = Planner.plan(2048, 12);
+  EXPECT_EQ(D.Plan.W, Direct.W);
+  EXPECT_EQ(D.Plan.H, Direct.H);
+  EXPECT_EQ(D.Plan.VaultsParallel, 12u);
+  EXPECT_EQ(D.VaultMap, spareVaultMap(Online));
+
+  // VaultsParallel caps the surviving count.
+  const DegradedPlan Capped = Planner.planDegraded(2048, Online, 8);
+  EXPECT_EQ(Capped.HealthyVaults, 8u);
+  EXPECT_EQ(Capped.Plan.VaultsParallel, 8u);
+}

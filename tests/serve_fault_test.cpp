@@ -1,0 +1,298 @@
+//===- tests/serve_fault_test.cpp - Serving layer under fault injection ---===//
+//
+// Part of the fft3d project.
+//
+// The serving loop's graceful-degradation machinery: the health monitor,
+// capped-exponential retry of transient job failures, brownout shedding
+// with hysteresis, degraded-completion accounting, and byte-identical
+// replay of a faulted serving run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace fft3d;
+
+namespace {
+
+/// Shared fast service model: small simulation budget, default device.
+ServiceModel &model() {
+  static ServiceModel Model(MemoryConfig(), /*MaxSimBytes=*/2ull << 20,
+                            /*MaxSimOps=*/10000);
+  return Model;
+}
+
+std::shared_ptr<const FaultSpec> spec(const std::string &Text) {
+  auto Spec = std::make_shared<FaultSpec>();
+  std::string Error;
+  EXPECT_TRUE(Spec->parse(Text, &Error)) << Error;
+  return Spec;
+}
+
+JobRequest job(std::uint64_t Id, Picos Arrival, std::uint64_t N,
+               unsigned Priority = 1, Picos Deadline = 0) {
+  JobRequest J;
+  J.Id = Id;
+  J.N = N;
+  J.Priority = Priority;
+  J.Arrival = Arrival;
+  J.Deadline = Deadline;
+  return J;
+}
+
+/// An open-loop trace of \p Count N=512 jobs spaced \p Gap apart.
+std::vector<JobRequest> steadyTrace(unsigned Count, Picos Gap) {
+  std::vector<JobRequest> Trace;
+  for (unsigned I = 0; I != Count; ++I)
+    Trace.push_back(job(I + 1, static_cast<Picos>(I) * Gap, 512));
+  return Trace;
+}
+
+ServeConfig faultyConfig(const std::string &SpecText) {
+  ServeConfig Config;
+  Config.Health =
+      std::make_shared<HealthMonitor>(spec(SpecText), model().totalVaults());
+  return Config;
+}
+
+void expectSummariesIdentical(const SloSummary &A, const SloSummary &B) {
+  EXPECT_EQ(A.Offered, B.Offered);
+  EXPECT_EQ(A.Completed, B.Completed);
+  EXPECT_EQ(A.Shed, B.Shed);
+  EXPECT_EQ(A.Retries, B.Retries);
+  EXPECT_EQ(A.FailedDropped, B.FailedDropped);
+  EXPECT_EQ(A.BrownoutSheds, B.BrownoutSheds);
+  EXPECT_EQ(A.DegradedCompletions, B.DegradedCompletions);
+  // Doubles compare exactly: identical event schedules, identical sums.
+  EXPECT_EQ(A.ThroughputJobsPerSec, B.ThroughputJobsPerSec);
+  EXPECT_EQ(A.P50LatencyMs, B.P50LatencyMs);
+  EXPECT_EQ(A.P95LatencyMs, B.P95LatencyMs);
+  EXPECT_EQ(A.P99LatencyMs, B.P99LatencyMs);
+  EXPECT_EQ(A.MeanServiceMs, B.MeanServiceMs);
+  EXPECT_EQ(A.DeadlineMissRate, B.DeadlineMissRate);
+  EXPECT_EQ(A.ShedRate, B.ShedRate);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Policies and the monitor
+//===----------------------------------------------------------------------===//
+
+TEST(RetryPolicy, BackoffIsCappedExponential) {
+  const RetryPolicy Retry;
+  EXPECT_EQ(Retry.backoffFor(1), PicosPerMilli);
+  EXPECT_EQ(Retry.backoffFor(2), 2 * PicosPerMilli);
+  EXPECT_EQ(Retry.backoffFor(3), 4 * PicosPerMilli);
+  EXPECT_EQ(Retry.backoffFor(5), 16 * PicosPerMilli);
+  // Far past the cap: saturates instead of overflowing.
+  EXPECT_EQ(Retry.backoffFor(200), 16 * PicosPerMilli);
+}
+
+TEST(HealthMonitor, InertWithoutAFaultSpec) {
+  const HealthMonitor Null(nullptr, 16);
+  const HealthMonitor SeedOnly(spec("seed 5\n"), 16);
+  for (const HealthMonitor *M : {&Null, &SeedOnly}) {
+    EXPECT_FALSE(M->active());
+    EXPECT_EQ(M->healthyVaults(0), 16u);
+    EXPECT_DOUBLE_EQ(M->throttleSlowdown(0), 1.0);
+    EXPECT_DOUBLE_EQ(M->capacityFactor(0), 1.0);
+    EXPECT_FALSE(M->jobTransientlyFails(1, 0));
+  }
+}
+
+TEST(HealthMonitor, ReportsDegradationFromTheSpec) {
+  const HealthMonitor M(
+      spec("vault_fail 0 at 0\nvault_fail 1 at 0\n"
+           "throttle from 1 until 2 period 100 duty 50\n"),
+      16);
+  EXPECT_TRUE(M.active());
+  EXPECT_EQ(M.healthyVaults(0), 14u);
+  // Outside the throttle window only the vault loss remains.
+  EXPECT_DOUBLE_EQ(M.throttleSlowdown(0), 1.0);
+  EXPECT_DOUBLE_EQ(M.capacityFactor(0), 14.0 / 16.0);
+  // Inside it, service stretches by 1/(1 - duty); the vault term is not
+  // double-counted.
+  EXPECT_DOUBLE_EQ(M.throttleSlowdown(PicosPerMilli + 1), 2.0);
+  EXPECT_DOUBLE_EQ(M.capacityFactor(PicosPerMilli + 1), 14.0 / 16.0 * 0.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Retry and drop
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFaults, TransientFailuresRetryAndEventuallyComplete) {
+  // A moderate transient rate: some dispatches fail and re-enter with
+  // backoff, but every job completes within its four attempts.
+  ServeConfig Config = faultyConfig("seed 11\njob_fail_rate 0.3\n");
+  ServeSimulator Sim(Config, model());
+  TraceWorkload Load(steadyTrace(40, 50 * PicosPerMilli));
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const ServeResult R = Sim.run(Load, *Policy);
+
+  EXPECT_EQ(R.Summary.Offered, 40u);
+  EXPECT_GT(R.Summary.Retries, 0u);
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 40u);
+  EXPECT_EQ(R.Summary.FailedDropped, R.Summary.Shed);
+  // At rate 0.3 the chance of four straight failures is ~0.8%; the bulk
+  // of the load must land.
+  EXPECT_GT(R.Summary.Completed, 30u);
+}
+
+TEST(ServeFaults, ExhaustedRetriesDropTheJob) {
+  // At a 0.99 failure rate nearly every job burns all four attempts and
+  // is dropped as shed-failed; the run still drains cleanly.
+  ServeConfig Config = faultyConfig("seed 11\njob_fail_rate 0.99\n");
+  ServeSimulator Sim(Config, model());
+  TraceWorkload Load(steadyTrace(20, 50 * PicosPerMilli));
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const ServeResult R = Sim.run(Load, *Policy);
+
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 20u);
+  EXPECT_GT(R.Summary.FailedDropped, 0u);
+  // Every dropped job paid MaxAttempts - 1 retries first.
+  const RetryPolicy Retry;
+  EXPECT_GE(R.Summary.Retries,
+            R.Summary.FailedDropped * (Retry.MaxAttempts - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded capacity
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFaults, VaultLossMarksEveryCompletionDegraded) {
+  // Half the device is gone at t=0: grants shrink to the survivors and
+  // every completion is flagged degraded.
+  std::string Text;
+  for (unsigned V = 0; V != 8; ++V)
+    Text += "vault_fail " + std::to_string(V) + " at 0\n";
+  ServeConfig Faulty = faultyConfig(Text);
+  ServeConfig Healthy;
+
+  TraceWorkload Load(steadyTrace(10, PicosPerMilli));
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const ServeResult Degraded =
+      ServeSimulator(Faulty, model()).run(Load, *Policy);
+  const ServeResult Clean =
+      ServeSimulator(Healthy, model()).run(Load, *Policy);
+
+  EXPECT_EQ(Degraded.Summary.Completed, 10u);
+  EXPECT_EQ(Degraded.Summary.DegradedCompletions, 10u);
+  EXPECT_EQ(Clean.Summary.DegradedCompletions, 0u);
+}
+
+TEST(ServeFaults, ThrottlingStretchesServiceAndTheMakespan) {
+  // A run-long 50% duty cycle doubles every service time: the same trace
+  // takes measurably longer end to end than on the healthy machine.
+  ServeConfig Throttled = faultyConfig(
+      "throttle from 0 until 1000000 period 100 duty 50\n");
+  ServeConfig Healthy;
+
+  // Everything arrives at t=0 so the makespan is pure serialized service.
+  TraceWorkload Load(steadyTrace(10, 0));
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const ServeResult Slow =
+      ServeSimulator(Throttled, model()).run(Load, *Policy);
+  const ServeResult Clean =
+      ServeSimulator(Healthy, model()).run(Load, *Policy);
+
+  EXPECT_EQ(Slow.Summary.Completed, 10u);
+  EXPECT_EQ(Slow.Summary.DegradedCompletions, 10u);
+  // FCFS serializes the trace, so the makespan scales with the service
+  // stretch: close to 2x, and certainly well past the healthy run.
+  EXPECT_GT(Slow.EndTime, static_cast<Picos>(1.8 *
+                                             static_cast<double>(Clean.EndTime)));
+}
+
+//===----------------------------------------------------------------------===//
+// Brownout
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFaults, BrownoutShedsBackgroundThenRecovers) {
+  // Deadline misses drive the window over the entry threshold; while the
+  // brownout lasts, background (priority >= 2) arrivals are shed; on-time
+  // completions then drain the window and the mode exits.
+  ServeConfig Config;
+  Config.Brownout.Enabled = true;
+  Config.Brownout.Window = 4;
+  ServeSimulator Sim(Config, model());
+
+  const Picos Gap = 100 * PicosPerMilli;
+  std::vector<JobRequest> Trace;
+  std::uint64_t Id = 0;
+  auto Push = [&](unsigned Priority, Picos DeadlineAfterArrival) {
+    ++Id;
+    const Picos Arrival = static_cast<Picos>(Id) * Gap;
+    Trace.push_back(job(Id, Arrival, 512, Priority,
+                        DeadlineAfterArrival == 0
+                            ? 0
+                            : (DeadlineAfterArrival == 1
+                                   ? 1
+                                   : Arrival + DeadlineAfterArrival)));
+  };
+  // Phase A: six urgent jobs whose deadlines already passed - all miss.
+  for (unsigned I = 0; I != 6; ++I)
+    Push(0, /*DeadlineAfterArrival=*/1);
+  // Phase B: background jobs arriving mid-brownout.
+  for (unsigned I = 0; I != 2; ++I)
+    Push(3, 0);
+  // Phase C: urgent jobs with generous deadlines - all hit, window drains.
+  for (unsigned I = 0; I != 6; ++I)
+    Push(0, PicosPerSecond);
+  // Phase D: background again, after recovery.
+  for (unsigned I = 0; I != 2; ++I)
+    Push(3, 0);
+
+  TraceWorkload Load(Trace);
+  const auto Policy = createPolicy(PolicyKind::Fcfs);
+  const ServeResult R = Sim.run(Load, *Policy);
+
+  EXPECT_EQ(R.BrownoutEpisodes, 1u);
+  EXPECT_EQ(R.ShedBrownout, 2u);
+  EXPECT_EQ(R.Summary.BrownoutSheds, 2u);
+  // Phase D's background jobs were admitted again: 6 + 6 + 2 completions.
+  EXPECT_EQ(R.Summary.Completed, 14u);
+
+  // The same trace with brownout disabled sheds nothing.
+  ServeConfig Plain;
+  ServeSimulator PlainSim(Plain, model());
+  const ServeResult P = PlainSim.run(Load, *Policy);
+  EXPECT_EQ(P.Summary.BrownoutSheds, 0u);
+  EXPECT_EQ(P.Summary.Completed, 16u);
+  EXPECT_EQ(P.BrownoutEpisodes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic replay
+//===----------------------------------------------------------------------===//
+
+TEST(ServeFaults, FaultedRunReplaysByteIdentically) {
+  // Identical spec + seed + workload: the whole SloSummary matches byte
+  // for byte across two independent simulator instances.
+  const std::string Text = "seed 21\n"
+                           "vault_fail 4 at 10\nvault_recover 4 at 200\n"
+                           "throttle from 0 until 500 period 100 duty 25\n"
+                           "job_fail_rate 0.2\n";
+  TraceWorkload Load(steadyTrace(30, 20 * PicosPerMilli));
+  const auto Policy = createPolicy(PolicyKind::VaultPartition);
+
+  ServeConfig ConfigA = faultyConfig(Text);
+  ConfigA.Brownout.Enabled = true;
+  ServeConfig ConfigB = faultyConfig(Text);
+  ConfigB.Brownout.Enabled = true;
+
+  const ServeResult A = ServeSimulator(ConfigA, model()).run(Load, *Policy);
+  const ServeResult B = ServeSimulator(ConfigB, model()).run(Load, *Policy);
+
+  EXPECT_EQ(A.EndTime, B.EndTime);
+  EXPECT_EQ(A.ShedBrownout, B.ShedBrownout);
+  EXPECT_EQ(A.BrownoutEpisodes, B.BrownoutEpisodes);
+  expectSummariesIdentical(A.Summary, B.Summary);
+  // The faults actually fired: this is not a vacuous comparison.
+  EXPECT_GT(A.Summary.Retries + A.Summary.DegradedCompletions, 0u);
+}

@@ -22,12 +22,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fault/FaultSpec.h"
 #include "serve/ServeSimulator.h"
 #include "support/TableWriter.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -49,6 +51,7 @@ struct Cli {
   double ThinkMs = 20.0;
   bool ShedInfeasible = false;
   unsigned Vaults = 16;
+  std::string FaultsFile;
 };
 
 [[noreturn]] void usage(const char *Prog) {
@@ -57,7 +60,7 @@ struct Cli {
                "  [--seed S] [--rate JOBS_PER_SEC] [--queue-cap N]\n"
                "  [--partitions P] [--aging-ms MS] [--mix mixed|small|large]\n"
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
-               "  [--shed-infeasible] [--vaults V]\n",
+               "  [--shed-infeasible] [--vaults V] [--faults SPECFILE]\n",
                Prog);
   std::exit(2);
 }
@@ -112,6 +115,8 @@ Cli parse(int Argc, char **Argv) {
       C.ThinkMs = std::strtod(Value, nullptr);
     else if (consumeValue(Argc, Argv, I, "--vaults", &Value))
       C.Vaults = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    else if (consumeValue(Argc, Argv, I, "--faults", &Value))
+      C.FaultsFile = Value;
     else if (consumeFlag(Argv, I, "--shed-infeasible"))
       C.ShedInfeasible = true;
     else
@@ -120,6 +125,17 @@ Cli parse(int Argc, char **Argv) {
   if (C.Jobs == 0 || C.QueueCap == 0 || C.Partitions == 0 ||
       C.RatePerSec <= 0.0)
     usage(Argv[0]);
+  // An unknown policy is a usage error: catch it here, before any
+  // simulation work starts.
+  if (C.Policy != "fcfs" && C.Policy != "sjf" && C.Policy != "prio" &&
+      C.Policy != "vault" && C.Policy != "all") {
+    std::fprintf(stderr, "error: unknown policy '%s'\n", C.Policy.c_str());
+    usage(Argv[0]);
+  }
+  if (C.Mix != "mixed" && C.Mix != "small" && C.Mix != "large") {
+    std::fprintf(stderr, "error: unknown mix '%s'\n", C.Mix.c_str());
+    usage(Argv[0]);
+  }
   return C;
 }
 
@@ -148,6 +164,22 @@ std::vector<PolicyKind> policiesFor(const std::string &Name) {
             PolicyKind::VaultPartition};
   std::fprintf(stderr, "error: unknown policy '%s'\n", Name.c_str());
   std::exit(2);
+}
+
+std::shared_ptr<const FaultSpec> loadFaultSpec(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open fault spec '%s'\n",
+                 Path.c_str());
+    std::exit(2);
+  }
+  FaultSpec Spec;
+  std::string Error;
+  if (!Spec.parse(In, &Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+    std::exit(2);
+  }
+  return std::make_shared<const FaultSpec>(std::move(Spec));
 }
 
 } // namespace
@@ -191,23 +223,52 @@ int main(int Argc, char **Argv) {
   ServeConfig Config;
   Config.QueueCapacity = C.QueueCap;
   Config.ShedInfeasible = C.ShedInfeasible;
+  const bool WithFaults = !C.FaultsFile.empty();
+  if (WithFaults) {
+    const std::shared_ptr<const FaultSpec> Faults =
+        loadFaultSpec(C.FaultsFile);
+    Config.Health = std::make_shared<HealthMonitor>(Faults, C.Vaults);
+    Config.Brownout.Enabled = true;
+    std::printf("fault spec %s: %zu vault events, %zu TSV events, "
+                "%zu throttle windows, transient job-fail rate %.3f\n\n",
+                C.FaultsFile.c_str(), Faults->vaultEvents().size(),
+                Faults->tsvEvents().size(), Faults->throttleWindows().size(),
+                Faults->jobFailRate());
+  }
   ServeSimulator Sim(Config, Model);
 
-  TableWriter Table({"policy", "done", "shed", "jobs/s", "p50 ms", "p95 ms",
-                     "p99 ms", "queue p99", "miss %", "conc"});
+  std::vector<std::string> Headers = {"policy",  "done",   "shed",
+                                      "jobs/s",  "p50 ms", "p95 ms",
+                                      "p99 ms",  "queue p99", "miss %",
+                                      "conc"};
+  if (WithFaults) {
+    Headers.push_back("retry");
+    Headers.push_back("drop");
+    Headers.push_back("brown");
+    Headers.push_back("degr");
+  }
+  TableWriter Table(Headers);
   for (const PolicyKind Kind : policiesFor(C.Policy)) {
     const auto Policy = createPolicy(Kind, Options);
     const ServeResult R = Sim.run(*Load, *Policy);
     const SloSummary &S = R.Summary;
-    Table.addRow({R.PolicyName, TableWriter::num(S.Completed),
-                  TableWriter::num(S.Shed),
-                  TableWriter::num(S.ThroughputJobsPerSec, 1),
-                  TableWriter::num(S.P50LatencyMs, 2),
-                  TableWriter::num(S.P95LatencyMs, 2),
-                  TableWriter::num(S.P99LatencyMs, 2),
-                  TableWriter::num(S.P99QueueMs, 2),
-                  TableWriter::percent(S.DeadlineMissRate),
-                  TableWriter::num(std::uint64_t(R.PeakConcurrency))});
+    std::vector<std::string> Row = {
+        R.PolicyName, TableWriter::num(S.Completed),
+        TableWriter::num(S.Shed),
+        TableWriter::num(S.ThroughputJobsPerSec, 1),
+        TableWriter::num(S.P50LatencyMs, 2),
+        TableWriter::num(S.P95LatencyMs, 2),
+        TableWriter::num(S.P99LatencyMs, 2),
+        TableWriter::num(S.P99QueueMs, 2),
+        TableWriter::percent(S.DeadlineMissRate),
+        TableWriter::num(std::uint64_t(R.PeakConcurrency))};
+    if (WithFaults) {
+      Row.push_back(TableWriter::num(S.Retries));
+      Row.push_back(TableWriter::num(S.FailedDropped));
+      Row.push_back(TableWriter::num(S.BrownoutSheds));
+      Row.push_back(TableWriter::num(S.DegradedCompletions));
+    }
+    Table.addRow(Row);
   }
   Table.print(std::cout);
 

@@ -24,6 +24,7 @@
 #include "core/AutoTuner.h"
 #include "core/Fft2dProcessor.h"
 #include "core/LayoutEvaluator.h"
+#include "fault/FaultSpec.h"
 #include "mem3d/TraceFile.h"
 #include "support/TableWriter.h"
 
@@ -51,6 +52,7 @@ struct Cli {
   TuneObjective Objective = TuneObjective::Throughput;
   std::string ReplayFile;
   bool ReplayAsap = false;
+  std::string FaultsFile;
   SystemConfig Config;
   bool Ok = true;
 };
@@ -63,7 +65,8 @@ struct Cli {
                "  [--t-diff-row=NS] [--t-diff-bank=NS] [--t-in-vault=NS]\n"
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
-               "  [--replay=FILE [--replay-asap]] [--seed N]\n",
+               "  [--replay=FILE [--replay-asap]] [--seed N]\n"
+               "  [--faults SPECFILE]\n",
                Prog);
   std::exit(2);
 }
@@ -147,6 +150,12 @@ Cli parse(int Argc, char **Argv) {
         usage(Argv[0]);
       C.Seed = std::strtoull(Value, nullptr, 10);
       C.SeedSet = true;
+    } else if (consume(Arg, "--faults", &Value)) {
+      if (!Value && I + 1 < Argc)
+        Value = Argv[++I];
+      if (!Value)
+        usage(Argv[0]);
+      C.FaultsFile = Value;
     } else if (consume(Arg, "--replay", &Value) && Value) {
       C.ReplayFile = Value;
     } else if (consume(Arg, "--replay-asap", &Value)) {
@@ -170,6 +179,22 @@ Cli parse(int Argc, char **Argv) {
                          "t_in_row <= t_in_vault <= t_diff_bank <= "
                          "t_diff_row\n");
     std::exit(2);
+  }
+  if (!C.FaultsFile.empty()) {
+    std::ifstream In(C.FaultsFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open fault spec '%s'\n",
+                   C.FaultsFile.c_str());
+      std::exit(2);
+    }
+    FaultSpec Spec;
+    std::string Error;
+    if (!Spec.parse(In, &Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", C.FaultsFile.c_str(),
+                   Error.c_str());
+      std::exit(2);
+    }
+    C.Config.Mem.Faults = std::make_shared<const FaultSpec>(std::move(Spec));
   }
   return C;
 }
@@ -197,6 +222,18 @@ void printReport(const char *Name, const AppReport &R) {
                 static_cast<unsigned long long>(R.Plan.H),
                 planRegimeName(R.Plan.Regime),
                 formatBytes(R.PermuteBufferBytes).c_str());
+  // Fault-injection outcomes; silent on a healthy run so fault-free
+  // output is unchanged.
+  if (R.HealthyVaultsEnd < R.HealthyVaultsStart)
+    std::printf("  vault health %u -> %u during the run\n",
+                R.HealthyVaultsStart, R.HealthyVaultsEnd);
+  if (R.Replanned)
+    std::printf("  fault recovery: re-planned w=%llu h=%llu on %u healthy "
+                "vaults, migration %s\n",
+                static_cast<unsigned long long>(R.ReplannedPlan.W),
+                static_cast<unsigned long long>(R.ReplannedPlan.H),
+                R.ReplannedPlan.VaultsParallel,
+                formatDuration(R.MigrationTime).c_str());
   std::printf("\n");
 }
 
@@ -208,6 +245,8 @@ int main(int Argc, char **Argv) {
   std::string SeedNote;
   if (C.SeedSet)
     SeedNote = ", seed " + std::to_string(C.Seed);
+  if (!C.FaultsFile.empty())
+    SeedNote += ", faults " + C.FaultsFile;
   std::printf("fft3d_sim: N=%llu, %u vaults, peak %.1f GB/s, %s/%s, map "
               "%s%s%s%s\n\n",
               static_cast<unsigned long long>(C.N),
