@@ -11,6 +11,8 @@
 #include "layout/LinearLayouts.h"
 #include "support/MathUtils.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 using namespace fft3d;
@@ -94,4 +96,27 @@ void bench::printHeader(const std::string &Title,
             << "ns t_in_vault=" << picosToNanos(T.TInVault)
             << "ns t_diff_bank=" << picosToNanos(T.TDiffBank)
             << "ns t_diff_row=" << picosToNanos(T.TDiffRow) << "ns\n\n";
+}
+
+unsigned bench::threadsFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--threads", 9) != 0)
+      continue;
+    const char *Value = nullptr;
+    if (Arg[9] == '=')
+      Value = Arg + 10;
+    else if (Arg[9] == '\0' && I + 1 < Argc)
+      Value = Argv[I + 1];
+    if (Value)
+      return ThreadPool::resolveThreads(
+          static_cast<unsigned>(std::strtoul(Value, nullptr, 10)));
+  }
+  return 1;
+}
+
+void bench::forEachIndex(std::size_t N, unsigned Threads,
+                         const std::function<void(std::size_t)> &Body) {
+  ThreadPool Pool(Threads == 0 ? ThreadPool::resolveThreads(0) : Threads);
+  Pool.parallelFor(N, Body);
 }

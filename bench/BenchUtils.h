@@ -19,7 +19,9 @@
 #include "core/PhaseEngine.h"
 #include "core/SystemConfig.h"
 #include "support/TableWriter.h"
+#include "support/ThreadPool.h"
 
+#include <functional>
 #include <string>
 
 namespace fft3d {
@@ -50,6 +52,17 @@ PhaseResult simulateRowPhaseOver(const SystemConfig &Config,
 
 /// Prints the standard bench header with the modelled device summary.
 void printHeader(const std::string &Title, const SystemConfig &Config);
+
+/// Parses a "--threads K" / "--threads=K" flag from a bench binary's
+/// argv (0 resolves to the hardware concurrency); defaults to 1 when the
+/// flag is absent so existing invocations stay sequential.
+unsigned threadsFromArgs(int Argc, char **Argv);
+
+/// Runs Body(I) for I in [0, N) on \p Threads threads. Sweep cells own
+/// their simulators, so any thread count produces identical tables; rows
+/// are printed by the caller afterwards, in index order.
+void forEachIndex(std::size_t N, unsigned Threads,
+                  const std::function<void(std::size_t)> &Body);
 
 } // namespace bench
 } // namespace fft3d

@@ -16,32 +16,42 @@
 #include "core/BatchProcessor.h"
 
 #include <iostream>
+#include <vector>
 
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   printHeader("Ablation F: pipelined multi-frame batches",
               SystemConfig::forProblemSize(2048));
+
+  const std::vector<std::uint64_t> Sizes = {1024, 2048, 4096};
+  const std::vector<unsigned> FrameCounts = {1u, 4u, 16u};
+  std::vector<BatchReport> Reports(Sizes.size() * FrameCounts.size());
+  forEachIndex(Reports.size(), Threads, [&](std::size_t I) {
+    const SystemConfig Config =
+        SystemConfig::forProblemSize(Sizes[I / FrameCounts.size()]);
+    Reports[I] =
+        BatchProcessor(Config).run(FrameCounts[I % FrameCounts.size()]);
+  });
 
   TableWriter Table({"N", "frames", "phase time", "overlap stage",
                      "fully overlapped?", "overlap GB/s", "total",
                      "frames/s"});
-  for (const std::uint64_t N : {1024ull, 2048ull, 4096ull}) {
-    const SystemConfig Config = SystemConfig::forProblemSize(N);
-    const BatchProcessor Batch(Config);
-    for (const unsigned Frames : {1u, 4u, 16u}) {
-      const BatchReport R = Batch.run(Frames);
-      Table.addRow({TableWriter::num(N),
-                    TableWriter::num(std::uint64_t(Frames)),
-                    formatDuration(R.PhaseTime),
-                    formatDuration(R.OverlapTime),
-                    R.FullyOverlapped ? "yes" : "no",
-                    TableWriter::num(R.OverlapGBps, 1),
-                    formatDuration(R.TotalTime),
-                    TableWriter::num(R.FramesPerSecond, 1)});
-    }
-    Table.addSeparator();
+  for (std::size_t I = 0; I != Reports.size(); ++I) {
+    const BatchReport &R = Reports[I];
+    Table.addRow({TableWriter::num(Sizes[I / FrameCounts.size()]),
+                  TableWriter::num(
+                      std::uint64_t(FrameCounts[I % FrameCounts.size()])),
+                  formatDuration(R.PhaseTime),
+                  formatDuration(R.OverlapTime),
+                  R.FullyOverlapped ? "yes" : "no",
+                  TableWriter::num(R.OverlapGBps, 1),
+                  formatDuration(R.TotalTime),
+                  TableWriter::num(R.FramesPerSecond, 1)});
+    if (I % FrameCounts.size() == FrameCounts.size() - 1)
+      Table.addSeparator();
   }
   Table.print(std::cout);
 

@@ -17,11 +17,13 @@
 #include "permute/ControlUnit.h"
 
 #include <iostream>
+#include <vector>
 
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const std::uint64_t N = 2048;
   SystemConfig Config = SystemConfig::forProblemSize(N);
   printHeader("Ablation A: block height h sweep (Eq. 1 optimality)",
@@ -43,17 +45,29 @@ int main() {
   TableWriter Table({"h", "w", "phase1 (GB/s)", "p1+combine (GB/s)",
                      "combine SRAM", "phase2 (GB/s)", "p2 activations",
                      "column-serial SRAM", "Eq.1"});
+  std::vector<std::uint64_t> Heights;
   for (std::uint64_t H = 8; H <= S; H *= 2) {
-    const std::uint64_t W = S / H;
-    if (W > N || H > N)
+    if (S / H > N || H > N)
       continue;
+    Heights.push_back(H);
+  }
+  struct Cell {
+    PhaseResult P1, P1C, P2;
+  };
+  std::vector<Cell> Cells(Heights.size());
+  forEachIndex(Heights.size(), Threads, [&](std::size_t I) {
+    const std::uint64_t H = Heights[I];
+    const std::uint64_t W = S / H;
     const BlockDynamicLayout Mid(N, N, ElementBytes, MidBase, W, H);
     const BlockDynamicLayout Out(N, N, ElementBytes, OutBase, W, H);
-    const PhaseResult P1 =
-        simulateRowPhaseOver(Config, Config.Optimized, Mid);
-    const PhaseResult P1C = simulateRowPhaseOver(Config, Combining, Mid);
-    const PhaseResult P2 =
+    Cells[I].P1 = simulateRowPhaseOver(Config, Config.Optimized, Mid);
+    Cells[I].P1C = simulateRowPhaseOver(Config, Combining, Mid);
+    Cells[I].P2 =
         simulateColumnPhaseOver(Config, Config.Optimized, Mid, Out);
+  });
+  for (std::size_t I = 0; I != Heights.size(); ++I) {
+    const std::uint64_t H = Heights[I];
+    const std::uint64_t W = S / H;
     const std::uint64_t Sram =
         2 * ElementBytes *
         streamingBufferWords(
@@ -61,12 +75,12 @@ int main() {
                                                 StreamMode::ColumnSerial),
             Config.Optimized.Lanes);
     Table.addRow({TableWriter::num(H), TableWriter::num(W),
-                  TableWriter::num(P1.ThroughputGBps, 2),
-                  TableWriter::num(P1C.ThroughputGBps, 2),
+                  TableWriter::num(Cells[I].P1.ThroughputGBps, 2),
+                  TableWriter::num(Cells[I].P1C.ThroughputGBps, 2),
                   formatBytes(H * N * ElementBytes),
-                  TableWriter::num(P2.ThroughputGBps, 2),
-                  TableWriter::num(P2.RowActivations), formatBytes(Sram),
-                  H == Eq1.H ? "<== Eq. 1" : ""});
+                  TableWriter::num(Cells[I].P2.ThroughputGBps, 2),
+                  TableWriter::num(Cells[I].P2.RowActivations),
+                  formatBytes(Sram), H == Eq1.H ? "<== Eq. 1" : ""});
   }
   Table.print(std::cout);
 

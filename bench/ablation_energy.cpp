@@ -25,7 +25,8 @@
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const std::uint64_t N = 2048;
   SystemConfig Config = SystemConfig::forProblemSize(N);
   printHeader("Ablation E: energy per bit by intermediate layout", Config);
@@ -78,20 +79,33 @@ int main() {
                      false});
 
   const LayoutEvaluator Evaluator(Config, Params);
+  struct Cell {
+    LayoutMetrics M;
+    EnergyBreakdown ColEnergy;
+    PhaseResult Col;
+  };
+  std::vector<Cell> Cells(Entries.size());
+  forEachIndex(Entries.size(), Threads, [&](std::size_t I) {
+    const Entry &E = Entries[I];
+    const ArchParams &Arch =
+        E.BaselineFrontEnd ? Config.Baseline : Config.Optimized;
+    Cells[I].M = Evaluator.evaluate(Arch, *E.Mid, *E.Out);
+    Cells[I].Col = Evaluator.runColumnPhase(Arch, *E.Mid, *E.Out,
+                                            &Cells[I].ColEnergy);
+  });
+
   TableWriter Table({"configuration", "app (GB/s)", "pJ/bit",
                      "activations/KiB", "col-phase power (mW)"});
   double BaselinePJ = 0.0, OptPJ = 0.0;
-  for (const Entry &E : Entries) {
-    const ArchParams &Arch =
-        E.BaselineFrontEnd ? Config.Baseline : Config.Optimized;
-    EnergyBreakdown ColEnergy;
-    const LayoutMetrics M = Evaluator.evaluate(Arch, *E.Mid, *E.Out);
-    const PhaseResult Col =
-        Evaluator.runColumnPhase(Arch, *E.Mid, *E.Out, &ColEnergy);
+  for (std::size_t I = 0; I != Entries.size(); ++I) {
+    const Entry &E = Entries[I];
+    const LayoutMetrics &M = Cells[I].M;
     Table.addRow({E.Name, TableWriter::num(M.AppGBps, 2),
                   TableWriter::num(M.PicojoulesPerBit, 2),
                   TableWriter::num(M.ActivationsPerKiB, 3),
-                  TableWriter::num(ColEnergy.milliwatts(Col.Elapsed), 0)});
+                  TableWriter::num(
+                      Cells[I].ColEnergy.milliwatts(Cells[I].Col.Elapsed),
+                      0)});
     if (E.BaselineFrontEnd)
       BaselinePJ = M.PicojoulesPerBit;
     if (std::string(E.Name).find("skewed") != std::string::npos)

@@ -27,7 +27,8 @@
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const std::uint64_t N = 2048;
   SystemConfig Config = SystemConfig::forProblemSize(N);
   printHeader("Ablation D: intermediate data layout comparison", Config);
@@ -77,14 +78,22 @@ int main() {
   TableWriter Table({"intermediate layout", "phase1 (GB/s)",
                      "phase2 (GB/s)", "app (GB/s)", "p2 row acts",
                      "p2 hit rate"});
-  for (const Entry &E : Entries) {
-    const PhaseResult P1 =
-        simulateRowPhaseOver(Config, Config.Optimized, *E.Mid);
-    const PhaseResult P2 =
-        simulateColumnPhaseOver(Config, Config.Optimized, *E.Mid, *E.Out);
+  struct Cell {
+    PhaseResult P1, P2;
+  };
+  std::vector<Cell> Cells(Entries.size());
+  forEachIndex(Entries.size(), Threads, [&](std::size_t I) {
+    Cells[I].P1 =
+        simulateRowPhaseOver(Config, Config.Optimized, *Entries[I].Mid);
+    Cells[I].P2 = simulateColumnPhaseOver(Config, Config.Optimized,
+                                          *Entries[I].Mid, *Entries[I].Out);
+  });
+  for (std::size_t I = 0; I != Entries.size(); ++I) {
+    const PhaseResult &P1 = Cells[I].P1;
+    const PhaseResult &P2 = Cells[I].P2;
     const double App = AnalyticalModel::harmonicCombine(P1.ThroughputGBps,
                                                         P2.ThroughputGBps);
-    Table.addRow({E.Name, TableWriter::num(P1.ThroughputGBps, 2),
+    Table.addRow({Entries[I].Name, TableWriter::num(P1.ThroughputGBps, 2),
                   TableWriter::num(P2.ThroughputGBps, 2),
                   TableWriter::num(App, 2),
                   TableWriter::num(P2.RowActivations),

@@ -17,39 +17,46 @@
 #include "BenchUtils.h"
 
 #include <iostream>
+#include <vector>
 
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const std::uint64_t N = 2048;
   printHeader("Ablation H: address-mapping design space",
               SystemConfig::forProblemSize(N));
 
+  const std::vector<AddressMapKind> Kinds = {
+      AddressMapKind::ColVaultBankRow, AddressMapKind::ColBankVaultRow,
+      AddressMapKind::ColVaultRowBank, AddressMapKind::ColRowBankVault};
+  struct Cell {
+    PhaseResult BaseRow, BaseCol, OptRow, OptCol;
+  };
+  std::vector<Cell> Cells(Kinds.size() * 2);
+  forEachIndex(Cells.size(), Threads, [&](std::size_t I) {
+    SystemConfig Config = SystemConfig::forProblemSize(N);
+    Config.Mem.MapKind = Kinds[I / 2];
+    Config.Mem.XorHash = I % 2 != 0;
+    Cells[I].BaseRow = simulateRowPhase(Config, Config.Baseline, false);
+    Cells[I].BaseCol = simulateColumnPhase(Config, Config.Baseline, false);
+    Cells[I].OptRow = simulateRowPhase(Config, Config.Optimized, true);
+    Cells[I].OptCol = simulateColumnPhase(Config, Config.Optimized, true);
+  });
+
   TableWriter Table({"mapping", "xor", "base row (GB/s)", "base col (GB/s)",
                      "opt row (GB/s)", "opt col (GB/s)"});
-  for (const AddressMapKind Kind :
-       {AddressMapKind::ColVaultBankRow, AddressMapKind::ColBankVaultRow,
-        AddressMapKind::ColVaultRowBank, AddressMapKind::ColRowBankVault}) {
-    for (const bool Hash : {false, true}) {
-      SystemConfig Config = SystemConfig::forProblemSize(N);
-      Config.Mem.MapKind = Kind;
-      Config.Mem.XorHash = Hash;
-      const PhaseResult BaseRow =
-          simulateRowPhase(Config, Config.Baseline, false);
-      const PhaseResult BaseCol =
-          simulateColumnPhase(Config, Config.Baseline, false);
-      const PhaseResult OptRow =
-          simulateRowPhase(Config, Config.Optimized, true);
-      const PhaseResult OptCol =
-          simulateColumnPhase(Config, Config.Optimized, true);
-      Table.addRow({addressMapKindName(Kind), Hash ? "yes" : "no",
-                    TableWriter::num(BaseRow.ThroughputGBps, 2),
-                    TableWriter::num(BaseCol.ThroughputGBps, 2),
-                    TableWriter::num(OptRow.ThroughputGBps, 2),
-                    TableWriter::num(OptCol.ThroughputGBps, 2)});
-    }
-    Table.addSeparator();
+  for (std::size_t I = 0; I != Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    Table.addRow({addressMapKindName(Kinds[I / 2]),
+                  I % 2 != 0 ? "yes" : "no",
+                  TableWriter::num(C.BaseRow.ThroughputGBps, 2),
+                  TableWriter::num(C.BaseCol.ThroughputGBps, 2),
+                  TableWriter::num(C.OptRow.ThroughputGBps, 2),
+                  TableWriter::num(C.OptCol.ThroughputGBps, 2)});
+    if (I % 2 != 0)
+      Table.addSeparator();
   }
   Table.print(std::cout);
 

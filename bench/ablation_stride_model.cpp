@@ -50,31 +50,38 @@ double simulateRate(const MemoryConfig &Config, std::uint64_t StrideBytes,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const SystemConfig Head = SystemConfig::forProblemSize(2048);
   printHeader("Ablation G: structural stride model vs simulation", Head);
 
   const MemoryConfig Config;
   const AddressMapper Mapper(Config.Geo, Config.MapKind);
 
+  const std::vector<std::uint64_t> StrideAxis = {1024, 2048, 4096, 8192};
+  const std::vector<unsigned> WindowAxis = {1u, 8u, 64u};
+  std::vector<double> Sims(StrideAxis.size() * WindowAxis.size());
+  forEachIndex(Sims.size(), Threads, [&](std::size_t I) {
+    const std::uint64_t Stride = StrideAxis[I / WindowAxis.size()] * 8;
+    Sims[I] = simulateRate(Config, Stride, WindowAxis[I % WindowAxis.size()]);
+  });
+
   TableWriter Table({"stride", "vaults", "banks", "bank gap",
                      "window", "model (acc/ns)", "simulated", "ratio"});
-  for (const std::uint64_t StrideElems : {1024ull, 2048ull, 4096ull,
-                                          8192ull}) {
-    const std::uint64_t Stride = StrideElems * 8;
+  for (std::size_t I = 0; I != Sims.size(); ++I) {
+    const std::uint64_t Stride = StrideAxis[I / WindowAxis.size()] * 8;
+    const unsigned Window = WindowAxis[I % WindowAxis.size()];
     const StrideProfile P = analyzeStride(Mapper, 0, Stride, 4096);
-    for (const unsigned Window : {1u, 8u, 64u}) {
-      const double Model = predictStridedAccessRate(P, Config.Time, Window);
-      const double Sim = simulateRate(Config, Stride, Window);
-      Table.addRow({formatBytes(Stride),
-                    TableWriter::num(std::uint64_t(P.DistinctVaults)),
-                    TableWriter::num(std::uint64_t(P.DistinctBanks)),
-                    TableWriter::num(P.MeanSameBankGap, 1),
-                    TableWriter::num(std::uint64_t(Window)),
-                    TableWriter::num(Model, 4), TableWriter::num(Sim, 4),
-                    TableWriter::num(Sim / Model, 2)});
-    }
-    Table.addSeparator();
+    const double Model = predictStridedAccessRate(P, Config.Time, Window);
+    Table.addRow({formatBytes(Stride),
+                  TableWriter::num(std::uint64_t(P.DistinctVaults)),
+                  TableWriter::num(std::uint64_t(P.DistinctBanks)),
+                  TableWriter::num(P.MeanSameBankGap, 1),
+                  TableWriter::num(std::uint64_t(Window)),
+                  TableWriter::num(Model, 4), TableWriter::num(Sims[I], 4),
+                  TableWriter::num(Sims[I] / Model, 2)});
+    if (I % WindowAxis.size() == WindowAxis.size() - 1)
+      Table.addSeparator();
   }
   Table.print(std::cout);
 

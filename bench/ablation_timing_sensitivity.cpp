@@ -17,19 +17,25 @@
 #include "layout/LayoutPlanner.h"
 
 #include <iostream>
+#include <vector>
 
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const std::uint64_t N = 4096;
   printHeader("Ablation C: sensitivity to the row-activation cost",
               SystemConfig::forProblemSize(N));
 
-  TableWriter Table({"scale", "t_diff_row (ns)", "activate (ns)",
-                     "baseline col (GB/s)", "optimized col (GB/s)",
-                     "base util", "opt util", "Eq.1 h (m=s*b)"});
-  for (const double Scale : {0.5, 1.0, 2.0, 4.0}) {
+  const std::vector<double> Scales = {0.5, 1.0, 2.0, 4.0};
+  struct Cell {
+    PhaseResult Base, Opt;
+    BlockPlan Plan;
+  };
+  std::vector<Cell> Cells(Scales.size());
+  forEachIndex(Scales.size(), Threads, [&](std::size_t I) {
+    const double Scale = Scales[I];
     SystemConfig Config = SystemConfig::forProblemSize(N);
     Timing &T = Config.Mem.Time;
     T.TDiffRow = nanosToPicos(40.0 * Scale);
@@ -40,21 +46,29 @@ int main() {
     if (T.TInVault > T.TDiffBank)
       T.TInVault = T.TDiffBank;
 
-    const PhaseResult Base =
+    Cells[I].Base =
         simulateColumnPhase(Config, Config.Baseline, /*Optimized=*/false);
-    const PhaseResult Opt =
+    Cells[I].Opt =
         simulateColumnPhase(Config, Config.Optimized, /*Optimized=*/true);
     const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time,
                                 ElementBytes);
-    const BlockPlan Plan = Planner.plan(N, 16, /*ColumnStreams=*/8192);
+    Cells[I].Plan = Planner.plan(N, 16, /*ColumnStreams=*/8192);
+  });
+
+  TableWriter Table({"scale", "t_diff_row (ns)", "activate (ns)",
+                     "baseline col (GB/s)", "optimized col (GB/s)",
+                     "base util", "opt util", "Eq.1 h (m=s*b)"});
+  for (std::size_t I = 0; I != Scales.size(); ++I) {
+    const double Scale = Scales[I];
+    const Cell &C = Cells[I];
     Table.addRow({TableWriter::num(Scale, 1) + "x",
                   TableWriter::num(40.0 * Scale, 0),
                   TableWriter::num(14.0 * Scale, 0),
-                  TableWriter::num(Base.ThroughputGBps, 3),
-                  TableWriter::num(Opt.ThroughputGBps, 2),
-                  TableWriter::percent(Base.PeakUtilization, 2),
-                  TableWriter::percent(Opt.PeakUtilization, 1),
-                  TableWriter::num(Plan.H)});
+                  TableWriter::num(C.Base.ThroughputGBps, 3),
+                  TableWriter::num(C.Opt.ThroughputGBps, 2),
+                  TableWriter::percent(C.Base.PeakUtilization, 2),
+                  TableWriter::percent(C.Opt.PeakUtilization, 1),
+                  TableWriter::num(C.Plan.H)});
   }
   Table.print(std::cout);
 

@@ -17,18 +17,26 @@
 #include "support/MathUtils.h"
 
 #include <iostream>
+#include <vector>
 
 using namespace fft3d;
 using namespace fft3d::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   const std::uint64_t N = 2048;
   printHeader("Ablation B: vault parallelism (n_v) sweep",
               SystemConfig::forProblemSize(N));
 
-  TableWriter Table({"n_v", "device peak (GB/s)", "Eq.1 h", "regime",
-                     "col phase (GB/s)", "kernel demand", "kernel-bound?"});
-  for (unsigned Nv : {1u, 2u, 4u, 8u, 16u}) {
+  const std::vector<unsigned> Vaults = {1u, 2u, 4u, 8u, 16u};
+  struct Cell {
+    double PeakGBps = 0.0;
+    BlockPlan Plan;
+    PhaseResult Col;
+  };
+  std::vector<Cell> Cells(Vaults.size());
+  forEachIndex(Vaults.size(), Threads, [&](std::size_t I) {
+    const unsigned Nv = Vaults[I];
     SystemConfig Config = SystemConfig::forProblemSize(N);
     Config.Mem.Geo.NumVaults = Nv;
     // Keep three matrix regions resident in the shrunken device.
@@ -40,16 +48,23 @@ int main() {
     const AnalyticalModel Model(Config);
     const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time,
                                 ElementBytes);
-    const BlockPlan Plan = Planner.plan(N, Nv);
-    const PhaseResult Col =
+    Cells[I].PeakGBps = Model.peakGBps();
+    Cells[I].Plan = Planner.plan(N, Nv);
+    Cells[I].Col =
         simulateColumnPhase(Config, Config.Optimized, /*Optimized=*/true);
-    const double Demand = 2.0 * 16.0; // 2 streams x 8 lanes x 8 B x 250 MHz
-    Table.addRow({TableWriter::num(std::uint64_t(Nv)),
-                  TableWriter::num(Model.peakGBps(), 1),
-                  TableWriter::num(Plan.H), planRegimeName(Plan.Regime),
-                  TableWriter::num(Col.ThroughputGBps, 2),
+  });
+
+  TableWriter Table({"n_v", "device peak (GB/s)", "Eq.1 h", "regime",
+                     "col phase (GB/s)", "kernel demand", "kernel-bound?"});
+  const double Demand = 2.0 * 16.0; // 2 streams x 8 lanes x 8 B x 250 MHz
+  for (std::size_t I = 0; I != Vaults.size(); ++I) {
+    const Cell &C = Cells[I];
+    Table.addRow({TableWriter::num(std::uint64_t(Vaults[I])),
+                  TableWriter::num(C.PeakGBps, 1),
+                  TableWriter::num(C.Plan.H), planRegimeName(C.Plan.Regime),
+                  TableWriter::num(C.Col.ThroughputGBps, 2),
                   TableWriter::num(Demand, 1),
-                  Col.ThroughputGBps > 0.95 * Demand ? "yes" : "no"});
+                  C.Col.ThroughputGBps > 0.95 * Demand ? "yes" : "no"});
   }
   Table.print(std::cout);
 

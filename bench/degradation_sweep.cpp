@@ -51,7 +51,8 @@ std::string specFor(unsigned FailedVaults, unsigned DutyPct) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
   SystemConfig Base = SystemConfig::forProblemSize(1024);
   printHeader("Degradation sweep: vault failures x thermal throttling",
               Base);
@@ -63,48 +64,68 @@ int main() {
   const unsigned Jobs = 150;
   const double RatePerSec = 90.0;
 
+  const std::vector<unsigned> FailedAxis = {0u, 1u, 2u, 4u, 8u, 12u};
+  const std::vector<unsigned> DutyAxis = {0u, 25u, 50u};
+
+  struct Cell {
+    AppReport App;
+    SloSummary Slo;
+    std::string Error;
+  };
+  std::vector<Cell> Cells(FailedAxis.size() * DutyAxis.size());
+  // Every cell builds its own fault spec, processor, workload and serve
+  // simulator; only the (thread-safe, memoized) service model is shared.
+  forEachIndex(Cells.size(), Threads, [&](std::size_t I) {
+    const unsigned Failed = FailedAxis[I / DutyAxis.size()];
+    const unsigned Duty = DutyAxis[I % DutyAxis.size()];
+    const std::string Text = specFor(Failed, Duty);
+    auto Spec = std::make_shared<FaultSpec>();
+    std::string Error;
+    if (!Spec->parse(Text, &Error)) {
+      Cells[I].Error = Error;
+      return;
+    }
+
+    // Application throughput: the full optimized 2D FFT on the degraded
+    // device.
+    SystemConfig Config = Base;
+    Config.Mem.Faults = Spec;
+    Fft2dProcessor Processor(Config);
+    Cells[I].App = Processor.runOptimized();
+
+    // Serving behaviour on the same degraded device.
+    ServeConfig Serve;
+    Serve.QueueCapacity = 64;
+    Serve.Health = std::make_shared<HealthMonitor>(
+        Spec, HealthyMem.Geo.NumVaults);
+    Serve.Brownout.Enabled = true;
+    ServeSimulator Sim(Serve, Model);
+    TraceWorkload Load(
+        generatePoissonTrace(Mix, Jobs, RatePerSec, Seed, Model));
+    const auto Policy = createPolicy(PolicyKind::VaultPartition);
+    Cells[I].Slo = Sim.run(Load, *Policy).Summary;
+  });
+
   TableWriter Table({"failed", "duty %", "healthy", "fft GB/s", "jobs/s",
                      "p99 ms", "miss %", "brownout"});
-  for (const unsigned Failed : {0u, 1u, 2u, 4u, 8u, 12u}) {
-    for (const unsigned Duty : {0u, 25u, 50u}) {
-      const std::string Text = specFor(Failed, Duty);
-      auto Spec = std::make_shared<FaultSpec>();
-      std::string Error;
-      if (!Spec->parse(Text, &Error)) {
-        std::cerr << "internal spec error: " << Error << "\n";
-        return 1;
-      }
-
-      // Application throughput: the full optimized 2D FFT on the
-      // degraded device.
-      SystemConfig Config = Base;
-      Config.Mem.Faults = Spec;
-      Fft2dProcessor Processor(Config);
-      const AppReport App = Processor.runOptimized();
-
-      // Serving behaviour on the same degraded device.
-      ServeConfig Serve;
-      Serve.QueueCapacity = 64;
-      Serve.Health = std::make_shared<HealthMonitor>(
-          Spec, HealthyMem.Geo.NumVaults);
-      Serve.Brownout.Enabled = true;
-      ServeSimulator Sim(Serve, Model);
-      TraceWorkload Load(
-          generatePoissonTrace(Mix, Jobs, RatePerSec, Seed, Model));
-      const auto Policy = createPolicy(PolicyKind::VaultPartition);
-      const ServeResult R = Sim.run(Load, *Policy);
-      const SloSummary &S = R.Summary;
-
-      Table.addRow({TableWriter::num(std::uint64_t(Failed)),
-                    TableWriter::num(std::uint64_t(Duty)),
-                    TableWriter::num(std::uint64_t(App.HealthyVaultsEnd)),
-                    TableWriter::num(App.AppThroughputGBps, 2),
-                    TableWriter::num(S.ThroughputJobsPerSec, 1),
-                    TableWriter::num(S.P99LatencyMs, 2),
-                    TableWriter::percent(S.DeadlineMissRate),
-                    TableWriter::num(S.BrownoutSheds)});
+  for (std::size_t I = 0; I != Cells.size(); ++I) {
+    if (!Cells[I].Error.empty()) {
+      std::cerr << "internal spec error: " << Cells[I].Error << "\n";
+      return 1;
     }
-    Table.addSeparator();
+    const AppReport &App = Cells[I].App;
+    const SloSummary &S = Cells[I].Slo;
+    Table.addRow(
+        {TableWriter::num(std::uint64_t(FailedAxis[I / DutyAxis.size()])),
+         TableWriter::num(std::uint64_t(DutyAxis[I % DutyAxis.size()])),
+         TableWriter::num(std::uint64_t(App.HealthyVaultsEnd)),
+         TableWriter::num(App.AppThroughputGBps, 2),
+         TableWriter::num(S.ThroughputJobsPerSec, 1),
+         TableWriter::num(S.P99LatencyMs, 2),
+         TableWriter::percent(S.DeadlineMissRate),
+         TableWriter::num(S.BrownoutSheds)});
+    if (I % DutyAxis.size() == DutyAxis.size() - 1)
+      Table.addSeparator();
   }
   Table.print(std::cout);
 

@@ -11,6 +11,8 @@
 #include "core/PhaseEngine.h"
 #include "fft/Fft1d.h"
 #include "fft/Fft2d.h"
+#include "fft/SimdKernels.h"
+#include "fft/Twiddle.h"
 #include "layout/BlockDynamicLayout.h"
 #include "layout/LinearLayouts.h"
 #include "permute/PermutationNetwork.h"
@@ -85,6 +87,38 @@ void BM_EventQueueChurn(benchmark::State &State) {
 }
 BENCHMARK(BM_EventQueueChurn);
 
+void BM_EventQueueScheduleAfter(benchmark::State &State) {
+  // Steady-state self-rescheduling wakeups: the dominant event shape in
+  // the memory controller (one [this] capture, near-future deadline).
+  EventQueue Q;
+  int Sink = 0;
+  for (auto _ : State) {
+    for (int I = 0; I != 64; ++I)
+      Q.scheduleAfter(static_cast<Picos>(1 + I % 7), [&Sink] { ++Sink; });
+    for (int I = 0; I != 64; ++I)
+      Q.step();
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAfter);
+
+void BM_EventQueueStep(benchmark::State &State) {
+  // Drain cost alone: refill a deep queue outside the timed region's
+  // inner accounting (refill and drain both counted, half each).
+  EventQueue Q;
+  std::uint64_t Sink = 0;
+  for (auto _ : State) {
+    for (int I = 0; I != 512; ++I)
+      Q.scheduleAfter(static_cast<Picos>(I * 13 % 4096), [&Sink] { ++Sink; });
+    while (!Q.empty())
+      Q.step();
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(State.iterations() * 512);
+}
+BENCHMARK(BM_EventQueueStep);
+
 void BM_MemorySimSequentialStream(benchmark::State &State) {
   for (auto _ : State) {
     EventQueue Events;
@@ -117,6 +151,38 @@ void BM_PhaseEngineStridedScan(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_PhaseEngineStridedScan);
+
+/// One full radix-4 stage (the FFT's hot loop) at a chosen dispatch
+/// level; Arg is the SimdLevel enum value. Levels the CPU lacks are
+/// skipped rather than silently falling back.
+void BM_Radix4Stage(benchmark::State &State) {
+  const SimdLevel Requested = static_cast<SimdLevel>(State.range(0));
+  if (!simdLevelSupported(Requested)) {
+    State.SkipWithError("level unsupported on this CPU");
+    return;
+  }
+  const FftKernels &Kernels = kernelsFor(Requested);
+  constexpr std::uint64_t N = 4096;
+  const TwiddleRom Rom(N);
+  Rng R(N);
+  std::vector<CplxD> Data(N);
+  for (auto &V : Data)
+    V = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+  // Mid-size stage: M = 64, span 256, the shape most stages take.
+  const std::uint64_t M = 64, L = 4 * M;
+  for (auto _ : State) {
+    Kernels.Radix4Stage(Data.data(), N, M, Rom.data(), Rom.size() / L,
+                        false);
+    benchmark::DoNotOptimize(Data.data());
+  }
+  State.SetLabel(simdLevelName(Requested));
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_Radix4Stage)
+    ->Arg(static_cast<int>(SimdLevel::Scalar))
+    ->Arg(static_cast<int>(SimdLevel::Sse2))
+    ->Arg(static_cast<int>(SimdLevel::Avx2))
+    ->Arg(static_cast<int>(SimdLevel::Neon));
 
 void BM_LayoutAddressOf(benchmark::State &State) {
   const BlockDynamicLayout L(8192, 8192, 8, 0, 8, 128);

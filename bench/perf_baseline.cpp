@@ -1,0 +1,207 @@
+//===- bench/perf_baseline.cpp - Simulator self-performance baseline ------===//
+//
+// Part of the fft3d project.
+//
+// Measures the library's own speed (not the modelled hardware): event
+// core throughput, full table2-style simulation wall time per problem
+// size, FFT kernel MFLOPS at each SIMD level, and the parallel sweep
+// executor's 1-vs-N scaling. Emits machine-readable JSON (default
+// BENCH_perf.json) so CI can archive a perf history, plus a short
+// human-readable summary.
+//
+// Usage: perf_baseline [--threads K] [--json PATH] [--quick]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "core/AutoTuner.h"
+#include "fft/Fft1d.h"
+#include "fft/SimdKernels.h"
+#include "sim/EventQueue.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Median of repeated timings; the container CPUs are noisy, single
+/// samples are not trustworthy.
+double medianOf(unsigned Repeats, const std::function<double()> &Sample) {
+  std::vector<double> Times(Repeats);
+  for (double &T : Times)
+    T = Sample();
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// Event-core throughput: the memory controller's event shape (small
+/// [capture] lambdas, near-future deadlines, steady churn).
+double eventsPerSecond(unsigned Repeats) {
+  constexpr int Batch = 1 << 15;
+  const double Elapsed = medianOf(Repeats, [] {
+    EventQueue Q;
+    std::uint64_t Sink = 0;
+    const auto Start = Clock::now();
+    for (int I = 0; I != Batch; ++I)
+      Q.scheduleAfter(static_cast<Picos>(1 + I * 13 % 4096),
+                      [&Sink] { ++Sink; });
+    while (!Q.empty())
+      Q.step();
+    return secondsSince(Start);
+  });
+  return static_cast<double>(Batch) / Elapsed;
+}
+
+/// Wall time of the full optimized-architecture simulation at size N -
+/// the Table 2 workload, the sweeps' unit of work.
+double simWallSeconds(std::uint64_t N, unsigned Repeats) {
+  return medianOf(Repeats, [N] {
+    const SystemConfig Config = SystemConfig::forProblemSize(N);
+    Fft2dProcessor Processor(Config);
+    const auto Start = Clock::now();
+    const AppReport Opt = Processor.runOptimized();
+    (void)Opt;
+    return secondsSince(Start);
+  });
+}
+
+/// FFT throughput in MFLOPS at a given dispatch level (5 N log2 N flops
+/// per complex transform).
+double fftMflops(SimdLevel Level, unsigned Repeats) {
+  setSimdLevel(Level);
+  constexpr std::uint64_t N = 4096;
+  const Fft1d Plan(N);
+  Rng R(N);
+  std::vector<CplxD> Frame(N);
+  for (auto &V : Frame)
+    V = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+  constexpr int Iters = 64;
+  const double Flops = 5.0 * double(N) * std::log2(double(N)) * Iters;
+  const double Elapsed = medianOf(Repeats, [&] {
+    std::vector<CplxD> Data = Frame;
+    const auto Start = Clock::now();
+    for (int I = 0; I != Iters; ++I)
+      Plan.forward(Data);
+    return secondsSince(Start);
+  });
+  return Flops / Elapsed / 1e6;
+}
+
+/// Multi-point ablation-style sweep (the AutoTuner's full candidate
+/// grid) at a given thread count.
+double sweepSeconds(std::uint64_t N, unsigned Threads, unsigned Repeats) {
+  return medianOf(Repeats, [N, Threads] {
+    const SystemConfig Config = SystemConfig::forProblemSize(N);
+    TuneOptions Options;
+    Options.SweepBlockShapes = true;
+    Options.SweepSkew = true;
+    Options.Threads = Threads;
+    const AutoTuner Tuner(Config, Options);
+    const auto Start = Clock::now();
+    const TuneResult Result = Tuner.tune();
+    (void)Result;
+    return secondsSince(Start);
+  });
+}
+
+std::string jsonNum(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Threads = threadsFromArgs(Argc, Argv);
+  std::string JsonPath = "BENCH_perf.json";
+  bool Quick = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+  if (Threads == 1)
+    Threads = ThreadPool::resolveThreads(0);
+
+  const unsigned Repeats = Quick ? 1 : 3;
+  const std::vector<std::uint64_t> SimSizes =
+      Quick ? std::vector<std::uint64_t>{1024}
+            : std::vector<std::uint64_t>{1024, 2048, 4096};
+
+  std::cout << "perf_baseline: simd=" << simdLevelName(detectSimdLevel())
+            << " threads=" << Threads << " repeats=" << Repeats << "\n\n";
+
+  // 1. Event core.
+  const double EventsPerSec = eventsPerSecond(Repeats);
+  std::cout << "event core: " << jsonNum(EventsPerSec / 1e6)
+            << " M events/s\n";
+
+  // 2. Simulation wall time per size.
+  std::vector<std::pair<std::uint64_t, double>> SimTimes;
+  for (std::uint64_t N : SimSizes) {
+    SimTimes.emplace_back(N, simWallSeconds(N, Repeats));
+    std::cout << "sim " << N << "x" << N << " optimized: "
+              << jsonNum(SimTimes.back().second) << " s\n";
+  }
+
+  // 3. FFT MFLOPS, scalar and best level.
+  const SimdLevel Best = detectSimdLevel();
+  const double ScalarMflops = fftMflops(SimdLevel::Scalar, Repeats);
+  const double BestMflops =
+      Best == SimdLevel::Scalar ? ScalarMflops : fftMflops(Best, Repeats);
+  setSimdLevel(Best);
+  std::cout << "fft 4096-pt: " << jsonNum(ScalarMflops) << " MFLOPS scalar, "
+            << jsonNum(BestMflops) << " MFLOPS " << simdLevelName(Best)
+            << "\n";
+
+  // 4. Sweep executor scaling: the autotuner's full grid, 1 vs N threads.
+  const std::uint64_t SweepN = Quick ? 1024 : 2048;
+  const double Sweep1 = sweepSeconds(SweepN, 1, Repeats);
+  const double SweepN_ = sweepSeconds(SweepN, Threads, Repeats);
+  std::cout << "tune sweep (N=" << SweepN << "): " << jsonNum(Sweep1)
+            << " s at 1 thread, " << jsonNum(SweepN_) << " s at " << Threads
+            << " threads (" << jsonNum(Sweep1 / SweepN_) << "x)\n";
+
+  // JSON report.
+  std::ofstream Out(JsonPath);
+  Out << "{\n";
+  Out << "  \"simd_level\": \"" << simdLevelName(Best) << "\",\n";
+  Out << "  \"threads\": " << Threads << ",\n";
+  Out << "  \"repeats\": " << Repeats << ",\n";
+  Out << "  \"event_core\": {\"events_per_sec\": " << jsonNum(EventsPerSec)
+      << "},\n";
+  Out << "  \"sim_wall_time_s\": [";
+  for (std::size_t I = 0; I != SimTimes.size(); ++I)
+    Out << (I ? ", " : "") << "{\"n\": " << SimTimes[I].first
+        << ", \"optimized_s\": " << jsonNum(SimTimes[I].second) << "}";
+  Out << "],\n";
+  Out << "  \"fft_mflops\": {\"scalar\": " << jsonNum(ScalarMflops) << ", \""
+      << simdLevelName(Best) << "\": " << jsonNum(BestMflops) << "},\n";
+  Out << "  \"sweep\": {\"n\": " << SweepN << ", \"threads1_s\": "
+      << jsonNum(Sweep1) << ", \"threadsN_s\": " << jsonNum(SweepN_)
+      << ", \"speedup\": " << jsonNum(Sweep1 / SweepN_) << "}\n";
+  Out << "}\n";
+  std::cout << "\nwrote " << JsonPath << "\n";
+  return 0;
+}

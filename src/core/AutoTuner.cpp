@@ -11,6 +11,7 @@
 #include "layout/TiledLayout.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -119,8 +120,13 @@ TuneResult AutoTuner::tune(TuneObjective Objective) const {
   }
   addBlockCandidates(Candidates);
 
+  // Every candidate builds its own layouts and simulator state, so the
+  // evaluations are independent and can fan out across the pool; the
+  // ranking below only depends on the per-candidate metrics.
   const LayoutEvaluator Evaluator(Config, Energy);
-  for (TuneCandidate &C : Candidates) {
+  ThreadPool Pool(ThreadPool::resolveThreads(Options.Threads));
+  Pool.parallelFor(Candidates.size(), [&](std::size_t Index) {
+    TuneCandidate &C = Candidates[Index];
     std::unique_ptr<DataLayout> Mid, Out;
     switch (C.Kind) {
     case LayoutKind::RowMajor:
@@ -145,7 +151,7 @@ TuneResult AutoTuner::tune(TuneObjective Objective) const {
       break;
     }
     C.Metrics = Evaluator.evaluate(Config.Optimized, *Mid, *Out);
-  }
+  });
 
   std::stable_sort(Candidates.begin(), Candidates.end(),
                    [Objective](const TuneCandidate &A,

@@ -78,6 +78,9 @@ struct TuneOptions {
   bool IncludeTiled = true;
   bool SweepBlockShapes = true;
   bool SweepSkew = true;
+  /// Candidates evaluated concurrently (each owns its simulator, so the
+  /// ranking is identical for any value). 0 = hardware concurrency.
+  unsigned Threads = 1;
 };
 
 /// Enumerates, simulates and ranks intermediate layouts.

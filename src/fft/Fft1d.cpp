@@ -6,13 +6,29 @@
 
 #include "fft/Fft1d.h"
 
-#include "fft/RadixBlock.h"
+#include "fft/SimdKernels.h"
 #include "support/MathUtils.h"
 
-#include <array>
 #include <cassert>
 
 using namespace fft3d;
+
+namespace {
+
+/// Per-thread scratch, so repeated transforms (every row of a 2D FFT, a
+/// pool worker's whole sweep cell) reuse one allocation instead of
+/// paying a heap round trip per call.
+std::vector<CplxD> &threadScratch() {
+  static thread_local std::vector<CplxD> Scratch;
+  return Scratch;
+}
+
+std::vector<CplxD> &threadWideScratch() {
+  static thread_local std::vector<CplxD> Wide;
+  return Wide;
+}
+
+} // namespace
 
 Fft1d::Fft1d(std::uint64_t N) : N(N), Rom(N) {
   assert(isPowerOf2(N) && N >= 2 && "transform size must be a power of two");
@@ -22,7 +38,8 @@ Fft1d::Fft1d(std::uint64_t N) : N(N), Rom(N) {
 }
 
 void Fft1d::forward(std::vector<CplxF> &Data) const {
-  std::vector<CplxD> Wide(Data.size());
+  std::vector<CplxD> &Wide = threadWideScratch();
+  Wide.resize(Data.size());
   for (std::size_t I = 0; I != Data.size(); ++I)
     Wide[I] = widen(Data[I]);
   forward(Wide);
@@ -31,7 +48,8 @@ void Fft1d::forward(std::vector<CplxF> &Data) const {
 }
 
 void Fft1d::inverse(std::vector<CplxF> &Data) const {
-  std::vector<CplxD> Wide(Data.size());
+  std::vector<CplxD> &Wide = threadWideScratch();
+  Wide.resize(Data.size());
   for (std::size_t I = 0; I != Data.size(); ++I)
     Wide[I] = widen(Data[I]);
   inverse(Wide);
@@ -58,23 +76,21 @@ void Fft1d::transform(std::vector<CplxD> &Data, bool Inverse) const {
   }
 
   // Odd log2(N): one decimation-in-time radix-2 split; both halves are
-  // powers of four.
+  // powers of four. The deinterleaved halves live side by side in one
+  // per-thread scratch buffer.
   const std::uint64_t Half = N / 2;
-  std::vector<CplxD> Even(Half), Odd(Half);
+  std::vector<CplxD> &Scratch = threadScratch();
+  Scratch.resize(N);
+  CplxD *Even = Scratch.data();
+  CplxD *Odd = Scratch.data() + Half;
   for (std::uint64_t I = 0; I != Half; ++I) {
     Even[I] = Data[2 * I];
     Odd[I] = Data[2 * I + 1];
   }
-  radix4InPlace(Even.data(), Half, Inverse);
-  radix4InPlace(Odd.data(), Half, Inverse);
-  for (std::uint64_t J = 0; J != Half; ++J) {
-    const CplxD W = Inverse ? Rom.conjRoot(J) : Rom.root(J);
-    CplxD A = Even[J];
-    CplxD B = Odd[J] * W;
-    radix2Butterfly(A, B);
-    Data[J] = A;
-    Data[J + Half] = B;
-  }
+  radix4InPlace(Even, Half, Inverse);
+  radix4InPlace(Odd, Half, Inverse);
+  activeKernels().Radix2Combine(Data.data(), Even, Odd, Half, Rom.data(),
+                                Inverse);
 }
 
 void Fft1d::radix4InPlace(CplxD *Data, std::uint64_t Len, bool Inverse) const {
@@ -89,26 +105,12 @@ void Fft1d::radix4InPlace(CplxD *Data, std::uint64_t Len, bool Inverse) const {
       std::swap(Data[I], Data[J]);
   }
 
-  // Twiddles for span L come from the shared ROM with stride Rom.size()/L.
+  // Twiddles for span L come from the shared ROM with stride Rom.size()/L;
+  // stage exponents Q*J*Stride stay below 3/4 * Rom.size(), so the
+  // kernels index the raw table directly. The stage loops themselves run
+  // through the runtime-dispatched SIMD kernels.
+  const FftKernels &Kernels = activeKernels();
   const std::uint64_t RomN = Rom.size();
-  for (std::uint64_t M = 1, L = 4; M < Len; M = L, L *= 4) {
-    const std::uint64_t Stride = RomN / L;
-    for (std::uint64_t Base = 0; Base != Len; Base += L) {
-      for (std::uint64_t J = 0; J != M; ++J) {
-        std::array<CplxD, 4> V;
-        V[0] = Data[Base + J];
-        for (unsigned Q = 1; Q != 4; ++Q) {
-          const std::uint64_t Exp = Q * J * Stride;
-          const CplxD W = Inverse ? Rom.conjRoot(Exp) : Rom.root(Exp);
-          V[Q] = Data[Base + J + Q * M] * W;
-        }
-        if (Inverse)
-          radix4ButterflyInverse(V);
-        else
-          radix4Butterfly(V);
-        for (unsigned Q = 0; Q != 4; ++Q)
-          Data[Base + J + Q * M] = V[Q];
-      }
-    }
-  }
+  for (std::uint64_t M = 1, L = 4; M < Len; M = L, L *= 4)
+    Kernels.Radix4Stage(Data, Len, M, Rom.data(), RomN / L, Inverse);
 }

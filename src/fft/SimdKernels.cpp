@@ -1,0 +1,506 @@
+//===- fft/SimdKernels.cpp - Runtime-dispatched FFT kernels ---------------===//
+//
+// Part of the fft3d project.
+//
+// Every vector kernel below replays the scalar loop's IEEE operations in
+// the same order: complex multiplies expand to (mul, mul, sub) for the
+// real part and (mul, mul, add) for the imaginary part - the form GCC
+// emits for std::complex on finite values - and the +/-j rotations and
+// conjugations are pure sign flips. Nothing here uses FMA, so every
+// level is bit-identical to the scalar reference on finite data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fft/SimdKernels.h"
+
+#include "fft/RadixBlock.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FFT3D_SIMD_X86 1
+#endif
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define FFT3D_SIMD_NEON 1
+#endif
+
+using namespace fft3d;
+
+//===----------------------------------------------------------------------===//
+// Scalar reference kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void scalarRadix4Stage(CplxD *Data, std::uint64_t Len, std::uint64_t M,
+                       const CplxD *Rom, std::uint64_t Stride, bool Inverse) {
+  const std::uint64_t L = 4 * M;
+  for (std::uint64_t Base = 0; Base != Len; Base += L) {
+    for (std::uint64_t J = 0; J != M; ++J) {
+      std::array<CplxD, 4> V;
+      V[0] = Data[Base + J];
+      for (unsigned Q = 1; Q != 4; ++Q) {
+        const std::uint64_t Exp = Q * J * Stride;
+        const CplxD W = Inverse ? std::conj(Rom[Exp]) : Rom[Exp];
+        V[Q] = Data[Base + J + Q * M] * W;
+      }
+      if (Inverse)
+        radix4ButterflyInverse(V);
+      else
+        radix4Butterfly(V);
+      for (unsigned Q = 0; Q != 4; ++Q)
+        Data[Base + J + Q * M] = V[Q];
+    }
+  }
+}
+
+void scalarRadix2Combine(CplxD *Data, const CplxD *Even, const CplxD *Odd,
+                         std::uint64_t Half, const CplxD *Rom, bool Inverse) {
+  for (std::uint64_t J = 0; J != Half; ++J) {
+    const CplxD W = Inverse ? std::conj(Rom[J]) : Rom[J];
+    CplxD A = Even[J];
+    CplxD B = Odd[J] * W;
+    radix2Butterfly(A, B);
+    Data[J] = A;
+    Data[J + Half] = B;
+  }
+}
+
+constexpr FftKernels ScalarKernels = {scalarRadix4Stage, scalarRadix2Combine};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SSE2 kernels: one complex<double> per __m128d
+//===----------------------------------------------------------------------===//
+
+#if FFT3D_SIMD_X86
+
+namespace {
+
+inline __m128d loadC(const CplxD *P) {
+  return _mm_loadu_pd(reinterpret_cast<const double *>(P));
+}
+
+inline void storeC(CplxD *P, __m128d V) {
+  _mm_storeu_pd(reinterpret_cast<double *>(P), V);
+}
+
+/// (X.re*W.re - X.im*W.im, X.re*W.im + X.im*W.re), mul/mul/sub|add order.
+inline __m128d cmulSse2(__m128d X, __m128d W) {
+  const __m128d Xr = _mm_unpacklo_pd(X, X);
+  const __m128d Xi = _mm_unpackhi_pd(X, X);
+  const __m128d Ws = _mm_shuffle_pd(W, W, 1);
+  const __m128d T1 = _mm_mul_pd(Xr, W);
+  __m128d T2 = _mm_mul_pd(Xi, Ws);
+  // Negate the real lane so the add below computes (sub, add); IEEE
+  // a + (-b) == a - b, keeping this bit-identical to the scalar form.
+  T2 = _mm_xor_pd(T2, _mm_set_pd(0.0, -0.0));
+  return _mm_add_pd(T1, T2);
+}
+
+/// V * -j = (V.im, -V.re).
+inline __m128d mulMinusJSse2(__m128d V) {
+  return _mm_xor_pd(_mm_shuffle_pd(V, V, 1), _mm_set_pd(-0.0, 0.0));
+}
+
+/// V * +j = (-V.im, V.re).
+inline __m128d mulPlusJSse2(__m128d V) {
+  return _mm_xor_pd(_mm_shuffle_pd(V, V, 1), _mm_set_pd(0.0, -0.0));
+}
+
+inline __m128d conjSse2(__m128d V) {
+  return _mm_xor_pd(V, _mm_set_pd(-0.0, 0.0));
+}
+
+void sse2Radix4Stage(CplxD *Data, std::uint64_t Len, std::uint64_t M,
+                     const CplxD *Rom, std::uint64_t Stride, bool Inverse) {
+  const std::uint64_t L = 4 * M;
+  for (std::uint64_t Base = 0; Base != Len; Base += L) {
+    for (std::uint64_t J = 0; J != M; ++J) {
+      const std::uint64_t Idx = Base + J;
+      __m128d X0 = loadC(Data + Idx);
+      __m128d X1 = loadC(Data + Idx + M);
+      __m128d X2 = loadC(Data + Idx + 2 * M);
+      __m128d X3 = loadC(Data + Idx + 3 * M);
+      __m128d W1 = loadC(Rom + J * Stride);
+      __m128d W2 = loadC(Rom + 2 * J * Stride);
+      __m128d W3 = loadC(Rom + 3 * J * Stride);
+      if (Inverse) {
+        W1 = conjSse2(W1);
+        W2 = conjSse2(W2);
+        W3 = conjSse2(W3);
+      }
+      X1 = cmulSse2(X1, W1);
+      X2 = cmulSse2(X2, W2);
+      X3 = cmulSse2(X3, W3);
+      const __m128d T0 = _mm_add_pd(X0, X2);
+      const __m128d T1 = _mm_sub_pd(X0, X2);
+      const __m128d T2 = _mm_add_pd(X1, X3);
+      const __m128d D = _mm_sub_pd(X1, X3);
+      const __m128d T3 = Inverse ? mulPlusJSse2(D) : mulMinusJSse2(D);
+      storeC(Data + Idx, _mm_add_pd(T0, T2));
+      storeC(Data + Idx + M, _mm_add_pd(T1, T3));
+      storeC(Data + Idx + 2 * M, _mm_sub_pd(T0, T2));
+      storeC(Data + Idx + 3 * M, _mm_sub_pd(T1, T3));
+    }
+  }
+}
+
+void sse2Radix2Combine(CplxD *Data, const CplxD *Even, const CplxD *Odd,
+                       std::uint64_t Half, const CplxD *Rom, bool Inverse) {
+  for (std::uint64_t J = 0; J != Half; ++J) {
+    __m128d W = loadC(Rom + J);
+    if (Inverse)
+      W = conjSse2(W);
+    const __m128d A = loadC(Even + J);
+    const __m128d B = cmulSse2(loadC(Odd + J), W);
+    storeC(Data + J, _mm_add_pd(A, B));
+    storeC(Data + J + Half, _mm_sub_pd(A, B));
+  }
+}
+
+constexpr FftKernels Sse2Kernels = {sse2Radix4Stage, sse2Radix2Combine};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AVX2 kernels: two complex<double> per __m256d
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+#define FFT3D_AVX2 __attribute__((target("avx2")))
+
+FFT3D_AVX2 inline __m256d load2C(const CplxD *P) {
+  return _mm256_loadu_pd(reinterpret_cast<const double *>(P));
+}
+
+FFT3D_AVX2 inline void store2C(CplxD *P, __m256d V) {
+  _mm256_storeu_pd(reinterpret_cast<double *>(P), V);
+}
+
+/// Twiddle pair (Rom[E], Rom[E + Step]) - consecutive J share a stage, so
+/// their exponents differ by Q*Stride, not 1.
+FFT3D_AVX2 inline __m256d loadPair(const CplxD *Rom, std::uint64_t E,
+                                   std::uint64_t Step) {
+  const __m128d Lo = _mm_loadu_pd(reinterpret_cast<const double *>(Rom + E));
+  const __m128d Hi =
+      _mm_loadu_pd(reinterpret_cast<const double *>(Rom + E + Step));
+  return _mm256_insertf128_pd(_mm256_castpd128_pd256(Lo), Hi, 1);
+}
+
+FFT3D_AVX2 inline __m256d cmulAvx2(__m256d X, __m256d W) {
+  const __m256d Xr = _mm256_movedup_pd(X);
+  const __m256d Xi = _mm256_permute_pd(X, 0xF);
+  const __m256d Ws = _mm256_permute_pd(W, 0x5);
+  const __m256d T1 = _mm256_mul_pd(Xr, W);
+  const __m256d T2 = _mm256_mul_pd(Xi, Ws);
+  // addsub: even lanes T1-T2 (real), odd lanes T1+T2 (imag) - the exact
+  // scalar (mul, mul, sub / mul, mul, add) sequence per element.
+  return _mm256_addsub_pd(T1, T2);
+}
+
+FFT3D_AVX2 inline __m256d mulMinusJAvx2(__m256d V) {
+  return _mm256_xor_pd(_mm256_permute_pd(V, 0x5),
+                       _mm256_set_pd(-0.0, 0.0, -0.0, 0.0));
+}
+
+FFT3D_AVX2 inline __m256d mulPlusJAvx2(__m256d V) {
+  return _mm256_xor_pd(_mm256_permute_pd(V, 0x5),
+                       _mm256_set_pd(0.0, -0.0, 0.0, -0.0));
+}
+
+FFT3D_AVX2 inline __m256d conjAvx2(__m256d V) {
+  return _mm256_xor_pd(V, _mm256_set_pd(-0.0, 0.0, -0.0, 0.0));
+}
+
+FFT3D_AVX2 void avx2Radix4Stage(CplxD *Data, std::uint64_t Len,
+                                std::uint64_t M, const CplxD *Rom,
+                                std::uint64_t Stride, bool Inverse) {
+  if (M < 2) {
+    // The first stage (M == 1) has a single butterfly per span; run it
+    // through the scalar path rather than masking half a vector.
+    scalarRadix4Stage(Data, Len, M, Rom, Stride, Inverse);
+    return;
+  }
+  const std::uint64_t L = 4 * M;
+  for (std::uint64_t Base = 0; Base != Len; Base += L) {
+    for (std::uint64_t J = 0; J != M; J += 2) {
+      const std::uint64_t Idx = Base + J;
+      __m256d X0 = load2C(Data + Idx);
+      __m256d X1 = load2C(Data + Idx + M);
+      __m256d X2 = load2C(Data + Idx + 2 * M);
+      __m256d X3 = load2C(Data + Idx + 3 * M);
+      __m256d W1 = loadPair(Rom, J * Stride, Stride);
+      __m256d W2 = loadPair(Rom, 2 * J * Stride, 2 * Stride);
+      __m256d W3 = loadPair(Rom, 3 * J * Stride, 3 * Stride);
+      if (Inverse) {
+        W1 = conjAvx2(W1);
+        W2 = conjAvx2(W2);
+        W3 = conjAvx2(W3);
+      }
+      X1 = cmulAvx2(X1, W1);
+      X2 = cmulAvx2(X2, W2);
+      X3 = cmulAvx2(X3, W3);
+      const __m256d T0 = _mm256_add_pd(X0, X2);
+      const __m256d T1 = _mm256_sub_pd(X0, X2);
+      const __m256d T2 = _mm256_add_pd(X1, X3);
+      const __m256d D = _mm256_sub_pd(X1, X3);
+      const __m256d T3 = Inverse ? mulPlusJAvx2(D) : mulMinusJAvx2(D);
+      store2C(Data + Idx, _mm256_add_pd(T0, T2));
+      store2C(Data + Idx + M, _mm256_add_pd(T1, T3));
+      store2C(Data + Idx + 2 * M, _mm256_sub_pd(T0, T2));
+      store2C(Data + Idx + 3 * M, _mm256_sub_pd(T1, T3));
+    }
+  }
+}
+
+FFT3D_AVX2 void avx2Radix2Combine(CplxD *Data, const CplxD *Even,
+                                  const CplxD *Odd, std::uint64_t Half,
+                                  const CplxD *Rom, bool Inverse) {
+  std::uint64_t J = 0;
+  for (; J + 2 <= Half; J += 2) {
+    __m256d W = load2C(Rom + J);
+    if (Inverse)
+      W = conjAvx2(W);
+    const __m256d A = load2C(Even + J);
+    const __m256d B = cmulAvx2(load2C(Odd + J), W);
+    store2C(Data + J, _mm256_add_pd(A, B));
+    store2C(Data + J + Half, _mm256_sub_pd(A, B));
+  }
+  if (J != Half)
+    scalarRadix2Combine(Data + J, Even + J, Odd + J, Half - J, Rom + J,
+                        Inverse);
+}
+
+#undef FFT3D_AVX2
+
+constexpr FftKernels Avx2Kernels = {avx2Radix4Stage, avx2Radix2Combine};
+
+} // namespace
+
+#endif // FFT3D_SIMD_X86
+
+//===----------------------------------------------------------------------===//
+// NEON kernels: one complex<double> per float64x2_t
+//===----------------------------------------------------------------------===//
+
+#if FFT3D_SIMD_NEON
+
+namespace {
+
+inline float64x2_t loadCNeon(const CplxD *P) {
+  return vld1q_f64(reinterpret_cast<const double *>(P));
+}
+
+inline void storeCNeon(CplxD *P, float64x2_t V) {
+  vst1q_f64(reinterpret_cast<double *>(P), V);
+}
+
+inline float64x2_t signFlip(float64x2_t V, std::uint64_t LowMask,
+                            std::uint64_t HighMask) {
+  const uint64x2_t Mask = {LowMask, HighMask};
+  return vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(V), Mask));
+}
+
+constexpr std::uint64_t SignBit = 0x8000000000000000ULL;
+
+inline float64x2_t cmulNeon(float64x2_t X, float64x2_t W) {
+  const float64x2_t Xr = vdupq_laneq_f64(X, 0);
+  const float64x2_t Xi = vdupq_laneq_f64(X, 1);
+  const float64x2_t Ws = vextq_f64(W, W, 1);
+  const float64x2_t T1 = vmulq_f64(Xr, W);
+  const float64x2_t T2 = signFlip(vmulq_f64(Xi, Ws), SignBit, 0);
+  return vaddq_f64(T1, T2);
+}
+
+inline float64x2_t mulMinusJNeon(float64x2_t V) {
+  return signFlip(vextq_f64(V, V, 1), 0, SignBit);
+}
+
+inline float64x2_t mulPlusJNeon(float64x2_t V) {
+  return signFlip(vextq_f64(V, V, 1), SignBit, 0);
+}
+
+inline float64x2_t conjNeon(float64x2_t V) {
+  return signFlip(V, 0, SignBit);
+}
+
+void neonRadix4Stage(CplxD *Data, std::uint64_t Len, std::uint64_t M,
+                     const CplxD *Rom, std::uint64_t Stride, bool Inverse) {
+  const std::uint64_t L = 4 * M;
+  for (std::uint64_t Base = 0; Base != Len; Base += L) {
+    for (std::uint64_t J = 0; J != M; ++J) {
+      const std::uint64_t Idx = Base + J;
+      float64x2_t X0 = loadCNeon(Data + Idx);
+      float64x2_t X1 = loadCNeon(Data + Idx + M);
+      float64x2_t X2 = loadCNeon(Data + Idx + 2 * M);
+      float64x2_t X3 = loadCNeon(Data + Idx + 3 * M);
+      float64x2_t W1 = loadCNeon(Rom + J * Stride);
+      float64x2_t W2 = loadCNeon(Rom + 2 * J * Stride);
+      float64x2_t W3 = loadCNeon(Rom + 3 * J * Stride);
+      if (Inverse) {
+        W1 = conjNeon(W1);
+        W2 = conjNeon(W2);
+        W3 = conjNeon(W3);
+      }
+      X1 = cmulNeon(X1, W1);
+      X2 = cmulNeon(X2, W2);
+      X3 = cmulNeon(X3, W3);
+      const float64x2_t T0 = vaddq_f64(X0, X2);
+      const float64x2_t T1 = vsubq_f64(X0, X2);
+      const float64x2_t T2 = vaddq_f64(X1, X3);
+      const float64x2_t D = vsubq_f64(X1, X3);
+      const float64x2_t T3 = Inverse ? mulPlusJNeon(D) : mulMinusJNeon(D);
+      storeCNeon(Data + Idx, vaddq_f64(T0, T2));
+      storeCNeon(Data + Idx + M, vaddq_f64(T1, T3));
+      storeCNeon(Data + Idx + 2 * M, vsubq_f64(T0, T2));
+      storeCNeon(Data + Idx + 3 * M, vsubq_f64(T1, T3));
+    }
+  }
+}
+
+void neonRadix2Combine(CplxD *Data, const CplxD *Even, const CplxD *Odd,
+                       std::uint64_t Half, const CplxD *Rom, bool Inverse) {
+  for (std::uint64_t J = 0; J != Half; ++J) {
+    float64x2_t W = loadCNeon(Rom + J);
+    if (Inverse)
+      W = conjNeon(W);
+    const float64x2_t A = loadCNeon(Even + J);
+    const float64x2_t B = cmulNeon(loadCNeon(Odd + J), W);
+    storeCNeon(Data + J, vaddq_f64(A, B));
+    storeCNeon(Data + J + Half, vsubq_f64(A, B));
+  }
+}
+
+constexpr FftKernels NeonKernels = {neonRadix4Stage, neonRadix2Combine};
+
+} // namespace
+
+#endif // FFT3D_SIMD_NEON
+
+//===----------------------------------------------------------------------===//
+// Detection and dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SimdLevel bestSupportedAtOrBelow(SimdLevel Request) {
+  for (int V = static_cast<int>(Request); V > 0; --V)
+    if (simdLevelSupported(static_cast<SimdLevel>(V)))
+      return static_cast<SimdLevel>(V);
+  return SimdLevel::Scalar;
+}
+
+SimdLevel levelFromEnv(const char *Name) {
+  if (std::strcmp(Name, "scalar") == 0)
+    return SimdLevel::Scalar;
+  if (std::strcmp(Name, "sse2") == 0)
+    return SimdLevel::Sse2;
+  if (std::strcmp(Name, "avx2") == 0)
+    return SimdLevel::Avx2;
+  if (std::strcmp(Name, "neon") == 0)
+    return SimdLevel::Neon;
+  return detectSimdLevel();
+}
+
+std::atomic<SimdLevel> &activeLevelStorage() {
+  static std::atomic<SimdLevel> Level{bestSupportedAtOrBelow(
+      std::getenv("FFT3D_SIMD") ? levelFromEnv(std::getenv("FFT3D_SIMD"))
+                                : detectSimdLevel())};
+  return Level;
+}
+
+} // namespace
+
+const char *fft3d::simdLevelName(SimdLevel Level) {
+  switch (Level) {
+  case SimdLevel::Scalar:
+    return "scalar";
+  case SimdLevel::Sse2:
+    return "sse2";
+  case SimdLevel::Avx2:
+    return "avx2";
+  case SimdLevel::Neon:
+    return "neon";
+  }
+  return "scalar";
+}
+
+bool fft3d::simdLevelSupported(SimdLevel Level) {
+  switch (Level) {
+  case SimdLevel::Scalar:
+    return true;
+  case SimdLevel::Sse2:
+#if FFT3D_SIMD_X86
+    return __builtin_cpu_supports("sse2");
+#else
+    return false;
+#endif
+  case SimdLevel::Avx2:
+#if FFT3D_SIMD_X86
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+  case SimdLevel::Neon:
+#if FFT3D_SIMD_NEON
+    return true;
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel fft3d::detectSimdLevel() {
+#if FFT3D_SIMD_X86
+  if (__builtin_cpu_supports("avx2"))
+    return SimdLevel::Avx2;
+  if (__builtin_cpu_supports("sse2"))
+    return SimdLevel::Sse2;
+  return SimdLevel::Scalar;
+#elif FFT3D_SIMD_NEON
+  return SimdLevel::Neon;
+#else
+  return SimdLevel::Scalar;
+#endif
+}
+
+SimdLevel fft3d::activeSimdLevel() {
+  return activeLevelStorage().load(std::memory_order_relaxed);
+}
+
+SimdLevel fft3d::setSimdLevel(SimdLevel Level) {
+  const SimdLevel Selected = bestSupportedAtOrBelow(Level);
+  activeLevelStorage().store(Selected, std::memory_order_relaxed);
+  return Selected;
+}
+
+const FftKernels &fft3d::kernelsFor(SimdLevel Level) {
+  switch (bestSupportedAtOrBelow(Level)) {
+#if FFT3D_SIMD_X86
+  case SimdLevel::Sse2:
+    return Sse2Kernels;
+  case SimdLevel::Avx2:
+    return Avx2Kernels;
+#endif
+#if FFT3D_SIMD_NEON
+  case SimdLevel::Neon:
+    return NeonKernels;
+#endif
+  default:
+    return ScalarKernels;
+  }
+}
+
+const FftKernels &fft3d::activeKernels() {
+  return kernelsFor(activeSimdLevel());
+}

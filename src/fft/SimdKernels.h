@@ -1,0 +1,85 @@
+//===- fft/SimdKernels.h - Runtime-dispatched FFT kernels -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime CPU dispatch for the numeric FFT's inner loops: the radix-4
+/// butterfly stage and the radix-2 combine. The reference transform in
+/// Fft1d stays the specification; these kernels are drop-in replacements
+/// for its hot loops, selected once per process from the best instruction
+/// set the CPU offers (SSE2 / AVX2 on x86-64, NEON on AArch64, plain
+/// scalar everywhere else).
+///
+/// Bit-compatibility contract: every vector kernel performs the same IEEE
+/// operations in the same order as the scalar loop - complex multiplies
+/// use the naive (mul, mul, sub / mul, mul, add) form std::complex
+/// evaluates for finite values, negation and conjugation are sign flips,
+/// and no FMA contraction is used - so all levels produce bit-identical
+/// results on finite data. Tests assert 0-ulp agreement across levels.
+///
+/// The active level can be forced (for testing or reproducibility) with
+/// setSimdLevel() or the FFT3D_SIMD environment variable ("scalar",
+/// "sse2", "avx2", "neon"); requests beyond what the CPU supports fall
+/// back to the best supported level at or below the request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_SIMDKERNELS_H
+#define FFT3D_FFT_SIMDKERNELS_H
+
+#include "fft/Complex.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// Instruction-set tiers, ordered by preference within an architecture.
+enum class SimdLevel {
+  Scalar = 0,
+  Sse2 = 1,
+  Avx2 = 2,
+  Neon = 3,
+};
+
+const char *simdLevelName(SimdLevel Level);
+
+/// True when this build + CPU can execute \p Level.
+bool simdLevelSupported(SimdLevel Level);
+
+/// Best level the running CPU supports.
+SimdLevel detectSimdLevel();
+
+/// The level the FFT currently dispatches to. Defaults to
+/// detectSimdLevel(), overridable by FFT3D_SIMD at first use.
+SimdLevel activeSimdLevel();
+
+/// Forces dispatch to the best supported level at or below \p Level
+/// (always at least Scalar). Returns the level actually selected.
+SimdLevel setSimdLevel(SimdLevel Level);
+
+/// The FFT inner loops, one function pointer per hot loop.
+struct FftKernels {
+  /// One radix-4 DIT stage over Data[0..Len): butterflies of span
+  /// L = 4 * M, twiddles W^(Q*J*Stride) read directly from \p Rom
+  /// (callers guarantee Q*J*Stride < ROM size).
+  void (*Radix4Stage)(CplxD *Data, std::uint64_t Len, std::uint64_t M,
+                      const CplxD *Rom, std::uint64_t Stride, bool Inverse);
+  /// Final radix-2 combine of an odd-log2 transform: Data[J] and
+  /// Data[J + Half] from pre-transformed Even/Odd halves, twiddles
+  /// Rom[J] (conjugated when Inverse).
+  void (*Radix2Combine)(CplxD *Data, const CplxD *Even, const CplxD *Odd,
+                        std::uint64_t Half, const CplxD *Rom, bool Inverse);
+};
+
+/// Kernels for the active level.
+const FftKernels &activeKernels();
+
+/// Kernels for a specific (supported) level; used by tests and the
+/// scalar-vs-SIMD microbenchmarks. Falls back like setSimdLevel().
+const FftKernels &kernelsFor(SimdLevel Level);
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_SIMDKERNELS_H

@@ -40,6 +40,10 @@ public:
   /// Conjugate root (for inverse transforms).
   CplxD conjRoot(std::uint64_t K) const { return std::conj(root(K)); }
 
+  /// Raw table for kernels whose exponents are proven < size() (stage
+  /// exponents Q*J*stride never wrap), skipping root()'s reduction.
+  const CplxD *data() const { return Roots.data(); }
+
   /// ROM footprint in bytes if realized at the stored element width.
   std::uint64_t romBytes() const { return Roots.size() * ElementBytes; }
 

@@ -68,7 +68,12 @@ void MemoryController::wake() {
     return;
   const std::size_t Index = selectNext();
   PendingReq P = std::move(Queue[Index]);
-  Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(Index));
+  // FCFS always picks the front, and FR-FCFS usually does; pop_front
+  // avoids sliding the whole deque for the common case.
+  if (Index == 0)
+    Queue.pop_front();
+  else
+    Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(Index));
   if (Faults && Faults->vaultOffline(VaultIndex, Events.now()))
     failOffline(P);
   else

@@ -9,6 +9,7 @@
 #include "core/BatchProcessor.h"
 #include "fft/Complex.h"
 #include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
@@ -31,9 +32,12 @@ const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
   if (Vaults == 0 || Vaults > Mem.Geo.NumVaults)
     reportFatalError("vault share out of range");
   const auto Key = std::make_pair(N, Vaults);
-  const auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> L(CacheMutex);
+    const auto It = Cache.find(Key);
+    if (It != Cache.end())
+      return It->second;
+  }
 
   // A share is a vault-disjoint slice of the device, so the measurement
   // must run on a device of that size: Memory3D's aggregate bandwidth is
@@ -70,7 +74,18 @@ const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
   }
   Est.Plan = LayoutPlanner(Config.Mem.Geo, Mem.Time, ElementBytes)
                  .plan(N, DeviceVaults);
-  return Cache.emplace(Key, Est).first->second;
+  // The measurement is deterministic, so if another thread raced us here
+  // try_emplace keeps its (identical) result and ours is discarded.
+  std::lock_guard<std::mutex> L(CacheMutex);
+  return Cache.try_emplace(Key, Est).first->second;
+}
+
+void ServiceModel::prewarm(
+    const std::vector<std::pair<std::uint64_t, unsigned>> &Keys,
+    ThreadPool &Pool) const {
+  Pool.parallelFor(Keys.size(), [&](std::size_t I) {
+    estimate(Keys[I].first, Keys[I].second);
+  });
 }
 
 Picos ServiceModel::serviceTime(const JobRequest &Job,

@@ -35,9 +35,13 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <utility>
+#include <vector>
 
 namespace fft3d {
+
+class ThreadPool;
 
 /// Memoized per-configuration measurement.
 struct ServiceEstimate {
@@ -69,8 +73,16 @@ public:
   unsigned totalVaults() const { return Mem.Geo.NumVaults; }
 
   /// The memoized measurement for (\p N, \p Vaults). Runs the simulations
-  /// on first use. \p Vaults in [1, totalVaults()].
+  /// on first use. \p Vaults in [1, totalVaults()]. Thread-safe: the
+  /// simulation runs outside the cache lock, so concurrent callers only
+  /// serialize on the map itself.
   const ServiceEstimate &estimate(std::uint64_t N, unsigned Vaults) const;
+
+  /// Fills the memo for every (N, Vaults) key in \p Keys concurrently on
+  /// \p Pool. The estimates are per-key deterministic, so prewarming on
+  /// many threads leaves the cache byte-identical to sequential fills.
+  void prewarm(const std::vector<std::pair<std::uint64_t, unsigned>> &Keys,
+               ThreadPool &Pool) const;
 
   /// Service time of \p Job when granted \p Vaults vaults.
   Picos serviceTime(const JobRequest &Job, unsigned Vaults) const;
@@ -85,6 +97,9 @@ private:
   MemoryConfig Mem;
   std::uint64_t MaxSimBytes;
   std::uint64_t MaxSimOps;
+  /// Guards Cache. std::map nodes are stable, so references handed out
+  /// under the lock stay valid while later fills mutate the map.
+  mutable std::mutex CacheMutex;
   mutable std::map<std::pair<std::uint64_t, unsigned>, ServiceEstimate>
       Cache;
 };

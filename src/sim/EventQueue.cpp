@@ -8,28 +8,123 @@
 
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 using namespace fft3d;
 
+std::uint32_t EventQueue::allocSlot(Action &&A) {
+  if (!FreeSlots.empty()) {
+    const std::uint32_t Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+    Pool[Slot] = std::move(A);
+    return Slot;
+  }
+  Pool.push_back(std::move(A));
+  return static_cast<std::uint32_t>(Pool.size() - 1);
+}
+
+void EventQueue::insertKey(const Key &K) {
+  const std::uint64_t Division = K.When >> DivShift;
+  if (Division >= CurDiv + NumBuckets) {
+    Far.push_back(K);
+    std::push_heap(Far.begin(), Far.end(), KeyAfter());
+    return;
+  }
+  // Pending events never predate the clock, so Division >= CurDiv and each
+  // ring bucket holds exactly one division's events.
+  const unsigned Bucket = static_cast<unsigned>(Division) & BucketMask;
+  std::vector<Key> &B = Near[Bucket];
+  B.push_back(K);
+  std::push_heap(B.begin(), B.end(), KeyAfter());
+  Occupied[Bucket / 64] |= std::uint64_t(1) << (Bucket % 64);
+  ++NearCount;
+}
+
 void EventQueue::scheduleAt(Picos When, Action A) {
   assert(When >= Now && "scheduling an event in the past");
-  Heap.push(Entry{When, NextSequence++, std::move(A)});
+  const Key K{When, NextSequence++, allocSlot(std::move(A))};
+  insertKey(K);
+  ++Count;
 }
 
 void EventQueue::scheduleAfter(Picos Delay, Action A) {
   scheduleAt(Now + Delay, std::move(A));
 }
 
+void EventQueue::advanceTo(std::uint64_t Division) {
+  if (Division <= CurDiv)
+    return;
+  CurDiv = Division;
+  while (!Far.empty() &&
+         (Far.front().When >> DivShift) < CurDiv + NumBuckets) {
+    const Key K = Far.front();
+    std::pop_heap(Far.begin(), Far.end(), KeyAfter());
+    Far.pop_back();
+    insertKey(K);
+  }
+}
+
+unsigned EventQueue::firstBucketFrom(unsigned Start) const {
+  unsigned Word = Start / 64;
+  std::uint64_t Bits =
+      Occupied[Word] & (~std::uint64_t(0) << (Start % 64));
+  // The start word is revisited once with its low bits unmasked, so a
+  // full cyclic scan takes at most WordsInMask + 1 probes.
+  for (unsigned Probes = 0;; ++Probes) {
+    if (Bits != 0)
+      return Word * 64 + static_cast<unsigned>(std::countr_zero(Bits));
+    assert(Probes <= WordsInMask && "no occupied near bucket");
+    Word = (Word + 1) % WordsInMask;
+    Bits = Occupied[Word];
+  }
+}
+
+EventQueue::Key EventQueue::popEarliest() {
+  assert(Count != 0 && "popping from an empty queue");
+  if (NearCount == 0) {
+    // Everything pending is beyond the horizon; slide the ring to the
+    // earliest far event.
+    assert(!Far.empty());
+    advanceTo(Far.front().When >> DivShift);
+    assert(NearCount != 0 && "migration left the near ring empty");
+  }
+  const unsigned Bucket =
+      firstBucketFrom(static_cast<unsigned>(CurDiv) & BucketMask);
+  std::vector<Key> &B = Near[Bucket];
+  std::pop_heap(B.begin(), B.end(), KeyAfter());
+  const Key K = B.back();
+  B.pop_back();
+  if (B.empty())
+    Occupied[Bucket / 64] &= ~(std::uint64_t(1) << (Bucket % 64));
+  --NearCount;
+  --Count;
+  return K;
+}
+
+Picos EventQueue::nextWhen() const {
+  assert(Count != 0 && "peeking into an empty queue");
+  // Far events all lie beyond the near horizon, so any near event wins.
+  if (NearCount == 0)
+    return Far.front().When;
+  const unsigned Bucket =
+      firstBucketFrom(static_cast<unsigned>(CurDiv) & BucketMask);
+  return Near[Bucket].front().When;
+}
+
 bool EventQueue::step() {
-  if (Heap.empty())
+  if (Count == 0)
     return false;
-  // The action may schedule new events, so pop before running it.
-  Entry Next = Heap.top();
-  Heap.pop();
-  assert(Next.When >= Now && "event queue went backwards");
-  Now = Next.When;
-  Next.Act();
+  const Key K = popEarliest();
+  assert(K.When >= Now && "event queue went backwards");
+  Now = K.When;
+  advanceTo(K.When >> DivShift);
+  // Move the action out and recycle the slot before running: the action
+  // may schedule new events, which can grow the slab.
+  Action Act = std::move(Pool[K.Slot]);
+  FreeSlots.push_back(K.Slot);
+  Act();
   return true;
 }
 
@@ -38,7 +133,7 @@ std::uint64_t EventQueue::run(std::uint64_t MaxEvents) {
   while (step()) {
     ++Ran;
     if (MaxEvents != 0 && Ran >= MaxEvents) {
-      if (!Heap.empty())
+      if (Count != 0)
         reportFatalError("event budget exhausted with events still pending");
       break;
     }
@@ -48,11 +143,13 @@ std::uint64_t EventQueue::run(std::uint64_t MaxEvents) {
 
 std::uint64_t EventQueue::runUntil(Picos Until) {
   std::uint64_t Ran = 0;
-  while (!Heap.empty() && Heap.top().When <= Until) {
+  while (Count != 0 && nextWhen() <= Until) {
     step();
     ++Ran;
   }
-  if (Now < Until)
+  if (Now < Until) {
     Now = Until;
+    advanceTo(Until >> DivShift);
+  }
   return Ran;
 }

@@ -10,16 +10,34 @@
 /// timestamps; the queue runs them in (time, insertion-order) order, which
 /// makes simulations fully deterministic.
 ///
+/// Internally the queue is a two-level calendar ("ladder") keyed on
+/// picosecond buckets rather than one big binary heap:
+///
+///  - a *near* ring of 256 buckets, each 2048 ps wide (a ~524 ns horizon
+///    that comfortably covers the device's command/beat timing), holding
+///    small per-bucket min-heaps of 24-byte {When, Seq, slot} keys with a
+///    bitmask of occupied buckets, and
+///  - a *far* min-heap for events beyond the horizon (refresh periods,
+///    serving-layer arrivals), migrated into the ring as the clock
+///    advances.
+///
+/// Callbacks live in a pooled slab indexed by the key's slot, so the
+/// ordering structures only ever move small PODs, and the callback type
+/// (InlineFunction) keeps captures inline - steady-state scheduling does
+/// not allocate. The (time, insertion-order) total order is preserved
+/// exactly, so results are byte-identical to the previous binary-heap
+/// implementation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FFT3D_SIM_EVENTQUEUE_H
 #define FFT3D_SIM_EVENTQUEUE_H
 
+#include "sim/InlineFunction.h"
 #include "support/Units.h"
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 namespace fft3d {
@@ -27,7 +45,10 @@ namespace fft3d {
 /// Priority queue of timed callbacks with a monotonically advancing clock.
 class EventQueue {
 public:
-  using Action = std::function<void()>;
+  /// The inline capacity fits the hottest capture in the simulator (a
+  /// completion callback + MemRequest + timestamp); larger captures fall
+  /// back to the heap transparently.
+  using Action = InlineFunction<void(), 88>;
 
   /// Current simulation time. Starts at zero.
   Picos now() const { return Now; }
@@ -40,10 +61,10 @@ public:
   void scheduleAfter(Picos Delay, Action A);
 
   /// Returns true if no events remain.
-  bool empty() const { return Heap.empty(); }
+  bool empty() const { return Count == 0; }
 
   /// Number of pending events.
-  std::size_t size() const { return Heap.size(); }
+  std::size_t size() const { return Count; }
 
   /// Runs the earliest pending event, advancing the clock to its timestamp.
   /// Returns false if the queue was empty.
@@ -58,22 +79,56 @@ public:
   std::uint64_t runUntil(Picos Until);
 
 private:
-  struct Entry {
+  static constexpr unsigned NumBuckets = 256;
+  static constexpr unsigned BucketMask = NumBuckets - 1;
+  /// log2 of the bucket width in picoseconds (2048 ps; a bit over one TSV
+  /// period, so back-to-back command events land in neighbouring buckets).
+  static constexpr unsigned DivShift = 11;
+  static constexpr unsigned WordsInMask = NumBuckets / 64;
+
+  /// Ordering key; the callback itself stays in the slab at Slot.
+  struct Key {
     Picos When;
-    std::uint64_t Sequence;
-    Action Act;
+    std::uint64_t Seq;
+    std::uint32_t Slot;
   };
-  struct Later {
-    bool operator()(const Entry &A, const Entry &B) const {
+  /// Heap comparator: "A runs after B" (std:: heap algorithms build
+  /// max-heaps, so this yields the earliest event at the front).
+  struct KeyAfter {
+    bool operator()(const Key &A, const Key &B) const {
       if (A.When != B.When)
         return A.When > B.When;
-      return A.Sequence > B.Sequence;
+      return A.Seq > B.Seq;
     }
   };
 
+  std::uint32_t allocSlot(Action &&A);
+  void insertKey(const Key &K);
+  /// Advances the ring origin to \p Division, migrating far events that
+  /// the wider horizon now covers.
+  void advanceTo(std::uint64_t Division);
+  /// First occupied bucket at or (cyclically) after \p Start; near events
+  /// must exist.
+  unsigned firstBucketFrom(unsigned Start) const;
+  /// Removes and returns the earliest pending key.
+  Key popEarliest();
+  /// Timestamp of the earliest pending event.
+  Picos nextWhen() const;
+
   Picos Now = 0;
   std::uint64_t NextSequence = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> Heap;
+  std::size_t Count = 0;
+  /// Division (When >> DivShift) the near ring starts at; the ring covers
+  /// [CurDiv, CurDiv + NumBuckets).
+  std::uint64_t CurDiv = 0;
+  std::size_t NearCount = 0;
+  std::array<std::vector<Key>, NumBuckets> Near;
+  std::array<std::uint64_t, WordsInMask> Occupied{};
+  std::vector<Key> Far;
+  /// Callback slab + free list; slots are recycled, so steady state never
+  /// allocates.
+  std::vector<Action> Pool;
+  std::vector<std::uint32_t> FreeSlots;
 };
 
 } // namespace fft3d

@@ -1,0 +1,140 @@
+//===- sim/InlineFunction.h - Small-buffer callable wrapper -----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only replacement for std::function with a caller-chosen inline
+/// capture buffer. The event queue schedules millions of short-lived
+/// callbacks per simulation; std::function's 16-byte small-buffer limit
+/// forces a heap allocation for every completion lambda (callback +
+/// request + timestamp is ~70 bytes), which dominates the simulator's
+/// profile. Sizing the buffer to the largest hot capture makes event
+/// scheduling allocation-free.
+///
+/// Callables larger than the buffer (or over-aligned, or with throwing
+/// moves) still work - they fall back to a heap allocation, exactly like
+/// std::function - so correctness never depends on the buffer size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SIM_INLINEFUNCTION_H
+#define FFT3D_SIM_INLINEFUNCTION_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace fft3d {
+
+template <typename Signature, std::size_t InlineBytes = 88>
+class InlineFunction;
+
+template <typename Ret, typename... Args, std::size_t InlineBytes>
+class InlineFunction<Ret(Args...), InlineBytes> {
+public:
+  InlineFunction() = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, InlineFunction>>>
+  InlineFunction(Fn &&F) {
+    using Stored = std::decay_t<Fn>;
+    if constexpr (sizeof(Stored) <= InlineBytes &&
+                  alignof(Stored) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<Stored> &&
+                  std::is_trivially_destructible_v<Stored>) {
+      // Trivially relocatable captures ([this]-style wakeups - most of the
+      // simulator's events) need no manager at all: moves are raw buffer
+      // copies and destruction is a no-op.
+      new (Buf) Stored(std::forward<Fn>(F));
+      Invoke = [](void *B, Args &&...As) -> Ret {
+        return (*static_cast<Stored *>(B))(std::forward<Args>(As)...);
+      };
+      Manage = nullptr;
+    } else if constexpr (sizeof(Stored) <= InlineBytes &&
+                         alignof(Stored) <= alignof(std::max_align_t) &&
+                         std::is_nothrow_move_constructible_v<Stored>) {
+      new (Buf) Stored(std::forward<Fn>(F));
+      Invoke = [](void *B, Args &&...As) -> Ret {
+        return (*static_cast<Stored *>(B))(std::forward<Args>(As)...);
+      };
+      Manage = [](Op O, void *B, void *Dst) {
+        Stored *Self = static_cast<Stored *>(B);
+        if (O == Op::Relocate)
+          new (Dst) Stored(std::move(*Self));
+        Self->~Stored();
+      };
+    } else {
+      *reinterpret_cast<Stored **>(Buf) = new Stored(std::forward<Fn>(F));
+      Invoke = [](void *B, Args &&...As) -> Ret {
+        return (**static_cast<Stored **>(B))(std::forward<Args>(As)...);
+      };
+      Manage = [](Op O, void *B, void *Dst) {
+        Stored **Slot = static_cast<Stored **>(B);
+        if (O == Op::Relocate)
+          *reinterpret_cast<Stored **>(Dst) = *Slot;
+        else
+          delete *Slot;
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction &&Other) noexcept
+      : Invoke(Other.Invoke), Manage(Other.Manage) {
+    if (Manage)
+      Manage(Op::Relocate, Other.Buf, Buf);
+    else if (Invoke)
+      std::memcpy(Buf, Other.Buf, InlineBytes);
+    Other.Invoke = nullptr;
+    Other.Manage = nullptr;
+  }
+
+  InlineFunction &operator=(InlineFunction &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reset();
+    Invoke = Other.Invoke;
+    Manage = Other.Manage;
+    if (Manage)
+      Manage(Op::Relocate, Other.Buf, Buf);
+    else if (Invoke)
+      std::memcpy(Buf, Other.Buf, InlineBytes);
+    Other.Invoke = nullptr;
+    Other.Manage = nullptr;
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction &) = delete;
+  InlineFunction &operator=(const InlineFunction &) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return Invoke != nullptr; }
+
+  Ret operator()(Args... As) {
+    assert(Invoke && "invoking an empty InlineFunction");
+    return Invoke(Buf, std::forward<Args>(As)...);
+  }
+
+private:
+  enum class Op { Destroy, Relocate };
+
+  void reset() {
+    if (Manage)
+      Manage(Op::Destroy, Buf, nullptr);
+    Invoke = nullptr;
+    Manage = nullptr;
+  }
+
+  Ret (*Invoke)(void *, Args &&...) = nullptr;
+  void (*Manage)(Op, void *, void *) = nullptr;
+  alignas(std::max_align_t) unsigned char Buf[InlineBytes];
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SIM_INLINEFUNCTION_H

@@ -1,0 +1,154 @@
+//===- support/ThreadPool.cpp - Work-stealing sweep executor --------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fft3d;
+
+unsigned ThreadPool::resolveThreads(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Threads)
+    : NumThreads(std::max(1u, Threads)) {
+  if (NumThreads == 1)
+    return;
+  Shards.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  Workers.reserve(NumThreads - 1);
+  // The caller participates as shard 0; workers take shards 1..N-1.
+  for (unsigned I = 1; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(WakeMutex);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::parallelFor(std::size_t N,
+                             const std::function<void(std::size_t)> &TheBody) {
+  if (N == 0)
+    return;
+  if (NumThreads == 1 || N == 1) {
+    for (std::size_t I = 0; I != N; ++I)
+      TheBody(I);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> L(WaitMutex);
+    Remaining = N;
+    IdleWorkers = 0;
+    FirstError = nullptr;
+  }
+  // Contiguous blocks per shard: neighbouring sweep points usually share
+  // problem size, so owners keep similar-cost work and thieves rebalance
+  // the rest.
+  for (unsigned S = 0; S != NumThreads; ++S) {
+    const std::size_t Lo = N * S / NumThreads;
+    const std::size_t Hi = N * (S + 1) / NumThreads;
+    std::lock_guard<std::mutex> L(Shards[S]->M);
+    for (std::size_t I = Lo; I != Hi; ++I)
+      Shards[S]->Indices.push_back(I);
+  }
+  {
+    std::lock_guard<std::mutex> L(WakeMutex);
+    Body = &TheBody;
+    ++Generation;
+  }
+  WakeCv.notify_all();
+
+  runShard(0);
+
+  {
+    // Wait for every iteration to finish *and* every worker to leave
+    // runShard, so no worker still reads Body or the shards when this
+    // frame (and TheBody) goes away.
+    std::unique_lock<std::mutex> L(WaitMutex);
+    DoneCv.wait(L, [this] {
+      return Remaining == 0 && IdleWorkers == Workers.size();
+    });
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+  }
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  std::uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(WakeMutex);
+      WakeCv.wait(L, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+    }
+    runShard(Me);
+    {
+      std::lock_guard<std::mutex> L(WaitMutex);
+      ++IdleWorkers;
+      if (Remaining == 0 && IdleWorkers == Workers.size())
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::runShard(unsigned Me) {
+  std::size_t Index;
+  while (popOwn(Me, Index) || stealOther(Me, Index)) {
+    try {
+      (*Body)(Index);
+    } catch (...) {
+      recordException();
+    }
+    std::lock_guard<std::mutex> L(WaitMutex);
+    if (--Remaining == 0)
+      DoneCv.notify_all();
+  }
+}
+
+bool ThreadPool::popOwn(unsigned Me, std::size_t &Index) {
+  Shard &S = *Shards[Me];
+  std::lock_guard<std::mutex> L(S.M);
+  if (S.Indices.empty())
+    return false;
+  Index = S.Indices.back();
+  S.Indices.pop_back();
+  return true;
+}
+
+bool ThreadPool::stealOther(unsigned Me, std::size_t &Index) {
+  for (unsigned Step = 1; Step != NumThreads; ++Step) {
+    Shard &S = *Shards[(Me + Step) % NumThreads];
+    std::lock_guard<std::mutex> L(S.M);
+    if (!S.Indices.empty()) {
+      Index = S.Indices.front();
+      S.Indices.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::recordException() {
+  std::lock_guard<std::mutex> L(WaitMutex);
+  if (!FirstError)
+    FirstError = std::current_exception();
+}

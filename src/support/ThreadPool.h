@@ -1,0 +1,102 @@
+//===- support/ThreadPool.h - Work-stealing sweep executor ------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for running independent simulations
+/// concurrently. Design-space sweeps (AutoTuner candidates, serving-policy
+/// comparisons, ablation grids) are embarrassingly parallel: every point
+/// builds its own EventQueue/Memory3D, so simulations never share mutable
+/// state and determinism is free - the pool only decides *which thread*
+/// runs a point, never the order of events inside one.
+///
+/// parallelFor(N, Body) shards the index space across workers; each worker
+/// pops from the back of its own shard and steals from the front of
+/// others, so imbalanced sweeps (e.g. large problem sizes clustered at one
+/// end of a grid) still finish together. The calling thread participates
+/// as a worker, so ThreadPool(1) runs everything inline with zero
+/// synchronization - callers never need a special single-threaded path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_THREADPOOL_H
+#define FFT3D_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fft3d {
+
+/// Fixed-size pool of worker threads executing index-space loops.
+class ThreadPool {
+public:
+  /// Creates a pool that runs loops on \p Threads threads (including the
+  /// caller). \p Threads == 1 executes inline and spawns nothing;
+  /// \p Threads == 0 is promoted to 1.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of threads that execute loop bodies (>= 1).
+  unsigned threadCount() const { return NumThreads; }
+
+  /// Runs Body(I) for every I in [0, N), distributing indices across the
+  /// pool. Blocks until all iterations finish. If any iteration throws,
+  /// the first exception is rethrown here after the loop drains; the
+  /// remaining iterations still run. Not reentrant: Body must not call
+  /// parallelFor on the same pool.
+  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Body);
+
+  /// Picks a thread count for "--threads N" style flags: N itself if
+  /// nonzero, else the hardware concurrency (minimum 1).
+  static unsigned resolveThreads(unsigned Requested);
+
+private:
+  /// One worker's share of the current loop's indices. Owners pop from
+  /// the back; thieves steal from the front.
+  struct Shard {
+    std::mutex M;
+    std::deque<std::size_t> Indices;
+  };
+
+  void workerLoop(unsigned Me);
+  void runShard(unsigned Me);
+  bool popOwn(unsigned Me, std::size_t &Index);
+  bool stealOther(unsigned Me, std::size_t &Index);
+  void recordException();
+
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  // Loop state. Generation increments per parallelFor; workers sleep on
+  // WakeCv until the generation they last served changes.
+  std::mutex WakeMutex;
+  std::condition_variable WakeCv;
+  std::uint64_t Generation = 0;
+  bool ShuttingDown = false;
+  const std::function<void(std::size_t)> *Body = nullptr;
+
+  // Completion tracking for the loop in flight.
+  std::mutex WaitMutex;
+  std::condition_variable DoneCv;
+  std::size_t Remaining = 0;
+  std::size_t IdleWorkers = 0;
+  std::exception_ptr FirstError;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_THREADPOOL_H

@@ -1,0 +1,126 @@
+//===- tests/parallel_determinism_test.cpp - Threaded == sequential -------===//
+//
+// Part of the fft3d project.
+//
+// The sweep executor's core guarantee: running independent simulations
+// on N threads produces byte-identical results to running them on one.
+// Each cell owns its EventQueue and simulator, workloads regenerate
+// from fixed seeds, and the shared ServiceModel memo is populated with
+// per-key deterministic values - so nothing observable may depend on
+// the thread count or interleaving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AutoTuner.h"
+#include "serve/Scheduler.h"
+#include "serve/ServeSimulator.h"
+#include "serve/ServiceModel.h"
+#include "serve/Workload.h"
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+TuneResult tuneWith(unsigned Threads) {
+  const SystemConfig Config = SystemConfig::forProblemSize(1024);
+  TuneOptions Options;
+  Options.SweepBlockShapes = true;
+  Options.SweepSkew = true;
+  Options.Threads = Threads;
+  const AutoTuner Tuner(Config, Options);
+  return Tuner.tune();
+}
+
+TEST(ParallelDeterminism, AutoTunerThreadCountInvariant) {
+  const TuneResult Seq = tuneWith(1);
+  const TuneResult Par = tuneWith(4);
+  ASSERT_EQ(Seq.Candidates.size(), Par.Candidates.size());
+  ASSERT_FALSE(Seq.Candidates.empty());
+  for (std::size_t I = 0; I != Seq.Candidates.size(); ++I) {
+    const TuneCandidate &A = Seq.Candidates[I];
+    const TuneCandidate &B = Par.Candidates[I];
+    EXPECT_EQ(A.Name, B.Name) << "rank " << I;
+    EXPECT_EQ(A.W, B.W);
+    EXPECT_EQ(A.H, B.H);
+    EXPECT_EQ(A.Skew, B.Skew);
+    // Bitwise-equal metrics, not approximately equal: the cells are
+    // independent simulations, so parallelism must not perturb them.
+    EXPECT_EQ(A.Metrics.AppGBps, B.Metrics.AppGBps);
+    EXPECT_EQ(A.Metrics.PicojoulesPerBit, B.Metrics.PicojoulesPerBit);
+  }
+}
+
+std::vector<ServeResult> serveWith(unsigned Threads) {
+  const MemoryConfig Mem;
+  const ServiceModel Model(Mem);
+  const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
+  const std::vector<PolicyKind> Kinds = {
+      PolicyKind::Fcfs, PolicyKind::Sjf, PolicyKind::PriorityAging,
+      PolicyKind::VaultPartition};
+  std::vector<ServeResult> Results(Kinds.size());
+  ThreadPool Pool(Threads);
+  Pool.parallelFor(Kinds.size(), [&](std::size_t I) {
+    const ServeConfig Config;
+    TraceWorkload Load(
+        generatePoissonTrace(Mix, 60, 300.0, /*Seed=*/7, Model));
+    const auto Policy = createPolicy(Kinds[I]);
+    ServeSimulator Sim(Config, Model);
+    Results[I] = Sim.run(Load, *Policy);
+  });
+  return Results;
+}
+
+TEST(ParallelDeterminism, ServePoliciesThreadCountInvariant) {
+  const std::vector<ServeResult> Seq = serveWith(1);
+  const std::vector<ServeResult> Par = serveWith(4);
+  ASSERT_EQ(Seq.size(), Par.size());
+  for (std::size_t I = 0; I != Seq.size(); ++I) {
+    const SloSummary &A = Seq[I].Summary;
+    const SloSummary &B = Par[I].Summary;
+    SCOPED_TRACE(Seq[I].PolicyName);
+    EXPECT_EQ(Seq[I].PolicyName, Par[I].PolicyName);
+    EXPECT_EQ(Seq[I].EndTime, Par[I].EndTime);
+    EXPECT_EQ(A.Offered, B.Offered);
+    EXPECT_EQ(A.Completed, B.Completed);
+    EXPECT_EQ(A.Shed, B.Shed);
+    EXPECT_EQ(A.ThroughputJobsPerSec, B.ThroughputJobsPerSec);
+    EXPECT_EQ(A.P50LatencyMs, B.P50LatencyMs);
+    EXPECT_EQ(A.P95LatencyMs, B.P95LatencyMs);
+    EXPECT_EQ(A.P99LatencyMs, B.P99LatencyMs);
+    EXPECT_EQ(A.DeadlineMissRate, B.DeadlineMissRate);
+    EXPECT_EQ(A.MeanServiceMs, B.MeanServiceMs);
+  }
+}
+
+TEST(ParallelDeterminism, ServiceModelPrewarmMatchesSequential) {
+  const MemoryConfig Mem;
+  // Sequential fills.
+  const ServiceModel SeqModel(Mem);
+  std::vector<std::pair<std::uint64_t, unsigned>> Keys;
+  for (std::uint64_t N : {256ull, 512ull, 1024ull})
+    for (unsigned V : {4u, 8u, 16u})
+      Keys.emplace_back(N, V);
+  std::vector<ServiceEstimate> Expected;
+  for (const auto &[N, V] : Keys)
+    Expected.push_back(SeqModel.estimate(N, V));
+
+  // Concurrent prewarm on a fresh model, then lock-free lookups.
+  const ServiceModel ParModel(Mem);
+  ThreadPool Pool(4);
+  ParModel.prewarm(Keys, Pool);
+  for (std::size_t I = 0; I != Keys.size(); ++I) {
+    const ServiceEstimate &Got =
+        ParModel.estimate(Keys[I].first, Keys[I].second);
+    EXPECT_EQ(Got.PhaseTime, Expected[I].PhaseTime);
+    EXPECT_EQ(Got.OverlapTime, Expected[I].OverlapTime);
+    EXPECT_EQ(Got.Plan.W, Expected[I].Plan.W);
+    EXPECT_EQ(Got.Plan.H, Expected[I].Plan.H);
+  }
+}
+
+} // namespace

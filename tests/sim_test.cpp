@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 using namespace fft3d;
@@ -86,4 +89,102 @@ TEST(Clock, NextEdge) {
   EXPECT_EQ(C.nextEdgeAtOrAfter(1), 4000u);
   EXPECT_EQ(C.nextEdgeAtOrAfter(4000), 4000u);
   EXPECT_EQ(C.nextEdgeAtOrAfter(4001), 8000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ladder-queue internals: events beyond the near horizon, bucket
+// migration, and ordering under adversarial schedules.
+//===----------------------------------------------------------------------===//
+
+TEST(EventQueue, FarHorizonEventsRunInOrder) {
+  // Deadlines far beyond the 256-bucket near window land in the far
+  // heap and must migrate back as the clock advances.
+  EventQueue Q;
+  std::vector<Picos> Seen;
+  const std::vector<Picos> Deadlines = {5,         1 << 20,  3,
+                                        10 << 20,  1 << 10,  7 << 24,
+                                        (10 << 20) + 1};
+  for (Picos D : Deadlines)
+    Q.scheduleAt(D, [&Seen, &Q] { Seen.push_back(Q.now()); });
+  Q.run();
+  std::vector<Picos> Sorted = Deadlines;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Seen, Sorted);
+}
+
+TEST(EventQueue, ScheduleDuringDrainStaysOrdered) {
+  // Callbacks scheduling both near and far follow-ups while the queue
+  // drains: the (time, sequence) total order must hold throughout.
+  EventQueue Q;
+  std::vector<std::pair<Picos, int>> Log;
+  int Spawned = 0;
+  std::function<void(int)> Chain = [&](int Depth) {
+    Log.emplace_back(Q.now(), Depth);
+    if (Depth < 6) {
+      ++Spawned;
+      Q.scheduleAfter(1 + Depth * 1000, [&, Depth] { Chain(Depth + 1); });
+      Q.scheduleAfter(1u << (10 + Depth), [&, Depth] { Chain(Depth + 1); });
+      ++Spawned;
+    }
+  };
+  Q.scheduleAt(0, [&] { Chain(0); });
+  Q.run();
+  for (std::size_t I = 1; I < Log.size(); ++I)
+    EXPECT_LE(Log[I - 1].first, Log[I].first) << "out of order at " << I;
+  EXPECT_EQ(Log.size(), std::size_t(Spawned) + 1);
+}
+
+TEST(EventQueue, RunUntilWithFarEvents) {
+  EventQueue Q;
+  int Ran = 0;
+  Q.scheduleAt(100, [&] { ++Ran; });
+  Q.scheduleAt(5 << 20, [&] { ++Ran; });   // far heap
+  Q.scheduleAt(9 << 20, [&] { ++Ran; });   // far heap
+  Q.runUntil(6 << 20);
+  EXPECT_EQ(Ran, 2);
+  EXPECT_EQ(Q.now(), Picos(6) << 20);
+  EXPECT_EQ(Q.size(), 1u);
+  Q.run();
+  EXPECT_EQ(Ran, 3);
+}
+
+TEST(EventQueue, RandomStressMatchesReferenceOrder) {
+  // Pseudo-random schedule (mixed spans, duplicate deadlines, chained
+  // insertions) replayed against a sorted-reference model.
+  EventQueue Q;
+  std::vector<std::pair<Picos, int>> Expected, Seen;
+  std::uint64_t State = 12345;
+  auto Next = [&State] {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 33;
+  };
+  int Id = 0;
+  for (int I = 0; I != 2000; ++I) {
+    const Picos When = Next() % 500000;
+    const int MyId = Id++;
+    Expected.emplace_back(When, MyId);
+    Q.scheduleAt(When, [&Seen, &Q, MyId] {
+      Seen.emplace_back(Q.now(), MyId);
+    });
+  }
+  // Stable sort mirrors the queue's (time, insertion sequence) order.
+  std::stable_sort(Expected.begin(), Expected.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+  Q.run();
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(EventQueue, SlotReuseAfterHeavyChurn) {
+  // Repeated fill/drain cycles: the callback slab must recycle slots
+  // rather than grow without bound.
+  EventQueue Q;
+  std::uint64_t Sum = 0;
+  for (int Round = 0; Round != 50; ++Round) {
+    for (int I = 0; I != 100; ++I)
+      Q.scheduleAfter(1 + I, [&Sum] { ++Sum; });
+    Q.run();
+  }
+  EXPECT_EQ(Sum, 5000u);
 }

@@ -1,0 +1,163 @@
+//===- tests/support_pool_test.cpp - Work-stealing pool tests -------------===//
+//
+// Part of the fft3d project.
+//
+// The ThreadPool contract: parallelFor runs the body exactly once per
+// index, the calling thread participates, exceptions propagate, the
+// pool is reusable across calls, and stealing keeps unevenly sized
+// shards busy. These tests are also the TSan targets for the pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+/// Keeps busy-loops observable without volatile.
+std::atomic<std::uint64_t> benchmarkSink{0};
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr std::size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](std::size_t I) { Hits[I].fetch_add(1); });
+  for (std::size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  const auto Caller = std::this_thread::get_id();
+  std::vector<std::thread::id> Seen(8);
+  Pool.parallelFor(8, [&](std::size_t I) {
+    Seen[I] = std::this_thread::get_id();
+  });
+  for (const auto &Id : Seen)
+    EXPECT_EQ(Id, Caller);
+}
+
+TEST(ThreadPool, OnlyPoolThreadsRunTheBody) {
+  // At most threadCount() distinct threads touch the body: the caller
+  // (shard 0) plus the N-1 workers, never anyone else. (The caller is
+  // not *guaranteed* a share - fast workers may steal its whole shard.)
+  ThreadPool Pool(4);
+  std::mutex M;
+  std::set<std::thread::id> Ids;
+  Pool.parallelFor(256, [&](std::size_t) {
+    std::lock_guard<std::mutex> Lock(M);
+    Ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(Ids.size(), std::size_t(Pool.threadCount()));
+  EXPECT_GE(Ids.size(), 1u);
+}
+
+TEST(ThreadPool, EmptyAndSingleItem) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, [&](std::size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 0);
+  Pool.parallelFor(1, [&](std::size_t I) {
+    EXPECT_EQ(I, 0u);
+    Count.fetch_add(1);
+  });
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool Pool(3);
+  std::atomic<std::uint64_t> Sum{0};
+  for (int Round = 0; Round != 20; ++Round) {
+    Sum.store(0);
+    Pool.parallelFor(100, [&](std::size_t I) { Sum.fetch_add(I); });
+    EXPECT_EQ(Sum.load(), 4950u) << "round " << Round;
+  }
+}
+
+TEST(ThreadPool, StealingCoversUnevenWork) {
+  // Front-load all the heavy work into shard 0's range: the other
+  // workers must steal to finish, and every index must still run once.
+  ThreadPool Pool(4);
+  constexpr std::size_t N = 256;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](std::size_t I) {
+    if (I < N / 4) {
+      // Busy-work on the first quarter (shard 0's block).
+      std::uint64_t Spin = 0;
+      for (int K = 0; K != 20000; ++K)
+        Spin += K;
+      benchmarkSink.fetch_add(Spin, std::memory_order_relaxed);
+    }
+    Hits[I].fetch_add(1);
+  });
+  for (std::size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [](std::size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(10, [&](std::size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionDoesNotStopOtherIndices) {
+  // Every non-throwing index still runs; only the exception is replayed.
+  ThreadPool Pool(2);
+  constexpr std::size_t N = 50;
+  std::vector<std::atomic<int>> Hits(N);
+  try {
+    Pool.parallelFor(N, [&](std::size_t I) {
+      Hits[I].fetch_add(1);
+      if (I == 10)
+        throw std::runtime_error("one bad cell");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error &) {
+  }
+  int Total = 0;
+  for (std::size_t I = 0; I != N; ++I)
+    Total += Hits[I].load();
+  EXPECT_EQ(Total, int(N));
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreads(7), 7u);
+}
+
+TEST(ThreadPool, MoreThreadsThanWork) {
+  ThreadPool Pool(8);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(3, [&](std::size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPool, LargeFanOut) {
+  ThreadPool Pool(4);
+  constexpr std::size_t N = 20000;
+  std::atomic<std::uint64_t> Sum{0};
+  Pool.parallelFor(N, [&](std::size_t I) { Sum.fetch_add(I + 1); });
+  EXPECT_EQ(Sum.load(), std::uint64_t(N) * (N + 1) / 2);
+}
+
+} // namespace

@@ -25,6 +25,7 @@
 #include "fault/FaultSpec.h"
 #include "serve/ServeSimulator.h"
 #include "support/TableWriter.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +53,10 @@ struct Cli {
   bool ShedInfeasible = false;
   unsigned Vaults = 16;
   std::string FaultsFile;
+  /// Worker threads for running the per-policy simulations concurrently
+  /// (0 = hardware concurrency). Each policy gets its own workload and
+  /// simulator, so the table is identical for any value.
+  unsigned Threads = 1;
 };
 
 [[noreturn]] void usage(const char *Prog) {
@@ -60,7 +65,8 @@ struct Cli {
                "  [--seed S] [--rate JOBS_PER_SEC] [--queue-cap N]\n"
                "  [--partitions P] [--aging-ms MS] [--mix mixed|small|large]\n"
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
-               "  [--shed-infeasible] [--vaults V] [--faults SPECFILE]\n",
+               "  [--shed-infeasible] [--vaults V] [--faults SPECFILE]\n"
+               "  [--threads K]\n",
                Prog);
   std::exit(2);
 }
@@ -117,6 +123,8 @@ Cli parse(int Argc, char **Argv) {
       C.Vaults = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
     else if (consumeValue(Argc, Argv, I, "--faults", &Value))
       C.FaultsFile = Value;
+    else if (consumeValue(Argc, Argv, I, "--threads", &Value))
+      C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
     else if (consumeFlag(Argv, I, "--shed-infeasible"))
       C.ShedInfeasible = true;
     else
@@ -198,21 +206,29 @@ int main(int Argc, char **Argv) {
               C.ShedInfeasible ? ", shed-infeasible" : "");
 
   const std::vector<JobTemplate> Mix = mixFor(C.Mix);
-  std::unique_ptr<Workload> Load;
+  // Each concurrent policy run gets its own Workload: generation is
+  // seed-deterministic, so per-run copies reproduce the shared-instance
+  // arrival trace exactly.
+  const auto MakeLoad = [&]() -> std::unique_ptr<Workload> {
+    if (C.ClosedLoopClients != 0) {
+      const unsigned PerClient =
+          (C.Jobs + C.ClosedLoopClients - 1) / C.ClosedLoopClients;
+      return std::make_unique<ClosedLoopWorkload>(
+          Mix, C.ClosedLoopClients, PerClient,
+          static_cast<Picos>(C.ThinkMs * static_cast<double>(PicosPerMilli)),
+          C.Seed, Model);
+    }
+    return std::make_unique<TraceWorkload>(
+        generatePoissonTrace(Mix, C.Jobs, C.RatePerSec, C.Seed, Model));
+  };
   if (C.ClosedLoopClients != 0) {
     const unsigned PerClient =
         (C.Jobs + C.ClosedLoopClients - 1) / C.ClosedLoopClients;
     std::printf("closed loop: %u clients x %u jobs, mean think %.1f ms\n\n",
                 C.ClosedLoopClients, PerClient, C.ThinkMs);
-    Load = std::make_unique<ClosedLoopWorkload>(
-        Mix, C.ClosedLoopClients, PerClient,
-        static_cast<Picos>(C.ThinkMs * static_cast<double>(PicosPerMilli)),
-        C.Seed, Model);
   } else {
     std::printf("open loop: Poisson arrivals at %.1f jobs/s\n\n",
                 C.RatePerSec);
-    Load = std::make_unique<TraceWorkload>(
-        generatePoissonTrace(Mix, C.Jobs, C.RatePerSec, C.Seed, Model));
   }
 
   PolicyOptions Options;
@@ -235,8 +251,6 @@ int main(int Argc, char **Argv) {
                 Faults->tsvEvents().size(), Faults->throttleWindows().size(),
                 Faults->jobFailRate());
   }
-  ServeSimulator Sim(Config, Model);
-
   std::vector<std::string> Headers = {"policy",  "done",   "shed",
                                       "jobs/s",  "p50 ms", "p95 ms",
                                       "p99 ms",  "queue p99", "miss %",
@@ -248,9 +262,28 @@ int main(int Argc, char **Argv) {
     Headers.push_back("degr");
   }
   TableWriter Table(Headers);
-  for (const PolicyKind Kind : policiesFor(C.Policy)) {
-    const auto Policy = createPolicy(Kind, Options);
-    const ServeResult R = Sim.run(*Load, *Policy);
+  const std::vector<PolicyKind> Kinds = policiesFor(C.Policy);
+  std::vector<ServeResult> Results(Kinds.size());
+  ThreadPool Pool(ThreadPool::resolveThreads(C.Threads));
+  // Fill the service-time memo once up front so concurrent policy runs
+  // hit a warm cache instead of racing to duplicate the same simulations.
+  {
+    std::vector<std::pair<std::uint64_t, unsigned>> Keys;
+    const unsigned Share = std::max(1u, C.Vaults / C.Partitions);
+    for (const JobTemplate &T : Mix) {
+      Keys.emplace_back(T.N, C.Vaults);
+      if (Share != C.Vaults)
+        Keys.emplace_back(T.N, Share);
+    }
+    Model.prewarm(Keys, Pool);
+  }
+  Pool.parallelFor(Kinds.size(), [&](std::size_t I) {
+    const auto Policy = createPolicy(Kinds[I], Options);
+    const std::unique_ptr<Workload> Load = MakeLoad();
+    ServeSimulator Sim(Config, Model);
+    Results[I] = Sim.run(*Load, *Policy);
+  });
+  for (const ServeResult &R : Results) {
     const SloSummary &S = R.Summary;
     std::vector<std::string> Row = {
         R.PolicyName, TableWriter::num(S.Completed),

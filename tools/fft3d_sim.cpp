@@ -53,6 +53,10 @@ struct Cli {
   std::string ReplayFile;
   bool ReplayAsap = false;
   std::string FaultsFile;
+  /// Worker threads for the tuner sweeps (0 = hardware concurrency).
+  /// Each candidate owns its simulator, so the output is identical for
+  /// any value.
+  unsigned Threads = 1;
   SystemConfig Config;
   bool Ok = true;
 };
@@ -66,7 +70,7 @@ struct Cli {
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
                "  [--replay=FILE [--replay-asap]] [--seed N]\n"
-               "  [--faults SPECFILE]\n",
+               "  [--faults SPECFILE] [--threads K]\n",
                Prog);
   std::exit(2);
 }
@@ -150,6 +154,12 @@ Cli parse(int Argc, char **Argv) {
         usage(Argv[0]);
       C.Seed = std::strtoull(Value, nullptr, 10);
       C.SeedSet = true;
+    } else if (consume(Arg, "--threads", &Value)) {
+      if (!Value && I + 1 < Argc)
+        Value = Argv[++I];
+      if (!Value)
+        usage(Argv[0]);
+      C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
     } else if (consume(Arg, "--faults", &Value)) {
       if (!Value && I + 1 < Argc)
         Value = Argv[++I];
@@ -294,7 +304,8 @@ int main(int Argc, char **Argv) {
     printReport("optimized", Processor.runOptimized());
 
   if (C.Energy) {
-    const AutoTuner Tuner(C.Config, TuneOptions{true, true, false, false});
+    const AutoTuner Tuner(C.Config,
+                          TuneOptions{true, true, false, false, C.Threads});
     const TuneResult Result = Tuner.tune(TuneObjective::Energy);
     std::printf("energy (both phases, simulated volume):\n");
     for (const TuneCandidate &Cand : Result.Candidates)
@@ -305,7 +316,9 @@ int main(int Argc, char **Argv) {
   }
 
   if (C.Tune) {
-    const AutoTuner Tuner(C.Config);
+    TuneOptions Options;
+    Options.Threads = C.Threads;
+    const AutoTuner Tuner(C.Config, Options);
     const TuneResult Result = Tuner.tune(C.Objective);
     std::printf("auto-tuning (%s objective):\n",
                 tuneObjectiveName(C.Objective));
