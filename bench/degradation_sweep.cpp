@@ -106,8 +106,11 @@ int main(int Argc, char **Argv) {
     Cells[I].Slo = Sim.run(Load, *Policy).Summary;
   });
 
-  TableWriter Table({"failed", "duty %", "healthy", "fft GB/s", "jobs/s",
-                     "p99 ms", "miss %", "brownout"});
+  // "ecc" and "redir" come from the per-phase fault counters carried on
+  // PhaseResult (summed over both FFT phases); without them the stats
+  // reset between phases would hide the fault activity entirely.
+  TableWriter Table({"failed", "duty %", "healthy", "fft GB/s", "ecc",
+                     "redir", "jobs/s", "p99 ms", "miss %", "brownout"});
   for (std::size_t I = 0; I != Cells.size(); ++I) {
     if (!Cells[I].Error.empty()) {
       std::cerr << "internal spec error: " << Cells[I].Error << "\n";
@@ -120,6 +123,9 @@ int main(int Argc, char **Argv) {
          TableWriter::num(std::uint64_t(DutyAxis[I % DutyAxis.size()])),
          TableWriter::num(std::uint64_t(App.HealthyVaultsEnd)),
          TableWriter::num(App.AppThroughputGBps, 2),
+         TableWriter::num(App.RowPhase.EccRetries + App.ColPhase.EccRetries),
+         TableWriter::num(App.RowPhase.OfflineRedirects +
+                          App.ColPhase.OfflineRedirects),
          TableWriter::num(S.ThroughputJobsPerSec, 1),
          TableWriter::num(S.P99LatencyMs, 2),
          TableWriter::percent(S.DeadlineMissRate),

@@ -10,6 +10,8 @@
 // human-readable summary.
 //
 // Usage: perf_baseline [--threads K] [--json PATH] [--quick]
+//        [--trace PATH]   (also emit a sample Chrome trace of one
+//                          optimized 1024^2 run, for the CI artifact)
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 #include "core/AutoTuner.h"
 #include "fft/Fft1d.h"
 #include "fft/SimdKernels.h"
+#include "obs/Tracer.h"
 #include "sim/EventQueue.h"
 #include "support/Random.h"
 
@@ -132,6 +135,7 @@ std::string jsonNum(double V) {
 int main(int Argc, char **Argv) {
   unsigned Threads = threadsFromArgs(Argc, Argv);
   std::string JsonPath = "BENCH_perf.json";
+  std::string TracePath;
   bool Quick = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
@@ -140,6 +144,10 @@ int main(int Argc, char **Argv) {
       JsonPath = Argv[I] + 7;
     else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
       JsonPath = Argv[++I];
+    else if (std::strncmp(Argv[I], "--trace=", 8) == 0)
+      TracePath = Argv[I] + 8;
+    else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc)
+      TracePath = Argv[++I];
   }
   if (Threads == 1)
     Threads = ThreadPool::resolveThreads(0);
@@ -203,5 +211,19 @@ int main(int Argc, char **Argv) {
       << ", \"speedup\": " << jsonNum(Sweep1 / SweepN_) << "}\n";
   Out << "}\n";
   std::cout << "\nwrote " << JsonPath << "\n";
+
+  // Sample timeline artifact: one traced optimized run, small enough to
+  // load into Perfetto straight from the CI artifact listing.
+  if (!TracePath.empty()) {
+    Tracer Trace;
+    const SystemConfig Config = SystemConfig::forProblemSize(1024);
+    Fft2dProcessor Processor(Config);
+    Processor.setObservability(&Trace, nullptr);
+    (void)Processor.runOptimized();
+    std::ofstream TraceOut(TracePath);
+    Trace.writeChromeTrace(TraceOut);
+    std::cout << "wrote " << Trace.events().size() << " trace events to "
+              << TracePath << "\n";
+  }
   return 0;
 }

@@ -44,6 +44,11 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   Memory3D Mem(Events, Config.Mem);
   PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
                      Config.MaxSimOpsPerDirection);
+  Mem.setTracer(Trace, TracePid);
+  Engine.setObservability(Trace, Metrics, TracePid);
+  if (Trace)
+    Trace->setProcessName(TracePid, Optimized ? "fft2d optimized"
+                                              : "fft2d baseline");
 
   const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
   const double PaceGBps = Kernel.streamGBps();
@@ -69,6 +74,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
     // Phase 1: stream rows in, rows out.
     RowScanTrace P1Read(Input, RowBuf);
     RowScanTrace P1Write(Mid, RowBuf);
+    Engine.setPhaseName("row_phase");
     Report.RowPhase = Engine.run(
         {&P1Read, false, Arch.ReadWindow, PaceGBps, 0},
         {&P1Write, true, Arch.WriteWindow, PaceGBps,
@@ -77,6 +83,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
     // Phase 2: the pathological stride-N column walk, both directions.
     ColScanTrace P2Read(Mid, RowBuf);
     ColScanTrace P2Write(Out, RowBuf);
+    Engine.setPhaseName("col_phase");
     Report.ColPhase = Engine.run(
         {&P2Read, false, Arch.ReadWindow, PaceGBps, 0},
         {&P2Write, true, Arch.WriteWindow, PaceGBps,
@@ -105,6 +112,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
     // Phase 1: sequential row reads; block-chunk writes via the network.
     RowScanTrace P1Read(Input, RowBuf);
     ChunkedBlockWriteTrace P1Write(Mid);
+    Engine.setPhaseName("row_phase");
     Report.RowPhase = Engine.run(
         {&P1Read, false, Arch.ReadWindow, PaceGBps, 0},
         {&P1Write, true, Arch.WriteWindow, PaceGBps,
@@ -140,6 +148,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
         // pacing - this is a pure copy through the permutation network).
         BlockTrace MigRead(Mid, BlockOrder::RowMajorBlocks);
         BlockTrace MigWrite(*ReplannedMid, BlockOrder::RowMajorBlocks);
+        Engine.setPhaseName("migration");
         const PhaseResult Migration =
             Engine.run({&MigRead, false, Arch.ReadWindow, 0.0, 0},
                        {&MigWrite, true, Arch.WriteWindow, 0.0, 0});
@@ -158,6 +167,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
     // writes of the finished columns.
     BlockTrace P2Read(*P2Mid, BlockOrder::ColMajorBlocks);
     BlockTrace P2Write(*P2Out, BlockOrder::ColMajorBlocks);
+    Engine.setPhaseName("col_phase");
     Report.ColPhase = Engine.run(
         {&P2Read, false, Arch.ReadWindow, PaceGBps, 0},
         {&P2Write, true, Arch.WriteWindow, PaceGBps,

@@ -72,6 +72,16 @@ public:
 
   const SystemConfig &config() const { return Config; }
 
+  /// Attaches observability sinks for subsequent runs (either may be
+  /// null): the tracer receives phase spans and memory/fault timeline
+  /// events, the registry receives per-phase and per-vault counters.
+  void setObservability(Tracer *T, MetricsRegistry *M,
+                        std::uint32_t TracePid = 0) {
+    Trace = T;
+    Metrics = M;
+    this->TracePid = TracePid;
+  }
+
   /// Simulates the baseline architecture (both phases).
   AppReport runBaseline();
 
@@ -107,6 +117,9 @@ private:
   AppReport runArchitecture(const ArchParams &Arch, bool Optimized);
 
   SystemConfig Config;
+  Tracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+  std::uint32_t TracePid = 0;
 };
 
 } // namespace fft3d

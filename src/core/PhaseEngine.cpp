@@ -198,5 +198,30 @@ PhaseResult PhaseEngine::runStreams(std::vector<StreamParams> Streams) {
   Result.RowHitRate = Total.hitRate();
   Result.MeanReqLatencyNanos = Mem.stats().latencyNanos().mean();
   Result.MaxReqLatencyNanos = Mem.stats().latencyNanos().max();
+  Result.RefreshStalls = Total.RefreshStalls;
+  Result.EccRetries = Total.EccRetries;
+  Result.ThrottleStalls = Total.ThrottleStalls;
+  Result.OfflineRedirects = Total.OfflineRedirects;
+  Result.OfflineFailed = Total.OfflineFailed;
+
+  if (Trace && Trace->wants(TraceCatPhase))
+    Trace->span(TraceCatPhase, PhaseName, TracePid, /*Tid=*/0, Start,
+                Result.Elapsed, "bytes",
+                Result.BytesRead + Result.BytesWritten, "ops", Result.Ops);
+  // Export before the next phase's reset discards this phase's counters.
+  if (Metrics) {
+    Mem.stats().exportTo(*Metrics);
+    const MetricLabels Phase{{"phase", PhaseName}};
+    Metrics->counter("phase.runs", Phase).add(1);
+    Metrics->counter("phase.elapsed_ps", Phase).add(Result.Elapsed);
+    Metrics->counter("phase.bytes", Phase)
+        .add(Result.BytesRead + Result.BytesWritten);
+    Metrics->counter("phase.ops", Phase).add(Result.Ops);
+    Metrics->counter("phase.row_activations", Phase)
+        .add(Result.RowActivations);
+    Metrics->gauge("phase.throughput_gbps", Phase)
+        .set(Result.ThroughputGBps);
+    Metrics->gauge("phase.row_hit_rate", Phase).set(Result.RowHitRate);
+  }
   return Result;
 }

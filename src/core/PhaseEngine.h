@@ -21,6 +21,8 @@
 
 #include "core/AccessTrace.h"
 #include "mem3d/Memory3D.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "sim/EventQueue.h"
 
 #include <cstdint>
@@ -70,6 +72,15 @@ struct PhaseResult {
   double MaxReqLatencyNanos = 0.0;
   /// True when the simulation budget truncated the trace.
   bool Truncated = false;
+  /// Refresh-window stalls during this phase.
+  std::uint64_t RefreshStalls = 0;
+  /// Fault-injection counters for this phase. The engine resets the
+  /// device statistics on entry, so without these fields per-phase fault
+  /// activity would be discarded before any report could read it.
+  std::uint64_t EccRetries = 0;
+  std::uint64_t ThrottleStalls = 0;
+  std::uint64_t OfflineRedirects = 0;
+  std::uint64_t OfflineFailed = 0;
 };
 
 /// Runs phases against a Memory3D instance.
@@ -90,11 +101,29 @@ public:
   /// read streams.
   PhaseResult runStreams(std::vector<StreamParams> Streams);
 
+  /// Attaches observability sinks (either may be null): the tracer gets
+  /// one phase span per run, the registry gets the phase's memory
+  /// counters exported at the end of each run (before the next run's
+  /// reset can discard them).
+  void setObservability(Tracer *T, MetricsRegistry *M,
+                        std::uint32_t TracePid = 0) {
+    Trace = T;
+    Metrics = M;
+    this->TracePid = TracePid;
+  }
+
+  /// Names the next run's phase span (sticky; must be a string literal).
+  void setPhaseName(const char *Name) { PhaseName = Name; }
+
 private:
   Memory3D &Mem;
   EventQueue &Events;
   std::uint64_t MaxBytes;
   std::uint64_t MaxOps;
+  Tracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+  std::uint32_t TracePid = 0;
+  const char *PhaseName = "phase";
 };
 
 } // namespace fft3d

@@ -80,6 +80,37 @@ void MemStats::reset() {
                            LatencyHist->numBuckets());
 }
 
+namespace {
+
+void exportVault(MetricsRegistry &Registry, const VaultStats &V,
+                 const MetricLabels &Labels) {
+  Registry.counter("mem.reads", Labels).add(V.Reads);
+  Registry.counter("mem.writes", Labels).add(V.Writes);
+  Registry.counter("mem.bytes_read", Labels).add(V.BytesRead);
+  Registry.counter("mem.bytes_written", Labels).add(V.BytesWritten);
+  Registry.counter("mem.row_activations", Labels).add(V.RowActivations);
+  Registry.counter("mem.row_hits", Labels).add(V.RowHits);
+  Registry.counter("mem.row_misses", Labels).add(V.RowMisses);
+  Registry.counter("mem.refresh_stalls", Labels).add(V.RefreshStalls);
+  Registry.counter("mem.bus_busy_ps", Labels).add(V.BusBusy);
+  Registry.counter("mem.ecc_retries", Labels).add(V.EccRetries);
+  Registry.counter("mem.throttle_stalls", Labels).add(V.ThrottleStalls);
+  Registry.counter("mem.offline_redirects", Labels).add(V.OfflineRedirects);
+  Registry.counter("mem.offline_failed", Labels).add(V.OfflineFailed);
+}
+
+} // namespace
+
+void MemStats::exportTo(MetricsRegistry &Registry) const {
+  for (unsigned I = 0; I != numVaults(); ++I)
+    exportVault(Registry, Vaults[I],
+                MetricLabels{{"vault", std::to_string(I)}});
+  exportVault(Registry, total(), MetricLabels());
+  Registry.counter("mem.latency_samples").add(LatencyStat.count());
+  Registry.gauge("mem.latency_mean_ns").set(LatencyStat.mean());
+  Registry.gauge("mem.latency_max_ns").set(LatencyStat.max());
+}
+
 void MemStats::print(std::ostream &OS, Picos Elapsed) const {
   const VaultStats Sum = total();
   OS << "memory: " << Sum.totalAccesses() << " accesses, "

@@ -15,6 +15,7 @@
 #ifndef FFT3D_MEM3D_MEMSTATS_H
 #define FFT3D_MEM3D_MEMSTATS_H
 
+#include "obs/Metrics.h"
 #include "support/Stats.h"
 #include "support/Units.h"
 
@@ -104,6 +105,14 @@ public:
 
   /// Prints a short human-readable summary.
   void print(std::ostream &OS, Picos Elapsed) const;
+
+  /// Adds the current counter values into \p Registry under "mem.*",
+  /// per-vault (labeled vault=V) and as device totals. Counters add on
+  /// export, so call this once per measurement interval - e.g. at the
+  /// end of a phase, before reset() - and the registry accumulates
+  /// across intervals. Latency lands as gauges (mean/max ns) plus a
+  /// sample-count counter.
+  void exportTo(MetricsRegistry &Registry) const;
 
 private:
   std::vector<VaultStats> Vaults;

@@ -31,6 +31,16 @@ Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config)
         Config.Page, Stats.vault(V), Stats, Injector.get(), V));
 }
 
+void Memory3D::setTracer(Tracer *T, std::uint32_t Pid) {
+  Trace = T;
+  TracePid = Pid;
+  for (auto &C : Controllers)
+    C->setTracer(T, Pid);
+  if (T)
+    for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+      T->setThreadName(Pid, V, "vault " + std::to_string(V));
+}
+
 double Memory3D::peakBandwidthGBps() const {
   const double BytesPerBeat = Config.Geo.bytesPerBeat();
   const double BeatNanos = picosToNanos(Config.Time.TsvPeriod);
@@ -51,6 +61,9 @@ void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
     if (Spare == Where.Vault) {
       // Every vault is offline: fail fast, retryably.
       ++Stats.vault(Where.Vault).OfflineFailed;
+      if (Trace && Trace->wants(TraceCatFault))
+        Trace->instant(TraceCatFault, "offline_fail", TracePid, Where.Vault,
+                       Events.now(), "req", Req.Id);
       if (Done) {
         Req.Failed = true;
         const Picos FailAt = Events.now() + Config.Time.AccessLatency;
@@ -61,6 +74,9 @@ void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
       return;
     }
     ++Stats.vault(Where.Vault).OfflineRedirects;
+    if (Trace && Trace->wants(TraceCatFault))
+      Trace->instant(TraceCatFault, "offline_redirect", TracePid, Where.Vault,
+                     Events.now(), "spare", Spare, "req", Req.Id);
     Where.Vault = Spare;
   }
   if (Observer)

@@ -89,6 +89,10 @@ public:
   MemStats &stats() { return Stats; }
   const MemStats &stats() const { return Stats; }
 
+  /// Attaches a timeline tracer to the device and all its vault
+  /// controllers; null detaches. \p Pid selects the process track.
+  void setTracer(Tracer *T, std::uint32_t Pid = 0);
+
   /// The fault oracle, or nullptr when no fault spec is configured.
   const FaultInjector *faults() const { return Injector.get(); }
 
@@ -107,6 +111,8 @@ private:
   std::vector<std::unique_ptr<MemoryController>> Controllers;
   RequestObserver Observer;
   std::uint64_t NextRequestId = 0;
+  Tracer *Trace = nullptr;
+  std::uint32_t TracePid = 0;
 };
 
 } // namespace fft3d

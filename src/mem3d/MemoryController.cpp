@@ -102,20 +102,32 @@ Picos MemoryController::avoidRefresh(Picos T) {
     const Picos Phase = T % Time.RefreshInterval;
     if (Phase < Time.RefreshDuration) {
       ++Stats.RefreshStalls;
-      T = T - Phase + Time.RefreshDuration;
+      const Picos Stalled = T - Phase + Time.RefreshDuration;
+      if (Trace && Trace->wants(TraceCatMem))
+        Trace->instant(TraceCatMem, "refresh_stall", TracePid, VaultIndex, T,
+                       "stall_ps", Stalled - T);
+      T = Stalled;
     }
   }
   if (Faults) {
     bool Stalled = false;
+    const Picos Before = T;
     T = Faults->throttleAdjust(T, &Stalled);
-    if (Stalled)
+    if (Stalled) {
       ++Stats.ThrottleStalls;
+      if (Trace && Trace->wants(TraceCatFault))
+        Trace->instant(TraceCatFault, "throttle_stall", TracePid, VaultIndex,
+                       Before, "stall_ps", T - Before);
+    }
   }
   return T;
 }
 
 void MemoryController::failOffline(PendingReq &P) {
   ++Stats.OfflineFailed;
+  if (Trace && Trace->wants(TraceCatFault))
+    Trace->instant(TraceCatFault, "offline_fail", TracePid, VaultIndex,
+                   Events.now(), "req", P.Req.Id);
   if (P.Done) {
     P.Req.Failed = true;
     const Picos FailAt = Events.now() + Time.AccessLatency;
@@ -142,6 +154,9 @@ Picos MemoryController::issue(PendingReq &P) {
                   TheVault.earliestActivate(P.Where.Bank)}));
     B.recordActivate(P.Where.Row, ActTime, Time.TDiffRow);
     TheVault.recordActivate(P.Where.Bank, ActTime);
+    if (Trace && Trace->wants(TraceCatMem))
+      Trace->instant(TraceCatMem, "activate", TracePid, VaultIndex, ActTime,
+                     "bank", P.Where.Bank, "row", P.Where.Row);
     CmdTime = std::max(ActTime + Time.ActivateLatency, B.nextColumnTime());
   }
 
@@ -166,6 +181,9 @@ Picos MemoryController::issue(PendingReq &P) {
     // A transient read error: the ECC retry re-transfers the burst after
     // the penalty, holding the bus for the whole exchange.
     ++Stats.EccRetries;
+    if (Trace && Trace->wants(TraceCatFault))
+      Trace->instant(TraceCatFault, "ecc_retry", TracePid, VaultIndex,
+                     DataEnd, "req", P.Req.Id);
     DataEnd += Faults->eccRetryPenalty() + Beats * BeatInterval;
   }
   B.recordColumnBurst(CmdTime, Beats, ColInterval);
@@ -184,6 +202,14 @@ Picos MemoryController::issue(PendingReq &P) {
   DeviceStats.recordLatency(DataEnd - P.EnqueueTime);
   if (Histogram *Hist = DeviceStats.latencyHistogramForUpdate())
     Hist->addSample(picosToNanos(DataEnd - P.EnqueueTime));
+
+  if (Trace && Trace->wants(TraceCatMem)) {
+    Trace->span(TraceCatMem, P.Req.IsWrite ? "write" : "read", TracePid,
+                VaultIndex, Now, DataEnd - Now, "bytes", P.Req.Bytes,
+                "wait_ps", Now - P.EnqueueTime);
+    Trace->span(TraceCatMem, "tsv_busy", TracePid, VaultIndex, DataStart,
+                DataEnd - DataStart, "beats", Beats);
+  }
 
   if (P.Done) {
     Events.scheduleAt(DataEnd, [Done = std::move(P.Done), Req = P.Req,

@@ -22,6 +22,7 @@
 #include "mem3d/Request.h"
 #include "mem3d/Timing.h"
 #include "mem3d/Vault.h"
+#include "obs/Tracer.h"
 #include "sim/EventQueue.h"
 
 #include <deque>
@@ -71,6 +72,13 @@ public:
   /// Deepest the queue has ever been (front-end sizing input).
   std::size_t maxQueueDepth() const { return MaxDepth; }
 
+  /// Attaches a timeline tracer (null detaches). Events use \p Pid as
+  /// the process track and this controller's vault index as the tid.
+  void setTracer(Tracer *T, std::uint32_t Pid = 0) {
+    Trace = T;
+    TracePid = Pid;
+  }
+
 private:
   struct PendingReq {
     MemRequest Req;
@@ -112,6 +120,8 @@ private:
   MemStats &DeviceStats;
   const FaultInjector *Faults;
   unsigned VaultIndex;
+  Tracer *Trace = nullptr;
+  std::uint32_t TracePid = 0;
 
   std::deque<PendingReq> Queue;
   std::size_t MaxDepth = 0;

@@ -1,0 +1,464 @@
+//===- obs/Metrics.cpp - Unified metrics registry -------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace fft3d;
+
+MetricLabels::MetricLabels(
+    std::initializer_list<std::pair<std::string, std::string>> Init) {
+  for (const auto &[K, V] : Init)
+    add(K, V);
+}
+
+void MetricLabels::add(std::string Key, std::string Value) {
+  Items.emplace_back(std::move(Key), std::move(Value));
+}
+
+std::string MetricLabels::suffix() const {
+  if (Items.empty())
+    return "";
+  std::vector<std::pair<std::string, std::string>> Sorted = Items;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Out = "{";
+  for (std::size_t I = 0; I != Sorted.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += Sorted[I].first + "=" + Sorted[I].second;
+  }
+  Out += "}";
+  return Out;
+}
+
+MetricHistogram::MetricHistogram(double BucketWidth, unsigned NumBuckets)
+    : Width(BucketWidth), Buckets(NumBuckets, 0) {
+  if (BucketWidth <= 0.0 || NumBuckets == 0)
+    reportFatalError("degenerate metric histogram shape");
+}
+
+void MetricHistogram::observe(double Value) {
+  ++Total;
+  Sum += Value;
+  if (Value < 0.0) {
+    assert(false && "negative histogram sample");
+    ++Buckets.front();
+    return;
+  }
+  const auto Bucket = static_cast<std::uint64_t>(Value / Width);
+  if (Bucket >= Buckets.size())
+    ++Overflow;
+  else
+    ++Buckets[static_cast<std::size_t>(Bucket)];
+}
+
+double MetricHistogram::percentile(double Fraction) const {
+  if (Total == 0)
+    return 0.0;
+  if (Fraction <= 0.0 || Fraction > 1.0)
+    reportFatalError("percentile fraction must be in (0, 1]");
+  // Nearest rank: the ceil(F * n)-th smallest sample, 1-based - the same
+  // definition SloTracker::percentile applies to its exact sample set.
+  const auto Rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(Fraction * static_cast<double>(Total))),
+      1);
+  std::uint64_t Seen = 0;
+  for (std::size_t I = 0; I != Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return static_cast<double>(I) * Width;
+  }
+  return static_cast<double>(Buckets.size()) * Width;
+}
+
+void MetricHistogram::mergeFrom(const MetricHistogram &Other) {
+  if (Other.Width != Width || Other.Buckets.size() != Buckets.size())
+    reportFatalError("merging metric histograms of different shapes");
+  for (std::size_t I = 0; I != Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Overflow += Other.Overflow;
+  Total += Other.Total;
+  Sum += Other.Sum;
+}
+
+bool MetricSample::operator==(const MetricSample &Other) const {
+  return Name == Other.Name && Type == Other.Type &&
+         IntValue == Other.IntValue && Value == Other.Value &&
+         BucketWidth == Other.BucketWidth && Overflow == Other.Overflow &&
+         Buckets == Other.Buckets;
+}
+
+namespace {
+
+std::string fullName(const std::string &Name, const MetricLabels &Labels) {
+  return Name + Labels.suffix();
+}
+
+/// 17 significant digits: enough for strtod to reproduce the exact bits.
+void writeDouble(std::ostream &OS, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  OS << Buf;
+}
+
+} // namespace
+
+MetricCounter &MetricsRegistry::counter(const std::string &Name,
+                                        const MetricLabels &Labels) {
+  const std::string Key = fullName(Name, Labels);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<MetricCounter> &Slot = Counters[Key];
+  if (!Slot)
+    Slot = std::make_unique<MetricCounter>();
+  return *Slot;
+}
+
+MetricGauge &MetricsRegistry::gauge(const std::string &Name,
+                                    const MetricLabels &Labels) {
+  const std::string Key = fullName(Name, Labels);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<MetricGauge> &Slot = Gauges[Key];
+  if (!Slot)
+    Slot = std::make_unique<MetricGauge>();
+  return *Slot;
+}
+
+MetricHistogram &MetricsRegistry::histogram(const std::string &Name,
+                                            double BucketWidth,
+                                            unsigned NumBuckets,
+                                            const MetricLabels &Labels) {
+  const std::string Key = fullName(Name, Labels);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<MetricHistogram> &Slot = Histograms[Key];
+  if (!Slot)
+    Slot = std::make_unique<MetricHistogram>(BucketWidth, NumBuckets);
+  else if (Slot->bucketWidth() != BucketWidth ||
+           Slot->numBuckets() != NumBuckets)
+    reportFatalError(
+        ("histogram '" + Key + "' re-registered with a different shape")
+            .c_str());
+  return *Slot;
+}
+
+const MetricCounter *
+MetricsRegistry::findCounter(const std::string &Name,
+                             const MetricLabels &Labels) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Counters.find(fullName(Name, Labels));
+  return It == Counters.end() ? nullptr : It->second.get();
+}
+
+const MetricGauge *
+MetricsRegistry::findGauge(const std::string &Name,
+                           const MetricLabels &Labels) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Gauges.find(fullName(Name, Labels));
+  return It == Gauges.end() ? nullptr : It->second.get();
+}
+
+const MetricHistogram *
+MetricsRegistry::findHistogram(const std::string &Name,
+                               const MetricLabels &Labels) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Histograms.find(fullName(Name, Labels));
+  return It == Histograms.end() ? nullptr : It->second.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.size() + Gauges.size() + Histograms.size();
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
+  // Lock ordering: callers merge shards from one thread after the sweep
+  // joins, so taking both mutexes here (this first) cannot deadlock.
+  std::lock_guard<std::mutex> LockThis(Mutex);
+  std::lock_guard<std::mutex> LockOther(Other.Mutex);
+  for (const auto &[Key, C] : Other.Counters) {
+    std::unique_ptr<MetricCounter> &Slot = Counters[Key];
+    if (!Slot)
+      Slot = std::make_unique<MetricCounter>();
+    Slot->add(C->value());
+  }
+  for (const auto &[Key, G] : Other.Gauges) {
+    std::unique_ptr<MetricGauge> &Slot = Gauges[Key];
+    if (!Slot)
+      Slot = std::make_unique<MetricGauge>();
+    Slot->set(std::max(Slot->value(), G->value()));
+  }
+  for (const auto &[Key, H] : Other.Histograms) {
+    std::unique_ptr<MetricHistogram> &Slot = Histograms[Key];
+    if (!Slot)
+      Slot = std::make_unique<MetricHistogram>(H->bucketWidth(),
+                                               H->numBuckets());
+    Slot->mergeFrom(*H);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsSnapshot Snap;
+  // std::map iteration is name-ordered; interleave the three kinds into
+  // one globally name-ordered list.
+  for (const auto &[Key, C] : Counters) {
+    MetricSample S;
+    S.Name = Key;
+    S.Type = MetricSample::Kind::Counter;
+    S.IntValue = C->value();
+    Snap.Samples.push_back(std::move(S));
+  }
+  for (const auto &[Key, G] : Gauges) {
+    MetricSample S;
+    S.Name = Key;
+    S.Type = MetricSample::Kind::Gauge;
+    S.Value = G->value();
+    Snap.Samples.push_back(std::move(S));
+  }
+  for (const auto &[Key, H] : Histograms) {
+    MetricSample S;
+    S.Name = Key;
+    S.Type = MetricSample::Kind::Histogram;
+    S.IntValue = H->count();
+    S.Value = H->sum();
+    S.BucketWidth = H->bucketWidth();
+    S.Overflow = H->overflowCount();
+    S.Buckets.reserve(H->numBuckets());
+    for (unsigned I = 0; I != H->numBuckets(); ++I)
+      S.Buckets.push_back(H->bucketCount(I));
+    Snap.Samples.push_back(std::move(S));
+  }
+  std::sort(Snap.Samples.begin(), Snap.Samples.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Snap;
+}
+
+void MetricsRegistry::writeJson(std::ostream &OS) const {
+  snapshot().writeJson(OS);
+}
+
+void MetricsSnapshot::writeJson(std::ostream &OS) const {
+  OS << "{\"metrics\":[";
+  for (std::size_t I = 0; I != Samples.size(); ++I) {
+    const MetricSample &S = Samples[I];
+    OS << (I == 0 ? "\n" : ",\n");
+    OS << "{\"name\":\"" << S.Name << "\",";
+    switch (S.Type) {
+    case MetricSample::Kind::Counter:
+      OS << "\"type\":\"counter\",\"value\":" << S.IntValue;
+      break;
+    case MetricSample::Kind::Gauge:
+      OS << "\"type\":\"gauge\",\"value\":";
+      writeDouble(OS, S.Value);
+      break;
+    case MetricSample::Kind::Histogram:
+      OS << "\"type\":\"histogram\",\"count\":" << S.IntValue
+         << ",\"sum\":";
+      writeDouble(OS, S.Value);
+      OS << ",\"width\":";
+      writeDouble(OS, S.BucketWidth);
+      OS << ",\"overflow\":" << S.Overflow << ",\"buckets\":[";
+      for (std::size_t B = 0; B != S.Buckets.size(); ++B)
+        OS << (B == 0 ? "" : ",") << S.Buckets[B];
+      OS << "]";
+      break;
+    }
+    OS << "}";
+  }
+  OS << "\n]}\n";
+}
+
+namespace {
+
+/// Minimal recursive-descent reader for the exact JSON writeJson emits
+/// (plus insignificant whitespace).
+class JsonReader {
+public:
+  explicit JsonReader(std::istream &In) : In(In) {}
+
+  bool fail(std::string *Error, const std::string &Why) {
+    if (Error)
+      *Error = "metrics JSON: " + Why;
+    return false;
+  }
+
+  void skipWs() {
+    while (true) {
+      const int C = In.peek();
+      if (C == ' ' || C == '\n' || C == '\t' || C == '\r')
+        In.get();
+      else
+        return;
+    }
+  }
+
+  bool expect(char C) {
+    skipWs();
+    return In.get() == C;
+  }
+
+  bool readString(std::string &Out) {
+    skipWs();
+    if (In.get() != '"')
+      return false;
+    Out.clear();
+    while (true) {
+      const int C = In.get();
+      if (C == EOF)
+        return false;
+      if (C == '"')
+        return true;
+      if (C == '\\') {
+        const int Next = In.get();
+        if (Next == EOF)
+          return false;
+        Out.push_back(static_cast<char>(Next));
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+
+  bool readNumberToken(std::string &Tok) {
+    skipWs();
+    Tok.clear();
+    while (true) {
+      const int C = In.peek();
+      if (C == '-' || C == '+' || C == '.' || C == 'e' || C == 'E' ||
+          (C >= '0' && C <= '9')) {
+        Tok.push_back(static_cast<char>(In.get()));
+      } else {
+        break;
+      }
+    }
+    return !Tok.empty();
+  }
+
+  bool readU64(std::uint64_t &Out) {
+    std::string Tok;
+    if (!readNumberToken(Tok))
+      return false;
+    Out = std::strtoull(Tok.c_str(), nullptr, 10);
+    return true;
+  }
+
+  bool readDouble(double &Out) {
+    std::string Tok;
+    if (!readNumberToken(Tok))
+      return false;
+    Out = std::strtod(Tok.c_str(), nullptr);
+    return true;
+  }
+
+  std::istream &In;
+};
+
+} // namespace
+
+bool MetricsSnapshot::parseJson(std::istream &In, MetricsSnapshot &Out,
+                                std::string *Error) {
+  Out.Samples.clear();
+  JsonReader R(In);
+  std::string Key;
+  if (!R.expect('{') || !R.readString(Key) || Key != "metrics" ||
+      !R.expect(':') || !R.expect('['))
+    return R.fail(Error, "expected {\"metrics\":[");
+  R.skipWs();
+  if (In.peek() == ']') {
+    In.get();
+    return R.expect('}');
+  }
+  while (true) {
+    MetricSample S;
+    std::string Type;
+    if (!R.expect('{'))
+      return R.fail(Error, "expected sample object");
+    while (true) {
+      if (!R.readString(Key) || !R.expect(':'))
+        return R.fail(Error, "expected \"key\":");
+      if (Key == "name") {
+        if (!R.readString(S.Name))
+          return R.fail(Error, "bad name");
+      } else if (Key == "type") {
+        if (!R.readString(Type))
+          return R.fail(Error, "bad type");
+      } else if (Key == "value") {
+        if (Type == "counter") {
+          if (!R.readU64(S.IntValue))
+            return R.fail(Error, "bad counter value");
+        } else {
+          if (!R.readDouble(S.Value))
+            return R.fail(Error, "bad gauge value");
+        }
+      } else if (Key == "count") {
+        if (!R.readU64(S.IntValue))
+          return R.fail(Error, "bad count");
+      } else if (Key == "sum") {
+        if (!R.readDouble(S.Value))
+          return R.fail(Error, "bad sum");
+      } else if (Key == "width") {
+        if (!R.readDouble(S.BucketWidth))
+          return R.fail(Error, "bad width");
+      } else if (Key == "overflow") {
+        if (!R.readU64(S.Overflow))
+          return R.fail(Error, "bad overflow");
+      } else if (Key == "buckets") {
+        if (!R.expect('['))
+          return R.fail(Error, "bad buckets");
+        R.skipWs();
+        if (In.peek() != ']') {
+          while (true) {
+            std::uint64_t B = 0;
+            if (!R.readU64(B))
+              return R.fail(Error, "bad bucket count");
+            S.Buckets.push_back(B);
+            R.skipWs();
+            const int C = In.get();
+            if (C == ']')
+              break;
+            if (C != ',')
+              return R.fail(Error, "bad buckets separator");
+          }
+        } else {
+          In.get();
+        }
+      } else {
+        return R.fail(Error, "unknown key '" + Key + "'");
+      }
+      R.skipWs();
+      const int C = In.get();
+      if (C == '}')
+        break;
+      if (C != ',')
+        return R.fail(Error, "bad sample separator");
+    }
+    if (Type == "counter")
+      S.Type = MetricSample::Kind::Counter;
+    else if (Type == "gauge")
+      S.Type = MetricSample::Kind::Gauge;
+    else if (Type == "histogram")
+      S.Type = MetricSample::Kind::Histogram;
+    else
+      return R.fail(Error, "unknown type '" + Type + "'");
+    Out.Samples.push_back(std::move(S));
+    R.skipWs();
+    const int C = In.get();
+    if (C == ']')
+      break;
+    if (C != ',')
+      return R.fail(Error, "bad array separator");
+  }
+  return R.expect('}');
+}

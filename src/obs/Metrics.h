@@ -1,0 +1,217 @@
+//===- obs/Metrics.h - Unified metrics registry -----------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hierarchical metrics registry unifying the quantities that used to
+/// live in bespoke structs (MemStats, SloSummary, PhaseResult,
+/// HealthMonitor): named counters, gauges and fixed-bucket histograms,
+/// each optionally labeled (`mem.reads{vault=3}`). The owning structs
+/// keep their APIs as thin views and *export* into a registry, so no
+/// caller breaks while every tool gains one uniform snapshot format.
+///
+/// Concurrency contract:
+///  - Registration (counter()/gauge()/histogram()) takes a mutex; do it
+///    during setup or accept the lock on a cold path.
+///  - Counter and gauge updates are lock-free relaxed atomics - safe
+///    from any thread, and a plain add on the single-threaded hot path.
+///  - Histograms are single-writer. Parallel sweep shards each own a
+///    registry and the caller merges them (mergeFrom) afterwards; the
+///    merge is deterministic, so sharded runs reproduce byte-identical
+///    snapshots for any thread count.
+///
+/// Snapshots are ordered by full metric name, serialized to JSON, and
+/// round-trip through parseJson - the regression harness diffs them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_OBS_METRICS_H
+#define FFT3D_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fft3d {
+
+/// Label set attached to a metric, e.g. {{"vault","3"}}. Canonicalized
+/// (sorted by key) so equal sets always produce the same metric.
+class MetricLabels {
+public:
+  MetricLabels() = default;
+  MetricLabels(
+      std::initializer_list<std::pair<std::string, std::string>> Items);
+
+  void add(std::string Key, std::string Value);
+  bool empty() const { return Items.empty(); }
+
+  /// Canonical suffix: "" when empty, else "{k1=v1,k2=v2}" with keys
+  /// sorted.
+  std::string suffix() const;
+
+private:
+  std::vector<std::pair<std::string, std::string>> Items;
+};
+
+/// Monotonically increasing counter. Lock-free.
+class MetricCounter {
+public:
+  void add(std::uint64_t Delta = 1) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return Value.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> Value{0};
+};
+
+/// Last-written value. Lock-free.
+class MetricGauge {
+public:
+  void set(double V) { Value.store(V, std::memory_order_relaxed); }
+  double value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> Value{0.0};
+};
+
+/// Fixed-width-bucket histogram with an overflow bucket, a sample count
+/// and a running sum. Single-writer; merge shards with mergeFrom.
+class MetricHistogram {
+public:
+  MetricHistogram(double BucketWidth, unsigned NumBuckets);
+
+  void observe(double Value);
+
+  double bucketWidth() const { return Width; }
+  unsigned numBuckets() const {
+    return static_cast<unsigned>(Buckets.size());
+  }
+  std::uint64_t bucketCount(unsigned I) const { return Buckets[I]; }
+  std::uint64_t overflowCount() const { return Overflow; }
+  std::uint64_t count() const { return Total; }
+  double sum() const { return Sum; }
+  double mean() const {
+    return Total == 0 ? 0.0 : Sum / static_cast<double>(Total);
+  }
+
+  /// Nearest-rank percentile resolved to bucket granularity: the LOWER
+  /// edge of the bucket holding the rank-ceil(F*n) sample. When every
+  /// sample lands alone in a bucket (width finer than sample spacing)
+  /// this equals SloTracker::percentile on the same samples exactly.
+  /// \p Fraction in (0, 1]; returns 0 for an empty histogram. Overflow
+  /// samples resolve to the histogram's upper range edge.
+  double percentile(double Fraction) const;
+
+  /// Adds \p Other's buckets into this histogram. The shapes (width and
+  /// bucket count) must match.
+  void mergeFrom(const MetricHistogram &Other);
+
+private:
+  double Width;
+  std::vector<std::uint64_t> Buckets;
+  std::uint64_t Overflow = 0;
+  std::uint64_t Total = 0;
+  double Sum = 0.0;
+};
+
+/// One metric in a snapshot, identified by its full name
+/// ("mem.reads{vault=3}").
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+
+  std::string Name;
+  Kind Type = Kind::Counter;
+  /// Counter: integer value. Gauge/Histogram: unused (0).
+  std::uint64_t IntValue = 0;
+  /// Gauge: the value. Histogram: the running sum.
+  double Value = 0.0;
+  /// Histogram-only fields.
+  double BucketWidth = 0.0;
+  std::uint64_t Overflow = 0;
+  std::vector<std::uint64_t> Buckets;
+
+  bool operator==(const MetricSample &Other) const;
+};
+
+/// Point-in-time copy of a registry, ordered by metric name.
+struct MetricsSnapshot {
+  std::vector<MetricSample> Samples;
+
+  bool operator==(const MetricsSnapshot &Other) const {
+    return Samples == Other.Samples;
+  }
+
+  /// Serializes as a JSON object {"metrics":[...]}. Doubles print with
+  /// 17 significant digits so parseJson round-trips bit-exactly.
+  void writeJson(std::ostream &OS) const;
+
+  /// Parses writeJson output. Returns false (and sets \p Error) on
+  /// malformed input.
+  static bool parseJson(std::istream &In, MetricsSnapshot &Out,
+                        std::string *Error = nullptr);
+};
+
+/// The registry. Metrics are created on first use and live as long as
+/// the registry; returned references stay valid across later
+/// registrations.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Finds or creates the counter \p Name with \p Labels.
+  MetricCounter &counter(const std::string &Name,
+                         const MetricLabels &Labels = {});
+  MetricGauge &gauge(const std::string &Name,
+                     const MetricLabels &Labels = {});
+  /// Finds or creates a histogram; an existing histogram's shape must
+  /// match \p BucketWidth / \p NumBuckets.
+  MetricHistogram &histogram(const std::string &Name, double BucketWidth,
+                             unsigned NumBuckets,
+                             const MetricLabels &Labels = {});
+
+  /// Lookup without creation; null when absent.
+  const MetricCounter *findCounter(const std::string &Name,
+                                   const MetricLabels &Labels = {}) const;
+  const MetricGauge *findGauge(const std::string &Name,
+                               const MetricLabels &Labels = {}) const;
+  const MetricHistogram *
+  findHistogram(const std::string &Name,
+                const MetricLabels &Labels = {}) const;
+
+  /// Number of registered metrics across all kinds.
+  std::size_t size() const;
+
+  /// Merges \p Other into this registry (sweep-shard reduction):
+  /// counters and histograms add; gauges take the maximum (shards have
+  /// no meaningful "last" writer).
+  void mergeFrom(const MetricsRegistry &Other);
+
+  MetricsSnapshot snapshot() const;
+
+  /// snapshot().writeJson(OS).
+  void writeJson(std::ostream &OS) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<MetricCounter>> Counters;
+  std::map<std::string, std::unique_ptr<MetricGauge>> Gauges;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> Histograms;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_OBS_METRICS_H

@@ -1,0 +1,80 @@
+//===- obs/TraceDigest.cpp - Golden-trace regression digest ---------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceDigest.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace fft3d;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string fft3d::traceDigest(const Tracer &Trace,
+                               const MetricsSnapshot *Metrics) {
+  std::string Out;
+  Out += "# fft3d trace digest v1\n";
+  appendf(Out, "events %zu dropped %" PRIu64 "\n", Trace.events().size(),
+          Trace.dropped());
+  for (const TraceEvent &E : Trace.events()) {
+    appendf(Out, "%s %c %" PRIu32 ":%" PRIu32 " ts=%" PRIu64,
+            traceCategoryName(E.Cat), E.Ph, E.Pid, E.Tid, E.Ts);
+    if (E.Ph == 'X')
+      appendf(Out, " dur=%" PRIu64, E.Dur);
+    Out += " ";
+    Out += E.Name;
+    if (E.Arg0Key)
+      appendf(Out, " %s=%" PRIu64, E.Arg0Key, E.Arg0);
+    if (E.Arg1Key)
+      appendf(Out, " %s=%" PRIu64, E.Arg1Key, E.Arg1);
+    Out += "\n";
+  }
+  if (Metrics) {
+    appendf(Out, "metrics %zu\n", Metrics->Samples.size());
+    for (const MetricSample &S : Metrics->Samples) {
+      switch (S.Type) {
+      case MetricSample::Kind::Counter:
+        appendf(Out, "counter %s %" PRIu64 "\n", S.Name.c_str(),
+                S.IntValue);
+        break;
+      case MetricSample::Kind::Gauge:
+        appendf(Out, "gauge %s %.17g\n", S.Name.c_str(), S.Value);
+        break;
+      case MetricSample::Kind::Histogram: {
+        appendf(Out, "histogram %s count=%" PRIu64 " sum=%.17g overflow=%"
+                PRIu64 " buckets=",
+                S.Name.c_str(), S.IntValue, S.Value, S.Overflow);
+        // Sparse form: index:count pairs, so wide histograms stay short.
+        bool First = true;
+        for (std::size_t I = 0; I != S.Buckets.size(); ++I) {
+          if (S.Buckets[I] == 0)
+            continue;
+          appendf(Out, "%s%zu:%" PRIu64, First ? "" : ",", I,
+                  S.Buckets[I]);
+          First = false;
+        }
+        if (First)
+          Out += "-";
+        Out += "\n";
+        break;
+      }
+      }
+    }
+  }
+  return Out;
+}

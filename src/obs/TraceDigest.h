@@ -1,0 +1,43 @@
+//===- obs/TraceDigest.h - Golden-trace regression digest -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical, compact text form of a recorded trace (and optionally a
+/// metrics snapshot) for golden-file regression testing: one line per
+/// event in recording order - which is the simulator's deterministic
+/// execution order - with integer picosecond timestamps and integer
+/// arguments, followed by the name-ordered metric values.
+///
+/// A digest of a small run checked into tests/golden/ pins three things
+/// at once: event ordering (controller decisions, scheduler order),
+/// event timing (every derived timestamp of the memory model), and
+/// counter values. Any event-core or controller change that perturbs one
+/// of them diffs loudly instead of silently shifting results.
+///
+/// Update workflow (see docs/Observability.md): run the golden test with
+/// FFT3D_UPDATE_GOLDEN=1 to rewrite the file, then review the diff like
+/// any other code change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_OBS_TRACEDIGEST_H
+#define FFT3D_OBS_TRACEDIGEST_H
+
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+
+#include <string>
+
+namespace fft3d {
+
+/// Renders the digest text. Includes every recorded event, the drop
+/// counter, and (when \p Metrics is non-null) every metric sample.
+std::string traceDigest(const Tracer &Trace,
+                        const MetricsSnapshot *Metrics = nullptr);
+
+} // namespace fft3d
+
+#endif // FFT3D_OBS_TRACEDIGEST_H

@@ -1,0 +1,218 @@
+//===- obs/Tracer.cpp - Timeline event tracing ----------------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace fft3d;
+
+const char *fft3d::traceCategoryName(TraceCategory Cat) {
+  switch (Cat) {
+  case TraceCatMem:
+    return "mem";
+  case TraceCatPhase:
+    return "phase";
+  case TraceCatServe:
+    return "serve";
+  case TraceCatFault:
+    return "fault";
+  }
+  fft3d_unreachable("unknown TraceCategory");
+}
+
+bool fft3d::parseTraceCategories(const std::string &Text,
+                                 std::uint32_t &Mask, std::string *Error) {
+  Mask = 0;
+  std::size_t Pos = 0;
+  bool Any = false;
+  while (Pos <= Text.size()) {
+    const std::size_t Comma = std::min(Text.find(',', Pos), Text.size());
+    const std::string Token = Text.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Token.empty()) {
+      if (Comma == Text.size())
+        break;
+      continue;
+    }
+    Any = true;
+    if (Token == "all")
+      Mask |= TraceCatAll;
+    else if (Token == "mem")
+      Mask |= TraceCatMem;
+    else if (Token == "phase")
+      Mask |= TraceCatPhase;
+    else if (Token == "serve")
+      Mask |= TraceCatServe;
+    else if (Token == "fault")
+      Mask |= TraceCatFault;
+    else {
+      if (Error)
+        *Error = "unknown trace category '" + Token +
+                 "' (expected mem, phase, serve, fault, all)";
+      return false;
+    }
+    if (Comma == Text.size())
+      break;
+  }
+  if (!Any) {
+    if (Error)
+      *Error = "empty trace category list";
+    return false;
+  }
+  return true;
+}
+
+Tracer::Tracer(std::uint32_t Categories, std::size_t Capacity)
+    : Mask(Categories), Cap(Capacity) {
+  // Reserve up front so recording never reallocates mid-run; cap the
+  // eager reservation so tiny test tracers stay tiny.
+  Events.reserve(std::min<std::size_t>(Cap, 1u << 16));
+}
+
+void Tracer::record(const TraceEvent &E) {
+  if (Events.size() >= Cap) {
+    ++Dropped;
+    return;
+  }
+  Events.push_back(E);
+}
+
+void Tracer::span(TraceCategory Cat, const char *Name, std::uint32_t Pid,
+                  std::uint32_t Tid, Picos Ts, Picos Dur,
+                  const char *Arg0Key, std::uint64_t Arg0,
+                  const char *Arg1Key, std::uint64_t Arg1) {
+  if (!wants(Cat))
+    return;
+  record({Ts, Dur, Name, Cat, 'X', Pid, Tid, Arg0Key, Arg0, Arg1Key, Arg1});
+}
+
+void Tracer::instant(TraceCategory Cat, const char *Name, std::uint32_t Pid,
+                     std::uint32_t Tid, Picos Ts,
+                     const char *Arg0Key, std::uint64_t Arg0,
+                     const char *Arg1Key, std::uint64_t Arg1) {
+  if (!wants(Cat))
+    return;
+  record({Ts, 0, Name, Cat, 'i', Pid, Tid, Arg0Key, Arg0, Arg1Key, Arg1});
+}
+
+void Tracer::setProcessName(std::uint32_t Pid, std::string Name) {
+  ProcessNames[Pid] = std::move(Name);
+}
+
+void Tracer::setThreadName(std::uint32_t Pid, std::uint32_t Tid,
+                           std::string Name) {
+  ThreadNames[{Pid, Tid}] = std::move(Name);
+}
+
+void Tracer::clear() {
+  Events.clear();
+  Dropped = 0;
+}
+
+namespace {
+
+/// Microseconds with picosecond resolution: Chrome's `ts`/`dur` unit.
+void writeMicros(std::ostream &OS, Picos Ps) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%06llu",
+                static_cast<unsigned long long>(Ps / PicosPerMicro),
+                static_cast<unsigned long long>(Ps % PicosPerMicro));
+  OS << Buf;
+}
+
+void writeJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (const char C : S) {
+    if (C == '"' || C == '\\')
+      OS << '\\' << C;
+    else if (static_cast<unsigned char>(C) < 0x20)
+      OS << ' ';
+    else
+      OS << C;
+  }
+  OS << '"';
+}
+
+} // namespace
+
+void Tracer::writeChromeTrace(std::ostream &OS) const {
+  // Sort by timestamp for viewers; ties keep recording order so equal-time
+  // events stay in the simulator's deterministic execution order.
+  std::vector<std::uint32_t> Order(Events.size());
+  for (std::uint32_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(),
+                   [this](std::uint32_t A, std::uint32_t B) {
+                     return Events[A].Ts < Events[B].Ts;
+                   });
+
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  const auto Sep = [&] {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n";
+  };
+
+  for (const auto &[Pid, Name] : ProcessNames) {
+    Sep();
+    OS << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << Pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    writeJsonString(OS, Name);
+    OS << "}}";
+  }
+  for (const auto &[Key, Name] : ThreadNames) {
+    Sep();
+    OS << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << Key.first
+       << ",\"tid\":" << Key.second << ",\"args\":{\"name\":";
+    writeJsonString(OS, Name);
+    OS << "}}";
+  }
+
+  for (const std::uint32_t I : Order) {
+    const TraceEvent &E = Events[I];
+    Sep();
+    OS << "{\"name\":\"" << E.Name << "\",\"cat\":\""
+       << traceCategoryName(E.Cat) << "\",\"ph\":\"" << E.Ph
+       << "\",\"pid\":" << E.Pid << ",\"tid\":" << E.Tid << ",\"ts\":";
+    writeMicros(OS, E.Ts);
+    if (E.Ph == 'X') {
+      OS << ",\"dur\":";
+      writeMicros(OS, E.Dur);
+    } else {
+      // Thread-scoped instants keep Perfetto from stretching them across
+      // the whole process track.
+      OS << ",\"s\":\"t\"";
+    }
+    if (E.Arg0Key || E.Arg1Key) {
+      OS << ",\"args\":{";
+      if (E.Arg0Key)
+        OS << "\"" << E.Arg0Key << "\":" << E.Arg0;
+      if (E.Arg1Key)
+        OS << (E.Arg0Key ? "," : "") << "\"" << E.Arg1Key
+           << "\":" << E.Arg1;
+      OS << "}";
+    }
+    OS << "}";
+  }
+
+  if (Dropped != 0) {
+    // Surface the overflow inside the trace itself so a truncated
+    // timeline is never mistaken for a complete one.
+    const Picos LastTs = Events.empty() ? 0 : Events.back().Ts;
+    Sep();
+    OS << "{\"name\":\"fft3d_dropped_events\",\"cat\":\"mem\",\"ph\":\"C\","
+          "\"pid\":0,\"tid\":0,\"ts\":";
+    writeMicros(OS, LastTs);
+    OS << ",\"args\":{\"dropped\":" << Dropped << "}}";
+  }
+  OS << "\n]}\n";
+}

@@ -1,0 +1,160 @@
+//===- obs/Tracer.h - Timeline event tracing --------------------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timeline tracing for the simulator: span and instant events (phase
+/// begin/end, per-vault request issue and completion, row activations,
+/// TSV bus occupancy, serving-layer job lifecycle, fault injections)
+/// collected into a bounded in-memory buffer and exported as Chrome
+/// `trace_event` JSON, loadable by chrome://tracing and Perfetto.
+///
+/// Design constraints, in order:
+///
+///  - Zero overhead when absent. Every producer holds a `Tracer *` that
+///    is null by default; the instrumented hot paths reduce to one
+///    null-pointer test, so untraced simulations are bit-identical (and
+///    measurably no slower) than before tracing existed.
+///  - Bounded memory. Events land in a pre-reserved buffer of fixed
+///    capacity; once full, new events are counted in dropped() and
+///    discarded. Retained events are never reordered or evicted, so the
+///    prefix of a capped 8192^2 trace is exactly the prefix of the
+///    uncapped one.
+///  - Deterministic. Event names are static strings, arguments are
+///    integers, timestamps are the simulator's integer picoseconds; the
+///    recorded stream is a pure function of the simulated run, which the
+///    golden-trace regression harness (obs/TraceDigest.h) pins.
+///
+/// The tracer is intentionally not thread-safe: it attaches to a single
+/// simulation, which is single-threaded by construction. Parallel sweeps
+/// give each cell its own tracer (or none).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_OBS_TRACER_H
+#define FFT3D_OBS_TRACER_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// Event categories, usable as a bitmask filter (`--trace-cats`).
+enum TraceCategory : std::uint32_t {
+  /// Memory-system events: request spans, row activations, TSV bus
+  /// occupancy, refresh stalls.
+  TraceCatMem = 1u << 0,
+  /// FFT phase spans (row phase, migration, column phase).
+  TraceCatPhase = 1u << 1,
+  /// Serving-layer job lifecycle: arrive, dispatch span, shed, brownout.
+  TraceCatServe = 1u << 2,
+  /// Fault injection: ECC retries, throttle stalls, offline redirects
+  /// and failures, transient job failures.
+  TraceCatFault = 1u << 3,
+};
+
+constexpr std::uint32_t TraceCatAll =
+    TraceCatMem | TraceCatPhase | TraceCatServe | TraceCatFault;
+
+/// Short lowercase name of one category ("mem", "phase", ...).
+const char *traceCategoryName(TraceCategory Cat);
+
+/// Parses a comma-separated category list ("mem,phase") into a mask.
+/// "all" selects every category. Returns false (and sets \p Error) on an
+/// unknown token; an empty string is an error.
+bool parseTraceCategories(const std::string &Text, std::uint32_t &Mask,
+                          std::string *Error = nullptr);
+
+/// One recorded event. Names and argument keys must be static strings
+/// (string literals); arguments are integer-valued to keep recording
+/// allocation-free and the exported trace deterministic.
+struct TraceEvent {
+  Picos Ts = 0;
+  /// Duration for spans; 0 for instants.
+  Picos Dur = 0;
+  const char *Name = nullptr;
+  TraceCategory Cat = TraceCatMem;
+  /// Chrome phase: 'X' = complete span, 'i' = instant.
+  char Ph = 'i';
+  /// Track coordinates: pid groups tracks (0 = device, 1.. = serving
+  /// runs), tid is the track within the group (vault index, phase lane).
+  std::uint32_t Pid = 0;
+  std::uint32_t Tid = 0;
+  /// Up to two named integer arguments; a null key means "absent".
+  const char *Arg0Key = nullptr;
+  std::uint64_t Arg0 = 0;
+  const char *Arg1Key = nullptr;
+  std::uint64_t Arg1 = 0;
+};
+
+/// Bounded collector of TraceEvents.
+class Tracer {
+public:
+  /// Default capacity: 1M events (~80 MB) bounds even an 8192^2 run.
+  static constexpr std::size_t DefaultCapacity = 1u << 20;
+
+  explicit Tracer(std::uint32_t Categories = TraceCatAll,
+                  std::size_t Capacity = DefaultCapacity);
+
+  /// True when events of \p Cat are collected. Producers test this
+  /// before marshalling arguments.
+  bool wants(TraceCategory Cat) const { return (Mask & Cat) != 0; }
+
+  std::uint32_t categories() const { return Mask; }
+  std::size_t capacity() const { return Cap; }
+
+  /// Records a complete span [Ts, Ts + Dur).
+  void span(TraceCategory Cat, const char *Name, std::uint32_t Pid,
+            std::uint32_t Tid, Picos Ts, Picos Dur,
+            const char *Arg0Key = nullptr, std::uint64_t Arg0 = 0,
+            const char *Arg1Key = nullptr, std::uint64_t Arg1 = 0);
+
+  /// Records an instantaneous event at \p Ts.
+  void instant(TraceCategory Cat, const char *Name, std::uint32_t Pid,
+               std::uint32_t Tid, Picos Ts,
+               const char *Arg0Key = nullptr, std::uint64_t Arg0 = 0,
+               const char *Arg1Key = nullptr, std::uint64_t Arg1 = 0);
+
+  /// Recorded events, in recording order (the simulator's deterministic
+  /// execution order).
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Events discarded because the buffer was full.
+  std::uint64_t dropped() const { return Dropped; }
+
+  /// Names a pid / (pid, tid) track in the exported trace ("vault 3",
+  /// "fcfs"). Cosmetic; not part of the golden digest.
+  void setProcessName(std::uint32_t Pid, std::string Name);
+  void setThreadName(std::uint32_t Pid, std::uint32_t Tid, std::string Name);
+
+  /// Drops all recorded events and the drop counter (names are kept).
+  void clear();
+
+  /// Writes the Chrome trace_event JSON object: events sorted by
+  /// timestamp (ties keep recording order), `displayTimeUnit` set, track
+  /// name metadata included, and a `fft3d_dropped_events` counter when
+  /// the buffer overflowed. Timestamps are microseconds with picosecond
+  /// resolution (six fraction digits).
+  void writeChromeTrace(std::ostream &OS) const;
+
+private:
+  void record(const TraceEvent &E);
+
+  std::uint32_t Mask;
+  std::size_t Cap;
+  std::vector<TraceEvent> Events;
+  std::uint64_t Dropped = 0;
+  std::map<std::uint32_t, std::string> ProcessNames;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> ThreadNames;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_OBS_TRACER_H

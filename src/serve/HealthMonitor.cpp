@@ -53,3 +53,10 @@ bool HealthMonitor::jobTransientlyFails(std::uint64_t JobId,
                                         unsigned Attempt) const {
   return Injector && Injector->jobTransientlyFails(JobId, Attempt);
 }
+
+void HealthMonitor::exportTo(MetricsRegistry &Registry, Picos Now) const {
+  Registry.gauge("health.total_vaults").set(NumVaults);
+  Registry.gauge("health.healthy_vaults").set(healthyVaults(Now));
+  Registry.gauge("health.throttle_slowdown").set(throttleSlowdown(Now));
+  Registry.gauge("health.capacity_factor").set(capacityFactor(Now));
+}

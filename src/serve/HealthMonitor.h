@@ -21,6 +21,7 @@
 #define FFT3D_SERVE_HEALTHMONITOR_H
 
 #include "fault/FaultInjector.h"
+#include "obs/Metrics.h"
 
 #include <cstdint>
 #include <memory>
@@ -82,6 +83,10 @@ public:
   /// True when dispatch attempt \p Attempt of job \p JobId transiently
   /// fails. Deterministic in (spec seed, JobId, Attempt).
   bool jobTransientlyFails(std::uint64_t JobId, unsigned Attempt) const;
+
+  /// Sets the "health.*" gauges in \p Registry to this monitor's view of
+  /// the device at \p Now.
+  void exportTo(MetricsRegistry &Registry, Picos Now) const;
 
 private:
   std::shared_ptr<const FaultSpec> Spec;

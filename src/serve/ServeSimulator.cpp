@@ -52,6 +52,14 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
   Load.reset();
   RunState State(Config.QueueCapacity, Config.ShedInfeasible);
   const unsigned TotalVaults = Model.totalVaults();
+  Tracer *Trace = Config.Trace;
+  const std::uint32_t Pid = Config.TracePid;
+  if (Trace)
+    Trace->setProcessName(Pid, "serve " + std::string(Policy.name()));
+  // Job events land on the client's track so tenants separate visually.
+  auto JobTid = [](const JobRequest &Job) {
+    return static_cast<std::uint32_t>(Job.ClientId);
+  };
   const HealthMonitor *Health =
       Config.Health && Config.Health->active() ? Config.Health.get()
                                                : nullptr;
@@ -81,9 +89,15 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
         MissRate >= Config.Brownout.EnterMissRate) {
       State.Admission.setBrownout(true, Config.Brownout.PriorityFloor);
       ++State.BrownoutEpisodes;
+      if (Trace && Trace->wants(TraceCatServe))
+        Trace->instant(TraceCatServe, "brownout_enter", Pid, /*Tid=*/0,
+                       State.Events.now());
     } else if (State.Admission.inBrownout() &&
                MissRate <= Config.Brownout.ExitMissRate) {
       State.Admission.setBrownout(false, Config.Brownout.PriorityFloor);
+      if (Trace && Trace->wants(TraceCatServe))
+        Trace->instant(TraceCatServe, "brownout_exit", Pid, /*Tid=*/0,
+                       State.Events.now());
     }
   };
 
@@ -144,6 +158,10 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
         // failing, then retries with capped exponential backoff (or is
         // dropped once the attempts are exhausted).
         const Picos FailAt = Now + std::max<Picos>(Service / 2, 1);
+        if (Trace && Trace->wants(TraceCatFault))
+          Trace->span(TraceCatFault, "job_failed_attempt", Pid, JobTid(Job),
+                      Now, FailAt - Now, "job", Job.Id, "attempt",
+                      Job.Attempt);
         State.Running.emplace(Job.Id, FailAt);
         State.Events.scheduleAt(FailAt, [&, Job, Vaults] {
           State.BusyVaults -= Vaults;
@@ -151,6 +169,9 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
           const Picos FailNow = State.Events.now();
           if (Job.Attempt + 1 >= Config.Retry.MaxAttempts) {
             State.Tracker.recordShed(Job, AdmissionDecision::ShedFailed);
+            if (Trace && Trace->wants(TraceCatServe))
+              Trace->instant(TraceCatServe, "job_dropped", Pid, JobTid(Job),
+                             FailNow, "job", Job.Id);
             for (const JobRequest &Next : Load.onResponse(Job, FailNow))
               ScheduleArrival(Next);
           } else {
@@ -159,6 +180,10 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
             ++Retry.Attempt;
             Retry.Arrival =
                 FailNow + Config.Retry.backoffFor(Retry.Attempt);
+            if (Trace && Trace->wants(TraceCatServe))
+              Trace->instant(TraceCatServe, "job_retry", Pid, JobTid(Job),
+                             FailNow, "job", Job.Id, "attempt",
+                             Retry.Attempt);
             ScheduleArrival(Retry);
           }
           TrySchedule();
@@ -167,6 +192,9 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
       }
 
       const Picos Complete = Now + Service;
+      if (Trace && Trace->wants(TraceCatServe))
+        Trace->span(TraceCatServe, "job", Pid, JobTid(Job), Now, Service,
+                    "job", Job.Id, "vaults", Vaults);
       State.Running.emplace(Job.Id, Complete);
       State.Events.scheduleAt(
           Complete, [&, Job, Now, Vaults, Complete, Degraded] {
@@ -195,6 +223,9 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
       Backlog += Model.fullMachineServiceTime(State.Queue.at(I));
     const Picos EstService = Model.fullMachineServiceTime(Job);
 
+    if (Trace && Trace->wants(TraceCatServe))
+      Trace->instant(TraceCatServe, "job_arrive", Pid, JobTid(Job), Now,
+                     "job", Job.Id, "n", Job.N);
     const AdmissionDecision Decision =
         State.Admission.decide(Job, State.Queue, Now, Backlog, EstService);
     if (Decision == AdmissionDecision::Admit) {
@@ -202,6 +233,10 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
       TrySchedule();
     } else {
       State.Tracker.recordShed(Job, Decision);
+      if (Trace && Trace->wants(TraceCatServe))
+        Trace->instant(TraceCatServe, "job_shed", Pid, JobTid(Job), Now,
+                       "job", Job.Id, "reason",
+                       static_cast<std::uint64_t>(Decision));
       // A shed is still a response: closed-loop clients move on.
       for (const JobRequest &Next : Load.onResponse(Job, Now))
         ScheduleArrival(Next);

@@ -23,6 +23,7 @@
 #ifndef FFT3D_SERVE_SERVESIMULATOR_H
 #define FFT3D_SERVE_SERVESIMULATOR_H
 
+#include "obs/Tracer.h"
 #include "serve/AdmissionController.h"
 #include "serve/HealthMonitor.h"
 #include "serve/Scheduler.h"
@@ -49,6 +50,11 @@ struct ServeConfig {
   RetryPolicy Retry;
   /// Brownout shedding under sustained SLO misses.
   BrownoutPolicy Brownout;
+  /// Timeline tracer for job-lifecycle events; null (the default)
+  /// records nothing. Not thread-safe: trace one run at a time.
+  Tracer *Trace = nullptr;
+  /// Process track for this run's events (one pid per policy run).
+  std::uint32_t TracePid = 1;
 };
 
 /// Outcome of one (workload, policy) run.

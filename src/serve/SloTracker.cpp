@@ -109,6 +109,31 @@ SloSummary SloTracker::summarize(Picos End) const {
   return S;
 }
 
+void SloTracker::exportTo(MetricsRegistry &Registry,
+                          const std::string &Policy, Picos End) const {
+  const SloSummary S = summarize(End);
+  const MetricLabels L{{"policy", Policy}};
+  Registry.counter("serve.offered", L).add(S.Offered);
+  Registry.counter("serve.completed", L).add(S.Completed);
+  Registry.counter("serve.shed", L).add(S.Shed);
+  Registry.counter("serve.retries", L).add(S.Retries);
+  Registry.counter("serve.failed_dropped", L).add(S.FailedDropped);
+  Registry.counter("serve.brownout_sheds", L).add(S.BrownoutSheds);
+  Registry.counter("serve.degraded_completions", L)
+      .add(S.DegradedCompletions);
+  Registry.gauge("serve.throughput_jobs_per_sec", L)
+      .set(S.ThroughputJobsPerSec);
+  Registry.gauge("serve.p50_latency_ms", L).set(S.P50LatencyMs);
+  Registry.gauge("serve.p99_latency_ms", L).set(S.P99LatencyMs);
+  Registry.gauge("serve.deadline_miss_rate", L).set(S.DeadlineMissRate);
+  Registry.gauge("serve.shed_rate", L).set(S.ShedRate);
+  MetricHistogram &Hist =
+      Registry.histogram("serve.latency_ms", /*BucketWidth=*/1.0,
+                         /*NumBuckets=*/256, L);
+  for (const JobOutcome &O : Outcomes)
+    Hist.observe(picosToMillis(O.totalLatency()));
+}
+
 void SloTracker::reset() {
   Outcomes.clear();
   ShedJobs.clear();

@@ -22,10 +22,12 @@
 #ifndef FFT3D_SERVE_SLOTRACKER_H
 #define FFT3D_SERVE_SLOTRACKER_H
 
+#include "obs/Metrics.h"
 #include "serve/AdmissionController.h"
 #include "serve/JobRequest.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fft3d {
@@ -98,6 +100,14 @@ public:
   /// Reduces the recorded outcomes. \p End is the run's end time (last
   /// event); throughput is completions over (End - first arrival).
   SloSummary summarize(Picos End) const;
+
+  /// Adds this run's summary into \p Registry under "serve.*", labeled
+  /// policy=\p Policy. Call once per run (counters add). Also feeds an
+  /// end-to-end latency histogram "serve.latency_ms" (1 ms buckets)
+  /// whose nearest-rank percentiles agree with the exact-sample
+  /// percentiles above to bucket granularity.
+  void exportTo(MetricsRegistry &Registry, const std::string &Policy,
+                Picos End) const;
 
   void reset();
 

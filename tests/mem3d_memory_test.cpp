@@ -307,3 +307,79 @@ TEST(EnergyBreakdownPrint, Summarizes) {
   EXPECT_NE(OS.str().find("pJ/bit"), std::string::npos);
   EXPECT_NE(OS.str().find("mW"), std::string::npos);
 }
+
+TEST(VaultStatsMerge, PropagatesEveryField) {
+  // Each field gets a distinct prime so any dropped or cross-wired field
+  // in merge() produces a wrong sum. A new counter added to VaultStats
+  // grows the struct and trips the static_assert below until both this
+  // test and merge() learn about it.
+  static_assert(sizeof(VaultStats) == 13 * sizeof(std::uint64_t),
+                "VaultStats gained a field: update merge(), exportTo() and "
+                "this test");
+  VaultStats A, B;
+  A.Reads = 2;
+  A.Writes = 3;
+  A.BytesRead = 5;
+  A.BytesWritten = 7;
+  A.RowActivations = 11;
+  A.RowHits = 13;
+  A.RowMisses = 17;
+  A.RefreshStalls = 19;
+  A.BusBusy = 23;
+  A.EccRetries = 29;
+  A.ThrottleStalls = 31;
+  A.OfflineRedirects = 37;
+  A.OfflineFailed = 41;
+  B.Reads = 43;
+  B.Writes = 47;
+  B.BytesRead = 53;
+  B.BytesWritten = 59;
+  B.RowActivations = 61;
+  B.RowHits = 67;
+  B.RowMisses = 71;
+  B.RefreshStalls = 73;
+  B.BusBusy = 79;
+  B.EccRetries = 83;
+  B.ThrottleStalls = 89;
+  B.OfflineRedirects = 97;
+  B.OfflineFailed = 101;
+
+  A.merge(B);
+  EXPECT_EQ(A.Reads, 2u + 43u);
+  EXPECT_EQ(A.Writes, 3u + 47u);
+  EXPECT_EQ(A.BytesRead, 5u + 53u);
+  EXPECT_EQ(A.BytesWritten, 7u + 59u);
+  EXPECT_EQ(A.RowActivations, 11u + 61u);
+  EXPECT_EQ(A.RowHits, 13u + 67u);
+  EXPECT_EQ(A.RowMisses, 17u + 71u);
+  EXPECT_EQ(A.RefreshStalls, 19u + 73u);
+  EXPECT_EQ(A.BusBusy, 23u + 79u);
+  EXPECT_EQ(A.EccRetries, 29u + 83u);
+  EXPECT_EQ(A.ThrottleStalls, 31u + 89u);
+  EXPECT_EQ(A.OfflineRedirects, 37u + 97u);
+  EXPECT_EQ(A.OfflineFailed, 41u + 101u);
+}
+
+TEST(MemStatsExport, TotalsAndPerVaultCountersLand) {
+  MemStats Stats(2);
+  Stats.vault(0).Reads = 2;
+  Stats.vault(0).BytesRead = 128;
+  Stats.vault(0).EccRetries = 3;
+  Stats.vault(1).Reads = 5;
+  Stats.vault(1).BytesRead = 320;
+  Stats.recordLatency(nanosToPicos(10.0));
+
+  MetricsRegistry R;
+  Stats.exportTo(R);
+  EXPECT_EQ(R.findCounter("mem.reads")->value(), 7u);
+  EXPECT_EQ(R.findCounter("mem.bytes_read")->value(), 448u);
+  EXPECT_EQ(R.findCounter("mem.ecc_retries")->value(), 3u);
+  EXPECT_EQ(R.findCounter("mem.reads", {{"vault", "0"}})->value(), 2u);
+  EXPECT_EQ(R.findCounter("mem.reads", {{"vault", "1"}})->value(), 5u);
+  EXPECT_EQ(R.findCounter("mem.ecc_retries", {{"vault", "1"}})->value(), 0u);
+  EXPECT_DOUBLE_EQ(R.findGauge("mem.latency_mean_ns")->value(), 10.0);
+
+  // Counters accumulate across export intervals (one call per phase).
+  Stats.exportTo(R);
+  EXPECT_EQ(R.findCounter("mem.reads")->value(), 14u);
+}

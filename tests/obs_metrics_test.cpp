@@ -1,0 +1,225 @@
+//===- tests/obs_metrics_test.cpp - Metrics registry unit tests -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "serve/SloTracker.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+
+TEST(MetricLabels, SuffixIsCanonical) {
+  EXPECT_EQ(MetricLabels{}.suffix(), "");
+
+  MetricLabels Unsorted;
+  Unsorted.add("vault", "3");
+  Unsorted.add("arch", "optimized");
+  EXPECT_EQ(Unsorted.suffix(), "{arch=optimized,vault=3}");
+
+  // Same set, different insertion order: same canonical suffix, so a
+  // registry lookup with either spelling hits the same metric.
+  const MetricLabels A{{"a", "1"}, {"b", "2"}};
+  MetricLabels B;
+  B.add("b", "2");
+  B.add("a", "1");
+  EXPECT_EQ(A.suffix(), B.suffix());
+}
+
+TEST(MetricsRegistry, RegistrationAndLookup) {
+  MetricsRegistry R;
+  EXPECT_EQ(R.size(), 0u);
+  EXPECT_EQ(R.findCounter("mem.reads"), nullptr);
+
+  MetricCounter &C = R.counter("mem.reads");
+  C.add(7);
+  EXPECT_EQ(R.size(), 1u);
+  // Second call finds the same counter, not a fresh one.
+  R.counter("mem.reads").add(2);
+  EXPECT_EQ(C.value(), 9u);
+  EXPECT_EQ(R.findCounter("mem.reads"), &C);
+
+  // A labeled metric of the same base name is a distinct series.
+  MetricCounter &V3 = R.counter("mem.reads", {{"vault", "3"}});
+  V3.add(1);
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_EQ(C.value(), 9u);
+  EXPECT_EQ(V3.value(), 1u);
+  EXPECT_EQ(R.findCounter("mem.reads", {{"vault", "3"}}), &V3);
+  EXPECT_EQ(R.findCounter("mem.reads", {{"vault", "4"}}), nullptr);
+
+  R.gauge("phase.throughput_gbps").set(30.25);
+  EXPECT_DOUBLE_EQ(R.findGauge("phase.throughput_gbps")->value(), 30.25);
+  EXPECT_EQ(R.findGauge("nope"), nullptr);
+
+  MetricHistogram &H = R.histogram("serve.latency_ms", 1.0, 64);
+  H.observe(5.5);
+  EXPECT_EQ(R.findHistogram("serve.latency_ms"), &H);
+  EXPECT_EQ(R.findHistogram("serve.latency_ms")->count(), 1u);
+  EXPECT_EQ(R.size(), 4u);
+}
+
+TEST(MetricHistogram, BucketsOverflowAndMoments) {
+  MetricHistogram H(10.0, 4); // buckets [0,10) [10,20) [20,30) [30,40)
+  H.observe(0.0);
+  H.observe(9.99);
+  H.observe(10.0);
+  H.observe(35.0);
+  H.observe(1e6); // overflow
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 0u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.overflowCount(), 1u);
+  EXPECT_DOUBLE_EQ(H.sum(), 0.0 + 9.99 + 10.0 + 35.0 + 1e6);
+  EXPECT_DOUBLE_EQ(H.mean(), H.sum() / 5.0);
+}
+
+TEST(MetricHistogram, PercentileMatchesSloTrackerNearestRank) {
+  // Integer-valued samples with bucket width 1: every sample lands on
+  // its own bucket's lower edge, so the histogram's bucket-resolved
+  // nearest-rank percentile must equal SloTracker's exact-sample
+  // nearest-rank percentile, not just approximate it.
+  std::vector<double> Samples;
+  MetricHistogram H(1.0, 256);
+  std::uint64_t X = 12345;
+  for (int I = 0; I != 500; ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    const double V = static_cast<double>((X >> 33) % 200);
+    Samples.push_back(V);
+    H.observe(V);
+  }
+  for (double F : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(H.percentile(F), SloTracker::percentile(Samples, F))
+        << "fraction " << F;
+
+  EXPECT_DOUBLE_EQ(MetricHistogram(1.0, 8).percentile(0.5), 0.0);
+}
+
+TEST(MetricsSnapshot, JsonRoundTripIsExact) {
+  MetricsRegistry R;
+  R.counter("mem.reads").add(12345);
+  R.counter("mem.reads", {{"vault", "3"}}).add(7);
+  R.gauge("phase.row_hit_rate").set(0.9921875);
+  // A value that needs all 17 significant digits to survive.
+  R.gauge("gauge.awkward").set(0.1 + 0.2);
+  MetricHistogram &H = R.histogram("serve.latency_ms", 0.5, 16);
+  H.observe(0.25);
+  H.observe(7.75);
+  H.observe(1e9); // overflow bucket
+
+  const MetricsSnapshot Before = R.snapshot();
+  std::ostringstream OS;
+  Before.writeJson(OS);
+
+  std::istringstream In(OS.str());
+  MetricsSnapshot After;
+  std::string Error;
+  ASSERT_TRUE(MetricsSnapshot::parseJson(In, After, &Error)) << Error;
+  EXPECT_TRUE(Before == After);
+
+  // And the re-serialization is byte-identical - what the golden harness
+  // relies on.
+  std::ostringstream OS2;
+  After.writeJson(OS2);
+  EXPECT_EQ(OS.str(), OS2.str());
+}
+
+TEST(MetricsSnapshot, ParseRejectsMalformedInput) {
+  MetricsSnapshot Out;
+  std::string Error;
+  std::istringstream NotJson("hello");
+  EXPECT_FALSE(MetricsSnapshot::parseJson(NotJson, Out, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(MetricsRegistry, MergeSemantics) {
+  MetricsRegistry A, B;
+  A.counter("c").add(10);
+  B.counter("c").add(32);
+  B.counter("only_b").add(1);
+  A.gauge("g").set(3.0);
+  B.gauge("g").set(7.0);
+  A.histogram("h", 1.0, 4).observe(1.0);
+  B.histogram("h", 1.0, 4).observe(1.0);
+  B.histogram("h", 1.0, 4).observe(3.0);
+
+  A.mergeFrom(B);
+  EXPECT_EQ(A.findCounter("c")->value(), 42u);      // counters add
+  EXPECT_EQ(A.findCounter("only_b")->value(), 1u);  // absent ones appear
+  EXPECT_DOUBLE_EQ(A.findGauge("g")->value(), 7.0); // gauges take max
+  const MetricHistogram *H = A.findHistogram("h");
+  ASSERT_NE(H, nullptr); // histograms add bucketwise
+  EXPECT_EQ(H->bucketCount(1), 2u);
+  EXPECT_EQ(H->bucketCount(3), 1u);
+  EXPECT_EQ(H->count(), 3u);
+}
+
+TEST(MetricsRegistry, ShardedMergeIsThreadCountInvariant) {
+  // The sweep pattern: each shard owns a registry, the caller merges them
+  // in shard order afterwards. The merged snapshot must be byte-identical
+  // for every thread count.
+  const std::size_t NumShards = 8;
+  auto RunSharded = [NumShards](unsigned Threads) {
+    std::vector<std::unique_ptr<MetricsRegistry>> Shards;
+    for (std::size_t I = 0; I != NumShards; ++I)
+      Shards.push_back(std::make_unique<MetricsRegistry>());
+    ThreadPool Pool(Threads);
+    Pool.parallelFor(NumShards, [&](std::size_t I) {
+      MetricsRegistry &R = *Shards[I];
+      R.counter("sweep.cells").add(1);
+      R.counter("sweep.ops", {{"shard", std::to_string(I)}}).add(100 + I);
+      R.gauge("sweep.best_gbps").set(10.0 + static_cast<double>(I));
+      MetricHistogram &H = R.histogram("sweep.latency_ms", 1.0, 64);
+      for (std::uint64_t S = 0; S != 10; ++S)
+        H.observe(static_cast<double>((I * 7 + S) % 64));
+    });
+    MetricsRegistry Merged;
+    for (const auto &Shard : Shards)
+      Merged.mergeFrom(*Shard);
+    std::ostringstream OS;
+    Merged.writeJson(OS);
+    return OS.str();
+  };
+
+  const std::string Reference = RunSharded(1);
+  for (unsigned Threads : {2u, 4u, 8u})
+    EXPECT_EQ(RunSharded(Threads), Reference) << Threads << " threads";
+}
+
+TEST(SloTrackerExport, HistogramPercentilesAgreeWithSummary) {
+  // Feed one tracker, export it, and check the serve.latency_ms
+  // histogram reproduces the exact-sample percentiles to bucket
+  // granularity (integer-ms latencies make the match exact).
+  SloTracker Tracker;
+  for (std::uint64_t I = 0; I != 100; ++I) {
+    JobOutcome O;
+    O.Job.Id = I;
+    O.Job.Arrival = 0;
+    O.DispatchTime = 0;
+    O.CompleteTime = (1 + I % 50) * PicosPerMilli; // 1..50 ms, integer
+    O.Vaults = 1;
+    Tracker.recordCompletion(O);
+  }
+  const SloSummary S = Tracker.summarize(PicosPerSecond);
+
+  MetricsRegistry R;
+  Tracker.exportTo(R, "fcfs", PicosPerSecond);
+  const MetricHistogram *H =
+      R.findHistogram("serve.latency_ms", {{"policy", "fcfs"}});
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->count(), 100u);
+  EXPECT_DOUBLE_EQ(H->percentile(0.50), S.P50LatencyMs);
+  EXPECT_DOUBLE_EQ(H->percentile(0.99), S.P99LatencyMs);
+  EXPECT_EQ(R.findCounter("serve.completed", {{"policy", "fcfs"}})->value(),
+            100u);
+}

@@ -1,0 +1,249 @@
+//===- tests/obs_trace_test.cpp - Tracer + golden-trace regression --------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Three layers of coverage:
+//
+//  1. Tracer mechanics: category filtering, bounded-buffer overflow (drop
+//     counter set, retained prefix never reordered), zero events when
+//     disabled, Chrome JSON shape.
+//  2. Determinism: the digest of a 64x64 optimized run is identical when
+//     the run executes inside ThreadPool shards at any thread count.
+//  3. The golden file: tests/golden/trace_64x64_optimized.txt pins event
+//     ordering, event timing and counter values of the small canonical
+//     run. Rerun with FFT3D_UPDATE_GOLDEN=1 to rewrite it after an
+//     intentional timing-model change, then review the diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Fft2dProcessor.h"
+#include "obs/Metrics.h"
+#include "obs/TraceDigest.h"
+#include "obs/Tracer.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+/// The canonical golden run: the full optimized 64x64 simulation with
+/// every category enabled, metrics exported alongside.
+std::string goldenDigest() {
+  Tracer Trace;
+  MetricsRegistry Metrics;
+  Fft2dProcessor Processor(SystemConfig::forProblemSize(64));
+  Processor.setObservability(&Trace, &Metrics, 1);
+  (void)Processor.runOptimized();
+  const MetricsSnapshot Snap = Metrics.snapshot();
+  return traceDigest(Trace, &Snap);
+}
+
+std::string goldenPath() {
+  return std::string(FFT3D_GOLDEN_DIR) + "/trace_64x64_optimized.txt";
+}
+
+} // namespace
+
+TEST(Tracer, CategoryFilterDropsAtRecordTime) {
+  Tracer T(TraceCatMem | TraceCatFault);
+  EXPECT_TRUE(T.wants(TraceCatMem));
+  EXPECT_TRUE(T.wants(TraceCatFault));
+  EXPECT_FALSE(T.wants(TraceCatPhase));
+  EXPECT_FALSE(T.wants(TraceCatServe));
+
+  T.span(TraceCatMem, "read", 0, 0, 100, 50);
+  T.span(TraceCatPhase, "row_phase", 0, 0, 0, 1000); // filtered
+  T.instant(TraceCatServe, "job_arrive", 1, 0, 10);  // filtered
+  T.instant(TraceCatFault, "ecc_retry", 0, 3, 200, "req", 7);
+  ASSERT_EQ(T.events().size(), 2u);
+  EXPECT_STREQ(T.events()[0].Name, "read");
+  EXPECT_STREQ(T.events()[1].Name, "ecc_retry");
+  // Filtered events are not "dropped": that counter means overflow only.
+  EXPECT_EQ(T.dropped(), 0u);
+}
+
+TEST(Tracer, OverflowCountsDropsAndKeepsPrefixOrder) {
+  const std::size_t Cap = 16;
+  Tracer Small(TraceCatAll, Cap);
+  Tracer Unbounded;
+  for (std::uint64_t I = 0; I != 24; ++I) {
+    // Non-monotone timestamps make any reordering of the retained
+    // prefix visible.
+    const Picos Ts = (I * 37) % 100;
+    Small.instant(TraceCatMem, "e", 0, 0, Ts, "i", I);
+    Unbounded.instant(TraceCatMem, "e", 0, 0, Ts, "i", I);
+  }
+  ASSERT_EQ(Small.events().size(), Cap);
+  EXPECT_EQ(Small.dropped(), 24u - Cap);
+  EXPECT_EQ(Unbounded.dropped(), 0u);
+  // The retained events are exactly the uncapped run's first Cap events,
+  // in the same order - full events, not evicted or reordered survivors.
+  for (std::size_t I = 0; I != Cap; ++I) {
+    EXPECT_EQ(Small.events()[I].Ts, Unbounded.events()[I].Ts) << I;
+    EXPECT_EQ(Small.events()[I].Arg0, Unbounded.events()[I].Arg0) << I;
+  }
+
+  // clear() resets both the buffer and the drop counter.
+  Small.clear();
+  EXPECT_EQ(Small.events().size(), 0u);
+  EXPECT_EQ(Small.dropped(), 0u);
+}
+
+TEST(Tracer, OverflowedTraceExportsDropCounter) {
+  Tracer Small(TraceCatAll, 4);
+  for (std::uint64_t I = 0; I != 10; ++I)
+    Small.instant(TraceCatMem, "e", 0, 0, I);
+  std::ostringstream OS;
+  Small.writeChromeTrace(OS);
+  EXPECT_NE(OS.str().find("fft3d_dropped_events"), std::string::npos);
+  EXPECT_NE(OS.str().find("\"dropped\":6"), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracingAddsNoEventsAndChangesNoResults) {
+  // The untraced run and the traced run of the same simulation must
+  // agree exactly: tracing is observation, never perturbation.
+  Fft2dProcessor Plain(SystemConfig::forProblemSize(64));
+  const AppReport Untraced = Plain.runOptimized();
+
+  Tracer Trace;
+  Fft2dProcessor Traced(SystemConfig::forProblemSize(64));
+  Traced.setObservability(&Trace, nullptr);
+  const AppReport WithTrace = Traced.runOptimized();
+
+  EXPECT_GT(Trace.events().size(), 0u);
+  EXPECT_EQ(Untraced.RowPhase.Elapsed, WithTrace.RowPhase.Elapsed);
+  EXPECT_EQ(Untraced.ColPhase.Elapsed, WithTrace.ColPhase.Elapsed);
+  EXPECT_EQ(Untraced.RowPhase.BytesRead, WithTrace.RowPhase.BytesRead);
+  EXPECT_EQ(Untraced.RowPhase.BytesWritten, WithTrace.RowPhase.BytesWritten);
+  EXPECT_DOUBLE_EQ(Untraced.AppThroughputGBps, WithTrace.AppThroughputGBps);
+
+  // A tracer whose mask selects nothing records nothing - the producers'
+  // wants() guard rejects every event before marshalling.
+  Tracer Off(0);
+  Fft2dProcessor Masked(SystemConfig::forProblemSize(64));
+  Masked.setObservability(&Off, nullptr);
+  const AppReport WithMask = Masked.runOptimized();
+  EXPECT_EQ(Off.events().size(), 0u);
+  EXPECT_EQ(Off.dropped(), 0u);
+  EXPECT_EQ(Untraced.RowPhase.Elapsed, WithMask.RowPhase.Elapsed);
+}
+
+TEST(Tracer, CategoryFilterOnRealRunExcludesOtherCats) {
+  Tracer MemOnly(TraceCatMem);
+  Fft2dProcessor Processor(SystemConfig::forProblemSize(64));
+  Processor.setObservability(&MemOnly, nullptr);
+  (void)Processor.runOptimized();
+  ASSERT_GT(MemOnly.events().size(), 0u);
+  for (const TraceEvent &E : MemOnly.events())
+    EXPECT_EQ(E.Cat, TraceCatMem) << E.Name;
+}
+
+TEST(Tracer, ChromeTraceJsonShape) {
+  Tracer Trace;
+  Fft2dProcessor Processor(SystemConfig::forProblemSize(64));
+  Processor.setObservability(&Trace, nullptr, 1);
+  (void)Processor.runOptimized();
+
+  std::ostringstream OS;
+  Trace.writeChromeTrace(OS);
+  const std::string Json = OS.str();
+
+  // Envelope Perfetto/chrome://tracing expects.
+  EXPECT_EQ(Json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(Json.substr(Json.size() - 4), "\n]}\n");
+  // Track-name metadata for the optimized process group and its vaults.
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("fft2d optimized"), std::string::npos);
+  EXPECT_NE(Json.find("vault 0"), std::string::npos);
+  // Instants carry a scope, spans carry a duration.
+  EXPECT_NE(Json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":"), std::string::npos);
+
+  // Event timestamps are nondecreasing in file order (the writer sorts).
+  std::istringstream Lines(Json);
+  std::string Line;
+  double LastTs = -1.0;
+  std::size_t Seen = 0;
+  while (std::getline(Lines, Line)) {
+    const std::size_t Pos = Line.find("\"ts\":");
+    if (Pos == std::string::npos)
+      continue;
+    const double Ts = std::strtod(Line.c_str() + Pos + 5, nullptr);
+    EXPECT_GE(Ts, LastTs);
+    LastTs = Ts;
+    ++Seen;
+  }
+  EXPECT_EQ(Seen, Trace.events().size());
+}
+
+TEST(TraceDigest, ShardInvariantAcrossThreadCounts) {
+  // Run the canonical traced simulation inside ThreadPool shards at
+  // K = 1, 2, 4, 8 threads: every cell must produce the byte-identical
+  // digest. This is the determinism claim the golden file rests on -
+  // which OS thread hosts a simulation must be unobservable.
+  const std::string Reference = goldenDigest();
+  ASSERT_FALSE(Reference.empty());
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> Digests(4);
+    ThreadPool Pool(Threads);
+    Pool.parallelFor(Digests.size(),
+                     [&](std::size_t I) { Digests[I] = goldenDigest(); });
+    for (std::size_t I = 0; I != Digests.size(); ++I)
+      EXPECT_EQ(Digests[I], Reference)
+          << "cell " << I << " at " << Threads << " threads";
+  }
+}
+
+TEST(TraceDigest, MatchesGoldenFile) {
+  const std::string Digest = goldenDigest();
+  const std::string Path = goldenPath();
+
+  if (std::getenv("FFT3D_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::binary);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Digest;
+    GTEST_SKIP() << "updated " << Path;
+  }
+
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good())
+      << "missing golden file " << Path
+      << " - regenerate with FFT3D_UPDATE_GOLDEN=1";
+  std::ostringstream Golden;
+  Golden << In.rdbuf();
+
+  // Byte-identical, and on mismatch report the first diverging line so
+  // the failure is diagnosable without a local diff.
+  if (Digest != Golden.str()) {
+    std::istringstream A(Golden.str()), B(Digest);
+    std::string LineA, LineB;
+    std::size_t LineNo = 1;
+    while (true) {
+      const bool HasA = static_cast<bool>(std::getline(A, LineA));
+      const bool HasB = static_cast<bool>(std::getline(B, LineB));
+      if (!HasA && !HasB)
+        break;
+      if (!HasA || !HasB || LineA != LineB) {
+        FAIL() << "golden mismatch at line " << LineNo << "\n  golden: "
+               << (HasA ? LineA : "<eof>") << "\n  actual: "
+               << (HasB ? LineB : "<eof>")
+               << "\nIf the timing-model change is intentional, rerun with "
+                  "FFT3D_UPDATE_GOLDEN=1 and review the diff.";
+      }
+      ++LineNo;
+    }
+    FAIL() << "digest differs from golden file in length only";
+  }
+  SUCCEED();
+}

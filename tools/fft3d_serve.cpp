@@ -23,6 +23,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "fault/FaultSpec.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "serve/ServeSimulator.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
@@ -53,6 +55,11 @@ struct Cli {
   bool ShedInfeasible = false;
   unsigned Vaults = 16;
   std::string FaultsFile;
+  /// Chrome trace_event JSON output path; empty disables tracing.
+  std::string TraceFile;
+  std::uint32_t TraceCats = TraceCatAll;
+  /// Metrics snapshot JSON output path; empty disables the registry.
+  std::string MetricsFile;
   /// Worker threads for running the per-policy simulations concurrently
   /// (0 = hardware concurrency). Each policy gets its own workload and
   /// simulator, so the table is identical for any value.
@@ -66,7 +73,8 @@ struct Cli {
                "  [--partitions P] [--aging-ms MS] [--mix mixed|small|large]\n"
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
                "  [--shed-infeasible] [--vaults V] [--faults SPECFILE]\n"
-               "  [--threads K]\n",
+               "  [--threads K] [--trace FILE]\n"
+               "  [--trace-cats mem,phase,serve,fault|all] [--metrics FILE]\n",
                Prog);
   std::exit(2);
 }
@@ -125,6 +133,16 @@ Cli parse(int Argc, char **Argv) {
       C.FaultsFile = Value;
     else if (consumeValue(Argc, Argv, I, "--threads", &Value))
       C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    else if (consumeValue(Argc, Argv, I, "--trace-cats", &Value)) {
+      std::string Error;
+      if (!parseTraceCategories(Value, C.TraceCats, &Error)) {
+        std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
+        std::exit(2);
+      }
+    } else if (consumeValue(Argc, Argv, I, "--trace", &Value))
+      C.TraceFile = Value;
+    else if (consumeValue(Argc, Argv, I, "--metrics", &Value))
+      C.MetricsFile = Value;
     else if (consumeFlag(Argv, I, "--shed-infeasible"))
       C.ShedInfeasible = true;
     else
@@ -264,7 +282,17 @@ int main(int Argc, char **Argv) {
   TableWriter Table(Headers);
   const std::vector<PolicyKind> Kinds = policiesFor(C.Policy);
   std::vector<ServeResult> Results(Kinds.size());
-  ThreadPool Pool(ThreadPool::resolveThreads(C.Threads));
+  std::unique_ptr<Tracer> Trace;
+  if (!C.TraceFile.empty())
+    Trace = std::make_unique<Tracer>(C.TraceCats);
+  std::unique_ptr<MetricsRegistry> Metrics;
+  if (!C.MetricsFile.empty())
+    Metrics = std::make_unique<MetricsRegistry>();
+  // The tracer is single-threaded by contract: tracing forces the
+  // policy runs sequential (results are identical either way).
+  const unsigned Threads =
+      Trace ? 1u : ThreadPool::resolveThreads(C.Threads);
+  ThreadPool Pool(Threads);
   // Fill the service-time memo once up front so concurrent policy runs
   // hit a warm cache instead of racing to duplicate the same simulations.
   {
@@ -280,9 +308,23 @@ int main(int Argc, char **Argv) {
   Pool.parallelFor(Kinds.size(), [&](std::size_t I) {
     const auto Policy = createPolicy(Kinds[I], Options);
     const std::unique_ptr<Workload> Load = MakeLoad();
-    ServeSimulator Sim(Config, Model);
+    // Each policy run gets its own process track in the timeline.
+    ServeConfig RunConfig = Config;
+    RunConfig.Trace = Trace.get();
+    RunConfig.TracePid = static_cast<std::uint32_t>(I);
+    ServeSimulator Sim(RunConfig, Model);
     Results[I] = Sim.run(*Load, *Policy);
   });
+  if (Metrics) {
+    for (const ServeResult &R : Results)
+      R.Tracker.exportTo(*Metrics, R.PolicyName, R.EndTime);
+    if (Config.Health) {
+      Picos LastEnd = 0;
+      for (const ServeResult &R : Results)
+        LastEnd = std::max(LastEnd, R.EndTime);
+      Config.Health->exportTo(*Metrics, LastEnd);
+    }
+  }
   for (const ServeResult &R : Results) {
     const SloSummary &S = R.Summary;
     std::vector<std::string> Row = {
@@ -326,6 +368,30 @@ int main(int Argc, char **Argv) {
                     Model.estimate(T.N, Share).Plan.W),
                 static_cast<unsigned long long>(
                     Model.estimate(T.N, Share).Plan.H));
+  }
+
+  if (Trace) {
+    std::ofstream Out(C.TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   C.TraceFile.c_str());
+      return 1;
+    }
+    Trace->writeChromeTrace(Out);
+    std::printf("\nwrote %zu trace events to %s (%llu dropped)\n",
+                Trace->events().size(), C.TraceFile.c_str(),
+                static_cast<unsigned long long>(Trace->dropped()));
+  }
+  if (Metrics) {
+    std::ofstream Out(C.MetricsFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write metrics '%s'\n",
+                   C.MetricsFile.c_str());
+      return 1;
+    }
+    Metrics->writeJson(Out);
+    std::printf("wrote %zu metrics to %s\n", Metrics->size(),
+                C.MetricsFile.c_str());
   }
   return 0;
 }

@@ -26,6 +26,8 @@
 #include "core/LayoutEvaluator.h"
 #include "fault/FaultSpec.h"
 #include "mem3d/TraceFile.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "support/TableWriter.h"
 
 #include <cstdio>
@@ -33,6 +35,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 using namespace fft3d;
@@ -53,6 +56,11 @@ struct Cli {
   std::string ReplayFile;
   bool ReplayAsap = false;
   std::string FaultsFile;
+  /// Chrome trace_event JSON output path; empty disables tracing.
+  std::string TraceFile;
+  std::uint32_t TraceCats = TraceCatAll;
+  /// Metrics snapshot JSON output path; empty disables the registry.
+  std::string MetricsFile;
   /// Worker threads for the tuner sweeps (0 = hardware concurrency).
   /// Each candidate owns its simulator, so the output is identical for
   /// any value.
@@ -70,7 +78,9 @@ struct Cli {
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
                "  [--replay=FILE [--replay-asap]] [--seed N]\n"
-               "  [--faults SPECFILE] [--threads K]\n",
+               "  [--faults SPECFILE] [--threads K]\n"
+               "  [--trace=FILE] [--trace-cats=mem,phase,serve,fault|all]\n"
+               "  [--metrics=FILE]\n",
                Prog);
   std::exit(2);
 }
@@ -166,6 +176,16 @@ Cli parse(int Argc, char **Argv) {
       if (!Value)
         usage(Argv[0]);
       C.FaultsFile = Value;
+    } else if (consume(Arg, "--trace-cats", &Value) && Value) {
+      std::string Error;
+      if (!parseTraceCategories(Value, C.TraceCats, &Error)) {
+        std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
+        std::exit(2);
+      }
+    } else if (consume(Arg, "--trace", &Value) && Value) {
+      C.TraceFile = Value;
+    } else if (consume(Arg, "--metrics", &Value) && Value) {
+      C.MetricsFile = Value;
     } else if (consume(Arg, "--replay", &Value) && Value) {
       C.ReplayFile = Value;
     } else if (consume(Arg, "--replay-asap", &Value)) {
@@ -244,13 +264,64 @@ void printReport(const char *Name, const AppReport &R) {
                 static_cast<unsigned long long>(R.ReplannedPlan.H),
                 R.ReplannedPlan.VaultsParallel,
                 formatDuration(R.MigrationTime).c_str());
+  // Per-phase fault counters, surfaced from the PhaseResult so the
+  // engine's per-phase stats reset cannot discard them.
+  const auto FaultEvents = [](const PhaseResult &P) {
+    return P.EccRetries + P.ThrottleStalls + P.OfflineRedirects +
+           P.OfflineFailed;
+  };
+  if (FaultEvents(R.RowPhase) + FaultEvents(R.ColPhase) != 0)
+    std::printf("  fault events row/col: ECC %llu/%llu, throttle "
+                "%llu/%llu, redirects %llu/%llu, failed %llu/%llu\n",
+                static_cast<unsigned long long>(R.RowPhase.EccRetries),
+                static_cast<unsigned long long>(R.ColPhase.EccRetries),
+                static_cast<unsigned long long>(R.RowPhase.ThrottleStalls),
+                static_cast<unsigned long long>(R.ColPhase.ThrottleStalls),
+                static_cast<unsigned long long>(R.RowPhase.OfflineRedirects),
+                static_cast<unsigned long long>(R.ColPhase.OfflineRedirects),
+                static_cast<unsigned long long>(R.RowPhase.OfflineFailed),
+                static_cast<unsigned long long>(R.ColPhase.OfflineFailed));
   std::printf("\n");
+}
+
+/// Writes the collected trace / metrics artifacts; exits on I/O failure.
+void writeObsOutputs(const Cli &C, const Tracer *Trace,
+                     const MetricsRegistry *Metrics) {
+  if (Trace) {
+    std::ofstream Out(C.TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   C.TraceFile.c_str());
+      std::exit(1);
+    }
+    Trace->writeChromeTrace(Out);
+    std::printf("wrote %zu trace events to %s (%llu dropped)\n",
+                Trace->events().size(), C.TraceFile.c_str(),
+                static_cast<unsigned long long>(Trace->dropped()));
+  }
+  if (Metrics) {
+    std::ofstream Out(C.MetricsFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write metrics '%s'\n",
+                   C.MetricsFile.c_str());
+      std::exit(1);
+    }
+    Metrics->writeJson(Out);
+    std::printf("wrote %zu metrics to %s\n", Metrics->size(),
+                C.MetricsFile.c_str());
+  }
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   const Cli C = parse(Argc, Argv);
+  std::unique_ptr<Tracer> Trace;
+  if (!C.TraceFile.empty())
+    Trace = std::make_unique<Tracer>(C.TraceCats);
+  std::unique_ptr<MetricsRegistry> Metrics;
+  if (!C.MetricsFile.empty())
+    Metrics = std::make_unique<MetricsRegistry>();
   const AnalyticalModel Model(C.Config);
   std::string SeedNote;
   if (C.SeedSet)
@@ -284,8 +355,13 @@ int main(int Argc, char **Argv) {
     }
     EventQueue Events;
     Memory3D Mem(Events, C.Config.Mem);
+    Mem.setTracer(Trace.get());
+    if (Trace)
+      Trace->setProcessName(0, "replay");
     const ReplayResult R = replayTrace(Mem, Events, Records,
                                        /*HonorTimestamps=*/!C.ReplayAsap);
+    if (Metrics)
+      Mem.stats().exportTo(*Metrics);
     std::printf("replayed %llu requests (%s) in %s -> %.2f GB/s, "
                 "%llu activations, hit rate %.1f%%\n",
                 static_cast<unsigned long long>(R.Requests),
@@ -294,14 +370,22 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(
                     Mem.stats().total().RowActivations),
                 100.0 * Mem.stats().total().hitRate());
+    writeObsOutputs(C, Trace.get(), Metrics.get());
     return 0;
   }
 
   Fft2dProcessor Processor(C.Config);
-  if (C.Arch == "baseline" || C.Arch == "both")
+  // Distinct pids keep the two architectures on separate track groups
+  // in the exported timeline.
+  if (C.Arch == "baseline" || C.Arch == "both") {
+    Processor.setObservability(Trace.get(), Metrics.get(), /*TracePid=*/0);
     printReport("baseline", Processor.runBaseline());
-  if (C.Arch == "optimized" || C.Arch == "both")
+  }
+  if (C.Arch == "optimized" || C.Arch == "both") {
+    Processor.setObservability(Trace.get(), Metrics.get(), /*TracePid=*/1);
     printReport("optimized", Processor.runOptimized());
+  }
+  writeObsOutputs(C, Trace.get(), Metrics.get());
 
   if (C.Energy) {
     const AutoTuner Tuner(C.Config,
