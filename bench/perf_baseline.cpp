@@ -4,10 +4,12 @@
 //
 // Measures the library's own speed (not the modelled hardware): event
 // core throughput, full table2-style simulation wall time per problem
-// size, FFT kernel MFLOPS at each SIMD level, and the parallel sweep
-// executor's 1-vs-N scaling. Emits machine-readable JSON (default
-// BENCH_perf.json) so CI can archive a perf history, plus a short
-// human-readable summary.
+// size, the vault-sharded engine's single-run scaling over --sim-threads
+// (with a built-in 1-vs-4 digest equality check - the binary exits
+// nonzero if the parallel engine ever diverges), FFT kernel MFLOPS at
+// each SIMD level, and the parallel sweep executor's 1-vs-N scaling.
+// Emits machine-readable JSON (default BENCH_perf.json) so CI can
+// archive a perf history, plus a short human-readable summary.
 //
 // Usage: perf_baseline [--threads K] [--json PATH] [--quick]
 //        [--trace PATH]   (also emit a sample Chrome trace of one
@@ -20,6 +22,7 @@
 #include "core/AutoTuner.h"
 #include "fft/Fft1d.h"
 #include "fft/SimdKernels.h"
+#include "obs/TraceDigest.h"
 #include "obs/Tracer.h"
 #include "sim/EventQueue.h"
 #include "support/Random.h"
@@ -83,6 +86,50 @@ double simWallSeconds(std::uint64_t N, unsigned Repeats) {
     (void)Opt;
     return secondsSince(Start);
   });
+}
+
+/// One row of the sharded-engine scaling table: wall time and simulator
+/// event throughput of a full optimized run at \p N with \p SimThreads
+/// vault-shard workers.
+struct ShardedSimRow {
+  std::uint64_t N = 0;
+  unsigned SimThreads = 0;
+  double Seconds = 0.0;
+  double EventsPerSec = 0.0;
+};
+
+ShardedSimRow shardedSimRow(std::uint64_t N, unsigned SimThreads,
+                            unsigned Repeats) {
+  ShardedSimRow Row;
+  Row.N = N;
+  Row.SimThreads = SimThreads;
+  std::uint64_t Events = 0;
+  Row.Seconds = medianOf(Repeats, [N, SimThreads, &Events] {
+    SystemConfig Config = SystemConfig::forProblemSize(N);
+    Config.SimThreads = SimThreads;
+    Fft2dProcessor Processor(Config);
+    const auto Start = Clock::now();
+    const AppReport Opt = Processor.runOptimized();
+    Events = Opt.RowPhase.SimEvents + Opt.ColPhase.SimEvents;
+    return secondsSince(Start);
+  });
+  Row.EventsPerSec = static_cast<double>(Events) / Row.Seconds;
+  return Row;
+}
+
+/// Digest of a traced optimized run at \p SimThreads workers. The
+/// sharded engine's contract is byte-identical behaviour at every
+/// thread count; comparing two digests here makes the benchmark binary
+/// itself a regression check, so CI catches divergence even in the
+/// Release (assertion-free) build the sanitizer jobs never cover.
+std::string shardedRunDigest(std::uint64_t N, unsigned SimThreads) {
+  SystemConfig Config = SystemConfig::forProblemSize(N);
+  Config.SimThreads = SimThreads;
+  Fft2dProcessor Processor(Config);
+  Tracer Trace;
+  Processor.setObservability(&Trace, nullptr);
+  (void)Processor.runOptimized();
+  return traceDigest(Trace);
 }
 
 /// FFT throughput in MFLOPS at a given dispatch level (5 N log2 N flops
@@ -173,7 +220,44 @@ int main(int Argc, char **Argv) {
               << jsonNum(SimTimes.back().second) << " s\n";
   }
 
-  // 3. FFT MFLOPS, scalar and best level.
+  // 3. Sharded-engine scaling: the same single-run workload with the
+  // vault shards spread over --sim-threads workers. Byte-identical
+  // results are a hard invariant (checked below); the wall time shows
+  // what the parallel engine buys on this machine.
+  const std::vector<std::uint64_t> ShardSizes =
+      Quick ? std::vector<std::uint64_t>{1024}
+            : std::vector<std::uint64_t>{2048, 4096};
+  const std::vector<unsigned> ShardThreads =
+      Quick ? std::vector<unsigned>{1, 4} : std::vector<unsigned>{1, 2, 4, 8};
+  std::vector<ShardedSimRow> ShardRows;
+  for (std::uint64_t N : ShardSizes) {
+    double Base = 0.0;
+    for (unsigned K : ShardThreads) {
+      ShardRows.push_back(shardedSimRow(N, K, Repeats));
+      const ShardedSimRow &Row = ShardRows.back();
+      if (K == 1)
+        Base = Row.Seconds;
+      std::cout << "sim " << N << "x" << N << " sim-threads " << K << ": "
+                << jsonNum(Row.Seconds) << " s, "
+                << jsonNum(Row.EventsPerSec / 1e6) << " M events/s ("
+                << jsonNum(Base / Row.Seconds) << "x)\n";
+    }
+  }
+
+  // Determinism self-check: the parallel engine must reproduce the
+  // sequential trace byte for byte. A mismatch is a correctness bug, not
+  // a perf regression - fail the whole binary.
+  const std::string Digest1 = shardedRunDigest(512, 1);
+  const std::string Digest4 = shardedRunDigest(512, 4);
+  const bool DigestsMatch = Digest1 == Digest4;
+  std::cout << "sim-threads determinism (512x512, 1 vs 4): "
+            << (DigestsMatch ? "identical" : "MISMATCH") << "\n";
+  if (!DigestsMatch) {
+    std::cerr << "perf_baseline: sharded engine diverged from sequential\n";
+    return 1;
+  }
+
+  // 4. FFT MFLOPS, scalar and best level.
   const SimdLevel Best = detectSimdLevel();
   const double ScalarMflops = fftMflops(SimdLevel::Scalar, Repeats);
   const double BestMflops =
@@ -183,7 +267,7 @@ int main(int Argc, char **Argv) {
             << jsonNum(BestMflops) << " MFLOPS " << simdLevelName(Best)
             << "\n";
 
-  // 4. Sweep executor scaling: the autotuner's full grid, 1 vs N threads.
+  // 5. Sweep executor scaling: the autotuner's full grid, 1 vs N threads.
   const std::uint64_t SweepN = Quick ? 1024 : 2048;
   const double Sweep1 = sweepSeconds(SweepN, 1, Repeats);
   const double SweepN_ = sweepSeconds(SweepN, Threads, Repeats);
@@ -204,6 +288,16 @@ int main(int Argc, char **Argv) {
     Out << (I ? ", " : "") << "{\"n\": " << SimTimes[I].first
         << ", \"optimized_s\": " << jsonNum(SimTimes[I].second) << "}";
   Out << "],\n";
+  Out << "  \"sim_threads\": [";
+  for (std::size_t I = 0; I != ShardRows.size(); ++I)
+    Out << (I ? ", " : "") << "{\"n\": " << ShardRows[I].N
+        << ", \"sim_threads\": " << ShardRows[I].SimThreads
+        << ", \"optimized_s\": " << jsonNum(ShardRows[I].Seconds)
+        << ", \"events_per_sec\": " << jsonNum(ShardRows[I].EventsPerSec)
+        << "}";
+  Out << "],\n";
+  Out << "  \"sim_digest_match\": " << (DigestsMatch ? "true" : "false")
+      << ",\n";
   Out << "  \"fft_mflops\": {\"scalar\": " << jsonNum(ScalarMflops) << ", \""
       << simdLevelName(Best) << "\": " << jsonNum(BestMflops) << "},\n";
   Out << "  \"sweep\": {\"n\": " << SweepN << ", \"threads1_s\": "

@@ -12,6 +12,7 @@
 #include "fft/StreamingKernel.h"
 #include "layout/LayoutPlanner.h"
 #include "layout/LinearLayouts.h"
+#include "sim/ShardedEventQueue.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -62,10 +63,14 @@ BatchReport BatchProcessor::run(unsigned Frames) const {
 
   // Stage 1: one phase alone (the pipeline's fill and drain stages).
   {
-    EventQueue Events;
-    Memory3D Mem(Events, Config.Mem);
+    ShardedEventQueue Sharded(Config.Mem.Geo.NumVaults,
+                              conservativeLookahead(Config.Mem.Time),
+                              Config.SimThreads);
+    EventQueue &Events = Sharded.host();
+    Memory3D Mem(Sharded, Config.Mem);
     PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
                        Config.MaxSimOpsPerDirection);
+    Engine.setShardedEngine(&Sharded);
     BlockTrace P2Read(MidA, BlockOrder::ColMajorBlocks);
     BlockTrace P2Write(OutA, BlockOrder::ColMajorBlocks);
     const PhaseResult Lone = Engine.run(
@@ -77,10 +82,14 @@ BatchReport BatchProcessor::run(unsigned Frames) const {
 
   // Stage 2: the overlapped steady stage - four streams on one memory.
   {
-    EventQueue Events;
-    Memory3D Mem(Events, Config.Mem);
+    ShardedEventQueue Sharded(Config.Mem.Geo.NumVaults,
+                              conservativeLookahead(Config.Mem.Time),
+                              Config.SimThreads);
+    EventQueue &Events = Sharded.host();
+    Memory3D Mem(Sharded, Config.Mem);
     PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
                        Config.MaxSimOpsPerDirection);
+    Engine.setShardedEngine(&Sharded);
     // Frame i: column phase over MidA -> OutA.
     BlockTrace P2Read(MidA, BlockOrder::ColMajorBlocks);
     BlockTrace P2Write(OutA, BlockOrder::ColMajorBlocks);

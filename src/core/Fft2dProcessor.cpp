@@ -10,6 +10,7 @@
 #include "fft/StreamingKernel.h"
 #include "layout/LinearLayouts.h"
 #include "permute/ControlUnit.h"
+#include "sim/ShardedEventQueue.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -40,10 +41,18 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   const PhysAddr MidBase = RegionStride;
   const PhysAddr OutBase = 2 * RegionStride;
 
-  EventQueue Events;
-  Memory3D Mem(Events, Config.Mem);
+  // Always the sharded engine, even at SimThreads = 1: the windowed
+  // (when, vault, seq) completion order is the canonical one, and running
+  // every thread count through the same code path is what makes the
+  // determinism claim testable rather than aspirational.
+  ShardedEventQueue Sharded(Config.Mem.Geo.NumVaults,
+                            conservativeLookahead(Config.Mem.Time),
+                            Config.SimThreads);
+  EventQueue &Events = Sharded.host();
+  Memory3D Mem(Sharded, Config.Mem);
   PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
                      Config.MaxSimOpsPerDirection);
+  Engine.setShardedEngine(&Sharded);
   Mem.setTracer(Trace, TracePid);
   Engine.setObservability(Trace, Metrics, TracePid);
   if (Trace)

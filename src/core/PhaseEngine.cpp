@@ -6,6 +6,7 @@
 
 #include "core/PhaseEngine.h"
 
+#include "sim/ShardedEventQueue.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
@@ -162,9 +163,13 @@ PhaseResult PhaseEngine::runStreams(std::vector<StreamParams> Streams) {
                                        Start));
   for (auto &D : Drivers)
     D->pump();
-  Events.run();
 
   PhaseResult Result;
+  Result.SimEvents = Sharded ? Sharded->run() : Events.run();
+  // Sequential again from here; pull the per-vault latency shards into
+  // the device-wide statistic (fixed vault order, so bit-identical for
+  // any thread count) before anything reads it.
+  Mem.stats().foldLatencyShards();
   Picos End = Start;
   for (std::size_t I = 0; I != Drivers.size(); ++I) {
     StreamDriver &D = *Drivers[I];

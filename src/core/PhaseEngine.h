@@ -29,6 +29,8 @@
 
 namespace fft3d {
 
+class ShardedEventQueue;
+
 /// Parameters of one direction (read or write) of a phase.
 struct StreamParams {
   /// Burst stream; nullptr means this direction has no traffic.
@@ -81,6 +83,9 @@ struct PhaseResult {
   std::uint64_t ThrottleStalls = 0;
   std::uint64_t OfflineRedirects = 0;
   std::uint64_t OfflineFailed = 0;
+  /// Simulator events executed for this phase (engine self-throughput;
+  /// not part of the modelled hardware, so not exported to metrics).
+  std::uint64_t SimEvents = 0;
 };
 
 /// Runs phases against a Memory3D instance.
@@ -115,9 +120,17 @@ public:
   /// Names the next run's phase span (sticky; must be a string literal).
   void setPhaseName(const char *Name) { PhaseName = Name; }
 
+  /// Attaches the vault-sharded engine (null detaches): run() then drives
+  /// all shards through the windowed protocol instead of the host queue
+  /// alone, and folds the per-vault latency shards at phase end. \p S
+  /// must be the engine the Memory3D was built on, with host() == the
+  /// queue this PhaseEngine was given.
+  void setShardedEngine(ShardedEventQueue *S) { Sharded = S; }
+
 private:
   Memory3D &Mem;
   EventQueue &Events;
+  ShardedEventQueue *Sharded = nullptr;
   std::uint64_t MaxBytes;
   std::uint64_t MaxOps;
   Tracer *Trace = nullptr;

@@ -55,6 +55,12 @@ struct SystemConfig {
   /// extrapolates from the measured steady-state rate.
   std::uint64_t MaxSimBytesPerDirection = 32ull << 20;
   std::uint64_t MaxSimOpsPerDirection = 200000;
+  /// Worker threads for the vault-sharded parallel simulation engine of
+  /// one run (0 is treated as 1). Distinct from sweep threads: a sweep
+  /// runs many simulations concurrently, SimThreads parallelises the
+  /// vault shards *inside* each simulation. Results are bit-identical
+  /// for every value.
+  unsigned SimThreads = 1;
 
   /// Calibrated default system for an N x N problem.
   static SystemConfig forProblemSize(std::uint64_t N);

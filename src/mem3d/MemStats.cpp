@@ -65,10 +65,44 @@ double MemStats::busUtilization(Picos Elapsed) const {
 void MemStats::enableLatencyHistogram(double BucketNanos,
                                       unsigned NumBuckets) {
   LatencyHist = std::make_unique<Histogram>(BucketNanos, NumBuckets);
+  HistBucketNanos = BucketNanos;
+  HistNumBuckets = NumBuckets;
+  for (LatencyShard &S : LatencyShards)
+    S.Hist = std::make_unique<Histogram>(BucketNanos, NumBuckets);
 }
 
 double MemStats::latencyPercentileNanos(double Fraction) const {
   return LatencyHist ? LatencyHist->percentile(Fraction) : 0.0;
+}
+
+void MemStats::enableLatencyShards() {
+  if (!LatencyShards.empty())
+    return;
+  LatencyShards = std::vector<LatencyShard>(Vaults.size());
+  if (LatencyHist)
+    for (LatencyShard &S : LatencyShards)
+      S.Hist = std::make_unique<Histogram>(HistBucketNanos, HistNumBuckets);
+}
+
+RunningStat &MemStats::latencyShard(unsigned Index) {
+  assert(Index < LatencyShards.size() && "latency shard out of range");
+  return LatencyShards[Index].Stat;
+}
+
+Histogram *MemStats::latencyHistogramShard(unsigned Index) {
+  assert(Index < LatencyShards.size() && "latency shard out of range");
+  return LatencyShards[Index].Hist.get();
+}
+
+void MemStats::foldLatencyShards() {
+  for (LatencyShard &S : LatencyShards) {
+    LatencyStat.merge(S.Stat);
+    S.Stat.reset();
+    if (S.Hist && LatencyHist) {
+      LatencyHist->merge(*S.Hist);
+      S.Hist = std::make_unique<Histogram>(HistBucketNanos, HistNumBuckets);
+    }
+  }
 }
 
 void MemStats::reset() {
@@ -78,6 +112,11 @@ void MemStats::reset() {
   if (LatencyHist)
     enableLatencyHistogram(LatencyHist->bucketWidth(),
                            LatencyHist->numBuckets());
+  for (LatencyShard &S : LatencyShards) {
+    S.Stat.reset();
+    if (S.Hist)
+      S.Hist = std::make_unique<Histogram>(HistBucketNanos, HistNumBuckets);
+  }
 }
 
 namespace {

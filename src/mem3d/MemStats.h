@@ -95,6 +95,26 @@ public:
   /// Latency percentile in nanoseconds (0 when no histogram is enabled).
   double latencyPercentileNanos(double Fraction) const;
 
+  /// Switches latency recording to per-vault shards for the sharded
+  /// parallel engine: each controller feeds only its own vault's
+  /// RunningStat/Histogram (no cross-thread writes), and
+  /// foldLatencyShards() merges them in vault order - a fixed floating-
+  /// point summation order, so the folded result is bit-identical for
+  /// any thread count.
+  void enableLatencyShards();
+  bool latencyShardsEnabled() const { return !LatencyShards.empty(); }
+
+  /// Vault \p Index's latency shard (sharding must be enabled).
+  RunningStat &latencyShard(unsigned Index);
+  /// Vault \p Index's histogram shard, or nullptr when no histogram is
+  /// enabled.
+  Histogram *latencyHistogramShard(unsigned Index);
+
+  /// Merges every shard into the device-wide statistic in vault order
+  /// and empties the shards. No-op when sharding is off; call at phase
+  /// boundaries before reading latencyNanos().
+  void foldLatencyShards();
+
   /// Achieved bandwidth over \p Elapsed, in GB/s.
   double achievedGBps(Picos Elapsed) const;
 
@@ -115,9 +135,21 @@ public:
   void exportTo(MetricsRegistry &Registry) const;
 
 private:
+  /// One vault's private latency accumulator, cache-line padded because
+  /// adjacent vaults' controllers feed them from different threads.
+  struct alignas(64) LatencyShard {
+    RunningStat Stat;
+    std::unique_ptr<Histogram> Hist;
+  };
+
   std::vector<VaultStats> Vaults;
   RunningStat LatencyStat;
   std::unique_ptr<Histogram> LatencyHist;
+  std::vector<LatencyShard> LatencyShards;
+  /// Histogram geometry, remembered so enableLatencyShards and
+  /// enableLatencyHistogram compose in either call order.
+  double HistBucketNanos = 0;
+  unsigned HistNumBuckets = 0;
 };
 
 } // namespace fft3d

@@ -6,6 +6,8 @@
 
 #include "mem3d/Memory3D.h"
 
+#include "sim/ShardedEventQueue.h"
+#include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
 #include <algorithm>
@@ -14,11 +16,28 @@
 using namespace fft3d;
 
 Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config)
-    : Events(Events), Config(Config),
+    : Memory3D(Events, Config, nullptr) {}
+
+Memory3D::Memory3D(ShardedEventQueue &Engine, const MemoryConfig &Config)
+    : Memory3D(Engine.host(), Config, &Engine) {}
+
+Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config,
+                   ShardedEventQueue *Sharded)
+    : Events(Events), Sharded(Sharded), Config(Config),
       Mapper(Config.Geo, Config.MapKind, Config.XorHash),
       Stats(Config.Geo.NumVaults) {
   Config.Geo.validate();
   Config.Time.validate();
+  if (Sharded) {
+    if (Sharded->numShards() != Config.Geo.NumVaults)
+      reportFatalError("sharded engine shard count must equal the vault "
+                       "count - one shard per controller");
+    if (Sharded->lookahead() > conservativeLookahead(Config.Time))
+      reportFatalError("sharded engine lookahead exceeds the device's "
+                       "minimum cross-shard latency; completions could "
+                       "land inside an already-executed window");
+    Stats.enableLatencyShards();
+  }
   if (Config.Faults && !Config.Faults->empty())
     Injector =
         std::make_unique<FaultInjector>(*Config.Faults, Config.Geo.NumVaults);
@@ -27,15 +46,46 @@ Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config)
     Vaults.emplace_back(this->Config.Geo, this->Config.Time);
   for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
     Controllers.push_back(std::make_unique<MemoryController>(
-        Events, Vaults[V], this->Config.Geo, this->Config.Time, Config.Sched,
-        Config.Page, Stats.vault(V), Stats, Injector.get(), V));
+        Sharded ? Sharded->shard(V) : Events, Vaults[V], this->Config.Geo,
+        this->Config.Time, Config.Sched, Config.Page, Stats.vault(V), Stats,
+        Injector.get(), V, Sharded));
+}
+
+Memory3D::~Memory3D() {
+  // The barrier hook captures this device; never leave it dangling on an
+  // engine that outlives us.
+  if (Sharded && !ShadowTracers.empty())
+    Sharded->setBarrierHook(nullptr);
 }
 
 void Memory3D::setTracer(Tracer *T, std::uint32_t Pid) {
   Trace = T;
   TracePid = Pid;
-  for (auto &C : Controllers)
-    C->setTracer(T, Pid);
+  if (Sharded) {
+    // Controllers execute on worker threads, so they must not write the
+    // caller's tracer directly: each vault records into a private shadow,
+    // and the window-boundary hook absorbs the shadows in vault order
+    // while the workers are parked. The merged stream is single-writer
+    // and identical for every thread count; its canonical order is
+    // [window's host events][window's vault events, by vault].
+    ShadowTracers.clear();
+    if (T) {
+      for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+        ShadowTracers.push_back(
+            std::make_unique<Tracer>(T->categories(), std::size_t(1) << 12));
+      Sharded->setBarrierHook([this] {
+        for (auto &Shadow : ShadowTracers)
+          Trace->absorb(*Shadow);
+      });
+    } else {
+      Sharded->setBarrierHook(nullptr);
+    }
+    for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+      Controllers[V]->setTracer(T ? ShadowTracers[V].get() : nullptr, Pid);
+  } else {
+    for (auto &C : Controllers)
+      C->setTracer(T, Pid);
+  }
   if (T)
     for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
       T->setThreadName(Pid, V, "vault " + std::to_string(V));
@@ -81,6 +131,21 @@ void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
   }
   if (Observer)
     Observer(Req, Where);
+  if (Sharded) {
+    // Cross into the vault's shard through its inbox; the mail executes
+    // at this exact host timestamp, so the controller sees the same
+    // enqueue time as the sequential engine. Re-deriving the decode in
+    // the shard (cheap, pure) keeps the capture inside the Action's
+    // inline buffer - the submit path stays allocation-free.
+    Sharded->postToShard(
+        Where.Vault, Events.now(),
+        [this, Req, Vault = Where.Vault, Done = std::move(Done)]() mutable {
+          DecodedAddr Where = Mapper.decode(Req.Addr);
+          Where.Vault = Vault;
+          Controllers[Vault]->enqueue(Req, Where, std::move(Done));
+        });
+    return;
+  }
   Controllers[Where.Vault]->enqueue(Req, Where, std::move(Done));
 }
 

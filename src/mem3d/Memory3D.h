@@ -47,6 +47,16 @@ class Memory3D {
 public:
   Memory3D(EventQueue &Events, const MemoryConfig &Config);
 
+  /// Builds the device on the vault-sharded parallel engine: vault V's
+  /// controller schedules into \p Engine's shard V, completions cross
+  /// back to the host shard through the engine's outboxes, and latency
+  /// samples go to per-vault shards folded at phase boundaries. The
+  /// engine must have exactly NumVaults shards and a lookahead no wider
+  /// than the device's real minimum cross-shard latency
+  /// (conservativeLookahead(Time)).
+  Memory3D(ShardedEventQueue &Engine, const MemoryConfig &Config);
+  ~Memory3D();
+
   // Not copyable or movable: controllers hold references into the device.
   Memory3D(const Memory3D &) = delete;
   Memory3D &operator=(const Memory3D &) = delete;
@@ -102,13 +112,24 @@ public:
   }
 
 private:
+  Memory3D(EventQueue &Events, const MemoryConfig &Config,
+           ShardedEventQueue *Sharded);
+
+  /// The host-side queue: submissions, redirect decisions and (in sharded
+  /// mode, via the boundary merge) completions all execute here.
   EventQueue &Events;
+  /// Non-null when built on the sharded engine.
+  ShardedEventQueue *Sharded = nullptr;
   MemoryConfig Config;
   AddressMapper Mapper;
   MemStats Stats;
   std::unique_ptr<FaultInjector> Injector;
   std::vector<Vault> Vaults;
   std::vector<std::unique_ptr<MemoryController>> Controllers;
+  /// Sharded mode only: per-vault shadow tracers the controllers record
+  /// into from their worker threads, absorbed into the user's tracer in
+  /// vault order at every window boundary.
+  std::vector<std::unique_ptr<Tracer>> ShadowTracers;
   RequestObserver Observer;
   std::uint64_t NextRequestId = 0;
   Tracer *Trace = nullptr;

@@ -6,6 +6,7 @@
 
 #include "mem3d/MemoryController.h"
 
+#include "sim/ShardedEventQueue.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -39,10 +40,31 @@ MemoryController::MemoryController(EventQueue &Events, Vault &V,
                                    SchedulePolicy Sched, PagePolicy Page,
                                    VaultStats &Stats, MemStats &DeviceStats,
                                    const FaultInjector *Faults,
-                                   unsigned VaultIndex)
+                                   unsigned VaultIndex, ShardedEventQueue *Port)
     : Events(Events), TheVault(V), Geo(G), Time(T), Sched(Sched), Page(Page),
       Stats(Stats), DeviceStats(DeviceStats), Faults(Faults),
-      VaultIndex(VaultIndex) {}
+      VaultIndex(VaultIndex), Port(Port) {}
+
+void MemoryController::scheduleCompletion(Picos When, MemCallback Done,
+                                          const MemRequest &Req) {
+  auto Fire = [Done = std::move(Done), Req, When] { Done(Req, When); };
+  if (Port)
+    Port->postToHost(VaultIndex, When, std::move(Fire));
+  else
+    Events.scheduleAt(When, std::move(Fire));
+}
+
+void MemoryController::recordLatency(Picos Latency) {
+  if (Port) {
+    DeviceStats.latencyShard(VaultIndex).addSample(picosToNanos(Latency));
+    if (Histogram *Hist = DeviceStats.latencyHistogramShard(VaultIndex))
+      Hist->addSample(picosToNanos(Latency));
+    return;
+  }
+  DeviceStats.recordLatency(Latency);
+  if (Histogram *Hist = DeviceStats.latencyHistogramForUpdate())
+    Hist->addSample(picosToNanos(Latency));
+}
 
 void MemoryController::enqueue(const MemRequest &Req, const DecodedAddr &Where,
                                MemCallback Done) {
@@ -130,9 +152,8 @@ void MemoryController::failOffline(PendingReq &P) {
                    Events.now(), "req", P.Req.Id);
   if (P.Done) {
     P.Req.Failed = true;
-    const Picos FailAt = Events.now() + Time.AccessLatency;
-    Events.scheduleAt(FailAt, [Done = std::move(P.Done), Req = P.Req,
-                               FailAt] { Done(Req, FailAt); });
+    scheduleCompletion(Events.now() + Time.AccessLatency, std::move(P.Done),
+                       P.Req);
   }
 }
 
@@ -199,9 +220,7 @@ Picos MemoryController::issue(PendingReq &P) {
     Stats.BytesRead += P.Req.Bytes;
   }
   Stats.BusBusy += DataEnd - DataStart;
-  DeviceStats.recordLatency(DataEnd - P.EnqueueTime);
-  if (Histogram *Hist = DeviceStats.latencyHistogramForUpdate())
-    Hist->addSample(picosToNanos(DataEnd - P.EnqueueTime));
+  recordLatency(DataEnd - P.EnqueueTime);
 
   if (Trace && Trace->wants(TraceCatMem)) {
     Trace->span(TraceCatMem, P.Req.IsWrite ? "write" : "read", TracePid,
@@ -211,9 +230,7 @@ Picos MemoryController::issue(PendingReq &P) {
                 DataEnd - DataStart, "beats", Beats);
   }
 
-  if (P.Done) {
-    Events.scheduleAt(DataEnd, [Done = std::move(P.Done), Req = P.Req,
-                                DataEnd] { Done(Req, DataEnd); });
-  }
+  if (P.Done)
+    scheduleCompletion(DataEnd, std::move(P.Done), P.Req);
   return DataEnd;
 }

@@ -29,6 +29,8 @@
 
 namespace fft3d {
 
+class ShardedEventQueue;
+
 /// Request selection policy.
 enum class SchedulePolicy {
   /// Strictly first-come, first-served.
@@ -55,11 +57,16 @@ class MemoryController {
 public:
   /// \p Faults may be null (the fault-free fast path); \p VaultIndex is
   /// this controller's vault id, used for per-vault fault queries.
+  /// Under the sharded engine \p Events is this vault's shard queue and
+  /// \p Port is non-null: completions then cross back to the host through
+  /// the port's outbox instead of the local queue, and latency samples go
+  /// to the vault's private shard in \p DeviceStats.
   MemoryController(EventQueue &Events, Vault &V, const Geometry &G,
                    const Timing &T, SchedulePolicy Sched, PagePolicy Page,
                    VaultStats &Stats, MemStats &DeviceStats,
                    const FaultInjector *Faults = nullptr,
-                   unsigned VaultIndex = 0);
+                   unsigned VaultIndex = 0,
+                   ShardedEventQueue *Port = nullptr);
 
   /// Enqueues a request; \p Done fires (via the event queue) when the last
   /// data beat crosses the TSVs.
@@ -110,6 +117,14 @@ private:
   /// and schedules the completion callback. Returns the completion time.
   Picos issue(PendingReq &P);
 
+  /// Routes a completion to the requester: through the sharded port's
+  /// outbox when attached, else the local event queue.
+  void scheduleCompletion(Picos When, MemCallback Done, const MemRequest &Req);
+
+  /// Adds one latency sample; under the sharded engine this feeds the
+  /// vault's private shard so parallel vaults never share an accumulator.
+  void recordLatency(Picos Latency);
+
   EventQueue &Events;
   Vault &TheVault;
   const Geometry &Geo;
@@ -120,6 +135,7 @@ private:
   MemStats &DeviceStats;
   const FaultInjector *Faults;
   unsigned VaultIndex;
+  ShardedEventQueue *Port;
   Tracer *Trace = nullptr;
   std::uint32_t TracePid = 0;
 

@@ -48,3 +48,13 @@ Timing fft3d::aggressiveTiming() {
   T.AccessLatency = nanosToPicos(5.0);
   return T;
 }
+
+Picos fft3d::conservativeLookahead(const Timing &T) {
+  // Both completion paths respect this bound: a normal issue finishes no
+  // earlier than CmdTime + AccessLatency, and an offline-vault failure
+  // completes exactly AccessLatency after the decision (the request still
+  // made the TSV round trip). Memory3D cross-checks the bound at
+  // construction so a future timing change cannot silently shrink the
+  // real minimum below the window width.
+  return T.AccessLatency;
+}

@@ -86,6 +86,15 @@ Timing conservativeTiming();
 /// An aggressive projection: halved activation overheads.
 Timing aggressiveTiming();
 
+/// The cross-shard lookahead for the vault-sharded parallel engine: the
+/// minimum simulated time between a vault-side decision and its earliest
+/// observable effect on the host shard. Every completion crosses the
+/// column-access + TSV + crossbar path, so AccessLatency bounds it from
+/// below; intra-vault constraints (t_diff_*) never cross shards and do
+/// not cap the window. Host -> vault injection has zero latency and is
+/// handled by sub-phase ordering inside a window instead.
+Picos conservativeLookahead(const Timing &T);
+
 } // namespace fft3d
 
 #endif // FFT3D_MEM3D_TIMING_H

@@ -116,6 +116,15 @@ void Tracer::clear() {
   Dropped = 0;
 }
 
+void Tracer::absorb(Tracer &Src) {
+  for (const TraceEvent &E : Src.Events)
+    record(E);
+  // Events the shadow itself had to drop are drops of the merged stream
+  // too; the combined counter stays exact.
+  Dropped += Src.Dropped;
+  Src.clear();
+}
+
 namespace {
 
 /// Microseconds with picosecond resolution: Chrome's `ts`/`dur` unit.

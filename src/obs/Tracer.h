@@ -137,6 +137,13 @@ public:
   /// Drops all recorded events and the drop counter (names are kept).
   void clear();
 
+  /// Appends \p Src's events (in their recorded order) to this tracer,
+  /// honouring this tracer's capacity, then clears \p Src. The sharded
+  /// engine records each vault into a private shadow tracer and absorbs
+  /// the shadows in vault order at every window boundary, so the merged
+  /// stream is single-writer and thread-count independent.
+  void absorb(Tracer &Src);
+
   /// Writes the Chrome trace_event JSON object: events sorted by
   /// timestamp (ties keep recording order), `displayTimeUnit` set, track
   /// name metadata included, and a `fft3d_dropped_events` counter when

@@ -24,8 +24,9 @@ Picos ServiceEstimate::totalTime(unsigned Frames) const {
 
 ServiceModel::ServiceModel(const MemoryConfig &Mem,
                            std::uint64_t MaxSimBytes,
-                           std::uint64_t MaxSimOps)
-    : Mem(Mem), MaxSimBytes(MaxSimBytes), MaxSimOps(MaxSimOps) {}
+                           std::uint64_t MaxSimOps, unsigned SimThreads)
+    : Mem(Mem), MaxSimBytes(MaxSimBytes), MaxSimOps(MaxSimOps),
+      SimThreads(SimThreads) {}
 
 const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
                                               unsigned Vaults) const {
@@ -55,6 +56,7 @@ const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
   Config.Optimized.VaultsParallel = DeviceVaults;
   Config.MaxSimBytesPerDirection = MaxSimBytes;
   Config.MaxSimOpsPerDirection = MaxSimOps;
+  Config.SimThreads = SimThreads;
 
   const BatchReport Report = BatchProcessor(Config).run(2);
   ServiceEstimate Est;

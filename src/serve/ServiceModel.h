@@ -66,9 +66,12 @@ public:
   /// of vaults <= Mem.Geo.NumVaults. \p MaxSimBytes / \p MaxSimOps bound
   /// each underlying phase simulation (smaller than the defaults: the
   /// serving layer needs dozens of estimates, not one deep measurement).
+  /// \p SimThreads parallelises the vault shards inside each estimate's
+  /// simulation (results are bit-identical for every value).
   explicit ServiceModel(const MemoryConfig &Mem,
                         std::uint64_t MaxSimBytes = 8ull << 20,
-                        std::uint64_t MaxSimOps = 50000);
+                        std::uint64_t MaxSimOps = 50000,
+                        unsigned SimThreads = 1);
 
   unsigned totalVaults() const { return Mem.Geo.NumVaults; }
 
@@ -97,6 +100,7 @@ private:
   MemoryConfig Mem;
   std::uint64_t MaxSimBytes;
   std::uint64_t MaxSimOps;
+  unsigned SimThreads;
   /// Guards Cache. std::map nodes are stable, so references handed out
   /// under the lock stay valid while later fills mutate the map.
   mutable std::mutex CacheMutex;

@@ -153,3 +153,12 @@ std::uint64_t EventQueue::runUntil(Picos Until) {
   }
   return Ran;
 }
+
+std::uint64_t EventQueue::runWhile(Picos Before) {
+  std::uint64_t Ran = 0;
+  while (Count != 0 && nextWhen() < Before) {
+    step();
+    ++Ran;
+  }
+  return Ran;
+}

@@ -78,6 +78,16 @@ public:
   /// max(now, Until). Returns the number of events run.
   std::uint64_t runUntil(Picos Until);
 
+  /// Runs events with timestamps strictly before \p Before, including any
+  /// scheduled while running. Unlike runUntil, the clock is left at the
+  /// last executed event, not advanced to the window edge - the sharded
+  /// engine needs now() to stay meaningful across empty windows. Returns
+  /// the number of events run.
+  std::uint64_t runWhile(Picos Before);
+
+  /// Timestamp of the earliest pending event; the queue must be non-empty.
+  Picos nextEventTime() const { return nextWhen(); }
+
 private:
   static constexpr unsigned NumBuckets = 256;
   static constexpr unsigned BucketMask = NumBuckets - 1;

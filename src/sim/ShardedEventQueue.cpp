@@ -1,0 +1,230 @@
+//===- sim/ShardedEventQueue.cpp - Vault-sharded conservative PDES --------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The window protocol. One parallelFor spans the whole run; workers march
+// through windows together, separated by three barriers:
+//
+//   plan    worker 0: barrier hook, merge outboxes in (When, vault, seq)
+//           order into the host queue, pick T = earliest pending event
+//           anywhere, WindowEnd = T + W. Done when nothing is pending.
+//   ----------------------------- barrier -----------------------------
+//   host    worker 0: run host events with When < WindowEnd. Submissions
+//           these events make (postToShard at the current host time) land
+//           in vault inboxes; host -> vault has zero latency, which is
+//           why vaults must not run until the host sub-phase is over.
+//   ----------------------------- barrier -----------------------------
+//   vaults  every worker: for each owned shard, drain the inbox prefix
+//           with When < WindowEnd into the shard queue, then run the
+//           shard while events remain below WindowEnd. Completions go to
+//           the outbox with When >= T + W - the lookahead guarantee -
+//           so nothing a vault does this window can affect this window.
+//   ----------------------------- barrier -----------------------------
+//
+// Progress invariant: after window [T, T+W) every queue and inbox holds
+// only events with When >= T + W (runWhile exhausts stragglers, including
+// events scheduled while running), so successive windows strictly advance
+// and scheduleAt never sees the past.
+//
+// Determinism: per-shard execution is the sequential ladder-queue order;
+// the only cross-shard nondeterminism - which outbox fills first - is
+// erased by the boundary merge, which orders mail by (When, vault,
+// per-vault sequence) regardless of which OS thread produced it when.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ShardedEventQueue.h"
+
+#include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+using namespace fft3d;
+
+ShardedEventQueue::SpinBarrier::SpinBarrier(unsigned Parties)
+    : Parties(Parties),
+      SpinLimit(Parties <= std::thread::hardware_concurrency() ? 1024 : 1) {}
+
+void ShardedEventQueue::SpinBarrier::arriveAndWait() {
+  if (Parties == 1)
+    return;
+  const unsigned MyPhase = Phase.load(std::memory_order_relaxed);
+  // acq_rel on the counter chains every arriver's prior writes into the
+  // last arriver; the Phase release/acquire pair hands them to waiters.
+  if (Arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == Parties) {
+    Arrived.store(0, std::memory_order_relaxed);
+    Phase.store(MyPhase + 1, std::memory_order_release);
+    return;
+  }
+  unsigned Spins = 0;
+  while (Phase.load(std::memory_order_acquire) == MyPhase) {
+    // Windows are microseconds apart, so spin - but yield once the limit
+    // is hit, so oversubscribed CI machines make progress.
+    if (++Spins >= SpinLimit) {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+}
+
+ShardedEventQueue::ShardedEventQueue(unsigned NumShards, Picos Lookahead,
+                                     unsigned SimThreads,
+                                     std::size_t MailboxSoftCap)
+    : Lookahead(Lookahead), MailboxSoftCap(MailboxSoftCap) {
+  if (NumShards == 0)
+    reportFatalError("ShardedEventQueue: need at least one shard");
+  if (Lookahead <= 0)
+    reportFatalError("ShardedEventQueue: lookahead must be positive - a "
+                     "zero-width window cannot make conservative progress");
+  ThreadCount = SimThreads == 0 ? 1u : SimThreads;
+  if (ThreadCount > NumShards)
+    ThreadCount = NumShards;
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  Barrier = std::make_unique<SpinBarrier>(ThreadCount);
+  // Sized exactly to ThreadCount: parallelFor(ThreadCount) then hands
+  // each executor (caller + ThreadCount-1 workers) exactly one index, so
+  // a worker blocked at the window barrier never strands a second index.
+  if (ThreadCount > 1)
+    Pool = std::make_unique<ThreadPool>(ThreadCount);
+}
+
+ShardedEventQueue::~ShardedEventQueue() = default;
+
+EventQueue &ShardedEventQueue::shard(unsigned S) {
+  assert(S < Shards.size() && "shard index out of range");
+  return Shards[S]->Q;
+}
+
+void ShardedEventQueue::postToShard(unsigned S, Picos When,
+                                    EventQueue::Action A) {
+  assert(S < Shards.size() && "shard index out of range");
+  Shard &Dest = *Shards[S];
+  // The host executes in time order and posts at its current time, so
+  // per-inbox timestamps are nondecreasing; the drain relies on it.
+  assert((Dest.Inbox.empty() || When >= Dest.Inbox.back().When) &&
+         "inbox timestamps must be nondecreasing");
+  if (Dest.Inbox.size() >= MailboxSoftCap)
+    ++MailboxOverflows;
+  Dest.Inbox.push_back(Mail{When, std::move(A)});
+}
+
+void ShardedEventQueue::postToHost(unsigned S, Picos When,
+                                   EventQueue::Action A) {
+  assert(S < Shards.size() && "shard index out of range");
+  // The conservative-correctness condition: a vault may not touch the
+  // host inside the window the host already ran.
+  assert(When >= WindowEnd &&
+         "cross-shard completion inside the current window violates the "
+         "lookahead contract");
+  Shard &Src = *Shards[S];
+  assert((Src.Outbox.empty() || When >= Src.Outbox.back().When) &&
+         "outbox timestamps must be nondecreasing");
+  Src.Outbox.push_back(Mail{When, std::move(A)});
+}
+
+void ShardedEventQueue::planWindow() {
+  if (BarrierHook)
+    BarrierHook();
+
+  // Merge outboxes. Vault-major concatenation is already (vault, seq)
+  // ordered; a stable sort by When alone therefore yields the canonical
+  // (When, vault, seq) total order.
+  MergeScratch.clear();
+  for (std::uint32_t V = 0; V != Shards.size(); ++V) {
+    const std::vector<Mail> &Out = Shards[V]->Outbox;
+    for (std::uint32_t I = 0; I != Out.size(); ++I)
+      MergeScratch.push_back(MergeKey{Out[I].When, V, I});
+  }
+  std::stable_sort(MergeScratch.begin(), MergeScratch.end(),
+                   [](const MergeKey &A, const MergeKey &B) {
+                     return A.When < B.When;
+                   });
+  for (const MergeKey &K : MergeScratch) {
+    Mail &M = Shards[K.Vault]->Outbox[K.Index];
+    Host.scheduleAt(M.When, std::move(M.A));
+  }
+  for (auto &S : Shards)
+    S->Outbox.clear();
+
+  // Next window starts at the earliest pending event anywhere.
+  bool Any = false;
+  Picos T = 0;
+  const auto Consider = [&](Picos When) {
+    if (!Any || When < T) {
+      T = When;
+      Any = true;
+    }
+  };
+  if (!Host.empty())
+    Consider(Host.nextEventTime());
+  for (const auto &S : Shards) {
+    if (!S->Q.empty())
+      Consider(S->Q.nextEventTime());
+    if (!S->Inbox.empty())
+      Consider(S->Inbox.front().When);
+  }
+  if (!Any) {
+    Done = true;
+    return;
+  }
+  WindowEnd = T + Lookahead;
+  ++Windows;
+}
+
+void ShardedEventQueue::workerLoop(unsigned Worker) {
+  const unsigned N = numShards();
+  const unsigned Lo = static_cast<unsigned>(
+      static_cast<std::uint64_t>(N) * Worker / ThreadCount);
+  const unsigned Hi = static_cast<unsigned>(
+      static_cast<std::uint64_t>(N) * (Worker + 1) / ThreadCount);
+  for (;;) {
+    if (Worker == 0)
+      planWindow();
+    Barrier->arriveAndWait();
+    if (Done)
+      break;
+    if (Worker == 0)
+      HostEventsRun += Host.runWhile(WindowEnd);
+    Barrier->arriveAndWait();
+    for (unsigned V = Lo; V != Hi; ++V) {
+      Shard &S = *Shards[V];
+      if (!S.Inbox.empty()) {
+        std::size_t K = 0;
+        while (K != S.Inbox.size() && S.Inbox[K].When < WindowEnd) {
+          S.Q.scheduleAt(S.Inbox[K].When, std::move(S.Inbox[K].A));
+          ++K;
+        }
+        S.Inbox.erase(S.Inbox.begin(),
+                      S.Inbox.begin() + static_cast<std::ptrdiff_t>(K));
+      }
+      S.EventsRun += S.Q.runWhile(WindowEnd);
+    }
+    Barrier->arriveAndWait();
+  }
+}
+
+std::uint64_t ShardedEventQueue::run() {
+  const auto Total = [this] {
+    std::uint64_t Sum = HostEventsRun;
+    for (const auto &S : Shards)
+      Sum += S->EventsRun;
+    return Sum;
+  };
+  const std::uint64_t Before = Total();
+  Done = false;
+  if (ThreadCount == 1)
+    workerLoop(0);
+  else
+    Pool->parallelFor(ThreadCount,
+                      [this](std::size_t W) {
+                        workerLoop(static_cast<unsigned>(W));
+                      });
+  return Total() - Before;
+}

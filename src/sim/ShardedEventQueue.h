@@ -1,0 +1,192 @@
+//===- sim/ShardedEventQueue.h - Vault-sharded conservative PDES -*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative parallel discrete-event engine specialised for the 3D
+/// memory's topology: V independent vault shards plus one host shard (the
+/// phase engine, fault redirects, request numbering), coupled only through
+/// the crossbar/TSV access path. Each shard owns a private ladder
+/// EventQueue; shards advance together through bounded time windows
+///
+///     [T, T + W)   with W = the cross-shard lookahead,
+///
+/// where W is the minimum latency of any vault -> host interaction (the
+/// device's fixed TSV + crossbar access latency, see
+/// conservativeLookahead() in mem3d/Timing.h). Within a window every
+/// shard can run independently: the only cross-shard edges are
+///
+///   host -> vault   request injection, same-timestamp. Handled by
+///                   ordering sub-phases inside the window: the host shard
+///                   runs first, its mail is drained before vault shards
+///                   run the same window.
+///   vault -> host   completions, always >= W in the future. Posted into
+///                   per-vault outboxes and merged at the window boundary;
+///                   they cannot land inside the current window, so vault
+///                   shards never have to see each other's progress.
+///
+/// There are no vault -> vault edges (vaults only constrain themselves).
+///
+/// Determinism is structural, not incidental: outboxes are merged in
+/// (When, vault, per-vault sequence) order via a stable sort, so the host
+/// observes completions in a canonical total order that is independent of
+/// thread count and OS scheduling. The same code path runs at
+/// SimThreads = 1 (one worker walking all shards), so the single-threaded
+/// engine is not a separate implementation that could drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SIM_SHARDEDEVENTQUEUE_H
+#define FFT3D_SIM_SHARDEDEVENTQUEUE_H
+
+#include "sim/EventQueue.h"
+#include "support/Units.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fft3d {
+
+class ThreadPool;
+
+/// Windowed conservative PDES over one host shard + N vault shards.
+class ShardedEventQueue {
+public:
+  /// \p NumShards vault shards, cross-shard lookahead \p Lookahead (must
+  /// be > 0: a zero lookahead admits no window and the conservative
+  /// protocol cannot make progress), \p SimThreads worker threads (0 is
+  /// treated as 1; clamped to NumShards). \p MailboxSoftCap is the
+  /// per-shard inbox occupancy beyond which postToShard counts overflow
+  /// events (delivery still happens; the counter makes backpressure
+  /// observable to tests and tuning).
+  ShardedEventQueue(unsigned NumShards, Picos Lookahead, unsigned SimThreads,
+                    std::size_t MailboxSoftCap = 4096);
+  ~ShardedEventQueue();
+
+  ShardedEventQueue(const ShardedEventQueue &) = delete;
+  ShardedEventQueue &operator=(const ShardedEventQueue &) = delete;
+
+  /// The host shard's queue: phase-engine wakeups, submissions, merged
+  /// completions. Safe to schedule into between run() calls and from host
+  /// events during a run.
+  EventQueue &host() { return Host; }
+  const EventQueue &host() const { return Host; }
+
+  /// Shard \p S's private queue. Only that shard's worker may touch it
+  /// while run() is in flight.
+  EventQueue &shard(unsigned S);
+
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+  unsigned threadCount() const { return ThreadCount; }
+  Picos lookahead() const { return Lookahead; }
+  /// Host-shard clock; the canonical "simulation time" for callers.
+  Picos now() const { return Host.now(); }
+
+  /// Sends \p A to shard \p S at time \p When. Host-side only (from host
+  /// events or between windows); timestamps per inbox must be
+  /// nondecreasing, which the host guarantees by executing in time order.
+  void postToShard(unsigned S, Picos When, EventQueue::Action A);
+
+  /// Sends \p A to the host at time \p When, from shard \p S's executing
+  /// events only. \p When must be at least one full lookahead ahead of
+  /// the current window start - asserted, because this is exactly the
+  /// conservative-correctness condition.
+  void postToHost(unsigned S, Picos When, EventQueue::Action A);
+
+  /// Hook run by worker 0 at every window boundary, before outbox merge,
+  /// while all other workers are parked at the barrier. The observability
+  /// layer uses it to absorb per-vault tracer shadows in vault order
+  /// without the sim layer depending on obs.
+  void setBarrierHook(std::function<void()> Hook) {
+    BarrierHook = std::move(Hook);
+  }
+
+  /// Runs until every shard queue and mailbox drains. Returns the number
+  /// of events executed across all shards (host included). Callable
+  /// repeatedly; the clocks persist across calls like EventQueue::run.
+  std::uint64_t run();
+
+  /// Number of windows the engine has stepped through (diagnostics).
+  std::uint64_t windows() const { return Windows; }
+  /// postToShard calls that found the inbox above the soft cap.
+  std::uint64_t mailboxOverflows() const { return MailboxOverflows; }
+
+private:
+  struct Mail {
+    Picos When;
+    EventQueue::Action A;
+  };
+
+  /// One vault shard, padded so adjacent shards never share a cache line
+  /// while their workers run concurrently.
+  struct alignas(64) Shard {
+    EventQueue Q;
+    /// Host -> shard mail, appended host-side, drained by the shard's
+    /// worker at the start of its window sub-phase.
+    std::vector<Mail> Inbox;
+    /// Shard -> host mail in per-vault (When, seq) order, merged by
+    /// worker 0 at the window boundary.
+    std::vector<Mail> Outbox;
+    std::uint64_t EventsRun = 0;
+  };
+
+  /// Sense-reversing spin barrier; acquire/release so every write before
+  /// arrival is visible after release. Spinning (with yields) beats a
+  /// futex here: windows are microseconds wide and wakeup latency would
+  /// dominate.
+  class SpinBarrier {
+  public:
+    explicit SpinBarrier(unsigned Parties);
+    void arriveAndWait();
+
+  private:
+    const unsigned Parties;
+    /// Spins before the first yield: generous when every party can hold
+    /// a core, minimal when the machine is oversubscribed (spinning then
+    /// only delays the thread whose turn it is).
+    const unsigned SpinLimit;
+    std::atomic<unsigned> Arrived{0};
+    std::atomic<unsigned> Phase{0};
+  };
+
+  void workerLoop(unsigned Worker);
+  /// Worker 0 only: merge all outboxes into the host queue in
+  /// (When, vault, seq) order, then pick the next window. Sets Done when
+  /// nothing is pending anywhere.
+  void planWindow();
+
+  const Picos Lookahead;
+  const std::size_t MailboxSoftCap;
+  unsigned ThreadCount;
+
+  EventQueue Host;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Internal pool sized exactly to ThreadCount so parallelFor(ThreadCount)
+  /// gives every worker one index; nullptr when ThreadCount == 1.
+  std::unique_ptr<ThreadPool> Pool;
+  std::unique_ptr<SpinBarrier> Barrier;
+  std::function<void()> BarrierHook;
+
+  /// Scratch for the boundary merge (worker 0 only).
+  struct MergeKey {
+    Picos When;
+    std::uint32_t Vault;
+    std::uint32_t Index;
+  };
+  std::vector<MergeKey> MergeScratch;
+
+  Picos WindowEnd = 0;
+  bool Done = false;
+  std::uint64_t Windows = 0;
+  std::uint64_t MailboxOverflows = 0;
+  std::uint64_t HostEventsRun = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SIM_SHARDEDEVENTQUEUE_H

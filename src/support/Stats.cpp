@@ -69,3 +69,12 @@ double Histogram::percentile(double Fraction) const {
   }
   return Buckets.size() * Width;
 }
+
+void Histogram::merge(const Histogram &Other) {
+  assert(Width == Other.Width && Buckets.size() == Other.Buckets.size() &&
+         "histogram layouts must match to merge");
+  for (std::size_t I = 0; I != Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Overflow += Other.Overflow;
+  Total += Other.Total;
+}

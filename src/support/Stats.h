@@ -62,6 +62,10 @@ public:
   /// are <= V, resolved to bucket granularity. \p Fraction in [0, 1].
   double percentile(double Fraction) const;
 
+  /// Folds \p Other into this histogram bucket-wise. Both histograms must
+  /// share the same width and bucket count.
+  void merge(const Histogram &Other);
+
 private:
   double Width;
   std::vector<std::uint64_t> Buckets;

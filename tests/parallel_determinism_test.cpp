@@ -12,6 +12,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/AutoTuner.h"
+#include "core/Fft2dProcessor.h"
+#include "fault/FaultSpec.h"
+#include "obs/Metrics.h"
+#include "obs/TraceDigest.h"
+#include "obs/Tracer.h"
 #include "serve/Scheduler.h"
 #include "serve/ServeSimulator.h"
 #include "serve/ServiceModel.h"
@@ -20,6 +25,8 @@
 
 #include "gtest/gtest.h"
 
+#include <memory>
+#include <string>
 #include <vector>
 
 using namespace fft3d;
@@ -94,6 +101,81 @@ TEST(ParallelDeterminism, ServePoliciesThreadCountInvariant) {
     EXPECT_EQ(A.P99LatencyMs, B.P99LatencyMs);
     EXPECT_EQ(A.DeadlineMissRate, B.DeadlineMissRate);
     EXPECT_EQ(A.MeanServiceMs, B.MeanServiceMs);
+  }
+}
+
+struct FaultedRun {
+  AppReport Report;
+  std::string Digest;
+};
+
+/// The hardest determinism case: a full 512x512 optimized run on the
+/// vault-sharded engine with vault failures mid-flight, so spare
+/// redirects, failed completions and the fault Rng all ride on the
+/// parallel schedule.
+FaultedRun faultedFftWith(unsigned SimThreads) {
+  SystemConfig Config = SystemConfig::forProblemSize(512);
+  auto Faults = std::make_shared<FaultSpec>();
+  std::string Error;
+  EXPECT_TRUE(Faults->parse("seed 7\n"
+                            "vault_fail 3 at 0\n"
+                            "vault_fail 9 at 0.01\n",
+                            &Error))
+      << Error;
+  Config.Mem.Faults = std::move(Faults);
+  Config.SimThreads = SimThreads;
+  Fft2dProcessor Processor(Config);
+  Tracer Trace;
+  MetricsRegistry Metrics;
+  Processor.setObservability(&Trace, &Metrics, 1);
+  FaultedRun Run;
+  Run.Report = Processor.runOptimized();
+  const MetricsSnapshot Snap = Metrics.snapshot();
+  Run.Digest = traceDigest(Trace, &Snap);
+  return Run;
+}
+
+TEST(ParallelDeterminism, FaultedFftSimThreadCountInvariant) {
+  const FaultedRun Base = faultedFftWith(1);
+  // The schedule must actually bite, or the comparisons prove nothing:
+  // vault 3 is offline from t=0, so its traffic redirects to the spare.
+  EXPECT_GT(Base.Report.RowPhase.OfflineRedirects, 0u);
+  EXPECT_LT(Base.Report.HealthyVaultsEnd, 16u);
+
+  for (unsigned K : {2u, 4u, 8u}) {
+    SCOPED_TRACE("sim threads " + std::to_string(K));
+    const FaultedRun Other = faultedFftWith(K);
+    const AppReport &A = Base.Report;
+    const AppReport &B = Other.Report;
+    // Bitwise equality throughout - doubles included. The sharded engine
+    // folds per-vault float accumulators in vault order, so even the
+    // summation order must match the sequential run.
+    for (const auto &[P, Q] : {std::make_pair(&A.RowPhase, &B.RowPhase),
+                               std::make_pair(&A.ColPhase, &B.ColPhase)}) {
+      EXPECT_EQ(P->Elapsed, Q->Elapsed);
+      EXPECT_EQ(P->BytesRead, Q->BytesRead);
+      EXPECT_EQ(P->BytesWritten, Q->BytesWritten);
+      EXPECT_EQ(P->RowActivations, Q->RowActivations);
+      EXPECT_EQ(P->ThroughputGBps, Q->ThroughputGBps);
+      EXPECT_EQ(P->RowHitRate, Q->RowHitRate);
+      EXPECT_EQ(P->MeanReqLatencyNanos, Q->MeanReqLatencyNanos);
+      EXPECT_EQ(P->MaxReqLatencyNanos, Q->MaxReqLatencyNanos);
+      EXPECT_EQ(P->EccRetries, Q->EccRetries);
+      EXPECT_EQ(P->ThrottleStalls, Q->ThrottleStalls);
+      EXPECT_EQ(P->OfflineRedirects, Q->OfflineRedirects);
+      EXPECT_EQ(P->OfflineFailed, Q->OfflineFailed);
+      EXPECT_EQ(P->SimEvents, Q->SimEvents);
+    }
+    EXPECT_EQ(A.AppThroughputGBps, B.AppThroughputGBps);
+    EXPECT_EQ(A.AppLatency, B.AppLatency);
+    EXPECT_EQ(A.EstimatedTotalTime, B.EstimatedTotalTime);
+    EXPECT_EQ(A.HealthyVaultsStart, B.HealthyVaultsStart);
+    EXPECT_EQ(A.HealthyVaultsEnd, B.HealthyVaultsEnd);
+    EXPECT_EQ(A.Replanned, B.Replanned);
+    EXPECT_EQ(A.MigrationTime, B.MigrationTime);
+    // The trace digest pins event order, timing and metric values; a
+    // single reordered completion anywhere shows up here.
+    EXPECT_EQ(Base.Digest, Other.Digest);
   }
 }
 

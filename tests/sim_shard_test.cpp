@@ -1,0 +1,257 @@
+//===- tests/sim_shard_test.cpp - Sharded conservative PDES tests ---------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the vault-sharded engine directly: window-boundary delivery,
+// the canonical (When, vault, seq) merge order, mailbox backpressure
+// accounting, constructor contract enforcement, and - the property
+// everything else exists for - byte-identical Memory3D behaviour at every
+// thread count, under randomized seeded traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ShardedEventQueue.h"
+
+#include "mem3d/Memory3D.h"
+#include "mem3d/Timing.h"
+#include "obs/TraceDigest.h"
+#include "obs/Tracer.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Window protocol
+//===----------------------------------------------------------------------===//
+
+// A completion posted at exactly WindowEnd - the smallest timestamp the
+// lookahead contract admits - must be delivered, and in the very next
+// window rather than dropped or deferred further.
+TEST(ShardedEventQueue, DeliversAtExactWindowBoundary) {
+  const Picos W = 100;
+  ShardedEventQueue Engine(2, W, 1);
+  std::vector<std::pair<std::string, Picos>> Log;
+
+  // Host event at t=0 mails shard 0 at the current time; the shard event
+  // replies at exactly t0 + W, the first legal instant.
+  Engine.host().scheduleAt(0, [&] {
+    Log.emplace_back("host-submit", Engine.host().now());
+    Engine.postToShard(0, Engine.host().now(), [&] {
+      const Picos ReplyAt = Engine.shard(0).now() + W;
+      Engine.postToHost(0, ReplyAt, [&] {
+        Log.emplace_back("host-complete", Engine.host().now());
+      });
+    });
+  });
+
+  const std::uint64_t Ran = Engine.run();
+  EXPECT_EQ(Ran, 3u);
+  ASSERT_EQ(Log.size(), 2u);
+  EXPECT_EQ(Log[0].first, "host-submit");
+  EXPECT_EQ(Log[0].second, 0);
+  EXPECT_EQ(Log[1].first, "host-complete");
+  EXPECT_EQ(Log[1].second, W);
+  // Window 1 covers [0, W) for submit + shard work, window 2 starts at W
+  // for the completion.
+  EXPECT_GE(Engine.windows(), 2u);
+}
+
+// Same-timestamp completions from different vaults must reach the host in
+// vault order, regardless of the order the shard events were created in.
+TEST(ShardedEventQueue, MergesSameTimeCompletionsInVaultOrder) {
+  const Picos W = 50;
+  ShardedEventQueue Engine(4, W, 1);
+  std::vector<unsigned> Arrival;
+
+  Engine.host().scheduleAt(0, [&] {
+    // Mail vaults in scrambled order; each replies at the same instant.
+    for (unsigned V : {3u, 1u, 2u}) {
+      Engine.postToShard(V, 0, [&, V] {
+        Engine.postToHost(V, W, [&, V] { Arrival.push_back(V); });
+      });
+    }
+  });
+
+  Engine.run();
+  ASSERT_EQ(Arrival.size(), 3u);
+  EXPECT_EQ(Arrival[0], 1u);
+  EXPECT_EQ(Arrival[1], 2u);
+  EXPECT_EQ(Arrival[2], 3u);
+}
+
+// Chained windows: a shard reply triggers another submission, which
+// triggers another reply. The engine must keep opening windows until the
+// whole chain drains, and every hop advances time by >= one lookahead.
+TEST(ShardedEventQueue, ChainsAcrossManyWindows) {
+  const Picos W = 10;
+  ShardedEventQueue Engine(2, W, 1);
+  unsigned Hops = 0;
+  Picos LastWhen = 0;
+
+  // Mutually recursive: host submits, shard replies one lookahead later.
+  std::function<void()> Submit = [&] {
+    const Picos Now = Engine.host().now();
+    if (Hops != 0)
+      EXPECT_GT(Now, LastWhen);
+    LastWhen = Now;
+    if (++Hops == 8)
+      return;
+    Engine.postToShard(Hops % 2, Now, [&] {
+      const unsigned V = Hops % 2;
+      Engine.postToHost(V, Engine.shard(V).now() + W, Submit);
+    });
+  };
+  Engine.host().scheduleAt(0, Submit);
+
+  Engine.run();
+  EXPECT_EQ(Hops, 8u);
+  EXPECT_EQ(LastWhen, 7 * W);
+  EXPECT_GE(Engine.windows(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Mailbox backpressure
+//===----------------------------------------------------------------------===//
+
+// Posting past the soft cap counts overflows but never drops mail.
+TEST(ShardedEventQueue, CountsMailboxOverflowWithoutDropping) {
+  ShardedEventQueue Engine(1, /*Lookahead=*/100, /*SimThreads=*/1,
+                           /*MailboxSoftCap=*/4);
+  unsigned Delivered = 0;
+  for (Picos T = 0; T != 10; ++T)
+    Engine.postToShard(0, T, [&] { ++Delivered; });
+
+  // Mails 5..10 found the inbox at occupancy 4,5,...,9.
+  EXPECT_EQ(Engine.mailboxOverflows(), 6u);
+  EXPECT_EQ(Engine.run(), 10u);
+  EXPECT_EQ(Delivered, 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Constructor contract
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedEventQueueDeathTest, RejectsZeroLookahead) {
+  EXPECT_DEATH(ShardedEventQueue(4, /*Lookahead=*/0, 1), "lookahead");
+}
+
+TEST(ShardedEventQueueDeathTest, RejectsZeroShards) {
+  EXPECT_DEATH(ShardedEventQueue(0, /*Lookahead=*/100, 1), "shard");
+}
+
+TEST(ShardedEventQueue, ClampsThreadsToShardCount) {
+  ShardedEventQueue Engine(2, 100, 8);
+  EXPECT_EQ(Engine.threadCount(), 2u);
+  ShardedEventQueue Zero(2, 100, 0);
+  EXPECT_EQ(Zero.threadCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized 1-vs-N equivalence
+//===----------------------------------------------------------------------===//
+
+// Everything one run of the device can observe, rendered to text so
+// mismatches show *what* diverged, not just that something did.
+struct RunFingerprint {
+  std::string VaultCounters;
+  std::string Latency;
+  std::string Completions;
+  std::string Trace;
+  std::uint64_t Windows = 0;
+
+  friend bool operator==(const RunFingerprint &A, const RunFingerprint &B) {
+    return A.VaultCounters == B.VaultCounters && A.Latency == B.Latency &&
+           A.Completions == B.Completions && A.Trace == B.Trace;
+  }
+};
+
+RunFingerprint runRandomTraffic(unsigned SimThreads, std::uint64_t Seed) {
+  MemoryConfig Config;
+  ShardedEventQueue Engine(Config.Geo.NumVaults,
+                           conservativeLookahead(Config.Time), SimThreads,
+                           /*MailboxSoftCap=*/64);
+  Memory3D Mem(Engine, Config);
+  Tracer Trace(TraceCatAll, 1 << 14);
+  Mem.setTracer(&Trace);
+
+  RunFingerprint FP;
+  std::ostringstream Completions;
+
+  // Random requests injected from host events at jittered times - the
+  // same submission schedule for every thread count because the Rng is
+  // consumed on the host shard only, in host event order.
+  Rng R(Seed);
+  const std::uint64_t Capacity = Mem.geometry().capacityBytes();
+  Picos When = 0;
+  for (std::uint64_t I = 0; I != 400; ++I) {
+    When += static_cast<Picos>(R.nextBelow(2000));
+    Engine.host().scheduleAt(When, [&Completions, &Mem, &R, Capacity, I] {
+      MemRequest Req;
+      Req.Id = I;
+      Req.IsWrite = (R.next() & 1) != 0;
+      Req.Addr = (R.nextBelow(Capacity / 8)) * 8;
+      Req.Bytes = 8;
+      Mem.submit(Req, [&Completions](const MemRequest &Done, Picos At) {
+        Completions << Done.Id << (Done.Failed ? "F" : "ok") << "@" << At
+                    << "\n";
+      });
+    });
+  }
+
+  Engine.run();
+  Mem.stats().foldLatencyShards();
+
+  std::ostringstream Vaults;
+  for (unsigned V = 0; V != Mem.stats().numVaults(); ++V) {
+    const VaultStats &S = Mem.stats().vault(V);
+    Vaults << V << ":" << S.Reads << "," << S.Writes << "," << S.BytesRead
+           << "," << S.BytesWritten << "," << S.RowActivations << ","
+           << S.RowHits << "," << S.RowMisses << "," << S.BusBusy << "\n";
+  }
+  FP.VaultCounters = Vaults.str();
+
+  const RunningStat &Lat = Mem.stats().latencyNanos();
+  std::ostringstream Latency;
+  // hexfloat: bit-exact comparison of the folded floating-point sums.
+  Latency << Lat.count() << " " << std::hexfloat << Lat.sum() << " "
+          << Lat.min() << " " << Lat.max();
+  FP.Latency = Latency.str();
+
+  FP.Completions = Completions.str();
+  FP.Trace = traceDigest(Trace);
+  FP.Windows = Engine.windows();
+  return FP;
+}
+
+TEST(ShardedEventQueue, RandomTrafficIdenticalAcrossThreadCounts) {
+  for (std::uint64_t Seed : {1ull, 42ull, 20150907ull}) {
+    const RunFingerprint Base = runRandomTraffic(1, Seed);
+    EXPECT_GT(Base.Windows, 10u);
+    EXPECT_FALSE(Base.Completions.empty());
+    for (unsigned K : {2u, 4u, 8u}) {
+      const RunFingerprint Other = runRandomTraffic(K, Seed);
+      EXPECT_EQ(Base.VaultCounters, Other.VaultCounters)
+          << "seed " << Seed << " threads " << K;
+      EXPECT_EQ(Base.Latency, Other.Latency)
+          << "seed " << Seed << " threads " << K;
+      EXPECT_EQ(Base.Completions, Other.Completions)
+          << "seed " << Seed << " threads " << K;
+      EXPECT_EQ(Base.Trace, Other.Trace)
+          << "seed " << Seed << " threads " << K;
+    }
+  }
+}
+
+} // namespace

@@ -60,10 +60,12 @@ struct Cli {
   std::uint32_t TraceCats = TraceCatAll;
   /// Metrics snapshot JSON output path; empty disables the registry.
   std::string MetricsFile;
-  /// Worker threads for running the per-policy simulations concurrently
-  /// (0 = hardware concurrency). Each policy gets its own workload and
-  /// simulator, so the table is identical for any value.
+  /// Worker threads for running the per-policy simulations concurrently.
+  /// Each policy gets its own workload and simulator, so the table is
+  /// identical for any value.
   unsigned Threads = 1;
+  /// Vault-shard threads inside each service-model simulation.
+  unsigned SimThreads = 1;
 };
 
 [[noreturn]] void usage(const char *Prog) {
@@ -73,8 +75,14 @@ struct Cli {
                "  [--partitions P] [--aging-ms MS] [--mix mixed|small|large]\n"
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
                "  [--shed-infeasible] [--vaults V] [--faults SPECFILE]\n"
-               "  [--threads K] [--trace FILE]\n"
-               "  [--trace-cats mem,phase,serve,fault|all] [--metrics FILE]\n",
+               "  [--threads K] [--sim-threads K] [--trace FILE]\n"
+               "  [--trace-cats mem,phase,serve,fault|all] [--metrics FILE]\n"
+               "\n"
+               "  --threads K      run the per-policy simulations K at a\n"
+               "                   time (K >= 1)\n"
+               "  --sim-threads K  vault-shard parallelism inside each\n"
+               "                   service-model simulation (K >= 1);\n"
+               "                   results are bit-identical for any K\n",
                Prog);
   std::exit(2);
 }
@@ -131,9 +139,20 @@ Cli parse(int Argc, char **Argv) {
       C.Vaults = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
     else if (consumeValue(Argc, Argv, I, "--faults", &Value))
       C.FaultsFile = Value;
-    else if (consumeValue(Argc, Argv, I, "--threads", &Value))
+    else if (consumeValue(Argc, Argv, I, "--threads", &Value)) {
       C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-    else if (consumeValue(Argc, Argv, I, "--trace-cats", &Value)) {
+      if (C.Threads == 0) {
+        std::fprintf(stderr, "error: --threads must be >= 1 (it is the "
+                             "policy-sweep parallelism, not a sim knob)\n");
+        usage(Argv[0]);
+      }
+    } else if (consumeValue(Argc, Argv, I, "--sim-threads", &Value)) {
+      C.SimThreads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+      if (C.SimThreads == 0) {
+        std::fprintf(stderr, "error: --sim-threads must be >= 1\n");
+        usage(Argv[0]);
+      }
+    } else if (consumeValue(Argc, Argv, I, "--trace-cats", &Value)) {
       std::string Error;
       if (!parseTraceCategories(Value, C.TraceCats, &Error)) {
         std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
@@ -215,7 +234,7 @@ int main(int Argc, char **Argv) {
 
   MemoryConfig Mem;
   Mem.Geo.NumVaults = C.Vaults;
-  ServiceModel Model(Mem);
+  ServiceModel Model(Mem, 8ull << 20, 50000, C.SimThreads);
 
   std::printf("fft3d_serve: %u jobs, mix %s, seed %llu, %u vaults, "
               "queue cap %zu%s\n",

@@ -61,9 +61,8 @@ struct Cli {
   std::uint32_t TraceCats = TraceCatAll;
   /// Metrics snapshot JSON output path; empty disables the registry.
   std::string MetricsFile;
-  /// Worker threads for the tuner sweeps (0 = hardware concurrency).
-  /// Each candidate owns its simulator, so the output is identical for
-  /// any value.
+  /// Worker threads for the tuner sweeps. Each candidate owns its
+  /// simulator, so the output is identical for any value.
   unsigned Threads = 1;
   SystemConfig Config;
   bool Ok = true;
@@ -78,9 +77,15 @@ struct Cli {
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
                "  [--replay=FILE [--replay-asap]] [--seed N]\n"
-               "  [--faults SPECFILE] [--threads K]\n"
+               "  [--faults SPECFILE] [--threads K] [--sim-threads K]\n"
                "  [--trace=FILE] [--trace-cats=mem,phase,serve,fault|all]\n"
-               "  [--metrics=FILE]\n",
+               "  [--metrics=FILE]\n"
+               "\n"
+               "  --threads K      sweep parallelism: K concurrent candidate\n"
+               "                   simulations during --tune (K >= 1)\n"
+               "  --sim-threads K  vault-shard parallelism inside each single\n"
+               "                   simulation (K >= 1); results are\n"
+               "                   bit-identical for any K of either flag\n",
                Prog);
   std::exit(2);
 }
@@ -170,6 +175,22 @@ Cli parse(int Argc, char **Argv) {
       if (!Value)
         usage(Argv[0]);
       C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+      if (C.Threads == 0) {
+        std::fprintf(stderr, "error: --threads must be >= 1 (it is the "
+                             "sweep-parallelism degree, not a sim knob)\n");
+        usage(Argv[0]);
+      }
+    } else if (consume(Arg, "--sim-threads", &Value)) {
+      if (!Value && I + 1 < Argc)
+        Value = Argv[++I];
+      if (!Value)
+        usage(Argv[0]);
+      C.Config.SimThreads =
+          static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+      if (C.Config.SimThreads == 0) {
+        std::fprintf(stderr, "error: --sim-threads must be >= 1\n");
+        usage(Argv[0]);
+      }
     } else if (consume(Arg, "--faults", &Value)) {
       if (!Value && I + 1 < Argc)
         Value = Argv[++I];
