@@ -1,0 +1,54 @@
+//===- cluster/ClusterConfig.cpp - Multi-stack system description ---------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterConfig.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+const char *fft3d::clusterTopologyName(ClusterTopology Topology) {
+  switch (Topology) {
+  case ClusterTopology::AllToAll:
+    return "all-to-all";
+  case ClusterTopology::Ring:
+    return "ring";
+  }
+  fft3d_unreachable("unknown ClusterTopology");
+}
+
+const char *fft3d::stackPlacementName(StackPlacement Placement) {
+  switch (Placement) {
+  case StackPlacement::TwoLevel:
+    return "two-level";
+  case StackPlacement::RoundRobin:
+    return "round-robin";
+  }
+  fft3d_unreachable("unknown StackPlacement");
+}
+
+ClusterConfig ClusterConfig::forProblemSize(std::uint64_t N,
+                                            unsigned Stacks) {
+  ClusterConfig Config;
+  Config.Stacks = Stacks;
+  Config.Node = SystemConfig::forProblemSize(N);
+  Config.validate();
+  return Config;
+}
+
+void ClusterConfig::validate() const {
+  if (Stacks == 0)
+    reportFatalError("cluster needs at least one stack");
+  if (Node.N % Stacks != 0)
+    reportFatalError("stack count must divide the problem size N");
+  if (Node.N / Stacks == 0)
+    reportFatalError("more stacks than matrix rows");
+  if (LinkGBps <= 0.0)
+    reportFatalError("link bandwidth must be positive");
+  if (PacketBytes == 0)
+    reportFatalError("interconnect packet size must be positive");
+  Node.validate();
+}

@@ -1,0 +1,90 @@
+//===- cluster/ClusterConfig.h - Multi-stack system description -*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of a multi-stack system: S identical 3D-memory stacks
+/// (each a full SystemConfig worth of device + kernel) joined by a
+/// modeled interconnect. Stacks = 1 with the default interconnect is the
+/// single-stack system, byte-identical to a plain SystemConfig run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CLUSTER_CLUSTERCONFIG_H
+#define FFT3D_CLUSTER_CLUSTERCONFIG_H
+
+#include "core/SystemConfig.h"
+#include "support/Units.h"
+
+#include <cstdint>
+
+namespace fft3d {
+
+/// How the stacks are wired together.
+enum class ClusterTopology {
+  /// Every stack has a dedicated full-bandwidth port to every other
+  /// (a crossbar / full electrical mesh): one hop, contention only at
+  /// each stack's own egress and ingress ports.
+  AllToAll,
+  /// A bidirectional ring: messages hop store-and-forward along the
+  /// shorter direction, contending for each physical link they cross.
+  Ring,
+};
+
+const char *clusterTopologyName(ClusterTopology Topology);
+
+/// How matrix rows / pencils are assigned to stacks.
+enum class StackPlacement {
+  /// The two-level generalization of Eq. 1: contiguous slabs per stack,
+  /// per-stack block layout re-planned for the slab's column-stream
+  /// count, so the all-to-all lands whole blocks on each receiver.
+  TwoLevel,
+  /// Naive comparator: rows and columns dealt round-robin across
+  /// stacks, element-granular exchange traffic.
+  RoundRobin,
+};
+
+const char *stackPlacementName(StackPlacement Placement);
+
+/// Full description of a multi-stack system.
+struct ClusterConfig {
+  /// Number of memory stacks (S). Must divide the problem size N.
+  unsigned Stacks = 1;
+  ClusterTopology Topology = ClusterTopology::AllToAll;
+  StackPlacement Placement = StackPlacement::TwoLevel;
+  /// Per-link, per-direction bandwidth in GB/s (one serial transceiver
+  /// bundle between two stacks, or one ring segment direction).
+  double LinkGBps = 32.0;
+  /// Per-hop propagation + serialization-start latency.
+  Picos LinkLatencyPicos = 200 * PicosPerNano;
+  /// Interconnect packet granularity: messages are chunked into packets
+  /// of at most this many bytes, which is also the store-and-forward
+  /// unit on multi-hop paths. Senders without a gather engine cannot
+  /// fill a packet beyond their layout's contiguous run, so the
+  /// effective packet size of a transfer is min(PacketBytes, the
+  /// sender's egress burst).
+  std::uint64_t PacketBytes = 4096;
+  /// Per-packet framing overhead (header + CRC + credit flits) that
+  /// occupies the wire alongside the payload. This is what makes
+  /// element-granular exchanges expensive: an 8-byte payload behind a
+  /// 32-byte header uses 20% of the link, a 4 KiB packet over 99%.
+  std::uint64_t PacketHeaderBytes = 32;
+  /// The per-stack system (device geometry/timing, kernel, sim budget).
+  /// Node.N is the *global* problem size; each stack holds N / Stacks
+  /// rows (2D) or pencils (3D).
+  SystemConfig Node;
+
+  /// Calibrated default cluster for a global N x N problem on \p Stacks
+  /// stacks.
+  static ClusterConfig forProblemSize(std::uint64_t N, unsigned Stacks);
+
+  /// Sanity-checks the combination (divisibility, link rate). Aborts on
+  /// nonsense, like SystemConfig::validate.
+  void validate() const;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CLUSTER_CLUSTERCONFIG_H

@@ -1,0 +1,573 @@
+//===- cluster/ClusterFftProcessor.cpp - Distributed 2D/3D FFT ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterFftProcessor.h"
+
+#include "fft/Fft1d.h"
+#include "fft/StreamingKernel.h"
+#include "layout/LinearLayouts.h"
+#include "mem3d/Backend.h"
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+using namespace fft3d;
+
+namespace {
+
+/// One simulated stack: backend, engine, and the obs wiring. The stacks
+/// are simulated sequentially (each on its own engine and clock) and the
+/// slowest bounds every phase, as a hardware barrier would.
+struct SimStack {
+  std::unique_ptr<StackBackend> Backend;
+  std::unique_ptr<PhaseEngine> Engine;
+};
+
+std::vector<SimStack> buildStacks(const ClusterConfig &Config, Tracer *Trace,
+                                  MetricsRegistry *Metrics,
+                                  std::uint32_t TracePid) {
+  std::vector<SimStack> Stacks(Config.Stacks);
+  for (unsigned I = 0; I != Config.Stacks; ++I) {
+    SimStack &S = Stacks[I];
+    S.Backend = std::make_unique<StackBackend>(Config.Node.Mem,
+                                               Config.Node.SimThreads, I);
+    S.Engine = std::make_unique<PhaseEngine>(
+        S.Backend->memory(), S.Backend->events(),
+        Config.Node.MaxSimBytesPerDirection,
+        Config.Node.MaxSimOpsPerDirection);
+    S.Engine->setShardedEngine(&S.Backend->engine());
+    const std::uint32_t Pid = TracePid + I;
+    S.Backend->memory().setTracer(Trace, Pid);
+    S.Engine->setObservability(Trace, Metrics, Pid);
+    if (Trace)
+      Trace->setProcessName(Pid, "stack " + std::to_string(I));
+    if (Metrics)
+      S.Engine->setMetricsLabels(
+          MetricLabels{{"stack", std::to_string(I)}});
+  }
+  return Stacks;
+}
+
+/// Tracks the slowest stack's phase result.
+void keepSlowest(const PhaseResult &Res, Picos &MaxTime,
+                 PhaseResult &Slowest) {
+  if (Res.EstimatedPhaseTime >= MaxTime) {
+    MaxTime = Res.EstimatedPhaseTime;
+    Slowest = Res;
+  }
+}
+
+/// Canonical balanced all-to-all schedule over one group of stacks:
+/// round r sends from every member to the member r steps ahead. A fixed
+/// submission order keeps the FCFS fabric deterministic.
+void scheduleAllToAll(Interconnect &Net, const std::vector<unsigned> &Group,
+                      std::uint64_t Bytes, std::uint64_t GranuleBytes) {
+  const unsigned G = static_cast<unsigned>(Group.size());
+  for (unsigned Round = 1; Round < G; ++Round)
+    for (unsigned I = 0; I != G; ++I)
+      Net.send(Group[I], Group[(I + Round) % G], Bytes, GranuleBytes);
+}
+
+/// Slab/pencil ownership along one axis cut into \p Parts chunks of an
+/// \p N-extent: contiguous chunks under TwoLevel, modulo dealing under
+/// RoundRobin.
+struct AxisSplit {
+  std::uint64_t N = 0;
+  unsigned Parts = 1;
+  bool Contiguous = true;
+
+  std::uint64_t chunk() const { return N / Parts; }
+  unsigned owner(std::uint64_t I) const {
+    return static_cast<unsigned>(Contiguous ? I / chunk() : I % Parts);
+  }
+  std::uint64_t local(std::uint64_t I) const {
+    return Contiguous ? I % chunk() : I / Parts;
+  }
+  std::uint64_t global(unsigned Owner, std::uint64_t Local) const {
+    return Contiguous ? Owner * chunk() + Local : Local * Parts + Owner;
+  }
+};
+
+} // namespace
+
+ClusterFftProcessor::ClusterFftProcessor(const ClusterConfig &Config)
+    : Config(Config) {
+  Config.validate();
+}
+
+void ClusterFftProcessor::pencilGrid(unsigned Stacks, unsigned &P1,
+                                     unsigned &P2) {
+  P1 = 1;
+  while (P1 * P1 < Stacks)
+    P1 *= 2;
+  if (Stacks % P1 != 0)
+    reportFatalError("pencil grid requires a power-of-two stack count");
+  P2 = Stacks / P1;
+}
+
+ClusterReport ClusterFftProcessor::run2d() {
+  const std::uint64_t N = Config.Node.N;
+  const unsigned S = Config.Stacks;
+  const std::uint64_t R = N / S;
+  const std::uint64_t C = N / S;
+  const ArchParams &Arch = Config.Node.Optimized;
+
+  ClusterReport Rep;
+  Rep.N = N;
+  Rep.Stacks = S;
+  Rep.Topology = Config.Topology;
+  const ClusterLayoutPlanner Planner(Config.Node.Mem.Geo,
+                                     Config.Node.Mem.Time, ElementBytes);
+  Rep.Plan = Planner.plan(N, S, Arch.VaultsParallel, Config.Placement);
+
+  // Four equal regions per stack: slab input, phase-1 staging, the
+  // transpose's receive region, and phase-2 output.
+  const std::uint64_t SlabBytes = R * N * ElementBytes;
+  const std::uint64_t Stride =
+      roundUp(SlabBytes, Config.Node.Mem.Geo.RowBufferBytes);
+  const RowMajorLayout Input(R, N, ElementBytes, 0);
+  const BlockDynamicLayout Staging(R, N, ElementBytes, Stride,
+                                   Rep.Plan.Staging.W, Rep.Plan.Staging.H);
+  const BlockDynamicLayout Receive(N, C, ElementBytes, 2 * Stride,
+                                   Rep.Plan.Receive.W, Rep.Plan.Receive.H);
+  const BlockDynamicLayout Out(N, C, ElementBytes, 3 * Stride,
+                               Rep.Plan.Receive.W, Rep.Plan.Receive.H);
+  // Flat views for the round-robin comparator's element scatter.
+  const RowMajorLayout StagingFlat(R, N, ElementBytes, Stride);
+  const RowMajorLayout ReceiveFlat(N, C, ElementBytes, 2 * Stride);
+  const bool TwoLevel = Config.Placement == StackPlacement::TwoLevel;
+
+  const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
+  const double Pace = Kernel.streamGBps();
+  const auto RowBuf =
+      static_cast<std::uint32_t>(Config.Node.Mem.Geo.RowBufferBytes);
+
+  std::vector<SimStack> Stacks =
+      buildStacks(Config, Trace, Metrics, TracePid);
+
+  // Phase 1: every stack streams its slab's rows and writes blocks.
+  for (SimStack &St : Stacks) {
+    RowScanTrace P1Read(Input, RowBuf);
+    ChunkedBlockWriteTrace P1Write(Staging);
+    St.Engine->setPhaseName("row_phase");
+    keepSlowest(St.Engine->run({&P1Read, false, Arch.ReadWindow, Pace, 0},
+                               {&P1Write, true, Arch.WriteWindow, Pace,
+                                Kernel.pipelineFillTime()}),
+                Rep.RowPhaseTime, Rep.RowPhase);
+  }
+
+  // The all-to-all transpose: link traffic on the interconnect clock,
+  // and on every stack a memory phase that reads the departing tiles
+  // and lands the arriving ones, both paced at the link rate.
+  EventQueue XferEvents;
+  Interconnect Net(XferEvents, Config);
+  Net.setObservability(Trace, Metrics, TracePid + S);
+  if (Trace)
+    Trace->setProcessName(TracePid + S, "interconnect");
+  if (S > 1) {
+    std::vector<unsigned> All(S);
+    for (unsigned I = 0; I != S; ++I)
+      All[I] = I;
+    // The wire granule is the sender's contiguous run: two-level ships
+    // whole staging blocks (full packets), round-robin single elements
+    // (mostly framing).
+    scheduleAllToAll(Net, All, Rep.Plan.PairBytes,
+                     Rep.Plan.EgressBurstBytes);
+    XferEvents.run();
+    Rep.LinkTime = Net.lastDelivery();
+
+    for (SimStack &St : Stacks) {
+      std::unique_ptr<TraceSource> Egress, Ingress;
+      if (TwoLevel) {
+        Egress = std::make_unique<BlockTrace>(Staging,
+                                              BlockOrder::RowMajorBlocks);
+        Ingress = std::make_unique<ChunkedBlockWriteTrace>(Receive);
+      } else {
+        Egress = std::make_unique<ColScanTrace>(StagingFlat, ElementBytes);
+        Ingress = std::make_unique<ColScanTrace>(ReceiveFlat, ElementBytes);
+      }
+      St.Engine->setPhaseName("exchange");
+      keepSlowest(
+          St.Engine->run({Egress.get(), false, Arch.ReadWindow,
+                          Config.LinkGBps, 0},
+                         {Ingress.get(), true, Arch.WriteWindow,
+                          Config.LinkGBps, Config.LinkLatencyPicos}),
+          Rep.ExchangeMemTime, Rep.ExchangeMem);
+    }
+  }
+  Rep.ExchangeTime = std::max(Rep.LinkTime, Rep.ExchangeMemTime);
+
+  // Phase 2: whole-block streams down the received block columns.
+  for (SimStack &St : Stacks) {
+    BlockTrace P2Read(Receive, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Write(Out, BlockOrder::ColMajorBlocks);
+    St.Engine->setPhaseName("col_phase");
+    keepSlowest(St.Engine->run({&P2Read, false, Arch.ReadWindow, Pace, 0},
+                               {&P2Write, true, Arch.WriteWindow, Pace,
+                                Kernel.pipelineFillTime()}),
+                Rep.ColPhaseTime, Rep.ColPhase);
+  }
+
+  Rep.TotalTime = Rep.RowPhaseTime + Rep.ExchangeTime + Rep.ColPhaseTime;
+  const std::uint64_t MatrixBytes = N * N * ElementBytes;
+  Rep.AppThroughputGBps =
+      bytesOverPicosToGBps(6 * MatrixBytes, Rep.TotalTime);
+  Rep.XferMessages = Net.messages();
+  Rep.XferBytes = Net.payloadBytes();
+  if (Metrics)
+    Net.exportTo(*Metrics);
+  return Rep;
+}
+
+ClusterReport ClusterFftProcessor::run3d() {
+  const std::uint64_t N = Config.Node.N;
+  const unsigned S = Config.Stacks;
+  unsigned P1 = 1, P2 = 1;
+  pencilGrid(S, P1, P2);
+  const ArchParams &Arch = Config.Node.Optimized;
+
+  ClusterReport Rep;
+  Rep.N = N;
+  Rep.Stacks = S;
+  Rep.Topology = Config.Topology;
+  const ClusterLayoutPlanner Planner(Config.Node.Mem.Geo,
+                                     Config.Node.Mem.Time, ElementBytes);
+  Rep.Plan = Planner.plan(N, S, Arch.VaultsParallel, Config.Placement);
+
+  // Each stack holds N^3/S elements: N^2/S pencils of N elements,
+  // streamed as an (N^2/S) x N region. Same four-region scheme as 2D.
+  const std::uint64_t Lines = N * N / S;
+  const std::uint64_t LocalBytes = Lines * N * ElementBytes;
+  const std::uint64_t Stride =
+      roundUp(LocalBytes, Config.Node.Mem.Geo.RowBufferBytes);
+  const RowMajorLayout Input(Lines, N, ElementBytes, 0);
+  const BlockDynamicLayout Staging(Lines, N, ElementBytes, Stride,
+                                   Rep.Plan.Staging.W, Rep.Plan.Staging.H);
+  const BlockDynamicLayout Receive(Lines, N, ElementBytes, 2 * Stride,
+                                   Rep.Plan.Staging.W, Rep.Plan.Staging.H);
+  const BlockDynamicLayout Out(Lines, N, ElementBytes, 3 * Stride,
+                               Rep.Plan.Staging.W, Rep.Plan.Staging.H);
+  const RowMajorLayout StagingFlat(Lines, N, ElementBytes, Stride);
+  const RowMajorLayout ReceiveFlat(Lines, N, ElementBytes, 2 * Stride);
+  const bool TwoLevel = Config.Placement == StackPlacement::TwoLevel;
+
+  const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
+  const double Pace = Kernel.streamGBps();
+  const auto RowBuf =
+      static_cast<std::uint32_t>(Config.Node.Mem.Geo.RowBufferBytes);
+
+  std::vector<SimStack> Stacks =
+      buildStacks(Config, Trace, Metrics, TracePid);
+
+  EventQueue XferEvents;
+  Interconnect Net(XferEvents, Config);
+  Net.setObservability(Trace, Metrics, TracePid + S);
+  if (Trace)
+    Trace->setProcessName(TracePid + S, "interconnect");
+
+  // One redistribution: balanced all-to-all inside every \p Parts-sized
+  // grid group, plus the per-stack egress/ingress memory phase.
+  const auto runExchange = [&](unsigned Parts, bool GroupByRow,
+                               const char *PhaseName, Picos &LinkOut,
+                               PhaseResult &MemSlowest,
+                               Picos &MemOut) -> Picos {
+    if (Parts <= 1)
+      return 0;
+    const std::uint64_t MsgBytes = LocalBytes / Parts;
+    const Picos LinkStart = Net.lastDelivery();
+    for (unsigned G = 0; G != S / Parts; ++G) {
+      std::vector<unsigned> Group(Parts);
+      for (unsigned I = 0; I != Parts; ++I)
+        // Grid id = q * P1 + p: row groups share q (consecutive ids),
+        // column groups share p (stride-P1 ids).
+        Group[I] = GroupByRow ? G * Parts + I : G + I * (S / Parts);
+      scheduleAllToAll(Net, Group, MsgBytes, Rep.Plan.EgressBurstBytes);
+    }
+    XferEvents.run();
+    const Picos Link = Net.lastDelivery() - LinkStart;
+    LinkOut += Link;
+
+    Picos MemMax = 0;
+    for (SimStack &St : Stacks) {
+      std::unique_ptr<TraceSource> Egress, Ingress;
+      if (TwoLevel) {
+        Egress = std::make_unique<BlockTrace>(Staging,
+                                              BlockOrder::RowMajorBlocks);
+        Ingress = std::make_unique<ChunkedBlockWriteTrace>(Receive);
+      } else {
+        Egress = std::make_unique<ColScanTrace>(StagingFlat, ElementBytes);
+        Ingress = std::make_unique<ColScanTrace>(ReceiveFlat, ElementBytes);
+      }
+      St.Engine->setPhaseName(PhaseName);
+      keepSlowest(
+          St.Engine->run({Egress.get(), false, Arch.ReadWindow,
+                          Config.LinkGBps, 0},
+                         {Ingress.get(), true, Arch.WriteWindow,
+                          Config.LinkGBps, Config.LinkLatencyPicos}),
+          MemMax, MemSlowest);
+    }
+    MemOut += MemMax;
+    return std::max(Link, MemMax);
+  };
+
+  // x-pass: unit-stride pencils in, blocks out.
+  for (SimStack &St : Stacks) {
+    RowScanTrace PRead(Input, RowBuf);
+    ChunkedBlockWriteTrace PWrite(Staging);
+    St.Engine->setPhaseName("x_phase");
+    keepSlowest(St.Engine->run({&PRead, false, Arch.ReadWindow, Pace, 0},
+                               {&PWrite, true, Arch.WriteWindow, Pace,
+                                Kernel.pipelineFillTime()}),
+                Rep.RowPhaseTime, Rep.RowPhase);
+  }
+
+  Rep.ExchangeTime = runExchange(P1, /*GroupByRow=*/true, "exchange",
+                                 Rep.LinkTime, Rep.ExchangeMem,
+                                 Rep.ExchangeMemTime);
+
+  // y-pass: block fetch of the re-pencilled data, blocks out.
+  for (SimStack &St : Stacks) {
+    BlockTrace PRead(Receive, BlockOrder::ColMajorBlocks);
+    ChunkedBlockWriteTrace PWrite(Staging);
+    St.Engine->setPhaseName("y_phase");
+    keepSlowest(St.Engine->run({&PRead, false, Arch.ReadWindow, Pace, 0},
+                               {&PWrite, true, Arch.WriteWindow, Pace,
+                                Kernel.pipelineFillTime()}),
+                Rep.ColPhaseTime, Rep.ColPhase);
+  }
+
+  Rep.Exchange2Time = runExchange(P2, /*GroupByRow=*/false, "exchange2",
+                                  Rep.LinkTime, Rep.ExchangeMem,
+                                  Rep.ExchangeMemTime);
+
+  // z-pass: whole blocks both ways.
+  PhaseResult ZSlowest;
+  for (SimStack &St : Stacks) {
+    BlockTrace PRead(Receive, BlockOrder::ColMajorBlocks);
+    BlockTrace PWrite(Out, BlockOrder::ColMajorBlocks);
+    St.Engine->setPhaseName("z_phase");
+    keepSlowest(St.Engine->run({&PRead, false, Arch.ReadWindow, Pace, 0},
+                               {&PWrite, true, Arch.WriteWindow, Pace,
+                                Kernel.pipelineFillTime()}),
+                Rep.ZPhaseTime, ZSlowest);
+  }
+
+  Rep.TotalTime = Rep.RowPhaseTime + Rep.ExchangeTime + Rep.ColPhaseTime +
+                  Rep.Exchange2Time + Rep.ZPhaseTime;
+  const std::uint64_t VolumeBytes = N * N * N * ElementBytes;
+  Rep.AppThroughputGBps =
+      bytesOverPicosToGBps(10 * VolumeBytes, Rep.TotalTime);
+  Rep.XferMessages = Net.messages();
+  Rep.XferBytes = Net.payloadBytes();
+  if (Metrics)
+    Net.exportTo(*Metrics);
+  return Rep;
+}
+
+Matrix ClusterFftProcessor::compute2d(const Matrix &In,
+                                      const ClusterConfig &Config) {
+  Config.validate();
+  const std::uint64_t N = In.rows();
+  if (In.cols() != N)
+    reportFatalError("distributed 2D FFT requires a square matrix");
+  const unsigned S = Config.Stacks;
+  if (N % S != 0)
+    reportFatalError("stack count must divide the problem size N");
+  const std::uint64_t R = N / S;
+  const std::uint64_t C = N / S;
+  const AxisSplit Rows{N, S,
+                       Config.Placement == StackPlacement::TwoLevel};
+  const AxisSplit Cols = Rows;
+
+  // Phase 1: each stack runs the row FFTs of the rows it owns into its
+  // local slab store (local row index = the split's local coordinate).
+  const Fft1d Plan(N);
+  std::vector<Matrix> RowSlab(S, Matrix(R, N));
+  std::vector<CplxF> Line;
+  for (std::uint64_t Row = 0; Row != N; ++Row) {
+    In.copyRow(Row, Line);
+    Plan.forward(Line);
+    RowSlab[Rows.owner(Row)].setRow(Rows.local(Row), Line);
+  }
+
+  // All-to-all: src packs, for every dst, the elements of its rows that
+  // fall in dst's columns; dst unpacks them into its column store
+  // (global row x local column). Pack and unpack iterate the same
+  // (local row, dst column) order, so the flat buffer is a faithful
+  // message payload.
+  std::vector<Matrix> ColStore(S, Matrix(N, C));
+  std::vector<CplxF> Payload;
+  for (unsigned Src = 0; Src != S; ++Src)
+    for (unsigned Dst = 0; Dst != S; ++Dst) {
+      Payload.clear();
+      for (std::uint64_t Lr = 0; Lr != R; ++Lr)
+        for (std::uint64_t Lc = 0; Lc != C; ++Lc)
+          Payload.push_back(
+              RowSlab[Src].at(Lr, Cols.global(Dst, Lc)));
+      std::uint64_t At = 0;
+      for (std::uint64_t Lr = 0; Lr != R; ++Lr)
+        for (std::uint64_t Lc = 0; Lc != C; ++Lc)
+          ColStore[Dst].at(Rows.global(Src, Lr), Lc) = Payload[At++];
+    }
+
+  // Phase 2: each stack runs the column FFTs of its received columns.
+  Matrix Out(N, N);
+  std::vector<CplxF> Column;
+  for (unsigned Dst = 0; Dst != S; ++Dst)
+    for (std::uint64_t Lc = 0; Lc != C; ++Lc) {
+      ColStore[Dst].copyCol(Lc, Column);
+      Plan.forward(Column);
+      Out.setCol(Cols.global(Dst, Lc), Column);
+    }
+  return Out;
+}
+
+std::vector<CplxF>
+ClusterFftProcessor::compute3dReference(const std::vector<CplxF> &Vol,
+                                        std::uint64_t N) {
+  if (Vol.size() != N * N * N)
+    reportFatalError("volume size does not match N^3");
+  std::vector<CplxF> V = Vol;
+  const Fft1d Plan(N);
+  std::vector<CplxF> Line(N);
+  const auto runPass = [&](auto Index) {
+    for (std::uint64_t A = 0; A != N; ++A)
+      for (std::uint64_t B = 0; B != N; ++B) {
+        for (std::uint64_t I = 0; I != N; ++I)
+          Line[I] = V[Index(A, B, I)];
+        Plan.forward(Line);
+        for (std::uint64_t I = 0; I != N; ++I)
+          V[Index(A, B, I)] = Line[I];
+      }
+  };
+  runPass([N](std::uint64_t Z, std::uint64_t Y, std::uint64_t X) {
+    return (Z * N + Y) * N + X;
+  });
+  runPass([N](std::uint64_t Z, std::uint64_t X, std::uint64_t Y) {
+    return (Z * N + Y) * N + X;
+  });
+  runPass([N](std::uint64_t Y, std::uint64_t X, std::uint64_t Z) {
+    return (Z * N + Y) * N + X;
+  });
+  return V;
+}
+
+std::vector<CplxF>
+ClusterFftProcessor::compute3d(const std::vector<CplxF> &Vol,
+                               std::uint64_t N,
+                               const ClusterConfig &Config) {
+  if (Vol.size() != N * N * N)
+    reportFatalError("volume size does not match N^3");
+  const unsigned S = Config.Stacks;
+  unsigned P1 = 1, P2 = 1;
+  pencilGrid(S, P1, P2);
+  if (N % P1 != 0 || N % P2 != 0)
+    reportFatalError("pencil grid must divide the problem size N");
+  const bool Contig = Config.Placement == StackPlacement::TwoLevel;
+  // Grid coordinates of stack id: p = id % P1, q = id / P1.
+  const AxisSplit A1{N, P1, Contig}; // y (stage 1) and x (stages 2, 3)
+  const AxisSplit A2{N, P2, Contig}; // z (stages 1, 2) and y (stage 3)
+  const std::uint64_t N1 = N / P1;
+  const std::uint64_t N2 = N / P2;
+
+  const Fft1d Plan(N);
+  std::vector<CplxF> Line(N);
+
+  // Stage 1: stack (p, q) owns x-pencils with y in A1's chunk p and z
+  // in A2's chunk q, stored x-fastest: idx = (lz * N1 + ly) * N + x.
+  std::vector<std::vector<CplxF>> S1(S,
+                                     std::vector<CplxF>(N1 * N2 * N));
+  for (std::uint64_t Z = 0; Z != N; ++Z)
+    for (std::uint64_t Y = 0; Y != N; ++Y) {
+      const unsigned Owner = A2.owner(Z) * P1 + A1.owner(Y);
+      const std::uint64_t Base =
+          (A2.local(Z) * N1 + A1.local(Y)) * N;
+      for (std::uint64_t X = 0; X != N; ++X)
+        S1[Owner][Base + X] = Vol[(Z * N + Y) * N + X];
+    }
+  for (auto &Local : S1)
+    for (std::uint64_t L = 0; L != N1 * N2; ++L) {
+      std::copy_n(Local.begin() + L * N, N, Line.begin());
+      Plan.forward(Line);
+      std::copy_n(Line.begin(), N, Local.begin() + L * N);
+    }
+
+  // Redistribution 1, within grid rows (fixed q): x <-> y. Afterwards
+  // stack (p, q) owns y-pencils with x in chunk p, z in chunk q, stored
+  // y-fastest: idx = (lz * N1 + lx) * N + y.
+  std::vector<std::vector<CplxF>> S2(S,
+                                     std::vector<CplxF>(N1 * N2 * N));
+  std::vector<CplxF> Payload;
+  for (unsigned Q = 0; Q != P2; ++Q)
+    for (unsigned SrcP = 0; SrcP != P1; ++SrcP)
+      for (unsigned DstP = 0; DstP != P1; ++DstP) {
+        const unsigned Src = Q * P1 + SrcP;
+        const unsigned Dst = Q * P1 + DstP;
+        Payload.clear();
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Ly = 0; Ly != N1; ++Ly)
+            for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+              Payload.push_back(
+                  S1[Src][(Lz * N1 + Ly) * N + A1.global(DstP, Lx)]);
+        std::uint64_t At = 0;
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Ly = 0; Ly != N1; ++Ly)
+            for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+              S2[Dst][(Lz * N1 + Lx) * N + A1.global(SrcP, Ly)] =
+                  Payload[At++];
+      }
+  for (auto &Local : S2)
+    for (std::uint64_t L = 0; L != N1 * N2; ++L) {
+      std::copy_n(Local.begin() + L * N, N, Line.begin());
+      Plan.forward(Line);
+      std::copy_n(Line.begin(), N, Local.begin() + L * N);
+    }
+
+  // Redistribution 2, within grid columns (fixed p): y <-> z.
+  // Afterwards stack (p, q) owns z-pencils with x in chunk p, y in
+  // chunk q, stored z-fastest: idx = (ly * N1 + lx) * N + z.
+  std::vector<std::vector<CplxF>> S3(S,
+                                     std::vector<CplxF>(N1 * N2 * N));
+  for (unsigned P = 0; P != P1; ++P)
+    for (unsigned SrcQ = 0; SrcQ != P2; ++SrcQ)
+      for (unsigned DstQ = 0; DstQ != P2; ++DstQ) {
+        const unsigned Src = SrcQ * P1 + P;
+        const unsigned Dst = DstQ * P1 + P;
+        Payload.clear();
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+            for (std::uint64_t Ly = 0; Ly != N2; ++Ly)
+              Payload.push_back(
+                  S2[Src][(Lz * N1 + Lx) * N + A2.global(DstQ, Ly)]);
+        std::uint64_t At = 0;
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+            for (std::uint64_t Ly = 0; Ly != N2; ++Ly)
+              S3[Dst][(Ly * N1 + Lx) * N + A2.global(SrcQ, Lz)] =
+                  Payload[At++];
+      }
+  for (auto &Local : S3)
+    for (std::uint64_t L = 0; L != N1 * N2; ++L) {
+      std::copy_n(Local.begin() + L * N, N, Line.begin());
+      Plan.forward(Line);
+      std::copy_n(Line.begin(), N, Local.begin() + L * N);
+    }
+
+  // Reassemble the x-fastest volume from the z-pencil stores.
+  std::vector<CplxF> Result(N * N * N);
+  for (std::uint64_t Y = 0; Y != N; ++Y)
+    for (std::uint64_t X = 0; X != N; ++X) {
+      const unsigned Owner = A2.owner(Y) * P1 + A1.owner(X);
+      const std::uint64_t Base =
+          (A2.local(Y) * N1 + A1.local(X)) * N;
+      for (std::uint64_t Z = 0; Z != N; ++Z)
+        Result[(Z * N + Y) * N + X] = S3[Owner][Base + Z];
+    }
+  return Result;
+}

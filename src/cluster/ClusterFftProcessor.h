@@ -1,0 +1,134 @@
+//===- cluster/ClusterFftProcessor.h - Distributed 2D/3D FFT ----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distributed FFT application over S memory stacks:
+///
+///  - 2D, slab decomposition: stack i runs the row FFTs of rows
+///    [i*N/S, (i+1)*N/S), the stacks exchange (N/S)^2 tiles in an
+///    all-to-all transpose over the modeled interconnect, and stack i
+///    then runs the column FFTs of columns [i*N/S, (i+1)*N/S).
+///  - 3D, pencil decomposition: the stacks form a P1 x P2 grid; the
+///    x-pass runs on x-pencils, a first redistribution (within grid
+///    rows) re-pencils for the y-pass, and a second (within grid
+///    columns) re-pencils for the z-pass - the FFTX/MPI schedule.
+///
+/// Like Fft2dProcessor, the class is two independent halves. The timed
+/// half simulates each stack's memory phases on its own StackBackend and
+/// the transpose traffic on the Interconnect, and reports phase times
+/// with the exchange split into its link-limited and memory-limited
+/// parts. The functional half routes real data through the slab/pencil
+/// ownership, explicit per-pair message buffers, and the per-stack
+/// column stores - every 1D transform runs the same Fft1d plan on the
+/// same values as the host reference, so results are bit-identical to
+/// Fft2d::forward (and the three-pass volume reference) for every S.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CLUSTER_CLUSTERFFTPROCESSOR_H
+#define FFT3D_CLUSTER_CLUSTERFFTPROCESSOR_H
+
+#include "cluster/ClusterConfig.h"
+#include "cluster/ClusterLayoutPlanner.h"
+#include "cluster/Interconnect.h"
+#include "core/PhaseEngine.h"
+#include "fft/Matrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Simulation report for one distributed run.
+struct ClusterReport {
+  std::uint64_t N = 0;
+  unsigned Stacks = 1;
+  ClusterTopology Topology = ClusterTopology::AllToAll;
+  ClusterPlan Plan;
+  /// Compute-phase durations: the slowest stack bounds each phase (the
+  /// stacks run concurrently in hardware; the exchange barriers them).
+  /// 2D uses RowPhaseTime / ColPhaseTime; 3D maps its x/y/z passes onto
+  /// RowPhaseTime / ColPhaseTime / ZPhaseTime.
+  Picos RowPhaseTime = 0;
+  Picos ColPhaseTime = 0;
+  Picos ZPhaseTime = 0;
+  /// Exchange durations (3D has two; 2D leaves the second zero), each
+  /// the max of its link-limited and memory-limited parts.
+  Picos ExchangeTime = 0;
+  Picos Exchange2Time = 0;
+  /// The parts: interconnect delivery span vs the slowest stack's
+  /// egress/ingress memory phase, summed over the run's exchanges.
+  Picos LinkTime = 0;
+  Picos ExchangeMemTime = 0;
+  Picos TotalTime = 0;
+  /// Slowest stack's phase measurements (row-buffer behaviour of the
+  /// compute phases; the exchange's memory side).
+  PhaseResult RowPhase;
+  PhaseResult ColPhase;
+  PhaseResult ExchangeMem;
+  /// Aggregate problem throughput: total payload bytes of every phase
+  /// over TotalTime.
+  double AppThroughputGBps = 0.0;
+  /// Interconnect totals for the run.
+  std::uint64_t XferMessages = 0;
+  std::uint64_t XferBytes = 0;
+};
+
+/// Runs distributed FFTs over a modeled multi-stack system.
+class ClusterFftProcessor {
+public:
+  explicit ClusterFftProcessor(const ClusterConfig &Config);
+
+  const ClusterConfig &config() const { return Config; }
+
+  /// Attaches observability sinks for subsequent runs (either may be
+  /// null). Stack i's device and phases land on trace pid
+  /// \p TracePid + i; the interconnect on \p TracePid + Stacks. Metrics
+  /// are labeled {stack=i} / cluster.*.
+  void setObservability(Tracer *T, MetricsRegistry *M,
+                        std::uint32_t TracePid = 0) {
+    Trace = T;
+    Metrics = M;
+    this->TracePid = TracePid;
+  }
+
+  /// Simulates the distributed 2D FFT (slab decomposition).
+  ClusterReport run2d();
+
+  /// Simulates the distributed 3D FFT (pencil decomposition over a
+  /// P1 x P2 stack grid, two redistributions).
+  ClusterReport run3d();
+
+  /// Splits \p Stacks into the pencil grid (P1, P2): P1 the largest
+  /// power of two with P1 * P1 <= Stacks, P2 = Stacks / P1.
+  static void pencilGrid(unsigned Stacks, unsigned &P1, unsigned &P2);
+
+  /// Functional distributed 2D FFT of \p In: slab ownership, explicit
+  /// per-pair exchange buffers, per-stack column FFTs. Bit-identical to
+  /// Fft2d::forward for every stack count and placement.
+  static Matrix compute2d(const Matrix &In, const ClusterConfig &Config);
+
+  /// Functional distributed 3D FFT of the N^3 volume \p Vol (x fastest,
+  /// index (z*N + y)*N + x), pencil decomposition with two
+  /// redistributions. Bit-identical to compute3dReference.
+  static std::vector<CplxF> compute3d(const std::vector<CplxF> &Vol,
+                                      std::uint64_t N,
+                                      const ClusterConfig &Config);
+
+  /// Host reference: three straight passes of 1D FFTs over the volume.
+  static std::vector<CplxF> compute3dReference(const std::vector<CplxF> &Vol,
+                                               std::uint64_t N);
+
+private:
+  ClusterConfig Config;
+  Tracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+  std::uint32_t TracePid = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CLUSTER_CLUSTERFFTPROCESSOR_H

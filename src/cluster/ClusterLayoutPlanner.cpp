@@ -1,0 +1,79 @@
+//===- cluster/ClusterLayoutPlanner.cpp - Two-level Eq. 1 -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterLayoutPlanner.h"
+
+#include "fft/Complex.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+ClusterLayoutPlanner::ClusterLayoutPlanner(const Geometry &G,
+                                           const Timing &T,
+                                           unsigned ElementBytes)
+    : Inner(G, T, ElementBytes), ElementBytes(ElementBytes) {}
+
+BlockPlan ClusterLayoutPlanner::shapeToRegion(BlockPlan Plan,
+                                              std::uint64_t Rows,
+                                              std::uint64_t Cols) const {
+  // All quantities are powers of two (the base planner asserts N and
+  // produces pow2 w, h), so "divides" is "is no larger than".
+  while (Plan.H > Rows || Rows % Plan.H != 0) {
+    Plan.H /= 2;
+    Plan.W *= 2;
+  }
+  while (Plan.W > Cols || Cols % Plan.W != 0) {
+    Plan.W /= 2;
+    if (Plan.H * 2 <= Rows && Rows % (Plan.H * 2) == 0)
+      Plan.H *= 2;
+    // else: the region is smaller than a row buffer; the block shrinks.
+  }
+  if (Plan.H == 0 || Plan.W == 0)
+    reportFatalError("exchange tile too small for any block shape");
+  return Plan;
+}
+
+ClusterPlan ClusterLayoutPlanner::plan(std::uint64_t N, unsigned Stacks,
+                                       unsigned VaultsParallel,
+                                       StackPlacement Placement) const {
+  if (Stacks == 0 || N % Stacks != 0)
+    reportFatalError("stack count must divide the problem size N");
+
+  ClusterPlan Result;
+  Result.Stacks = Stacks;
+  Result.Placement = Placement;
+  Result.RowsPerStack = N / Stacks;
+  Result.ColsPerStack = N / Stacks;
+  Result.PairBytes =
+      Result.RowsPerStack * Result.ColsPerStack * ElementBytes;
+
+  if (Placement == StackPlacement::TwoLevel) {
+    // Level 1 (stack): contiguous slabs. Level 2 (vault): Eq. 1 with the
+    // per-stack stream count m = N/S; at S = 1 this is the m = N default
+    // and both plans below equal the single-stack planner's, untouched
+    // by the shaping clamps.
+    Result.Receive =
+        Inner.plan(N, VaultsParallel, /*ColumnStreams=*/Result.ColsPerStack);
+    Result.Receive = shapeToRegion(Result.Receive, N, Result.ColsPerStack);
+    Result.Staging = shapeToRegion(Result.Receive, Result.RowsPerStack,
+                                   Result.ColsPerStack);
+    Result.EgressBurstBytes =
+        Result.Staging.W * Result.Staging.H * ElementBytes;
+    Result.IngressBurstBytes = Result.Receive.W * ElementBytes;
+  } else {
+    // Round-robin keeps the global single-stack plan (it has no slab
+    // structure to re-solve for) and pays element-granular exchange.
+    Result.Receive = Inner.plan(N, VaultsParallel);
+    Result.Receive = shapeToRegion(Result.Receive, N, Result.ColsPerStack);
+    Result.Staging = shapeToRegion(Result.Receive, Result.RowsPerStack,
+                                   Result.ColsPerStack);
+    Result.EgressBurstBytes = ElementBytes;
+    Result.IngressBurstBytes = ElementBytes;
+  }
+  return Result;
+}

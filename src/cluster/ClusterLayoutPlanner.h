@@ -1,0 +1,105 @@
+//===- cluster/ClusterLayoutPlanner.h - Two-level Eq. 1 ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-level generalization of the paper's Eq. 1: block within vault
+/// within stack. The single-stack planner chooses the block shape (w, h)
+/// from the device timing and the number m of column streams buffered
+/// concurrently; the cluster planner additionally chooses the stack-level
+/// pencil assignment and re-solves Eq. 1 per stack with the *per-stack*
+/// stream count.
+///
+/// Under the two-level placement, stack i owns rows [i*N/S, (i+1)*N/S)
+/// before the transpose and columns [i*N/S, (i+1)*N/S) after it. Each
+/// ordered pair of stacks then exchanges exactly one contiguous
+/// (N/S) x (N/S) tile, and because the sender's staging blocks are
+/// shaped with w | N/S, every tile decomposes into whole blocks: the
+/// all-to-all reads whole DRAM rows on the sender and lands w-element
+/// bursts into the receiver's re-planned layout. The receiver's plan
+/// solves Eq. 1 with m = N/S - phase 2 on each stack only runs its own
+/// N/S column streams - which pushes small clusters into the
+/// buffer-limited regime (taller blocks) exactly as the equation
+/// predicts.
+///
+/// The round-robin placement is the naive comparator: rows and columns
+/// dealt modulo S, so the same tile volume crosses the links as
+/// element-granular scatter traffic and the per-stack plan has no slab
+/// structure to exploit.
+///
+/// With S = 1 both placements degenerate to the single-stack planner's
+/// plan, byte-identically: m = N/1 is exactly the m = N default of
+/// LayoutPlanner::plan, and the region-shaping clamps are no-ops on an
+/// N x N region - the property the degeneracy test pins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CLUSTER_CLUSTERLAYOUTPLANNER_H
+#define FFT3D_CLUSTER_CLUSTERLAYOUTPLANNER_H
+
+#include "cluster/ClusterConfig.h"
+#include "layout/LayoutPlanner.h"
+
+namespace fft3d {
+
+/// Joint stack-level + per-stack layout decision for one distributed
+/// N x N transform.
+struct ClusterPlan {
+  unsigned Stacks = 1;
+  StackPlacement Placement = StackPlacement::TwoLevel;
+  /// Slab extent per stack: N / Stacks rows before the transpose,
+  /// N / Stacks columns after it.
+  std::uint64_t RowsPerStack = 0;
+  std::uint64_t ColsPerStack = 0;
+  /// Per-stack layout of the phase-1 output (the RowsPerStack x N
+  /// staging region the transpose reads from). Shaped so blocks tile
+  /// the per-destination (RowsPerStack x ColsPerStack) exchange tiles.
+  BlockPlan Staging;
+  /// Per-stack layout of the phase-2 input (the N x ColsPerStack
+  /// receive region): Eq. 1 re-solved with the per-stack stream count
+  /// m = ColsPerStack.
+  BlockPlan Receive;
+  /// Payload each ordered (src != dst) stack pair exchanges.
+  std::uint64_t PairBytes = 0;
+  /// Contiguous burst per transpose read on the sender / write on the
+  /// receiver - the quantity the placement fights for. Two-level reads
+  /// whole staging blocks and lands Receive.W-wide chunks; round-robin
+  /// moves single elements.
+  std::uint64_t EgressBurstBytes = 0;
+  std::uint64_t IngressBurstBytes = 0;
+};
+
+/// Solves the two-level layout problem for a given device.
+class ClusterLayoutPlanner {
+public:
+  ClusterLayoutPlanner(const Geometry &G, const Timing &T,
+                       unsigned ElementBytes);
+
+  /// Plans the distributed N x N transform over \p Stacks stacks, each
+  /// spreading its local blocks across \p VaultsParallel vaults.
+  /// \p Stacks must divide \p N.
+  ClusterPlan plan(std::uint64_t N, unsigned Stacks,
+                   unsigned VaultsParallel,
+                   StackPlacement Placement = StackPlacement::TwoLevel)
+      const;
+
+  const LayoutPlanner &inner() const { return Inner; }
+
+private:
+  /// Re-shapes \p Plan's (w, h) so h | Rows and w | Cols, moving
+  /// power-of-two factors between the two while preserving w * h where
+  /// possible (a no-op when the block already tiles the region). When
+  /// the region is smaller than one row buffer the block shrinks to the
+  /// region and no longer fills a DRAM row.
+  BlockPlan shapeToRegion(BlockPlan Plan, std::uint64_t Rows,
+                          std::uint64_t Cols) const;
+
+  LayoutPlanner Inner;
+  unsigned ElementBytes;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CLUSTER_CLUSTERLAYOUTPLANNER_H

@@ -1,0 +1,172 @@
+//===- cluster/Interconnect.cpp - Inter-stack link model ------------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Interconnect.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+Interconnect::Interconnect(EventQueue &Events, const ClusterConfig &Config)
+    : Events(Events), Config(Config) {
+  const unsigned S = Config.Stacks;
+  Resources.resize(2 * S);
+  for (unsigned I = 0; I != S; ++I) {
+    if (Config.Topology == ClusterTopology::AllToAll) {
+      Resources[I].Name = "egress" + std::to_string(I);
+      Resources[S + I].Name = "ingress" + std::to_string(I);
+    } else {
+      // Segment I joins stacks I and (I+1) % S; cw crosses it upward,
+      // ccw downward.
+      Resources[I].Name = "cw" + std::to_string(I);
+      Resources[S + I].Name = "ccw" + std::to_string(I);
+    }
+  }
+}
+
+Picos Interconnect::txTime(std::uint64_t Bytes) const {
+  const double Ps = static_cast<double>(Bytes) *
+                    static_cast<double>(PicosPerNano) / Config.LinkGBps;
+  const auto T = static_cast<Picos>(Ps + 0.5);
+  return T == 0 ? 1 : T;
+}
+
+void Interconnect::pathFor(unsigned Src, unsigned Dst,
+                           std::vector<unsigned> &Hops) const {
+  Hops.clear();
+  const unsigned S = Config.Stacks;
+  if (Config.Topology == ClusterTopology::AllToAll) {
+    Hops.push_back(Src);     // egress port of Src
+    Hops.push_back(S + Dst); // ingress port of Dst
+    return;
+  }
+  const unsigned Cw = (Dst + S - Src) % S;
+  const unsigned Ccw = S - Cw;
+  if (Cw <= Ccw) {
+    for (unsigned At = Src; At != Dst; At = (At + 1) % S)
+      Hops.push_back(At); // cw over segment At
+  } else {
+    for (unsigned At = Src; At != Dst; At = (At + S - 1) % S)
+      Hops.push_back(S + (At + S - 1) % S); // ccw over segment At-1
+  }
+}
+
+Picos Interconnect::send(unsigned Src, unsigned Dst, std::uint64_t Bytes,
+                         std::uint64_t GranuleBytes,
+                         EventQueue::Action OnDone) {
+  if (Src >= Config.Stacks || Dst >= Config.Stacks)
+    reportFatalError("interconnect send outside the cluster");
+  const Picos Now = Events.now();
+  Picos Delivery = Now;
+
+  if (Src != Dst && Bytes != 0) {
+    pathFor(Src, Dst, PathScratch);
+    const std::uint64_t Payload =
+        GranuleBytes == 0
+            ? Config.PacketBytes
+            : std::min(std::max<std::uint64_t>(GranuleBytes, 1),
+                       Config.PacketBytes);
+    const std::uint64_t Packets = ceilDiv(Bytes, Payload);
+    const std::uint64_t LastChunk = Bytes - (Packets - 1) * Payload;
+    // Per-packet wire occupancy includes the framing flits; the whole
+    // message's serialization on one resource is closed-form from the
+    // uniform packet stream.
+    const Picos TxFull = txTime(Payload + Config.PacketHeaderBytes);
+    const Picos TxLast = txTime(LastChunk + Config.PacketHeaderBytes);
+    const Picos Serial =
+        static_cast<Picos>(Packets - 1) * TxFull + TxLast;
+    const Picos TxFirst = Packets > 1 ? TxFull : TxLast;
+
+    if (Config.Topology == ClusterTopology::AllToAll) {
+      // One hop, two simultaneous reservations: the sender's egress
+      // port and the receiver's ingress port.
+      Resource &E = Resources[PathScratch[0]];
+      Resource &I = Resources[PathScratch[1]];
+      const Picos Start = std::max({Now, E.BusyUntil, I.BusyUntil});
+      const Picos End = Start + Serial;
+      E.BusyUntil = I.BusyUntil = End;
+      for (Resource *R : {&E, &I}) {
+        R->Stats.Packets += Packets;
+        R->Stats.Bytes += Bytes;
+        R->Stats.BusyTime += Serial;
+      }
+      // Queueing counted once per message (on the egress side).
+      E.Stats.QueueDelay += Start - Now;
+      Delivery = End + Config.LinkLatencyPicos;
+    } else {
+      // Store-and-forward along the ring: hop h+1 begins once the
+      // first packet clears hop h, and drains at the same rate, so
+      // each hop adds one packet time plus the hop latency.
+      Picos Ready = Now;
+      Picos End = Now;
+      for (const unsigned H : PathScratch) {
+        Resource &R = Resources[H];
+        const Picos Start = std::max(Ready, R.BusyUntil);
+        End = Start + Serial;
+        R.BusyUntil = End;
+        R.Stats.Packets += Packets;
+        R.Stats.Bytes += Bytes;
+        R.Stats.BusyTime += Serial;
+        R.Stats.QueueDelay += Start - Ready;
+        Ready = Start + TxFirst + Config.LinkLatencyPicos;
+      }
+      Delivery = End + Config.LinkLatencyPicos;
+    }
+  }
+
+  Messages += 1;
+  PayloadBytes += Bytes;
+  LastDelivery = std::max(LastDelivery, Delivery);
+  if (Trace && Trace->wants(TraceCatXfer) && Src != Dst)
+    Trace->span(TraceCatXfer, "xfer", TracePid, /*Tid=*/Src, Now,
+                Delivery - Now, "bytes", Bytes, "dst", Dst);
+  if (OnDone)
+    Events.scheduleAt(Delivery, std::move(OnDone));
+  return Delivery;
+}
+
+Picos Interconnect::uncontendedTime(std::uint64_t Bytes, unsigned Hops,
+                                    std::uint64_t GranuleBytes) const {
+  if (Bytes == 0 || Hops == 0)
+    return 0;
+  // Same closed form as send(), on a private idle fabric.
+  const std::uint64_t Payload =
+      GranuleBytes == 0
+          ? Config.PacketBytes
+          : std::min(std::max<std::uint64_t>(GranuleBytes, 1),
+                     Config.PacketBytes);
+  const std::uint64_t Packets = ceilDiv(Bytes, Payload);
+  const std::uint64_t LastChunk = Bytes - (Packets - 1) * Payload;
+  const Picos TxFull = txTime(Payload + Config.PacketHeaderBytes);
+  const Picos TxLast = txTime(LastChunk + Config.PacketHeaderBytes);
+  const Picos Serial = static_cast<Picos>(Packets - 1) * TxFull + TxLast;
+  const Picos TxFirst = Packets > 1 ? TxFull : TxLast;
+  return Serial + static_cast<Picos>(Hops - 1) * (TxFirst) +
+         static_cast<Picos>(Hops) * Config.LinkLatencyPicos;
+}
+
+void Interconnect::exportTo(MetricsRegistry &Registry) const {
+  for (const Resource &R : Resources) {
+    const MetricLabels Labels{{"link", R.Name}};
+    Registry.counter("cluster.link.packets", Labels).add(R.Stats.Packets);
+    Registry.counter("cluster.link.bytes", Labels).add(R.Stats.Bytes);
+    Registry.counter("cluster.link.busy_ps", Labels).add(R.Stats.BusyTime);
+    Registry.counter("cluster.link.queue_ps", Labels)
+        .add(R.Stats.QueueDelay);
+  }
+  Registry.counter("cluster.xfer.messages").add(Messages);
+  Registry.counter("cluster.xfer.bytes").add(PayloadBytes);
+}
+
+void Interconnect::resetStats() {
+  for (Resource &R : Resources)
+    R.Stats = LinkStats();
+  Messages = 0;
+  PayloadBytes = 0;
+}

@@ -1,0 +1,163 @@
+//===- cluster/Interconnect.h - Inter-stack link model ----------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modeled interconnect between memory stacks: per-link bandwidth,
+/// per-hop latency, and FCFS contention queueing, driven as event traffic
+/// on the caller's simulated clock. Two topologies:
+///
+///  - AllToAll: every stack owns one egress and one ingress port of
+///    LinkGBps each (a full crossbar between ports). A message reserves
+///    its source's egress port and its destination's ingress port for
+///    its whole serialization, so concurrent senders to one receiver
+///    queue on that receiver's ingress - the incast the transpose must
+///    survive.
+///  - Ring: S bidirectional segments; a message hops store-and-forward
+///    along the shorter direction (ties go clockwise), reserving each
+///    physical segment it crosses. Packets pipeline across hops: hop
+///    h+1 starts as soon as the first packet clears hop h.
+///
+/// Messages are chunked into packets of min(PacketBytes, the sender's
+/// contiguous-run granule), each carrying PacketHeaderBytes of framing;
+/// serialization time is closed-form over the packet count, so an
+/// element-granular exchange costs its (large) header tax without a
+/// per-element event loop. Reservation is analytic FCFS - each resource
+/// keeps a busy-until horizon and messages start at max(ready, horizon)
+/// in submission order - so a fixed send order yields bit-identical
+/// timings on every host thread count, matching the simulator's
+/// determinism contract. Deliveries are posted to the EventQueue,
+/// keeping interconnect and memory traffic on one clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CLUSTER_INTERCONNECT_H
+#define FFT3D_CLUSTER_INTERCONNECT_H
+
+#include "cluster/ClusterConfig.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "sim/EventQueue.h"
+
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// Traffic and queueing counters of one directed link resource (a port
+/// in AllToAll, a ring segment direction in Ring) - the interconnect's
+/// analogue of VaultStats.
+struct LinkStats {
+  /// Packets that crossed this resource.
+  std::uint64_t Packets = 0;
+  std::uint64_t Bytes = 0;
+  /// Total time the resource carried data.
+  Picos BusyTime = 0;
+  /// Total time packets waited for the resource (FCFS queueing).
+  Picos QueueDelay = 0;
+
+  double utilization(Picos Elapsed) const {
+    return Elapsed == 0 ? 0.0
+                        : static_cast<double>(BusyTime) /
+                              static_cast<double>(Elapsed);
+  }
+};
+
+/// Event-driven inter-stack message fabric.
+class Interconnect {
+public:
+  /// Builds the fabric for \p Config's topology over \p Config.Stacks
+  /// stacks; \p Events is the simulated clock deliveries land on.
+  Interconnect(EventQueue &Events, const ClusterConfig &Config);
+
+  /// Attaches observability sinks (either may be null): the tracer gets
+  /// one "xfer" span per message (category xfer, tid = source stack),
+  /// the registry receives exportTo() counters.
+  void setObservability(Tracer *T, MetricsRegistry *M,
+                        std::uint32_t TracePid = 0) {
+    Trace = T;
+    Metrics = M;
+    this->TracePid = TracePid;
+  }
+
+  /// Submits a \p Bytes-byte message from stack \p Src to stack \p Dst
+  /// at the current simulated time. Computes the FCFS-queued delivery
+  /// time, schedules \p OnDone (if any) at it, and returns it.
+  /// Src == Dst delivers immediately (stack-local data never crosses a
+  /// link).
+  ///
+  /// \p GranuleBytes is the sender's contiguous-run length: packets are
+  /// at most min(Config.PacketBytes, GranuleBytes) of payload (0 means
+  /// full packets), and every packet pays Config.PacketHeaderBytes of
+  /// framing on the wire. A layout whose departing data is contiguous
+  /// ships near-full packets; an element-granular scatter ships mostly
+  /// headers.
+  Picos send(unsigned Src, unsigned Dst, std::uint64_t Bytes,
+             std::uint64_t GranuleBytes = 0,
+             EventQueue::Action OnDone = {});
+
+  /// Latest delivery time of any message submitted so far.
+  Picos lastDelivery() const { return LastDelivery; }
+
+  unsigned numResources() const {
+    return static_cast<unsigned>(Resources.size());
+  }
+  const LinkStats &resourceStats(unsigned R) const {
+    return Resources[R].Stats;
+  }
+  const std::string &resourceName(unsigned R) const {
+    return Resources[R].Name;
+  }
+
+  /// Messages and payload bytes submitted so far.
+  std::uint64_t messages() const { return Messages; }
+  std::uint64_t payloadBytes() const { return PayloadBytes; }
+
+  /// Aggregate serialization time of one \p Bytes message over an
+  /// uncontended link (no queueing, including per-hop latency for \p
+  /// Hops hops) - the lower bound send() converges to on an idle fabric.
+  /// \p GranuleBytes as in send().
+  Picos uncontendedTime(std::uint64_t Bytes, unsigned Hops = 1,
+                        std::uint64_t GranuleBytes = 0) const;
+
+  /// Adds the current counters into \p Registry: per-resource
+  /// "cluster.link.*" labeled {link=<name>}, plus "cluster.xfer.*"
+  /// fabric totals. Counters add on export, like MemStats::exportTo.
+  void exportTo(MetricsRegistry &Registry) const;
+
+  /// Zeroes all counters (busy horizons are kept: the fabric stays on
+  /// the simulated clock).
+  void resetStats();
+
+private:
+  struct Resource {
+    std::string Name;
+    /// FCFS horizon: the time until which the resource is reserved.
+    Picos BusyUntil = 0;
+    LinkStats Stats;
+  };
+
+  /// Serialization time of \p Bytes at LinkGBps, at least 1 ps.
+  Picos txTime(std::uint64_t Bytes) const;
+  /// Directed resource chain a Src -> Dst message crosses.
+  void pathFor(unsigned Src, unsigned Dst,
+               std::vector<unsigned> &Hops) const;
+
+  EventQueue &Events;
+  const ClusterConfig &Config;
+  std::vector<Resource> Resources;
+  Tracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+  std::uint32_t TracePid = 0;
+  Picos LastDelivery = 0;
+  std::uint64_t Messages = 0;
+  std::uint64_t PayloadBytes = 0;
+  /// Scratch for pathFor, reused across sends.
+  mutable std::vector<unsigned> PathScratch;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CLUSTER_INTERCONNECT_H

@@ -12,7 +12,7 @@
 #include "fft/StreamingKernel.h"
 #include "layout/LayoutPlanner.h"
 #include "layout/LinearLayouts.h"
-#include "sim/ShardedEventQueue.h"
+#include "mem3d/Backend.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -63,14 +63,11 @@ BatchReport BatchProcessor::run(unsigned Frames) const {
 
   // Stage 1: one phase alone (the pipeline's fill and drain stages).
   {
-    ShardedEventQueue Sharded(Config.Mem.Geo.NumVaults,
-                              conservativeLookahead(Config.Mem.Time),
-                              Config.SimThreads);
-    EventQueue &Events = Sharded.host();
-    Memory3D Mem(Sharded, Config.Mem);
-    PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+    StackBackend Stack(Config.Mem, Config.SimThreads);
+    PhaseEngine Engine(Stack.memory(), Stack.events(),
+                       Config.MaxSimBytesPerDirection,
                        Config.MaxSimOpsPerDirection);
-    Engine.setShardedEngine(&Sharded);
+    Engine.setShardedEngine(&Stack.engine());
     BlockTrace P2Read(MidA, BlockOrder::ColMajorBlocks);
     BlockTrace P2Write(OutA, BlockOrder::ColMajorBlocks);
     const PhaseResult Lone = Engine.run(
@@ -82,14 +79,11 @@ BatchReport BatchProcessor::run(unsigned Frames) const {
 
   // Stage 2: the overlapped steady stage - four streams on one memory.
   {
-    ShardedEventQueue Sharded(Config.Mem.Geo.NumVaults,
-                              conservativeLookahead(Config.Mem.Time),
-                              Config.SimThreads);
-    EventQueue &Events = Sharded.host();
-    Memory3D Mem(Sharded, Config.Mem);
-    PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
+    StackBackend Stack(Config.Mem, Config.SimThreads);
+    PhaseEngine Engine(Stack.memory(), Stack.events(),
+                       Config.MaxSimBytesPerDirection,
                        Config.MaxSimOpsPerDirection);
-    Engine.setShardedEngine(&Sharded);
+    Engine.setShardedEngine(&Stack.engine());
     // Frame i: column phase over MidA -> OutA.
     BlockTrace P2Read(MidA, BlockOrder::ColMajorBlocks);
     BlockTrace P2Write(OutA, BlockOrder::ColMajorBlocks);

@@ -9,8 +9,8 @@
 #include "fft/Fft2d.h"
 #include "fft/StreamingKernel.h"
 #include "layout/LinearLayouts.h"
+#include "mem3d/Backend.h"
 #include "permute/ControlUnit.h"
-#include "sim/ShardedEventQueue.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -45,14 +45,12 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   // (when, vault, seq) completion order is the canonical one, and running
   // every thread count through the same code path is what makes the
   // determinism claim testable rather than aspirational.
-  ShardedEventQueue Sharded(Config.Mem.Geo.NumVaults,
-                            conservativeLookahead(Config.Mem.Time),
-                            Config.SimThreads);
-  EventQueue &Events = Sharded.host();
-  Memory3D Mem(Sharded, Config.Mem);
+  StackBackend Stack(Config.Mem, Config.SimThreads);
+  EventQueue &Events = Stack.events();
+  Memory3D &Mem = Stack.memory();
   PhaseEngine Engine(Mem, Events, Config.MaxSimBytesPerDirection,
                      Config.MaxSimOpsPerDirection);
-  Engine.setShardedEngine(&Sharded);
+  Engine.setShardedEngine(&Stack.engine());
   Mem.setTracer(Trace, TracePid);
   Engine.setObservability(Trace, Metrics, TracePid);
   if (Trace)

@@ -215,8 +215,9 @@ PhaseResult PhaseEngine::runStreams(std::vector<StreamParams> Streams) {
                 Result.BytesRead + Result.BytesWritten, "ops", Result.Ops);
   // Export before the next phase's reset discards this phase's counters.
   if (Metrics) {
-    Mem.stats().exportTo(*Metrics);
-    const MetricLabels Phase{{"phase", PhaseName}};
+    Mem.stats().exportTo(*Metrics, ExtraLabels);
+    MetricLabels Phase = ExtraLabels;
+    Phase.add("phase", PhaseName);
     Metrics->counter("phase.runs", Phase).add(1);
     Metrics->counter("phase.elapsed_ps", Phase).add(Result.Elapsed);
     Metrics->counter("phase.bytes", Phase)

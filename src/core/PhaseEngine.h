@@ -120,6 +120,14 @@ public:
   /// Names the next run's phase span (sticky; must be a string literal).
   void setPhaseName(const char *Name) { PhaseName = Name; }
 
+  /// Extra labels merged into every metric this engine exports (sticky).
+  /// Multi-stack runs set {{"stack", S}} so the S engines' "mem.*" and
+  /// "phase.*" series stay distinct; the default (empty) leaves
+  /// single-stack metric names untouched.
+  void setMetricsLabels(MetricLabels Extra) {
+    ExtraLabels = std::move(Extra);
+  }
+
   /// Attaches the vault-sharded engine (null detaches): run() then drives
   /// all shards through the windowed protocol instead of the host queue
   /// alone, and folds the per-vault latency shards at phase end. \p S
@@ -137,6 +145,7 @@ private:
   MetricsRegistry *Metrics = nullptr;
   std::uint32_t TracePid = 0;
   const char *PhaseName = "phase";
+  MetricLabels ExtraLabels;
 };
 
 } // namespace fft3d

@@ -1,0 +1,18 @@
+//===- mem3d/Backend.cpp - One memory stack behind a seam -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem3d/Backend.h"
+
+using namespace fft3d;
+
+Backend::~Backend() = default;
+
+StackBackend::StackBackend(const MemoryConfig &Config, unsigned SimThreads,
+                           unsigned Id)
+    : StackId(Id),
+      Engine(Config.Geo.NumVaults, conservativeLookahead(Config.Time),
+             SimThreads),
+      Mem(Engine, Config) {}

@@ -1,0 +1,84 @@
+//===- mem3d/Backend.h - One memory stack behind a seam ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-backend seam: a Backend is one complete 3D-memory stack
+/// together with the simulation engine that drives it. Everything above
+/// this interface (phase engines, processors, the cluster layer) talks to
+/// a stack only through it, so one process can host S independent stacks
+/// - each with its own ShardedEventQueue, its own vault controllers and
+/// its own simulated clock - without the single-stack code paths knowing.
+///
+/// StackBackend is the concrete device-backed implementation. Its
+/// construction order (engine first, then the device on that engine) is
+/// exactly the order the single-stack processors used before the seam
+/// existed, so extracting it changes no observable behavior: byte-for-byte
+/// identical stats, traces and reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_MEM3D_BACKEND_H
+#define FFT3D_MEM3D_BACKEND_H
+
+#include "mem3d/Memory3D.h"
+#include "sim/ShardedEventQueue.h"
+
+namespace fft3d {
+
+/// Interface over one memory stack: the device plus the engine that
+/// advances its simulated time. Implementations own both; callers hold
+/// references only for the backend's lifetime.
+class Backend {
+public:
+  virtual ~Backend();
+
+  /// Stable identifier of this stack within its cluster (0 for the lone
+  /// stack of a single-stack run).
+  virtual unsigned id() const = 0;
+
+  /// The stack's memory device.
+  virtual Memory3D &memory() = 0;
+
+  /// The host-shard event queue: submissions, completions and phase
+  /// wakeups for this stack all execute here.
+  virtual EventQueue &events() = 0;
+
+  /// The vault-sharded engine driving this stack.
+  virtual ShardedEventQueue &engine() = 0;
+
+  /// This stack's current simulated time (host-shard clock).
+  Picos now() const { return const_cast<Backend *>(this)->events().now(); }
+};
+
+/// One simulated 3D-memory stack: a vault-sharded conservative engine
+/// plus a Memory3D built on it. Not copyable or movable (the device holds
+/// references into the engine).
+class StackBackend final : public Backend {
+public:
+  /// Builds the stack: the engine gets one shard per vault, the device's
+  /// conservative lookahead, and \p SimThreads workers; the device is
+  /// then built on that engine. \p Id names the stack in multi-stack
+  /// runs (labels, trace pids).
+  explicit StackBackend(const MemoryConfig &Config, unsigned SimThreads = 1,
+                        unsigned Id = 0);
+
+  StackBackend(const StackBackend &) = delete;
+  StackBackend &operator=(const StackBackend &) = delete;
+
+  unsigned id() const override { return StackId; }
+  Memory3D &memory() override { return Mem; }
+  EventQueue &events() override { return Engine.host(); }
+  ShardedEventQueue &engine() override { return Engine; }
+
+private:
+  unsigned StackId;
+  ShardedEventQueue Engine;
+  Memory3D Mem;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_MEM3D_BACKEND_H

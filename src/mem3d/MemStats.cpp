@@ -141,13 +141,20 @@ void exportVault(MetricsRegistry &Registry, const VaultStats &V,
 } // namespace
 
 void MemStats::exportTo(MetricsRegistry &Registry) const {
-  for (unsigned I = 0; I != numVaults(); ++I)
-    exportVault(Registry, Vaults[I],
-                MetricLabels{{"vault", std::to_string(I)}});
-  exportVault(Registry, total(), MetricLabels());
-  Registry.counter("mem.latency_samples").add(LatencyStat.count());
-  Registry.gauge("mem.latency_mean_ns").set(LatencyStat.mean());
-  Registry.gauge("mem.latency_max_ns").set(LatencyStat.max());
+  exportTo(Registry, MetricLabels());
+}
+
+void MemStats::exportTo(MetricsRegistry &Registry,
+                        const MetricLabels &Extra) const {
+  for (unsigned I = 0; I != numVaults(); ++I) {
+    MetricLabels Labels = Extra;
+    Labels.add("vault", std::to_string(I));
+    exportVault(Registry, Vaults[I], Labels);
+  }
+  exportVault(Registry, total(), Extra);
+  Registry.counter("mem.latency_samples", Extra).add(LatencyStat.count());
+  Registry.gauge("mem.latency_mean_ns", Extra).set(LatencyStat.mean());
+  Registry.gauge("mem.latency_max_ns", Extra).set(LatencyStat.max());
 }
 
 void MemStats::print(std::ostream &OS, Picos Elapsed) const {

@@ -134,6 +134,13 @@ public:
   /// sample-count counter.
   void exportTo(MetricsRegistry &Registry) const;
 
+  /// As above, with \p Extra labels merged into every exported metric.
+  /// Multi-stack runs pass {{"stack", S}} so S devices' "mem.*" series
+  /// stay distinct (the per-vault label becomes {stack=S, vault=V}) and
+  /// snapshots merge deterministically instead of colliding. The
+  /// empty-label overload above is the unchanged single-stack spelling.
+  void exportTo(MetricsRegistry &Registry, const MetricLabels &Extra) const;
+
 private:
   /// One vault's private latency accumulator, cache-line padded because
   /// adjacent vaults' controllers feed them from different threads.

@@ -23,6 +23,8 @@ const char *fft3d::traceCategoryName(TraceCategory Cat) {
     return "serve";
   case TraceCatFault:
     return "fault";
+  case TraceCatXfer:
+    return "xfer";
   }
   fft3d_unreachable("unknown TraceCategory");
 }
@@ -52,10 +54,12 @@ bool fft3d::parseTraceCategories(const std::string &Text,
       Mask |= TraceCatServe;
     else if (Token == "fault")
       Mask |= TraceCatFault;
+    else if (Token == "xfer")
+      Mask |= TraceCatXfer;
     else {
       if (Error)
         *Error = "unknown trace category '" + Token +
-                 "' (expected mem, phase, serve, fault, all)";
+                 "' (expected mem, phase, serve, fault, xfer, all)";
       return false;
     }
     if (Comma == Text.size())

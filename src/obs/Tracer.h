@@ -58,10 +58,14 @@ enum TraceCategory : std::uint32_t {
   /// Fault injection: ECC retries, throttle stalls, offline redirects
   /// and failures, transient job failures.
   TraceCatFault = 1u << 3,
+  /// Inter-stack transfers: cluster interconnect message spans and
+  /// per-link queueing.
+  TraceCatXfer = 1u << 4,
 };
 
 constexpr std::uint32_t TraceCatAll =
-    TraceCatMem | TraceCatPhase | TraceCatServe | TraceCatFault;
+    TraceCatMem | TraceCatPhase | TraceCatServe | TraceCatFault |
+    TraceCatXfer;
 
 /// Short lowercase name of one category ("mem", "phase", ...).
 const char *traceCategoryName(TraceCategory Cat);

@@ -6,6 +6,7 @@
 
 #include "serve/ServiceModel.h"
 
+#include "cluster/ClusterFftProcessor.h"
 #include "core/BatchProcessor.h"
 #include "fft/Complex.h"
 #include "support/ErrorHandling.h"
@@ -24,15 +25,21 @@ Picos ServiceEstimate::totalTime(unsigned Frames) const {
 
 ServiceModel::ServiceModel(const MemoryConfig &Mem,
                            std::uint64_t MaxSimBytes,
-                           std::uint64_t MaxSimOps, unsigned SimThreads)
+                           std::uint64_t MaxSimOps, unsigned SimThreads,
+                           unsigned Stacks, double LinkGBps)
     : Mem(Mem), MaxSimBytes(MaxSimBytes), MaxSimOps(MaxSimOps),
-      SimThreads(SimThreads) {}
+      SimThreads(SimThreads), Stacks(Stacks), LinkGBps(LinkGBps) {}
 
 const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
                                               unsigned Vaults) const {
   if (Vaults == 0 || Vaults > Mem.Geo.NumVaults)
     reportFatalError("vault share out of range");
-  const auto Key = std::make_pair(N, Vaults);
+  // The stack count shapes the measured pipeline (distributed runs add
+  // the transpose exchange), so it is part of the key even though it is
+  // fixed per model instance - two models sharing one device size must
+  // not alias their estimates.
+  const bool Distributed = Stacks > 1 && N % Stacks == 0;
+  const auto Key = std::make_tuple(N, Vaults, Distributed ? Stacks : 1u);
   {
     std::lock_guard<std::mutex> L(CacheMutex);
     const auto It = Cache.find(Key);
@@ -58,10 +65,24 @@ const ServiceEstimate &ServiceModel::estimate(std::uint64_t N,
   Config.MaxSimOpsPerDirection = MaxSimOps;
   Config.SimThreads = SimThreads;
 
-  const BatchReport Report = BatchProcessor(Config).run(2);
   ServiceEstimate Est;
-  Est.PhaseTime = Report.PhaseTime;
-  Est.OverlapTime = Report.OverlapTime;
+  if (Distributed) {
+    // Distributed jobs run the slab-decomposed 2D FFT: per-stack row
+    // phase, all-to-all transpose over the links, per-stack column
+    // phase. Frames do not overlap across the exchange barrier, so the
+    // steady-state stage is the same full pipeline.
+    ClusterConfig CC;
+    CC.Stacks = Stacks;
+    CC.LinkGBps = LinkGBps;
+    CC.Node = Config;
+    const ClusterReport Rep = ClusterFftProcessor(CC).run2d();
+    Est.PhaseTime = Rep.TotalTime / 2;
+    Est.OverlapTime = Est.PhaseTime;
+  } else {
+    const BatchReport Report = BatchProcessor(Config).run(2);
+    Est.PhaseTime = Report.PhaseTime;
+    Est.OverlapTime = Report.OverlapTime;
+  }
   if (DeviceVaults != Vaults) {
     // The phases are memory-paced at small shares, so the extra vaults
     // beyond the measured power of two speed the job up linearly. This

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -68,10 +69,15 @@ public:
   /// serving layer needs dozens of estimates, not one deep measurement).
   /// \p SimThreads parallelises the vault shards inside each estimate's
   /// simulation (results are bit-identical for every value).
+  /// \p Stacks > 1 serves jobs distributed over that many memory stacks:
+  /// estimates then come from the cluster processor's slab-decomposed
+  /// run (row phase + all-to-all transpose at \p LinkGBps + column
+  /// phase) instead of the single-stack batch pipeline.
   explicit ServiceModel(const MemoryConfig &Mem,
                         std::uint64_t MaxSimBytes = 8ull << 20,
                         std::uint64_t MaxSimOps = 50000,
-                        unsigned SimThreads = 1);
+                        unsigned SimThreads = 1, unsigned Stacks = 1,
+                        double LinkGBps = 32.0);
 
   unsigned totalVaults() const { return Mem.Geo.NumVaults; }
 
@@ -96,15 +102,23 @@ public:
     return serviceTime(Job, totalVaults());
   }
 
+  unsigned stacks() const { return Stacks; }
+
 private:
   MemoryConfig Mem;
   std::uint64_t MaxSimBytes;
   std::uint64_t MaxSimOps;
   unsigned SimThreads;
+  unsigned Stacks;
+  double LinkGBps;
   /// Guards Cache. std::map nodes are stable, so references handed out
   /// under the lock stay valid while later fills mutate the map.
+  /// Keyed by (N, vault share, stacks) - the stack count changes the
+  /// measured pipeline, so single-stack and distributed estimates for
+  /// the same (N, share) must not alias.
   mutable std::mutex CacheMutex;
-  mutable std::map<std::pair<std::uint64_t, unsigned>, ServiceEstimate>
+  mutable std::map<std::tuple<std::uint64_t, unsigned, unsigned>,
+                   ServiceEstimate>
       Cache;
 };
 

@@ -1,0 +1,105 @@
+//===- support/CliOptions.cpp - Shared command-line flags -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CliOptions.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace fft3d;
+
+bool fft3d::consumeCliValue(int Argc, char **Argv, int &I, const char *Key,
+                            const char **Value) {
+  const char *Arg = Argv[I];
+  const std::size_t Len = std::strlen(Key);
+  if (std::strncmp(Arg, Key, Len) != 0)
+    return false;
+  if (Arg[Len] == '=') {
+    *Value = Arg + Len + 1;
+    return true;
+  }
+  if (Arg[Len] == '\0' && I + 1 < Argc) {
+    *Value = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+bool fft3d::consumeCliFlag(char **Argv, int I, const char *Key) {
+  return std::strcmp(Argv[I], Key) == 0;
+}
+
+bool fft3d::parseCommonCliOption(int Argc, char **Argv, int &I,
+                                 CommonCliOptions &Options,
+                                 std::string &Error) {
+  const char *Value = nullptr;
+  if (consumeCliValue(Argc, Argv, I, "--seed", &Value)) {
+    Options.Seed = std::strtoull(Value, nullptr, 10);
+    Options.SeedSet = true;
+  } else if (consumeCliValue(Argc, Argv, I, "--threads", &Value)) {
+    Options.Threads =
+        static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    if (Options.Threads == 0)
+      Error = "--threads must be >= 1 (it is the sweep-parallelism "
+              "degree, not a sim knob)";
+  } else if (consumeCliValue(Argc, Argv, I, "--sim-threads", &Value)) {
+    Options.SimThreads =
+        static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    if (Options.SimThreads == 0)
+      Error = "--sim-threads must be >= 1";
+  } else if (consumeCliValue(Argc, Argv, I, "--faults", &Value)) {
+    Options.FaultsFile = Value;
+  } else if (consumeCliValue(Argc, Argv, I, "--trace-cats", &Value)) {
+    Options.TraceCats = Value;
+  } else if (consumeCliValue(Argc, Argv, I, "--trace", &Value)) {
+    Options.TraceFile = Value;
+  } else if (consumeCliValue(Argc, Argv, I, "--metrics", &Value)) {
+    Options.MetricsFile = Value;
+  } else if (consumeCliValue(Argc, Argv, I, "--stacks", &Value)) {
+    Options.Stacks =
+        static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+    if (Options.Stacks == 0)
+      Error = "--stacks must be >= 1";
+  } else if (consumeCliValue(Argc, Argv, I, "--link-gbps", &Value)) {
+    Options.LinkGBps = std::strtod(Value, nullptr);
+    if (!(Options.LinkGBps > 0.0))
+      Error = "--link-gbps must be positive";
+  } else if (consumeCliValue(Argc, Argv, I, "--topology", &Value)) {
+    Options.Topology = Value;
+    if (Options.Topology != "all-to-all" && Options.Topology != "ring")
+      Error = "--topology must be all-to-all or ring";
+  } else if (consumeCliValue(Argc, Argv, I, "--placement", &Value)) {
+    Options.Placement = Value;
+    if (Options.Placement != "two-level" &&
+        Options.Placement != "round-robin")
+      Error = "--placement must be two-level or round-robin";
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char *fft3d::commonCliUsage() {
+  return "  --seed N          echoed into the report header; simulations\n"
+         "                    are deterministic with or without it\n"
+         "  --threads K       sweep parallelism: K concurrent independent\n"
+         "                    simulations (K >= 1)\n"
+         "  --sim-threads K   vault-shard parallelism inside each single\n"
+         "                    simulation (K >= 1); results are\n"
+         "                    bit-identical for any K of either flag\n"
+         "  --faults FILE     fault-injection spec\n"
+         "  --trace FILE      Chrome trace_event JSON output\n"
+         "  --trace-cats L    categories: mem,phase,serve,fault,xfer|all\n"
+         "  --metrics FILE    metrics snapshot JSON output\n";
+}
+
+const char *fft3d::clusterCliUsage() {
+  return "  --stacks S        memory stacks in the modeled cluster\n"
+         "                    (S must divide N; 1 = single-stack run)\n"
+         "  --link-gbps G     per-link interconnect bandwidth\n"
+         "  --topology T      all-to-all | ring\n"
+         "  --placement P     two-level | round-robin\n";
+}

@@ -1,0 +1,84 @@
+//===- support/CliOptions.h - Shared command-line flags ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flags every driver shares - determinism knobs (--seed, --threads,
+/// --sim-threads), fault injection (--faults), observability (--trace,
+/// --trace-cats, --metrics) and the multi-stack cluster flags (--stacks,
+/// --link-gbps, --topology, --placement) - parsed in one place so the
+/// tools cannot drift apart in spelling, value handling or help text.
+/// Every flag accepts both "--key=value" and "--key value".
+///
+/// The parser is string/number-only by design: it captures file paths
+/// and the raw --trace-cats list, and the tool resolves them with the
+/// fault/obs libraries it already links. That keeps this helper in the
+/// dependency-free support layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SUPPORT_CLIOPTIONS_H
+#define FFT3D_SUPPORT_CLIOPTIONS_H
+
+#include <cstdint>
+#include <string>
+
+namespace fft3d {
+
+/// Values of the shared flags, at their documented defaults.
+struct CommonCliOptions {
+  /// --seed: echoed into report headers; simulations are deterministic.
+  std::uint64_t Seed = 0;
+  bool SeedSet = false;
+  /// --threads: sweep parallelism (concurrent independent simulations).
+  unsigned Threads = 1;
+  /// --sim-threads: vault-shard parallelism inside one simulation;
+  /// results are bit-identical for any value of either flag.
+  unsigned SimThreads = 1;
+  /// --faults: fault-spec path, loaded by the tool.
+  std::string FaultsFile;
+  /// --trace: Chrome trace_event JSON output path; empty disables.
+  std::string TraceFile;
+  /// --trace-cats: raw category list, parsed by the tool against the
+  /// obs layer's category table.
+  std::string TraceCats;
+  /// --metrics: metrics snapshot JSON output path; empty disables.
+  std::string MetricsFile;
+  /// --stacks: memory stacks in the modeled cluster; 1 = the classic
+  /// single-stack run, byte-identical to builds without the flag.
+  unsigned Stacks = 1;
+  /// --link-gbps: per-link interconnect bandwidth.
+  double LinkGBps = 32.0;
+  /// --topology: "all-to-all" or "ring".
+  std::string Topology = "all-to-all";
+  /// --placement: "two-level" (planned) or "round-robin" (naive).
+  std::string Placement = "two-level";
+};
+
+/// Matches "--key=value" or "--key value" at Argv[\p I]; advances \p I
+/// for the two-token form. \p Value points into Argv on success.
+bool consumeCliValue(int Argc, char **Argv, int &I, const char *Key,
+                     const char **Value);
+
+/// Matches a valueless "--key" flag exactly.
+bool consumeCliFlag(char **Argv, int I, const char *Key);
+
+/// Tries Argv[\p I] against every shared flag. Returns true when the
+/// argument was one of them (consumed); on a malformed value it still
+/// returns true and sets \p Error non-empty so the tool can print its
+/// usage and exit.
+bool parseCommonCliOption(int Argc, char **Argv, int &I,
+                          CommonCliOptions &Options, std::string &Error);
+
+/// Indented usage lines for the shared flags, one block for the
+/// determinism/fault/observability flags...
+const char *commonCliUsage();
+
+/// ...and one for the cluster flags.
+const char *clusterCliUsage();
+
+} // namespace fft3d
+
+#endif // FFT3D_SUPPORT_CLIOPTIONS_H

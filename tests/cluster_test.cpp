@@ -1,0 +1,357 @@
+//===- tests/cluster_test.cpp - Multi-stack scale-out tests ---------------===//
+//
+// Part of the fft3d project.
+//
+// The cluster subsystem's contracts: the two-level planner degenerates
+// byte-identically to the single-stack Eq. 1 plan at S = 1, the
+// distributed 2D/3D functional paths are bit-identical to the host
+// references for every stack count and placement, the interconnect's
+// FCFS reservation matches hand-computed timings (including incast
+// queueing, ring routing, and the element-granule header tax), and the
+// timed run shows the two-level placement beating the round-robin
+// comparator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterFftProcessor.h"
+#include "cluster/ClusterLayoutPlanner.h"
+#include "cluster/Interconnect.h"
+#include "fft/Fft2d.h"
+#include "obs/Metrics.h"
+#include "sim/EventQueue.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace fft3d;
+
+namespace {
+
+void expectSamePlan(const BlockPlan &A, const BlockPlan &B) {
+  EXPECT_EQ(A.RawH, B.RawH);
+  EXPECT_EQ(A.H, B.H);
+  EXPECT_EQ(A.W, B.W);
+  EXPECT_EQ(A.Regime, B.Regime);
+  EXPECT_EQ(A.VaultsParallel, B.VaultsParallel);
+  EXPECT_EQ(A.ColumnStreams, B.ColumnStreams);
+  EXPECT_EQ(A.RowBufferElems, B.RowBufferElems);
+}
+
+Matrix randomMatrix(std::uint64_t N, std::uint64_t Seed) {
+  Rng R(Seed);
+  Matrix M(N, N);
+  for (auto &V : M.storage())
+    V = CplxF(static_cast<float>(R.nextDouble(-1, 1)),
+              static_cast<float>(R.nextDouble(-1, 1)));
+  return M;
+}
+
+std::vector<CplxF> randomVolume(std::uint64_t N, std::uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<CplxF> Vol(N * N * N);
+  for (auto &V : Vol)
+    V = CplxF(static_cast<float>(R.nextDouble(-1, 1)),
+              static_cast<float>(R.nextDouble(-1, 1)));
+  return Vol;
+}
+
+/// Bit-exact comparison: the distributed path must run the same
+/// transforms on the same values as the reference, so even the last ulp
+/// agrees.
+void expectBitIdentical(const std::vector<CplxF> &A,
+                        const std::vector<CplxF> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I != A.size(); ++I) {
+    ASSERT_EQ(A[I].real(), B[I].real()) << "at " << I;
+    ASSERT_EQ(A[I].imag(), B[I].imag()) << "at " << I;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Planner
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterPlanner, SingleStackDegeneratesToEq1) {
+  // With S = 1 the per-stack stream count m = N/S is exactly the m = N
+  // default of LayoutPlanner::plan and the shaping clamps are no-ops,
+  // so both placements must reproduce the single-stack plan field for
+  // field.
+  const Geometry G;
+  const Timing T;
+  const LayoutPlanner Single(G, T, /*ElementBytes=*/8);
+  const ClusterLayoutPlanner Cluster(G, T, /*ElementBytes=*/8);
+  for (std::uint64_t N : {1024ull, 2048ull, 4096ull}) {
+    const BlockPlan Ref = Single.plan(N, 16);
+    for (StackPlacement P :
+         {StackPlacement::TwoLevel, StackPlacement::RoundRobin}) {
+      const ClusterPlan CP = Cluster.plan(N, 1, 16, P);
+      expectSamePlan(CP.Staging, Ref);
+      expectSamePlan(CP.Receive, Ref);
+      EXPECT_EQ(CP.RowsPerStack, N);
+      EXPECT_EQ(CP.ColsPerStack, N);
+    }
+  }
+}
+
+TEST(ClusterPlanner, TwoLevelBlocksTileTheExchange) {
+  const ClusterLayoutPlanner Planner(Geometry(), Timing(), 8);
+  for (unsigned S : {2u, 4u, 8u}) {
+    const std::uint64_t N = 2048;
+    const ClusterPlan CP = Planner.plan(N, S, 16);
+    const std::uint64_t Slab = N / S;
+    // Staging blocks tile the (Slab x N) phase-1 region and each
+    // (Slab x Slab) departing tile.
+    EXPECT_EQ(Slab % CP.Staging.H, 0u) << S;
+    EXPECT_EQ(Slab % CP.Staging.W, 0u) << S;
+    // Receive blocks tile the (N x Slab) phase-2 region.
+    EXPECT_EQ(N % CP.Receive.H, 0u) << S;
+    EXPECT_EQ(Slab % CP.Receive.W, 0u) << S;
+    // The receiver's plan is re-solved for its own slab's streams.
+    EXPECT_EQ(CP.Receive.ColumnStreams, Slab) << S;
+    EXPECT_EQ(CP.PairBytes, Slab * Slab * 8) << S;
+    // Whole blocks leave the sender; element bursts are the comparator.
+    EXPECT_EQ(CP.EgressBurstBytes, CP.Staging.W * CP.Staging.H * 8) << S;
+    EXPECT_GT(CP.EgressBurstBytes, 8u) << S;
+  }
+}
+
+TEST(ClusterPlanner, RoundRobinMovesElements) {
+  const ClusterLayoutPlanner Planner(Geometry(), Timing(), 8);
+  const ClusterPlan CP =
+      Planner.plan(2048, 4, 16, StackPlacement::RoundRobin);
+  EXPECT_EQ(CP.EgressBurstBytes, 8u);
+  EXPECT_EQ(CP.IngressBurstBytes, 8u);
+  EXPECT_EQ(CP.PairBytes, 512ull * 512ull * 8ull);
+}
+
+TEST(ClusterPlanner, SmallerSlabsRaiseBlockHeight) {
+  // Per-stack column streams shrink with S, pushing Eq. 1 toward the
+  // buffer-limited regime: the receive block must be at least as tall
+  // at S = 8 as at S = 1 (taller once m crosses the regime boundary).
+  const ClusterLayoutPlanner Planner(Geometry(), Timing(), 8);
+  const ClusterPlan Whole = Planner.plan(2048, 1, 16);
+  const ClusterPlan Split = Planner.plan(2048, 8, 16);
+  EXPECT_GE(Split.Receive.H, Whole.Receive.H);
+  EXPECT_EQ(Split.Receive.Regime, PlanRegime::BufferLimited);
+}
+
+//===----------------------------------------------------------------------===//
+// Pencil grid
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterFft, PencilGridShapes) {
+  unsigned P1 = 0, P2 = 0;
+  ClusterFftProcessor::pencilGrid(1, P1, P2);
+  EXPECT_EQ(P1, 1u);
+  EXPECT_EQ(P2, 1u);
+  ClusterFftProcessor::pencilGrid(2, P1, P2);
+  EXPECT_EQ(P1, 2u);
+  EXPECT_EQ(P2, 1u);
+  ClusterFftProcessor::pencilGrid(4, P1, P2);
+  EXPECT_EQ(P1, 2u);
+  EXPECT_EQ(P2, 2u);
+  ClusterFftProcessor::pencilGrid(8, P1, P2);
+  EXPECT_EQ(P1, 4u);
+  EXPECT_EQ(P2, 2u);
+  ClusterFftProcessor::pencilGrid(16, P1, P2);
+  EXPECT_EQ(P1, 4u);
+  EXPECT_EQ(P2, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Functional distributed FFTs
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterFft, Distributed2dMatchesHostReference) {
+  const std::uint64_t N = 64;
+  const Matrix In = randomMatrix(N, 7);
+  Matrix Ref = In;
+  Fft2d(N, N).forward(Ref);
+  for (unsigned S : {1u, 2u, 4u, 8u}) {
+    for (StackPlacement P :
+         {StackPlacement::TwoLevel, StackPlacement::RoundRobin}) {
+      ClusterConfig Config = ClusterConfig::forProblemSize(N, S);
+      Config.Placement = P;
+      const Matrix Out = ClusterFftProcessor::compute2d(In, Config);
+      expectBitIdentical(Out.storage(), Ref.storage());
+    }
+  }
+}
+
+TEST(ClusterFft, Distributed3dMatchesHostReference) {
+  const std::uint64_t N = 16;
+  const std::vector<CplxF> Vol = randomVolume(N, 11);
+  const std::vector<CplxF> Ref =
+      ClusterFftProcessor::compute3dReference(Vol, N);
+  for (unsigned S : {1u, 2u, 4u, 8u}) {
+    for (StackPlacement P :
+         {StackPlacement::TwoLevel, StackPlacement::RoundRobin}) {
+      ClusterConfig Config = ClusterConfig::forProblemSize(N, S);
+      Config.Placement = P;
+      const std::vector<CplxF> Out =
+          ClusterFftProcessor::compute3d(Vol, N, Config);
+      expectBitIdentical(Out, Ref);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interconnect
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A fabric with round numbers: 1 GB/s links (1 ns per byte), 100 ns
+/// hop latency, 1 KiB packets, 24 B headers.
+ClusterConfig fabricConfig(unsigned Stacks, ClusterTopology Topology) {
+  ClusterConfig Config;
+  Config.Stacks = Stacks;
+  Config.Topology = Topology;
+  Config.LinkGBps = 1.0;
+  Config.LinkLatencyPicos = 100 * PicosPerNano;
+  Config.PacketBytes = 1024;
+  Config.PacketHeaderBytes = 24;
+  Config.Node = SystemConfig::forProblemSize(Stacks * 64);
+  return Config;
+}
+
+} // namespace
+
+TEST(Interconnect, UncontendedSingleSend) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(4, ClusterTopology::AllToAll);
+  Interconnect Net(Events, Config);
+  // One full packet: (1024 + 24) bytes at 1 ns/B, plus the hop latency.
+  const Picos Delivery = Net.send(0, 1, 1024);
+  EXPECT_EQ(Delivery, (1024 + 24 + 100) * PicosPerNano);
+  EXPECT_EQ(Delivery, Net.uncontendedTime(1024));
+  EXPECT_EQ(Net.lastDelivery(), Delivery);
+  EXPECT_EQ(Net.messages(), 1u);
+  EXPECT_EQ(Net.payloadBytes(), 1024u);
+}
+
+TEST(Interconnect, LocalDeliveryIsFree) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(2, ClusterTopology::AllToAll);
+  Interconnect Net(Events, Config);
+  EXPECT_EQ(Net.send(1, 1, 1 << 20), 0);
+  for (unsigned R = 0; R != Net.numResources(); ++R)
+    EXPECT_EQ(Net.resourceStats(R).BusyTime, 0) << R;
+}
+
+TEST(Interconnect, IncastQueuesOnIngress) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(4, ClusterTopology::AllToAll);
+  Interconnect Net(Events, Config);
+  // Two senders target stack 2: the second serializes behind the first
+  // on stack 2's ingress port and records the wait as queueing delay.
+  const Picos Serial = (1024 + 24) * PicosPerNano;
+  const Picos First = Net.send(0, 2, 1024);
+  const Picos Second = Net.send(1, 2, 1024);
+  EXPECT_EQ(First, Serial + 100 * PicosPerNano);
+  EXPECT_EQ(Second, 2 * Serial + 100 * PicosPerNano);
+  // Queueing lands on the second sender's egress resource.
+  EXPECT_EQ(Net.resourceStats(1).QueueDelay, Serial);
+}
+
+TEST(Interconnect, ElementGranuleTaxesTheWire) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(2, ClusterTopology::AllToAll);
+  Interconnect Net(Events, Config);
+  // 1024 bytes in 8-byte granules: 128 packets of (8 + 24) bytes - a
+  // 4x wire inflation against one full packet, exactly the round-robin
+  // placement's penalty.
+  const Picos Full = Net.uncontendedTime(1024, 1, 0);
+  const Picos Scattered = Net.uncontendedTime(1024, 1, 8);
+  EXPECT_EQ(Full, (1024 + 24 + 100) * PicosPerNano);
+  EXPECT_EQ(Scattered, (128 * (8 + 24) + 100) * PicosPerNano);
+  const Picos Delivery = Net.send(0, 1, 1024, /*GranuleBytes=*/8);
+  EXPECT_EQ(Delivery, Scattered);
+  EXPECT_EQ(Net.resourceStats(0).Packets, 128u);
+}
+
+TEST(Interconnect, RingRoutesTheShortWay) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(4, ClusterTopology::Ring);
+  Interconnect Net(Events, Config);
+  // 0 -> 3 is one counter-clockwise hop (segment ccw3), not three
+  // clockwise ones.
+  const Picos Delivery = Net.send(0, 3, 1024);
+  EXPECT_EQ(Delivery, (1024 + 24 + 100) * PicosPerNano);
+  EXPECT_GT(Net.resourceStats(4 + 3).BusyTime, 0); // ccw3
+  for (unsigned Seg : {0u, 1u, 2u})
+    EXPECT_EQ(Net.resourceStats(Seg).BusyTime, 0) << Seg;
+}
+
+TEST(Interconnect, RingPipelinesAcrossHops) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(4, ClusterTopology::Ring);
+  Interconnect Net(Events, Config);
+  // 0 -> 2: two clockwise hops (tie broken clockwise). Four packets
+  // pipeline: the second hop starts after the first packet clears hop
+  // one, so the total is Serial + TxFirst + 2 latencies.
+  const Picos Tx = (1024 + 24) * PicosPerNano;
+  const Picos Delivery = Net.send(0, 2, 4096);
+  EXPECT_EQ(Delivery, 4 * Tx + Tx + 2 * 100 * PicosPerNano);
+  EXPECT_EQ(Delivery, Net.uncontendedTime(4096, 2));
+  EXPECT_GT(Net.resourceStats(0).BusyTime, 0); // cw0
+  EXPECT_GT(Net.resourceStats(1).BusyTime, 0); // cw1
+}
+
+TEST(Interconnect, ExportsLinkCounters) {
+  EventQueue Events;
+  const ClusterConfig Config = fabricConfig(2, ClusterTopology::AllToAll);
+  Interconnect Net(Events, Config);
+  Net.send(0, 1, 2048);
+  MetricsRegistry Registry;
+  Net.exportTo(Registry);
+  const MetricCounter *Bytes =
+      Registry.findCounter("cluster.link.bytes", {{"link", "egress0"}});
+  ASSERT_NE(Bytes, nullptr);
+  EXPECT_EQ(Bytes->value(), 2048u);
+  const MetricCounter *Messages =
+      Registry.findCounter("cluster.xfer.messages");
+  ASSERT_NE(Messages, nullptr);
+  EXPECT_EQ(Messages->value(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Timed runs
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterFft, TwoLevelBeatsRoundRobin) {
+  // The tentpole claim: the two-level layout's whole-block exchange
+  // beats the round-robin comparator's element scatter end to end.
+  ClusterConfig Config = ClusterConfig::forProblemSize(256, 4);
+  const ClusterReport TwoLevel = ClusterFftProcessor(Config).run2d();
+  Config.Placement = StackPlacement::RoundRobin;
+  const ClusterReport RoundRobin = ClusterFftProcessor(Config).run2d();
+  EXPECT_LT(TwoLevel.TotalTime, RoundRobin.TotalTime);
+  EXPECT_LT(TwoLevel.ExchangeTime, RoundRobin.ExchangeTime);
+  // Same payload crossed the fabric either way.
+  EXPECT_EQ(TwoLevel.XferBytes, RoundRobin.XferBytes);
+  EXPECT_EQ(TwoLevel.XferMessages, RoundRobin.XferMessages);
+}
+
+TEST(ClusterFft, ExchangeVanishesAtOneStack) {
+  ClusterConfig Config = ClusterConfig::forProblemSize(256, 1);
+  const ClusterReport Rep = ClusterFftProcessor(Config).run2d();
+  EXPECT_EQ(Rep.ExchangeTime, 0);
+  EXPECT_EQ(Rep.LinkTime, 0);
+  EXPECT_EQ(Rep.XferMessages, 0u);
+  EXPECT_EQ(Rep.TotalTime, Rep.RowPhaseTime + Rep.ColPhaseTime);
+}
+
+TEST(ClusterFft, Run3dHasTwoExchanges) {
+  ClusterConfig Config = ClusterConfig::forProblemSize(64, 4);
+  const ClusterReport Rep = ClusterFftProcessor(Config).run3d();
+  // P1 = P2 = 2: both redistributions are real.
+  EXPECT_GT(Rep.ExchangeTime, 0);
+  EXPECT_GT(Rep.Exchange2Time, 0);
+  EXPECT_GT(Rep.ZPhaseTime, 0);
+  EXPECT_EQ(Rep.TotalTime, Rep.RowPhaseTime + Rep.ExchangeTime +
+                               Rep.ColPhaseTime + Rep.Exchange2Time +
+                               Rep.ZPhaseTime);
+}

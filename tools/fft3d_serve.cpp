@@ -26,6 +26,7 @@
 #include "obs/Metrics.h"
 #include "obs/Tracer.h"
 #include "serve/ServeSimulator.h"
+#include "support/CliOptions.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
 
@@ -44,7 +45,6 @@ namespace {
 struct Cli {
   unsigned Jobs = 200;
   std::string Policy = "all";
-  std::uint64_t Seed = 42;
   double RatePerSec = 80.0;
   std::size_t QueueCap = 64;
   unsigned Partitions = 2;
@@ -54,118 +54,71 @@ struct Cli {
   double ThinkMs = 20.0;
   bool ShedInfeasible = false;
   unsigned Vaults = 16;
-  std::string FaultsFile;
-  /// Chrome trace_event JSON output path; empty disables tracing.
-  std::string TraceFile;
+  /// Shared flags (seed, threads, fault/obs paths, cluster shape);
+  /// parsed by support/CliOptions so the tools cannot drift. This
+  /// tool defaults the seed to 42 when --seed is absent.
+  CommonCliOptions Common;
   std::uint32_t TraceCats = TraceCatAll;
-  /// Metrics snapshot JSON output path; empty disables the registry.
-  std::string MetricsFile;
-  /// Worker threads for running the per-policy simulations concurrently.
-  /// Each policy gets its own workload and simulator, so the table is
-  /// identical for any value.
-  unsigned Threads = 1;
-  /// Vault-shard threads inside each service-model simulation.
-  unsigned SimThreads = 1;
 };
 
 [[noreturn]] void usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--policy fcfs|sjf|prio|vault|all]\n"
-               "  [--seed S] [--rate JOBS_PER_SEC] [--queue-cap N]\n"
-               "  [--partitions P] [--aging-ms MS] [--mix mixed|small|large]\n"
+               "  [--rate JOBS_PER_SEC] [--queue-cap N] [--partitions P]\n"
+               "  [--aging-ms MS] [--mix mixed|small|large]\n"
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
-               "  [--shed-infeasible] [--vaults V] [--faults SPECFILE]\n"
-               "  [--threads K] [--sim-threads K] [--trace FILE]\n"
-               "  [--trace-cats mem,phase,serve,fault|all] [--metrics FILE]\n"
-               "\n"
-               "  --threads K      run the per-policy simulations K at a\n"
-               "                   time (K >= 1)\n"
-               "  --sim-threads K  vault-shard parallelism inside each\n"
-               "                   service-model simulation (K >= 1);\n"
-               "                   results are bit-identical for any K\n",
-               Prog);
+               "  [--shed-infeasible] [--vaults V]\n"
+               "  and the shared flags (seed defaults to 42 here):\n"
+               "%s%s",
+               Prog, commonCliUsage(), clusterCliUsage());
   std::exit(2);
-}
-
-/// Matches "--key=value" or "--key value"; advances \p I for the latter.
-bool consumeValue(int Argc, char **Argv, int &I, const char *Key,
-                  const char **Value) {
-  const char *Arg = Argv[I];
-  const std::size_t Len = std::strlen(Key);
-  if (std::strncmp(Arg, Key, Len) != 0)
-    return false;
-  if (Arg[Len] == '=') {
-    *Value = Arg + Len + 1;
-    return true;
-  }
-  if (Arg[Len] == '\0' && I + 1 < Argc) {
-    *Value = Argv[++I];
-    return true;
-  }
-  return false;
-}
-
-/// Matches a valueless "--key" flag exactly.
-bool consumeFlag(char **Argv, int I, const char *Key) {
-  return std::strcmp(Argv[I], Key) == 0;
 }
 
 Cli parse(int Argc, char **Argv) {
   Cli C;
   for (int I = 1; I < Argc; ++I) {
     const char *Value = nullptr;
-    if (consumeValue(Argc, Argv, I, "--jobs", &Value))
+    std::string CommonError;
+    if (parseCommonCliOption(Argc, Argv, I, C.Common, CommonError)) {
+      if (!CommonError.empty()) {
+        std::fprintf(stderr, "error: %s\n", CommonError.c_str());
+        usage(Argv[0]);
+      }
+    } else if (consumeCliValue(Argc, Argv, I, "--jobs", &Value))
       C.Jobs = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-    else if (consumeValue(Argc, Argv, I, "--policy", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--policy", &Value))
       C.Policy = Value;
-    else if (consumeValue(Argc, Argv, I, "--seed", &Value))
-      C.Seed = std::strtoull(Value, nullptr, 10);
-    else if (consumeValue(Argc, Argv, I, "--rate", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--rate", &Value))
       C.RatePerSec = std::strtod(Value, nullptr);
-    else if (consumeValue(Argc, Argv, I, "--queue-cap", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--queue-cap", &Value))
       C.QueueCap = std::strtoul(Value, nullptr, 10);
-    else if (consumeValue(Argc, Argv, I, "--partitions", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--partitions", &Value))
       C.Partitions = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-    else if (consumeValue(Argc, Argv, I, "--aging-ms", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--aging-ms", &Value))
       C.AgingMs = std::strtod(Value, nullptr);
-    else if (consumeValue(Argc, Argv, I, "--mix", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--mix", &Value))
       C.Mix = Value;
-    else if (consumeValue(Argc, Argv, I, "--closed-loop", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--closed-loop", &Value))
       C.ClosedLoopClients =
           static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-    else if (consumeValue(Argc, Argv, I, "--think-ms", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--think-ms", &Value))
       C.ThinkMs = std::strtod(Value, nullptr);
-    else if (consumeValue(Argc, Argv, I, "--vaults", &Value))
+    else if (consumeCliValue(Argc, Argv, I, "--vaults", &Value))
       C.Vaults = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-    else if (consumeValue(Argc, Argv, I, "--faults", &Value))
-      C.FaultsFile = Value;
-    else if (consumeValue(Argc, Argv, I, "--threads", &Value)) {
-      C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-      if (C.Threads == 0) {
-        std::fprintf(stderr, "error: --threads must be >= 1 (it is the "
-                             "policy-sweep parallelism, not a sim knob)\n");
-        usage(Argv[0]);
-      }
-    } else if (consumeValue(Argc, Argv, I, "--sim-threads", &Value)) {
-      C.SimThreads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-      if (C.SimThreads == 0) {
-        std::fprintf(stderr, "error: --sim-threads must be >= 1\n");
-        usage(Argv[0]);
-      }
-    } else if (consumeValue(Argc, Argv, I, "--trace-cats", &Value)) {
-      std::string Error;
-      if (!parseTraceCategories(Value, C.TraceCats, &Error)) {
-        std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
-        std::exit(2);
-      }
-    } else if (consumeValue(Argc, Argv, I, "--trace", &Value))
-      C.TraceFile = Value;
-    else if (consumeValue(Argc, Argv, I, "--metrics", &Value))
-      C.MetricsFile = Value;
-    else if (consumeFlag(Argv, I, "--shed-infeasible"))
+    else if (consumeCliFlag(Argv, I, "--shed-infeasible"))
       C.ShedInfeasible = true;
     else
       usage(Argv[0]);
+  }
+  if (!C.Common.SeedSet)
+    C.Common.Seed = 42;
+  if (!C.Common.TraceCats.empty()) {
+    std::string Error;
+    if (!parseTraceCategories(C.Common.TraceCats.c_str(), C.TraceCats,
+                              &Error)) {
+      std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
+      std::exit(2);
+    }
   }
   if (C.Jobs == 0 || C.QueueCap == 0 || C.Partitions == 0 ||
       C.RatePerSec <= 0.0)
@@ -234,12 +187,17 @@ int main(int Argc, char **Argv) {
 
   MemoryConfig Mem;
   Mem.Geo.NumVaults = C.Vaults;
-  ServiceModel Model(Mem, 8ull << 20, 50000, C.SimThreads);
+  ServiceModel Model(Mem, 8ull << 20, 50000, C.Common.SimThreads,
+                     C.Common.Stacks, C.Common.LinkGBps);
 
-  std::printf("fft3d_serve: %u jobs, mix %s, seed %llu, %u vaults, "
+  std::string StackNote;
+  if (C.Common.Stacks > 1)
+    StackNote = ", " + std::to_string(C.Common.Stacks) + " stacks";
+  std::printf("fft3d_serve: %u jobs, mix %s, seed %llu, %u vaults%s, "
               "queue cap %zu%s\n",
               C.Jobs, C.Mix.c_str(),
-              static_cast<unsigned long long>(C.Seed), C.Vaults, C.QueueCap,
+              static_cast<unsigned long long>(C.Common.Seed), C.Vaults,
+              StackNote.c_str(), C.QueueCap,
               C.ShedInfeasible ? ", shed-infeasible" : "");
 
   const std::vector<JobTemplate> Mix = mixFor(C.Mix);
@@ -253,10 +211,10 @@ int main(int Argc, char **Argv) {
       return std::make_unique<ClosedLoopWorkload>(
           Mix, C.ClosedLoopClients, PerClient,
           static_cast<Picos>(C.ThinkMs * static_cast<double>(PicosPerMilli)),
-          C.Seed, Model);
+          C.Common.Seed, Model);
     }
     return std::make_unique<TraceWorkload>(
-        generatePoissonTrace(Mix, C.Jobs, C.RatePerSec, C.Seed, Model));
+        generatePoissonTrace(Mix, C.Jobs, C.RatePerSec, C.Common.Seed, Model));
   };
   if (C.ClosedLoopClients != 0) {
     const unsigned PerClient =
@@ -276,15 +234,15 @@ int main(int Argc, char **Argv) {
   ServeConfig Config;
   Config.QueueCapacity = C.QueueCap;
   Config.ShedInfeasible = C.ShedInfeasible;
-  const bool WithFaults = !C.FaultsFile.empty();
+  const bool WithFaults = !C.Common.FaultsFile.empty();
   if (WithFaults) {
     const std::shared_ptr<const FaultSpec> Faults =
-        loadFaultSpec(C.FaultsFile);
+        loadFaultSpec(C.Common.FaultsFile);
     Config.Health = std::make_shared<HealthMonitor>(Faults, C.Vaults);
     Config.Brownout.Enabled = true;
     std::printf("fault spec %s: %zu vault events, %zu TSV events, "
                 "%zu throttle windows, transient job-fail rate %.3f\n\n",
-                C.FaultsFile.c_str(), Faults->vaultEvents().size(),
+                C.Common.FaultsFile.c_str(), Faults->vaultEvents().size(),
                 Faults->tsvEvents().size(), Faults->throttleWindows().size(),
                 Faults->jobFailRate());
   }
@@ -302,15 +260,15 @@ int main(int Argc, char **Argv) {
   const std::vector<PolicyKind> Kinds = policiesFor(C.Policy);
   std::vector<ServeResult> Results(Kinds.size());
   std::unique_ptr<Tracer> Trace;
-  if (!C.TraceFile.empty())
+  if (!C.Common.TraceFile.empty())
     Trace = std::make_unique<Tracer>(C.TraceCats);
   std::unique_ptr<MetricsRegistry> Metrics;
-  if (!C.MetricsFile.empty())
+  if (!C.Common.MetricsFile.empty())
     Metrics = std::make_unique<MetricsRegistry>();
   // The tracer is single-threaded by contract: tracing forces the
   // policy runs sequential (results are identical either way).
   const unsigned Threads =
-      Trace ? 1u : ThreadPool::resolveThreads(C.Threads);
+      Trace ? 1u : ThreadPool::resolveThreads(C.Common.Threads);
   ThreadPool Pool(Threads);
   // Fill the service-time memo once up front so concurrent policy runs
   // hit a warm cache instead of racing to duplicate the same simulations.
@@ -390,27 +348,27 @@ int main(int Argc, char **Argv) {
   }
 
   if (Trace) {
-    std::ofstream Out(C.TraceFile);
+    std::ofstream Out(C.Common.TraceFile);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write trace '%s'\n",
-                   C.TraceFile.c_str());
+                   C.Common.TraceFile.c_str());
       return 1;
     }
     Trace->writeChromeTrace(Out);
     std::printf("\nwrote %zu trace events to %s (%llu dropped)\n",
-                Trace->events().size(), C.TraceFile.c_str(),
+                Trace->events().size(), C.Common.TraceFile.c_str(),
                 static_cast<unsigned long long>(Trace->dropped()));
   }
   if (Metrics) {
-    std::ofstream Out(C.MetricsFile);
+    std::ofstream Out(C.Common.MetricsFile);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write metrics '%s'\n",
-                   C.MetricsFile.c_str());
+                   C.Common.MetricsFile.c_str());
       return 1;
     }
     Metrics->writeJson(Out);
     std::printf("wrote %zu metrics to %s\n", Metrics->size(),
-                C.MetricsFile.c_str());
+                C.Common.MetricsFile.c_str());
   }
   return 0;
 }

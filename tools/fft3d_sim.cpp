@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cluster/ClusterFftProcessor.h"
 #include "core/AutoTuner.h"
 #include "core/Fft2dProcessor.h"
 #include "core/LayoutEvaluator.h"
@@ -28,6 +29,7 @@
 #include "mem3d/TraceFile.h"
 #include "obs/Metrics.h"
 #include "obs/Tracer.h"
+#include "support/CliOptions.h"
 #include "support/TableWriter.h"
 
 #include <cstdio>
@@ -45,25 +47,17 @@ namespace {
 struct Cli {
   std::uint64_t N = 2048;
   std::string Arch = "both";
-  /// Echoed into the report header so runs are attributable to a seed;
-  /// the simulations themselves are fully deterministic. Accepts both
-  /// "--seed=N" and "--seed N" (the serving tool shares the convention).
-  std::uint64_t Seed = 0;
-  bool SeedSet = false;
   bool Energy = false;
   bool Tune = false;
   TuneObjective Objective = TuneObjective::Throughput;
   std::string ReplayFile;
   bool ReplayAsap = false;
-  std::string FaultsFile;
-  /// Chrome trace_event JSON output path; empty disables tracing.
-  std::string TraceFile;
+  /// Shared flags (seed, threads, fault/obs paths, cluster shape);
+  /// parsed by support/CliOptions so the tools cannot drift.
+  CommonCliOptions Common;
   std::uint32_t TraceCats = TraceCatAll;
-  /// Metrics snapshot JSON output path; empty disables the registry.
-  std::string MetricsFile;
-  /// Worker threads for the tuner sweeps. Each candidate owns its
-  /// simulator, so the output is identical for any value.
-  unsigned Threads = 1;
+  /// Cluster-mode workload: "2d" (slab transpose) or "3d" (pencils).
+  std::string ClusterFft = "2d";
   SystemConfig Config;
   bool Ok = true;
 };
@@ -76,17 +70,10 @@ struct Cli {
                "  [--t-diff-row=NS] [--t-diff-bank=NS] [--t-in-vault=NS]\n"
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
-               "  [--replay=FILE [--replay-asap]] [--seed N]\n"
-               "  [--faults SPECFILE] [--threads K] [--sim-threads K]\n"
-               "  [--trace=FILE] [--trace-cats=mem,phase,serve,fault|all]\n"
-               "  [--metrics=FILE]\n"
-               "\n"
-               "  --threads K      sweep parallelism: K concurrent candidate\n"
-               "                   simulations during --tune (K >= 1)\n"
-               "  --sim-threads K  vault-shard parallelism inside each single\n"
-               "                   simulation (K >= 1); results are\n"
-               "                   bit-identical for any K of either flag\n",
-               Prog);
+               "  [--replay=FILE [--replay-asap]] [--fft=2d|3d]\n"
+               "  and the shared flags:\n"
+               "%s%s",
+               Prog, commonCliUsage(), clusterCliUsage());
   std::exit(2);
 }
 
@@ -112,7 +99,13 @@ Cli parse(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     const char *Value = nullptr;
-    if (consume(Arg, "--n", &Value) && Value) {
+    std::string CommonError;
+    if (parseCommonCliOption(Argc, Argv, I, C.Common, CommonError)) {
+      if (!CommonError.empty()) {
+        std::fprintf(stderr, "error: %s\n", CommonError.c_str());
+        usage(Argv[0]);
+      }
+    } else if (consume(Arg, "--n", &Value) && Value) {
       C.N = std::strtoull(Value, nullptr, 10);
     } else if (consume(Arg, "--arch", &Value) && Value) {
       C.Arch = Value;
@@ -162,51 +155,10 @@ Cli parse(int Argc, char **Argv) {
       const auto V = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
       C.Config.Mem.Geo.NumVaults = V;
       C.Config.Optimized.VaultsParallel = V;
-    } else if (consume(Arg, "--seed", &Value)) {
-      if (!Value && I + 1 < Argc)
-        Value = Argv[++I];
-      if (!Value)
+    } else if (consume(Arg, "--fft", &Value) && Value) {
+      C.ClusterFft = Value;
+      if (C.ClusterFft != "2d" && C.ClusterFft != "3d")
         usage(Argv[0]);
-      C.Seed = std::strtoull(Value, nullptr, 10);
-      C.SeedSet = true;
-    } else if (consume(Arg, "--threads", &Value)) {
-      if (!Value && I + 1 < Argc)
-        Value = Argv[++I];
-      if (!Value)
-        usage(Argv[0]);
-      C.Threads = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-      if (C.Threads == 0) {
-        std::fprintf(stderr, "error: --threads must be >= 1 (it is the "
-                             "sweep-parallelism degree, not a sim knob)\n");
-        usage(Argv[0]);
-      }
-    } else if (consume(Arg, "--sim-threads", &Value)) {
-      if (!Value && I + 1 < Argc)
-        Value = Argv[++I];
-      if (!Value)
-        usage(Argv[0]);
-      C.Config.SimThreads =
-          static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
-      if (C.Config.SimThreads == 0) {
-        std::fprintf(stderr, "error: --sim-threads must be >= 1\n");
-        usage(Argv[0]);
-      }
-    } else if (consume(Arg, "--faults", &Value)) {
-      if (!Value && I + 1 < Argc)
-        Value = Argv[++I];
-      if (!Value)
-        usage(Argv[0]);
-      C.FaultsFile = Value;
-    } else if (consume(Arg, "--trace-cats", &Value) && Value) {
-      std::string Error;
-      if (!parseTraceCategories(Value, C.TraceCats, &Error)) {
-        std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
-        std::exit(2);
-      }
-    } else if (consume(Arg, "--trace", &Value) && Value) {
-      C.TraceFile = Value;
-    } else if (consume(Arg, "--metrics", &Value) && Value) {
-      C.MetricsFile = Value;
     } else if (consume(Arg, "--replay", &Value) && Value) {
       C.ReplayFile = Value;
     } else if (consume(Arg, "--replay-asap", &Value)) {
@@ -222,6 +174,19 @@ Cli parse(int Argc, char **Argv) {
     }
   }
   C.Config.N = C.N;
+  C.Config.SimThreads = C.Common.SimThreads;
+  if (!C.Common.TraceCats.empty()) {
+    std::string Error;
+    if (!parseTraceCategories(C.Common.TraceCats.c_str(), C.TraceCats,
+                              &Error)) {
+      std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
+      std::exit(2);
+    }
+  }
+  if (C.Common.Stacks > 1 && C.N % C.Common.Stacks != 0) {
+    std::fprintf(stderr, "error: --stacks must divide N\n");
+    std::exit(2);
+  }
   // Keep three matrices resident if the device was shrunk.
   while (3 * C.N * C.N * ElementBytes > C.Config.Mem.Geo.capacityBytes())
     C.Config.Mem.Geo.RowsPerBank *= 2;
@@ -231,17 +196,17 @@ Cli parse(int Argc, char **Argv) {
                          "t_diff_row\n");
     std::exit(2);
   }
-  if (!C.FaultsFile.empty()) {
-    std::ifstream In(C.FaultsFile);
+  if (!C.Common.FaultsFile.empty()) {
+    std::ifstream In(C.Common.FaultsFile);
     if (!In) {
       std::fprintf(stderr, "error: cannot open fault spec '%s'\n",
-                   C.FaultsFile.c_str());
+                   C.Common.FaultsFile.c_str());
       std::exit(2);
     }
     FaultSpec Spec;
     std::string Error;
     if (!Spec.parse(In, &Error)) {
-      std::fprintf(stderr, "error: %s: %s\n", C.FaultsFile.c_str(),
+      std::fprintf(stderr, "error: %s: %s\n", C.Common.FaultsFile.c_str(),
                    Error.c_str());
       std::exit(2);
     }
@@ -305,31 +270,96 @@ void printReport(const char *Name, const AppReport &R) {
   std::printf("\n");
 }
 
+void printClusterReport(const Cli &C, const ClusterReport &R,
+                        bool ThreeD) {
+  const ClusterPlan &P = R.Plan;
+  std::printf("cluster %s FFT: %u stacks, %s topology, %s placement, "
+              "link %.1f GB/s\n",
+              ThreeD ? "3D" : "2D", R.Stacks,
+              clusterTopologyName(R.Topology),
+              stackPlacementName(P.Placement), C.Common.LinkGBps);
+  if (ThreeD) {
+    unsigned P1 = 1, P2 = 1;
+    ClusterFftProcessor::pencilGrid(R.Stacks, P1, P2);
+    std::printf("  pencil grid  %u x %u, %llu pencils/stack\n", P1, P2,
+                static_cast<unsigned long long>(R.N * R.N / R.Stacks));
+  }
+  std::printf("  plan         staging w=%llu h=%llu, receive w=%llu "
+              "h=%llu (%s), burst out/in %s / %s\n",
+              static_cast<unsigned long long>(P.Staging.W),
+              static_cast<unsigned long long>(P.Staging.H),
+              static_cast<unsigned long long>(P.Receive.W),
+              static_cast<unsigned long long>(P.Receive.H),
+              planRegimeName(P.Receive.Regime),
+              formatBytes(P.EgressBurstBytes).c_str(),
+              formatBytes(P.IngressBurstBytes).c_str());
+  std::printf("  %-12s %s   (%.2f GB/s, hit rate %.1f%%)\n",
+              ThreeD ? "x phase" : "row phase",
+              formatDuration(R.RowPhaseTime).c_str(),
+              R.RowPhase.ThroughputGBps, 100.0 * R.RowPhase.RowHitRate);
+  std::printf("  exchange     %s   (link %s, memory %s)\n",
+              formatDuration(R.ExchangeTime + R.Exchange2Time).c_str(),
+              formatDuration(R.LinkTime).c_str(),
+              formatDuration(R.ExchangeMemTime).c_str());
+  std::printf("  %-12s %s   (%.2f GB/s, hit rate %.1f%%)\n",
+              ThreeD ? "y phase" : "column phase",
+              formatDuration(R.ColPhaseTime).c_str(),
+              R.ColPhase.ThroughputGBps, 100.0 * R.ColPhase.RowHitRate);
+  if (ThreeD)
+    std::printf("  z phase      %s\n",
+                formatDuration(R.ZPhaseTime).c_str());
+  std::printf("  total        %s, %8.2f GB/s aggregate, %llu transfers "
+              "(%s)\n\n",
+              formatDuration(R.TotalTime).c_str(), R.AppThroughputGBps,
+              static_cast<unsigned long long>(R.XferMessages),
+              formatBytes(R.XferBytes).c_str());
+}
+
+/// Simulates the distributed run; replaces the single-stack report when
+/// --stacks > 1 (the single-stack path is untouched by cluster flags).
+int runCluster(const Cli &C, Tracer *Trace, MetricsRegistry *Metrics) {
+  ClusterConfig Config;
+  Config.Stacks = C.Common.Stacks;
+  Config.Topology = C.Common.Topology == "ring" ? ClusterTopology::Ring
+                                                : ClusterTopology::AllToAll;
+  Config.Placement = C.Common.Placement == "round-robin"
+                         ? StackPlacement::RoundRobin
+                         : StackPlacement::TwoLevel;
+  Config.LinkGBps = C.Common.LinkGBps;
+  Config.Node = C.Config;
+  ClusterFftProcessor Processor(Config);
+  Processor.setObservability(Trace, Metrics, /*TracePid=*/0);
+  const bool ThreeD = C.ClusterFft == "3d";
+  const ClusterReport R = ThreeD ? Processor.run3d() : Processor.run2d();
+  printClusterReport(C, R, ThreeD);
+  return 0;
+}
+
 /// Writes the collected trace / metrics artifacts; exits on I/O failure.
 void writeObsOutputs(const Cli &C, const Tracer *Trace,
                      const MetricsRegistry *Metrics) {
   if (Trace) {
-    std::ofstream Out(C.TraceFile);
+    std::ofstream Out(C.Common.TraceFile);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write trace '%s'\n",
-                   C.TraceFile.c_str());
+                   C.Common.TraceFile.c_str());
       std::exit(1);
     }
     Trace->writeChromeTrace(Out);
     std::printf("wrote %zu trace events to %s (%llu dropped)\n",
-                Trace->events().size(), C.TraceFile.c_str(),
+                Trace->events().size(), C.Common.TraceFile.c_str(),
                 static_cast<unsigned long long>(Trace->dropped()));
   }
   if (Metrics) {
-    std::ofstream Out(C.MetricsFile);
+    std::ofstream Out(C.Common.MetricsFile);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write metrics '%s'\n",
-                   C.MetricsFile.c_str());
+                   C.Common.MetricsFile.c_str());
       std::exit(1);
     }
     Metrics->writeJson(Out);
     std::printf("wrote %zu metrics to %s\n", Metrics->size(),
-                C.MetricsFile.c_str());
+                C.Common.MetricsFile.c_str());
   }
 }
 
@@ -338,17 +368,17 @@ void writeObsOutputs(const Cli &C, const Tracer *Trace,
 int main(int Argc, char **Argv) {
   const Cli C = parse(Argc, Argv);
   std::unique_ptr<Tracer> Trace;
-  if (!C.TraceFile.empty())
+  if (!C.Common.TraceFile.empty())
     Trace = std::make_unique<Tracer>(C.TraceCats);
   std::unique_ptr<MetricsRegistry> Metrics;
-  if (!C.MetricsFile.empty())
+  if (!C.Common.MetricsFile.empty())
     Metrics = std::make_unique<MetricsRegistry>();
   const AnalyticalModel Model(C.Config);
   std::string SeedNote;
-  if (C.SeedSet)
-    SeedNote = ", seed " + std::to_string(C.Seed);
-  if (!C.FaultsFile.empty())
-    SeedNote += ", faults " + C.FaultsFile;
+  if (C.Common.SeedSet)
+    SeedNote = ", seed " + std::to_string(C.Common.Seed);
+  if (!C.Common.FaultsFile.empty())
+    SeedNote += ", faults " + C.Common.FaultsFile;
   std::printf("fft3d_sim: N=%llu, %u vaults, peak %.1f GB/s, %s/%s, map "
               "%s%s%s%s\n\n",
               static_cast<unsigned long long>(C.N),
@@ -395,6 +425,12 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (C.Common.Stacks > 1) {
+    const int Rc = runCluster(C, Trace.get(), Metrics.get());
+    writeObsOutputs(C, Trace.get(), Metrics.get());
+    return Rc;
+  }
+
   Fft2dProcessor Processor(C.Config);
   // Distinct pids keep the two architectures on separate track groups
   // in the exported timeline.
@@ -410,7 +446,7 @@ int main(int Argc, char **Argv) {
 
   if (C.Energy) {
     const AutoTuner Tuner(C.Config,
-                          TuneOptions{true, true, false, false, C.Threads});
+                          TuneOptions{true, true, false, false, C.Common.Threads});
     const TuneResult Result = Tuner.tune(TuneObjective::Energy);
     std::printf("energy (both phases, simulated volume):\n");
     for (const TuneCandidate &Cand : Result.Candidates)
@@ -422,7 +458,7 @@ int main(int Argc, char **Argv) {
 
   if (C.Tune) {
     TuneOptions Options;
-    Options.Threads = C.Threads;
+    Options.Threads = C.Common.Threads;
     const AutoTuner Tuner(C.Config, Options);
     const TuneResult Result = Tuner.tune(C.Objective);
     std::printf("auto-tuning (%s objective):\n",
