@@ -22,15 +22,29 @@
 // FFT itself slows down - the brownout column shows it shedding
 // background work to protect the latency of what remains.
 //
+// A second grid lifts the same story to the cluster: stacks x
+// {healthy, stack kill, lossy link}, timed through the fleet's
+// checkpoint/detect/migrate protocol and the interconnect's retransmit
+// loop. With --json PATH the grid merges a "cluster_faults" row array
+// into the perf JSON next to cluster_sweep's key.
+//
+// Usage: degradation_sweep [--threads K] [--json PATH] [--quick]
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtils.h"
 
+#include "cluster/ClusterFftProcessor.h"
 #include "fault/FaultSpec.h"
 #include "serve/ServeSimulator.h"
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace fft3d;
 using namespace fft3d::bench;
@@ -49,10 +63,125 @@ std::string specFor(unsigned FailedVaults, unsigned DutyPct) {
   return Text;
 }
 
+std::string jsonNum(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+double picosToMicros(Picos T) { return static_cast<double>(T) / 1e6; }
+
+/// Rewrites \p Path with \p Row as the object's last "cluster_faults"
+/// entry, same splice discipline as cluster_sweep's mergeIntoJson:
+/// perf_baseline owns the file, every other bench re-merges its key.
+void mergeIntoJson(const std::string &Path, const std::string &Row) {
+  std::vector<std::string> Lines;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.find("\"cluster_faults\":") == std::string::npos)
+        Lines.push_back(Line);
+  }
+  while (!Lines.empty() && Lines.back().empty())
+    Lines.pop_back();
+  if (Lines.empty() || Lines.back() != "}")
+    Lines = {"{", "}"};
+  Lines.pop_back();
+  if (!Lines.empty() && Lines.back() != "{") {
+    std::string &Prev = Lines.back();
+    if (Prev.empty() || Prev.back() != ',')
+      Prev += ',';
+  }
+  Lines.push_back("  \"cluster_faults\": " + Row);
+  Lines.push_back("}");
+  std::ofstream Out(Path);
+  for (const std::string &Line : Lines)
+    Out << Line << "\n";
+}
+
+/// One cell of the cluster fault grid: a stack count x a fault
+/// scenario's spec text ("" = healthy).
+struct ClusterCell {
+  unsigned Stacks = 1;
+  const char *Scenario = "healthy";
+  std::string SpecText;
+  ClusterReport Report;
+  std::string Error;
+};
+
+/// Runs the S x {healthy, stack kill, link degrade} grid of timed
+/// distributed 2D FFTs, prints the table, and returns the cells for the
+/// JSON merge. The shape to expect: the stack-kill column pays the
+/// checkpoint + detection + migration protocol and then the survivors'
+/// larger share, roughly S/(S-1) on the phases; the lossy-link column
+/// pays retransmits and backoff on the exchange only.
+std::vector<ClusterCell> runClusterFaultGrid(std::uint64_t N,
+                                             unsigned Threads) {
+  const std::vector<unsigned> StackAxis = {1u, 2u, 4u};
+  std::vector<ClusterCell> Cells;
+  for (unsigned S : StackAxis) {
+    Cells.push_back({S, "healthy", "", {}, {}});
+    if (S < 2)
+      continue; // cluster faults need somebody to fail over to
+    Cells.push_back(
+        {S, "stack_fail", "stack_fail " + std::to_string(S / 2) +
+                              " at 0.0001\n", {}, {}});
+    Cells.push_back(
+        {S, "link_degrade",
+         "seed 9\nlink_degrade 0 at 0 factor 2 loss 0.05\n", {}, {}});
+  }
+
+  forEachIndex(Cells.size(), Threads, [&](std::size_t I) {
+    ClusterCell &Cell = Cells[I];
+    ClusterConfig Config = ClusterConfig::forProblemSize(N, Cell.Stacks);
+    if (!Cell.SpecText.empty()) {
+      auto Spec = std::make_shared<FaultSpec>();
+      std::string Error;
+      if (!Spec->parse(Cell.SpecText, &Error)) {
+        Cell.Error = Error;
+        return;
+      }
+      Config.Node.Mem.Faults = Spec;
+    }
+    Cell.Report = ClusterFftProcessor(Config).run2d();
+  });
+
+  std::cout << "\nCluster fault grid: distributed " << N << "x" << N
+            << " 2D FFT, stacks x fault scenario\n\n";
+  TableWriter Table({"stacks", "scenario", "total (us)", "ckpt (us)",
+                     "detect (us)", "migrate (us)", "retrans",
+                     "survivors"});
+  for (const ClusterCell &Cell : Cells) {
+    const ClusterReport &R = Cell.Report;
+    Table.addRow(
+        {TableWriter::num(std::uint64_t(Cell.Stacks)), Cell.Scenario,
+         TableWriter::num(picosToMicros(R.TotalTime), 2),
+         TableWriter::num(picosToMicros(R.CheckpointTime), 2),
+         TableWriter::num(picosToMicros(R.DetectionTime), 2),
+         TableWriter::num(picosToMicros(R.MigrationTime), 2),
+         TableWriter::num(R.Retransmits),
+         TableWriter::num(std::uint64_t(
+             R.SurvivorStacks ? R.SurvivorStacks : Cell.Stacks))});
+  }
+  Table.print(std::cout);
+  return Cells;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   const unsigned Threads = threadsFromArgs(Argc, Argv);
+  std::string JsonPath;
+  bool Quick = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
   SystemConfig Base = SystemConfig::forProblemSize(1024);
   printHeader("Degradation sweep: vault failures x thermal throttling",
               Base);
@@ -61,11 +190,15 @@ int main(int Argc, char **Argv) {
   ServiceModel Model(HealthyMem);
   const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
   const std::uint64_t Seed = 42;
-  const unsigned Jobs = 150;
+  const unsigned Jobs = Quick ? 60 : 150;
   const double RatePerSec = 90.0;
 
-  const std::vector<unsigned> FailedAxis = {0u, 1u, 2u, 4u, 8u, 12u};
-  const std::vector<unsigned> DutyAxis = {0u, 25u, 50u};
+  const std::vector<unsigned> FailedAxis =
+      Quick ? std::vector<unsigned>{0u, 4u, 12u}
+            : std::vector<unsigned>{0u, 1u, 2u, 4u, 8u, 12u};
+  const std::vector<unsigned> DutyAxis =
+      Quick ? std::vector<unsigned>{0u, 50u}
+            : std::vector<unsigned>{0u, 25u, 50u};
 
   struct Cell {
     AppReport App;
@@ -142,5 +275,47 @@ int main(int Argc, char **Argv) {
                "columns show\nthe same capacity loss as queueing delay, "
                "deadline misses and, past the\nbrownout threshold, shed "
                "background jobs.\n";
+
+  // The cluster-level grid: the same degradation story one level up -
+  // whole stacks dying and links going lossy under the fleet's fault
+  // protocol.
+  const std::uint64_t ClusterN = Quick ? 512 : 1024;
+  const std::vector<ClusterCell> Grid =
+      runClusterFaultGrid(ClusterN, Threads);
+  for (const ClusterCell &Cell : Grid)
+    if (!Cell.Error.empty()) {
+      std::cerr << "internal cluster spec error: " << Cell.Error << "\n";
+      return 1;
+    }
+
+  if (!JsonPath.empty()) {
+    std::ostringstream Row;
+    Row << "[";
+    for (std::size_t I = 0; I != Grid.size(); ++I) {
+      const ClusterCell &Cell = Grid[I];
+      const ClusterReport &R = Cell.Report;
+      if (I)
+        Row << ", ";
+      Row << "{\"n\": " << ClusterN << ", \"stacks\": " << Cell.Stacks
+          << ", \"scenario\": \"" << Cell.Scenario << "\", \"total_us\": "
+          << jsonNum(picosToMicros(R.TotalTime)) << ", \"checkpoint_us\": "
+          << jsonNum(picosToMicros(R.CheckpointTime))
+          << ", \"detection_us\": "
+          << jsonNum(picosToMicros(R.DetectionTime))
+          << ", \"migration_us\": "
+          << jsonNum(picosToMicros(R.MigrationTime))
+          << ", \"retrans\": " << R.Retransmits << ", \"survivors\": "
+          << (R.SurvivorStacks ? R.SurvivorStacks : Cell.Stacks) << "}";
+    }
+    Row << "]";
+    mergeIntoJson(JsonPath, Row.str());
+    std::cout << "\nmerged cluster_faults (" << Grid.size()
+              << " cells) into " << JsonPath << "\n";
+  }
+
+  std::cout << "\nThe cluster grid shows the fleet-level version: a dead "
+               "stack costs the\ncheckpoint/detect/migrate protocol plus "
+               "the survivors' S/(S-1) share, a\nlossy link costs "
+               "retransmits and backoff on the exchange alone.\n";
   return 0;
 }

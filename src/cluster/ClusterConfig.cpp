@@ -8,6 +8,8 @@
 
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
+
 using namespace fft3d;
 
 const char *fft3d::clusterTopologyName(ClusterTopology Topology) {
@@ -30,6 +32,16 @@ const char *fft3d::stackPlacementName(StackPlacement Placement) {
   fft3d_unreachable("unknown StackPlacement");
 }
 
+Picos ClusterConfig::retransmitBackoff(unsigned Round) const {
+  Picos Backoff = RetransmitBackoffInit;
+  for (unsigned K = 1; K < Round; ++K) {
+    if (Backoff >= RetransmitBackoffMax / RetransmitBackoffFactor)
+      return RetransmitBackoffMax;
+    Backoff *= RetransmitBackoffFactor;
+  }
+  return std::min(Backoff, RetransmitBackoffMax);
+}
+
 ClusterConfig ClusterConfig::forProblemSize(std::uint64_t N,
                                             unsigned Stacks) {
   ClusterConfig Config;
@@ -50,5 +62,12 @@ void ClusterConfig::validate() const {
     reportFatalError("link bandwidth must be positive");
   if (PacketBytes == 0)
     reportFatalError("interconnect packet size must be positive");
+  if (RetransmitTimeoutPicos == 0)
+    reportFatalError("retransmit timeout must be positive");
+  if (RetransmitBackoffFactor < 2)
+    reportFatalError("retransmit backoff factor must be at least 2");
+  if (RetransmitBackoffInit == 0 ||
+      RetransmitBackoffMax < RetransmitBackoffInit)
+    reportFatalError("retransmit backoff bounds are inverted");
   Node.validate();
 }

@@ -71,10 +71,26 @@ struct ClusterConfig {
   /// element-granular exchanges expensive: an 8-byte payload behind a
   /// 32-byte header uses 20% of the link, a 4 KiB packet over 99%.
   std::uint64_t PacketHeaderBytes = 32;
+  /// Ack timeout: how long past a transmission's end the sender waits
+  /// before declaring its unacked packets lost and retransmitting.
+  Picos RetransmitTimeoutPicos = 2 * PicosPerMicro;
+  /// Retransmission rounds allowed per message before the transfer is
+  /// declared failed (0 = no retransmission: first loss is fatal).
+  unsigned RetransmitBudget = 5;
+  /// Backoff before retransmission round k (k >= 1): min(Init *
+  /// Factor^(k-1), Max) - capped exponential, mirroring the serving
+  /// layer's RetryPolicy.
+  Picos RetransmitBackoffInit = PicosPerMicro;
+  unsigned RetransmitBackoffFactor = 2;
+  Picos RetransmitBackoffMax = 16 * PicosPerMicro;
   /// The per-stack system (device geometry/timing, kernel, sim budget).
   /// Node.N is the *global* problem size; each stack holds N / Stacks
   /// rows (2D) or pencils (3D).
   SystemConfig Node;
+
+  /// Backoff before retransmission round \p Round (1-based): capped
+  /// exponential over the three knobs above.
+  Picos retransmitBackoff(unsigned Round) const;
 
   /// Calibrated default cluster for a global N x N problem on \p Stacks
   /// stacks.

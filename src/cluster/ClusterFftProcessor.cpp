@@ -6,6 +6,8 @@
 
 #include "cluster/ClusterFftProcessor.h"
 
+#include "fault/ClusterFaults.h"
+#include "fault/FaultSpec.h"
 #include "fft/Fft1d.h"
 #include "fft/StreamingKernel.h"
 #include "layout/LinearLayouts.h"
@@ -74,6 +76,38 @@ void scheduleAllToAll(Interconnect &Net, const std::vector<unsigned> &Group,
       Net.send(Group[I], Group[(I + Round) % G], Bytes, GranuleBytes);
 }
 
+/// The next stack after \p From (wrapping) that is still reachable at
+/// \p Now - the checkpoint buddy and the migration stand-in. Returns
+/// \p From itself only when nothing else survives.
+unsigned nextReachable(const ClusterFaultInjector &Faults, unsigned From,
+                       Picos Now) {
+  const unsigned S = Faults.numStacks();
+  for (unsigned Step = 1; Step != S; ++Step) {
+    const unsigned Candidate = (From + Step) % S;
+    if (Faults.stackReachable(Candidate, Now))
+      return Candidate;
+  }
+  return From;
+}
+
+/// Mutable fault-tolerance state one timed run threads through its
+/// exchange boundaries: who is still alive, and how many logical slabs
+/// (own + inherited) each survivor hosts.
+struct SurvivorState {
+  std::vector<bool> Alive;
+  std::vector<unsigned> Hosted;
+
+  explicit SurvivorState(unsigned S) : Alive(S, true), Hosted(S, 1) {}
+
+  std::vector<unsigned> survivors() const {
+    std::vector<unsigned> Out;
+    for (unsigned I = 0; I != Alive.size(); ++I)
+      if (Alive[I])
+        Out.push_back(I);
+    return Out;
+  }
+};
+
 /// Slab/pencil ownership along one axis cut into \p Parts chunks of an
 /// \p N-extent: contiguous chunks under TwoLevel, modulo dealing under
 /// RoundRobin.
@@ -93,6 +127,115 @@ struct AxisSplit {
     return Contiguous ? Owner * chunk() + Local : Local * Parts + Owner;
   }
 };
+
+/// One fault-tolerant redistribution boundary: advance the fabric clock
+/// to the compute barrier \p Wall, checkpoint every live stack's
+/// \p CkptBytes to its successor, detect stacks that died since the
+/// last boundary (each costs one probe through the full retransmit
+/// escalation), run the exchange - grouped while everyone lives, full
+/// all-to-all among survivors once anyone has died - and replay the
+/// newly dead stacks' pairs from their checkpoints, rehoming tiles
+/// addressed to them onto their spare-map survivors. Updates \p State's
+/// hosting and the report's protocol fields; returns the link span of
+/// the exchange proper (the analogue of the fault-free LinkTime).
+Picos faultedExchange(Interconnect &Net, EventQueue &Events,
+                      const ClusterFaultInjector &Faults,
+                      const ClusterConfig &Config, SurvivorState &State,
+                      ClusterReport &Rep, Picos Wall,
+                      std::uint64_t CkptBytes,
+                      const std::vector<std::vector<unsigned>> &Groups,
+                      std::uint64_t MsgBytes, std::uint64_t Granule) {
+  const unsigned S = Faults.numStacks();
+  Events.runUntil(Wall);
+
+  // 1. Checkpoint: every live stack replicates its slabs to the next
+  //    reachable stack, so a copy outlives any single failure.
+  const Picos CkptStart = Events.now();
+  for (unsigned I = 0; I != S; ++I) {
+    if (!State.Alive[I] || !Faults.stackReachable(I, CkptStart))
+      continue;
+    const unsigned Buddy = nextReachable(Faults, I, CkptStart);
+    if (Buddy != I)
+      Net.send(I, Buddy, CkptBytes * State.Hosted[I], Granule);
+  }
+  Events.run();
+  Events.runUntil(Net.lastDelivery());
+  Rep.CheckpointTime += Events.now() - CkptStart;
+
+  // 2. Detect: a stack that stops answering is declared dead after one
+  //    probe exhausts the retransmit budget (the missed-exchange
+  //    timeout). Its slabs rehome to the round-robin spare survivor.
+  const Picos DetectStart = Events.now();
+  std::vector<bool> NewlyDead(S, false);
+  bool AnyNew = false;
+  for (unsigned I = 0; I != S; ++I)
+    if (State.Alive[I] && !Faults.stackReachable(I, DetectStart)) {
+      NewlyDead[I] = true;
+      State.Alive[I] = false;
+      AnyNew = true;
+    }
+  if (AnyNew) {
+    const std::vector<unsigned> Survivors = State.survivors();
+    if (Survivors.empty())
+      reportFatalError("no stack survives the cluster fault schedule");
+    Picos GiveUp = DetectStart;
+    for (unsigned D = 0; D != S; ++D) {
+      if (!NewlyDead[D])
+        continue;
+      GiveUp = std::max(
+          GiveUp,
+          Net.transfer(Survivors.front(), D, Config.PacketBytes).Delivery);
+    }
+    Events.runUntil(GiveUp);
+    Rep.DetectionTime += Events.now() - DetectStart;
+    Rep.Replanned = true;
+    const std::vector<unsigned> Spare = spareVaultMap(State.Alive);
+    for (unsigned D = 0; D != S; ++D)
+      if (NewlyDead[D]) {
+        Rep.StacksFailed += 1;
+        State.Hosted[Spare[D]] += State.Hosted[D];
+        State.Hosted[D] = 0;
+      }
+  }
+
+  // 3. The exchange proper.
+  const Picos XStart = Events.now();
+  const std::vector<unsigned> Survivors = State.survivors();
+  const bool Degraded = Survivors.size() != S;
+  if (!Degraded)
+    for (const std::vector<unsigned> &G : Groups)
+      scheduleAllToAll(Net, G, MsgBytes, Granule);
+  else
+    scheduleAllToAll(Net, Survivors, MsgBytes, Granule);
+  Events.run();
+  Events.runUntil(Net.lastDelivery());
+  const Picos Link = Events.now() - XStart;
+
+  // 4. Migration: for every ordered pair touching a newly dead stack,
+  //    the dead side's checkpoint holder stands in as sender and the
+  //    spare survivor stands in as receiver.
+  if (AnyNew) {
+    const Picos MigStart = Events.now();
+    const std::vector<unsigned> Spare = spareVaultMap(State.Alive);
+    std::vector<unsigned> StandIn(S);
+    for (unsigned I = 0; I != S; ++I)
+      StandIn[I] = NewlyDead[I] ? nextReachable(Faults, I, MigStart) : I;
+    for (unsigned I = 0; I != S; ++I)
+      for (unsigned J = 0; J != S; ++J) {
+        if (I == J || (!NewlyDead[I] && !NewlyDead[J]))
+          continue;
+        if ((!State.Alive[I] && !NewlyDead[I]) ||
+            (!State.Alive[J] && !NewlyDead[J]))
+          continue; // pairs of earlier casualties already migrated
+        Net.send(StandIn[I], NewlyDead[J] ? Spare[J] : J, MsgBytes,
+                 Granule);
+      }
+    Events.run();
+    Events.runUntil(Net.lastDelivery());
+    Rep.MigrationTime += Events.now() - MigStart;
+  }
+  return Link;
+}
 
 } // namespace
 
@@ -136,8 +279,8 @@ ClusterReport ClusterFftProcessor::run2d() {
                                    Rep.Plan.Staging.W, Rep.Plan.Staging.H);
   const BlockDynamicLayout Receive(N, C, ElementBytes, 2 * Stride,
                                    Rep.Plan.Receive.W, Rep.Plan.Receive.H);
-  const BlockDynamicLayout Out(N, C, ElementBytes, 3 * Stride,
-                               Rep.Plan.Receive.W, Rep.Plan.Receive.H);
+  // (Phase 2 builds its receive/output layouts per stack: a survivor
+  // hosting migrated slabs streams a wider region.)
   // Flat views for the round-robin comparator's element scatter.
   const RowMajorLayout StagingFlat(R, N, ElementBytes, Stride);
   const RowMajorLayout ReceiveFlat(N, C, ElementBytes, 2 * Stride);
@@ -170,19 +313,45 @@ ClusterReport ClusterFftProcessor::run2d() {
   Net.setObservability(Trace, Metrics, TracePid + S);
   if (Trace)
     Trace->setProcessName(TracePid + S, "interconnect");
-  if (S > 1) {
-    std::vector<unsigned> All(S);
-    for (unsigned I = 0; I != S; ++I)
-      All[I] = I;
-    // The wire granule is the sender's contiguous run: two-level ships
-    // whole staging blocks (full packets), round-robin single elements
-    // (mostly framing).
-    scheduleAllToAll(Net, All, Rep.Plan.PairBytes,
-                     Rep.Plan.EgressBurstBytes);
-    XferEvents.run();
-    Rep.LinkTime = Net.lastDelivery();
+  // Cluster fault tolerance engages only when the spec has cluster
+  // directives: without it the fabric and the schedule below are the
+  // exact fault-free path.
+  std::unique_ptr<ClusterFaultInjector> CFaults;
+  if (S > 1 && Config.Node.Mem.Faults &&
+      Config.Node.Mem.Faults->hasClusterFaults())
+    CFaults =
+        std::make_unique<ClusterFaultInjector>(*Config.Node.Mem.Faults, S,
+                                               2 * S);
+  Net.setFaults(CFaults.get());
+  SurvivorState State(S);
 
-    for (SimStack &St : Stacks) {
+  if (S > 1) {
+    if (!CFaults) {
+      std::vector<unsigned> All(S);
+      for (unsigned I = 0; I != S; ++I)
+        All[I] = I;
+      // The wire granule is the sender's contiguous run: two-level ships
+      // whole staging blocks (full packets), round-robin single elements
+      // (mostly framing).
+      scheduleAllToAll(Net, All, Rep.Plan.PairBytes,
+                       Rep.Plan.EgressBurstBytes);
+      XferEvents.run();
+      Rep.LinkTime = Net.lastDelivery();
+    } else {
+      std::vector<std::vector<unsigned>> Groups(1,
+                                                std::vector<unsigned>(S));
+      for (unsigned I = 0; I != S; ++I)
+        Groups[0][I] = I;
+      Rep.LinkTime = faultedExchange(Net, XferEvents, *CFaults, Config,
+                                     State, Rep, Rep.RowPhaseTime,
+                                     SlabBytes, Groups, Rep.Plan.PairBytes,
+                                     Rep.Plan.EgressBurstBytes);
+    }
+
+    for (unsigned I = 0; I != S; ++I) {
+      if (!State.Alive[I])
+        continue;
+      SimStack &St = Stacks[I];
       std::unique_ptr<TraceSource> Egress, Ingress;
       if (TwoLevel) {
         Egress = std::make_unique<BlockTrace>(Staging,
@@ -203,10 +372,32 @@ ClusterReport ClusterFftProcessor::run2d() {
   }
   Rep.ExchangeTime = std::max(Rep.LinkTime, Rep.ExchangeMemTime);
 
-  // Phase 2: whole-block streams down the received block columns.
-  for (SimStack &St : Stacks) {
-    BlockTrace P2Read(Receive, BlockOrder::ColMajorBlocks);
-    BlockTrace P2Write(Out, BlockOrder::ColMajorBlocks);
+  // Phase 2: whole-block streams down the received block columns. A
+  // survivor hosting migrated slabs owns C * hosted columns, re-solves
+  // Eq. 1 for that stream count, and streams the larger region (with
+  // hosted == 1 everything below reduces to the healthy layouts,
+  // byte-identically).
+  for (unsigned I = 0; I != S; ++I) {
+    if (!State.Alive[I])
+      continue;
+    SimStack &St = Stacks[I];
+    const std::uint64_t MyCols = C * State.Hosted[I];
+    const BlockPlan RPlan =
+        State.Hosted[I] == 1
+            ? Rep.Plan.Receive
+            : Planner
+                  .planDegraded(N, S, Arch.VaultsParallel, Config.Placement,
+                                MyCols)
+                  .Receive;
+    const std::uint64_t MyStride =
+        roundUp(N * MyCols * ElementBytes,
+                Config.Node.Mem.Geo.RowBufferBytes);
+    const BlockDynamicLayout MyReceive(N, MyCols, ElementBytes, 2 * Stride,
+                                       RPlan.W, RPlan.H);
+    const BlockDynamicLayout MyOut(N, MyCols, ElementBytes,
+                                   2 * Stride + MyStride, RPlan.W, RPlan.H);
+    BlockTrace P2Read(MyReceive, BlockOrder::ColMajorBlocks);
+    BlockTrace P2Write(MyOut, BlockOrder::ColMajorBlocks);
     St.Engine->setPhaseName("col_phase");
     keepSlowest(St.Engine->run({&P2Read, false, Arch.ReadWindow, Pace, 0},
                                {&P2Write, true, Arch.WriteWindow, Pace,
@@ -214,12 +405,19 @@ ClusterReport ClusterFftProcessor::run2d() {
                 Rep.ColPhaseTime, Rep.ColPhase);
   }
 
-  Rep.TotalTime = Rep.RowPhaseTime + Rep.ExchangeTime + Rep.ColPhaseTime;
+  Rep.TotalTime = Rep.RowPhaseTime + Rep.CheckpointTime +
+                  Rep.DetectionTime + Rep.ExchangeTime + Rep.MigrationTime +
+                  Rep.ColPhaseTime;
   const std::uint64_t MatrixBytes = N * N * ElementBytes;
   Rep.AppThroughputGBps =
       bytesOverPicosToGBps(6 * MatrixBytes, Rep.TotalTime);
   Rep.XferMessages = Net.messages();
   Rep.XferBytes = Net.payloadBytes();
+  Rep.Retransmits = Net.retransmittedPackets();
+  Rep.BackoffTime = Net.backoffTime();
+  Rep.XferFailed = Net.failedTransfers();
+  if (CFaults)
+    Rep.SurvivorStacks = static_cast<unsigned>(State.survivors().size());
   if (Metrics)
     Net.exportTo(*Metrics);
   return Rep;
@@ -249,12 +447,8 @@ ClusterReport ClusterFftProcessor::run3d() {
   const RowMajorLayout Input(Lines, N, ElementBytes, 0);
   const BlockDynamicLayout Staging(Lines, N, ElementBytes, Stride,
                                    Rep.Plan.Staging.W, Rep.Plan.Staging.H);
-  const BlockDynamicLayout Receive(Lines, N, ElementBytes, 2 * Stride,
-                                   Rep.Plan.Staging.W, Rep.Plan.Staging.H);
-  const BlockDynamicLayout Out(Lines, N, ElementBytes, 3 * Stride,
-                               Rep.Plan.Staging.W, Rep.Plan.Staging.H);
-  const RowMajorLayout StagingFlat(Lines, N, ElementBytes, Stride);
-  const RowMajorLayout ReceiveFlat(Lines, N, ElementBytes, 2 * Stride);
+  // (The later passes build their layouts per stack: a survivor hosting
+  // migrated pencils streams hosted * Lines lines from the same bases.)
   const bool TwoLevel = Config.Placement == StackPlacement::TwoLevel;
 
   const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
@@ -270,39 +464,81 @@ ClusterReport ClusterFftProcessor::run3d() {
   Net.setObservability(Trace, Metrics, TracePid + S);
   if (Trace)
     Trace->setProcessName(TracePid + S, "interconnect");
+  std::unique_ptr<ClusterFaultInjector> CFaults;
+  if (S > 1 && Config.Node.Mem.Faults &&
+      Config.Node.Mem.Faults->hasClusterFaults())
+    CFaults =
+        std::make_unique<ClusterFaultInjector>(*Config.Node.Mem.Faults, S,
+                                               2 * S);
+  Net.setFaults(CFaults.get());
+  SurvivorState State(S);
 
   // One redistribution: balanced all-to-all inside every \p Parts-sized
-  // grid group, plus the per-stack egress/ingress memory phase.
+  // grid group, plus the per-stack egress/ingress memory phase. Under a
+  // fault oracle the boundary runs the full checkpoint / detect /
+  // migrate protocol (\p Wall is the compute barrier the fabric clock
+  // advances to; the fault-free path ignores it).
   const auto runExchange = [&](unsigned Parts, bool GroupByRow,
-                               const char *PhaseName, Picos &LinkOut,
-                               PhaseResult &MemSlowest,
+                               const char *PhaseName, Picos Wall,
+                               Picos &LinkOut, PhaseResult &MemSlowest,
                                Picos &MemOut) -> Picos {
     if (Parts <= 1)
       return 0;
     const std::uint64_t MsgBytes = LocalBytes / Parts;
-    const Picos LinkStart = Net.lastDelivery();
-    for (unsigned G = 0; G != S / Parts; ++G) {
-      std::vector<unsigned> Group(Parts);
-      for (unsigned I = 0; I != Parts; ++I)
-        // Grid id = q * P1 + p: row groups share q (consecutive ids),
-        // column groups share p (stride-P1 ids).
-        Group[I] = GroupByRow ? G * Parts + I : G + I * (S / Parts);
-      scheduleAllToAll(Net, Group, MsgBytes, Rep.Plan.EgressBurstBytes);
+    Picos Link = 0;
+    if (!CFaults) {
+      const Picos LinkStart = Net.lastDelivery();
+      for (unsigned G = 0; G != S / Parts; ++G) {
+        std::vector<unsigned> Group(Parts);
+        for (unsigned I = 0; I != Parts; ++I)
+          // Grid id = q * P1 + p: row groups share q (consecutive ids),
+          // column groups share p (stride-P1 ids).
+          Group[I] = GroupByRow ? G * Parts + I : G + I * (S / Parts);
+        scheduleAllToAll(Net, Group, MsgBytes, Rep.Plan.EgressBurstBytes);
+      }
+      XferEvents.run();
+      Link = Net.lastDelivery() - LinkStart;
+    } else {
+      std::vector<std::vector<unsigned>> Groups;
+      for (unsigned G = 0; G != S / Parts; ++G) {
+        std::vector<unsigned> Group(Parts);
+        for (unsigned I = 0; I != Parts; ++I)
+          Group[I] = GroupByRow ? G * Parts + I : G + I * (S / Parts);
+        Groups.push_back(std::move(Group));
+      }
+      // With a dead stack the grouped schedule no longer tiles the
+      // grid; the boundary degenerates to a full all-to-all among the
+      // survivors (inside faultedExchange).
+      Link = faultedExchange(Net, XferEvents, *CFaults, Config, State, Rep,
+                             Wall, LocalBytes, Groups, MsgBytes,
+                             Rep.Plan.EgressBurstBytes);
     }
-    XferEvents.run();
-    const Picos Link = Net.lastDelivery() - LinkStart;
     LinkOut += Link;
 
     Picos MemMax = 0;
-    for (SimStack &St : Stacks) {
+    for (unsigned I = 0; I != S; ++I) {
+      if (!State.Alive[I])
+        continue;
+      SimStack &St = Stacks[I];
+      const std::uint64_t MyLines = Lines * State.Hosted[I];
+      const BlockDynamicLayout MyStaging(MyLines, N, ElementBytes, Stride,
+                                         Rep.Plan.Staging.W,
+                                         Rep.Plan.Staging.H);
+      const BlockDynamicLayout MyReceive(MyLines, N, ElementBytes,
+                                         2 * Stride, Rep.Plan.Staging.W,
+                                         Rep.Plan.Staging.H);
+      const RowMajorLayout MyStagingFlat(MyLines, N, ElementBytes, Stride);
+      const RowMajorLayout MyReceiveFlat(MyLines, N, ElementBytes,
+                                         2 * Stride);
       std::unique_ptr<TraceSource> Egress, Ingress;
       if (TwoLevel) {
-        Egress = std::make_unique<BlockTrace>(Staging,
+        Egress = std::make_unique<BlockTrace>(MyStaging,
                                               BlockOrder::RowMajorBlocks);
-        Ingress = std::make_unique<ChunkedBlockWriteTrace>(Receive);
+        Ingress = std::make_unique<ChunkedBlockWriteTrace>(MyReceive);
       } else {
-        Egress = std::make_unique<ColScanTrace>(StagingFlat, ElementBytes);
-        Ingress = std::make_unique<ColScanTrace>(ReceiveFlat, ElementBytes);
+        Egress = std::make_unique<ColScanTrace>(MyStagingFlat, ElementBytes);
+        Ingress =
+            std::make_unique<ColScanTrace>(MyReceiveFlat, ElementBytes);
       }
       St.Engine->setPhaseName(PhaseName);
       keepSlowest(
@@ -328,13 +564,23 @@ ClusterReport ClusterFftProcessor::run3d() {
   }
 
   Rep.ExchangeTime = runExchange(P1, /*GroupByRow=*/true, "exchange",
-                                 Rep.LinkTime, Rep.ExchangeMem,
-                                 Rep.ExchangeMemTime);
+                                 Rep.RowPhaseTime, Rep.LinkTime,
+                                 Rep.ExchangeMem, Rep.ExchangeMemTime);
 
   // y-pass: block fetch of the re-pencilled data, blocks out.
-  for (SimStack &St : Stacks) {
-    BlockTrace PRead(Receive, BlockOrder::ColMajorBlocks);
-    ChunkedBlockWriteTrace PWrite(Staging);
+  for (unsigned I = 0; I != S; ++I) {
+    if (!State.Alive[I])
+      continue;
+    SimStack &St = Stacks[I];
+    const std::uint64_t MyLines = Lines * State.Hosted[I];
+    const BlockDynamicLayout MyReceive(MyLines, N, ElementBytes, 2 * Stride,
+                                       Rep.Plan.Staging.W,
+                                       Rep.Plan.Staging.H);
+    const BlockDynamicLayout MyStaging(MyLines, N, ElementBytes, Stride,
+                                       Rep.Plan.Staging.W,
+                                       Rep.Plan.Staging.H);
+    BlockTrace PRead(MyReceive, BlockOrder::ColMajorBlocks);
+    ChunkedBlockWriteTrace PWrite(MyStaging);
     St.Engine->setPhaseName("y_phase");
     keepSlowest(St.Engine->run({&PRead, false, Arch.ReadWindow, Pace, 0},
                                {&PWrite, true, Arch.WriteWindow, Pace,
@@ -342,15 +588,28 @@ ClusterReport ClusterFftProcessor::run3d() {
                 Rep.ColPhaseTime, Rep.ColPhase);
   }
 
-  Rep.Exchange2Time = runExchange(P2, /*GroupByRow=*/false, "exchange2",
-                                  Rep.LinkTime, Rep.ExchangeMem,
-                                  Rep.ExchangeMemTime);
+  // The second boundary's wall clock: everything that has happened so
+  // far, including the first boundary's protocol costs.
+  Rep.Exchange2Time =
+      runExchange(P2, /*GroupByRow=*/false, "exchange2",
+                  Rep.RowPhaseTime + Rep.CheckpointTime + Rep.DetectionTime +
+                      Rep.ExchangeTime + Rep.MigrationTime + Rep.ColPhaseTime,
+                  Rep.LinkTime, Rep.ExchangeMem, Rep.ExchangeMemTime);
 
   // z-pass: whole blocks both ways.
   PhaseResult ZSlowest;
-  for (SimStack &St : Stacks) {
-    BlockTrace PRead(Receive, BlockOrder::ColMajorBlocks);
-    BlockTrace PWrite(Out, BlockOrder::ColMajorBlocks);
+  for (unsigned I = 0; I != S; ++I) {
+    if (!State.Alive[I])
+      continue;
+    SimStack &St = Stacks[I];
+    const std::uint64_t MyLines = Lines * State.Hosted[I];
+    const BlockDynamicLayout MyReceive(MyLines, N, ElementBytes, 2 * Stride,
+                                       Rep.Plan.Staging.W,
+                                       Rep.Plan.Staging.H);
+    const BlockDynamicLayout MyOut(MyLines, N, ElementBytes, 3 * Stride,
+                                   Rep.Plan.Staging.W, Rep.Plan.Staging.H);
+    BlockTrace PRead(MyReceive, BlockOrder::ColMajorBlocks);
+    BlockTrace PWrite(MyOut, BlockOrder::ColMajorBlocks);
     St.Engine->setPhaseName("z_phase");
     keepSlowest(St.Engine->run({&PRead, false, Arch.ReadWindow, Pace, 0},
                                {&PWrite, true, Arch.WriteWindow, Pace,
@@ -358,13 +617,19 @@ ClusterReport ClusterFftProcessor::run3d() {
                 Rep.ZPhaseTime, ZSlowest);
   }
 
-  Rep.TotalTime = Rep.RowPhaseTime + Rep.ExchangeTime + Rep.ColPhaseTime +
-                  Rep.Exchange2Time + Rep.ZPhaseTime;
+  Rep.TotalTime = Rep.RowPhaseTime + Rep.CheckpointTime +
+                  Rep.DetectionTime + Rep.ExchangeTime + Rep.ColPhaseTime +
+                  Rep.Exchange2Time + Rep.MigrationTime + Rep.ZPhaseTime;
   const std::uint64_t VolumeBytes = N * N * N * ElementBytes;
   Rep.AppThroughputGBps =
       bytesOverPicosToGBps(10 * VolumeBytes, Rep.TotalTime);
   Rep.XferMessages = Net.messages();
   Rep.XferBytes = Net.payloadBytes();
+  Rep.Retransmits = Net.retransmittedPackets();
+  Rep.BackoffTime = Net.backoffTime();
+  Rep.XferFailed = Net.failedTransfers();
+  if (CFaults)
+    Rep.SurvivorStacks = static_cast<unsigned>(State.survivors().size());
   if (Metrics)
     Net.exportTo(*Metrics);
   return Rep;
@@ -560,6 +825,222 @@ ClusterFftProcessor::compute3d(const std::vector<CplxF> &Vol,
     }
 
   // Reassemble the x-fastest volume from the z-pencil stores.
+  std::vector<CplxF> Result(N * N * N);
+  for (std::uint64_t Y = 0; Y != N; ++Y)
+    for (std::uint64_t X = 0; X != N; ++X) {
+      const unsigned Owner = A2.owner(Y) * P1 + A1.owner(X);
+      const std::uint64_t Base =
+          (A2.local(Y) * N1 + A1.local(X)) * N;
+      for (std::uint64_t Z = 0; Z != N; ++Z)
+        Result[(Z * N + Y) * N + X] = S3[Owner][Base + Z];
+    }
+  return Result;
+}
+
+Matrix ClusterFftProcessor::compute2dWithStackLoss(const Matrix &In,
+                                                   const ClusterConfig
+                                                       &Config,
+                                                   unsigned FailedStack) {
+  Config.validate();
+  const std::uint64_t N = In.rows();
+  if (In.cols() != N)
+    reportFatalError("distributed 2D FFT requires a square matrix");
+  const unsigned S = Config.Stacks;
+  if (S < 2)
+    reportFatalError("cannot lose the only stack of a cluster");
+  if (FailedStack >= S)
+    reportFatalError("failed stack outside the cluster");
+  if (N % S != 0)
+    reportFatalError("stack count must divide the problem size N");
+  const std::uint64_t R = N / S;
+  const AxisSplit Rows{N, S,
+                       Config.Placement == StackPlacement::TwoLevel};
+  const AxisSplit Cols = Rows;
+
+  // Phase 1 runs everywhere: the failure strikes at the redistribution
+  // boundary, after the row FFTs.
+  const Fft1d Plan(N);
+  std::vector<Matrix> RowSlab(S, Matrix(R, N));
+  std::vector<CplxF> Line;
+  for (std::uint64_t Row = 0; Row != N; ++Row) {
+    In.copyRow(Row, Line);
+    Plan.forward(Line);
+    RowSlab[Rows.owner(Row)].setRow(Rows.local(Row), Line);
+  }
+
+  // Redistribution-boundary checkpoint, then the failure: the dead
+  // stack's slab survives only as the checkpoint copy - its own store
+  // is emptied, so any read of post-mortem state would produce zeros
+  // and break the bit-identity the tests pin.
+  const Matrix Ckpt = std::move(RowSlab[FailedStack]);
+  RowSlab[FailedStack] = Matrix();
+  const auto SlabOf = [&](unsigned Src) -> const Matrix & {
+    return Src == FailedStack ? Ckpt : RowSlab[Src];
+  };
+
+  // Survivor re-plan: the dead stack's columns rehome to its spare-map
+  // survivor; every survivor owns its original columns plus any
+  // migrated ones, listed in global order.
+  std::vector<bool> Alive(S, true);
+  Alive[FailedStack] = false;
+  const unsigned Spare = spareVaultMap(Alive)[FailedStack];
+  std::vector<std::vector<std::uint64_t>> Owned(S);
+  for (std::uint64_t Col = 0; Col != N; ++Col) {
+    const unsigned Original = Cols.owner(Col);
+    Owned[Original == FailedStack ? Spare : Original].push_back(Col);
+  }
+
+  // Exchange: per-destination payloads as in compute2d, the dead
+  // sender's tiles replayed from the checkpoint. Store[Dst] holds
+  // Owned[Dst].size() columns of N, column-major.
+  std::vector<std::vector<CplxF>> Store(S);
+  for (unsigned I = 0; I != S; ++I)
+    Store[I].resize(N * Owned[I].size());
+  std::vector<CplxF> Payload;
+  for (unsigned Src = 0; Src != S; ++Src) {
+    const Matrix &Slab = SlabOf(Src);
+    for (unsigned Dst = 0; Dst != S; ++Dst) {
+      if (Owned[Dst].empty())
+        continue;
+      const std::uint64_t C = Owned[Dst].size();
+      Payload.clear();
+      for (std::uint64_t Lr = 0; Lr != R; ++Lr)
+        for (std::uint64_t J = 0; J != C; ++J)
+          Payload.push_back(Slab.at(Lr, Owned[Dst][J]));
+      std::uint64_t At = 0;
+      for (std::uint64_t Lr = 0; Lr != R; ++Lr)
+        for (std::uint64_t J = 0; J != C; ++J)
+          Store[Dst][J * N + Rows.global(Src, Lr)] = Payload[At++];
+    }
+  }
+
+  // Phase 2 on the survivors: every column stream FFT'd where it now
+  // lives. Same Fft1d plan on the same values as the host reference, so
+  // the result is bit-identical whenever every element survived.
+  Matrix Out(N, N);
+  std::vector<CplxF> Column(N);
+  for (unsigned Dst = 0; Dst != S; ++Dst)
+    for (std::uint64_t J = 0; J != Owned[Dst].size(); ++J) {
+      Column.assign(Store[Dst].begin() + J * N,
+                    Store[Dst].begin() + (J + 1) * N);
+      Plan.forward(Column);
+      Out.setCol(Owned[Dst][J], Column);
+    }
+  return Out;
+}
+
+std::vector<CplxF> ClusterFftProcessor::compute3dWithStackLoss(
+    const std::vector<CplxF> &Vol, std::uint64_t N,
+    const ClusterConfig &Config, unsigned FailedStack) {
+  if (Vol.size() != N * N * N)
+    reportFatalError("volume size does not match N^3");
+  const unsigned S = Config.Stacks;
+  if (S < 2)
+    reportFatalError("cannot lose the only stack of a cluster");
+  if (FailedStack >= S)
+    reportFatalError("failed stack outside the cluster");
+  unsigned P1 = 1, P2 = 1;
+  pencilGrid(S, P1, P2);
+  if (N % P1 != 0 || N % P2 != 0)
+    reportFatalError("pencil grid must divide the problem size N");
+  const bool Contig = Config.Placement == StackPlacement::TwoLevel;
+  const AxisSplit A1{N, P1, Contig};
+  const AxisSplit A2{N, P2, Contig};
+  const std::uint64_t N1 = N / P1;
+  const std::uint64_t N2 = N / P2;
+
+  const Fft1d Plan(N);
+  std::vector<CplxF> Line(N);
+
+  // Stage 1 (x-pass) runs everywhere, exactly as in compute3d.
+  std::vector<std::vector<CplxF>> S1(S,
+                                     std::vector<CplxF>(N1 * N2 * N));
+  for (std::uint64_t Z = 0; Z != N; ++Z)
+    for (std::uint64_t Y = 0; Y != N; ++Y) {
+      const unsigned Owner = A2.owner(Z) * P1 + A1.owner(Y);
+      const std::uint64_t Base =
+          (A2.local(Z) * N1 + A1.local(Y)) * N;
+      for (std::uint64_t X = 0; X != N; ++X)
+        S1[Owner][Base + X] = Vol[(Z * N + Y) * N + X];
+    }
+  for (auto &Local : S1)
+    for (std::uint64_t L = 0; L != N1 * N2; ++L) {
+      std::copy_n(Local.begin() + L * N, N, Line.begin());
+      Plan.forward(Line);
+      std::copy_n(Line.begin(), N, Local.begin() + L * N);
+    }
+
+  // The stack dies at the first redistribution boundary, right after
+  // checkpointing its x-pencil store. From here on its logical grid
+  // slot is hosted by the spare survivor; reads of the dead slot go
+  // through the checkpoint, and its own store is emptied.
+  const std::vector<CplxF> Ckpt = std::move(S1[FailedStack]);
+  S1[FailedStack].clear();
+  const auto S1Of = [&](unsigned Src) -> const std::vector<CplxF> & {
+    return Src == FailedStack ? Ckpt : S1[Src];
+  };
+
+  // Redistribution 1, sourcing the dead slot from its checkpoint. The
+  // logical pencil assignment is unchanged - the spare hosts the dead
+  // slot's S2/S3 stores alongside its own - so every later stage sees
+  // the same values as the fault-free run.
+  std::vector<std::vector<CplxF>> S2(S,
+                                     std::vector<CplxF>(N1 * N2 * N));
+  std::vector<CplxF> Payload;
+  for (unsigned Q = 0; Q != P2; ++Q)
+    for (unsigned SrcP = 0; SrcP != P1; ++SrcP)
+      for (unsigned DstP = 0; DstP != P1; ++DstP) {
+        const unsigned Src = Q * P1 + SrcP;
+        const unsigned Dst = Q * P1 + DstP;
+        const std::vector<CplxF> &From = S1Of(Src);
+        Payload.clear();
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Ly = 0; Ly != N1; ++Ly)
+            for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+              Payload.push_back(
+                  From[(Lz * N1 + Ly) * N + A1.global(DstP, Lx)]);
+        std::uint64_t At = 0;
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Ly = 0; Ly != N1; ++Ly)
+            for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+              S2[Dst][(Lz * N1 + Lx) * N + A1.global(SrcP, Ly)] =
+                  Payload[At++];
+      }
+  for (auto &Local : S2)
+    for (std::uint64_t L = 0; L != N1 * N2; ++L) {
+      std::copy_n(Local.begin() + L * N, N, Line.begin());
+      Plan.forward(Line);
+      std::copy_n(Line.begin(), N, Local.begin() + L * N);
+    }
+
+  // Redistribution 2 and the z-pass, unchanged from compute3d.
+  std::vector<std::vector<CplxF>> S3(S,
+                                     std::vector<CplxF>(N1 * N2 * N));
+  for (unsigned P = 0; P != P1; ++P)
+    for (unsigned SrcQ = 0; SrcQ != P2; ++SrcQ)
+      for (unsigned DstQ = 0; DstQ != P2; ++DstQ) {
+        const unsigned Src = SrcQ * P1 + P;
+        const unsigned Dst = DstQ * P1 + P;
+        Payload.clear();
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+            for (std::uint64_t Ly = 0; Ly != N2; ++Ly)
+              Payload.push_back(
+                  S2[Src][(Lz * N1 + Lx) * N + A2.global(DstQ, Ly)]);
+        std::uint64_t At = 0;
+        for (std::uint64_t Lz = 0; Lz != N2; ++Lz)
+          for (std::uint64_t Lx = 0; Lx != N1; ++Lx)
+            for (std::uint64_t Ly = 0; Ly != N2; ++Ly)
+              S3[Dst][(Ly * N1 + Lx) * N + A2.global(SrcQ, Lz)] =
+                  Payload[At++];
+      }
+  for (auto &Local : S3)
+    for (std::uint64_t L = 0; L != N1 * N2; ++L) {
+      std::copy_n(Local.begin() + L * N, N, Line.begin());
+      Plan.forward(Line);
+      std::copy_n(Line.begin(), N, Local.begin() + L * N);
+    }
+
   std::vector<CplxF> Result(N * N * N);
   for (std::uint64_t Y = 0; Y != N; ++Y)
     for (std::uint64_t X = 0; X != N; ++X) {

@@ -75,6 +75,24 @@ struct ClusterReport {
   /// Interconnect totals for the run.
   std::uint64_t XferMessages = 0;
   std::uint64_t XferBytes = 0;
+  /// Cluster fault tolerance (all zero on a fault-free run). Stacks
+  /// that died or were partitioned off before an exchange, survivors
+  /// that finished the run, and whether the survivor layouts were
+  /// re-solved for migrated slabs.
+  unsigned StacksFailed = 0;
+  unsigned SurvivorStacks = 0;
+  bool Replanned = false;
+  /// Protocol costs: replicating every slab to its successor at the
+  /// redistribution boundary, the missed-exchange probe that concludes
+  /// a stack is dead (one full retransmit escalation), and the extra
+  /// exchange traffic that rehomes the dead stacks' tiles.
+  Picos CheckpointTime = 0;
+  Picos DetectionTime = 0;
+  Picos MigrationTime = 0;
+  /// Loss-recovery totals from the interconnect.
+  std::uint64_t Retransmits = 0;
+  Picos BackoffTime = 0;
+  std::uint64_t XferFailed = 0;
 };
 
 /// Runs distributed FFTs over a modeled multi-stack system.
@@ -121,6 +139,27 @@ public:
   /// Host reference: three straight passes of 1D FFTs over the volume.
   static std::vector<CplxF> compute3dReference(const std::vector<CplxF> &Vol,
                                                std::uint64_t N);
+
+  /// Functional distributed 2D FFT surviving the loss of \p FailedStack
+  /// right after the row phase: the failed stack's slab is recovered
+  /// from its redistribution-boundary checkpoint (the stack's own store
+  /// is dropped, so any post-mortem read would fail), its columns are
+  /// rehomed onto the spare-map survivor, and the survivors run the
+  /// column FFTs of everything they now own. Every element survives
+  /// somewhere, so the result is bit-identical to Fft2d::forward - the
+  /// acceptance property the fault tests pin at S in {2, 4, 8}.
+  static Matrix compute2dWithStackLoss(const Matrix &In,
+                                       const ClusterConfig &Config,
+                                       unsigned FailedStack);
+
+  /// Functional distributed 3D FFT surviving the loss of \p FailedStack
+  /// at the first redistribution: the dead stack's x-pencil store is
+  /// recovered from checkpoint and its logical grid slot is hosted by
+  /// the spare survivor through the remaining passes. Bit-identical to
+  /// compute3dReference.
+  static std::vector<CplxF>
+  compute3dWithStackLoss(const std::vector<CplxF> &Vol, std::uint64_t N,
+                         const ClusterConfig &Config, unsigned FailedStack);
 
 private:
   ClusterConfig Config;

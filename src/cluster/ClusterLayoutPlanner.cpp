@@ -38,6 +38,30 @@ BlockPlan ClusterLayoutPlanner::shapeToRegion(BlockPlan Plan,
   return Plan;
 }
 
+ClusterPlan ClusterLayoutPlanner::planDegraded(std::uint64_t N,
+                                               unsigned Stacks,
+                                               unsigned VaultsParallel,
+                                               StackPlacement Placement,
+                                               std::uint64_t ColsOwned)
+    const {
+  if (ColsOwned == 0 || ColsOwned > N)
+    reportFatalError("degraded plan column count outside the matrix");
+  ClusterPlan Result = plan(N, Stacks, VaultsParallel, Placement);
+  if (ColsOwned == Result.ColsPerStack)
+    return Result;
+  // Eq. 1 re-solved with the survivor's true stream count: more columns
+  // buffered concurrently pushes the shape back toward the global
+  // (wider-m) solution, then the clamps make it tile N x ColsOwned.
+  Result.Receive = Placement == StackPlacement::TwoLevel
+                       ? Inner.plan(N, VaultsParallel, ColsOwned)
+                       : Inner.plan(N, VaultsParallel);
+  Result.Receive = shapeToRegion(Result.Receive, N, ColsOwned);
+  Result.IngressBurstBytes = Placement == StackPlacement::TwoLevel
+                                 ? Result.Receive.W * ElementBytes
+                                 : ElementBytes;
+  return Result;
+}
+
 ClusterPlan ClusterLayoutPlanner::plan(std::uint64_t N, unsigned Stacks,
                                        unsigned VaultsParallel,
                                        StackPlacement Placement) const {

@@ -85,6 +85,18 @@ public:
                    StackPlacement Placement = StackPlacement::TwoLevel)
       const;
 
+  /// The survivor re-plan after stack failures: the same stack-level
+  /// decision, but this stack's phase-2 plan re-solved for the \p
+  /// ColsOwned column streams it actually holds (its own slab plus any
+  /// migrated ones). \p ColsOwned need not be a power of two - a
+  /// survivor inheriting two dead slabs owns 3 * N/S columns - and the
+  /// region shaping clamps the block width until it tiles. With
+  /// ColsOwned == N / Stacks this is exactly plan().
+  ClusterPlan planDegraded(std::uint64_t N, unsigned Stacks,
+                           unsigned VaultsParallel,
+                           StackPlacement Placement,
+                           std::uint64_t ColsOwned) const;
+
   const LayoutPlanner &inner() const { return Inner; }
 
 private:

@@ -6,6 +6,7 @@
 
 #include "cluster/Interconnect.h"
 
+#include "fault/ClusterFaults.h"
 #include "support/ErrorHandling.h"
 #include "support/MathUtils.h"
 
@@ -57,13 +58,59 @@ void Interconnect::pathFor(unsigned Src, unsigned Dst,
   }
 }
 
+Picos Interconnect::reserveAttempt(Picos Ready, Picos Serial, Picos TxFirst,
+                                   std::uint64_t Packets,
+                                   std::uint64_t Bytes) {
+  if (Config.Topology == ClusterTopology::AllToAll) {
+    // One hop, two simultaneous reservations: the sender's egress
+    // port and the receiver's ingress port.
+    Resource &E = Resources[PathScratch[0]];
+    Resource &I = Resources[PathScratch[1]];
+    const Picos Start = std::max({Ready, E.BusyUntil, I.BusyUntil});
+    const Picos End = Start + Serial;
+    E.BusyUntil = I.BusyUntil = End;
+    for (Resource *R : {&E, &I}) {
+      R->Stats.Packets += Packets;
+      R->Stats.Bytes += Bytes;
+      R->Stats.BusyTime += Serial;
+    }
+    // Queueing counted once per message (on the egress side).
+    E.Stats.QueueDelay += Start - Ready;
+    return End;
+  }
+  // Store-and-forward along the ring: hop h+1 begins once the first
+  // packet clears hop h, and drains at the same rate, so each hop adds
+  // one packet time plus the hop latency.
+  Picos End = Ready;
+  for (const unsigned H : PathScratch) {
+    Resource &R = Resources[H];
+    const Picos Start = std::max(Ready, R.BusyUntil);
+    End = Start + Serial;
+    R.BusyUntil = End;
+    R.Stats.Packets += Packets;
+    R.Stats.Bytes += Bytes;
+    R.Stats.BusyTime += Serial;
+    R.Stats.QueueDelay += Start - Ready;
+    Ready = Start + TxFirst + Config.LinkLatencyPicos;
+  }
+  return End;
+}
+
 Picos Interconnect::send(unsigned Src, unsigned Dst, std::uint64_t Bytes,
                          std::uint64_t GranuleBytes,
                          EventQueue::Action OnDone) {
+  return transfer(Src, Dst, Bytes, GranuleBytes, std::move(OnDone)).Delivery;
+}
+
+Interconnect::SendOutcome
+Interconnect::transfer(unsigned Src, unsigned Dst, std::uint64_t Bytes,
+                       std::uint64_t GranuleBytes,
+                       EventQueue::Action OnDone) {
   if (Src >= Config.Stacks || Dst >= Config.Stacks)
     reportFatalError("interconnect send outside the cluster");
   const Picos Now = Events.now();
-  Picos Delivery = Now;
+  SendOutcome Out;
+  Out.Delivery = Now;
 
   if (Src != Dst && Bytes != 0) {
     pathFor(Src, Dst, PathScratch);
@@ -79,56 +126,103 @@ Picos Interconnect::send(unsigned Src, unsigned Dst, std::uint64_t Bytes,
     // uniform packet stream.
     const Picos TxFull = txTime(Payload + Config.PacketHeaderBytes);
     const Picos TxLast = txTime(LastChunk + Config.PacketHeaderBytes);
-    const Picos Serial =
-        static_cast<Picos>(Packets - 1) * TxFull + TxLast;
-    const Picos TxFirst = Packets > 1 ? TxFull : TxLast;
 
-    if (Config.Topology == ClusterTopology::AllToAll) {
-      // One hop, two simultaneous reservations: the sender's egress
-      // port and the receiver's ingress port.
-      Resource &E = Resources[PathScratch[0]];
-      Resource &I = Resources[PathScratch[1]];
-      const Picos Start = std::max({Now, E.BusyUntil, I.BusyUntil});
-      const Picos End = Start + Serial;
-      E.BusyUntil = I.BusyUntil = End;
-      for (Resource *R : {&E, &I}) {
-        R->Stats.Packets += Packets;
-        R->Stats.Bytes += Bytes;
-        R->Stats.BusyTime += Serial;
-      }
-      // Queueing counted once per message (on the egress side).
-      E.Stats.QueueDelay += Start - Now;
-      Delivery = End + Config.LinkLatencyPicos;
+    if (!Faults || !Faults->affectsTransfers()) {
+      // Fault-free fast path: one attempt, legacy arithmetic, nothing
+      // else touched.
+      const Picos Serial =
+          static_cast<Picos>(Packets - 1) * TxFull + TxLast;
+      const Picos TxFirst = Packets > 1 ? TxFull : TxLast;
+      Out.Delivery = reserveAttempt(Now, Serial, TxFirst, Packets, Bytes) +
+                     Config.LinkLatencyPicos;
     } else {
-      // Store-and-forward along the ring: hop h+1 begins once the
-      // first packet clears hop h, and drains at the same rate, so
-      // each hop adds one packet time plus the hop latency.
+      const std::uint64_t MsgId = Messages;
+      std::uint64_t Remaining = Packets;
       Picos Ready = Now;
-      Picos End = Now;
-      for (const unsigned H : PathScratch) {
-        Resource &R = Resources[H];
-        const Picos Start = std::max(Ready, R.BusyUntil);
-        End = Start + Serial;
-        R.BusyUntil = End;
-        R.Stats.Packets += Packets;
-        R.Stats.Bytes += Bytes;
-        R.Stats.BusyTime += Serial;
-        R.Stats.QueueDelay += Start - Ready;
-        Ready = Start + TxFirst + Config.LinkLatencyPicos;
+      for (unsigned Round = 0;; ++Round) {
+        // Lane loss stretches serialization by the worst degrade
+        // factor along the path; retransmissions resend full packets.
+        double Scale = 1.0;
+        for (const unsigned H : PathScratch)
+          Scale = std::max(Scale, Faults->linkScale(H, Ready));
+        const bool First = Round == 0;
+        Picos Serial =
+            First ? static_cast<Picos>(Remaining - 1) * TxFull + TxLast
+                  : static_cast<Picos>(Remaining) * TxFull;
+        Picos TxFirst = First && Packets == 1 ? TxLast : TxFull;
+        if (Scale > 1.0) {
+          Serial = static_cast<Picos>(static_cast<double>(Serial) * Scale +
+                                      0.5);
+          TxFirst = static_cast<Picos>(static_cast<double>(TxFirst) * Scale +
+                                       0.5);
+        }
+        const std::uint64_t AttemptBytes =
+            First ? Bytes : Remaining * Payload;
+        const Picos End =
+            reserveAttempt(Ready, Serial, TxFirst, Remaining, AttemptBytes);
+
+        // Loss decision, pinned to the attempt's submission time: a
+        // dead/partitioned endpoint black-holes everything, otherwise
+        // each path resource drops independently.
+        const bool Blackhole = Faults->stackPartitioned(Src, Ready) ||
+                               !Faults->stackReachable(Dst, Ready);
+        double Loss = 1.0;
+        if (!Blackhole) {
+          double Survive = 1.0;
+          for (const unsigned H : PathScratch)
+            Survive *= 1.0 - Faults->linkLossRate(H, Ready);
+          Loss = 1.0 - Survive;
+        }
+        std::uint64_t Lost = 0;
+        if (Loss >= 1.0) {
+          Lost = Remaining;
+        } else if (Loss > 0.0) {
+          // Expected loss, the fraction resolved by one deterministic
+          // residual draw - so a 0.4% rate still bites small messages.
+          const double Expected = Loss * static_cast<double>(Remaining);
+          Lost = static_cast<std::uint64_t>(Expected);
+          if (Faults->lossResidual(PathScratch[0], MsgId, Round,
+                                   Expected - static_cast<double>(Lost)))
+            Lost += 1;
+          Lost = std::min(Lost, Remaining);
+        }
+        if (Lost == 0) {
+          Out.Delivery = End + Config.LinkLatencyPicos;
+          break;
+        }
+        if (Round == Config.RetransmitBudget) {
+          // Budget exhausted: the sender concludes failure one ack
+          // timeout after its final attempt.
+          Out.Failed = true;
+          Out.Delivery = End + Config.RetransmitTimeoutPicos;
+          break;
+        }
+        Out.Retransmits += Lost;
+        for (const unsigned H : PathScratch)
+          Resources[H].Stats.Retransmits += Lost;
+        const Picos Backoff = Config.retransmitBackoff(Round + 1);
+        Out.BackoffTime += Backoff;
+        if (Trace && Trace->wants(TraceCatXfer))
+          Trace->instant(TraceCatXfer, "retransmit", TracePid, /*Tid=*/Src,
+                         End, "lost", Lost, "round", Round + 1);
+        Ready = End + Config.RetransmitTimeoutPicos + Backoff;
+        Remaining = Lost;
       }
-      Delivery = End + Config.LinkLatencyPicos;
+      RetransPackets += Out.Retransmits;
+      BackoffTotal += Out.BackoffTime;
+      FailedMessages += Out.Failed ? 1 : 0;
     }
   }
 
   Messages += 1;
   PayloadBytes += Bytes;
-  LastDelivery = std::max(LastDelivery, Delivery);
+  LastDelivery = std::max(LastDelivery, Out.Delivery);
   if (Trace && Trace->wants(TraceCatXfer) && Src != Dst)
     Trace->span(TraceCatXfer, "xfer", TracePid, /*Tid=*/Src, Now,
-                Delivery - Now, "bytes", Bytes, "dst", Dst);
+                Out.Delivery - Now, "bytes", Bytes, "dst", Dst);
   if (OnDone)
-    Events.scheduleAt(Delivery, std::move(OnDone));
-  return Delivery;
+    Events.scheduleAt(Out.Delivery, std::move(OnDone));
+  return Out;
 }
 
 Picos Interconnect::uncontendedTime(std::uint64_t Bytes, unsigned Hops,
@@ -159,9 +253,14 @@ void Interconnect::exportTo(MetricsRegistry &Registry) const {
     Registry.counter("cluster.link.busy_ps", Labels).add(R.Stats.BusyTime);
     Registry.counter("cluster.link.queue_ps", Labels)
         .add(R.Stats.QueueDelay);
+    Registry.counter("cluster.link.retrans", Labels)
+        .add(R.Stats.Retransmits);
   }
   Registry.counter("cluster.xfer.messages").add(Messages);
   Registry.counter("cluster.xfer.bytes").add(PayloadBytes);
+  Registry.counter("cluster.xfer.retrans_packets").add(RetransPackets);
+  Registry.counter("cluster.xfer.backoff_ps").add(BackoffTotal);
+  Registry.counter("cluster.xfer.failed").add(FailedMessages);
 }
 
 void Interconnect::resetStats() {
@@ -169,4 +268,7 @@ void Interconnect::resetStats() {
     R.Stats = LinkStats();
   Messages = 0;
   PayloadBytes = 0;
+  RetransPackets = 0;
+  BackoffTotal = 0;
+  FailedMessages = 0;
 }

@@ -46,6 +46,8 @@
 
 namespace fft3d {
 
+class ClusterFaultInjector;
+
 /// Traffic and queueing counters of one directed link resource (a port
 /// in AllToAll, a ring segment direction in Ring) - the interconnect's
 /// analogue of VaultStats.
@@ -57,6 +59,8 @@ struct LinkStats {
   Picos BusyTime = 0;
   /// Total time packets waited for the resource (FCFS queueing).
   Picos QueueDelay = 0;
+  /// Packets retransmitted across this resource after a loss.
+  std::uint64_t Retransmits = 0;
 
   double utilization(Picos Elapsed) const {
     return Elapsed == 0 ? 0.0
@@ -82,6 +86,27 @@ public:
     this->TracePid = TracePid;
   }
 
+  /// Attaches the cluster fault oracle (may be null to detach). With no
+  /// oracle - or one whose spec never touches transfers - send() runs
+  /// the exact fault-free arithmetic: the off path costs nothing and
+  /// times identically, which the cluster fault tests pin.
+  void setFaults(const ClusterFaultInjector *F) { Faults = F; }
+
+  /// What happened to one transfer() under faults.
+  struct SendOutcome {
+    /// Delivery time of the last packet - or, for a failed transfer,
+    /// the time the sender gave up (one ack timeout past its final
+    /// attempt).
+    Picos Delivery = 0;
+    /// True when the retransmit budget ran out with packets still lost
+    /// (hard link failure or partition): the data never arrived.
+    bool Failed = false;
+    /// Packets retransmitted across all rounds.
+    std::uint64_t Retransmits = 0;
+    /// Total backoff the sender sat out between rounds.
+    Picos BackoffTime = 0;
+  };
+
   /// Submits a \p Bytes-byte message from stack \p Src to stack \p Dst
   /// at the current simulated time. Computes the FCFS-queued delivery
   /// time, schedules \p OnDone (if any) at it, and returns it.
@@ -94,9 +119,22 @@ public:
   /// framing on the wire. A layout whose departing data is contiguous
   /// ships near-full packets; an element-granular scatter ships mostly
   /// headers.
+  ///
+  /// Under an attached fault oracle the transfer models loss recovery:
+  /// each round the packets a degraded/lossy path drops (expected loss,
+  /// rounded by a deterministic residual draw) are retransmitted after
+  /// an ack timeout plus capped exponential backoff, up to
+  /// Config.RetransmitBudget rounds. A transfer into a dead or
+  /// partitioned stack, or across a hard-failed link, black-holes every
+  /// round and comes back Failed.
   Picos send(unsigned Src, unsigned Dst, std::uint64_t Bytes,
              std::uint64_t GranuleBytes = 0,
              EventQueue::Action OnDone = {});
+
+  /// send() with the full outcome (retransmit counts, failure).
+  SendOutcome transfer(unsigned Src, unsigned Dst, std::uint64_t Bytes,
+                       std::uint64_t GranuleBytes = 0,
+                       EventQueue::Action OnDone = {});
 
   /// Latest delivery time of any message submitted so far.
   Picos lastDelivery() const { return LastDelivery; }
@@ -114,6 +152,11 @@ public:
   /// Messages and payload bytes submitted so far.
   std::uint64_t messages() const { return Messages; }
   std::uint64_t payloadBytes() const { return PayloadBytes; }
+
+  /// Fabric-wide loss-recovery totals so far.
+  std::uint64_t retransmittedPackets() const { return RetransPackets; }
+  Picos backoffTime() const { return BackoffTotal; }
+  std::uint64_t failedTransfers() const { return FailedMessages; }
 
   /// Aggregate serialization time of one \p Bytes message over an
   /// uncontended link (no queueing, including per-hop latency for \p
@@ -144,16 +187,25 @@ private:
   /// Directed resource chain a Src -> Dst message crosses.
   void pathFor(unsigned Src, unsigned Dst,
                std::vector<unsigned> &Hops) const;
+  /// Reserves the PathScratch chain FCFS for one transmission attempt
+  /// starting no earlier than \p Ready; returns the attempt's end (the
+  /// caller adds the final hop latency).
+  Picos reserveAttempt(Picos Ready, Picos Serial, Picos TxFirst,
+                       std::uint64_t Packets, std::uint64_t Bytes);
 
   EventQueue &Events;
   const ClusterConfig &Config;
   std::vector<Resource> Resources;
   Tracer *Trace = nullptr;
   MetricsRegistry *Metrics = nullptr;
+  const ClusterFaultInjector *Faults = nullptr;
   std::uint32_t TracePid = 0;
   Picos LastDelivery = 0;
   std::uint64_t Messages = 0;
   std::uint64_t PayloadBytes = 0;
+  std::uint64_t RetransPackets = 0;
+  Picos BackoffTotal = 0;
+  std::uint64_t FailedMessages = 0;
   /// Scratch for pathFor, reused across sends.
   mutable std::vector<unsigned> PathScratch;
 };

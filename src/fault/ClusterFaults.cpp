@@ -1,0 +1,112 @@
+//===- fault/ClusterFaults.cpp - Cluster-level fault oracle ---------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/ClusterFaults.h"
+
+#include "fault/FaultHash.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace fft3d;
+
+namespace {
+constexpr Picos Never = std::numeric_limits<Picos>::max();
+// Salt for the packet-loss residual draws; distinct from the ECC and job
+// salts so the streams never alias.
+constexpr std::uint64_t LossSalt = 0xFA11EDULL;
+} // namespace
+
+ClusterFaultInjector::ClusterFaultInjector(const FaultSpec &Spec,
+                                           unsigned Stacks, unsigned Links)
+    : Spec(Spec), Stacks(Stacks), Links(Links), StackTimeline(Stacks),
+      PartitionAt(Stacks, Never), LinkTimeline(Links),
+      LinkFailAt(Links, Never) {
+  if (Spec.maxStackNamed() >= static_cast<int>(Stacks))
+    reportFatalError("fault spec names a stack beyond the cluster size");
+  if (Spec.maxLinkNamed() >= static_cast<int>(Links))
+    reportFatalError("fault spec names a link beyond the fabric resources");
+  for (const StackAvailEvent &E : Spec.stackEvents())
+    StackTimeline[E.Stack].push_back({E.At, E.Online ? 1.0 : 0.0});
+  for (const StackPartitionEvent &E : Spec.partitionEvents())
+    PartitionAt[E.Stack] = std::min(PartitionAt[E.Stack], E.At);
+  for (const LinkDegradeEvent &E : Spec.linkDegradeEvents())
+    LinkTimeline[E.Link].push_back({E.At, E.Factor, E.LossRate});
+  for (const LinkFailEvent &E : Spec.linkFailEvents())
+    LinkFailAt[E.Link] = std::min(LinkFailAt[E.Link], E.At);
+  Affecting = !Spec.linkDegradeEvents().empty() ||
+              !Spec.linkFailEvents().empty() ||
+              !Spec.partitionEvents().empty() ||
+              !Spec.stackEvents().empty() || Spec.packetLossRate() > 0.0;
+}
+
+double ClusterFaultInjector::stepValueAt(const std::vector<Step> &Steps,
+                                         Picos Now, double Initial) {
+  double Value = Initial;
+  for (const Step &S : Steps) {
+    if (S.At > Now)
+      break;
+    Value = S.Value;
+  }
+  return Value;
+}
+
+bool ClusterFaultInjector::stackOffline(unsigned Stack, Picos Now) const {
+  return stepValueAt(StackTimeline[Stack], Now, 1.0) == 0.0;
+}
+
+bool ClusterFaultInjector::stackPartitioned(unsigned Stack, Picos Now) const {
+  return Now >= PartitionAt[Stack];
+}
+
+unsigned ClusterFaultInjector::healthyStacks(Picos Now) const {
+  unsigned Healthy = 0;
+  for (unsigned S = 0; S != Stacks; ++S)
+    Healthy += stackReachable(S, Now) ? 1 : 0;
+  return Healthy;
+}
+
+std::vector<bool> ClusterFaultInjector::reachableStacks(Picos Now) const {
+  std::vector<bool> Reachable(Stacks);
+  for (unsigned S = 0; S != Stacks; ++S)
+    Reachable[S] = stackReachable(S, Now);
+  return Reachable;
+}
+
+double ClusterFaultInjector::linkScale(unsigned Link, Picos Now) const {
+  double Factor = 1.0;
+  for (const DegradeStep &S : LinkTimeline[Link]) {
+    if (S.At > Now)
+      break;
+    Factor = S.Factor;
+  }
+  return Factor;
+}
+
+double ClusterFaultInjector::linkLossRate(unsigned Link, Picos Now) const {
+  if (linkDown(Link, Now))
+    return 1.0;
+  double LinkLoss = 0.0;
+  for (const DegradeStep &S : LinkTimeline[Link]) {
+    if (S.At > Now)
+      break;
+    LinkLoss = S.LossRate;
+  }
+  // Independent drop processes compose multiplicatively on survival.
+  return 1.0 - (1.0 - Spec.packetLossRate()) * (1.0 - LinkLoss);
+}
+
+bool ClusterFaultInjector::linkDown(unsigned Link, Picos Now) const {
+  return Now >= LinkFailAt[Link];
+}
+
+bool ClusterFaultInjector::lossResidual(unsigned Link, std::uint64_t Message,
+                                        unsigned Round,
+                                        double Fraction) const {
+  return fault_hash::hashBelow(Spec.seed() ^ LossSalt,
+                               Message * (Links + 1) + Link, Round, Fraction);
+}

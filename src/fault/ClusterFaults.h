@@ -1,0 +1,120 @@
+//===- fault/ClusterFaults.h - Cluster-level fault oracle -------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Answers the cluster layer's fault questions at simulation time: is
+/// stack s online (or partitioned off the fabric) at time T, how slow is
+/// directed link resource r, what fraction of its packets drop, does the
+/// residual of an expected-loss rounding fire for this (link, message,
+/// round).
+///
+/// The same design rules as FaultInjector: stack and link timelines are
+/// precomputed sorted step functions, probabilistic decisions hash the
+/// spec seed with the transfer identity (splitmix64), and every answer
+/// is a pure function of (spec, coordinates) - so a faulted cluster run
+/// replays byte-identically at any --sim-threads, which the cluster
+/// fault determinism tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FAULT_CLUSTERFAULTS_H
+#define FFT3D_FAULT_CLUSTERFAULTS_H
+
+#include "fault/FaultSpec.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Immutable runtime view of a FaultSpec's cluster directives for an
+/// \p Stacks-stack fabric with \p Links directed link resources.
+class ClusterFaultInjector {
+public:
+  /// Aborts if the spec names a stack >= \p Stacks or a link >= \p
+  /// Links. A fabric over S stacks has 2*S directed resources (egress/
+  /// ingress ports in all-to-all, cw/ccw segment directions in a ring).
+  ClusterFaultInjector(const FaultSpec &Spec, unsigned Stacks,
+                       unsigned Links);
+
+  const FaultSpec &spec() const { return Spec; }
+  unsigned numStacks() const { return Stacks; }
+  unsigned numLinks() const { return Links; }
+
+  /// True when \p Stack is hard-failed (stack_fail) at \p Now.
+  bool stackOffline(unsigned Stack, Picos Now) const;
+
+  /// True when \p Stack is cut off the fabric (link_partition) at \p
+  /// Now. Partitions are permanent.
+  bool stackPartitioned(unsigned Stack, Picos Now) const;
+
+  /// A stack the exchange can still involve: online and not partitioned.
+  bool stackReachable(unsigned Stack, Picos Now) const {
+    return !stackOffline(Stack, Now) && !stackPartitioned(Stack, Now);
+  }
+
+  /// Number of reachable stacks at \p Now.
+  unsigned healthyStacks(Picos Now) const;
+
+  /// Reachability flags for every stack at \p Now (the input to
+  /// spareVaultMap for the slab migration).
+  std::vector<bool> reachableStacks(Picos Now) const;
+
+  /// Serialization stretch factor (>= 1) of link resource \p Link at
+  /// \p Now (link_degrade factor).
+  double linkScale(unsigned Link, Picos Now) const;
+
+  /// Per-packet drop probability of \p Link at \p Now: the fabric-wide
+  /// packet_loss rate combined with the link's own degrade loss,
+  /// 1 - (1-p_fabric)(1-p_link). Returns 1 when the link is hard-failed.
+  double linkLossRate(unsigned Link, Picos Now) const;
+
+  /// True when \p Link is hard-failed (link_fail) at \p Now. Permanent.
+  bool linkDown(unsigned Link, Picos Now) const;
+
+  /// True when any directive can perturb a transfer: link events, packet
+  /// loss, or stack outages/partitions (which black-hole transfers).
+  /// The interconnect's zero-overhead fault-free path keys off this.
+  bool affectsTransfers() const { return Affecting; }
+
+  /// The residual draw of an expected-loss rounding: when round \p Round
+  /// of message \p Message on \p Link expects a fractional packet loss
+  /// \p Fraction, this fires with that probability - deterministically
+  /// in (seed, link, message, round).
+  bool lossResidual(unsigned Link, std::uint64_t Message, unsigned Round,
+                    double Fraction) const;
+
+private:
+  struct Step {
+    Picos At;
+    double Value;
+  };
+  struct DegradeStep {
+    Picos At;
+    double Factor;
+    double LossRate;
+  };
+
+  static double stepValueAt(const std::vector<Step> &Steps, Picos Now,
+                            double Initial);
+
+  FaultSpec Spec;
+  unsigned Stacks;
+  unsigned Links;
+  bool Affecting = false;
+  /// Per-stack availability timeline (1 online, 0 offline).
+  std::vector<std::vector<Step>> StackTimeline;
+  /// Per-stack partition time (never = no partition).
+  std::vector<Picos> PartitionAt;
+  /// Per-link degrade timeline (factor + loss step together).
+  std::vector<std::vector<DegradeStep>> LinkTimeline;
+  /// Per-link hard-fail time (never = healthy).
+  std::vector<Picos> LinkFailAt;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_FAULT_CLUSTERFAULTS_H

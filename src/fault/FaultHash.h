@@ -1,0 +1,49 @@
+//===- fault/FaultHash.h - Stateless fault-decision hashing -----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The splitmix64 finalizer and the hash-below-rate predicate behind
+/// every probabilistic fault decision (ECC retries, job failures, packet
+/// loss). Stateless by construction: a decision is a pure function of
+/// (seed, coordinates), never of how many decisions were drawn before
+/// it, which is what makes faulted runs replay byte-identically at any
+/// thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FAULT_FAULTHASH_H
+#define FFT3D_FAULT_FAULTHASH_H
+
+#include <cstdint>
+
+namespace fft3d {
+namespace fault_hash {
+
+/// splitmix64 finalizer: full-avalanche, so consecutive ids decorrelate.
+inline std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+/// True with probability \p Rate for the hash stream (Seed, A, B).
+inline bool hashBelow(std::uint64_t Seed, std::uint64_t A, std::uint64_t B,
+                      double Rate) {
+  if (Rate <= 0.0)
+    return false;
+  const std::uint64_t H = mix64(mix64(Seed ^ (A * 0xA24BAED4963EE407ULL)) ^
+                                (B * 0x9FB21C651E98DF25ULL));
+  // Compare in double space: exact enough for fault rates and avoids
+  // overflow pitfalls near Rate ~ 1.
+  return static_cast<double>(H) <
+         Rate * 18446744073709551616.0 /* 2^64 */;
+}
+
+} // namespace fault_hash
+} // namespace fft3d
+
+#endif // FFT3D_FAULT_FAULTHASH_H

@@ -6,37 +6,13 @@
 
 #include "fault/FaultInjector.h"
 
+#include "fault/FaultHash.h"
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
 
 using namespace fft3d;
-
-namespace {
-
-/// splitmix64 finalizer: the stateless hash behind every probabilistic
-/// fault decision. Full-avalanche, so consecutive ids decorrelate.
-std::uint64_t mix64(std::uint64_t X) {
-  X += 0x9E3779B97F4A7C15ULL;
-  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
-  return X ^ (X >> 31);
-}
-
-/// True with probability \p Rate for the hash stream (Seed, A, B).
-bool hashBelow(std::uint64_t Seed, std::uint64_t A, std::uint64_t B,
-               double Rate) {
-  if (Rate <= 0.0)
-    return false;
-  const std::uint64_t H = mix64(mix64(Seed ^ (A * 0xA24BAED4963EE407ULL)) ^
-                                (B * 0x9FB21C651E98DF25ULL));
-  // Compare in double space: exact enough for fault rates and avoids
-  // overflow pitfalls near Rate ~ 1.
-  return static_cast<double>(H) <
-         Rate * 18446744073709551616.0 /* 2^64 */;
-}
-
-} // namespace
+using fault_hash::hashBelow;
 
 FaultInjector::FaultInjector(const FaultSpec &Spec, unsigned NumVaults)
     : Spec(Spec), NumVaults(NumVaults), AvailTimeline(NumVaults),

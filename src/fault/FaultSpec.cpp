@@ -59,6 +59,44 @@ bool fail(std::string *Error, std::uint64_t LineNo, const std::string &Msg) {
   return false;
 }
 
+/// Levenshtein distance, for the unknown-verb suggestion. Verbs are
+/// short, so the O(|A|*|B|) two-row form is plenty.
+std::size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<std::size_t> Prev(B.size() + 1), Cur(B.size() + 1);
+  for (std::size_t J = 0; J <= B.size(); ++J)
+    Prev[J] = J;
+  for (std::size_t I = 1; I <= A.size(); ++I) {
+    Cur[0] = I;
+    for (std::size_t J = 1; J <= B.size(); ++J)
+      Cur[J] = std::min({Prev[J] + 1, Cur[J - 1] + 1,
+                         Prev[J - 1] + (A[I - 1] == B[J - 1] ? 0 : 1)});
+    std::swap(Prev, Cur);
+  }
+  return Prev[B.size()];
+}
+
+/// Nearest known verb to \p Kind, or "" when nothing is close enough to
+/// be a plausible typo (distance > half the verb's length).
+std::string suggestVerb(const std::string &Kind) {
+  static const char *const Known[] = {
+      "seed",         "vault_fail", "vault_recover",  "tsv_degrade",
+      "throttle",     "transient",  "job_fail_rate",  "stack",
+      "stack_fail",   "stack_recover", "link_degrade", "link_fail",
+      "link_partition", "packet_loss"};
+  std::string Best;
+  std::size_t BestDist = Kind.size();
+  for (const char *Verb : Known) {
+    const std::size_t Dist = editDistance(Kind, Verb);
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = Verb;
+    }
+  }
+  if (Best.empty() || BestDist * 2 > std::max<std::size_t>(Best.size(), 1))
+    return "";
+  return Best;
+}
+
 } // namespace
 
 bool FaultSpec::parse(std::istream &Stream, std::string *Error) {
@@ -72,6 +110,8 @@ bool FaultSpec::parse(const std::string &Text, std::string *Error) {
   std::istringstream Input(Text);
   std::string Raw;
   std::uint64_t LineNo = 0;
+  // Current `stack <i>` section, -1 outside any (the default scope).
+  int Scope = -1;
   while (std::getline(Input, Raw)) {
     ++LineNo;
     const std::size_t Hash = Raw.find('#');
@@ -87,13 +127,29 @@ bool FaultSpec::parse(const std::string &Text, std::string *Error) {
       continue;
 
     const std::string &Kind = L.Tokens[0];
+    // Everything but the three vault-level directives ignores sections;
+    // requiring them outside keeps "which stack does this apply to"
+    // unambiguous.
+    const bool VaultLevel = Kind == "vault_fail" || Kind == "vault_recover" ||
+                            Kind == "tsv_degrade";
+    if (Scope >= 0 && !VaultLevel && Kind != "stack")
+      return fail(Error, LineNo,
+                  "directive '" + Kind +
+                      "' must appear outside a stack section");
     std::string V1, V2, V3, V4;
     if (Kind == "seed") {
       if (L.Tokens.size() != 2 || !parseU64(L.Tokens[1], Parsed.Seed))
         return fail(Error, LineNo, "expected: seed <u64>");
+    } else if (Kind == "stack") {
+      std::uint64_t Stack = 0;
+      if (L.Tokens.size() != 2 ||
+          (L.Tokens[1] != "all" && !parseU64(L.Tokens[1], Stack)))
+        return fail(Error, LineNo, "expected: stack <i>|all");
+      Scope = L.Tokens[1] == "all" ? -1 : static_cast<int>(Stack);
     } else if (Kind == "vault_fail" || Kind == "vault_recover") {
       VaultAvailEvent E;
       E.Online = Kind == "vault_recover";
+      E.Stack = Scope;
       std::uint64_t Vault = 0;
       if (L.Tokens.size() != 4 || !parseU64(L.Tokens[1], Vault) ||
           !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At))
@@ -103,6 +159,7 @@ bool FaultSpec::parse(const std::string &Text, std::string *Error) {
       Parsed.VaultEvents.push_back(E);
     } else if (Kind == "tsv_degrade") {
       TsvDegradeEvent E;
+      E.Stack = Scope;
       std::uint64_t Vault = 0;
       if (L.Tokens.size() != 6 || !parseU64(L.Tokens[1], Vault) ||
           !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At) ||
@@ -143,8 +200,61 @@ bool FaultSpec::parse(const std::string &Text, std::string *Error) {
       if (L.Tokens.size() != 2 || !parseDouble(L.Tokens[1], Parsed.JobFailRate) ||
           Parsed.JobFailRate < 0.0 || Parsed.JobFailRate >= 1.0)
         return fail(Error, LineNo, "expected: job_fail_rate <p in [0,1)>");
+    } else if (Kind == "stack_fail" || Kind == "stack_recover") {
+      StackAvailEvent E;
+      E.Online = Kind == "stack_recover";
+      std::uint64_t Stack = 0;
+      if (L.Tokens.size() != 4 || !parseU64(L.Tokens[1], Stack) ||
+          !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At))
+        return fail(Error, LineNo,
+                    "expected: " + Kind + " <stack> at <ms>");
+      E.Stack = static_cast<unsigned>(Stack);
+      Parsed.StackEvents.push_back(E);
+    } else if (Kind == "link_degrade") {
+      LinkDegradeEvent E;
+      std::uint64_t Link = 0;
+      const bool HasLoss = L.Tokens.size() == 8;
+      if ((L.Tokens.size() != 6 && L.Tokens.size() != 8) ||
+          !parseU64(L.Tokens[1], Link) || !keyed(L, 2, "at", V1) ||
+          !parseMillis(V1, E.At) || !keyed(L, 4, "factor", V2) ||
+          !parseDouble(V2, E.Factor) || E.Factor < 1.0 ||
+          (HasLoss &&
+           (!keyed(L, 6, "loss", V3) || !parseDouble(V3, E.LossRate) ||
+            E.LossRate < 0.0 || E.LossRate >= 1.0)))
+        return fail(Error, LineNo,
+                    "expected: link_degrade <link> at <ms> factor <f>=1> "
+                    "[loss <p in [0,1)>]");
+      E.Link = static_cast<unsigned>(Link);
+      Parsed.LinkDegrades.push_back(E);
+    } else if (Kind == "link_fail") {
+      LinkFailEvent E;
+      std::uint64_t Link = 0;
+      if (L.Tokens.size() != 4 || !parseU64(L.Tokens[1], Link) ||
+          !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At))
+        return fail(Error, LineNo, "expected: link_fail <link> at <ms>");
+      E.Link = static_cast<unsigned>(Link);
+      Parsed.LinkFails.push_back(E);
+    } else if (Kind == "link_partition") {
+      StackPartitionEvent E;
+      std::uint64_t Stack = 0;
+      if (L.Tokens.size() != 4 || !parseU64(L.Tokens[1], Stack) ||
+          !keyed(L, 2, "at", V1) || !parseMillis(V1, E.At))
+        return fail(Error, LineNo,
+                    "expected: link_partition <stack> at <ms>");
+      E.Stack = static_cast<unsigned>(Stack);
+      Parsed.Partitions.push_back(E);
+    } else if (Kind == "packet_loss") {
+      if (L.Tokens.size() != 3 || !keyed(L, 1, "rate", V1) ||
+          !parseDouble(V1, Parsed.PacketLoss) || Parsed.PacketLoss < 0.0 ||
+          Parsed.PacketLoss >= 1.0)
+        return fail(Error, LineNo,
+                    "expected: packet_loss rate <p in [0,1)>");
     } else {
-      return fail(Error, LineNo, "unknown directive '" + Kind + "'");
+      std::string Msg = "unknown directive '" + Kind + "'";
+      const std::string Hint = suggestVerb(Kind);
+      if (!Hint.empty())
+        Msg += "; did you mean '" + Hint + "'?";
+      return fail(Error, LineNo, Msg);
     }
   }
 
@@ -158,13 +268,36 @@ bool FaultSpec::parse(const std::string &Text, std::string *Error) {
                    [](const TsvDegradeEvent &A, const TsvDegradeEvent &B) {
                      return A.At < B.At;
                    });
+  std::stable_sort(Parsed.StackEvents.begin(), Parsed.StackEvents.end(),
+                   [](const StackAvailEvent &A, const StackAvailEvent &B) {
+                     return A.At < B.At;
+                   });
+  std::stable_sort(Parsed.LinkDegrades.begin(), Parsed.LinkDegrades.end(),
+                   [](const LinkDegradeEvent &A, const LinkDegradeEvent &B) {
+                     return A.At < B.At;
+                   });
   *this = std::move(Parsed);
   return true;
 }
 
 bool FaultSpec::empty() const {
   return VaultEvents.empty() && TsvEvents.empty() && Throttles.empty() &&
-         TransientRate == 0.0 && JobFailRate == 0.0;
+         TransientRate == 0.0 && JobFailRate == 0.0 && !hasClusterFaults();
+}
+
+bool FaultSpec::hasClusterFaults() const {
+  return !StackEvents.empty() || !LinkDegrades.empty() ||
+         !LinkFails.empty() || !Partitions.empty() || PacketLoss != 0.0;
+}
+
+bool FaultSpec::hasStackScopes() const {
+  for (const VaultAvailEvent &E : VaultEvents)
+    if (E.Stack >= 0)
+      return true;
+  for (const TsvDegradeEvent &E : TsvEvents)
+    if (E.Stack >= 0)
+      return true;
+  return false;
 }
 
 int FaultSpec::maxVaultNamed() const {
@@ -174,6 +307,48 @@ int FaultSpec::maxVaultNamed() const {
   for (const TsvDegradeEvent &E : TsvEvents)
     Max = std::max(Max, static_cast<int>(E.Vault));
   return Max;
+}
+
+int FaultSpec::maxStackNamed() const {
+  int Max = -1;
+  for (const VaultAvailEvent &E : VaultEvents)
+    Max = std::max(Max, E.Stack);
+  for (const TsvDegradeEvent &E : TsvEvents)
+    Max = std::max(Max, E.Stack);
+  for (const StackAvailEvent &E : StackEvents)
+    Max = std::max(Max, static_cast<int>(E.Stack));
+  for (const StackPartitionEvent &E : Partitions)
+    Max = std::max(Max, static_cast<int>(E.Stack));
+  return Max;
+}
+
+int FaultSpec::maxLinkNamed() const {
+  int Max = -1;
+  for (const LinkDegradeEvent &E : LinkDegrades)
+    Max = std::max(Max, static_cast<int>(E.Link));
+  for (const LinkFailEvent &E : LinkFails)
+    Max = std::max(Max, static_cast<int>(E.Link));
+  return Max;
+}
+
+FaultSpec FaultSpec::forStack(int Stack) const {
+  FaultSpec View;
+  View.Seed = Seed;
+  for (const VaultAvailEvent &E : VaultEvents)
+    if (E.Stack < 0 || E.Stack == Stack) {
+      View.VaultEvents.push_back(E);
+      View.VaultEvents.back().Stack = -1;
+    }
+  for (const TsvDegradeEvent &E : TsvEvents)
+    if (E.Stack < 0 || E.Stack == Stack) {
+      View.TsvEvents.push_back(E);
+      View.TsvEvents.back().Stack = -1;
+    }
+  View.Throttles = Throttles;
+  View.TransientRate = TransientRate;
+  View.EccPenalty = EccPenalty;
+  View.JobFailRate = JobFailRate;
+  return View;
 }
 
 std::vector<unsigned> fft3d::spareVaultMap(const std::vector<bool> &Online) {

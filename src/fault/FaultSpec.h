@@ -5,16 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A seeded, deterministic schedule of fault events for the 3D memory and
-/// the serving layer: vault hard failures (and recoveries), per-vault TSV
-/// lane degradation, thermal-throttle duty-cycle windows, transient read
-/// errors with an ECC retry penalty, and job-level transient failures.
+/// A seeded, deterministic schedule of fault events for the 3D memory,
+/// the serving layer, and the multi-stack cluster: vault hard failures
+/// (and recoveries), per-vault TSV lane degradation, thermal-throttle
+/// duty-cycle windows, transient read errors with an ECC retry penalty,
+/// job-level transient failures, whole-stack failures, and link
+/// degradation / failure / partition with probabilistic packet loss.
 ///
 /// The schedule is parsed from a small line-oriented text spec
 /// (docs/FaultModel.md documents the grammar) and is pure data: all
-/// runtime decisions live in FaultInjector, and every decision is a pure
-/// function of (spec, seed, coordinates), so a replay with the same spec
-/// is byte-identical.
+/// runtime decisions live in FaultInjector / ClusterFaultInjector, and
+/// every decision is a pure function of (spec, seed, coordinates), so a
+/// replay with the same spec is byte-identical.
 ///
 /// Grammar (one directive per line, '#' starts a comment; times in ms
 /// unless suffixed otherwise):
@@ -26,6 +28,24 @@
 ///   throttle from <ms> until <ms> period <us> duty <pct>
 ///   transient rate <p> penalty <ns>             # per-read ECC retry
 ///   job_fail_rate <p>                           # per-dispatch job failure
+///
+/// Cluster directives (multi-stack runs; <link> names a directed fabric
+/// resource: all-to-all egress i = i / ingress i = S+i, ring cw i = i /
+/// ccw i = S+i):
+///
+///   stack_fail <stack> at <ms>
+///   stack_recover <stack> at <ms>
+///   link_degrade <link> at <ms> factor <f> [loss <p>]  # f >= 1 stretches
+///   link_fail <link> at <ms>                           # drops everything
+///   link_partition <stack> at <ms>       # every link touching the stack
+///   packet_loss rate <p>                 # fabric-wide background loss
+///
+/// Per-stack scoping: a bare `stack <i>` line opens a section; the
+/// vault-level directives (vault_fail, vault_recover, tsv_degrade) that
+/// follow apply only to stack i until the next `stack` line. `stack all`
+/// returns to the default scope, in which vault-level directives apply
+/// to every stack. Cluster directives and the global knobs must appear
+/// outside any section.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,21 +61,25 @@
 
 namespace fft3d {
 
-/// A step change in one vault's availability.
+/// A step change in one vault's availability. \p Stack scopes the event
+/// to one stack of a cluster (-1 = every stack).
 struct VaultAvailEvent {
   unsigned Vault = 0;
   Picos At = 0;
   /// false = vault_fail, true = vault_recover.
   bool Online = false;
+  int Stack = -1;
 };
 
 /// A step change in one vault's TSV lane health. Factor multiplies the
 /// vault's beat interval (t_in_row and the TSV data period): factor 2
-/// models half the lanes surviving.
+/// models half the lanes surviving. \p Stack scopes as in
+/// VaultAvailEvent.
 struct TsvDegradeEvent {
   unsigned Vault = 0;
   Picos At = 0;
   double Factor = 1.0;
+  int Stack = -1;
 };
 
 /// A thermal-throttle window: within [From, Until), the first Duty
@@ -69,11 +93,45 @@ struct ThrottleWindow {
   double Duty = 0.0;
 };
 
+/// A step change in one stack's availability (cluster level).
+struct StackAvailEvent {
+  unsigned Stack = 0;
+  Picos At = 0;
+  /// false = stack_fail, true = stack_recover.
+  bool Online = false;
+};
+
+/// A step change in one directed link resource's health: Factor >= 1
+/// stretches serialization (lanes lost), LossRate is the per-packet drop
+/// probability on the resource. factor 1 loss 0 restores.
+struct LinkDegradeEvent {
+  unsigned Link = 0;
+  Picos At = 0;
+  double Factor = 1.0;
+  double LossRate = 0.0;
+};
+
+/// A hard link failure (link_fail <link>): the resource drops every
+/// packet from At on. Permanent - there is no link_recover.
+struct LinkFailEvent {
+  unsigned Link = 0;
+  Picos At = 0;
+};
+
+/// A stack partition (link_partition <stack>): every link touching the
+/// stack drops everything from At on, isolating the (otherwise healthy)
+/// stack. Permanent.
+struct StackPartitionEvent {
+  unsigned Stack = 0;
+  Picos At = 0;
+};
+
 /// The full parsed schedule.
 class FaultSpec {
 public:
   /// Parses \p Text. Returns false and sets \p Error (with a line number)
-  /// on malformed input; the spec is unchanged on failure.
+  /// on malformed input; the spec is unchanged on failure. Unknown verbs
+  /// get a nearest-known-verb suggestion when one is plausible.
   bool parse(const std::string &Text, std::string *Error = nullptr);
 
   /// Parses the contents of \p Stream (e.g. an open spec file).
@@ -86,6 +144,30 @@ public:
   /// device validate the spec against its geometry.
   int maxVaultNamed() const;
 
+  /// Largest stack index named by a cluster directive or a `stack <i>`
+  /// scope, or -1. Lets the cluster validate the spec against S.
+  int maxStackNamed() const;
+
+  /// Largest link resource index named, or -1 (a fabric over S stacks
+  /// has 2*S directed resources).
+  int maxLinkNamed() const;
+
+  /// True when any cluster-level directive is present (stack_fail /
+  /// stack_recover / link_* / packet_loss). A spec without them runs the
+  /// single-stack fault path unchanged.
+  bool hasClusterFaults() const;
+
+  /// True when any vault-level directive is scoped to a single stack.
+  bool hasStackScopes() const;
+
+  /// The single-stack view of this spec for stack \p Stack: vault-level
+  /// directives scoped to \p Stack or unscoped, the global knobs
+  /// (throttle, transient, job_fail_rate, seed), and no cluster
+  /// directives - exactly what one StackBackend's device should inject.
+  /// \p Stack == -1 keeps only the unscoped directives (the fleet-wide
+  /// view the serving layer prices capacity with).
+  FaultSpec forStack(int Stack) const;
+
   std::uint64_t seed() const { return Seed; }
   const std::vector<VaultAvailEvent> &vaultEvents() const {
     return VaultEvents;
@@ -94,6 +176,18 @@ public:
   const std::vector<ThrottleWindow> &throttleWindows() const {
     return Throttles;
   }
+  const std::vector<StackAvailEvent> &stackEvents() const {
+    return StackEvents;
+  }
+  const std::vector<LinkDegradeEvent> &linkDegradeEvents() const {
+    return LinkDegrades;
+  }
+  const std::vector<LinkFailEvent> &linkFailEvents() const {
+    return LinkFails;
+  }
+  const std::vector<StackPartitionEvent> &partitionEvents() const {
+    return Partitions;
+  }
   /// Per-read probability of a transient error (ECC retry), in [0, 1).
   double transientReadRate() const { return TransientRate; }
   /// Latency added to a read that takes an ECC retry.
@@ -101,24 +195,31 @@ public:
   /// Per-dispatch probability that a job transiently fails (serving
   /// layer), in [0, 1).
   double jobFailRate() const { return JobFailRate; }
+  /// Fabric-wide per-packet background loss probability, in [0, 1).
+  double packetLossRate() const { return PacketLoss; }
 
 private:
   std::uint64_t Seed = 0;
   std::vector<VaultAvailEvent> VaultEvents;
   std::vector<TsvDegradeEvent> TsvEvents;
   std::vector<ThrottleWindow> Throttles;
+  std::vector<StackAvailEvent> StackEvents;
+  std::vector<LinkDegradeEvent> LinkDegrades;
+  std::vector<LinkFailEvent> LinkFails;
+  std::vector<StackPartitionEvent> Partitions;
   double TransientRate = 0.0;
   Picos EccPenalty = 0;
   double JobFailRate = 0.0;
+  double PacketLoss = 0.0;
 };
 
 /// The deterministic spare mapping shared by the memory's runtime
-/// redirect and the layout planner's block remap: the i-th offline vault
-/// (in vault order) moves to the i-th online vault, round-robin, so the
-/// redirected load spreads evenly across the survivors instead of piling
-/// onto one hot spare. \p Online has one entry per vault; returns the
-/// identity for online vaults. When no vault is online every entry maps
-/// to itself.
+/// redirect, the layout planner's block remap, and the cluster's slab
+/// migration: the i-th offline entry (in index order) moves to the i-th
+/// online entry, round-robin, so the redirected load spreads evenly
+/// across the survivors instead of piling onto one hot spare. \p Online
+/// has one entry per vault (or stack); returns the identity for online
+/// entries. When nothing is online every entry maps to itself.
 std::vector<unsigned> spareVaultMap(const std::vector<bool> &Online);
 
 } // namespace fft3d

@@ -6,13 +6,28 @@
 
 #include "mem3d/Backend.h"
 
+#include "fault/FaultSpec.h"
+
 using namespace fft3d;
 
 Backend::~Backend() = default;
+
+MemoryConfig StackBackend::scopedToStack(const MemoryConfig &Config,
+                                         unsigned Id) {
+  if (!Config.Faults ||
+      (!Config.Faults->hasStackScopes() && !Config.Faults->hasClusterFaults()))
+    return Config;
+  MemoryConfig Scoped = Config;
+  Scoped.Faults = std::make_shared<FaultSpec>(
+      Config.Faults->forStack(static_cast<int>(Id)));
+  if (Scoped.Faults->empty())
+    Scoped.Faults = nullptr;
+  return Scoped;
+}
 
 StackBackend::StackBackend(const MemoryConfig &Config, unsigned SimThreads,
                            unsigned Id)
     : StackId(Id),
       Engine(Config.Geo.NumVaults, conservativeLookahead(Config.Time),
              SimThreads),
-      Mem(Engine, Config) {}
+      Mem(Engine, scopedToStack(Config, Id)) {}

@@ -62,6 +62,12 @@ public:
   /// conservative lookahead, and \p SimThreads workers; the device is
   /// then built on that engine. \p Id names the stack in multi-stack
   /// runs (labels, trace pids).
+  ///
+  /// A fault spec with per-stack sections or cluster directives is
+  /// scoped before it reaches the device: the device sees only the
+  /// vault-level directives that apply to stack \p Id (unscoped
+  /// directives apply to every stack). A plain single-stack spec is
+  /// passed through untouched.
   explicit StackBackend(const MemoryConfig &Config, unsigned SimThreads = 1,
                         unsigned Id = 0);
 
@@ -74,6 +80,11 @@ public:
   ShardedEventQueue &engine() override { return Engine; }
 
 private:
+  /// Returns \p Config with its fault spec narrowed to stack \p Id's
+  /// view (identity when no narrowing is needed, preserving the shared
+  /// spec pointer and the fault-free fast path).
+  static MemoryConfig scopedToStack(const MemoryConfig &Config, unsigned Id);
+
   unsigned StackId;
   ShardedEventQueue Engine;
   Memory3D Mem;

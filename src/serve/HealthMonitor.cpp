@@ -6,6 +6,8 @@
 
 #include "serve/HealthMonitor.h"
 
+#include "fault/ClusterFaults.h"
+
 #include <algorithm>
 
 using namespace fft3d;
@@ -21,14 +23,39 @@ Picos RetryPolicy::backoffFor(unsigned NextAttempt) const {
 }
 
 HealthMonitor::HealthMonitor(std::shared_ptr<const FaultSpec> Spec,
-                             unsigned NumVaults)
-    : Spec(std::move(Spec)), NumVaults(NumVaults) {
-  if (this->Spec && !this->Spec->empty())
+                             unsigned NumVaults, unsigned NumStacks)
+    : Spec(std::move(Spec)), NumVaults(NumVaults),
+      NumStacks(std::max(1u, NumStacks)) {
+  if (!this->Spec || this->Spec->empty())
+    return;
+  if (this->NumStacks > 1) {
+    // Multi-stack fleet: the vault oracle answers for a representative
+    // stack, so it sees only the fleet-wide (unscoped) directives;
+    // cluster-level stack/partition faults get their own oracle.
+    const FaultSpec Fleet = this->Spec->forStack(-1);
+    if (!Fleet.empty())
+      Injector = std::make_unique<FaultInjector>(Fleet, NumVaults);
+    if (this->Spec->hasClusterFaults())
+      Cluster = std::make_unique<ClusterFaultInjector>(
+          *this->Spec, this->NumStacks, 2 * this->NumStacks);
+  } else {
     Injector = std::make_unique<FaultInjector>(*this->Spec, NumVaults);
+  }
 }
+
+HealthMonitor::~HealthMonitor() = default;
 
 unsigned HealthMonitor::healthyVaults(Picos Now) const {
   return Injector ? Injector->healthyVaults(Now) : NumVaults;
+}
+
+unsigned HealthMonitor::healthyStacks(Picos Now) const {
+  return Cluster ? Cluster->healthyStacks(Now) : NumStacks;
+}
+
+bool HealthMonitor::stackOffline(unsigned Stack, Picos Now) const {
+  return Cluster && (Cluster->stackOffline(Stack, Now) ||
+                     Cluster->stackPartitioned(Stack, Now));
 }
 
 double HealthMonitor::throttleSlowdown(Picos Now) const {
@@ -46,7 +73,11 @@ double HealthMonitor::throttleSlowdown(Picos Now) const {
 }
 
 double HealthMonitor::capacityFactor(Picos Now) const {
-  return Injector ? Injector->capacityFactor(Now) : 1.0;
+  double Factor = Injector ? Injector->capacityFactor(Now) : 1.0;
+  if (Cluster)
+    Factor *= static_cast<double>(Cluster->healthyStacks(Now)) /
+              static_cast<double>(NumStacks);
+  return Factor;
 }
 
 bool HealthMonitor::jobTransientlyFails(std::uint64_t JobId,
@@ -59,4 +90,8 @@ void HealthMonitor::exportTo(MetricsRegistry &Registry, Picos Now) const {
   Registry.gauge("health.healthy_vaults").set(healthyVaults(Now));
   Registry.gauge("health.throttle_slowdown").set(throttleSlowdown(Now));
   Registry.gauge("health.capacity_factor").set(capacityFactor(Now));
+  if (NumStacks > 1) {
+    Registry.gauge("health.total_stacks").set(NumStacks);
+    Registry.gauge("health.healthy_stacks").set(healthyStacks(Now));
+  }
 }

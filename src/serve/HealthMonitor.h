@@ -56,17 +56,35 @@ struct BrownoutPolicy {
   unsigned PriorityFloor = 2;
 };
 
+class ClusterFaultInjector;
+
 /// Health oracle for one serving run.
 class HealthMonitor {
 public:
   /// \p Spec may be null (always healthy); \p NumVaults is the device's
-  /// vault count.
-  HealthMonitor(std::shared_ptr<const FaultSpec> Spec, unsigned NumVaults);
+  /// vault count. The serving fleet has \p NumStacks stacks: with more
+  /// than one, the vault view is the spec's fleet-wide scope (directives
+  /// outside any `stack <i>` section) and cluster-level stack/partition
+  /// faults additionally gate whole stacks out of the dispatchable
+  /// capacity.
+  HealthMonitor(std::shared_ptr<const FaultSpec> Spec, unsigned NumVaults,
+                unsigned NumStacks = 1);
+
+  ~HealthMonitor();
 
   /// True when a non-empty fault spec is attached.
-  bool active() const { return Injector != nullptr; }
+  bool active() const { return Injector != nullptr || Cluster != nullptr; }
 
   unsigned numVaults() const { return NumVaults; }
+
+  unsigned numStacks() const { return NumStacks; }
+
+  /// Stacks the dispatcher may route to at \p Now (all of them without
+  /// cluster faults).
+  unsigned healthyStacks(Picos Now) const;
+
+  /// True when \p Stack is dead or partitioned off at \p Now.
+  bool stackOffline(unsigned Stack, Picos Now) const;
 
   /// Vaults the scheduler may grant at \p Now.
   unsigned healthyVaults(Picos Now) const;
@@ -91,7 +109,9 @@ public:
 private:
   std::shared_ptr<const FaultSpec> Spec;
   unsigned NumVaults;
+  unsigned NumStacks;
   std::unique_ptr<FaultInjector> Injector;
+  std::unique_ptr<ClusterFaultInjector> Cluster;
 };
 
 } // namespace fft3d

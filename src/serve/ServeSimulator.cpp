@@ -140,8 +140,16 @@ ServeResult ServeSimulator::run(Workload &Load, SchedulerPolicy &Policy) {
       if (Health) {
         // Re-estimate at degraded capacity: thermal throttling stretches
         // the service time (the vault loss is already reflected in the
-        // smaller grant).
-        const double Slow = Health->throttleSlowdown(Now);
+        // smaller grant), and a multi-stack fleet missing stacks prices
+        // the survivors' extra share into every dispatch - routing
+        // around the failed stacks costs the fleet that much throughput.
+        double Slow = Health->throttleSlowdown(Now);
+        const unsigned Stacks = Health->numStacks();
+        const unsigned LiveStacks =
+            std::max(1u, Health->healthyStacks(Now));
+        if (Stacks > 1 && LiveStacks < Stacks)
+          Slow *= static_cast<double>(Stacks) /
+                  static_cast<double>(LiveStacks);
         if (Slow > 1.0)
           Service = static_cast<Picos>(
               static_cast<double>(Service) * Slow + 0.5);

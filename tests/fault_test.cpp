@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fault/ClusterFaults.h"
 #include "fault/FaultInjector.h"
 #include "layout/LayoutPlanner.h"
 #include "mem3d/Geometry.h"
@@ -252,6 +253,185 @@ TEST(FaultInjector, ZeroRatesNeverFire) {
     EXPECT_FALSE(Inj.readTakesEccRetry(Id % 16, Id));
     EXPECT_FALSE(Inj.jobTransientlyFails(Id, 0));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster grammar
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpec, ParsesClusterDirectives) {
+  const FaultSpec Spec = parsed("seed 21\n"
+                                "stack_fail 1 at 2\n"
+                                "stack_recover 1 at 6\n"
+                                "link_degrade 0 at 1 factor 2 loss 0.1\n"
+                                "link_degrade 5 at 3 factor 4\n"
+                                "link_fail 3 at 5\n"
+                                "link_partition 2 at 4\n"
+                                "packet_loss rate 0.05\n");
+  EXPECT_FALSE(Spec.empty());
+  EXPECT_TRUE(Spec.hasClusterFaults());
+  EXPECT_FALSE(Spec.hasStackScopes());
+  EXPECT_EQ(Spec.maxStackNamed(), 2);
+  EXPECT_EQ(Spec.maxLinkNamed(), 5);
+
+  ASSERT_EQ(Spec.stackEvents().size(), 2u);
+  EXPECT_EQ(Spec.stackEvents()[0].Stack, 1u);
+  EXPECT_EQ(Spec.stackEvents()[0].At, 2 * PicosPerMilli);
+  EXPECT_FALSE(Spec.stackEvents()[0].Online);
+  EXPECT_TRUE(Spec.stackEvents()[1].Online);
+
+  ASSERT_EQ(Spec.linkDegradeEvents().size(), 2u);
+  EXPECT_EQ(Spec.linkDegradeEvents()[0].Link, 0u);
+  EXPECT_DOUBLE_EQ(Spec.linkDegradeEvents()[0].Factor, 2.0);
+  EXPECT_DOUBLE_EQ(Spec.linkDegradeEvents()[0].LossRate, 0.1);
+  EXPECT_DOUBLE_EQ(Spec.linkDegradeEvents()[1].LossRate, 0.0);
+
+  ASSERT_EQ(Spec.linkFailEvents().size(), 1u);
+  EXPECT_EQ(Spec.linkFailEvents()[0].Link, 3u);
+  EXPECT_EQ(Spec.linkFailEvents()[0].At, 5 * PicosPerMilli);
+
+  ASSERT_EQ(Spec.partitionEvents().size(), 1u);
+  EXPECT_EQ(Spec.partitionEvents()[0].Stack, 2u);
+
+  EXPECT_DOUBLE_EQ(Spec.packetLossRate(), 0.05);
+}
+
+TEST(FaultSpec, ClusterDirectiveErrors) {
+  expectParseError("stack_fail 0\n", 1);
+  expectParseError("link_degrade 0 at 1 factor 0.5\n", 1);
+  expectParseError("link_degrade 0 at 1 factor 2 loss 1.0\n", 1);
+  expectParseError("packet_loss rate 1\n", 1);
+  expectParseError("link_partition 0 at -2\n", 1);
+  // Cluster directives are fabric-global: inside a stack section they
+  // would be ambiguous, so the parser refuses them there.
+  expectParseError("stack 0\nstack_fail 1 at 2\n", 2);
+  expectParseError("stack 1\npacket_loss rate 0.1\n", 2);
+}
+
+TEST(FaultSpec, UnknownVerbSuggestsNearestKnown) {
+  FaultSpec Spec;
+  std::string Error;
+  EXPECT_FALSE(Spec.parse("vault_fial 0 at 1\n", &Error));
+  EXPECT_NE(Error.find("did you mean 'vault_fail'?"), std::string::npos)
+      << Error;
+  EXPECT_FALSE(Spec.parse("stack_recoverr 0 at 1\n", &Error));
+  EXPECT_NE(Error.find("did you mean 'stack_recover'?"), std::string::npos)
+      << Error;
+  EXPECT_FALSE(Spec.parse("pakcet_loss rate 0.1\n", &Error));
+  EXPECT_NE(Error.find("did you mean 'packet_loss'?"), std::string::npos)
+      << Error;
+  // Nothing plausible: no suggestion at all.
+  EXPECT_FALSE(Spec.parse("abcdefghijklmno 1\n", &Error));
+  EXPECT_EQ(Error.find("did you mean"), std::string::npos) << Error;
+}
+
+TEST(FaultSpec, StackScopingFiltersPerStackViews) {
+  const FaultSpec Spec = parsed("seed 9\n"
+                                "vault_fail 0 at 1\n"
+                                "stack 1\n"
+                                "vault_fail 2 at 3\n"
+                                "tsv_degrade 4 at 5 factor 2\n"
+                                "stack all\n"
+                                "vault_recover 0 at 7\n"
+                                "stack_fail 0 at 8\n");
+  EXPECT_TRUE(Spec.hasStackScopes());
+  EXPECT_EQ(Spec.maxStackNamed(), 1);
+
+  // Stack 1 sees the unscoped events plus its own section.
+  const FaultSpec S1 = Spec.forStack(1);
+  EXPECT_EQ(S1.seed(), 9u);
+  EXPECT_EQ(S1.vaultEvents().size(), 3u);
+  EXPECT_EQ(S1.tsvEvents().size(), 1u);
+  EXPECT_FALSE(S1.hasStackScopes());
+  EXPECT_FALSE(S1.hasClusterFaults());
+
+  // Stack 0 sees only the unscoped events.
+  const FaultSpec S0 = Spec.forStack(0);
+  EXPECT_EQ(S0.vaultEvents().size(), 2u);
+  EXPECT_TRUE(S0.tsvEvents().empty());
+
+  // The fleet-wide view (-1) matches stack 0 here: unscoped only.
+  const FaultSpec Fleet = Spec.forStack(-1);
+  EXPECT_EQ(Fleet.vaultEvents().size(), 2u);
+  EXPECT_FALSE(Fleet.hasClusterFaults());
+
+  // A spec whose every vault event is scoped elsewhere yields an empty
+  // (zero-overhead) view for other stacks.
+  const FaultSpec Scoped = parsed("stack 0\nvault_fail 1 at 1\n");
+  EXPECT_TRUE(Scoped.forStack(3).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster fault injector
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterFaultInjector, StackTimelinesAndPartitions) {
+  const FaultSpec Spec = parsed("stack_fail 1 at 2\n"
+                                "stack_recover 1 at 6\n"
+                                "link_partition 2 at 4\n");
+  const ClusterFaultInjector Inj(Spec, 4, 8);
+  EXPECT_TRUE(Inj.affectsTransfers());
+
+  EXPECT_FALSE(Inj.stackOffline(1, 2 * PicosPerMilli - 1));
+  EXPECT_TRUE(Inj.stackOffline(1, 2 * PicosPerMilli));
+  EXPECT_FALSE(Inj.stackOffline(1, 6 * PicosPerMilli));
+
+  // Partitions are permanent; the stack is unreachable, not offline.
+  EXPECT_FALSE(Inj.stackPartitioned(2, 4 * PicosPerMilli - 1));
+  EXPECT_TRUE(Inj.stackPartitioned(2, 4 * PicosPerMilli));
+  EXPECT_TRUE(Inj.stackPartitioned(2, 100 * PicosPerMilli));
+  EXPECT_FALSE(Inj.stackOffline(2, 5 * PicosPerMilli));
+  EXPECT_FALSE(Inj.stackReachable(2, 5 * PicosPerMilli));
+
+  EXPECT_EQ(Inj.healthyStacks(0), 4u);
+  EXPECT_EQ(Inj.healthyStacks(3 * PicosPerMilli), 3u);
+  EXPECT_EQ(Inj.healthyStacks(5 * PicosPerMilli), 2u);
+  EXPECT_EQ(Inj.healthyStacks(7 * PicosPerMilli), 3u);
+  EXPECT_EQ(Inj.reachableStacks(5 * PicosPerMilli),
+            (std::vector<bool>{true, false, false, true}));
+}
+
+TEST(ClusterFaultInjector, LinkScaleAndCombinedLoss) {
+  const FaultSpec Spec = parsed("link_degrade 0 at 1 factor 2 loss 0.1\n"
+                                "link_fail 3 at 5\n"
+                                "packet_loss rate 0.05\n");
+  const ClusterFaultInjector Inj(Spec, 4, 8);
+  EXPECT_DOUBLE_EQ(Inj.linkScale(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Inj.linkScale(0, PicosPerMilli), 2.0);
+  EXPECT_DOUBLE_EQ(Inj.linkScale(1, PicosPerMilli), 1.0);
+
+  // Fabric-wide and per-link loss combine as independent drops.
+  EXPECT_DOUBLE_EQ(Inj.linkLossRate(1, PicosPerMilli),
+                   1.0 - (1.0 - 0.05) * (1.0 - 0.0));
+  EXPECT_DOUBLE_EQ(Inj.linkLossRate(0, PicosPerMilli),
+                   1.0 - (1.0 - 0.05) * (1.0 - 0.1));
+
+  EXPECT_FALSE(Inj.linkDown(3, 5 * PicosPerMilli - 1));
+  EXPECT_TRUE(Inj.linkDown(3, 5 * PicosPerMilli));
+  EXPECT_DOUBLE_EQ(Inj.linkLossRate(3, 5 * PicosPerMilli), 1.0);
+}
+
+TEST(ClusterFaultInjector, LossResidualIsDeterministicAndRateShaped) {
+  const FaultSpec Spec = parsed("seed 17\npacket_loss rate 0.3\n");
+  const ClusterFaultInjector A(Spec, 4, 8);
+  const ClusterFaultInjector B(Spec, 4, 8);
+  unsigned Fired = 0;
+  const unsigned Trials = 4000;
+  for (std::uint64_t Msg = 0; Msg != Trials; ++Msg) {
+    EXPECT_EQ(A.lossResidual(1, Msg, 0, 0.3), B.lossResidual(1, Msg, 0, 0.3));
+    Fired += A.lossResidual(1, Msg, 0, 0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(Fired) / Trials, 0.3, 0.03);
+  // Zero fraction never fires.
+  for (std::uint64_t Msg = 0; Msg != 200; ++Msg)
+    EXPECT_FALSE(A.lossResidual(0, Msg, 1, 0.0));
+}
+
+TEST(ClusterFaultInjector, VaultOnlySpecDoesNotAffectTransfers) {
+  const FaultSpec Spec = parsed("vault_fail 0 at 1\n");
+  const ClusterFaultInjector Inj(Spec, 4, 8);
+  EXPECT_FALSE(Inj.affectsTransfers());
+  EXPECT_EQ(Inj.healthyStacks(5 * PicosPerMilli), 4u);
 }
 
 //===----------------------------------------------------------------------===//

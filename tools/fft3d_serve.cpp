@@ -238,13 +238,21 @@ int main(int Argc, char **Argv) {
   if (WithFaults) {
     const std::shared_ptr<const FaultSpec> Faults =
         loadFaultSpec(C.Common.FaultsFile);
-    Config.Health = std::make_shared<HealthMonitor>(Faults, C.Vaults);
+    Config.Health =
+        std::make_shared<HealthMonitor>(Faults, C.Vaults, C.Common.Stacks);
     Config.Brownout.Enabled = true;
+    std::string ClusterNote;
+    if (C.Common.Stacks > 1 && Faults->hasClusterFaults())
+      ClusterNote = ", " +
+                    std::to_string(Faults->stackEvents().size() +
+                                   Faults->partitionEvents().size()) +
+                    " stack events over " +
+                    std::to_string(C.Common.Stacks) + " stacks";
     std::printf("fault spec %s: %zu vault events, %zu TSV events, "
-                "%zu throttle windows, transient job-fail rate %.3f\n\n",
+                "%zu throttle windows, transient job-fail rate %.3f%s\n\n",
                 C.Common.FaultsFile.c_str(), Faults->vaultEvents().size(),
                 Faults->tsvEvents().size(), Faults->throttleWindows().size(),
-                Faults->jobFailRate());
+                Faults->jobFailRate(), ClusterNote.c_str());
   }
   std::vector<std::string> Headers = {"policy",  "done",   "shed",
                                       "jobs/s",  "p50 ms", "p95 ms",

@@ -210,6 +210,35 @@ Cli parse(int Argc, char **Argv) {
                    Error.c_str());
       std::exit(2);
     }
+    // Cluster-level directives only make sense against a cluster: refuse
+    // them at --stacks 1 instead of silently ignoring the schedule, and
+    // refuse names beyond the fabric the flags actually build.
+    if (C.Common.Stacks <= 1 &&
+        (Spec.hasClusterFaults() || Spec.maxStackNamed() >= 0)) {
+      std::fprintf(stderr,
+                   "error: fault spec '%s' uses cluster faults or stack "
+                   "scoping; pass --stacks > 1\n",
+                   C.Common.FaultsFile.c_str());
+      std::exit(2);
+    }
+    if (C.Common.Stacks > 1) {
+      if (Spec.maxStackNamed() >= static_cast<int>(C.Common.Stacks)) {
+        std::fprintf(stderr,
+                     "error: fault spec '%s' names stack %d but --stacks "
+                     "is %u\n",
+                     C.Common.FaultsFile.c_str(), Spec.maxStackNamed(),
+                     C.Common.Stacks);
+        std::exit(2);
+      }
+      if (Spec.maxLinkNamed() >= static_cast<int>(2 * C.Common.Stacks)) {
+        std::fprintf(stderr,
+                     "error: fault spec '%s' names link %d but a %u-stack "
+                     "fabric has %u directed link resources\n",
+                     C.Common.FaultsFile.c_str(), Spec.maxLinkNamed(),
+                     C.Common.Stacks, 2 * C.Common.Stacks);
+        std::exit(2);
+      }
+    }
     C.Config.Mem.Faults = std::make_shared<const FaultSpec>(std::move(Spec));
   }
   return C;
@@ -308,6 +337,24 @@ void printClusterReport(const Cli &C, const ClusterReport &R,
   if (ThreeD)
     std::printf("  z phase      %s\n",
                 formatDuration(R.ZPhaseTime).c_str());
+  // Cluster fault outcomes; silent on a fault-free run so the healthy
+  // output is unchanged.
+  if (R.StacksFailed != 0) {
+    std::printf("  fault recovery: %u stack%s failed, %u survivors, "
+                "migration %s%s\n",
+                R.StacksFailed, R.StacksFailed == 1 ? "" : "s",
+                R.SurvivorStacks, formatDuration(R.MigrationTime).c_str(),
+                R.Replanned ? ", layouts re-planned" : "");
+    std::printf("  protocol     checkpoint %s, detection %s\n",
+                formatDuration(R.CheckpointTime).c_str(),
+                formatDuration(R.DetectionTime).c_str());
+  }
+  if (R.Retransmits != 0 || R.XferFailed != 0)
+    std::printf("  link loss    %llu retransmitted packets, backoff %s, "
+                "%llu transfers abandoned\n",
+                static_cast<unsigned long long>(R.Retransmits),
+                formatDuration(R.BackoffTime).c_str(),
+                static_cast<unsigned long long>(R.XferFailed));
   std::printf("  total        %s, %8.2f GB/s aggregate, %llu transfers "
               "(%s)\n\n",
               formatDuration(R.TotalTime).c_str(), R.AppThroughputGBps,
