@@ -90,12 +90,18 @@ double simWallSeconds(std::uint64_t N, unsigned Repeats) {
 
 /// One row of the sharded-engine scaling table: wall time and simulator
 /// event throughput of a full optimized run at \p N with \p SimThreads
-/// vault-shard workers.
+/// vault-shard workers, plus the engine's window accounting (identical
+/// for every SimThreads value - windows are placed from simulation state
+/// alone).
 struct ShardedSimRow {
   std::uint64_t N = 0;
   unsigned SimThreads = 0;
   double Seconds = 0.0;
   double EventsPerSec = 0.0;
+  std::uint64_t Windows = 0;
+  std::uint64_t StreamWindows = 0;
+  std::uint64_t Barriers = 0;
+  bool Oversubscribed = false;
 };
 
 ShardedSimRow shardedSimRow(std::uint64_t N, unsigned SimThreads,
@@ -104,13 +110,16 @@ ShardedSimRow shardedSimRow(std::uint64_t N, unsigned SimThreads,
   Row.N = N;
   Row.SimThreads = SimThreads;
   std::uint64_t Events = 0;
-  Row.Seconds = medianOf(Repeats, [N, SimThreads, &Events] {
+  Row.Seconds = medianOf(Repeats, [N, SimThreads, &Events, &Row] {
     SystemConfig Config = SystemConfig::forProblemSize(N);
     Config.SimThreads = SimThreads;
     Fft2dProcessor Processor(Config);
     const auto Start = Clock::now();
     const AppReport Opt = Processor.runOptimized();
     Events = Opt.RowPhase.SimEvents + Opt.ColPhase.SimEvents;
+    Row.Windows = Opt.SimWindows;
+    Row.StreamWindows = Opt.SimStreamWindows;
+    Row.Barriers = Opt.SimBarriers;
     return secondsSince(Start);
   });
   Row.EventsPerSec = static_cast<double>(Events) / Row.Seconds;
@@ -155,9 +164,20 @@ double fftMflops(SimdLevel Level, unsigned Repeats) {
 }
 
 /// Multi-point ablation-style sweep (the AutoTuner's full candidate
-/// grid) at a given thread count.
-double sweepSeconds(std::uint64_t N, unsigned Threads, unsigned Repeats) {
-  return medianOf(Repeats, [N, Threads] {
+/// grid) at a given thread count, with per-executor utilization from the
+/// final repeat: busy time inside candidate simulations over sweep wall
+/// time, so a flat speedup is attributable (idle slots = imbalance, all
+/// slots busy with no wall win = oversubscription).
+struct SweepMeasurement {
+  double Seconds = 0.0;
+  std::size_t Candidates = 0;
+  std::vector<ThreadPool::WorkerStats> Workers;
+};
+
+SweepMeasurement sweepMeasurement(std::uint64_t N, unsigned Threads,
+                                  unsigned Repeats) {
+  SweepMeasurement M;
+  M.Seconds = medianOf(Repeats, [N, Threads, &M] {
     const SystemConfig Config = SystemConfig::forProblemSize(N);
     TuneOptions Options;
     Options.SweepBlockShapes = true;
@@ -165,16 +185,110 @@ double sweepSeconds(std::uint64_t N, unsigned Threads, unsigned Repeats) {
     Options.Threads = Threads;
     const AutoTuner Tuner(Config, Options);
     const auto Start = Clock::now();
-    const TuneResult Result = Tuner.tune();
-    (void)Result;
+    TuneResult Result = Tuner.tune();
+    M.Candidates = Result.Candidates.size();
+    M.Workers = std::move(Result.PoolStats);
     return secondsSince(Start);
   });
+  return M;
 }
 
 std::string jsonNum(double V) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.6g", V);
   return Buf;
+}
+
+/// Extracts the numeric value following "Key": inside \p Obj; negative
+/// when absent. Enough JSON for the bench's own flat row objects.
+double jsonField(const std::string &Obj, const std::string &Key) {
+  const std::string Needle = "\"" + Key + "\":";
+  const std::size_t At = Obj.find(Needle);
+  if (At == std::string::npos)
+    return -1.0;
+  return std::strtod(Obj.c_str() + At + Needle.size(), nullptr);
+}
+
+/// Regression gate (--check): re-measures single-worker events/s for
+/// every sim-threads-1 row of the committed JSON and fails on a >25%
+/// drop. Sim-threads 1 is the honest number - it cannot hide behind the
+/// bench box's core count - and the windowing protocol runs identically
+/// there, so a protocol regression shows up on any machine. The 1-vs-4
+/// digest equality check runs too: a determinism break is worse than any
+/// slowdown.
+int runCheck(const std::string &JsonPath) {
+  std::ifstream In(JsonPath);
+  if (!In) {
+    std::cerr << "perf_baseline --check: cannot open " << JsonPath << "\n";
+    return 2;
+  }
+  std::string Json((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t ArrayAt = Json.find("\"sim_threads\": [");
+  const std::size_t ArrayEnd =
+      ArrayAt == std::string::npos ? std::string::npos
+                                   : Json.find(']', ArrayAt);
+  if (ArrayEnd == std::string::npos) {
+    std::cerr << "perf_baseline --check: no sim_threads rows in "
+              << JsonPath << "\n";
+    return 2;
+  }
+  bool Checked = false;
+  bool Failed = false;
+  std::size_t Cursor = ArrayAt;
+  while (true) {
+    const std::size_t ObjAt = Json.find('{', Cursor);
+    if (ObjAt == std::string::npos || ObjAt > ArrayEnd)
+      break;
+    const std::size_t ObjEnd = Json.find('}', ObjAt);
+    const std::string Obj = Json.substr(ObjAt, ObjEnd - ObjAt);
+    Cursor = ObjEnd + 1;
+    if (jsonField(Obj, "sim_threads") != 1.0)
+      continue;
+    const double N = jsonField(Obj, "n");
+    const double Committed = jsonField(Obj, "events_per_sec");
+    if (N <= 0.0 || Committed <= 0.0)
+      continue;
+    double Measured =
+        shardedSimRow(static_cast<std::uint64_t>(N), 1, /*Repeats=*/3)
+            .EventsPerSec;
+    // A loaded machine can depress one whole measurement set past the
+    // band; a real code regression depresses all of them. Re-measure
+    // before failing and keep the best observation - the gate asks
+    // whether the code can still reach the committed speed.
+    for (int Retry = 0; Retry != 2 && Measured / Committed < 0.75; ++Retry)
+      Measured = std::max(
+          Measured,
+          shardedSimRow(static_cast<std::uint64_t>(N), 1, /*Repeats=*/3)
+              .EventsPerSec);
+    const double Ratio = Measured / Committed;
+    std::cout << "check " << static_cast<std::uint64_t>(N)
+              << "x" << static_cast<std::uint64_t>(N)
+              << " sim-threads 1: " << jsonNum(Measured / 1e6)
+              << " M events/s vs committed " << jsonNum(Committed / 1e6)
+              << " (" << jsonNum(Ratio) << "x)\n";
+    Checked = true;
+    if (Ratio < 0.75) {
+      std::cerr << "perf_baseline --check: events/s regressed >25% at "
+                << "sim-threads 1, n=" << static_cast<std::uint64_t>(N)
+                << "\n";
+      Failed = true;
+    }
+  }
+  if (!Checked) {
+    std::cerr << "perf_baseline --check: no usable sim-threads-1 rows in "
+              << JsonPath << "\n";
+    return 2;
+  }
+  const bool DigestsMatch =
+      shardedRunDigest(512, 1) == shardedRunDigest(512, 4);
+  std::cout << "check determinism (512x512, 1 vs 4): "
+            << (DigestsMatch ? "identical" : "MISMATCH") << "\n";
+  if (!DigestsMatch) {
+    std::cerr << "perf_baseline --check: sharded engine diverged\n";
+    return 1;
+  }
+  return Failed ? 1 : 0;
 }
 
 } // namespace
@@ -184,9 +298,12 @@ int main(int Argc, char **Argv) {
   std::string JsonPath = "BENCH_perf.json";
   std::string TracePath;
   bool Quick = false;
+  bool Check = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;
+    else if (std::strcmp(Argv[I], "--check") == 0)
+      Check = true;
     else if (std::strncmp(Argv[I], "--json=", 7) == 0)
       JsonPath = Argv[I] + 7;
     else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
@@ -196,8 +313,15 @@ int main(int Argc, char **Argv) {
     else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc)
       TracePath = Argv[++I];
   }
+  if (Check)
+    return runCheck(JsonPath);
+  const unsigned HardwareConcurrency = ThreadPool::resolveThreads(0);
+  const unsigned PhysicalCores = ThreadPool::physicalCoresEstimate();
+  // Default to the physical core count, not the SMT thread count: the
+  // sweep's unit of work is a whole simulation, which gains nothing from
+  // sharing a core's execution ports.
   if (Threads == 1)
-    Threads = ThreadPool::resolveThreads(0);
+    Threads = PhysicalCores;
 
   const unsigned Repeats = Quick ? 1 : 3;
   const std::vector<std::uint64_t> SimSizes =
@@ -223,24 +347,32 @@ int main(int Argc, char **Argv) {
   // 3. Sharded-engine scaling: the same single-run workload with the
   // vault shards spread over --sim-threads workers. Byte-identical
   // results are a hard invariant (checked below); the wall time shows
-  // what the parallel engine buys on this machine.
+  // what the parallel engine buys on this machine. All four worker
+  // counts are always measured so baselines stay comparable across
+  // machines; rows beyond the physical core count are tagged
+  // oversubscribed instead of dropped, since SMT siblings sharing a
+  // core do not help a spin-barrier protocol and the reader should not
+  // mistake scheduler thrash for an engine regression.
   const std::vector<std::uint64_t> ShardSizes =
       Quick ? std::vector<std::uint64_t>{1024}
             : std::vector<std::uint64_t>{2048, 4096};
-  const std::vector<unsigned> ShardThreads =
-      Quick ? std::vector<unsigned>{1, 4} : std::vector<unsigned>{1, 2, 4, 8};
+  const std::vector<unsigned> ShardThreads = {1, 2, 4, 8};
   std::vector<ShardedSimRow> ShardRows;
   for (std::uint64_t N : ShardSizes) {
     double Base = 0.0;
     for (unsigned K : ShardThreads) {
       ShardRows.push_back(shardedSimRow(N, K, Repeats));
-      const ShardedSimRow &Row = ShardRows.back();
+      ShardedSimRow &Row = ShardRows.back();
+      Row.Oversubscribed = K > PhysicalCores;
       if (K == 1)
         Base = Row.Seconds;
       std::cout << "sim " << N << "x" << N << " sim-threads " << K << ": "
                 << jsonNum(Row.Seconds) << " s, "
                 << jsonNum(Row.EventsPerSec / 1e6) << " M events/s ("
-                << jsonNum(Base / Row.Seconds) << "x)\n";
+                << jsonNum(Base / Row.Seconds) << "x), "
+                << Row.Windows << " windows ("
+                << Row.StreamWindows << " streaming)"
+                << (Row.Oversubscribed ? " [oversubscribed]" : "") << "\n";
     }
   }
 
@@ -269,17 +401,28 @@ int main(int Argc, char **Argv) {
 
   // 5. Sweep executor scaling: the autotuner's full grid, 1 vs N threads.
   const std::uint64_t SweepN = Quick ? 1024 : 2048;
-  const double Sweep1 = sweepSeconds(SweepN, 1, Repeats);
-  const double SweepN_ = sweepSeconds(SweepN, Threads, Repeats);
-  std::cout << "tune sweep (N=" << SweepN << "): " << jsonNum(Sweep1)
-            << " s at 1 thread, " << jsonNum(SweepN_) << " s at " << Threads
-            << " threads (" << jsonNum(Sweep1 / SweepN_) << "x)\n";
+  const SweepMeasurement Sweep1 = sweepMeasurement(SweepN, 1, Repeats);
+  const SweepMeasurement SweepK = sweepMeasurement(SweepN, Threads, Repeats);
+  std::cout << "tune sweep (N=" << SweepN << ", " << SweepK.Candidates
+            << " candidates): " << jsonNum(Sweep1.Seconds)
+            << " s at 1 thread, " << jsonNum(SweepK.Seconds) << " s at "
+            << Threads << " threads ("
+            << jsonNum(Sweep1.Seconds / SweepK.Seconds) << "x)\n";
+  for (std::size_t W = 0; W != SweepK.Workers.size(); ++W)
+    std::cout << "  sweep worker " << W << ": " << SweepK.Workers[W].Tasks
+              << " candidates, "
+              << jsonNum(SweepK.Seconds > 0.0
+                             ? SweepK.Workers[W].BusySeconds / SweepK.Seconds
+                             : 0.0)
+              << " utilization\n";
 
   // JSON report.
   std::ofstream Out(JsonPath);
   Out << "{\n";
   Out << "  \"simd_level\": \"" << simdLevelName(Best) << "\",\n";
   Out << "  \"threads\": " << Threads << ",\n";
+  Out << "  \"hardware_concurrency\": " << HardwareConcurrency << ",\n";
+  Out << "  \"physical_cores_estimate\": " << PhysicalCores << ",\n";
   Out << "  \"repeats\": " << Repeats << ",\n";
   Out << "  \"event_core\": {\"events_per_sec\": " << jsonNum(EventsPerSec)
       << "},\n";
@@ -289,20 +432,35 @@ int main(int Argc, char **Argv) {
         << ", \"optimized_s\": " << jsonNum(SimTimes[I].second) << "}";
   Out << "],\n";
   Out << "  \"sim_threads\": [";
-  for (std::size_t I = 0; I != ShardRows.size(); ++I)
+  for (std::size_t I = 0; I != ShardRows.size(); ++I) {
     Out << (I ? ", " : "") << "{\"n\": " << ShardRows[I].N
         << ", \"sim_threads\": " << ShardRows[I].SimThreads
         << ", \"optimized_s\": " << jsonNum(ShardRows[I].Seconds)
         << ", \"events_per_sec\": " << jsonNum(ShardRows[I].EventsPerSec)
-        << "}";
+        << ", \"windows\": " << ShardRows[I].Windows
+        << ", \"stream_windows\": " << ShardRows[I].StreamWindows
+        << ", \"barriers\": " << ShardRows[I].Barriers;
+    if (ShardRows[I].Oversubscribed)
+      Out << ", \"oversubscribed\": true";
+    Out << "}";
+  }
   Out << "],\n";
   Out << "  \"sim_digest_match\": " << (DigestsMatch ? "true" : "false")
       << ",\n";
   Out << "  \"fft_mflops\": {\"scalar\": " << jsonNum(ScalarMflops) << ", \""
       << simdLevelName(Best) << "\": " << jsonNum(BestMflops) << "},\n";
-  Out << "  \"sweep\": {\"n\": " << SweepN << ", \"threads1_s\": "
-      << jsonNum(Sweep1) << ", \"threadsN_s\": " << jsonNum(SweepN_)
-      << ", \"speedup\": " << jsonNum(Sweep1 / SweepN_) << "}\n";
+  Out << "  \"sweep\": {\"n\": " << SweepN
+      << ", \"candidates\": " << SweepK.Candidates
+      << ", \"threads1_s\": " << jsonNum(Sweep1.Seconds)
+      << ", \"threadsN_s\": " << jsonNum(SweepK.Seconds)
+      << ", \"speedup\": " << jsonNum(Sweep1.Seconds / SweepK.Seconds)
+      << ", \"utilization\": [";
+  for (std::size_t W = 0; W != SweepK.Workers.size(); ++W)
+    Out << (W ? ", " : "")
+        << jsonNum(SweepK.Seconds > 0.0
+                       ? SweepK.Workers[W].BusySeconds / SweepK.Seconds
+                       : 0.0);
+  Out << "]}\n";
   Out << "}\n";
   std::cout << "\nwrote " << JsonPath << "\n";
 

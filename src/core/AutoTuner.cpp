@@ -162,5 +162,6 @@ TuneResult AutoTuner::tune(TuneObjective Objective) const {
   TuneResult Result;
   Result.Objective = Objective;
   Result.Candidates = std::move(Candidates);
+  Result.PoolStats = Pool.lastRunStats();
   return Result;
 }

@@ -26,6 +26,7 @@
 
 #include "core/LayoutEvaluator.h"
 #include "layout/LayoutPlanner.h"
+#include "support/ThreadPool.h"
 
 #include <string>
 #include <vector>
@@ -64,6 +65,10 @@ struct TuneCandidate {
 struct TuneResult {
   TuneObjective Objective = TuneObjective::Throughput;
   std::vector<TuneCandidate> Candidates;
+  /// Per-executor work accounting from the candidate fan-out (slot 0 is
+  /// the calling thread). Benchmarks use it to tell imbalance from
+  /// oversubscription when sweep speedups look flat.
+  std::vector<ThreadPool::WorkerStats> PoolStats;
 
   const TuneCandidate &best() const { return Candidates.front(); }
 

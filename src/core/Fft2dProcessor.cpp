@@ -202,6 +202,10 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
                               Report.MigrationTime +
                               Report.ColPhase.EstimatedPhaseTime;
   Report.HealthyVaultsEnd = Mem.healthyVaults(Events.now());
+  const ShardedEventQueue::WindowStats &Win = Stack.engine().windowStats();
+  Report.SimWindows = Win.Windows;
+  Report.SimStreamWindows = Win.StreamWindows;
+  Report.SimBarriers = Win.Barriers;
   return Report;
 }
 

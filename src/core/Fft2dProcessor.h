@@ -48,6 +48,14 @@ struct AppReport {
   unsigned DataParallelism = 1;
   /// End-to-end duration implied by the measured steady-state rates.
   Picos EstimatedTotalTime = 0;
+  /// Sharded-engine window accounting over the whole run (all phases):
+  /// how many conservative windows the run needed, how many of those
+  /// free-ran barrier-free (streaming), and the total barrier count.
+  /// Benchmarks report these next to wall time - fewer windows per run
+  /// is the engine's scalability lever.
+  std::uint64_t SimWindows = 0;
+  std::uint64_t SimStreamWindows = 0;
+  std::uint64_t SimBarriers = 0;
   /// Optimized-only costs of the dynamic layout machinery.
   std::uint64_t PermuteBufferBytes = 0;
   std::uint64_t Reconfigurations = 0;

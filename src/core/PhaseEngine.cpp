@@ -11,21 +11,41 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <memory>
 
 using namespace fft3d;
 
 namespace {
 
+/// Tracks how many drivers can still submit. When the last one exhausts,
+/// the host provably never calls Memory3D::submit again this run (every
+/// remaining host event is a completion or a wakeup whose pump() body is
+/// empty), so the sharded engine may free-run vault shards barrier-free
+/// to the end of the phase.
+struct QuiescenceGate {
+  unsigned Active = 0;
+  ShardedEventQueue *Engine = nullptr;
+
+  void noteExhausted() {
+    assert(Active != 0 && "driver exhausted twice");
+    if (--Active == 0 && Engine)
+      Engine->setHostQuiescentUntil(std::numeric_limits<Picos>::max());
+  }
+};
+
 /// Issues one direction's ops with pacing and window control.
 class StreamDriver {
 public:
   StreamDriver(Memory3D &Mem, EventQueue &Events, const StreamParams &Params,
-               std::uint64_t MaxBytes, std::uint64_t MaxOps, Picos Start)
+               std::uint64_t MaxBytes, std::uint64_t MaxOps, Picos Start,
+               QuiescenceGate &Gate)
       : Mem(Mem), Events(Events), Params(Params), MaxBytes(MaxBytes),
-        MaxOps(MaxOps), Start(Start) {
+        MaxOps(MaxOps), Start(Start), Gate(Gate) {
     if (!Params.Trace || Params.Window == 0)
       Exhausted = true;
+    else
+      ++Gate.Active;
   }
 
   /// Issues every op that is currently allowed; arms a wakeup if pacing
@@ -34,13 +54,13 @@ public:
     while (!Exhausted && InFlight < Params.Window) {
       if (!Pending) {
         if (BytesIssued >= MaxBytes || OpsIssued >= MaxOps) {
-          Exhausted = true;
           Truncated = Params.Trace->next().has_value();
+          markExhausted();
           break;
         }
         Pending = Params.Trace->next();
         if (!Pending) {
-          Exhausted = true;
+          markExhausted();
           break;
         }
       }
@@ -78,6 +98,14 @@ public:
   }
 
 private:
+  /// This driver just ran out of budget or trace: it will never submit
+  /// again, and the gate learns about it (only counted drivers get here -
+  /// pump() is a no-op once Exhausted is set).
+  void markExhausted() {
+    Exhausted = true;
+    Gate.noteExhausted();
+  }
+
   /// Earliest time the pending op may issue under kernel pacing.
   Picos allowedTime() const {
     Picos T = Start + Params.StartLag;
@@ -126,6 +154,7 @@ private:
   std::uint64_t MaxBytes;
   std::uint64_t MaxOps;
   Picos Start;
+  QuiescenceGate &Gate;
 
   std::optional<TraceOp> Pending;
   Picos FirstIssue = 0;
@@ -154,13 +183,21 @@ PhaseResult PhaseEngine::run(StreamParams Reads, StreamParams Writes) {
 PhaseResult PhaseEngine::runStreams(std::vector<StreamParams> Streams) {
   Mem.stats().reset();
   const Picos Start = Events.now();
+  ShardedEventQueue::WindowStats WinBefore;
+  if (Sharded)
+    WinBefore = Sharded->windowStats();
 
+  QuiescenceGate Gate;
+  Gate.Engine = Sharded;
   std::vector<std::unique_ptr<StreamDriver>> Drivers;
   Drivers.reserve(Streams.size());
   for (const StreamParams &S : Streams)
     Drivers.push_back(
         std::make_unique<StreamDriver>(Mem, Events, S, MaxBytes, MaxOps,
-                                       Start));
+                                       Start, Gate));
+  // A phase with no traffic at all is quiescent from the start.
+  if (Gate.Active == 0 && Sharded)
+    Sharded->setHostQuiescentUntil(std::numeric_limits<Picos>::max());
   for (auto &D : Drivers)
     D->pump();
 
@@ -228,6 +265,31 @@ PhaseResult PhaseEngine::runStreams(std::vector<StreamParams> Streams) {
     Metrics->gauge("phase.throughput_gbps", Phase)
         .set(Result.ThroughputGBps);
     Metrics->gauge("phase.row_hit_rate", Phase).set(Result.RowHitRate);
+    if (Sharded) {
+      // Window-protocol accounting for this phase: how many barrier
+      // rounds the sharded engine needed and how wide its windows got
+      // (the width histogram is bucketed in static-lookahead multiples,
+      // so bucket 0 is "no wider than the old engine's whole window").
+      const ShardedEventQueue::WindowStats &W = Sharded->windowStats();
+      Metrics->counter("sim.windows", Phase).add(W.Windows -
+                                                 WinBefore.Windows);
+      Metrics->counter("sim.barriers", Phase).add(W.Barriers -
+                                                  WinBefore.Barriers);
+      Metrics->counter("sim.stream_windows", Phase)
+          .add(W.StreamWindows - WinBefore.StreamWindows);
+      Metrics->counter("sim.mailbox_overflows", Phase)
+          .add(W.MailboxOverflows - WinBefore.MailboxOverflows);
+      Metrics->counter("sim.lookahead_violations", Phase)
+          .add(W.LookaheadViolations - WinBefore.LookaheadViolations);
+      const double WidthPs = static_cast<double>(Sharded->lookahead());
+      MetricHistogram &Hist = Metrics->histogram(
+          "sim.window.width_ps", WidthPs,
+          ShardedEventQueue::WindowStats::NumWidthBuckets, Phase);
+      for (unsigned I = 0;
+           I != ShardedEventQueue::WindowStats::NumWidthBuckets; ++I)
+        Hist.observeMany((static_cast<double>(I) + 0.5) * WidthPs,
+                         W.WidthBuckets[I] - WinBefore.WidthBuckets[I]);
+    }
   }
   return Result;
 }

@@ -49,13 +49,25 @@ Memory3D::Memory3D(EventQueue &Events, const MemoryConfig &Config,
         Sharded ? Sharded->shard(V) : Events, Vaults[V], this->Config.Geo,
         this->Config.Time, Config.Sched, Config.Page, Stats.vault(V), Stats,
         Injector.get(), V, Sharded));
+  if (Sharded)
+    // Distance-based lookahead: each controller tells the window planner
+    // how far away its earliest possible completion is, so windows widen
+    // from the static AccessLatency floor to the real queue-state bound.
+    for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+      Sharded->setShardBound(V, [C = Controllers[V].get()](Picos QueueNext) {
+        return C->earliestCompletionBound(QueueNext);
+      });
 }
 
 Memory3D::~Memory3D() {
-  // The barrier hook captures this device; never leave it dangling on an
-  // engine that outlives us.
-  if (Sharded && !ShadowTracers.empty())
-    Sharded->setBarrierHook(nullptr);
+  // The barrier hook and bound oracles capture this device; never leave
+  // them dangling on an engine that outlives us.
+  if (Sharded) {
+    if (!ShadowTracers.empty())
+      Sharded->setBarrierHook(nullptr);
+    for (unsigned V = 0; V != Config.Geo.NumVaults; ++V)
+      Sharded->setShardBound(V, nullptr);
+  }
 }
 
 void Memory3D::setTracer(Tracer *T, std::uint32_t Pid) {
@@ -137,13 +149,31 @@ void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
     // enqueue time as the sequential engine. Re-deriving the decode in
     // the shard (cheap, pure) keeps the capture inside the Action's
     // inline buffer - the submit path stays allocation-free.
+    //
+    // The effect bound tells the window planner how soon this request's
+    // completion could echo back: it pays CAS + TSV, serializes on the
+    // target vault's bus (whose reservation only extends, and is stable
+    // to read here - the vault workers are parked while the host runs),
+    // and streams its full burst. Under fault injection the offline-fail
+    // path completes at the bare AccessLatency, so only the static floor
+    // is sound there.
+    const Picos NowPs = Events.now();
+    Picos EffectBound = NowPs + Config.Time.AccessLatency;
+    if (!Injector) {
+      const std::uint64_t Beats =
+          ceilDiv(Req.Bytes, Config.Geo.bytesPerBeat());
+      EffectBound =
+          std::max(EffectBound, Vaults[Where.Vault].busFreeTime()) +
+          Beats * Config.Time.TsvPeriod;
+    }
     Sharded->postToShard(
-        Where.Vault, Events.now(),
+        Where.Vault, NowPs,
         [this, Req, Vault = Where.Vault, Done = std::move(Done)]() mutable {
           DecodedAddr Where = Mapper.decode(Req.Addr);
           Where.Vault = Vault;
           Controllers[Vault]->enqueue(Req, Where, std::move(Done));
-        });
+        },
+        EffectBound);
     return;
   }
   Controllers[Where.Vault]->enqueue(Req, Where, std::move(Done));

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 using namespace fft3d;
 
@@ -104,6 +105,37 @@ void MemoryController::wake() {
   // period from now.
   NextDecisionTime = Events.now() + Time.TsvPeriod;
   armWakeup();
+}
+
+Picos MemoryController::earliestCompletionBound(Picos QueueNext) const {
+  // No queued request: everything issued has already posted its
+  // completion into the outbox, so nothing this controller does from its
+  // current state can reach the host. New submissions are bounded per
+  // mail by Memory3D::submit.
+  if (Queue.empty())
+    return std::numeric_limits<Picos>::max();
+  const Picos Wake = std::max(QueueNext, NextDecisionTime);
+  // Any fault path (vault offline) can fail a queued request at
+  // wake + AccessLatency without touching the bus; fall back to the
+  // static floor rather than second-guessing the injector's schedule.
+  if (Faults)
+    return Wake + Time.AccessLatency;
+  std::uint64_t MinBeats = std::numeric_limits<std::uint64_t>::max();
+  bool AnyHit = false;
+  for (const PendingReq &P : Queue) {
+    MinBeats = std::min(MinBeats, ceilDiv(P.Req.Bytes, Geo.bytesPerBeat()));
+    if (Page == PagePolicy::OpenPage &&
+        TheVault.bank(P.Where.Bank).isRowHit(P.Where.Row))
+      AnyHit = true;
+  }
+  // When no queued request has its row open, the first issue must
+  // activate, and every other completion serializes behind it on the
+  // vault's TSV bus - so the whole queue is at least a miss path away.
+  const Picos CmdPath =
+      AnyHit ? Time.hitPathBound(MinBeats) : Time.missPathBound(MinBeats);
+  const Picos BusPath =
+      TheVault.busFreeTime() + MinBeats * Time.TsvPeriod;
+  return std::max(Wake + CmdPath, BusPath);
 }
 
 std::size_t MemoryController::selectNext() const {

@@ -76,6 +76,29 @@ public:
   /// Number of requests waiting to issue.
   std::size_t pending() const { return Queue.size(); }
 
+  /// Distance-based lookahead oracle for the sharded engine: a lower
+  /// bound on the earliest completion this controller could still post,
+  /// given \p QueueNext = the timestamp of its shard's earliest pending
+  /// event (the armed wake). Pure over controller/vault state; called by
+  /// the engine's planner while every vault worker is parked. Returns
+  /// "never" (Picos max) when no request is queued - completions for
+  /// everything already issued are in the outbox, and new mail carries
+  /// its own bound. The derivation:
+  ///
+  ///   wake      = max(QueueNext, next command-bus slot)
+  ///   data path = max(wake + AccessLatency, TSV bus free) - every
+  ///               burst pays CAS + TSV and serializes on the vault bus,
+  ///               whose reservation only ever extends
+  ///   burst     = + minBeats * TsvPeriod over the queued requests
+  ///   activate  = + ActivateLatency when no queued request has its row
+  ///               open (the first issue must activate; every later
+  ///               completion serializes behind it on the bus)
+  ///
+  /// Under fault injection the offline-fail path completes a request at
+  /// wake + AccessLatency with no bus traffic, so the bound collapses to
+  /// the static floor there.
+  Picos earliestCompletionBound(Picos QueueNext) const;
+
   /// Deepest the queue has ever been (front-end sizing input).
   std::size_t maxQueueDepth() const { return MaxDepth; }
 

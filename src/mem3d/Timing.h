@@ -66,6 +66,24 @@ struct Timing {
   /// Vault-blocking duration of one all-bank refresh (tRFC-like).
   Picos RefreshDuration = nanosToPicos(160.0);
 
+  /// Per-state lookahead derivation for the sharded engine's distance-
+  /// based bounds: the minimum decision-to-completion distance of a
+  /// \p Beats-beat burst whose row may already be open. Every completion
+  /// pays the column-access + TSV hop (AccessLatency) and then streams
+  /// its beats over the vault's TSV bundle, so no request selected at
+  /// decision time D can complete before D + hitPathBound(Beats).
+  Picos hitPathBound(std::uint64_t Beats) const {
+    return AccessLatency + Beats * TsvPeriod;
+  }
+
+  /// As hitPathBound, for a burst that must first activate its row
+  /// (closed bank, row miss, or closed-page policy): tRCD + tCL + the
+  /// TSV burst. The bank-state -> bound table lives in
+  /// docs/Performance.md §2b.
+  Picos missPathBound(std::uint64_t Beats) const {
+    return ActivateLatency + hitPathBound(Beats);
+  }
+
   /// Returns true if the parameters are internally consistent (non-zero
   /// beat, and the paper's ordering t_in_row <= t_in_vault <= t_diff_bank
   /// <= t_diff_row holds).

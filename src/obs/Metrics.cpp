@@ -62,6 +62,23 @@ void MetricHistogram::observe(double Value) {
     ++Buckets[static_cast<std::size_t>(Bucket)];
 }
 
+void MetricHistogram::observeMany(double Value, std::uint64_t Count) {
+  if (Count == 0)
+    return;
+  Total += Count;
+  Sum += Value * static_cast<double>(Count);
+  if (Value < 0.0) {
+    assert(false && "negative histogram sample");
+    Buckets.front() += Count;
+    return;
+  }
+  const auto Bucket = static_cast<std::uint64_t>(Value / Width);
+  if (Bucket >= Buckets.size())
+    Overflow += Count;
+  else
+    Buckets[static_cast<std::size_t>(Bucket)] += Count;
+}
+
 double MetricHistogram::percentile(double Fraction) const {
   if (Total == 0)
     return 0.0;

@@ -94,6 +94,11 @@ public:
 
   void observe(double Value);
 
+  /// Records \p Count samples of \p Value at once. Exporters that already
+  /// hold pre-bucketed tallies (the sharded engine's per-window width
+  /// counts) would otherwise loop observe() per window.
+  void observeMany(double Value, std::uint64_t Count);
+
   double bucketWidth() const { return Width; }
   unsigned numBuckets() const {
     return static_cast<unsigned>(Buckets.size());

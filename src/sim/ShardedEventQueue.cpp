@@ -5,33 +5,49 @@
 //===----------------------------------------------------------------------===//
 //
 // The window protocol. One parallelFor spans the whole run; workers march
-// through windows together, separated by three barriers:
+// through windows together, separated by two barriers:
 //
-//   plan    worker 0: barrier hook, merge outboxes in (When, vault, seq)
-//           order into the host queue, pick T = earliest pending event
-//           anywhere, WindowEnd = T + W. Done when nothing is pending.
-//   ----------------------------- barrier -----------------------------
-//   host    worker 0: run host events with When < WindowEnd. Submissions
-//           these events make (postToShard at the current host time) land
-//           in vault inboxes; host -> vault has zero latency, which is
-//           why vaults must not run until the host sub-phase is over.
-//   ----------------------------- barrier -----------------------------
+//   ------------------------- barrier (rendezvous) -----------------------
+//   plan +  worker 0: barrier hook, merge outboxes in (When, vault, seq)
+//   host    order into the host queue, pick T = earliest pending event
+//           anywhere (Done when nothing is pending). Then either
+//            - streaming window: the host has declared itself quiescent
+//              and vault work is pending, so skip the host sub-phase and
+//              set WindowEnd to the quiescence horizon, or
+//            - bounded window: seed the dynamic cap with the minimum
+//              shard effect bound (per-shard oracle + pending mail
+//              bounds) and run host events against it. Submissions
+//              shrink the cap to their declared effect bound; events
+//              that submit nothing never narrow the window. The final
+//              cap becomes WindowEnd.
+//   -------------------------- barrier (release) --------------------------
 //   vaults  every worker: for each owned shard, drain the inbox prefix
 //           with When < WindowEnd into the shard queue, then run the
-//           shard while events remain below WindowEnd. Completions go to
-//           the outbox with When >= T + W - the lookahead guarantee -
-//           so nothing a vault does this window can affect this window.
-//   ----------------------------- barrier -----------------------------
+//           shard while events remain below WindowEnd. Completions go
+//           to the outbox with When >= WindowEnd (bounded windows: by
+//           construction of the effect bounds) or anywhere beyond the
+//           host's executed horizon (streaming windows).
 //
-// Progress invariant: after window [T, T+W) every queue and inbox holds
-// only events with When >= T + W (runWhile exhausts stragglers, including
-// events scheduled while running), so successive windows strictly advance
-// and scheduleAt never sees the past.
+// Compared to the first engine revision this drops one barrier per
+// window (plan and host fuse into worker 0's stretch between the two
+// barriers - legal because the other workers have nothing to do until
+// WindowEnd is known) and, far more importantly, replaces the static
+// W = AccessLatency window with state-derived widths that routinely span
+// many host pacing ticks.
+//
+// Progress invariant: every effect bound is at least its source's
+// timestamp plus the static lookahead (enforced by clamping registered
+// oracles and mail bounds against that floor), so WindowEnd > T and the
+// event that defined T is consumed each window; successive windows
+// strictly advance and scheduleAt never sees the past.
 //
 // Determinism: per-shard execution is the sequential ladder-queue order;
 // the only cross-shard nondeterminism - which outbox fills first - is
 // erased by the boundary merge, which orders mail by (When, vault,
 // per-vault sequence) regardless of which OS thread produced it when.
+// Window placement depends only on simulation state read while every
+// worker is parked, so the window sequence (and with it every merge
+// batch) is identical for every SimThreads value.
 //
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +61,14 @@
 #include <thread>
 
 using namespace fft3d;
+
+namespace {
+/// Saturating add on picosecond timestamps; NoBound acts as +infinity.
+Picos satAdd(Picos A, Picos B) {
+  const Picos Max = std::numeric_limits<Picos>::max();
+  return A > Max - B ? Max : A + B;
+}
+} // namespace
 
 ShardedEventQueue::SpinBarrier::SpinBarrier(unsigned Parties)
     : Parties(Parties),
@@ -102,36 +126,111 @@ EventQueue &ShardedEventQueue::shard(unsigned S) {
   return Shards[S]->Q;
 }
 
-void ShardedEventQueue::postToShard(unsigned S, Picos When,
-                                    EventQueue::Action A) {
+void ShardedEventQueue::setShardBound(unsigned S, ShardBound Fn) {
   assert(S < Shards.size() && "shard index out of range");
+  Shards[S]->Bound = std::move(Fn);
+}
+
+void ShardedEventQueue::postToShard(unsigned S, Picos When,
+                                    EventQueue::Action A, Picos EffectBound) {
+  assert(S < Shards.size() && "shard index out of range");
+  // A quiescence declaration is a promise that exactly this call will not
+  // happen; vault shards may already be free-running past When, so the
+  // simulation would silently corrupt. Fail loudly instead.
+  if (When < HostQuiescentUntil)
+    reportFatalError("ShardedEventQueue: postToShard during a declared "
+                     "host-quiescent stretch violates the streaming "
+                     "contract");
   Shard &Dest = *Shards[S];
   // The host executes in time order and posts at its current time, so
   // per-inbox timestamps are nondecreasing; the drain relies on it.
-  assert((Dest.Inbox.empty() || When >= Dest.Inbox.back().When) &&
+  assert((Dest.inboxPending() == 0 || When >= Dest.Inbox.back().When) &&
          "inbox timestamps must be nondecreasing");
-  if (Dest.Inbox.size() >= MailboxSoftCap)
-    ++MailboxOverflows;
-  Dest.Inbox.push_back(Mail{When, std::move(A)});
+  // Every host->vault->host round trip pays the static lookahead, so the
+  // floor is always sound; a caller-declared bound can only widen it.
+  const Picos Floor = satAdd(When, Lookahead);
+  assert((EffectBound == 0 || EffectBound >= Floor) &&
+         "a mail effect bound below When + lookahead is unsound");
+  const Picos Bound = std::max(EffectBound, Floor);
+  if (Dest.inboxPending() >= MailboxSoftCap)
+    ++Stats.MailboxOverflows;
+  Dest.Inbox.push_back(Mail{When, Bound, std::move(A)});
+  // Mid-window submission: the running host sub-phase must not outrun the
+  // earliest effect this mail can have.
+  if (Bound < HostCap)
+    HostCap = Bound;
 }
 
 void ShardedEventQueue::postToHost(unsigned S, Picos When,
                                    EventQueue::Action A) {
   assert(S < Shards.size() && "shard index out of range");
-  // The conservative-correctness condition: a vault may not touch the
-  // host inside the window the host already ran.
-  assert(When >= WindowEnd &&
+  // The conservative-correctness condition: in a bounded window a vault
+  // may not touch the host inside the window the host already ran; in a
+  // streaming window completions may land anywhere the host has not yet
+  // executed through.
+  const Picos Floor = Streaming ? HostHorizon : WindowEnd;
+  assert(When >= Floor &&
          "cross-shard completion inside the current window violates the "
          "lookahead contract");
   Shard &Src = *Shards[S];
+  if (When < Floor)
+    ++Src.Violations;
   assert((Src.Outbox.empty() || When >= Src.Outbox.back().When) &&
          "outbox timestamps must be nondecreasing");
-  Src.Outbox.push_back(Mail{When, std::move(A)});
+  Src.Outbox.push_back(Mail{When, 0, std::move(A)});
 }
 
-void ShardedEventQueue::planWindow() {
+Picos ShardedEventQueue::shardEffectBound(const Shard &S) const {
+  Picos Bound = NoBound;
+  if (!S.Q.empty()) {
+    const Picos QueueNext = S.Q.nextEventTime();
+    // The static floor is always sound (any completion pays the
+    // cross-shard lookahead); the oracle can only push the bound out.
+    // Clamping, rather than trusting, keeps a buggy oracle from
+    // corrupting the window - the debug assert still names it.
+    const Picos Floor = satAdd(QueueNext, Lookahead);
+    if (S.Bound) {
+      const Picos FromOracle = S.Bound(QueueNext);
+      assert(FromOracle >= Floor &&
+             "shard bound oracle returned less than the static lookahead");
+      Bound = std::max(FromOracle, Floor);
+    } else {
+      Bound = Floor;
+    }
+  }
+  // Pending mail carries its own effect bound (undelivered requests are
+  // invisible to the oracle's queue state).
+  for (std::size_t I = S.InboxHead; I != S.Inbox.size(); ++I)
+    Bound = std::min(Bound, S.Inbox[I].EffectBound);
+  return Bound;
+}
+
+void ShardedEventQueue::recordWindowWidth(Picos T, Picos End) {
+  // Unbounded drain-everything windows have no meaningful width.
+  if (End == NoBound)
+    return;
+  const Picos Width = End - T;
+  Stats.WidthSumPs += Width;
+  Stats.WidthMaxPs = std::max(Stats.WidthMaxPs, Width);
+  const Picos Bucket = Width / Lookahead;
+  const auto Index =
+      Bucket < WindowStats::NumWidthBuckets
+          ? static_cast<std::size_t>(Bucket)
+          : static_cast<std::size_t>(WindowStats::NumWidthBuckets - 1);
+  ++Stats.WidthBuckets[Index];
+}
+
+void ShardedEventQueue::planAndRunHost() {
   if (BarrierHook)
     BarrierHook();
+  // Every pass through here costs both barriers of the loop iteration.
+  Stats.Barriers += 2;
+
+  // Fold the per-shard violation counters (their workers are parked).
+  std::uint64_t Violations = 0;
+  for (const auto &S : Shards)
+    Violations += S->Violations;
+  Stats.LookaheadViolations = Violations;
 
   // Merge outboxes. Vault-major concatenation is already (vault, seq)
   // ordered; a stable sort by When alone therefore yields the canonical
@@ -153,9 +252,11 @@ void ShardedEventQueue::planWindow() {
   for (auto &S : Shards)
     S->Outbox.clear();
 
-  // Next window starts at the earliest pending event anywhere.
+  // Next window starts at the earliest pending event anywhere; the
+  // earliest vault-side item decides whether streaming has work to do.
   bool Any = false;
   Picos T = 0;
+  Picos VaultNext = NoBound;
   const auto Consider = [&](Picos When) {
     if (!Any || When < T) {
       T = When;
@@ -165,17 +266,48 @@ void ShardedEventQueue::planWindow() {
   if (!Host.empty())
     Consider(Host.nextEventTime());
   for (const auto &S : Shards) {
-    if (!S->Q.empty())
+    if (!S->Q.empty()) {
       Consider(S->Q.nextEventTime());
-    if (!S->Inbox.empty())
-      Consider(S->Inbox.front().When);
+      VaultNext = std::min(VaultNext, S->Q.nextEventTime());
+    }
+    if (S->inboxPending() != 0) {
+      Consider(S->Inbox[S->InboxHead].When);
+      VaultNext = std::min(VaultNext, S->Inbox[S->InboxHead].When);
+    }
   }
   if (!Any) {
     Done = true;
     return;
   }
-  WindowEnd = T + Lookahead;
-  ++Windows;
+
+  // Streaming window: the host has promised not to post before the
+  // horizon, so pending vault work free-runs to it without any host
+  // participation; merged completions wait for the next (bounded) window.
+  if (HostQuiescentUntil > T && VaultNext < HostQuiescentUntil) {
+    Streaming = true;
+    WindowEnd = HostQuiescentUntil;
+    ++Stats.Windows;
+    ++Stats.StreamWindows;
+    return;
+  }
+  Streaming = false;
+
+  // Bounded window. Seed the dynamic cap with what the shards admit from
+  // their current state, then run the host against it; postToShard pulls
+  // the cap down to each submission's declared effect bound.
+  HostCap = NoBound;
+  for (const auto &S : Shards)
+    HostCap = std::min(HostCap, shardEffectBound(*S));
+  while (!Host.empty() && Host.nextEventTime() < HostCap) {
+    Host.step();
+    ++HostEventsRun;
+  }
+  WindowEnd = HostCap;
+  // Streamed completions must clear the time the host has actually
+  // executed through, which the host clock tracks exactly.
+  HostHorizon = Host.now();
+  ++Stats.Windows;
+  recordWindowWidth(T, WindowEnd);
 }
 
 void ShardedEventQueue::workerLoop(unsigned Worker) {
@@ -185,28 +317,32 @@ void ShardedEventQueue::workerLoop(unsigned Worker) {
   const unsigned Hi = static_cast<unsigned>(
       static_cast<std::uint64_t>(N) * (Worker + 1) / ThreadCount);
   for (;;) {
+    // Rendezvous: every shard has finished the previous window, so
+    // worker 0 may read any shard state while the rest park here.
+    Barrier->arriveAndWait();
     if (Worker == 0)
-      planWindow();
+      planAndRunHost();
+    // Release: WindowEnd / Streaming / Done are published.
     Barrier->arriveAndWait();
     if (Done)
       break;
-    if (Worker == 0)
-      HostEventsRun += Host.runWhile(WindowEnd);
-    Barrier->arriveAndWait();
     for (unsigned V = Lo; V != Hi; ++V) {
       Shard &S = *Shards[V];
-      if (!S.Inbox.empty()) {
-        std::size_t K = 0;
-        while (K != S.Inbox.size() && S.Inbox[K].When < WindowEnd) {
-          S.Q.scheduleAt(S.Inbox[K].When, std::move(S.Inbox[K].A));
-          ++K;
-        }
-        S.Inbox.erase(S.Inbox.begin(),
-                      S.Inbox.begin() + static_cast<std::ptrdiff_t>(K));
+      while (S.InboxHead != S.Inbox.size() &&
+             S.Inbox[S.InboxHead].When < WindowEnd) {
+        S.Q.scheduleAt(S.Inbox[S.InboxHead].When,
+                       std::move(S.Inbox[S.InboxHead].A));
+        ++S.InboxHead;
+      }
+      // Consuming by index keeps delivered slots in place; reset once the
+      // inbox fully drains so the vector's capacity is reused, never grown
+      // by leftovers.
+      if (S.InboxHead == S.Inbox.size()) {
+        S.Inbox.clear();
+        S.InboxHead = 0;
       }
       S.EventsRun += S.Q.runWhile(WindowEnd);
     }
-    Barrier->arriveAndWait();
   }
 }
 
@@ -219,6 +355,7 @@ std::uint64_t ShardedEventQueue::run() {
   };
   const std::uint64_t Before = Total();
   Done = false;
+  Streaming = false;
   if (ThreadCount == 1)
     workerLoop(0);
   else
@@ -226,5 +363,7 @@ std::uint64_t ShardedEventQueue::run() {
                       [this](std::size_t W) {
                         workerLoop(static_cast<unsigned>(W));
                       });
+  // A quiescence declaration is scoped to the run that made it.
+  HostQuiescentUntil = 0;
   return Total() - Before;
 }

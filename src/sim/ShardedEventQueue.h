@@ -11,30 +11,58 @@
 /// the crossbar/TSV access path. Each shard owns a private ladder
 /// EventQueue; shards advance together through bounded time windows
 ///
-///     [T, T + W)   with W = the cross-shard lookahead,
+///     [T, T + W)
 ///
-/// where W is the minimum latency of any vault -> host interaction (the
-/// device's fixed TSV + crossbar access latency, see
-/// conservativeLookahead() in mem3d/Timing.h). Within a window every
-/// shard can run independently: the only cross-shard edges are
+/// whose width W is no longer the single worst-case constant of the first
+/// engine revision (the device's fixed TSV + crossbar access latency).
+/// Three mechanisms stretch it:
+///
+///  - **Per-shard distance-based lookahead.** Every shard may export a
+///    bound callback (setShardBound) returning a lower bound on the
+///    earliest time the shard could post mail to the host, given its
+///    current queue state. The memory controllers derive a queue-aware
+///    bound (wake time, bus reservations, minimum burst length - see
+///    mem3d/Timing.h), so a vault with a deep pipeline or an idle queue
+///    admits a much wider window than the static AccessLatency.
+///  - **Adaptive host-capped widening.** The host sub-phase runs against a
+///    *dynamic* cap: it starts at the minimum shard bound and only
+///    shrinks when the host actually posts mail, by that mail's declared
+///    effect bound (postToShard's EffectBound, >= When + lookahead).
+///    Host events that submit nothing - pacing wakeups, bookkeeping -
+///    never narrow the window, so deep-pipeline stretches amortize one
+///    barrier round over many events.
+///  - **Barrier-free streaming.** When the host declares itself quiescent
+///    (setHostQuiescentUntil: its events will not post to shards before
+///    the given time), vault shards free-run to that horizon in a single
+///    window with no host participation, then rendezvous once; the
+///    deferred completions merge in canonical order and the host drains
+///    them in the next window.
+///
+/// The only cross-shard edges are
 ///
 ///   host -> vault   request injection, same-timestamp. Handled by
-///                   ordering sub-phases inside the window: the host shard
-///                   runs first, its mail is drained before vault shards
-///                   run the same window.
-///   vault -> host   completions, always >= W in the future. Posted into
-///                   per-vault outboxes and merged at the window boundary;
-///                   they cannot land inside the current window, so vault
-///                   shards never have to see each other's progress.
+///                   ordering sub-phases inside the window: the host runs
+///                   first, its mail is drained before vault shards run
+///                   the same window.
+///   vault -> host   completions, posted into per-vault outboxes and
+///                   merged at the window boundary. In bounded windows
+///                   they land at or beyond the window end by the
+///                   lookahead argument above; in streaming windows they
+///                   may land anywhere beyond the host's executed
+///                   horizon, which is exactly what the quiescence
+///                   declaration makes safe.
 ///
 /// There are no vault -> vault edges (vaults only constrain themselves).
 ///
 /// Determinism is structural, not incidental: outboxes are merged in
 /// (When, vault, per-vault sequence) order via a stable sort, so the host
 /// observes completions in a canonical total order that is independent of
-/// thread count and OS scheduling. The same code path runs at
-/// SimThreads = 1 (one worker walking all shards), so the single-threaded
-/// engine is not a separate implementation that could drift.
+/// thread count and OS scheduling. Window placement depends only on
+/// simulation state (bounds are pure functions of shard state read while
+/// every worker is parked), so the window sequence - and therefore every
+/// merge batch - is identical for every SimThreads value. The same code
+/// path runs at SimThreads = 1, so the single-threaded engine is not a
+/// separate implementation that could drift.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,9 +72,11 @@
 #include "sim/EventQueue.h"
 #include "support/Units.h"
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -57,13 +87,48 @@ class ThreadPool;
 /// Windowed conservative PDES over one host shard + N vault shards.
 class ShardedEventQueue {
 public:
-  /// \p NumShards vault shards, cross-shard lookahead \p Lookahead (must
-  /// be > 0: a zero lookahead admits no window and the conservative
-  /// protocol cannot make progress), \p SimThreads worker threads (0 is
-  /// treated as 1; clamped to NumShards). \p MailboxSoftCap is the
-  /// per-shard inbox occupancy beyond which postToShard counts overflow
-  /// events (delivery still happens; the counter makes backpressure
-  /// observable to tests and tuning).
+  /// "No bound": the shard cannot affect the host from its current state.
+  static constexpr Picos NoBound = std::numeric_limits<Picos>::max();
+
+  /// Lower bound on the earliest time a shard could post mail to the
+  /// host, given \p QueueNext = the timestamp of its earliest pending
+  /// queue event (NoBound when the queue is empty). Must be
+  /// >= QueueNext + lookahead; pending inbox mail is accounted for by
+  /// the engine separately, per mail.
+  using ShardBound = std::function<Picos(Picos QueueNext)>;
+
+  /// Aggregate window/barrier accounting for one engine (monotonic over
+  /// the engine's lifetime; diff snapshots around a run for per-phase
+  /// numbers).
+  struct WindowStats {
+    /// Number of WidthBuckets cells; bucket I counts bounded windows
+    /// whose width fell in [I, I+1) lookaheads, the last bucket holding
+    /// everything wider.
+    static constexpr unsigned NumWidthBuckets = 64;
+
+    std::uint64_t Windows = 0;
+    /// Barrier rounds workers synchronized through (2 per window).
+    std::uint64_t Barriers = 0;
+    /// Windows run in barrier-free streaming mode (host quiescent).
+    std::uint64_t StreamWindows = 0;
+    std::uint64_t MailboxOverflows = 0;
+    /// postToHost calls that violated the lookahead contract (always a
+    /// bug; fatal in debug, counted here so release tests can gate on 0).
+    std::uint64_t LookaheadViolations = 0;
+    /// Sum/max of bounded-window widths in picoseconds (streaming
+    /// windows are unbounded and excluded).
+    Picos WidthSumPs = 0;
+    Picos WidthMaxPs = 0;
+    std::array<std::uint64_t, NumWidthBuckets> WidthBuckets{};
+  };
+
+  /// \p NumShards vault shards, static cross-shard lookahead floor
+  /// \p Lookahead (must be > 0: a zero lookahead admits no window and
+  /// the conservative protocol cannot make progress), \p SimThreads
+  /// worker threads (0 is treated as 1; clamped to NumShards).
+  /// \p MailboxSoftCap is the per-shard inbox occupancy beyond which
+  /// postToShard counts overflow events (delivery still happens; the
+  /// counter makes backpressure observable to tests and tuning).
   ShardedEventQueue(unsigned NumShards, Picos Lookahead, unsigned SimThreads,
                     std::size_t MailboxSoftCap = 4096);
   ~ShardedEventQueue();
@@ -90,13 +155,33 @@ public:
   /// Sends \p A to shard \p S at time \p When. Host-side only (from host
   /// events or between windows); timestamps per inbox must be
   /// nondecreasing, which the host guarantees by executing in time order.
-  void postToShard(unsigned S, Picos When, EventQueue::Action A);
+  /// \p EffectBound is a lower bound on the earliest host-visible effect
+  /// of this mail (the completion time of the request it carries); 0
+  /// means "unknown", which the engine treats as the conservative
+  /// When + lookahead. Posting inside a declared quiescent stretch is a
+  /// contract violation (fatal).
+  void postToShard(unsigned S, Picos When, EventQueue::Action A,
+                   Picos EffectBound = 0);
 
   /// Sends \p A to the host at time \p When, from shard \p S's executing
-  /// events only. \p When must be at least one full lookahead ahead of
-  /// the current window start - asserted, because this is exactly the
-  /// conservative-correctness condition.
+  /// events only. \p When must be at least the window end (bounded
+  /// windows) or beyond the host's executed horizon (streaming windows) -
+  /// exactly the conservative-correctness condition. Violations are fatal
+  /// in debug builds and counted in WindowStats::LookaheadViolations.
   void postToHost(unsigned S, Picos When, EventQueue::Action A);
+
+  /// Registers \p Fn as shard \p S's distance-based lookahead oracle
+  /// (null restores the static default). Called by worker 0 at window
+  /// planning time, while every other worker is parked - the callback
+  /// may read shard-owned simulation state but must be a pure function
+  /// of it.
+  void setShardBound(unsigned S, ShardBound Fn);
+
+  /// Declares the host quiescent: host events executing before \p Until
+  /// promise not to call postToShard. Vault shards may then free-run to
+  /// \p Until without any barrier. 0 clears the declaration (run() also
+  /// clears it on return). Callable from host events mid-run.
+  void setHostQuiescentUntil(Picos Until) { HostQuiescentUntil = Until; }
 
   /// Hook run by worker 0 at every window boundary, before outbox merge,
   /// while all other workers are parked at the barrier. The observability
@@ -111,14 +196,18 @@ public:
   /// repeatedly; the clocks persist across calls like EventQueue::run.
   std::uint64_t run();
 
+  /// Window/barrier accounting (monotonic across run() calls).
+  const WindowStats &windowStats() const { return Stats; }
   /// Number of windows the engine has stepped through (diagnostics).
-  std::uint64_t windows() const { return Windows; }
+  std::uint64_t windows() const { return Stats.Windows; }
   /// postToShard calls that found the inbox above the soft cap.
-  std::uint64_t mailboxOverflows() const { return MailboxOverflows; }
+  std::uint64_t mailboxOverflows() const { return Stats.MailboxOverflows; }
 
 private:
   struct Mail {
     Picos When;
+    /// Lower bound on the mail's earliest host-visible effect.
+    Picos EffectBound;
     EventQueue::Action A;
   };
 
@@ -126,13 +215,22 @@ private:
   /// while their workers run concurrently.
   struct alignas(64) Shard {
     EventQueue Q;
-    /// Host -> shard mail, appended host-side, drained by the shard's
-    /// worker at the start of its window sub-phase.
+    /// Host -> shard mail, appended host-side, consumed from Head by the
+    /// shard's worker at the start of its window sub-phase (index-based
+    /// so a partial drain never slides the vector).
     std::vector<Mail> Inbox;
+    std::size_t InboxHead = 0;
     /// Shard -> host mail in per-vault (When, seq) order, merged by
     /// worker 0 at the window boundary.
     std::vector<Mail> Outbox;
+    ShardBound Bound;
     std::uint64_t EventsRun = 0;
+    /// Lookahead-contract violations raised by this shard's worker;
+    /// aggregated into WindowStats at the next boundary (single-writer,
+    /// read only while the worker is parked).
+    std::uint64_t Violations = 0;
+
+    std::size_t inboxPending() const { return Inbox.size() - InboxHead; }
   };
 
   /// Sense-reversing spin barrier; acquire/release so every write before
@@ -155,10 +253,17 @@ private:
   };
 
   void workerLoop(unsigned Worker);
-  /// Worker 0 only: merge all outboxes into the host queue in
-  /// (When, vault, seq) order, then pick the next window. Sets Done when
-  /// nothing is pending anywhere.
-  void planWindow();
+  /// Worker 0 only, between the two window barriers: run the boundary
+  /// hook, merge all outboxes into the host queue in (When, vault, seq)
+  /// order, pick the next window, and - unless the window streams - run
+  /// the host sub-phase against the dynamic cap. Sets Done when nothing
+  /// is pending anywhere.
+  void planAndRunHost();
+  /// Earliest host-visible effect shard \p S admits from its current
+  /// state (queue bound via the shard's oracle, pending inbox mail via
+  /// the per-mail effect bounds).
+  Picos shardEffectBound(const Shard &S) const;
+  void recordWindowWidth(Picos T, Picos End);
 
   const Picos Lookahead;
   const std::size_t MailboxSoftCap;
@@ -181,9 +286,17 @@ private:
   std::vector<MergeKey> MergeScratch;
 
   Picos WindowEnd = 0;
+  /// Dynamic host cap while the host sub-phase runs; becomes WindowEnd.
+  Picos HostCap = 0;
+  /// Time through which host events have already executed; the floor any
+  /// streamed completion must clear.
+  Picos HostHorizon = 0;
+  /// Nonzero while the host promises not to post to shards before this.
+  Picos HostQuiescentUntil = 0;
+  /// True while the current window free-runs vault shards (host parked).
+  bool Streaming = false;
   bool Done = false;
-  std::uint64_t Windows = 0;
-  std::uint64_t MailboxOverflows = 0;
+  WindowStats Stats;
   std::uint64_t HostEventsRun = 0;
 };
 

@@ -8,12 +8,48 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
 
 using namespace fft3d;
 
 unsigned ThreadPool::resolveThreads(unsigned Requested) {
   if (Requested != 0)
     return Requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned ThreadPool::physicalCoresEstimate() {
+  std::ifstream In("/proc/cpuinfo");
+  if (In) {
+    // Each processor stanza names the package ("physical id") and the
+    // core within it ("core id"); SMT siblings share both, so distinct
+    // pairs count physical cores.
+    std::set<std::pair<long, long>> Cores;
+    long PhysicalId = -1;
+    std::string Line;
+    const auto FieldValue = [](const std::string &S) -> long {
+      const std::size_t Colon = S.find(':');
+      if (Colon == std::string::npos)
+        return -1;
+      try {
+        return std::stol(S.substr(Colon + 1));
+      } catch (...) {
+        return -1;
+      }
+    };
+    while (std::getline(In, Line)) {
+      if (Line.compare(0, 11, "physical id") == 0)
+        PhysicalId = FieldValue(Line);
+      else if (Line.compare(0, 7, "core id") == 0)
+        Cores.emplace(PhysicalId, FieldValue(Line));
+    }
+    if (!Cores.empty())
+      return static_cast<unsigned>(Cores.size());
+  }
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
@@ -44,9 +80,9 @@ void ThreadPool::parallelFor(std::size_t N,
                              const std::function<void(std::size_t)> &TheBody) {
   if (N == 0)
     return;
+  RunStats.assign(NumThreads, WorkerStats{});
   if (NumThreads == 1 || N == 1) {
-    for (std::size_t I = 0; I != N; ++I)
-      TheBody(I);
+    runInline(N, TheBody);
     return;
   }
 
@@ -110,14 +146,33 @@ void ThreadPool::workerLoop(unsigned Me) {
   }
 }
 
+void ThreadPool::runInline(std::size_t N,
+                           const std::function<void(std::size_t)> &TheBody) {
+  WorkerStats &Mine = RunStats[0];
+  const auto Start = std::chrono::steady_clock::now();
+  for (std::size_t I = 0; I != N; ++I)
+    TheBody(I);
+  Mine.Tasks = N;
+  Mine.BusySeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+}
+
 void ThreadPool::runShard(unsigned Me) {
+  WorkerStats &Mine = RunStats[Me];
   std::size_t Index;
   while (popOwn(Me, Index) || stealOther(Me, Index)) {
+    const auto Start = std::chrono::steady_clock::now();
     try {
       (*Body)(Index);
     } catch (...) {
       recordException();
     }
+    // Iterations are whole simulations; a clock pair per task is noise.
+    ++Mine.Tasks;
+    Mine.BusySeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+            .count();
     std::lock_guard<std::mutex> L(WaitMutex);
     if (--Remaining == 0)
       DoneCv.notify_all();

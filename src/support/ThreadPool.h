@@ -52,6 +52,21 @@ public:
   /// Number of threads that execute loop bodies (>= 1).
   unsigned threadCount() const { return NumThreads; }
 
+  /// What one executor (caller or worker) did during the last
+  /// parallelFor: how many iterations it ran and how long it spent inside
+  /// loop bodies. Sweep benchmarks report these to show whether a flat
+  /// speedup is an imbalance problem (one busy slot) or an oversubscribed
+  /// machine (all slots busy, no wall-time win).
+  struct WorkerStats {
+    std::uint64_t Tasks = 0;
+    double BusySeconds = 0.0;
+  };
+
+  /// Per-executor stats for the most recent parallelFor (index 0 is the
+  /// calling thread). Valid once parallelFor returns; reset by the next
+  /// loop.
+  const std::vector<WorkerStats> &lastRunStats() const { return RunStats; }
+
   /// Runs Body(I) for every I in [0, N), distributing indices across the
   /// pool. Blocks until all iterations finish. If any iteration throws,
   /// the first exception is rethrown here after the loop drains; the
@@ -63,6 +78,13 @@ public:
   /// nonzero, else the hardware concurrency (minimum 1).
   static unsigned resolveThreads(unsigned Requested);
 
+  /// Best-effort count of physical cores (not SMT threads): unique
+  /// (physical id, core id) pairs from /proc/cpuinfo, falling back to
+  /// hardware_concurrency when the file is absent or unparseable.
+  /// Benchmarks use this to mark scaling rows that oversubscribe the
+  /// machine, where a flat speedup is expected rather than a regression.
+  static unsigned physicalCoresEstimate();
+
 private:
   /// One worker's share of the current loop's indices. Owners pop from
   /// the back; thieves steal from the front.
@@ -73,6 +95,7 @@ private:
 
   void workerLoop(unsigned Me);
   void runShard(unsigned Me);
+  void runInline(std::size_t N, const std::function<void(std::size_t)> &Body);
   bool popOwn(unsigned Me, std::size_t &Index);
   bool stealOther(unsigned Me, std::size_t &Index);
   void recordException();
@@ -80,6 +103,9 @@ private:
   unsigned NumThreads;
   std::vector<std::thread> Workers;
   std::vector<std::unique_ptr<Shard>> Shards;
+  /// One slot per executor; each slot is written only by its owner while
+  /// a loop runs and read only after parallelFor returns.
+  std::vector<WorkerStats> RunStats;
 
   // Loop state. Generation increments per parallelFor; workers sleep on
   // WakeCv until the generation they last served changes.

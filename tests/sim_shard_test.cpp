@@ -24,8 +24,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace fft3d;
@@ -103,8 +105,9 @@ TEST(ShardedEventQueue, ChainsAcrossManyWindows) {
   // Mutually recursive: host submits, shard replies one lookahead later.
   std::function<void()> Submit = [&] {
     const Picos Now = Engine.host().now();
-    if (Hops != 0)
+    if (Hops != 0) {
       EXPECT_GT(Now, LastWhen);
+    }
     LastWhen = Now;
     if (++Hops == 8)
       return;
@@ -119,6 +122,144 @@ TEST(ShardedEventQueue, ChainsAcrossManyWindows) {
   EXPECT_EQ(Hops, 8u);
   EXPECT_EQ(LastWhen, 7 * W);
   EXPECT_GE(Engine.windows(), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Distance-based lookahead (per-shard oracle + per-mail effect bounds)
+//===----------------------------------------------------------------------===//
+
+// A shard whose oracle declares a completion distance beyond the static
+// lookahead must widen every window by that distance: the same host
+// schedule against the same (silent) shard chain takes strictly fewer
+// windows when the oracle promises more. This is the whole point of the
+// distance-based lookahead - window count scales with the declared
+// bound, not the fixed floor.
+TEST(ShardedEventQueue, ShardBoundOracleWidensWindows) {
+  const auto WindowsFor = [](Picos Distance) {
+    ShardedEventQueue Engine(1, /*Lookahead=*/100, 1);
+    // The shard stays busy the whole run (one self-chained event every
+    // 100 ps) but never posts a completion, so any declared distance is
+    // sound.
+    std::function<void(unsigned)> Hop = [&Engine, &Hop](unsigned Left) {
+      if (Left != 0)
+        Engine.shard(0).scheduleAt(Engine.shard(0).now() + 100,
+                                   [&Hop, Left] { Hop(Left - 1); });
+    };
+    Engine.postToShard(0, 0, [&Hop] { Hop(15); });
+    Engine.setShardBound(
+        0, [Distance](Picos QueueNext) { return QueueNext + Distance; });
+    unsigned HostRan = 0;
+    for (Picos T = 0; T != 1000; T += 50)
+      Engine.host().scheduleAt(T, [&HostRan] { ++HostRan; });
+    Engine.run();
+    EXPECT_EQ(HostRan, 20u);
+    return Engine.windows();
+  };
+  // Distance == lookahead is the degenerate oracle (pure floor); a 4x
+  // promise must cover ~4x the host ticks per window.
+  const std::uint64_t Wide = WindowsFor(400);
+  const std::uint64_t Floor = WindowsFor(100);
+  EXPECT_LT(Wide, Floor);
+}
+
+// The property the bounds must never violate: no completion may execute
+// inside the window that produced it. The engine counts violations even
+// with asserts compiled out; device-backed randomized traffic (which
+// registers the controller oracles and per-mail bounds) must count zero,
+// at every thread count.
+TEST(ShardedEventQueue, LookaheadNeverAdmitsCompletionInsideWindow) {
+  for (unsigned K : {1u, 2u, 4u}) {
+    MemoryConfig Config;
+    ShardedEventQueue Engine(Config.Geo.NumVaults,
+                             conservativeLookahead(Config.Time), K,
+                             /*MailboxSoftCap=*/64);
+    Memory3D Mem(Engine, Config);
+    Rng R(7);
+    const std::uint64_t Capacity = Mem.geometry().capacityBytes();
+    Picos When = 0;
+    unsigned Completions = 0;
+    for (std::uint64_t I = 0; I != 300; ++I) {
+      When += static_cast<Picos>(R.nextBelow(1500));
+      Engine.host().scheduleAt(When, [&Mem, &R, &Completions, Capacity] {
+        MemRequest Req;
+        Req.IsWrite = (R.next() & 1) != 0;
+        Req.Addr = (R.nextBelow(Capacity / 64)) * 64;
+        Req.Bytes = 64;
+        Mem.submit(Req, [&Completions](const MemRequest &, Picos) {
+          ++Completions;
+        });
+      });
+    }
+    Engine.run();
+    EXPECT_EQ(Completions, 300u) << "threads " << K;
+    EXPECT_EQ(Engine.windowStats().LookaheadViolations, 0u)
+        << "threads " << K;
+    // Width accounting covers every bounded window.
+    const ShardedEventQueue::WindowStats &W = Engine.windowStats();
+    std::uint64_t Bucketed = 0;
+    for (std::uint64_t C : W.WidthBuckets)
+      Bucketed += C;
+    EXPECT_GT(Bucketed, 0u);
+    EXPECT_LE(Bucketed, W.Windows);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming (host-quiescent) windows
+//===----------------------------------------------------------------------===//
+
+// Once the host declares quiescence, pending vault chains free-run in a
+// streaming window and their completions still execute at their exact
+// timestamps, byte-identically at every thread count.
+TEST(ShardedEventQueue, StreamingWindowsAreByteIdentical) {
+  const auto Run = [](unsigned K) {
+    ShardedEventQueue Engine(4, /*Lookahead=*/100, K);
+    std::ostringstream Log;
+    // Each vault runs a 20-hop self-chain, one hop per 250 ps, posting a
+    // completion every hop - far beyond the host's last event.
+    std::function<void(unsigned, unsigned)> Hop = [&](unsigned V,
+                                                      unsigned Left) {
+      Engine.postToHost(V, Engine.shard(V).now() + 100,
+                        [&Log, &Engine, V] {
+                          Log << V << "@" << Engine.host().now() << "\n";
+                        });
+      if (Left != 0)
+        Engine.shard(V).scheduleAt(Engine.shard(V).now() + 250,
+                                   [&Hop, V, Left] { Hop(V, Left - 1); });
+    };
+    Engine.host().scheduleAt(0, [&] {
+      for (unsigned V = 0; V != 4; ++V)
+        Engine.postToShard(V, 0, [&Hop, V] { Hop(V, 19); });
+    });
+    // The host's promise: nothing more will be submitted, ever.
+    Engine.host().scheduleAt(10, [&Engine] {
+      Engine.setHostQuiescentUntil(
+          std::numeric_limits<Picos>::max());
+    });
+    Engine.run();
+    return std::make_pair(Log.str(), Engine.windowStats());
+  };
+  const auto Base = Run(1);
+  EXPECT_GE(Base.second.StreamWindows, 1u);
+  // 4 vaults x 20 hops x 250 ps free-run in O(1) windows instead of one
+  // window per hop.
+  EXPECT_LE(Base.second.Windows, 6u);
+  for (unsigned K : {2u, 4u}) {
+    const auto Other = Run(K);
+    EXPECT_EQ(Base.first, Other.first) << "threads " << K;
+    EXPECT_EQ(Base.second.Windows, Other.second.Windows) << "threads " << K;
+    EXPECT_EQ(Base.second.StreamWindows, Other.second.StreamWindows)
+        << "threads " << K;
+  }
+}
+
+// Submitting after declaring quiescence is a contract violation the
+// engine must refuse loudly - vaults may already have free-run past the
+// mail's timestamp.
+TEST(ShardedEventQueueDeathTest, RejectsSubmissionDuringQuiescence) {
+  ShardedEventQueue Engine(2, 100, 1);
+  Engine.setHostQuiescentUntil(std::numeric_limits<Picos>::max());
+  EXPECT_DEATH(Engine.postToShard(0, 0, [] {}), "streaming contract");
 }
 
 //===----------------------------------------------------------------------===//
@@ -137,6 +278,39 @@ TEST(ShardedEventQueue, CountsMailboxOverflowWithoutDropping) {
   EXPECT_EQ(Engine.mailboxOverflows(), 6u);
   EXPECT_EQ(Engine.run(), 10u);
   EXPECT_EQ(Delivered, 10u);
+}
+
+// The batched (head-indexed) inbox must count occupancy exactly like the
+// old one-erase-per-event path: mail the drain has already delivered no
+// longer occupies the box, even while it still sits in the vector behind
+// the head index. A partial drain followed by more posts discriminates
+// the two accountings.
+TEST(ShardedEventQueue, BatchedInboxOverflowMatchesPerEventAccounting) {
+  ShardedEventQueue Engine(1, /*Lookahead=*/100, /*SimThreads=*/1,
+                           /*MailboxSoftCap=*/4);
+  unsigned Delivered = 0;
+  const auto Note = [&Delivered] { ++Delivered; };
+  Engine.host().scheduleAt(0, [&] {
+    // Three due now, three due at 950: the first window ends at the
+    // near mail's effect bound (t=100), so the far three stay pending
+    // behind the head index. Occupancies seen: 0,1,2,3,4,5 - the last
+    // two posts overflow.
+    for (int I = 0; I != 3; ++I)
+      Engine.postToShard(0, 0, Note);
+    for (int I = 0; I != 3; ++I)
+      Engine.postToShard(0, 950, Note);
+  });
+  Engine.host().scheduleAt(900, [&] {
+    // Three mails were delivered in the first window, so the box holds 3
+    // (not 6): these two posts see occupancies 3 and 4 - exactly one
+    // more overflow. An accounting that forgot the head index would see
+    // 6 and 7 and count two.
+    Engine.postToShard(0, 950, Note);
+    Engine.postToShard(0, 950, Note);
+  });
+  Engine.run();
+  EXPECT_EQ(Delivered, 8u);
+  EXPECT_EQ(Engine.mailboxOverflows(), 3u);
 }
 
 //===----------------------------------------------------------------------===//
