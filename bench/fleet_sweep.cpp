@@ -1,0 +1,223 @@
+//===- bench/fleet_sweep.cpp - Fleet front-end at a million jobs ----------===//
+//
+// Part of the fft3d project.
+//
+// Drives the fleet front-end with an open-loop Poisson stream of 10^6
+// jobs (the mixed 2048^2/4096^2 tenant workload) and compares the three
+// plan-cache configurations on the identical trace:
+//
+//  - shared:    one fleet-wide LRU; the first stack to plan an (N,
+//               layout) pays the miss, every stack reuses it.
+//  - per-stack: the pre-fleet memoization baseline - each stack plans
+//               its own copy, so misses scale with the stack count.
+//  - none:      CacheBytes = 0; every dispatch pays the plan latency.
+//
+// The repeat-heavy trace (a handful of distinct problem shapes repeated
+// ~10^6 times) is exactly the shape the shared cache is built for: its
+// hit rate should sit within noise of 100%, per-stack should pay S times
+// the cold misses, and cache-less should convert the plan latency into a
+// visible p50/p99 tax at every load level.
+//
+// Memory stays flat in the run length - arrivals stream one at a time,
+// queues are bounded, stats are histograms - which is what makes the
+// 10^6-job sweep practical in a CI job.
+//
+// Usage: fleet_sweep [--threads K] [--json PATH] [--quick]
+//
+// With --json PATH the grid merges a "fleet_serve" row array into the
+// perf JSON (perf_baseline owns the file; this bench re-merges its key).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include "serve/fleet/FleetSimulator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+using namespace fft3d::bench;
+
+namespace {
+
+std::string jsonNum(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+/// Rewrites \p Path with \p Row as the object's last "fleet_serve"
+/// entry, same splice discipline as cluster_sweep's mergeIntoJson:
+/// perf_baseline owns the file, every other bench re-merges its key.
+void mergeIntoJson(const std::string &Path, const std::string &Row) {
+  std::vector<std::string> Lines;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.find("\"fleet_serve\":") == std::string::npos)
+        Lines.push_back(Line);
+  }
+  while (!Lines.empty() && Lines.back().empty())
+    Lines.pop_back();
+  if (Lines.empty() || Lines.back() != "}")
+    Lines = {"{", "}"};
+  Lines.pop_back();
+  if (!Lines.empty() && Lines.back() != "{") {
+    std::string &Prev = Lines.back();
+    if (Prev.empty() || Prev.back() != ',')
+      Prev += ',';
+  }
+  Lines.push_back("  \"fleet_serve\": " + Row);
+  Lines.push_back("}");
+  std::ofstream Out(Path);
+  for (const std::string &Line : Lines)
+    Out << Line << "\n";
+}
+
+struct CacheAxis {
+  const char *Name;
+  PlanCacheMode Mode;
+  std::uint64_t Bytes;
+};
+
+struct Cell {
+  RoutePolicy Router = RoutePolicy::Hash;
+  CacheAxis Cache = {};
+  FleetResult Result;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const unsigned Threads = threadsFromArgs(Argc, Argv);
+  std::string JsonPath;
+  bool Quick = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+    else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+  printHeader("Fleet serving: routed stacks x plan-cache mode",
+              SystemConfig::forProblemSize(2048));
+
+  // Each fleet stack is a whole single-stack device; the (thread-safe,
+  // memoized) service model is the only state shared between cells.
+  const MemoryConfig Mem;
+  ServiceModel Model(Mem);
+  const std::vector<JobTemplate> Mix = mixedWorkloadTemplates();
+  const std::uint64_t Seed = 42;
+  const unsigned Stacks = 4;
+  const unsigned Tenants = 32;
+  // The mixed mean service is ~10 ms, so one stack saturates near 100
+  // jobs/s; 240 jobs/s keeps four stacks busy without drowning them.
+  const double RatePerSec = 240.0;
+  const std::uint64_t Jobs = Quick ? 20000 : 1000000;
+
+  {
+    std::vector<std::pair<std::uint64_t, unsigned>> Keys;
+    for (const JobTemplate &T : Mix)
+      Keys.emplace_back(T.N, Model.totalVaults());
+    ThreadPool Pool(Threads);
+    Model.prewarm(Keys, Pool);
+  }
+
+  const std::vector<RoutePolicy> Routers =
+      Quick ? std::vector<RoutePolicy>{RoutePolicy::Hash}
+            : std::vector<RoutePolicy>{RoutePolicy::Hash,
+                                       RoutePolicy::LeastLoaded,
+                                       RoutePolicy::Affinity};
+  const std::vector<CacheAxis> Caches = {
+      {"shared", PlanCacheMode::Shared, 8ull << 20},
+      {"per-stack", PlanCacheMode::PerStack, 8ull << 20},
+      {"none", PlanCacheMode::Shared, 0}};
+
+  std::vector<Cell> Cells(Routers.size() * Caches.size());
+  forEachIndex(Cells.size(), Threads, [&](std::size_t I) {
+    Cell &C = Cells[I];
+    C.Router = Routers[I / Caches.size()];
+    C.Cache = Caches[I % Caches.size()];
+
+    FleetConfig Config;
+    Config.NumStacks = Stacks;
+    Config.QueueCapacity = 64;
+    Config.Router = C.Router;
+    Config.CacheMode = C.Cache.Mode;
+    Config.CacheBytes = C.Cache.Bytes;
+    Config.RingSeed = Seed;
+
+    PoissonArrivalStream Stream(Mix, Jobs, RatePerSec, Seed, Model,
+                                Tenants);
+    FleetSimulator Sim(Config, Model);
+    C.Result = Sim.run(Stream);
+  });
+
+  TableWriter Table({"router", "cache", "done", "shed", "jobs/s",
+                     "p50 ms", "p99 ms", "hit %", "misses", "peak out"});
+  for (std::size_t I = 0; I != Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    const SloSummary &S = C.Result.Summary;
+    Table.addRow({C.Result.RouterName, C.Cache.Name,
+                  TableWriter::num(S.Completed), TableWriter::num(S.Shed),
+                  TableWriter::num(S.ThroughputJobsPerSec, 1),
+                  TableWriter::num(S.P50LatencyMs, 2),
+                  TableWriter::num(S.P99LatencyMs, 2),
+                  TableWriter::percent(C.Result.Cache.hitRate()),
+                  TableWriter::num(C.Result.Cache.Misses),
+                  TableWriter::num(C.Result.PeakOutstanding)});
+    if (I % Caches.size() == Caches.size() - 1)
+      Table.addSeparator();
+  }
+  Table.print(std::cout);
+
+  std::cout << "\nExpected shape: the trace repeats a handful of problem\n"
+               "shapes a million times, so the shared cache's hit rate is\n"
+               "within noise of 100% and its misses stay at the distinct\n"
+               "shape count; per-stack pays that cold cost once per stack;\n"
+               "cache-less pays the plan latency on every single dispatch\n"
+               "and shows it in the latency columns. The affinity router\n"
+               "pins each shape to the stack that planned it - fewest\n"
+               "per-stack misses, but on a low-diversity trace it\n"
+               "concentrates the load onto fewer stacks than exist and\n"
+               "sheds what they cannot absorb; hash spreads by tenant and\n"
+               "least-loaded by backlog. Peak outstanding is structurally\n"
+               "capped at stacks * (queue + 1) regardless of the run\n"
+               "length - that is what keeps this sweep flat in memory at\n"
+               "10^6 jobs.\n";
+
+  if (!JsonPath.empty()) {
+    std::ostringstream Row;
+    Row << "[";
+    for (std::size_t I = 0; I != Cells.size(); ++I) {
+      const Cell &C = Cells[I];
+      const SloSummary &S = C.Result.Summary;
+      if (I)
+        Row << ", ";
+      Row << "{\"router\": \"" << C.Result.RouterName << "\", \"cache\": \""
+          << C.Cache.Name << "\", \"stacks\": " << Stacks
+          << ", \"jobs\": " << Jobs << ", \"rate_per_sec\": "
+          << jsonNum(RatePerSec) << ", \"completed\": " << S.Completed
+          << ", \"shed\": " << S.Shed << ", \"jobs_per_sec\": "
+          << jsonNum(S.ThroughputJobsPerSec) << ", \"p50_ms\": "
+          << jsonNum(S.P50LatencyMs) << ", \"p99_ms\": "
+          << jsonNum(S.P99LatencyMs) << ", \"hit_rate\": "
+          << jsonNum(C.Result.Cache.hitRate()) << ", \"misses\": "
+          << C.Result.Cache.Misses << ", \"peak_outstanding\": "
+          << C.Result.PeakOutstanding << "}";
+    }
+    Row << "]";
+    mergeIntoJson(JsonPath, Row.str());
+    std::cout << "\nmerged fleet_serve (" << Cells.size()
+              << " cells) into " << JsonPath << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- cluster/StackDispatch.cpp - Per-stack dispatch endpoints -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/StackDispatch.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace fft3d;
+
+StackDispatchSet::StackDispatchSet(unsigned NumStacks) {
+  if (NumStacks == 0)
+    reportFatalError("a dispatch set needs at least one stack");
+  Endpoints.resize(NumStacks);
+  for (unsigned S = 0; S != NumStacks; ++S)
+    Endpoints[S].Stack = S;
+}
+
+StackHealthDelta StackDispatchSet::refreshHealth(
+    const StackHealthSource *Health, Picos Now) {
+  StackHealthDelta Delta;
+  for (StackEndpoint &E : Endpoints) {
+    const bool Usable = Health ? Health->stackUsable(E.Stack, Now) : true;
+    if (Health)
+      E.HealthEpoch = Health->stackHealthEpoch(E.Stack, Now);
+    if (Usable == E.Online)
+      continue;
+    E.Online = Usable;
+    (Usable ? Delta.CameOnline : Delta.WentOffline).push_back(E.Stack);
+  }
+  return Delta;
+}
+
+unsigned StackDispatchSet::routableCount() const {
+  unsigned Count = 0;
+  for (const StackEndpoint &E : Endpoints)
+    Count += E.routable() ? 1 : 0;
+  return Count;
+}
+
+Picos StackDispatchSet::routableBacklog() const {
+  Picos Total = 0;
+  for (const StackEndpoint &E : Endpoints)
+    if (E.routable())
+      Total += E.Backlog;
+  return Total;
+}

@@ -1,0 +1,120 @@
+//===- cluster/StackDispatch.h - Per-stack dispatch endpoints ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch seam between a fleet front-end and the S stacks of a
+/// cluster: one StackEndpoint per stack carrying exactly the state a
+/// router needs (routability, outstanding work, queue depth, health
+/// epoch), plus a StackDispatchSet that keeps the endpoints in sync with
+/// a health feed.
+///
+/// Health flows in through the StackHealthSource interface rather than a
+/// concrete monitor type so this layer stays below serve/: the serving
+/// tier's HealthMonitor implements the interface, tests implement it
+/// with scripted timelines. refreshHealth() reports edge transitions
+/// (a stack going offline / coming back) so the caller can drain queues
+/// and invalidate health-epoch-keyed cache entries exactly once per
+/// transition instead of polling state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_CLUSTER_STACKDISPATCH_H
+#define FFT3D_CLUSTER_STACKDISPATCH_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fft3d {
+
+/// Abstract per-stack health feed. Implementations must be deterministic
+/// pure functions of (their configuration, Stack, Now).
+class StackHealthSource {
+public:
+  virtual ~StackHealthSource() = default;
+
+  /// True when \p Stack can accept dispatches at \p Now.
+  virtual bool stackUsable(unsigned Stack, Picos Now) const = 0;
+
+  /// Monotone health-change counter for \p Stack at \p Now (0 = never
+  /// changed). Plans and estimates derived from the stack's health are
+  /// cached keyed by this epoch.
+  virtual std::uint64_t stackHealthEpoch(unsigned Stack,
+                                         Picos Now) const = 0;
+};
+
+/// The router-visible state of one stack.
+struct StackEndpoint {
+  unsigned Stack = 0;
+  /// Health feed said the stack is usable at the last refresh.
+  bool Online = true;
+  /// Autoscaler membership: inactive stacks finish their work but take
+  /// no new routes.
+  bool Active = true;
+  /// Health epoch at the last refresh (keys plan-cache entries).
+  std::uint64_t HealthEpoch = 0;
+  /// Estimated outstanding work (queued + running service estimates).
+  Picos Backlog = 0;
+  /// Jobs waiting in the stack's pending queue.
+  unsigned QueueDepth = 0;
+  /// Jobs currently executing on the stack.
+  unsigned Running = 0;
+  /// Cumulative accounting for reports and tests.
+  std::uint64_t RoutedJobs = 0;
+  std::uint64_t CompletedJobs = 0;
+  /// Jobs pulled back out of this stack's queue (drain on failure or
+  /// scale-down) and re-routed elsewhere.
+  std::uint64_t DrainedJobs = 0;
+
+  /// A stack the router may pick: in the active set and healthy.
+  bool routable() const { return Online && Active; }
+};
+
+/// Health transitions observed by one refreshHealth() call.
+struct StackHealthDelta {
+  /// Stacks whose Online flag flipped true -> false (drain these).
+  std::vector<unsigned> WentOffline;
+  /// Stacks whose Online flag flipped false -> true.
+  std::vector<unsigned> CameOnline;
+
+  bool empty() const { return WentOffline.empty() && CameOnline.empty(); }
+};
+
+/// Owns the endpoint array for an S-stack fleet.
+class StackDispatchSet {
+public:
+  explicit StackDispatchSet(unsigned NumStacks);
+
+  unsigned numStacks() const {
+    return static_cast<unsigned>(Endpoints.size());
+  }
+
+  StackEndpoint &endpoint(unsigned Stack) { return Endpoints[Stack]; }
+  const StackEndpoint &endpoint(unsigned Stack) const {
+    return Endpoints[Stack];
+  }
+  const std::vector<StackEndpoint> &endpoints() const { return Endpoints; }
+
+  /// Re-reads \p Health (null = always healthy) for every stack at
+  /// \p Now, updating Online flags and health epochs, and returns the
+  /// edge transitions since the previous refresh in stack order.
+  StackHealthDelta refreshHealth(const StackHealthSource *Health,
+                                 Picos Now);
+
+  /// Number of endpoints with routable() true.
+  unsigned routableCount() const;
+
+  /// Sum of endpoint backlogs over routable stacks.
+  Picos routableBacklog() const;
+
+private:
+  std::vector<StackEndpoint> Endpoints;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_CLUSTER_STACKDISPATCH_H

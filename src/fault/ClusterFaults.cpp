@@ -63,6 +63,19 @@ bool ClusterFaultInjector::stackPartitioned(unsigned Stack, Picos Now) const {
   return Now >= PartitionAt[Stack];
 }
 
+std::uint64_t ClusterFaultInjector::stackHealthEpoch(unsigned Stack,
+                                                     Picos Now) const {
+  std::uint64_t Epoch = 0;
+  for (const Step &S : StackTimeline[Stack]) {
+    if (S.At > Now)
+      break;
+    ++Epoch;
+  }
+  if (Now >= PartitionAt[Stack])
+    ++Epoch;
+  return Epoch;
+}
+
 unsigned ClusterFaultInjector::healthyStacks(Picos Now) const {
   unsigned Healthy = 0;
   for (unsigned S = 0; S != Stacks; ++S)

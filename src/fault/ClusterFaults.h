@@ -59,6 +59,15 @@ public:
   /// Number of reachable stacks at \p Now.
   unsigned healthyStacks(Picos Now) const;
 
+  /// Monotone per-stack health-change counter: the number of
+  /// availability transitions (stack_fail / stack_recover steps, plus a
+  /// partition cutoff) that have taken effect for \p Stack by \p Now.
+  /// Starts at 0 and only grows, so it is usable as a cache-epoch: any
+  /// state derived from the stack's health (plans, placement, service
+  /// estimates) keyed by this value is automatically invalidated by the
+  /// next transition. The serving tier's shared plan cache keys on it.
+  std::uint64_t stackHealthEpoch(unsigned Stack, Picos Now) const;
+
   /// Reachability flags for every stack at \p Now (the input to
   /// spareVaultMap for the slab migration).
   std::vector<bool> reachableStacks(Picos Now) const;

@@ -25,6 +25,8 @@ const char *fft3d::traceCategoryName(TraceCategory Cat) {
     return "fault";
   case TraceCatXfer:
     return "xfer";
+  case TraceCatFleet:
+    return "fleet";
   }
   fft3d_unreachable("unknown TraceCategory");
 }
@@ -56,10 +58,12 @@ bool fft3d::parseTraceCategories(const std::string &Text,
       Mask |= TraceCatFault;
     else if (Token == "xfer")
       Mask |= TraceCatXfer;
+    else if (Token == "fleet")
+      Mask |= TraceCatFleet;
     else {
       if (Error)
         *Error = "unknown trace category '" + Token +
-                 "' (expected mem, phase, serve, fault, xfer, all)";
+                 "' (expected mem, phase, serve, fault, xfer, fleet, all)";
       return false;
     }
     if (Comma == Text.size())

@@ -61,11 +61,14 @@ enum TraceCategory : std::uint32_t {
   /// Inter-stack transfers: cluster interconnect message spans and
   /// per-link queueing.
   TraceCatXfer = 1u << 4,
+  /// Fleet front-end lifecycle: route decisions, queue drains,
+  /// autoscaler actions, quota sheds, plan-cache misses.
+  TraceCatFleet = 1u << 5,
 };
 
 constexpr std::uint32_t TraceCatAll =
     TraceCatMem | TraceCatPhase | TraceCatServe | TraceCatFault |
-    TraceCatXfer;
+    TraceCatXfer | TraceCatFleet;
 
 /// Short lowercase name of one category ("mem", "phase", ...).
 const char *traceCategoryName(TraceCategory Cat);

@@ -58,6 +58,11 @@ bool HealthMonitor::stackOffline(unsigned Stack, Picos Now) const {
                      Cluster->stackPartitioned(Stack, Now));
 }
 
+std::uint64_t HealthMonitor::stackHealthEpoch(unsigned Stack,
+                                              Picos Now) const {
+  return Cluster ? Cluster->stackHealthEpoch(Stack, Now) : 0;
+}
+
 double HealthMonitor::throttleSlowdown(Picos Now) const {
   if (!Injector)
     return 1.0;

@@ -20,6 +20,7 @@
 #ifndef FFT3D_SERVE_HEALTHMONITOR_H
 #define FFT3D_SERVE_HEALTHMONITOR_H
 
+#include "cluster/StackDispatch.h"
 #include "fault/FaultInjector.h"
 #include "obs/Metrics.h"
 
@@ -58,8 +59,10 @@ struct BrownoutPolicy {
 
 class ClusterFaultInjector;
 
-/// Health oracle for one serving run.
-class HealthMonitor {
+/// Health oracle for one serving run. Doubles as the cluster layer's
+/// StackHealthSource so a fleet front-end's dispatch endpoints can feed
+/// directly off the same fault timelines the memory model uses.
+class HealthMonitor : public StackHealthSource {
 public:
   /// \p Spec may be null (always healthy); \p NumVaults is the device's
   /// vault count. The serving fleet has \p NumStacks stacks: with more
@@ -70,7 +73,7 @@ public:
   HealthMonitor(std::shared_ptr<const FaultSpec> Spec, unsigned NumVaults,
                 unsigned NumStacks = 1);
 
-  ~HealthMonitor();
+  ~HealthMonitor() override;
 
   /// True when a non-empty fault spec is attached.
   bool active() const { return Injector != nullptr || Cluster != nullptr; }
@@ -85,6 +88,17 @@ public:
 
   /// True when \p Stack is dead or partitioned off at \p Now.
   bool stackOffline(unsigned Stack, Picos Now) const;
+
+  /// StackHealthSource: a stack the fleet router may dispatch to.
+  bool stackUsable(unsigned Stack, Picos Now) const override {
+    return !stackOffline(Stack, Now);
+  }
+
+  /// StackHealthSource: monotone per-stack health-transition counter
+  /// (0 without cluster faults). Plan-cache entries derived from the
+  /// stack's health are keyed by this epoch, so a stack_fail
+  /// automatically orphans every estimate planned for the old health.
+  std::uint64_t stackHealthEpoch(unsigned Stack, Picos Now) const override;
 
   /// Vaults the scheduler may grant at \p Now.
   unsigned healthyVaults(Picos Now) const;

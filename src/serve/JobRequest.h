@@ -56,6 +56,10 @@ struct JobRequest {
   /// Issuing client, for closed-loop workloads (0 for open-loop traces).
   std::uint64_t ClientId = 0;
 
+  /// Owning tenant, for fleet-level routing and quotas (0 = untenanted;
+  /// single-device serving ignores it).
+  std::uint64_t Tenant = 0;
+
   /// Dispatch attempt number (0 = first try). Bumped by the serving loop
   /// when a transient fault fails the job and it re-enters with backoff.
   unsigned Attempt = 0;

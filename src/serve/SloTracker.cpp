@@ -91,6 +91,7 @@ SloSummary SloTracker::summarize(Picos End) const {
       ++S.DegradedCompletions;
 
   if (S.Completed != 0) {
+    S.HasLatencyStats = true;
     const Picos Makespan = End > FirstArrival ? End - FirstArrival : 0;
     if (Makespan != 0)
       S.ThroughputJobsPerSec = static_cast<double>(S.Completed) /
@@ -121,10 +122,16 @@ void SloTracker::exportTo(MetricsRegistry &Registry,
   Registry.counter("serve.brownout_sheds", L).add(S.BrownoutSheds);
   Registry.counter("serve.degraded_completions", L)
       .add(S.DegradedCompletions);
-  Registry.gauge("serve.throughput_jobs_per_sec", L)
-      .set(S.ThroughputJobsPerSec);
-  Registry.gauge("serve.p50_latency_ms", L).set(S.P50LatencyMs);
-  Registry.gauge("serve.p99_latency_ms", L).set(S.P99LatencyMs);
+  // With zero completions the latency percentiles and throughput are
+  // placeholders, not measurements: omit the gauges entirely so a
+  // cold-start report has no "p99 = 0 ms" row for a dashboard (or an
+  // autoscaler reading the registry) to mistake for a real latency.
+  if (S.HasLatencyStats) {
+    Registry.gauge("serve.throughput_jobs_per_sec", L)
+        .set(S.ThroughputJobsPerSec);
+    Registry.gauge("serve.p50_latency_ms", L).set(S.P50LatencyMs);
+    Registry.gauge("serve.p99_latency_ms", L).set(S.P99LatencyMs);
+  }
   Registry.gauge("serve.deadline_miss_rate", L).set(S.DeadlineMissRate);
   Registry.gauge("serve.shed_rate", L).set(S.ShedRate);
   MetricHistogram &Hist =

@@ -58,6 +58,11 @@ struct SloSummary {
   std::uint64_t Offered = 0;
   std::uint64_t Completed = 0;
   std::uint64_t Shed = 0;
+  /// False when no job completed: the latency/throughput fields below
+  /// are then meaningless placeholders (0.0), NOT measurements. Anything
+  /// consuming a summary as a control signal (autoscalers, brownout)
+  /// must check this instead of reading "p99 = 0 ms" off a cold start.
+  bool HasLatencyStats = false;
   /// Completed jobs per second over the run's makespan.
   double ThroughputJobsPerSec = 0.0;
   double P50LatencyMs = 0.0;

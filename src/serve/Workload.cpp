@@ -8,7 +8,10 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
 
 using namespace fft3d;
 
@@ -76,23 +79,176 @@ JobRequest instantiate(const JobTemplate &T, std::uint64_t Id, Picos Arrival,
 
 } // namespace
 
+PoissonArrivalStream::PoissonArrivalStream(std::vector<JobTemplate> Mix,
+                                           std::uint64_t NumJobs,
+                                           double RatePerSec,
+                                           std::uint64_t Seed,
+                                           const ServiceModel &Model,
+                                           unsigned NumTenants)
+    : Mix(std::move(Mix)), NumJobs(NumJobs),
+      MeanGapPicos(static_cast<double>(PicosPerSecond) / RatePerSec),
+      Seed(Seed), Model(Model), NumTenants(NumTenants), Random(Seed) {
+  if (RatePerSec <= 0.0)
+    reportFatalError("arrival rate must be positive");
+}
+
+void PoissonArrivalStream::reset() {
+  Random = Rng(Seed);
+  Now = 0;
+  Produced = 0;
+}
+
+bool PoissonArrivalStream::next(JobRequest &Job) {
+  if (Produced >= NumJobs)
+    return false;
+  // Draw order is part of the format: gap, then template, then (only in
+  // tenanted streams) tenant. generatePoissonTrace's byte-identity with
+  // historical traces depends on it.
+  Now += exponential(Random, MeanGapPicos);
+  const JobTemplate &T = drawTemplate(Mix, Random);
+  Job = instantiate(T, ++Produced, Now, Model);
+  if (NumTenants > 0)
+    Job.Tenant = 1 + Random.nextBelow(NumTenants);
+  return true;
+}
+
 std::vector<JobRequest>
 fft3d::generatePoissonTrace(const std::vector<JobTemplate> &Mix,
                             unsigned NumJobs, double RatePerSec,
                             std::uint64_t Seed, const ServiceModel &Model) {
-  if (RatePerSec <= 0.0)
-    reportFatalError("arrival rate must be positive");
-  Rng Random(Seed);
-  const double MeanGapPicos =
-      static_cast<double>(PicosPerSecond) / RatePerSec;
+  PoissonArrivalStream Stream(Mix, NumJobs, RatePerSec, Seed, Model);
   std::vector<JobRequest> Trace;
   Trace.reserve(NumJobs);
-  Picos Now = 0;
-  for (unsigned I = 0; I != NumJobs; ++I) {
-    Now += exponential(Random, MeanGapPicos);
-    Trace.push_back(instantiate(drawTemplate(Mix, Random), I + 1, Now, Model));
-  }
+  JobRequest Job;
+  while (Stream.next(Job))
+    Trace.push_back(Job);
   return Trace;
+}
+
+namespace {
+
+bool traceFail(std::string *Error, std::uint64_t LineNo,
+               const std::string &Msg) {
+  if (Error)
+    *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+bool traceParseU64(const std::string &Token, std::uint64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Token.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0' && End != Token.c_str();
+}
+
+bool traceParseMillis(const std::string &Token, Picos &Out) {
+  errno = 0;
+  char *End = nullptr;
+  const double Ms = std::strtod(Token.c_str(), &End);
+  if (errno != 0 || !End || *End != '\0' || End == Token.c_str() || Ms < 0.0)
+    return false;
+  Out = static_cast<Picos>(Ms * static_cast<double>(PicosPerMilli) + 0.5);
+  return true;
+}
+
+} // namespace
+
+bool fft3d::parseJobTrace(const std::string &Text,
+                          std::vector<JobRequest> &Out, std::string *Error) {
+  std::vector<JobRequest> Jobs;
+  std::istringstream Input(Text);
+  std::string Raw;
+  std::uint64_t LineNo = 0;
+  Picos LastArrival = 0;
+  while (std::getline(Input, Raw)) {
+    ++LineNo;
+    const std::size_t Hash = Raw.find('#');
+    if (Hash != std::string::npos)
+      Raw.resize(Hash);
+    std::istringstream Words(Raw);
+    std::vector<std::string> Tokens;
+    for (std::string W; Words >> W;)
+      Tokens.push_back(W);
+    if (Tokens.empty())
+      continue;
+    if (Tokens[0] != "job")
+      return traceFail(Error, LineNo,
+                       "expected 'job', got '" + Tokens[0] + "'");
+
+    JobRequest Job;
+    Job.Id = Jobs.size() + 1;
+    bool HaveArrival = false, HaveN = false;
+    std::size_t I = 1;
+    while (I < Tokens.size()) {
+      const std::string &Key = Tokens[I];
+      if (Key == "fp16") {
+        Job.Precision = JobPrecision::Fp16;
+        ++I;
+        continue;
+      }
+      if (I + 1 >= Tokens.size())
+        return traceFail(Error, LineNo,
+                         "'" + Key + "' is missing its value");
+      const std::string &Value = Tokens[I + 1];
+      I += 2;
+      if (Key == "at") {
+        if (!traceParseMillis(Value, Job.Arrival))
+          return traceFail(Error, LineNo,
+                           "expected: at <ms>, got 'at " + Value + "'");
+        HaveArrival = true;
+      } else if (Key == "n") {
+        if (!traceParseU64(Value, Job.N) || Job.N < 2 ||
+            (Job.N & (Job.N - 1)) != 0)
+          return traceFail(Error, LineNo,
+                           "n must be a power of two >= 2, got '" + Value +
+                               "'");
+        HaveN = true;
+      } else if (Key == "frames") {
+        std::uint64_t Frames = 0;
+        if (!traceParseU64(Value, Frames) || Frames == 0)
+          return traceFail(Error, LineNo,
+                           "frames must be a positive integer, got '" +
+                               Value + "'");
+        Job.Frames = static_cast<unsigned>(Frames);
+      } else if (Key == "prio") {
+        std::uint64_t Prio = 0;
+        if (!traceParseU64(Value, Prio))
+          return traceFail(Error, LineNo,
+                           "prio must be a non-negative integer, got '" +
+                               Value + "'");
+        Job.Priority = static_cast<unsigned>(Prio);
+      } else if (Key == "deadline") {
+        if (!traceParseMillis(Value, Job.Deadline))
+          return traceFail(Error, LineNo,
+                           "expected: deadline <ms>, got 'deadline " +
+                               Value + "'");
+      } else if (Key == "tenant") {
+        if (!traceParseU64(Value, Job.Tenant))
+          return traceFail(Error, LineNo,
+                           "tenant must be a non-negative integer, got '" +
+                               Value + "'");
+      } else {
+        return traceFail(Error, LineNo,
+                         "unknown job attribute '" + Key +
+                             "' (expected at, n, frames, fp16, prio, "
+                             "deadline, tenant)");
+      }
+    }
+    if (!HaveArrival)
+      return traceFail(Error, LineNo, "job needs an 'at <ms>' arrival");
+    if (!HaveN)
+      return traceFail(Error, LineNo, "job needs an 'n <size>'");
+    if (Job.Arrival < LastArrival)
+      return traceFail(Error, LineNo,
+                       "arrival goes backwards (trace must be sorted)");
+    if (Job.hasDeadline() && Job.Deadline <= Job.Arrival)
+      return traceFail(Error, LineNo,
+                       "deadline must be after the arrival");
+    LastArrival = Job.Arrival;
+    Jobs.push_back(Job);
+  }
+  Out = std::move(Jobs);
+  return true;
 }
 
 ClosedLoopWorkload::ClosedLoopWorkload(std::vector<JobTemplate> Mix,

@@ -32,6 +32,7 @@
 #include "support/Random.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fft3d {
@@ -54,6 +55,54 @@ struct JobTemplate {
 /// single-frame 2048^2 requests alongside heavyweight 4096^2 batches.
 std::vector<JobTemplate> mixedWorkloadTemplates();
 
+/// Pull-based arrival source: the fleet simulator draws one arrival at a
+/// time, so a 10^6-job open-loop run never materializes the whole trace
+/// (memory stays flat in the run length).
+class ArrivalStream {
+public:
+  virtual ~ArrivalStream() = default;
+
+  /// Restores the initial state so the same object replays the identical
+  /// stream.
+  virtual void reset() = 0;
+
+  /// Produces the next arrival into \p Job; false when exhausted.
+  /// Arrivals come out in non-decreasing arrival-time order.
+  virtual bool next(JobRequest &Job) = 0;
+};
+
+/// Streaming Poisson process over a weighted template mix: exponential
+/// inter-arrival gaps at \p RatePerSec offered jobs per second, one
+/// (gap, template[, tenant]) draw sequence per job off a single seeded
+/// Rng. generatePoissonTrace() is this stream drained into a vector, so
+/// streamed and materialized runs see byte-identical jobs.
+class PoissonArrivalStream final : public ArrivalStream {
+public:
+  /// With \p NumTenants > 0 every job additionally draws a uniform
+  /// tenant id in [1, NumTenants]; 0 leaves jobs untenanted and keeps
+  /// the draw sequence of the pre-tenant trace format.
+  PoissonArrivalStream(std::vector<JobTemplate> Mix, std::uint64_t NumJobs,
+                       double RatePerSec, std::uint64_t Seed,
+                       const ServiceModel &Model, unsigned NumTenants = 0);
+
+  void reset() override;
+  bool next(JobRequest &Job) override;
+
+  std::uint64_t totalJobs() const { return NumJobs; }
+  std::uint64_t produced() const { return Produced; }
+
+private:
+  std::vector<JobTemplate> Mix;
+  std::uint64_t NumJobs;
+  double MeanGapPicos;
+  std::uint64_t Seed;
+  const ServiceModel &Model;
+  unsigned NumTenants;
+  Rng Random;
+  Picos Now = 0;
+  std::uint64_t Produced = 0;
+};
+
 /// Draws \p NumJobs jobs from \p Mix with Poisson (exponential
 /// inter-arrival) timing at \p RatePerSec offered jobs per second.
 /// Deadlines are assigned from \p Model 's full-machine estimates. Ids
@@ -63,6 +112,19 @@ std::vector<JobRequest> generatePoissonTrace(const std::vector<JobTemplate> &Mix
                                              double RatePerSec,
                                              std::uint64_t Seed,
                                              const ServiceModel &Model);
+
+/// Parses a line-oriented job-trace text into \p Out (ids assigned 1..
+/// in line order). Grammar, one job per line, '#' starts a comment:
+///
+///   job at <ms> n <N> [frames <F>] [fp16] [prio <P>] [deadline <ms>]
+///       [tenant <T>]
+///
+/// Arrivals must be non-decreasing, <N> a power of two, a deadline (an
+/// absolute time) after the arrival. Returns false and a line-numbered
+/// message in \p Error on the first malformed line; \p Out is then left
+/// unchanged.
+bool parseJobTrace(const std::string &Text, std::vector<JobRequest> &Out,
+                   std::string *Error = nullptr);
 
 /// Interface the simulator pulls arrivals through.
 class Workload {

@@ -1,0 +1,93 @@
+//===- serve/fleet/Autoscaler.cpp - p99-driven stack scaling --------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/fleet/Autoscaler.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace fft3d;
+
+Autoscaler::Autoscaler(const AutoscalePolicy &Policy) : Policy(Policy) {
+  if (!Policy.Enabled)
+    return;
+  if (Policy.TargetP99Ms <= 0.0)
+    reportFatalError("autoscaler needs a positive p99 target");
+  if (Policy.WindowSize == 0 || Policy.MinSamples == 0 ||
+      Policy.MinSamples > Policy.WindowSize)
+    reportFatalError("autoscaler window must hold MinSamples samples");
+  if (Policy.ShrinkFraction <= 0.0 || Policy.ShrinkFraction >= 1.0)
+    reportFatalError("autoscaler shrink fraction must be in (0, 1)");
+  if (Policy.EvalPeriod == 0)
+    reportFatalError("autoscaler needs a positive evaluation period");
+  Window.resize(Policy.WindowSize, 0.0);
+}
+
+void Autoscaler::recordLatency(double Ms) {
+  if (!Policy.Enabled)
+    return;
+  Window[NextSlot] = Ms;
+  NextSlot = (NextSlot + 1) % Window.size();
+  Filled = std::min(Filled + 1, Window.size());
+}
+
+std::optional<double> Autoscaler::windowedP99() const {
+  if (!Policy.Enabled || Filled < Policy.MinSamples)
+    return std::nullopt;
+  std::vector<double> Sorted(Window.begin(),
+                             Window.begin() +
+                                 static_cast<std::ptrdiff_t>(Filled));
+  std::sort(Sorted.begin(), Sorted.end());
+  const auto Rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(Filled)));
+  return Sorted[std::max<std::size_t>(Rank, 1) - 1];
+}
+
+ScaleDecision Autoscaler::evaluate(Picos Now, unsigned ActiveStacks,
+                                   unsigned TotalStacks) {
+  if (!Policy.Enabled)
+    return ScaleDecision::Hold;
+  if (ActedOnce && Now < LastAction + Policy.Cooldown)
+    return ScaleDecision::Hold;
+  const std::optional<double> P99 = windowedP99();
+  if (!P99) {
+    // No signal (cold start, just drained): hold, and forget part-built
+    // streaks so stale breaches don't fire on the first fresh sample.
+    GrowBreaches = 0;
+    ShrinkBreaches = 0;
+    return ScaleDecision::Hold;
+  }
+  if (*P99 > Policy.TargetP99Ms) {
+    ShrinkBreaches = 0;
+    if (++GrowBreaches >= Policy.GrowStreak && ActiveStacks < TotalStacks) {
+      ++GrowDecisions;
+      return ScaleDecision::Grow;
+    }
+    return ScaleDecision::Hold;
+  }
+  GrowBreaches = 0;
+  if (*P99 < Policy.ShrinkFraction * Policy.TargetP99Ms) {
+    if (++ShrinkBreaches >= Policy.ShrinkStreak &&
+        ActiveStacks > Policy.MinStacks) {
+      ++ShrinkDecisions;
+      return ScaleDecision::Shrink;
+    }
+    return ScaleDecision::Hold;
+  }
+  // Dead band between the thresholds: load is near target, leave the
+  // fleet alone.
+  ShrinkBreaches = 0;
+  return ScaleDecision::Hold;
+}
+
+void Autoscaler::actionTaken(Picos Now) {
+  LastAction = Now;
+  ActedOnce = true;
+  GrowBreaches = 0;
+  ShrinkBreaches = 0;
+}

@@ -1,0 +1,105 @@
+//===- serve/fleet/Autoscaler.h - p99-driven stack scaling ------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grows and shrinks the fleet's active stack set on tail latency. The
+/// control law, evaluated every EvalPeriod of simulated time:
+///
+///   windowed p99 > TargetP99  for GrowStreak consecutive evaluations
+///     -> activate one stack (if any is inactive), start Cooldown;
+///   windowed p99 < ShrinkFraction * TargetP99 for ShrinkStreak
+///     consecutive evaluations
+///     -> deactivate one stack (down to MinStacks), start Cooldown.
+///
+/// Three guards keep the loop from flapping on a square-wave load:
+/// consecutive-breach streaks (one noisy window can't trigger), the
+/// cooldown (a fresh action must take effect before the next one), and -
+/// critically - the windowed p99 is an optional that is EMPTY below
+/// MinSamples. A cold start or a just-drained fleet reports "no signal",
+/// and no signal means hold, never "p99 = 0 so shrink everything" (the
+/// failure mode the SloTracker empty-window fix closes for reports,
+/// closed here for control).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_FLEET_AUTOSCALER_H
+#define FFT3D_SERVE_FLEET_AUTOSCALER_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fft3d {
+
+/// Autoscaler configuration.
+struct AutoscalePolicy {
+  bool Enabled = false;
+  /// Tail-latency target the fleet scales to hold, milliseconds.
+  double TargetP99Ms = 0.0;
+  /// Never deactivate below this many stacks.
+  unsigned MinStacks = 1;
+  /// Time between control evaluations.
+  Picos EvalPeriod = 20 * PicosPerMilli;
+  /// Minimum time between two scaling actions.
+  Picos Cooldown = 100 * PicosPerMilli;
+  /// Consecutive breached evaluations before growing / shrinking.
+  unsigned GrowStreak = 2;
+  unsigned ShrinkStreak = 4;
+  /// Shrink only when p99 < ShrinkFraction * TargetP99Ms (the dead band
+  /// between the two thresholds absorbs load that hovers at the target).
+  double ShrinkFraction = 0.5;
+  /// Completion-latency ring capacity and the minimum fill before the
+  /// windowed p99 is considered a signal at all.
+  std::size_t WindowSize = 256;
+  std::size_t MinSamples = 32;
+};
+
+/// The scaling decision of one evaluation.
+enum class ScaleDecision { Hold, Grow, Shrink };
+
+/// Latency-window bookkeeping plus the hysteresis state machine.
+class Autoscaler {
+public:
+  explicit Autoscaler(const AutoscalePolicy &Policy);
+
+  /// Feeds one completion's end-to-end latency.
+  void recordLatency(double Ms);
+
+  /// Nearest-rank p99 over the retained window; empty below MinSamples.
+  std::optional<double> windowedP99() const;
+
+  /// One control evaluation at \p Now with \p ActiveStacks of
+  /// \p TotalStacks active. Pure decision - the caller applies it (and
+  /// may not be able to, e.g. grow with nothing inactive).
+  ScaleDecision evaluate(Picos Now, unsigned ActiveStacks,
+                         unsigned TotalStacks);
+
+  /// The caller applied a decision at \p Now; starts the cooldown and
+  /// resets the streaks.
+  void actionTaken(Picos Now);
+
+  std::uint64_t growDecisions() const { return GrowDecisions; }
+  std::uint64_t shrinkDecisions() const { return ShrinkDecisions; }
+
+private:
+  AutoscalePolicy Policy;
+  /// Latency ring (unordered; copied and sorted per p99 query).
+  std::vector<double> Window;
+  std::size_t NextSlot = 0;
+  std::size_t Filled = 0;
+  unsigned GrowBreaches = 0;
+  unsigned ShrinkBreaches = 0;
+  Picos LastAction = 0;
+  bool ActedOnce = false;
+  std::uint64_t GrowDecisions = 0;
+  std::uint64_t ShrinkDecisions = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_FLEET_AUTOSCALER_H

@@ -1,0 +1,130 @@
+//===- serve/fleet/FleetRouter.cpp - Front-end routing policies -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/fleet/FleetRouter.h"
+
+#include "fault/FaultHash.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+const char *fft3d::routePolicyName(RoutePolicy Policy) {
+  switch (Policy) {
+  case RoutePolicy::Hash:
+    return "hash";
+  case RoutePolicy::LeastLoaded:
+    return "least-loaded";
+  case RoutePolicy::Affinity:
+    return "affinity";
+  }
+  fft3d_unreachable("unknown RoutePolicy");
+}
+
+bool fft3d::parseRoutePolicy(const std::string &Text, RoutePolicy &Policy,
+                             std::string *Error) {
+  if (Text == "hash")
+    Policy = RoutePolicy::Hash;
+  else if (Text == "least-loaded")
+    Policy = RoutePolicy::LeastLoaded;
+  else if (Text == "affinity")
+    Policy = RoutePolicy::Affinity;
+  else {
+    if (Error)
+      *Error = "unknown router policy '" + Text +
+               "' (expected hash, least-loaded, affinity)";
+    return false;
+  }
+  return true;
+}
+
+FleetRouter::FleetRouter(RoutePolicy Policy, unsigned NumStacks,
+                         unsigned VirtualNodes, std::uint64_t Seed)
+    : Policy(Policy) {
+  if (NumStacks == 0)
+    reportFatalError("fleet router needs at least one stack");
+  if (VirtualNodes == 0)
+    reportFatalError("hash ring needs at least one virtual node per stack");
+  Ring.reserve(static_cast<std::size_t>(NumStacks) * VirtualNodes);
+  for (unsigned S = 0; S != NumStacks; ++S)
+    for (unsigned V = 0; V != VirtualNodes; ++V)
+      Ring.emplace_back(
+          fault_hash::mix64(Seed ^ fault_hash::mix64(
+                                       (static_cast<std::uint64_t>(S) << 32) |
+                                       V)),
+          S);
+  // Sorting by (position, stack) makes the walk order deterministic even
+  // in the astronomically unlikely event of a position collision.
+  std::sort(Ring.begin(), Ring.end());
+}
+
+unsigned FleetRouter::hashStack(std::uint64_t Key,
+                                const StackDispatchSet &Set) const {
+  const std::uint64_t Point = fault_hash::mix64(Key);
+  // Clockwise walk from the first node at or after the key's point; the
+  // membership-change guarantee comes from skipping (not re-hashing
+  // around) unroutable stacks.
+  const auto Start = std::lower_bound(
+      Ring.begin(), Ring.end(),
+      std::make_pair(Point, 0u),
+      [](const auto &A, const auto &B) { return A.first < B.first; });
+  const std::size_t Begin =
+      static_cast<std::size_t>(Start - Ring.begin());
+  for (std::size_t I = 0; I != Ring.size(); ++I) {
+    const unsigned Stack = Ring[(Begin + I) % Ring.size()].second;
+    if (Set.endpoint(Stack).routable())
+      return Stack;
+  }
+  return NoStack;
+}
+
+unsigned FleetRouter::leastLoaded(const StackDispatchSet &Set) const {
+  unsigned Best = NoStack;
+  for (const StackEndpoint &E : Set.endpoints()) {
+    if (!E.routable())
+      continue;
+    if (Best == NoStack || E.Backlog < Set.endpoint(Best).Backlog)
+      Best = E.Stack;
+  }
+  return Best;
+}
+
+unsigned FleetRouter::route(const JobRequest &Job,
+                            const StackDispatchSet &Set) {
+  switch (Policy) {
+  case RoutePolicy::Hash: {
+    // Untenanted jobs spread by id so a tenant-free trace still
+    // balances; tenanted jobs stick to their tenant's arc.
+    const std::uint64_t Key =
+        Job.Tenant != 0 ? Job.Tenant : 0x8000000000000000ULL ^ Job.Id;
+    return hashStack(Key, Set);
+  }
+  case RoutePolicy::LeastLoaded:
+    return leastLoaded(Set);
+  case RoutePolicy::Affinity: {
+    const std::pair<std::uint64_t, unsigned> Shape(
+        Job.N, static_cast<unsigned>(Job.Precision));
+    const auto It = Affinity.find(Shape);
+    if (It != Affinity.end() && Set.endpoint(It->second).routable())
+      return It->second;
+    const unsigned Fallback = leastLoaded(Set);
+    if (Fallback != NoStack)
+      Affinity[Shape] = Fallback;
+    return Fallback;
+  }
+  }
+  fft3d_unreachable("unknown RoutePolicy");
+}
+
+void FleetRouter::dropStackAffinity(unsigned Stack) {
+  for (auto It = Affinity.begin(); It != Affinity.end();) {
+    if (It->second == Stack)
+      It = Affinity.erase(It);
+    else
+      ++It;
+  }
+}

@@ -1,0 +1,92 @@
+//===- serve/fleet/FleetRouter.h - Front-end routing policies ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routes arriving jobs to stacks. Three pluggable policies:
+///
+///  - hash: consistent hashing by tenant over a static ring of V virtual
+///    nodes per stack. A tenant's jobs land on one stack (cache and
+///    state locality); when a stack joins or leaves the routable set
+///    only ~K/S of the keys move, because the ring walk just skips dead
+///    nodes instead of re-dealing every key;
+///  - least-loaded: the routable stack with the smallest outstanding
+///    backlog (estimated queued + running work), lowest index on ties -
+///    the latency-greedy baseline;
+///  - affinity: repeats of the same job shape (N, precision) return to
+///    the stack that last planned that shape, so its cached plan is
+///    guaranteed warm; first-seen shapes fall back to least-loaded.
+///    Affinity to a stack that leaves the routable set is dropped and
+///    re-learned from the next fallback.
+///
+/// Routing is deterministic: a pure function of (policy, seed, the job,
+/// the endpoint set's current state). The router never inspects wall
+/// clocks or RNG state of its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_FLEET_FLEETROUTER_H
+#define FFT3D_SERVE_FLEET_FLEETROUTER_H
+
+#include "cluster/StackDispatch.h"
+#include "serve/JobRequest.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// Front-end routing policy.
+enum class RoutePolicy { Hash, LeastLoaded, Affinity };
+
+const char *routePolicyName(RoutePolicy Policy);
+
+/// Parses "hash" / "least-loaded" / "affinity". Returns false (and sets
+/// \p Error) on anything else.
+bool parseRoutePolicy(const std::string &Text, RoutePolicy &Policy,
+                      std::string *Error = nullptr);
+
+/// Stateless-per-decision job router over a StackDispatchSet.
+class FleetRouter {
+public:
+  /// Returned when no stack is routable.
+  static constexpr unsigned NoStack = ~0u;
+
+  /// The hash ring gets \p VirtualNodes nodes per stack, positioned by
+  /// a splitmix64 hash salted with \p Seed (so tests can exercise
+  /// different ring layouts).
+  FleetRouter(RoutePolicy Policy, unsigned NumStacks,
+              unsigned VirtualNodes = 64, std::uint64_t Seed = 0);
+
+  /// Picks a routable stack for \p Job, or NoStack when the set has
+  /// none. Affinity mode records the decision for the job's shape.
+  unsigned route(const JobRequest &Job, const StackDispatchSet &Set);
+
+  /// Forgets shape affinities pinned to \p Stack (stack left the
+  /// routable set); hash and least-loaded keep no per-stack state.
+  void dropStackAffinity(unsigned Stack);
+
+  RoutePolicy policy() const { return Policy; }
+  const char *policyName() const { return routePolicyName(Policy); }
+
+  /// The consistent-hash stack for \p Key (ignores load, honours
+  /// routability). Exposed for the ring-stability property tests.
+  unsigned hashStack(std::uint64_t Key, const StackDispatchSet &Set) const;
+
+private:
+  unsigned leastLoaded(const StackDispatchSet &Set) const;
+
+  RoutePolicy Policy;
+  /// Ring positions (sorted ascending) and the stack owning each.
+  std::vector<std::pair<std::uint64_t, unsigned>> Ring;
+  /// Affinity memory: job shape -> last stack that planned it.
+  std::map<std::pair<std::uint64_t, unsigned>, unsigned> Affinity;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_FLEET_FLEETROUTER_H

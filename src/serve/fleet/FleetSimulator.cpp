@@ -1,0 +1,429 @@
+//===- serve/fleet/FleetSimulator.cpp - Fleet serving front-end -----------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/fleet/FleetSimulator.h"
+
+#include "sim/EventQueue.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+using namespace fft3d;
+
+FleetSimulator::FleetSimulator(const FleetConfig &Config,
+                               const ServiceModel &Model)
+    : Config(Config), Model(Model) {
+  if (Config.NumStacks == 0)
+    reportFatalError("a fleet needs at least one stack");
+  if (Config.QueueCapacity == 0)
+    reportFatalError("fleet stack queues need capacity >= 1");
+}
+
+namespace {
+
+/// Mutable state of one fleet run, shared by the event callbacks.
+struct FleetState {
+  EventQueue Events;
+  StackDispatchSet Set;
+  FleetRouter Router;
+  SharedPlanCache Cache;
+  TenantQuota Quota;
+  BrownoutLadder Ladder;
+  Autoscaler Scaler;
+  std::vector<std::deque<JobRequest>> Queues;
+
+  // Aggregate accounting (histograms, not per-job records: memory must
+  // stay flat at 10^6 jobs).
+  MetricHistogram LatencyMs{1.0, 512};
+  MetricHistogram QueueMs{1.0, 512};
+  double ServiceSumMs = 0.0;
+  std::uint64_t Offered = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t ShedQuota = 0;
+  std::uint64_t ShedBrownout = 0;
+  std::uint64_t ShedQueueFull = 0;
+  std::uint64_t ShedNoStack = 0;
+  std::uint64_t Drained = 0;
+  std::uint64_t WithDeadline = 0;
+  std::uint64_t MissedDeadline = 0;
+  std::uint64_t DegradedCompletions = 0;
+  std::uint64_t Outstanding = 0;
+  std::uint64_t PeakOutstanding = 0;
+  std::uint64_t ScaleUps = 0;
+  std::uint64_t ScaleDowns = 0;
+  Picos FirstArrival = 0;
+  bool SawArrival = false;
+  Picos LastCompletion = 0;
+  bool ArrivalsDone = false;
+
+  FleetState(const FleetConfig &C)
+      : Set(C.NumStacks),
+        Router(C.Router, C.NumStacks, C.VirtualNodes, C.RingSeed),
+        Cache(C.CacheMode, C.CacheBytes, C.PlanLatency), Quota(C.Quota),
+        Ladder(C.Brownout), Scaler(C.Autoscale), Queues(C.NumStacks) {}
+
+  unsigned activeStacks() const {
+    unsigned Count = 0;
+    for (const StackEndpoint &E : Set.endpoints())
+      Count += E.Active ? 1 : 0;
+    return Count;
+  }
+};
+
+double toMillis(Picos Duration) {
+  return static_cast<double>(Duration) / static_cast<double>(PicosPerMilli);
+}
+
+} // namespace
+
+FleetResult FleetSimulator::run(ArrivalStream &Arrivals) {
+  Arrivals.reset();
+  FleetState State(Config);
+  const unsigned TotalVaults = Model.totalVaults();
+  Tracer *Trace = Config.Trace;
+  const std::uint32_t Pid = Config.TracePid;
+  if (Trace)
+    Trace->setProcessName(Pid, std::string("fleet ") +
+                                   routePolicyName(Config.Router));
+  const HealthMonitor *Health =
+      Config.Health && Config.Health->active() ? Config.Health.get()
+                                               : nullptr;
+
+  std::function<void(unsigned)> TryDispatch;
+  std::function<void(JobRequest)> Arrive;
+  std::function<void()> ScheduleNextArrival;
+
+  auto FullEst = [&](const JobRequest &Job) {
+    return Model.fullMachineServiceTime(Job);
+  };
+
+  auto Shed = [&](const JobRequest &Job, std::uint64_t &Counter,
+                  const char *Why) {
+    ++Counter;
+    if (Job.hasDeadline()) {
+      ++State.WithDeadline;
+      ++State.MissedDeadline;
+    }
+    if (Trace && Trace->wants(TraceCatFleet))
+      Trace->instant(TraceCatFleet, Why, Pid,
+                     static_cast<std::uint32_t>(Job.Tenant),
+                     State.Events.now(), "job", Job.Id);
+  };
+
+  /// Routes \p Job to a stack queue; sheds when nothing is routable or
+  /// the target queue is full. Shared by fresh arrivals and drains.
+  auto RouteIn = [&](const JobRequest &Job) {
+    const unsigned S = State.Router.route(Job, State.Set);
+    if (S == FleetRouter::NoStack) {
+      Shed(Job, State.ShedNoStack, "shed_no_stack");
+      return;
+    }
+    if (State.Queues[S].size() >= Config.QueueCapacity) {
+      Shed(Job, State.ShedQueueFull, "shed_queue_full");
+      return;
+    }
+    StackEndpoint &E = State.Set.endpoint(S);
+    State.Queues[S].push_back(Job);
+    ++E.QueueDepth;
+    ++E.RoutedJobs;
+    E.Backlog += FullEst(Job);
+    ++State.Outstanding;
+    State.PeakOutstanding =
+        std::max(State.PeakOutstanding, State.Outstanding);
+    if (Trace && Trace->wants(TraceCatFleet))
+      Trace->instant(TraceCatFleet, "route", Pid, S, State.Events.now(),
+                     "job", Job.Id, "stack", S);
+    TryDispatch(S);
+  };
+
+  /// Pulls every queued job off \p S (failed or deactivated) and
+  /// re-routes it; the endpoint must already be un-routable so the
+  /// router picks survivors.
+  auto DrainStack = [&](unsigned S) {
+    StackEndpoint &E = State.Set.endpoint(S);
+    while (!State.Queues[S].empty()) {
+      const JobRequest Job = State.Queues[S].front();
+      State.Queues[S].pop_front();
+      --E.QueueDepth;
+      ++E.DrainedJobs;
+      E.Backlog -= FullEst(Job);
+      --State.Outstanding;
+      ++State.Drained;
+      if (Trace && Trace->wants(TraceCatFleet))
+        Trace->instant(TraceCatFleet, "drain", Pid, S, State.Events.now(),
+                       "job", Job.Id, "stack", S);
+      RouteIn(Job);
+    }
+  };
+
+  /// Re-reads stack health and handles the edges: a stack that left the
+  /// routable set drains to the survivors and loses its cache entries
+  /// and affinities exactly once per transition.
+  auto RefreshHealth = [&] {
+    const StackHealthDelta Delta =
+        State.Set.refreshHealth(Health, State.Events.now());
+    for (const unsigned S : Delta.WentOffline) {
+      State.Cache.invalidateStack(S);
+      State.Router.dropStackAffinity(S);
+      if (Trace && Trace->wants(TraceCatFleet))
+        Trace->instant(TraceCatFleet, "stack_offline", Pid, S,
+                       State.Events.now(), "stack", S);
+      DrainStack(S);
+    }
+    for (const unsigned S : Delta.CameOnline)
+      if (Trace && Trace->wants(TraceCatFleet))
+        Trace->instant(TraceCatFleet, "stack_online", Pid, S,
+                       State.Events.now(), "stack", S);
+  };
+
+  TryDispatch = [&](unsigned S) {
+    StackEndpoint &E = State.Set.endpoint(S);
+    if (E.Running != 0 || State.Queues[S].empty() || !E.Online)
+      return;
+    const JobRequest Job = State.Queues[S].front();
+    State.Queues[S].pop_front();
+    --E.QueueDepth;
+    const Picos Now = State.Events.now();
+    Picos Service = Model.serviceTime(Job, TotalVaults);
+    bool Degraded = false;
+    if (Health) {
+      // Fleet-wide thermal throttle stretches service; stack losses are
+      // NOT priced in here - the router already moved the load.
+      const double Slow = Health->throttleSlowdown(Now);
+      if (Slow > 1.0) {
+        Service =
+            static_cast<Picos>(static_cast<double>(Service) * Slow + 0.5);
+        Degraded = true;
+      }
+    }
+    const Picos Penalty =
+        State.Cache.charge(Job.N, TotalVaults, S, E.HealthEpoch);
+    if (Penalty != 0 && Trace && Trace->wants(TraceCatFleet))
+      Trace->instant(TraceCatFleet, "plan_miss", Pid, S, Now, "job",
+                     Job.Id, "n", Job.N);
+    const Picos Complete = Now + std::max<Picos>(Penalty + Service, 1);
+    E.Running = 1;
+    if (Trace && Trace->wants(TraceCatFleet))
+      Trace->span(TraceCatFleet, "job", Pid, S, Now, Complete - Now, "job",
+                  Job.Id, "stack", S);
+    State.Events.scheduleAt(Complete, [&, Job, S, Now, Degraded] {
+      StackEndpoint &EC = State.Set.endpoint(S);
+      EC.Running = 0;
+      ++EC.CompletedJobs;
+      EC.Backlog -= FullEst(Job);
+      --State.Outstanding;
+      ++State.Completed;
+      const Picos Done = State.Events.now();
+      State.LastCompletion = Done;
+      const double LatMs = toMillis(Done - Job.Arrival);
+      State.LatencyMs.observe(LatMs);
+      State.QueueMs.observe(toMillis(Now - Job.Arrival));
+      State.ServiceSumMs += toMillis(Done - Now);
+      if (Degraded)
+        ++State.DegradedCompletions;
+      if (Job.hasDeadline()) {
+        ++State.WithDeadline;
+        const bool Missed = Done > Job.Deadline;
+        if (Missed)
+          ++State.MissedDeadline;
+        State.Ladder.recordOutcome(Missed);
+      }
+      State.Scaler.recordLatency(LatMs);
+      RefreshHealth();
+      TryDispatch(S);
+    });
+  };
+
+  Arrive = [&](JobRequest Job) {
+    const Picos Now = State.Events.now();
+    RefreshHealth();
+    ++State.Offered;
+    if (!State.SawArrival || Job.Arrival < State.FirstArrival) {
+      State.FirstArrival = Job.Arrival;
+      State.SawArrival = true;
+    }
+    if (!State.Quota.admit(Job.Tenant, Now)) {
+      Shed(Job, State.ShedQuota, "shed_quota");
+      return;
+    }
+    if (State.Ladder.sheds(Job.Priority)) {
+      Shed(Job, State.ShedBrownout, "shed_brownout");
+      return;
+    }
+    RouteIn(Job);
+  };
+
+  // Streaming arrivals: exactly one pending arrival event at a time, so
+  // a 10^6-job stream never materializes.
+  ScheduleNextArrival = [&] {
+    JobRequest Next;
+    if (!Arrivals.next(Next)) {
+      State.ArrivalsDone = true;
+      return;
+    }
+    State.Events.scheduleAt(Next.Arrival, [&, Next] {
+      Arrive(Next);
+      ScheduleNextArrival();
+    });
+  };
+
+  // Periodic autoscaler evaluation; stops rescheduling once the stream
+  // is exhausted and the fleet has drained, so the event queue can end.
+  std::function<void()> ScaleTick = [&] {
+    if (State.ArrivalsDone && State.Outstanding == 0)
+      return;
+    const Picos Now = State.Events.now();
+    RefreshHealth();
+    const ScaleDecision Decision = State.Scaler.evaluate(
+        Now, State.activeStacks(), Config.NumStacks);
+    if (Decision == ScaleDecision::Grow) {
+      // Lowest-index inactive (and healthy) stack joins the active set.
+      for (unsigned S = 0; S != Config.NumStacks; ++S) {
+        StackEndpoint &E = State.Set.endpoint(S);
+        if (E.Active || !E.Online)
+          continue;
+        E.Active = true;
+        State.Scaler.actionTaken(Now);
+        ++State.ScaleUps;
+        if (Trace && Trace->wants(TraceCatFleet))
+          Trace->instant(TraceCatFleet, "scale_up", Pid, S, Now, "stack",
+                         S);
+        break;
+      }
+    } else if (Decision == ScaleDecision::Shrink) {
+      // Highest-index active stack leaves and drains to the rest.
+      for (unsigned S = Config.NumStacks; S-- != 0;) {
+        StackEndpoint &E = State.Set.endpoint(S);
+        if (!E.Active)
+          continue;
+        E.Active = false;
+        State.Router.dropStackAffinity(S);
+        State.Scaler.actionTaken(Now);
+        ++State.ScaleDowns;
+        if (Trace && Trace->wants(TraceCatFleet))
+          Trace->instant(TraceCatFleet, "scale_down", Pid, S, Now,
+                         "stack", S);
+        DrainStack(S);
+        break;
+      }
+    }
+    State.Events.scheduleAt(Now + Config.Autoscale.EvalPeriod, ScaleTick);
+  };
+
+  // An autoscaled fleet starts at its floor and grows into the rest of
+  // the stacks on p99 pressure; without autoscaling every stack serves.
+  if (Config.Autoscale.Enabled)
+    for (unsigned S = Config.NumStacks;
+         S-- > std::max(1u, Config.Autoscale.MinStacks);)
+      State.Set.endpoint(S).Active = false;
+
+  ScheduleNextArrival();
+  if (Config.Autoscale.Enabled)
+    State.Events.scheduleAt(Config.Autoscale.EvalPeriod, ScaleTick);
+  State.Events.run();
+
+  if (State.Outstanding != 0)
+    reportFatalError("fleet run drained with work still outstanding");
+  for (unsigned S = 0; S != Config.NumStacks; ++S)
+    if (!State.Queues[S].empty() || State.Set.endpoint(S).Running != 0)
+      reportFatalError("fleet run left a stack with queued/running work");
+
+  FleetResult Result;
+  Result.RouterName = routePolicyName(Config.Router);
+  Result.CacheModeName = Config.CacheBytes == 0
+                             ? "none"
+                             : planCacheModeName(Config.CacheMode);
+  Result.EndTime = State.Events.now();
+  Result.LastCompletion = State.LastCompletion;
+  Result.ShedQuota = State.ShedQuota;
+  Result.ShedBrownout = State.ShedBrownout;
+  Result.ShedQueueFull = State.ShedQueueFull;
+  Result.ShedNoStack = State.ShedNoStack;
+  Result.Drained = State.Drained;
+  Result.Cache = State.Cache.stats();
+  Result.PeakOutstanding = State.PeakOutstanding;
+  Result.ScaleUps = State.ScaleUps;
+  Result.ScaleDowns = State.ScaleDowns;
+  Result.BrownoutEscalations = State.Ladder.escalations();
+  Result.FinalActiveStacks = State.activeStacks();
+  Result.Stacks = State.Set.endpoints();
+
+  SloSummary &Sum = Result.Summary;
+  Sum.Completed = State.Completed;
+  Sum.Shed = State.ShedQuota + State.ShedBrownout + State.ShedQueueFull +
+             State.ShedNoStack;
+  Sum.Offered = Sum.Completed + Sum.Shed;
+  if (Sum.Offered != 0)
+    Sum.ShedRate = static_cast<double>(Sum.Shed) /
+                   static_cast<double>(Sum.Offered);
+  Sum.DegradedCompletions = State.DegradedCompletions;
+  if (State.WithDeadline != 0)
+    Sum.DeadlineMissRate = static_cast<double>(State.MissedDeadline) /
+                           static_cast<double>(State.WithDeadline);
+  if (Sum.Completed != 0) {
+    Sum.HasLatencyStats = true;
+    const Picos Makespan = State.LastCompletion > State.FirstArrival
+                               ? State.LastCompletion - State.FirstArrival
+                               : 0;
+    if (Makespan != 0)
+      Sum.ThroughputJobsPerSec =
+          static_cast<double>(Sum.Completed) /
+          (static_cast<double>(Makespan) /
+           static_cast<double>(PicosPerSecond));
+    Sum.P50LatencyMs = State.LatencyMs.percentile(0.50);
+    Sum.P95LatencyMs = State.LatencyMs.percentile(0.95);
+    Sum.P99LatencyMs = State.LatencyMs.percentile(0.99);
+    Sum.P50QueueMs = State.QueueMs.percentile(0.50);
+    Sum.P99QueueMs = State.QueueMs.percentile(0.99);
+    Sum.MeanServiceMs =
+        State.ServiceSumMs / static_cast<double>(Sum.Completed);
+  }
+  return Result;
+}
+
+void FleetSimulator::exportTo(const FleetResult &Result,
+                              MetricsRegistry &Registry) {
+  const MetricLabels L{{"router", Result.RouterName}};
+  const SloSummary &S = Result.Summary;
+  Registry.counter("fleet.offered", L).add(S.Offered);
+  Registry.counter("fleet.completed", L).add(S.Completed);
+  Registry.counter("fleet.shed_quota", L).add(Result.ShedQuota);
+  Registry.counter("fleet.shed_brownout", L).add(Result.ShedBrownout);
+  Registry.counter("fleet.shed_queue_full", L).add(Result.ShedQueueFull);
+  Registry.counter("fleet.shed_no_stack", L).add(Result.ShedNoStack);
+  Registry.counter("fleet.drained", L).add(Result.Drained);
+  Registry.counter("fleet.scale_ups", L).add(Result.ScaleUps);
+  Registry.counter("fleet.scale_downs", L).add(Result.ScaleDowns);
+  Registry.counter("fleet.cache_hits", L).add(Result.Cache.Hits);
+  Registry.counter("fleet.cache_misses", L).add(Result.Cache.Misses);
+  Registry.counter("fleet.cache_evictions", L).add(Result.Cache.Evictions);
+  Registry.counter("fleet.cache_invalidations", L)
+      .add(Result.Cache.Invalidations);
+  Registry.gauge("fleet.cache_hit_rate", L).set(Result.Cache.hitRate());
+  Registry.gauge("fleet.peak_outstanding", L)
+      .set(static_cast<double>(Result.PeakOutstanding));
+  Registry.gauge("fleet.active_stacks", L)
+      .set(Result.FinalActiveStacks);
+  Registry.gauge("fleet.deadline_miss_rate", L).set(S.DeadlineMissRate);
+  Registry.gauge("fleet.shed_rate", L).set(S.ShedRate);
+  // Latency-derived gauges only when something completed (see the
+  // SloTracker cold-start rule).
+  if (S.HasLatencyStats) {
+    Registry.gauge("fleet.throughput_jobs_per_sec", L)
+        .set(S.ThroughputJobsPerSec);
+    Registry.gauge("fleet.p50_latency_ms", L).set(S.P50LatencyMs);
+    Registry.gauge("fleet.p99_latency_ms", L).set(S.P99LatencyMs);
+  }
+  for (const StackEndpoint &E : Result.Stacks) {
+    const MetricLabels SL{{"router", Result.RouterName},
+                          {"stack", std::to_string(E.Stack)}};
+    Registry.counter("fleet.stack_routed", SL).add(E.RoutedJobs);
+    Registry.counter("fleet.stack_completed", SL).add(E.CompletedJobs);
+    Registry.counter("fleet.stack_drained", SL).add(E.DrainedJobs);
+  }
+}

@@ -1,0 +1,129 @@
+//===- serve/fleet/FleetSimulator.h - Fleet serving front-end ---*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet-scale serving loop: a front-end tier routing an open-loop
+/// arrival stream across S stacks. Each arrival passes tenant quotas and
+/// the brownout ladder, is routed to a stack by the configured policy,
+/// and waits in that stack's bounded FCFS queue; each stack runs one job
+/// at a time at its whole-machine service estimate, charging the shared
+/// plan cache's miss penalty when the job's plan is cold. Health
+/// transitions (stack_fail / recover / partition from the cluster fault
+/// timelines) drain the victim's queue to the survivors and invalidate
+/// its cache entries; the autoscaler grows and shrinks the active stack
+/// set on windowed p99.
+///
+/// Memory is flat in the run length: arrivals are pulled one at a time
+/// from the ArrivalStream, queues are bounded, and statistics live in
+/// fixed-bucket histograms and counters - so outstanding state is at
+/// most S * (QueueCapacity + 1) jobs regardless of whether the trace has
+/// 10^3 or 10^6 of them.
+///
+/// Determinism: the loop itself is single-threaded on the EventQueue
+/// (ties run in insertion order), every random draw happened inside the
+/// seeded ArrivalStream, and the only --sim-threads dependence is the
+/// ServiceModel measurement, which is bit-identical at any thread count.
+/// Two runs of the same (stream, config) therefore produce byte-equal
+/// reports at any --sim-threads value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_FLEET_FLEETSIMULATOR_H
+#define FFT3D_SERVE_FLEET_FLEETSIMULATOR_H
+
+#include "cluster/StackDispatch.h"
+#include "obs/Tracer.h"
+#include "serve/HealthMonitor.h"
+#include "serve/SloTracker.h"
+#include "serve/Workload.h"
+#include "serve/fleet/Autoscaler.h"
+#include "serve/fleet/FleetRouter.h"
+#include "serve/fleet/SharedPlanCache.h"
+#include "serve/fleet/TenantQuota.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fft3d {
+
+/// Fleet front-end configuration.
+struct FleetConfig {
+  unsigned NumStacks = 2;
+  /// Per-stack pending-queue bound (the backpressure point).
+  std::size_t QueueCapacity = 64;
+  RoutePolicy Router = RoutePolicy::Hash;
+  /// Hash-ring shape (virtual nodes per stack, ring salt).
+  unsigned VirtualNodes = 64;
+  std::uint64_t RingSeed = 0;
+  /// Shared plan cache; CacheBytes == 0 disables caching (every
+  /// dispatch pays PlanLatency - the cache-less baseline).
+  PlanCacheMode CacheMode = PlanCacheMode::Shared;
+  std::uint64_t CacheBytes = 8ull << 20;
+  /// Modeled front-end planning latency on a plan-cache miss.
+  Picos PlanLatency = 200 * PicosPerMicro;
+  TenantQuotaPolicy Quota;
+  BrownoutLadderPolicy Brownout;
+  AutoscalePolicy Autoscale;
+  /// Health oracle (stack_fail / partition timelines); null = always
+  /// healthy.
+  std::shared_ptr<const HealthMonitor> Health;
+  /// Timeline tracer (fleet category); null records nothing.
+  Tracer *Trace = nullptr;
+  std::uint32_t TracePid = 1;
+};
+
+/// Outcome of one fleet run.
+struct FleetResult {
+  std::string RouterName;
+  std::string CacheModeName;
+  /// Aggregate SLO view; percentiles are histogram-resolved (1 ms
+  /// buckets), HasLatencyStats false when nothing completed.
+  SloSummary Summary;
+  /// Simulation time of the last event / last completion.
+  Picos EndTime = 0;
+  Picos LastCompletion = 0;
+  std::uint64_t ShedQuota = 0;
+  std::uint64_t ShedBrownout = 0;
+  std::uint64_t ShedQueueFull = 0;
+  /// Arrivals (or drained jobs) with no routable stack to go to.
+  std::uint64_t ShedNoStack = 0;
+  /// Jobs pulled out of a failed/deactivated stack's queue and
+  /// re-routed.
+  std::uint64_t Drained = 0;
+  PlanCacheStats Cache;
+  /// Peak queued + running jobs across the fleet; structurally bounded
+  /// by NumStacks * (QueueCapacity + 1).
+  std::uint64_t PeakOutstanding = 0;
+  std::uint64_t ScaleUps = 0;
+  std::uint64_t ScaleDowns = 0;
+  std::uint64_t BrownoutEscalations = 0;
+  unsigned FinalActiveStacks = 0;
+  /// Final per-stack accounting (routed / completed / drained).
+  std::vector<StackEndpoint> Stacks;
+};
+
+/// Runs arrival streams against the fleet front-end.
+class FleetSimulator {
+public:
+  FleetSimulator(const FleetConfig &Config, const ServiceModel &Model);
+
+  /// Simulates \p Arrivals to completion (resets the stream first, so
+  /// one stream replays identically across router configurations).
+  FleetResult run(ArrivalStream &Arrivals);
+
+  /// Publishes a finished run's "fleet.*" metrics into \p Registry,
+  /// labeled router=<policy>.
+  static void exportTo(const FleetResult &Result, MetricsRegistry &Registry);
+
+private:
+  FleetConfig Config;
+  const ServiceModel &Model;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_FLEET_FLEETSIMULATOR_H

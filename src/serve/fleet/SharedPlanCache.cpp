@@ -1,0 +1,113 @@
+//===- serve/fleet/SharedPlanCache.cpp - Fleet-wide plan cache ------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/fleet/SharedPlanCache.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+const char *fft3d::planCacheModeName(PlanCacheMode Mode) {
+  switch (Mode) {
+  case PlanCacheMode::Shared:
+    return "shared";
+  case PlanCacheMode::PerStack:
+    return "per-stack";
+  }
+  fft3d_unreachable("unknown PlanCacheMode");
+}
+
+SharedPlanCache::SharedPlanCache(PlanCacheMode Mode,
+                                 std::uint64_t CapacityBytes,
+                                 Picos MissPenalty)
+    : Mode(Mode), CapacityBytes(CapacityBytes), MissPenalty(MissPenalty) {}
+
+SharedPlanCache::Key SharedPlanCache::keyFor(std::uint64_t N,
+                                             unsigned Vaults,
+                                             unsigned Stack,
+                                             std::uint64_t Epoch) const {
+  Key K;
+  K.N = N;
+  K.Vaults = Vaults;
+  // A healthy stack's plan is geometry-only, so in Shared mode it lives
+  // in the fleet-wide slot; any health change (epoch != 0) forces
+  // stack-specific degraded entries.
+  if (Mode == PlanCacheMode::Shared && Epoch == 0)
+    return K;
+  K.Stack = Stack;
+  K.Epoch = Epoch;
+  return K;
+}
+
+std::uint64_t SharedPlanCache::entryBytes(std::uint64_t N) {
+  // Modeled footprint: a fixed plan table (block plan, phase timings,
+  // metadata) plus a cached result descriptor that grows with the
+  // problem's row length.
+  return 4096 + 2 * N;
+}
+
+void SharedPlanCache::evictTail() {
+  while (Stats.Bytes > CapacityBytes && !Lru.empty()) {
+    const auto &[Key, Bytes] = Lru.back();
+    Stats.Bytes -= Bytes;
+    ++Stats.Evictions;
+    Index.erase(Key);
+    Lru.pop_back();
+  }
+}
+
+Picos SharedPlanCache::charge(std::uint64_t N, unsigned Vaults,
+                              unsigned Stack, std::uint64_t Epoch) {
+  const Key K = keyFor(N, Vaults, Stack, Epoch);
+  const auto It = Index.find(K);
+  if (It != Index.end()) {
+    ++Stats.Hits;
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return 0;
+  }
+  ++Stats.Misses;
+  const std::uint64_t Bytes = entryBytes(N);
+  if (CapacityBytes == 0 || Bytes > CapacityBytes)
+    return MissPenalty; // Uncacheable: pay the planner every time.
+  Lru.emplace_front(K, Bytes);
+  Index.emplace(K, Lru.begin());
+  Stats.Bytes += Bytes;
+  Stats.PeakBytes = std::max(Stats.PeakBytes, Stats.Bytes);
+  evictTail();
+  return MissPenalty;
+}
+
+bool SharedPlanCache::contains(std::uint64_t N, unsigned Vaults,
+                               unsigned Stack, std::uint64_t Epoch) const {
+  return Index.count(keyFor(N, Vaults, Stack, Epoch)) != 0;
+}
+
+void SharedPlanCache::invalidateStack(unsigned Stack) {
+  for (auto It = Index.begin(); It != Index.end();) {
+    if (It->first.Stack != Stack) {
+      ++It;
+      continue;
+    }
+    Stats.Bytes -= It->second->second;
+    ++Stats.Invalidations;
+    Lru.erase(It->second);
+    It = Index.erase(It);
+  }
+}
+
+void SharedPlanCache::exportTo(MetricsRegistry &Registry) const {
+  const MetricLabels L{{"mode", planCacheModeName(Mode)}};
+  Registry.counter("fleet.cache_hits", L).add(Stats.Hits);
+  Registry.counter("fleet.cache_misses", L).add(Stats.Misses);
+  Registry.counter("fleet.cache_evictions", L).add(Stats.Evictions);
+  Registry.counter("fleet.cache_invalidations", L).add(Stats.Invalidations);
+  Registry.gauge("fleet.cache_bytes", L).set(static_cast<double>(Stats.Bytes));
+  Registry.gauge("fleet.cache_peak_bytes", L)
+      .set(static_cast<double>(Stats.PeakBytes));
+  Registry.gauge("fleet.cache_hit_rate", L).set(Stats.hitRate());
+}

@@ -1,0 +1,146 @@
+//===- serve/fleet/SharedPlanCache.h - Fleet-wide plan cache ----*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet front-end's LRU cache of layout plans and service results,
+/// promoted out of the per-policy ServiceModel memoization so S stacks
+/// share one plan store. A dispatch whose plan is cached starts
+/// immediately; a miss pays a modeled planning latency (running Eq. 1
+/// and the pipeline measurement at the front-end) before the job's
+/// service time starts.
+///
+/// Keying is the interesting part. An Eq. 1 block plan depends only on
+/// (N, vault share, memory geometry) - NOT on which stack runs it - so
+/// in Shared mode every healthy stack resolves the same (N, share) to
+/// one cache entry and a repeat-heavy trace pays each distinct shape
+/// once for the whole fleet. A stack whose health has changed (vaults
+/// lost, recovered: its health epoch is nonzero) computes stack-specific
+/// degraded plans, so its entries are keyed (N, share, stack, epoch) and
+/// a later epoch change orphans them automatically. PerStack mode keys
+/// every entry by stack - exactly the old per-policy memoization - and
+/// exists as the baseline the shared mode is benchmarked against.
+///
+/// Capacity is modeled in bytes (plan table + cached result frame per
+/// entry); eviction is strict LRU. All bookkeeping is deterministic:
+/// same lookup sequence, same hits, evictions and final contents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_FLEET_SHAREDPLANCACHE_H
+#define FFT3D_SERVE_FLEET_SHAREDPLANCACHE_H
+
+#include "obs/Metrics.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+namespace fft3d {
+
+/// How plan-cache entries are keyed across the fleet.
+enum class PlanCacheMode {
+  /// Healthy stacks share entries; only degraded stacks key by stack.
+  Shared,
+  /// Every stack keys its own entries (the per-policy-memoization
+  /// baseline).
+  PerStack,
+};
+
+const char *planCacheModeName(PlanCacheMode Mode);
+
+/// Cumulative cache accounting.
+struct PlanCacheStats {
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Evictions = 0;
+  /// Entries dropped by invalidateStack (health transitions).
+  std::uint64_t Invalidations = 0;
+  /// Current and peak modeled footprint.
+  std::uint64_t Bytes = 0;
+  std::uint64_t PeakBytes = 0;
+
+  double hitRate() const {
+    const std::uint64_t Total = Hits + Misses;
+    return Total == 0 ? 0.0
+                      : static_cast<double>(Hits) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Fleet-shared LRU plan+result cache.
+class SharedPlanCache {
+public:
+  /// Sentinel stack id for entries every healthy stack shares.
+  static constexpr unsigned SharedSlot = ~0u;
+
+  /// \p CapacityBytes bounds the modeled footprint (0 disables caching:
+  /// every lookup misses and pays \p MissPenalty). \p MissPenalty is the
+  /// modeled front-end planning latency charged before a missed
+  /// dispatch's service time.
+  SharedPlanCache(PlanCacheMode Mode, std::uint64_t CapacityBytes,
+                  Picos MissPenalty);
+
+  /// Looks up the plan for a job of size \p N on \p Vaults vaults routed
+  /// to \p Stack at health epoch \p Epoch; inserts on miss. Returns the
+  /// planning latency the dispatch must absorb: 0 on a hit, the miss
+  /// penalty otherwise.
+  Picos charge(std::uint64_t N, unsigned Vaults, unsigned Stack,
+               std::uint64_t Epoch);
+
+  /// True when charge() would hit (no state change).
+  bool contains(std::uint64_t N, unsigned Vaults, unsigned Stack,
+                std::uint64_t Epoch) const;
+
+  /// Drops every entry keyed to \p Stack (called when the stack's health
+  /// transitions: its degraded plans no longer match the new epoch).
+  /// Shared-slot entries are geometry-only and survive.
+  void invalidateStack(unsigned Stack);
+
+  PlanCacheMode mode() const { return Mode; }
+  Picos missPenalty() const { return MissPenalty; }
+  std::size_t entries() const { return Index.size(); }
+  const PlanCacheStats &stats() const { return Stats; }
+
+  /// Publishes "fleet.cache_*" counters/gauges into \p Registry.
+  void exportTo(MetricsRegistry &Registry) const;
+
+private:
+  struct Key {
+    std::uint64_t N = 0;
+    unsigned Vaults = 0;
+    unsigned Stack = SharedSlot;
+    std::uint64_t Epoch = 0;
+
+    bool operator<(const Key &O) const {
+      if (N != O.N)
+        return N < O.N;
+      if (Vaults != O.Vaults)
+        return Vaults < O.Vaults;
+      if (Stack != O.Stack)
+        return Stack < O.Stack;
+      return Epoch < O.Epoch;
+    }
+  };
+
+  Key keyFor(std::uint64_t N, unsigned Vaults, unsigned Stack,
+             std::uint64_t Epoch) const;
+  static std::uint64_t entryBytes(std::uint64_t N);
+  void evictTail();
+
+  PlanCacheMode Mode;
+  std::uint64_t CapacityBytes;
+  Picos MissPenalty;
+  /// MRU-first recency list; Index maps keys to list positions.
+  std::list<std::pair<Key, std::uint64_t>> Lru;
+  std::map<Key, std::list<std::pair<Key, std::uint64_t>>::iterator> Index;
+  PlanCacheStats Stats;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_FLEET_SHAREDPLANCACHE_H

@@ -1,0 +1,93 @@
+//===- serve/fleet/TenantQuota.cpp - Per-tenant admission -----------------===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/fleet/TenantQuota.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace fft3d;
+
+TenantQuota::TenantQuota(const TenantQuotaPolicy &Policy) : Policy(Policy) {
+  if (Policy.Enabled && (Policy.JobsPerSec <= 0.0 || Policy.Burst < 1.0))
+    reportFatalError("tenant quota needs a positive rate and burst >= 1");
+}
+
+bool TenantQuota::admit(std::uint64_t Tenant, Picos Now) {
+  if (!Policy.Enabled || Tenant == 0)
+    return true;
+  auto [It, New] = Buckets.try_emplace(Tenant);
+  Bucket &B = It->second;
+  if (New) {
+    // A tenant's first arrival finds a full bucket.
+    B.Tokens = Policy.Burst;
+    B.LastRefill = Now;
+  } else if (Now > B.LastRefill) {
+    const double Refill = static_cast<double>(Now - B.LastRefill) /
+                          static_cast<double>(PicosPerSecond) *
+                          Policy.JobsPerSec;
+    B.Tokens = std::min(Policy.Burst, B.Tokens + Refill);
+    B.LastRefill = Now;
+  }
+  if (B.Tokens >= 1.0) {
+    B.Tokens -= 1.0;
+    return true;
+  }
+  ++B.Shed;
+  ++Shed;
+  return false;
+}
+
+std::uint64_t TenantQuota::throttledTenants() const {
+  std::uint64_t Count = 0;
+  for (const auto &[Tenant, B] : Buckets)
+    Count += B.Shed != 0 ? 1 : 0;
+  return Count;
+}
+
+BrownoutLadder::BrownoutLadder(const BrownoutLadderPolicy &Policy)
+    : Policy(Policy) {
+  if (Policy.Enabled) {
+    if (Policy.NumTiers == 0)
+      reportFatalError("brownout ladder needs at least one tier");
+    if (Policy.Window == 0)
+      reportFatalError("brownout ladder needs a non-empty window");
+    if (Policy.ExitMissRate >= Policy.EnterMissRate)
+      reportFatalError(
+          "brownout exit rate must be below the enter rate (hysteresis)");
+  }
+}
+
+void BrownoutLadder::recordOutcome(bool Missed) {
+  if (!Policy.Enabled)
+    return;
+  Window.push_back(Missed);
+  if (Window.size() > Policy.Window)
+    Window.pop_front();
+  if (Window.size() < Policy.Window)
+    return;
+  const double MissRate =
+      static_cast<double>(std::count(Window.begin(), Window.end(), true)) /
+      static_cast<double>(Window.size());
+  if (MissRate >= Policy.EnterMissRate && Level < Policy.NumTiers) {
+    ++Level;
+    ++Escalations;
+    Window.clear();
+  } else if (MissRate <= Policy.ExitMissRate && Level > 0) {
+    --Level;
+    Window.clear();
+  }
+}
+
+bool BrownoutLadder::sheds(unsigned Priority) const {
+  if (!Policy.Enabled || Level == 0)
+    return false;
+  // Level L sheds the L least-urgent tiers. Priorities beyond the tier
+  // count clamp into the bottom tier.
+  const unsigned Tier = std::min(Priority, Policy.NumTiers - 1);
+  return Tier >= Policy.NumTiers - Level;
+}

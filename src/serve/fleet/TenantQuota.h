@@ -1,0 +1,113 @@
+//===- serve/fleet/TenantQuota.h - Per-tenant admission ---------*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-level admission: per-tenant token buckets and a tiered brownout
+/// ladder.
+///
+/// Quotas are the classic token bucket in simulated time: each tenant's
+/// bucket refills at JobsPerSec tokens per simulated second up to Burst;
+/// an arrival that finds no whole token is shed before it ever reaches a
+/// stack queue. Untenanted jobs (Tenant == 0) bypass quotas - quota
+/// enforcement is a contract between named tenants and the operator.
+///
+/// Brownout generalizes the serving layer's single-floor policy into a
+/// ladder over priority tiers. At level L the fleet sheds every arrival
+/// in the L least-urgent tiers (priority >= NumTiers - L), so pressure
+/// peels load off strictly from the bottom: level 1 drops bulk work,
+/// level 2 also drops standard work, and so on; the top tier is only
+/// shed at the maximum level. The level moves one step at a time when
+/// the deadline-miss rate over a sliding completion window crosses the
+/// enter threshold (up) or the exit threshold (down), with the window
+/// cleared on each move so a single burst cannot ratchet straight to the
+/// top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_SERVE_FLEET_TENANTQUOTA_H
+#define FFT3D_SERVE_FLEET_TENANTQUOTA_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+namespace fft3d {
+
+/// Per-tenant token-bucket parameters (shared by every tenant).
+struct TenantQuotaPolicy {
+  bool Enabled = false;
+  /// Sustained admission rate per tenant, jobs per simulated second.
+  double JobsPerSec = 100.0;
+  /// Bucket capacity: the burst a quiet tenant may submit at once.
+  double Burst = 20.0;
+};
+
+/// Token-bucket admission over the tenants seen so far.
+class TenantQuota {
+public:
+  explicit TenantQuota(const TenantQuotaPolicy &Policy);
+
+  /// True when the arrival passes quota (consuming one token). A
+  /// disabled policy and untenanted jobs always pass.
+  bool admit(std::uint64_t Tenant, Picos Now);
+
+  std::uint64_t shedJobs() const { return Shed; }
+  /// Tenants that have hit their quota at least once.
+  std::uint64_t throttledTenants() const;
+
+private:
+  struct Bucket {
+    double Tokens = 0.0;
+    Picos LastRefill = 0;
+    std::uint64_t Shed = 0;
+  };
+
+  TenantQuotaPolicy Policy;
+  std::map<std::uint64_t, Bucket> Buckets;
+  std::uint64_t Shed = 0;
+};
+
+/// Tiered brownout configuration.
+struct BrownoutLadderPolicy {
+  bool Enabled = false;
+  /// Priority tiers the ladder sheds over: priorities 0..NumTiers-1
+  /// (anything >= NumTiers sits in the bottom tier).
+  unsigned NumTiers = 4;
+  /// Move up a level when the windowed miss rate reaches Enter; move
+  /// down when it falls to Exit. Enter > Exit gives the hysteresis band.
+  double EnterMissRate = 0.5;
+  double ExitMissRate = 0.2;
+  /// Sliding window length, in deadline-carrying completions.
+  std::size_t Window = 64;
+};
+
+/// The brownout ladder's level state machine.
+class BrownoutLadder {
+public:
+  explicit BrownoutLadder(const BrownoutLadderPolicy &Policy);
+
+  /// Feeds one deadline-carrying completion (\p Missed = past deadline).
+  void recordOutcome(bool Missed);
+
+  /// True when an arrival of \p Priority is shed at the current level.
+  bool sheds(unsigned Priority) const;
+
+  unsigned level() const { return Level; }
+  /// Number of level increases (entries into deeper brownout).
+  std::uint64_t escalations() const { return Escalations; }
+
+private:
+  BrownoutLadderPolicy Policy;
+  unsigned Level = 0;
+  std::deque<bool> Window;
+  std::uint64_t Escalations = 0;
+};
+
+} // namespace fft3d
+
+#endif // FFT3D_SERVE_FLEET_TENANTQUOTA_H

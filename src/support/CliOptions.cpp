@@ -82,6 +82,39 @@ bool fft3d::parseCommonCliOption(int Argc, char **Argv, int &I,
   return true;
 }
 
+bool fft3d::parseFleetCliOption(int Argc, char **Argv, int &I,
+                                FleetCliOptions &Options,
+                                std::string &Error) {
+  const char *Value = nullptr;
+  if (consumeCliFlag(Argv, I, "--fleet")) {
+    Options.Fleet = true;
+  } else if (consumeCliValue(Argc, Argv, I, "--router", &Value)) {
+    Options.Router = Value;
+    if (Options.Router != "hash" && Options.Router != "least-loaded" &&
+        Options.Router != "affinity")
+      Error = "--router must be hash, least-loaded or affinity";
+  } else if (consumeCliValue(Argc, Argv, I, "--tenants", &Value)) {
+    Options.Tenants =
+        static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+  } else if (consumeCliValue(Argc, Argv, I, "--cache-mb", &Value)) {
+    Options.CacheMb = std::strtod(Value, nullptr);
+    if (Options.CacheMb < 0.0)
+      Error = "--cache-mb must be >= 0 (0 disables the plan cache)";
+  } else if (consumeCliValue(Argc, Argv, I, "--cache-mode", &Value)) {
+    Options.CacheMode = Value;
+    if (Options.CacheMode != "shared" && Options.CacheMode != "per-stack")
+      Error = "--cache-mode must be shared or per-stack";
+  } else if (consumeCliValue(Argc, Argv, I, "--autoscale-p99-us",
+                             &Value)) {
+    Options.AutoscaleP99Us = std::strtod(Value, nullptr);
+    if (Options.AutoscaleP99Us < 0.0)
+      Error = "--autoscale-p99-us must be >= 0 (0 disables autoscaling)";
+  } else {
+    return false;
+  }
+  return true;
+}
+
 const char *fft3d::commonCliUsage() {
   return "  --seed N          echoed into the report header; simulations\n"
          "                    are deterministic with or without it\n"
@@ -92,7 +125,8 @@ const char *fft3d::commonCliUsage() {
          "                    bit-identical for any K of either flag\n"
          "  --faults FILE     fault-injection spec\n"
          "  --trace FILE      Chrome trace_event JSON output\n"
-         "  --trace-cats L    categories: mem,phase,serve,fault,xfer|all\n"
+         "  --trace-cats L    categories:\n"
+         "                    mem,phase,serve,fault,xfer,fleet|all\n"
          "  --metrics FILE    metrics snapshot JSON output\n";
 }
 
@@ -102,4 +136,16 @@ const char *fft3d::clusterCliUsage() {
          "  --link-gbps G     per-link interconnect bandwidth\n"
          "  --topology T      all-to-all | ring\n"
          "  --placement P     two-level | round-robin\n";
+}
+
+const char *fft3d::fleetCliUsage() {
+  return "  --fleet           run the routed multi-stack front-end\n"
+         "                    (requires --stacks >= 2)\n"
+         "  --router R        hash | least-loaded | affinity\n"
+         "  --tenants T       tenant population (0 = untenanted jobs)\n"
+         "  --cache-mb M      shared plan-cache capacity in MiB\n"
+         "                    (0 disables: every dispatch re-plans)\n"
+         "  --cache-mode C    shared | per-stack (memoization baseline)\n"
+         "  --autoscale-p99-us U\n"
+         "                    autoscaler p99 target in us (0 = off)\n";
 }

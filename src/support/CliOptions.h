@@ -57,6 +57,27 @@ struct CommonCliOptions {
   std::string Placement = "two-level";
 };
 
+/// Values of the fleet serving flags (the multi-stack front-end of
+/// fft3d_serve), at their documented defaults.
+struct FleetCliOptions {
+  /// --fleet: run the routed multi-stack front-end instead of the
+  /// single-device policy comparison.
+  bool Fleet = false;
+  /// --router: "hash", "least-loaded" or "affinity".
+  std::string Router = "hash";
+  /// --tenants: tenant population for workload generation and quota
+  /// accounting; 0 leaves jobs untenanted.
+  unsigned Tenants = 8;
+  /// --cache-mb: shared plan-cache capacity in MiB; 0 disables caching.
+  double CacheMb = 8.0;
+  /// --cache-mode: "shared" (fleet-wide entries) or "per-stack" (the
+  /// memoization baseline).
+  std::string CacheMode = "shared";
+  /// --autoscale-p99-us: p99 target in microseconds the autoscaler
+  /// holds; 0 disables autoscaling.
+  double AutoscaleP99Us = 0.0;
+};
+
 /// Matches "--key=value" or "--key value" at Argv[\p I]; advances \p I
 /// for the two-token form. \p Value points into Argv on success.
 bool consumeCliValue(int Argc, char **Argv, int &I, const char *Key,
@@ -78,6 +99,14 @@ const char *commonCliUsage();
 
 /// ...and one for the cluster flags.
 const char *clusterCliUsage();
+
+/// Tries Argv[\p I] against the fleet serving flags, with the same
+/// contract as parseCommonCliOption.
+bool parseFleetCliOption(int Argc, char **Argv, int &I,
+                         FleetCliOptions &Options, std::string &Error);
+
+/// Indented usage lines for the fleet flags.
+const char *fleetCliUsage();
 
 } // namespace fft3d
 

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "serve/ServeSimulator.h"
+#include "serve/fleet/FleetSimulator.h"
 
 #include <gtest/gtest.h>
 
@@ -295,4 +296,87 @@ TEST(ServeFaults, FaultedRunReplaysByteIdentically) {
   expectSummariesIdentical(A.Summary, B.Summary);
   // The faults actually fired: this is not a vacuous comparison.
   EXPECT_GT(A.Summary.Retries + A.Summary.DegradedCompletions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet front-end under cluster faults
+//===----------------------------------------------------------------------===//
+
+TEST(FleetFaults, StackFailDrainsToSurvivorsAndInvalidatesItsPlans) {
+  // Stack 1 dies mid-run and recovers later. The fleet must (a) pull its
+  // queued jobs over to the survivors, (b) drop its stack-keyed plan
+  // entries, and (c) key its post-recovery plans by the new health epoch
+  // so the stale entries are never hit again.
+  const std::string Text = "stack_fail 1 at 50\nstack_recover 1 at 400\n";
+  FleetConfig Config;
+  Config.NumStacks = 3;
+  Config.QueueCapacity = 32;
+  Config.CacheMode = PlanCacheMode::PerStack; // stack-keyed entries exist
+  Config.Health = std::make_shared<HealthMonitor>(
+      spec(Text), model().totalVaults(), /*NumStacks=*/3);
+
+  // A burst well past the three stacks' instantaneous capacity, so stack
+  // 1 has a queue to drain when it dies at t = 50 ms.
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 250, 2000.0, 13,
+                              model(), 6);
+  const FleetResult R = FleetSimulator(Config, model()).run(Stream);
+
+  // Nothing is lost: every offered job completes or is counted shed.
+  EXPECT_EQ(R.Summary.Offered, 250u);
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 250u);
+  // The dead stack's queue moved to the survivors...
+  EXPECT_GT(R.Drained, 0u);
+  EXPECT_GT(R.Stacks[1].DrainedJobs, 0u);
+  // ...and its plan entries were dropped on the health edge.
+  EXPECT_GT(R.Cache.Invalidations, 0u);
+  // The health epoch advanced (fail + recover = two transitions).
+  EXPECT_EQ(R.Stacks[1].HealthEpoch, 2u);
+  EXPECT_GT(R.Summary.Completed, 0u);
+}
+
+TEST(FleetFaults, FaultedFleetRunIsIdenticalAcrossSimThreads) {
+  // The acceptance property behind the CI smoke: the whole faulted fleet
+  // result - schedules, drains, cache traffic, latencies - is
+  // bit-identical whether the service model measured with 1, 2 or 4
+  // vault-shard threads.
+  const std::string Text = "stack_fail 2 at 30\nstack_recover 2 at 200\n"
+                           "throttle from 0 until 100 period 10 duty 25\n";
+  std::vector<FleetResult> Results;
+  for (const unsigned SimThreads : {1u, 2u, 4u}) {
+    ServiceModel Model(MemoryConfig(), /*MaxSimBytes=*/2ull << 20,
+                       /*MaxSimOps=*/10000, SimThreads);
+    FleetConfig Config;
+    Config.NumStacks = 4;
+    Config.QueueCapacity = 16;
+    Config.Health = std::make_shared<HealthMonitor>(
+        spec(Text), Model.totalVaults(), /*NumStacks=*/4);
+    Config.Brownout.Enabled = true;
+    PoissonArrivalStream Stream(mixedWorkloadTemplates(), 200, 1000.0, 29,
+                                Model, 5);
+    Results.push_back(FleetSimulator(Config, Model).run(Stream));
+  }
+  const FleetResult &Base = Results[0];
+  EXPECT_GT(Base.Drained + Base.Summary.Shed, 0u);
+  for (std::size_t I = 1; I != Results.size(); ++I) {
+    const FleetResult &R = Results[I];
+    EXPECT_EQ(R.EndTime, Base.EndTime);
+    EXPECT_EQ(R.LastCompletion, Base.LastCompletion);
+    EXPECT_EQ(R.Summary.Completed, Base.Summary.Completed);
+    EXPECT_EQ(R.Summary.Shed, Base.Summary.Shed);
+    EXPECT_EQ(R.Drained, Base.Drained);
+    EXPECT_EQ(R.Cache.Hits, Base.Cache.Hits);
+    EXPECT_EQ(R.Cache.Misses, Base.Cache.Misses);
+    EXPECT_EQ(R.Cache.Invalidations, Base.Cache.Invalidations);
+    // Doubles compare exactly: identical schedules, identical sums.
+    EXPECT_EQ(R.Summary.ThroughputJobsPerSec,
+              Base.Summary.ThroughputJobsPerSec);
+    EXPECT_EQ(R.Summary.P50LatencyMs, Base.Summary.P50LatencyMs);
+    EXPECT_EQ(R.Summary.P99LatencyMs, Base.Summary.P99LatencyMs);
+    EXPECT_EQ(R.Summary.DeadlineMissRate, Base.Summary.DeadlineMissRate);
+    for (unsigned S = 0; S != 4; ++S) {
+      EXPECT_EQ(R.Stacks[S].RoutedJobs, Base.Stacks[S].RoutedJobs);
+      EXPECT_EQ(R.Stacks[S].CompletedJobs, Base.Stacks[S].CompletedJobs);
+      EXPECT_EQ(R.Stacks[S].DrainedJobs, Base.Stacks[S].DrainedJobs);
+    }
+  }
 }

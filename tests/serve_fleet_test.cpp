@@ -1,0 +1,648 @@
+//===- tests/serve_fleet_test.cpp - Fleet front-end tier ------------------===//
+//
+// Part of the fft3d project.
+//
+// The fleet serving tier in isolation and end to end: routing policy
+// determinism, consistent-hash ring stability under membership changes,
+// the shared LRU plan cache (eviction order, hit accounting, health-epoch
+// keying), per-tenant token buckets, the tiered brownout ladder, the
+// autoscaler's hysteresis guards, and whole-fleet replay determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/fleet/FleetSimulator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace fft3d;
+
+namespace {
+
+/// Shared fast service model: small simulation budget, default device.
+ServiceModel &model() {
+  static ServiceModel Model(MemoryConfig(), /*MaxSimBytes=*/2ull << 20,
+                            /*MaxSimOps=*/10000);
+  return Model;
+}
+
+JobRequest job(std::uint64_t Id, std::uint64_t Tenant, std::uint64_t N = 512,
+               JobPrecision Precision = JobPrecision::Fp32) {
+  JobRequest J;
+  J.Id = Id;
+  J.Tenant = Tenant;
+  J.N = N;
+  J.Precision = Precision;
+  return J;
+}
+
+FleetConfig fleetConfig(unsigned Stacks) {
+  FleetConfig Config;
+  Config.NumStacks = Stacks;
+  Config.QueueCapacity = 16;
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Routing policies
+//===----------------------------------------------------------------------===//
+
+TEST(FleetRouter, ParsesEveryPolicyNameAndRejectsTheRest) {
+  RoutePolicy Policy;
+  EXPECT_TRUE(parseRoutePolicy("hash", Policy));
+  EXPECT_EQ(Policy, RoutePolicy::Hash);
+  EXPECT_TRUE(parseRoutePolicy("least-loaded", Policy));
+  EXPECT_EQ(Policy, RoutePolicy::LeastLoaded);
+  EXPECT_TRUE(parseRoutePolicy("affinity", Policy));
+  EXPECT_EQ(Policy, RoutePolicy::Affinity);
+  std::string Error;
+  EXPECT_FALSE(parseRoutePolicy("round-robin", Policy, &Error));
+  EXPECT_NE(Error.find("round-robin"), std::string::npos);
+}
+
+TEST(FleetRouter, DecisionsAreDeterministic) {
+  // Two independently constructed routers with the same (policy, seed)
+  // make identical decisions for an identical job sequence.
+  for (const RoutePolicy Policy :
+       {RoutePolicy::Hash, RoutePolicy::LeastLoaded, RoutePolicy::Affinity}) {
+    FleetRouter A(Policy, 4, 64, 7);
+    FleetRouter B(Policy, 4, 64, 7);
+    StackDispatchSet SetA(4), SetB(4);
+    for (std::uint64_t I = 1; I <= 200; ++I) {
+      const JobRequest J = job(I, I % 5, I % 2 ? 512 : 1024);
+      const unsigned SA = A.route(J, SetA);
+      const unsigned SB = B.route(J, SetB);
+      ASSERT_EQ(SA, SB) << routePolicyName(Policy) << " job " << I;
+      // Mirror a little backlog so least-loaded sees evolving state.
+      SetA.endpoint(SA).Backlog += 100;
+      SetB.endpoint(SB).Backlog += 100;
+    }
+  }
+}
+
+TEST(FleetRouter, HashKeepsATenantOnOneStack) {
+  FleetRouter Router(RoutePolicy::Hash, 8);
+  StackDispatchSet Set(8);
+  for (std::uint64_t Tenant = 1; Tenant <= 20; ++Tenant) {
+    const unsigned First = Router.route(job(1, Tenant), Set);
+    for (std::uint64_t I = 2; I <= 10; ++I)
+      ASSERT_EQ(Router.route(job(I, Tenant), Set), First)
+          << "tenant " << Tenant;
+  }
+}
+
+TEST(FleetRouter, HashRingMovesOnlyTheDeadStacksKeys) {
+  // The consistent-hashing contract: when a stack leaves, keys that
+  // lived on survivors stay put; only the dead stack's keys move (about
+  // K/S of them). A modulo router would reshuffle nearly everything.
+  const unsigned Stacks = 8;
+  const std::uint64_t Keys = 4000;
+  FleetRouter Router(RoutePolicy::Hash, Stacks, 64, 3);
+  StackDispatchSet Set(Stacks);
+
+  std::map<std::uint64_t, unsigned> Before;
+  for (std::uint64_t K = 1; K <= Keys; ++K)
+    Before[K] = Router.hashStack(K, Set);
+
+  const unsigned Dead = 5;
+  Set.endpoint(Dead).Online = false;
+  std::uint64_t Moved = 0;
+  for (std::uint64_t K = 1; K <= Keys; ++K) {
+    const unsigned Now = Router.hashStack(K, Set);
+    ASSERT_NE(Now, Dead);
+    if (Before[K] != Dead)
+      ASSERT_EQ(Now, Before[K]) << "survivor key " << K << " moved";
+    else
+      ++Moved;
+  }
+  // All the dead stack's keys moved, and they are roughly a 1/S share
+  // (a healthy ring spread: within 3x of fair on 4000 keys).
+  EXPECT_GT(Moved, 0u);
+  EXPECT_LT(Moved, 3 * Keys / Stacks);
+
+  // The stack coming back restores the original mapping exactly.
+  Set.endpoint(Dead).Online = true;
+  for (std::uint64_t K = 1; K <= Keys; ++K)
+    ASSERT_EQ(Router.hashStack(K, Set), Before[K]);
+}
+
+TEST(FleetRouter, LeastLoadedPicksSmallestBacklogLowestIndexOnTies) {
+  FleetRouter Router(RoutePolicy::LeastLoaded, 4);
+  StackDispatchSet Set(4);
+  // All empty: lowest index wins the tie.
+  EXPECT_EQ(Router.route(job(1, 0), Set), 0u);
+  Set.endpoint(0).Backlog = 300;
+  Set.endpoint(1).Backlog = 100;
+  Set.endpoint(2).Backlog = 200;
+  Set.endpoint(3).Backlog = 100;
+  // 1 and 3 tie at 100: the lower index is chosen.
+  EXPECT_EQ(Router.route(job(2, 0), Set), 1u);
+  Set.endpoint(1).Online = false;
+  EXPECT_EQ(Router.route(job(3, 0), Set), 3u);
+}
+
+TEST(FleetRouter, AffinityReturnsShapesToTheirPlanningStack) {
+  FleetRouter Router(RoutePolicy::Affinity, 4);
+  StackDispatchSet Set(4);
+  Set.endpoint(0).Backlog = 500;
+
+  // First sight of the shape falls back to least-loaded (stack 1).
+  const unsigned First = Router.route(job(1, 0, 2048), Set);
+  EXPECT_EQ(First, 1u);
+  // The same shape returns there even when another stack is now idler.
+  Set.endpoint(1).Backlog = 900;
+  EXPECT_EQ(Router.route(job(2, 0, 2048), Set), First);
+  // A different shape (other N, or same N at fp16) is routed afresh.
+  EXPECT_EQ(Router.route(job(3, 0, 4096), Set), 2u);
+  EXPECT_EQ(Router.route(job(4, 0, 2048, JobPrecision::Fp16), Set), 2u);
+
+  // Dropping the stack's affinities re-learns from the fallback.
+  Set.endpoint(First).Online = false;
+  Router.dropStackAffinity(First);
+  const unsigned Relearned = Router.route(job(5, 0, 2048), Set);
+  EXPECT_NE(Relearned, First);
+  Set.endpoint(Relearned).Backlog += 10000;
+  EXPECT_EQ(Router.route(job(6, 0, 2048), Set), Relearned);
+}
+
+TEST(FleetRouter, NoRoutableStackReturnsTheSentinel) {
+  for (const RoutePolicy Policy :
+       {RoutePolicy::Hash, RoutePolicy::LeastLoaded, RoutePolicy::Affinity}) {
+    FleetRouter Router(Policy, 2);
+    StackDispatchSet Set(2);
+    Set.endpoint(0).Online = false;
+    Set.endpoint(1).Active = false;
+    EXPECT_EQ(Router.route(job(1, 1), Set), FleetRouter::NoStack)
+        << routePolicyName(Policy);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch endpoints
+//===----------------------------------------------------------------------===//
+
+TEST(StackDispatch, RefreshHealthReportsEachEdgeOnce) {
+  struct ScriptedHealth final : StackHealthSource {
+    bool Up = true;
+    bool stackUsable(unsigned Stack, Picos) const override {
+      return Stack != 1 || Up;
+    }
+    std::uint64_t stackHealthEpoch(unsigned Stack, Picos) const override {
+      return Stack == 1 && !Up ? 1 : 0;
+    }
+  } Health;
+
+  StackDispatchSet Set(3);
+  EXPECT_TRUE(Set.refreshHealth(&Health, 0).empty());
+  Health.Up = false;
+  StackHealthDelta Down = Set.refreshHealth(&Health, 1);
+  ASSERT_EQ(Down.WentOffline.size(), 1u);
+  EXPECT_EQ(Down.WentOffline[0], 1u);
+  EXPECT_EQ(Set.endpoint(1).HealthEpoch, 1u);
+  EXPECT_FALSE(Set.endpoint(1).routable());
+  EXPECT_EQ(Set.routableCount(), 2u);
+  // Same state again: no new edge.
+  EXPECT_TRUE(Set.refreshHealth(&Health, 2).empty());
+  Health.Up = true;
+  StackHealthDelta UpAgain = Set.refreshHealth(&Health, 3);
+  ASSERT_EQ(UpAgain.CameOnline.size(), 1u);
+  EXPECT_EQ(UpAgain.CameOnline[0], 1u);
+  // A null source means always healthy.
+  EXPECT_TRUE(Set.refreshHealth(nullptr, 4).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Shared plan cache
+//===----------------------------------------------------------------------===//
+
+TEST(SharedPlanCache, SharedModeCollapsesHealthyStacksToOneEntry) {
+  SharedPlanCache Shared(PlanCacheMode::Shared, 1 << 20, 100);
+  // Stack 0 plans the shape; every other healthy stack then hits.
+  EXPECT_EQ(Shared.charge(2048, 16, 0, 0), 100);
+  EXPECT_EQ(Shared.charge(2048, 16, 1, 0), 0);
+  EXPECT_EQ(Shared.charge(2048, 16, 7, 0), 0);
+  EXPECT_EQ(Shared.entries(), 1u);
+
+  // The per-stack baseline pays once per stack instead.
+  SharedPlanCache PerStack(PlanCacheMode::PerStack, 1 << 20, 100);
+  EXPECT_EQ(PerStack.charge(2048, 16, 0, 0), 100);
+  EXPECT_EQ(PerStack.charge(2048, 16, 1, 0), 100);
+  EXPECT_EQ(PerStack.charge(2048, 16, 0, 0), 0);
+  EXPECT_EQ(PerStack.entries(), 2u);
+}
+
+TEST(SharedPlanCache, HealthEpochKeysDegradedPlansSeparately) {
+  SharedPlanCache Cache(PlanCacheMode::Shared, 1 << 20, 100);
+  EXPECT_EQ(Cache.charge(2048, 16, 1, 0), 100); // shared slot
+  // The stack's health changed: its plans are degraded-specific now.
+  EXPECT_EQ(Cache.charge(2048, 16, 1, 2), 100);
+  EXPECT_EQ(Cache.charge(2048, 16, 1, 2), 0);
+  // A later epoch orphans the old degraded entry.
+  EXPECT_EQ(Cache.charge(2048, 16, 1, 3), 100);
+  EXPECT_EQ(Cache.entries(), 3u);
+
+  // Invalidation drops the stack-keyed entries but never the shared
+  // geometry-only slot.
+  Cache.invalidateStack(1);
+  EXPECT_EQ(Cache.stats().Invalidations, 2u);
+  EXPECT_TRUE(Cache.contains(2048, 16, 0, 0));
+  EXPECT_FALSE(Cache.contains(2048, 16, 1, 2));
+  EXPECT_FALSE(Cache.contains(2048, 16, 1, 3));
+}
+
+TEST(SharedPlanCache, EvictsTheLeastRecentlyUsedEntryFirst) {
+  // Entry footprint is 4096 + 2N; capacity fits exactly two N=1024
+  // entries (6144 bytes each).
+  SharedPlanCache Cache(PlanCacheMode::PerStack, 13000, 100);
+  Cache.charge(1024, 16, 0, 0); // A
+  Cache.charge(1024, 16, 1, 0); // B
+  EXPECT_EQ(Cache.entries(), 2u);
+  // Touch A so B is the LRU victim when C arrives.
+  EXPECT_EQ(Cache.charge(1024, 16, 0, 0), 0);
+  Cache.charge(1024, 16, 2, 0); // C evicts B
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_TRUE(Cache.contains(1024, 16, 0, 0));
+  EXPECT_FALSE(Cache.contains(1024, 16, 1, 0));
+  EXPECT_TRUE(Cache.contains(1024, 16, 2, 0));
+  // Bytes track the live set; the peak saw the pre-eviction overshoot.
+  EXPECT_EQ(Cache.stats().Bytes, 2u * 6144u);
+  EXPECT_EQ(Cache.stats().PeakBytes, 3u * 6144u);
+}
+
+TEST(SharedPlanCache, ZeroCapacityModelsTheCachelessBaseline) {
+  SharedPlanCache Cache(PlanCacheMode::Shared, 0, 250);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Cache.charge(2048, 16, 0, 0), 250);
+  EXPECT_EQ(Cache.entries(), 0u);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+  EXPECT_EQ(Cache.stats().Misses, 5u);
+  EXPECT_DOUBLE_EQ(Cache.stats().hitRate(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Tenant quotas and the brownout ladder
+//===----------------------------------------------------------------------===//
+
+TEST(TenantQuota, BucketAdmitsTheBurstThenShedsUntilRefill) {
+  TenantQuotaPolicy Policy;
+  Policy.Enabled = true;
+  Policy.JobsPerSec = 2.0;
+  Policy.Burst = 3.0;
+  TenantQuota Quota(Policy);
+
+  // The first arrival finds a full bucket; the burst drains it.
+  for (int I = 0; I != 3; ++I)
+    EXPECT_TRUE(Quota.admit(7, 0));
+  EXPECT_FALSE(Quota.admit(7, 0));
+  EXPECT_EQ(Quota.shedJobs(), 1u);
+
+  // Untenanted jobs and other tenants are unaffected.
+  EXPECT_TRUE(Quota.admit(0, 0));
+  EXPECT_TRUE(Quota.admit(8, 0));
+
+  // One second at 2 jobs/s refills two whole tokens.
+  EXPECT_TRUE(Quota.admit(7, PicosPerSecond));
+  EXPECT_TRUE(Quota.admit(7, PicosPerSecond));
+  EXPECT_FALSE(Quota.admit(7, PicosPerSecond));
+
+  // Refill caps at the burst: a long-idle tenant gets 3, not 2000.
+  for (int I = 0; I != 3; ++I)
+    EXPECT_TRUE(Quota.admit(7, 1000 * PicosPerSecond));
+  EXPECT_FALSE(Quota.admit(7, 1000 * PicosPerSecond));
+  EXPECT_EQ(Quota.throttledTenants(), 1u);
+}
+
+TEST(TenantQuota, DisabledPolicyAdmitsEverything) {
+  TenantQuota Quota(TenantQuotaPolicy{});
+  for (int I = 0; I != 100; ++I)
+    EXPECT_TRUE(Quota.admit(1, 0));
+  EXPECT_EQ(Quota.shedJobs(), 0u);
+}
+
+TEST(BrownoutLadder, ShedsTiersStrictlyFromTheBottom) {
+  BrownoutLadderPolicy Policy;
+  Policy.Enabled = true;
+  Policy.NumTiers = 4;
+  Policy.Window = 4;
+  BrownoutLadder Ladder(Policy);
+
+  // Level 0 sheds nothing at all.
+  for (unsigned P = 0; P != 6; ++P)
+    EXPECT_FALSE(Ladder.sheds(P));
+
+  auto Escalate = [&] {
+    for (unsigned I = 0; I != 4; ++I)
+      Ladder.recordOutcome(true);
+  };
+
+  // Level 1: only the bottom tier (priority >= 3, clamped) sheds.
+  Escalate();
+  EXPECT_EQ(Ladder.level(), 1u);
+  EXPECT_FALSE(Ladder.sheds(2));
+  EXPECT_TRUE(Ladder.sheds(3));
+  EXPECT_TRUE(Ladder.sheds(9)); // beyond NumTiers clamps into the bottom
+  // Level 2 also takes tier 2; urgent tiers still pass.
+  Escalate();
+  EXPECT_EQ(Ladder.level(), 2u);
+  EXPECT_FALSE(Ladder.sheds(1));
+  EXPECT_TRUE(Ladder.sheds(2));
+  // The top of the ladder sheds everything, including priority 0 - and
+  // the level is capped there.
+  Escalate();
+  Escalate();
+  EXPECT_EQ(Ladder.level(), 4u);
+  EXPECT_TRUE(Ladder.sheds(0));
+  Escalate();
+  EXPECT_EQ(Ladder.level(), 4u);
+  EXPECT_EQ(Ladder.escalations(), 4u);
+}
+
+TEST(BrownoutLadder, HysteresisBandHoldsAndRecoveryStepsDown) {
+  BrownoutLadderPolicy Policy;
+  Policy.Enabled = true;
+  Policy.NumTiers = 4;
+  Policy.Window = 4;
+  Policy.EnterMissRate = 0.75;
+  Policy.ExitMissRate = 0.25;
+  BrownoutLadder Ladder(Policy);
+
+  for (unsigned I = 0; I != 4; ++I)
+    Ladder.recordOutcome(true);
+  EXPECT_EQ(Ladder.level(), 1u);
+
+  // A 50% miss window sits between the thresholds: no movement, in
+  // either direction, however often it repeats.
+  for (unsigned I = 0; I != 12; ++I)
+    Ladder.recordOutcome(I % 2 == 0);
+  EXPECT_EQ(Ladder.level(), 1u);
+
+  // Holds retain the sliding window: the alternating phase left it at
+  // [miss, hit, miss, hit], so a single hit displaces the oldest miss,
+  // drops the rate to 1/4 = the exit threshold, and steps the ladder
+  // down without needing a whole fresh window.
+  Ladder.recordOutcome(false);
+  EXPECT_EQ(Ladder.level(), 0u);
+  EXPECT_EQ(Ladder.escalations(), 1u);
+
+  // The step-down *did* clear the window, so re-escalating needs a full
+  // fresh window of misses - three are not enough...
+  for (unsigned I = 0; I != 3; ++I)
+    Ladder.recordOutcome(true);
+  EXPECT_EQ(Ladder.level(), 0u);
+  // ...the fourth completes it.
+  Ladder.recordOutcome(true);
+  EXPECT_EQ(Ladder.level(), 1u);
+  EXPECT_EQ(Ladder.escalations(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Autoscaler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+AutoscalePolicy scalerPolicy() {
+  AutoscalePolicy Policy;
+  Policy.Enabled = true;
+  Policy.TargetP99Ms = 10.0;
+  Policy.EvalPeriod = 10 * PicosPerMilli;
+  Policy.Cooldown = 50 * PicosPerMilli;
+  Policy.GrowStreak = 2;
+  Policy.ShrinkStreak = 4;
+  Policy.WindowSize = 64;
+  Policy.MinSamples = 8;
+  return Policy;
+}
+
+/// Overwrites the scaler's whole latency window with \p Ms.
+void fillWindow(Autoscaler &Scaler, double Ms, std::size_t Count = 64) {
+  for (std::size_t I = 0; I != Count; ++I)
+    Scaler.recordLatency(Ms);
+}
+
+} // namespace
+
+TEST(Autoscaler, EmptyWindowIsNoSignalNeverShrink) {
+  // The control-loop version of the SloTracker cold-start rule: below
+  // MinSamples the p99 is absent, and absent means hold - NOT "p99 is
+  // zero, shrink everything".
+  Autoscaler Scaler(scalerPolicy());
+  EXPECT_FALSE(Scaler.windowedP99().has_value());
+  for (int Eval = 0; Eval != 10; ++Eval)
+    EXPECT_EQ(Scaler.evaluate(Eval * 10 * PicosPerMilli, 4, 4),
+              ScaleDecision::Hold);
+  // A few samples, still below the floor: same answer.
+  Scaler.recordLatency(0.1);
+  Scaler.recordLatency(0.1);
+  EXPECT_FALSE(Scaler.windowedP99().has_value());
+  EXPECT_EQ(Scaler.evaluate(PicosPerSecond, 4, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.shrinkDecisions(), 0u);
+}
+
+TEST(Autoscaler, GrowsOnlyAfterTheFullBreachStreak) {
+  Autoscaler Scaler(scalerPolicy());
+  fillWindow(Scaler, 100.0); // far over the 10 ms target
+  const Picos Tick = 10 * PicosPerMilli;
+  EXPECT_EQ(Scaler.evaluate(1 * Tick, 1, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(2 * Tick, 1, 4), ScaleDecision::Grow);
+  // With every stack already active the breach can't grow anything.
+  Autoscaler Full(scalerPolicy());
+  fillWindow(Full, 100.0);
+  EXPECT_EQ(Full.evaluate(1 * Tick, 4, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Full.evaluate(2 * Tick, 4, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Full.growDecisions(), 0u);
+}
+
+TEST(Autoscaler, CooldownBlocksBackToBackActions) {
+  Autoscaler Scaler(scalerPolicy());
+  fillWindow(Scaler, 100.0);
+  const Picos Tick = 10 * PicosPerMilli;
+  EXPECT_EQ(Scaler.evaluate(1 * Tick, 1, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(2 * Tick, 1, 4), ScaleDecision::Grow);
+  Scaler.actionTaken(2 * Tick);
+  // Still breached, but the 50 ms cooldown swallows the next ticks.
+  EXPECT_EQ(Scaler.evaluate(3 * Tick, 2, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(4 * Tick, 2, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(6 * Tick, 2, 4), ScaleDecision::Hold);
+  // Past the cooldown the streak rebuilds from zero before acting
+  // again: the first post-cooldown breach is only 1 of 2...
+  EXPECT_EQ(Scaler.evaluate(8 * Tick, 2, 4), ScaleDecision::Hold);
+  // ...and the second completes the streak.
+  EXPECT_EQ(Scaler.evaluate(9 * Tick, 2, 4), ScaleDecision::Grow);
+}
+
+TEST(Autoscaler, SquareWaveLoadDoesNotFlap) {
+  // Load alternating between breach-high and breach-low every evaluation
+  // never completes either streak: the scaler holds forever instead of
+  // thrashing grow/shrink.
+  Autoscaler Scaler(scalerPolicy());
+  const Picos Tick = 10 * PicosPerMilli;
+  for (int Eval = 1; Eval <= 40; ++Eval) {
+    fillWindow(Scaler, Eval % 2 ? 100.0 : 0.5);
+    EXPECT_EQ(Scaler.evaluate(Eval * Tick, 2, 4), ScaleDecision::Hold)
+        << "evaluation " << Eval;
+  }
+  EXPECT_EQ(Scaler.growDecisions(), 0u);
+  EXPECT_EQ(Scaler.shrinkDecisions(), 0u);
+
+  // A slower square wave (period 8 evals) lets the grow streak (2)
+  // complete but not the shrink streak (4): the fleet ratchets up under
+  // pressure yet refuses to give capacity back on a brief quiet phase.
+  Autoscaler Slow(scalerPolicy());
+  std::uint64_t Applied = 0;
+  for (int Eval = 1; Eval <= 80; ++Eval) {
+    fillWindow(Slow, (Eval / 4) % 2 == 0 ? 100.0 : 0.5);
+    const Picos Now = Eval * Tick;
+    if (Slow.evaluate(Now, 2, 4) != ScaleDecision::Hold) {
+      Slow.actionTaken(Now);
+      ++Applied;
+    }
+  }
+  EXPECT_EQ(Slow.shrinkDecisions(), 0u);
+  EXPECT_GT(Slow.growDecisions(), 0u);
+  EXPECT_EQ(Applied, Slow.growDecisions());
+}
+
+TEST(Autoscaler, DeadBandHoldsNearTheTarget) {
+  Autoscaler Scaler(scalerPolicy());
+  // p99 of 7 ms: under the 10 ms target but above the 5 ms shrink line.
+  fillWindow(Scaler, 7.0);
+  const Picos Tick = 10 * PicosPerMilli;
+  for (int Eval = 1; Eval <= 20; ++Eval)
+    EXPECT_EQ(Scaler.evaluate(Eval * Tick, 3, 4), ScaleDecision::Hold);
+  // Truly idle (below the shrink fraction) the streak completes.
+  fillWindow(Scaler, 0.5);
+  EXPECT_EQ(Scaler.evaluate(21 * Tick, 3, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(22 * Tick, 3, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(23 * Tick, 3, 4), ScaleDecision::Hold);
+  EXPECT_EQ(Scaler.evaluate(24 * Tick, 3, 4), ScaleDecision::Shrink);
+  // Never below the floor.
+  Autoscaler Floor(scalerPolicy());
+  fillWindow(Floor, 0.5);
+  for (int Eval = 1; Eval <= 10; ++Eval)
+    EXPECT_EQ(Floor.evaluate(Eval * Tick, 1, 4), ScaleDecision::Hold);
+}
+
+//===----------------------------------------------------------------------===//
+// The fleet end to end
+//===----------------------------------------------------------------------===//
+
+TEST(FleetSimulator, RunReplaysByteIdentically) {
+  FleetConfig Config = fleetConfig(4);
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 300, 200.0, 9,
+                              model(), 6);
+  const FleetResult A = FleetSimulator(Config, model()).run(Stream);
+  const FleetResult B = FleetSimulator(Config, model()).run(Stream);
+
+  EXPECT_EQ(A.EndTime, B.EndTime);
+  EXPECT_EQ(A.LastCompletion, B.LastCompletion);
+  EXPECT_EQ(A.Summary.Completed, B.Summary.Completed);
+  EXPECT_EQ(A.Summary.Shed, B.Summary.Shed);
+  // Doubles compare exactly: identical schedules, identical arithmetic.
+  EXPECT_EQ(A.Summary.ThroughputJobsPerSec, B.Summary.ThroughputJobsPerSec);
+  EXPECT_EQ(A.Summary.P50LatencyMs, B.Summary.P50LatencyMs);
+  EXPECT_EQ(A.Summary.P99LatencyMs, B.Summary.P99LatencyMs);
+  EXPECT_EQ(A.Cache.Hits, B.Cache.Hits);
+  EXPECT_EQ(A.Cache.Misses, B.Cache.Misses);
+  for (unsigned S = 0; S != 4; ++S) {
+    EXPECT_EQ(A.Stacks[S].RoutedJobs, B.Stacks[S].RoutedJobs);
+    EXPECT_EQ(A.Stacks[S].CompletedJobs, B.Stacks[S].CompletedJobs);
+  }
+  EXPECT_GT(A.Summary.Completed, 0u);
+}
+
+TEST(FleetSimulator, SharedCacheBeatsPerStackMemoizationOnRepeats) {
+  // A repeat-heavy mix (two shapes, hundreds of jobs) over 4 stacks:
+  // shared keying plans each shape once for the fleet, the per-stack
+  // baseline re-plans per stack, cache-less re-plans per dispatch.
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 400, 150.0, 5,
+                              model(), 4);
+
+  FleetConfig Shared = fleetConfig(4);
+  FleetConfig PerStack = fleetConfig(4);
+  PerStack.CacheMode = PlanCacheMode::PerStack;
+  FleetConfig None = fleetConfig(4);
+  None.CacheBytes = 0;
+
+  const FleetResult S = FleetSimulator(Shared, model()).run(Stream);
+  const FleetResult P = FleetSimulator(PerStack, model()).run(Stream);
+  const FleetResult N = FleetSimulator(None, model()).run(Stream);
+
+  EXPECT_EQ(S.CacheModeName, "shared");
+  EXPECT_EQ(P.CacheModeName, "per-stack");
+  EXPECT_EQ(N.CacheModeName, "none");
+  EXPECT_LT(S.Cache.Misses, P.Cache.Misses);
+  EXPECT_GT(S.Cache.hitRate(), P.Cache.hitRate());
+  EXPECT_EQ(N.Cache.Hits, 0u);
+  EXPECT_EQ(N.Cache.Misses,
+            N.Summary.Completed); // every dispatch re-planned
+  // Same stream everywhere: the comparison is apples to apples.
+  EXPECT_EQ(S.Summary.Offered, P.Summary.Offered);
+  EXPECT_EQ(S.Summary.Offered, N.Summary.Offered);
+}
+
+TEST(FleetSimulator, OutstandingStateIsStructurallyBounded) {
+  // The flat-memory contract: outstanding jobs never exceed
+  // S * (QueueCapacity + 1) no matter how overloaded the fleet is.
+  FleetConfig Config = fleetConfig(2);
+  Config.QueueCapacity = 4;
+  // Savage overload: everything funnels into two small queues.
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 500, 5000.0, 1,
+                              model(), 3);
+  const FleetResult R = FleetSimulator(Config, model()).run(Stream);
+  EXPECT_LE(R.PeakOutstanding, 2u * (4u + 1u));
+  EXPECT_GT(R.ShedQueueFull, 0u);
+  EXPECT_EQ(R.Summary.Offered, 500u);
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 500u);
+}
+
+TEST(FleetSimulator, QuotaShedsAHogTenantsOverflow) {
+  FleetConfig Config = fleetConfig(2);
+  Config.Quota.Enabled = true;
+  Config.Quota.JobsPerSec = 10.0;
+  Config.Quota.Burst = 5.0;
+  // One tenant fires the whole stream at 500 jobs/s: far past its quota.
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 200, 500.0, 2,
+                              model(), 1);
+  const FleetResult R = FleetSimulator(Config, model()).run(Stream);
+  EXPECT_GT(R.ShedQuota, 0u);
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 200u);
+}
+
+TEST(FleetSimulator, AutoscaledFleetStartsAtTheFloorAndGrows) {
+  FleetConfig Config = fleetConfig(4);
+  Config.Autoscale.Enabled = true;
+  Config.Autoscale.TargetP99Ms = 5.0;
+  Config.Autoscale.MinSamples = 16;
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 400, 300.0, 3,
+                              model(), 4);
+  const FleetResult R = FleetSimulator(Config, model()).run(Stream);
+  // Heavy load on a one-stack floor: the scaler must have grown.
+  EXPECT_GT(R.ScaleUps, 0u);
+  EXPECT_GT(R.FinalActiveStacks, 1u);
+  EXPECT_EQ(R.Summary.Completed + R.Summary.Shed, 400u);
+}
+
+TEST(FleetSimulator, ExportPublishesFleetMetrics) {
+  FleetConfig Config = fleetConfig(2);
+  PoissonArrivalStream Stream(mixedWorkloadTemplates(), 100, 100.0, 4,
+                              model(), 2);
+  const FleetResult R = FleetSimulator(Config, model()).run(Stream);
+  MetricsRegistry Registry;
+  FleetSimulator::exportTo(R, Registry);
+  const MetricLabels L{{"router", "hash"}};
+  EXPECT_EQ(Registry.counter("fleet.completed", L).value(),
+            R.Summary.Completed);
+  EXPECT_EQ(Registry.counter("fleet.cache_hits", L).value(), R.Cache.Hits);
+  EXPECT_DOUBLE_EQ(Registry.gauge("fleet.cache_hit_rate", L).value(),
+                   R.Cache.hitRate());
+  const MetricLabels S0{{"router", "hash"}, {"stack", "0"}};
+  EXPECT_EQ(Registry.counter("fleet.stack_routed", S0).value(),
+            R.Stacks[0].RoutedJobs);
+}

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 using namespace fft3d;
 
 namespace {
@@ -114,4 +116,48 @@ TEST(SloTracker, EmptyRunSummarizesToZeros) {
   EXPECT_DOUBLE_EQ(S.ThroughputJobsPerSec, 0.0);
   EXPECT_DOUBLE_EQ(S.P99LatencyMs, 0.0);
   EXPECT_DOUBLE_EQ(S.DeadlineMissRate, 0.0);
+}
+
+TEST(SloTracker, ColdStartReportOmitsLatencyGauges) {
+  // The empty-window regression: a run with arrivals but zero
+  // completions must flag its latency fields as placeholders and keep
+  // them out of the exported report - "p99 = 0 ms" on a cold start is
+  // not a measurement.
+  SloTracker Tracker;
+  JobRequest OnlyShed;
+  OnlyShed.Id = 1;
+  OnlyShed.Arrival = PicosPerMilli;
+  Tracker.recordShed(OnlyShed, AdmissionDecision::ShedQueueFull);
+
+  const SloSummary S = Tracker.summarize(10 * PicosPerMilli);
+  EXPECT_EQ(S.Completed, 0u);
+  EXPECT_FALSE(S.HasLatencyStats);
+  EXPECT_DOUBLE_EQ(S.P99LatencyMs, 0.0);
+
+  MetricsRegistry Registry;
+  Tracker.exportTo(Registry, "fcfs", 10 * PicosPerMilli);
+  std::ostringstream Json;
+  Registry.writeJson(Json);
+  const std::string Text = Json.str();
+  // Count/shed counters are reported; the latency-derived gauges are
+  // absent, not zero.
+  EXPECT_NE(Text.find("serve.shed"), std::string::npos);
+  EXPECT_EQ(Text.find("serve.p99_latency_ms"), std::string::npos);
+  EXPECT_EQ(Text.find("serve.p50_latency_ms"), std::string::npos);
+  EXPECT_EQ(Text.find("serve.throughput_jobs_per_sec"), std::string::npos);
+
+  // One completion flips the flag and the gauges appear.
+  JobOutcome Done;
+  Done.Job.Id = 2;
+  Done.Job.Arrival = 0;
+  Done.DispatchTime = PicosPerMilli;
+  Done.CompleteTime = 2 * PicosPerMilli;
+  Tracker.recordCompletion(Done);
+  EXPECT_TRUE(Tracker.summarize(10 * PicosPerMilli).HasLatencyStats);
+  MetricsRegistry Warm;
+  Tracker.exportTo(Warm, "fcfs", 10 * PicosPerMilli);
+  std::ostringstream WarmJson;
+  Warm.writeJson(WarmJson);
+  EXPECT_NE(WarmJson.str().find("serve.p99_latency_ms"),
+            std::string::npos);
 }

@@ -13,12 +13,19 @@
 //               [--closed-loop CLIENTS] [--think-ms MS]
 //               [--shed-infeasible] [--vaults V]
 //
+// Fleet mode (--fleet, with --stacks >= 2) routes the arrival stream
+// across S whole stacks through the front-end tier instead: pluggable
+// routing (--router), per-tenant quotas (--tenants), the shared plan
+// cache (--cache-mb / --cache-mode) and p99-driven autoscaling
+// (--autoscale-p99-us).
+//
 // Flags accept both "--key value" and "--key=value".
 //
 // Examples:
 //   fft3d_serve --jobs 200 --policy all --seed 42
 //   fft3d_serve --jobs 500 --rate 120 --policy vault --partitions 4
 //   fft3d_serve --closed-loop 8 --jobs 160 --policy all
+//   fft3d_serve --fleet --stacks 4 --jobs 5000 --router hash
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +33,7 @@
 #include "obs/Metrics.h"
 #include "obs/Tracer.h"
 #include "serve/ServeSimulator.h"
+#include "serve/fleet/FleetSimulator.h"
 #include "support/CliOptions.h"
 #include "support/TableWriter.h"
 #include "support/ThreadPool.h"
@@ -58,6 +66,9 @@ struct Cli {
   /// parsed by support/CliOptions so the tools cannot drift. This
   /// tool defaults the seed to 42 when --seed is absent.
   CommonCliOptions Common;
+  /// Fleet front-end flags (--fleet, --router, --tenants, --cache-mb,
+  /// --cache-mode, --autoscale-p99-us), shared with fft3d_sim's parser.
+  FleetCliOptions Fleet;
   std::uint32_t TraceCats = TraceCatAll;
 };
 
@@ -69,8 +80,8 @@ struct Cli {
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
                "  [--shed-infeasible] [--vaults V]\n"
                "  and the shared flags (seed defaults to 42 here):\n"
-               "%s%s",
-               Prog, commonCliUsage(), clusterCliUsage());
+               "%s%s%s",
+               Prog, commonCliUsage(), clusterCliUsage(), fleetCliUsage());
   std::exit(2);
 }
 
@@ -79,7 +90,8 @@ Cli parse(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     const char *Value = nullptr;
     std::string CommonError;
-    if (parseCommonCliOption(Argc, Argv, I, C.Common, CommonError)) {
+    if (parseCommonCliOption(Argc, Argv, I, C.Common, CommonError) ||
+        parseFleetCliOption(Argc, Argv, I, C.Fleet, CommonError)) {
       if (!CommonError.empty()) {
         std::fprintf(stderr, "error: %s\n", CommonError.c_str());
         usage(Argv[0]);
@@ -134,6 +146,18 @@ Cli parse(int Argc, char **Argv) {
     std::fprintf(stderr, "error: unknown mix '%s'\n", C.Mix.c_str());
     usage(Argv[0]);
   }
+  if (C.Fleet.Fleet) {
+    if (C.Common.Stacks < 2) {
+      std::fprintf(stderr, "error: --fleet routes across stacks; pass "
+                           "--stacks 2 or more\n");
+      usage(Argv[0]);
+    }
+    if (C.ClosedLoopClients != 0) {
+      std::fprintf(stderr, "error: --fleet is open-loop only (drop "
+                           "--closed-loop)\n");
+      usage(Argv[0]);
+    }
+  }
   return C;
 }
 
@@ -180,10 +204,161 @@ std::shared_ptr<const FaultSpec> loadFaultSpec(const std::string &Path) {
   return std::make_shared<const FaultSpec>(std::move(Spec));
 }
 
+/// The --fleet path: one routed multi-stack run. Each stack serves
+/// whole jobs at its single-stack estimate, so the model is built with
+/// Stacks = 1 regardless of the fleet size. Nothing in the report
+/// depends on --sim-threads or --threads (estimates are bit-identical
+/// at any thread count), which the CI determinism smoke pins with cmp.
+int runFleet(const Cli &C) {
+  MemoryConfig Mem;
+  Mem.Geo.NumVaults = C.Vaults;
+  ServiceModel Model(Mem, 8ull << 20, 50000, C.Common.SimThreads,
+                     /*Stacks=*/1, C.Common.LinkGBps);
+
+  FleetConfig Config;
+  Config.NumStacks = C.Common.Stacks;
+  Config.QueueCapacity = C.QueueCap;
+  std::string Error;
+  if (!parseRoutePolicy(C.Fleet.Router, Config.Router, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  Config.CacheMode = C.Fleet.CacheMode == "per-stack"
+                         ? PlanCacheMode::PerStack
+                         : PlanCacheMode::Shared;
+  Config.CacheBytes =
+      static_cast<std::uint64_t>(C.Fleet.CacheMb * 1024.0 * 1024.0);
+  Config.RingSeed = C.Common.Seed;
+  if (C.Fleet.Tenants > 0) {
+    // Generous default quota: each tenant may sustain the full offered
+    // rate, so quotas only bind when one tenant hogs the stream.
+    Config.Quota.Enabled = true;
+    Config.Quota.JobsPerSec = C.RatePerSec;
+    Config.Quota.Burst = 20.0;
+  }
+  if (C.Fleet.AutoscaleP99Us > 0.0) {
+    Config.Autoscale.Enabled = true;
+    Config.Autoscale.TargetP99Ms = C.Fleet.AutoscaleP99Us / 1000.0;
+  }
+  const bool WithFaults = !C.Common.FaultsFile.empty();
+  if (WithFaults) {
+    const std::shared_ptr<const FaultSpec> Faults =
+        loadFaultSpec(C.Common.FaultsFile);
+    Config.Health =
+        std::make_shared<HealthMonitor>(Faults, C.Vaults, C.Common.Stacks);
+    Config.Brownout.Enabled = true;
+  }
+
+  std::printf("fft3d_serve fleet: %u jobs over %u stacks, router %s, "
+              "mix %s, seed %llu, %u vaults, queue cap %zu\n",
+              C.Jobs, C.Common.Stacks, C.Fleet.Router.c_str(),
+              C.Mix.c_str(),
+              static_cast<unsigned long long>(C.Common.Seed), C.Vaults,
+              C.QueueCap);
+  std::printf("open loop: Poisson arrivals at %.1f jobs/s, %u tenants, "
+              "plan cache %s %.1f MiB%s\n\n",
+              C.RatePerSec, C.Fleet.Tenants,
+              Config.CacheBytes == 0 ? "off"
+                                     : planCacheModeName(Config.CacheMode),
+              C.Fleet.CacheMb,
+              Config.Autoscale.Enabled ? ", autoscaling" : "");
+
+  const std::vector<JobTemplate> Mix = mixFor(C.Mix);
+  {
+    ThreadPool Pool(ThreadPool::resolveThreads(C.Common.Threads));
+    std::vector<std::pair<std::uint64_t, unsigned>> Keys;
+    for (const JobTemplate &T : Mix)
+      Keys.emplace_back(T.N, C.Vaults);
+    Model.prewarm(Keys, Pool);
+  }
+  PoissonArrivalStream Arrivals(Mix, C.Jobs, C.RatePerSec, C.Common.Seed,
+                                Model, C.Fleet.Tenants);
+
+  std::unique_ptr<Tracer> Trace;
+  if (!C.Common.TraceFile.empty())
+    Trace = std::make_unique<Tracer>(C.TraceCats);
+  Config.Trace = Trace.get();
+
+  FleetSimulator Sim(Config, Model);
+  const FleetResult R = Sim.run(Arrivals);
+  const SloSummary &S = R.Summary;
+
+  TableWriter Table({"router", "done", "shed", "jobs/s", "p50 ms",
+                     "p95 ms", "p99 ms", "queue p99", "miss %", "cache %",
+                     "drain", "scale", "peak"});
+  Table.addRow({R.RouterName, TableWriter::num(S.Completed),
+                TableWriter::num(S.Shed),
+                TableWriter::num(S.ThroughputJobsPerSec, 1),
+                TableWriter::num(S.P50LatencyMs, 2),
+                TableWriter::num(S.P95LatencyMs, 2),
+                TableWriter::num(S.P99LatencyMs, 2),
+                TableWriter::num(S.P99QueueMs, 2),
+                TableWriter::percent(S.DeadlineMissRate),
+                TableWriter::percent(R.Cache.hitRate()),
+                TableWriter::num(R.Drained),
+                "+" + std::to_string(R.ScaleUps) + "/-" +
+                    std::to_string(R.ScaleDowns),
+                TableWriter::num(R.PeakOutstanding)});
+  Table.print(std::cout);
+
+  std::printf("\nPer-stack routing:\n");
+  for (const StackEndpoint &E : R.Stacks)
+    std::printf("  stack %u: routed %llu, completed %llu, drained %llu%s\n",
+                E.Stack, static_cast<unsigned long long>(E.RoutedJobs),
+                static_cast<unsigned long long>(E.CompletedJobs),
+                static_cast<unsigned long long>(E.DrainedJobs),
+                E.Active ? "" : " (scaled out)");
+  std::printf("plan cache: %llu hits, %llu misses, %llu evictions, "
+              "%llu invalidations, peak %.2f MiB\n",
+              static_cast<unsigned long long>(R.Cache.Hits),
+              static_cast<unsigned long long>(R.Cache.Misses),
+              static_cast<unsigned long long>(R.Cache.Evictions),
+              static_cast<unsigned long long>(R.Cache.Invalidations),
+              static_cast<double>(R.Cache.PeakBytes) / (1024.0 * 1024.0));
+  if (R.ShedQuota + R.ShedBrownout + R.ShedQueueFull + R.ShedNoStack != 0)
+    std::printf("sheds: %llu quota, %llu brownout, %llu queue-full, "
+                "%llu no-stack\n",
+                static_cast<unsigned long long>(R.ShedQuota),
+                static_cast<unsigned long long>(R.ShedBrownout),
+                static_cast<unsigned long long>(R.ShedQueueFull),
+                static_cast<unsigned long long>(R.ShedNoStack));
+
+  if (Trace) {
+    std::ofstream Out(C.Common.TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   C.Common.TraceFile.c_str());
+      return 1;
+    }
+    Trace->writeChromeTrace(Out);
+    std::printf("\nwrote %zu trace events to %s (%llu dropped)\n",
+                Trace->events().size(), C.Common.TraceFile.c_str(),
+                static_cast<unsigned long long>(Trace->dropped()));
+  }
+  if (!C.Common.MetricsFile.empty()) {
+    MetricsRegistry Metrics;
+    FleetSimulator::exportTo(R, Metrics);
+    if (Config.Health)
+      Config.Health->exportTo(Metrics, R.EndTime);
+    std::ofstream Out(C.Common.MetricsFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write metrics '%s'\n",
+                   C.Common.MetricsFile.c_str());
+      return 1;
+    }
+    Metrics.writeJson(Out);
+    std::printf("wrote %zu metrics to %s\n", Metrics.size(),
+                C.Common.MetricsFile.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   const Cli C = parse(Argc, Argv);
+  if (C.Fleet.Fleet)
+    return runFleet(C);
 
   MemoryConfig Mem;
   Mem.Geo.NumVaults = C.Vaults;

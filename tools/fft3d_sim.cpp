@@ -96,6 +96,7 @@ Cli parse(int Argc, char **Argv) {
   Cli C;
   C.Config = SystemConfig::forProblemSize(C.N);
   Timing &T = C.Config.Mem.Time;
+  FleetCliOptions FleetFlags;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     const char *Value = nullptr;
@@ -105,6 +106,16 @@ Cli parse(int Argc, char **Argv) {
         std::fprintf(stderr, "error: %s\n", CommonError.c_str());
         usage(Argv[0]);
       }
+    } else if (parseFleetCliOption(Argc, Argv, I, FleetFlags,
+                                   CommonError)) {
+      // Recognize the fleet flags so the diagnostic names the right
+      // tool instead of a generic usage dump.
+      std::fprintf(stderr,
+                   "error: '%s' is a serving-fleet flag; the fleet "
+                   "front-end lives in fft3d_serve (fft3d_serve --fleet "
+                   "--stacks 4 ...)\n",
+                   Arg);
+      std::exit(2);
     } else if (consume(Arg, "--n", &Value) && Value) {
       C.N = std::strtoull(Value, nullptr, 10);
     } else if (consume(Arg, "--arch", &Value) && Value) {
