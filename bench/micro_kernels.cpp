@@ -184,6 +184,35 @@ BENCHMARK(BM_Radix4Stage)
     ->Arg(static_cast<int>(SimdLevel::Avx2))
     ->Arg(static_cast<int>(SimdLevel::Neon));
 
+/// The convolution theorem's pointwise spectral product at a chosen
+/// dispatch level; Arg is the SimdLevel enum value, as in BM_Radix4Stage.
+void BM_PointwiseMul(benchmark::State &State) {
+  const SimdLevel Requested = static_cast<SimdLevel>(State.range(0));
+  if (!simdLevelSupported(Requested)) {
+    State.SkipWithError("level unsupported on this CPU");
+    return;
+  }
+  const FftKernels &Kernels = kernelsFor(Requested);
+  constexpr std::uint64_t N = 4096;
+  Rng R(N);
+  std::vector<CplxD> Acc(N), Other(N);
+  for (std::uint64_t I = 0; I != N; ++I) {
+    Acc[I] = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+    Other[I] = CplxD(R.nextDouble(-1, 1), R.nextDouble(-1, 1));
+  }
+  for (auto _ : State) {
+    Kernels.PointwiseMul(Acc.data(), Other.data(), N);
+    benchmark::DoNotOptimize(Acc.data());
+  }
+  State.SetLabel(simdLevelName(Requested));
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_PointwiseMul)
+    ->Arg(static_cast<int>(SimdLevel::Scalar))
+    ->Arg(static_cast<int>(SimdLevel::Sse2))
+    ->Arg(static_cast<int>(SimdLevel::Avx2))
+    ->Arg(static_cast<int>(SimdLevel::Neon));
+
 void BM_LayoutAddressOf(benchmark::State &State) {
   const BlockDynamicLayout L(8192, 8192, 8, 0, 8, 128);
   std::uint64_t I = 0;

@@ -7,6 +7,7 @@
 #include "core/Fft2dProcessor.h"
 
 #include "fft/Fft2d.h"
+#include "fft/PackedSpectrum.h"
 #include "fft/StreamingKernel.h"
 #include "layout/LinearLayouts.h"
 #include "mem3d/Backend.h"
@@ -34,7 +35,13 @@ AppReport Fft2dProcessor::runOptimized() {
 AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
                                           bool Optimized) {
   const std::uint64_t N = Config.N;
-  const std::uint64_t MatrixBytes = N * N * ElementBytes;
+  const bool Real = Config.Input == InputDomain::Real;
+  // Real input: 4-byte samples in, and the irredundant N x (N/2) packed
+  // intermediate/output - every region carries exactly half the complex
+  // run's bytes, which is the whole point of the mode.
+  const std::uint64_t MidCols = Real ? N / 2 : N;
+  const unsigned InputElemBytes = Real ? ElementBytes / 2 : ElementBytes;
+  const std::uint64_t MatrixBytes = N * MidCols * ElementBytes;
   const std::uint64_t RegionStride =
       roundUp(MatrixBytes, Config.Mem.Geo.RowBufferBytes);
   const PhysAddr InputBase = 0;
@@ -54,8 +61,9 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   Mem.setTracer(Trace, TracePid);
   Engine.setObservability(Trace, Metrics, TracePid);
   if (Trace)
-    Trace->setProcessName(TracePid, Optimized ? "fft2d optimized"
-                                              : "fft2d baseline");
+    Trace->setProcessName(
+        TracePid, Optimized ? (Real ? "fft2d optimized real" : "fft2d optimized")
+                            : (Real ? "fft2d baseline real" : "fft2d baseline"));
 
   const StreamingKernel Kernel(N, Arch.Lanes, Arch.ClockMHz);
   const double PaceGBps = Kernel.streamGBps();
@@ -65,6 +73,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   AppReport Report;
   Report.N = N;
   Report.Optimized = Optimized;
+  Report.Input = Config.Input;
   Report.DataParallelism = Arch.Lanes;
   Report.HealthyVaultsStart = Mem.healthyVaults(0);
   if (Report.HealthyVaultsStart == 0)
@@ -72,11 +81,11 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
 
   // Input always arrives row-major; the output region mirrors the
   // intermediate's layout family.
-  const RowMajorLayout Input(N, N, ElementBytes, InputBase);
+  const RowMajorLayout Input(N, N, InputElemBytes, InputBase);
 
   if (!Optimized) {
-    const RowMajorLayout Mid(N, N, ElementBytes, MidBase);
-    const RowMajorLayout Out(N, N, ElementBytes, OutBase);
+    const RowMajorLayout Mid(N, MidCols, ElementBytes, MidBase);
+    const RowMajorLayout Out(N, MidCols, ElementBytes, OutBase);
 
     // Phase 1: stream rows in, rows out.
     RowScanTrace P1Read(Input, RowBuf);
@@ -102,11 +111,12 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
     // a vault already failed at t=0 never receives blocks.
     const unsigned PlanVaults =
         std::min<unsigned>(Arch.VaultsParallel, Report.HealthyVaultsStart);
-    Report.Plan = Planner.plan(N, PlanVaults);
-    const BlockDynamicLayout Mid(N, N, ElementBytes, MidBase, Report.Plan.W,
-                                 Report.Plan.H);
-    const BlockDynamicLayout Out(N, N, ElementBytes, OutBase, Report.Plan.W,
-                                 Report.Plan.H);
+    Report.Plan = Real ? Planner.planPacked(N, PlanVaults)
+                       : Planner.plan(N, PlanVaults);
+    const BlockDynamicLayout Mid(N, MidCols, ElementBytes, MidBase,
+                                 Report.Plan.W, Report.Plan.H);
+    const BlockDynamicLayout Out(N, MidCols, ElementBytes, OutBase,
+                                 Report.Plan.W, Report.Plan.H);
 
     // The controlling unit programs the permutation network once per
     // phase; its buffers are the layout's on-chip cost.
@@ -141,15 +151,20 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
         reportFatalError("every vault failed during phase 1; the "
                          "checkpoint cannot be recovered");
       if (HealthyNow < PlanVaults) {
-        const DegradedPlan Degraded = Planner.planDegraded(
-            N, Mem.faults()->onlineVaults(Events.now()), Arch.VaultsParallel);
+        const DegradedPlan Degraded =
+            Real ? Planner.planPackedDegraded(
+                       N, Mem.faults()->onlineVaults(Events.now()),
+                       Arch.VaultsParallel)
+                 : Planner.planDegraded(
+                       N, Mem.faults()->onlineVaults(Events.now()),
+                       Arch.VaultsParallel);
         Report.Replanned = true;
         Report.ReplannedPlan = Degraded.Plan;
         P2Plan = Degraded.Plan;
         ReplannedMid = std::make_unique<BlockDynamicLayout>(
-            N, N, ElementBytes, OutBase, P2Plan.W, P2Plan.H);
+            N, MidCols, ElementBytes, OutBase, P2Plan.W, P2Plan.H);
         ReplannedOut = std::make_unique<BlockDynamicLayout>(
-            N, N, ElementBytes, MidBase, P2Plan.W, P2Plan.H);
+            N, MidCols, ElementBytes, MidBase, P2Plan.W, P2Plan.H);
         // Migration: stream every checkpointed block out of the old
         // layout and straight into the new one, memory-bound (no kernel
         // pacing - this is a pure copy through the permutation network).
@@ -192,7 +207,7 @@ AppReport Fft2dProcessor::runArchitecture(const ArchParams &Arch,
   const double ReadGBps = Report.RowPhase.ThroughputGBps / 2.0;
   const Picos FillInput =
       ReadGBps > 0.0
-          ? static_cast<Picos>(static_cast<double>(N) * ElementBytes /
+          ? static_cast<Picos>(static_cast<double>(N) * InputElemBytes /
                                ReadGBps * static_cast<double>(PicosPerNano))
           : 0;
   Report.AppLatency = Report.RowPhase.FirstReadComplete + FillInput +
@@ -426,6 +441,84 @@ Matrix Fft2dProcessor::computeViaDynamicLayoutWithVaultLoss(
     for (std::uint64_t Ic = 0; Ic != Plan1.W; ++Ic) {
       ColPlan.forward(Columns[Ic]);
       Out.setCol(Bc * Plan1.W + Ic, Columns[Ic]);
+    }
+  }
+  return Out;
+}
+
+Matrix Fft2dProcessor::computeRealViaDynamicLayout(
+    const std::vector<double> &Field, const SystemConfig &Config,
+    StreamMode Mode) {
+  const std::uint64_t N = Config.N;
+  if (Field.size() != N * N)
+    reportFatalError("real-input pipeline requires an N x N field");
+
+  const LayoutPlanner Planner(Config.Mem.Geo, Config.Mem.Time, ElementBytes);
+  const BlockPlan Plan =
+      Planner.planPacked(N, Config.Optimized.VaultsParallel);
+  const std::uint64_t Cols = N / 2;
+  const BlockDynamicLayout Layout(N, Cols, ElementBytes, /*Base=*/0, Plan.W,
+                                  Plan.H);
+
+  PermutationNetwork Network(static_cast<unsigned>(Plan.W),
+                             Plan.W * Plan.H);
+  ControlUnit Cu(Network);
+
+  // Byte-accurate image of the packed intermediate region.
+  std::vector<CplxF> Image(N * Cols);
+
+  // Phase 1: packed r2c row transforms - identical arithmetic to the
+  // host-side packedRealRowTransform - then per-block writeback through
+  // the permutation network into the wedge's Eq. 1 layout.
+  Matrix RowDone = packedRealRowTransform(Field, N, N);
+  Cu.configureForWriteback(Plan.W, Plan.H, Mode);
+  std::vector<CplxF> BlockData(Plan.W * Plan.H);
+  for (std::uint64_t Br = 0; Br != Layout.blocksPerCol(); ++Br) {
+    for (std::uint64_t Bc = 0; Bc != Layout.blocksPerRow(); ++Bc) {
+      for (std::uint64_t Ir = 0; Ir != Plan.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
+          const std::uint64_t Arrival = Mode == StreamMode::LaneParallel
+                                            ? Ir * Plan.W + Ic
+                                            : Ic * Plan.H + Ir;
+          BlockData[Arrival] =
+              RowDone.at(Br * Plan.H + Ir, Bc * Plan.W + Ic);
+        }
+      const std::vector<CplxF> Stored = Network.permute(BlockData);
+      const std::uint64_t BaseSlot =
+          Layout.blockBase(Br, Bc) / ElementBytes;
+      for (std::uint64_t I = 0; I != Stored.size(); ++I)
+        Image[BaseSlot + I] = Stored[I];
+    }
+  }
+
+  // Phase 2: stream blocks back and run plain complex column FFTs on
+  // every packed column. The folded column 0 needs no special case -
+  // that is the entire point of the packing.
+  Cu.configureForColumnFetch(Plan.W, Plan.H, Mode);
+  Fft1d ColPlan(N);
+  Matrix Out(N, Cols);
+  std::vector<std::vector<CplxF>> Columns(Plan.W);
+  for (std::uint64_t Bc = 0; Bc != Layout.blocksPerRow(); ++Bc) {
+    for (auto &Column : Columns)
+      Column.clear();
+    for (std::uint64_t Br = 0; Br != Layout.blocksPerCol(); ++Br) {
+      const std::uint64_t BaseSlot =
+          Layout.blockBase(Br, Bc) / ElementBytes;
+      std::vector<CplxF> Fetched(Image.begin() + BaseSlot,
+                                 Image.begin() + BaseSlot +
+                                     Plan.W * Plan.H);
+      const std::vector<CplxF> Stream = Network.permute(Fetched);
+      for (std::uint64_t Ir = 0; Ir != Plan.H; ++Ir)
+        for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
+          const std::uint64_t Pos = Mode == StreamMode::LaneParallel
+                                        ? Ir * Plan.W + Ic
+                                        : Ic * Plan.H + Ir;
+          Columns[Ic].push_back(Stream[Pos]);
+        }
+    }
+    for (std::uint64_t Ic = 0; Ic != Plan.W; ++Ic) {
+      ColPlan.forward(Columns[Ic]);
+      Out.setCol(Bc * Plan.W + Ic, Columns[Ic]);
     }
   }
   return Out;

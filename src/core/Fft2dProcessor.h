@@ -38,6 +38,9 @@ namespace fft3d {
 struct AppReport {
   std::uint64_t N = 0;
   bool Optimized = false;
+  /// Sample domain the run simulated. Real runs move an N x (N/2)
+  /// packed intermediate - half the complex path's phase-2 bytes.
+  InputDomain Input = InputDomain::Complex;
   PhaseResult RowPhase;
   PhaseResult ColPhase;
   /// Harmonic combination of the two equal-volume phases, GB/s.
@@ -120,6 +123,19 @@ public:
   static Matrix computeViaDynamicLayoutWithVaultLoss(
       const Matrix &In, const SystemConfig &Config, unsigned FailedVaults,
       StreamMode Mode = StreamMode::LaneParallel);
+
+  /// Real-input functional path: the packed half-spectrum pipeline.
+  /// Row r2c transforms fold each row to N/2 elements (Nyquist into the
+  /// DC imaginary slot); the packed N x (N/2) intermediate is stored
+  /// through the Eq. 1 plan re-solved for the wedge (planPacked) and
+  /// streamed back through the permutation network; plain complex column
+  /// FFTs finish the transform with no unpacking. Returns the packed
+  /// matrix - bit-identical to packedRealForward2d(), and convertible to
+  /// the logical half spectrum with unpackSpectrum().
+  static Matrix
+  computeRealViaDynamicLayout(const std::vector<double> &Field,
+                              const SystemConfig &Config,
+                              StreamMode Mode = StreamMode::LaneParallel);
 
 private:
   AppReport runArchitecture(const ArchParams &Arch, bool Optimized);

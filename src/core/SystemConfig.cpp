@@ -12,6 +12,16 @@
 
 using namespace fft3d;
 
+const char *fft3d::inputDomainName(InputDomain Input) {
+  switch (Input) {
+  case InputDomain::Complex:
+    return "complex";
+  case InputDomain::Real:
+    return "real";
+  }
+  fft3d_unreachable("unknown InputDomain");
+}
+
 SystemConfig SystemConfig::forProblemSize(std::uint64_t N) {
   SystemConfig Config;
   Config.N = N;

@@ -24,6 +24,18 @@
 
 namespace fft3d {
 
+/// Domain of the input samples. Complex is the paper's workload; Real
+/// switches both architectures to the irredundant half-spectrum path:
+/// 4-byte real samples in, an N x (N/2) packed complex intermediate
+/// (each row's real Nyquist bin folded into its real DC bin's imaginary
+/// slot), and half the phase-2 memory traffic.
+enum class InputDomain {
+  Complex,
+  Real,
+};
+
+const char *inputDomainName(InputDomain Input);
+
 /// Per-architecture stream/kernel parameters.
 struct ArchParams {
   /// Elements ingested/emitted per FPGA cycle (Table 2 "data parallelism").
@@ -46,8 +58,11 @@ struct ArchParams {
 
 /// Full system description for one experiment.
 struct SystemConfig {
-  /// Problem size: the matrix is N x N complex elements.
+  /// Problem size: the matrix is N x N elements (complex, or real when
+  /// Input is InputDomain::Real).
   std::uint64_t N = 2048;
+  /// Sample domain; Real halves the intermediate and phase-2 volumes.
+  InputDomain Input = InputDomain::Complex;
   MemoryConfig Mem;
   ArchParams Baseline;
   ArchParams Optimized;

@@ -8,6 +8,8 @@
 
 #include "fft/Fft1d.h"
 #include "fft/Fft2d.h"
+#include "fft/RealFft2d.h"
+#include "fft/SimdKernels.h"
 #include "support/ErrorHandling.h"
 
 #include <cassert>
@@ -22,8 +24,7 @@ std::vector<CplxD> fft3d::circularConvolve(const std::vector<CplxD> &A,
   std::vector<CplxD> Fa = A, Fb = B;
   Plan.forward(Fa);
   Plan.forward(Fb);
-  for (std::size_t I = 0; I != Fa.size(); ++I)
-    Fa[I] *= Fb[I];
+  activeKernels().PointwiseMul(Fa.data(), Fb.data(), Fa.size());
   Plan.inverse(Fa);
   return Fa;
 }
@@ -42,6 +43,23 @@ Matrix fft3d::circularConvolve2d(const Matrix &Image, const Matrix &Kernel) {
   return FImg;
 }
 
+std::vector<double>
+fft3d::circularConvolve2dReal(const std::vector<double> &Image,
+                              const std::vector<double> &Kernel,
+                              std::uint64_t Rows, std::uint64_t Cols) {
+  if (Image.size() != Rows * Cols || Kernel.size() != Rows * Cols)
+    reportFatalError("convolution operands must match the given shape");
+  const RealFft2d Plan(Rows, Cols);
+  HalfSpectrum FImg = Plan.forward(Image);
+  const HalfSpectrum FKer = Plan.forward(Kernel);
+  // One dispatch over the whole Rows x (Cols/2 + 1) wedge: the half
+  // spectrum is the complete non-redundant product, so this multiply is
+  // half the complex path's work with no symmetry special-casing.
+  activeKernels().PointwiseMul(FImg.Data.data(), FKer.Data.data(),
+                               FImg.Data.size());
+  return Plan.inverse(FImg);
+}
+
 std::vector<CplxD>
 fft3d::circularConvolveDirect(const std::vector<CplxD> &A,
                               const std::vector<CplxD> &B) {
@@ -51,5 +69,25 @@ fft3d::circularConvolveDirect(const std::vector<CplxD> &A,
   for (std::size_t I = 0; I != N; ++I)
     for (std::size_t K = 0; K != N; ++K)
       Out[I] += A[K] * B[(I + N - K) % N];
+  return Out;
+}
+
+std::vector<double>
+fft3d::circularConvolve2dRealDirect(const std::vector<double> &Image,
+                                    const std::vector<double> &Kernel,
+                                    std::uint64_t Rows, std::uint64_t Cols) {
+  assert(Image.size() == Rows * Cols && Kernel.size() == Rows * Cols &&
+         "shape mismatch");
+  std::vector<double> Out(Rows * Cols, 0.0);
+  for (std::uint64_t R = 0; R != Rows; ++R)
+    for (std::uint64_t C = 0; C != Cols; ++C) {
+      double Acc = 0.0;
+      for (std::uint64_t Kr = 0; Kr != Rows; ++Kr)
+        for (std::uint64_t Kc = 0; Kc != Cols; ++Kc)
+          Acc += Image[Kr * Cols + Kc] *
+                 Kernel[((R + Rows - Kr) % Rows) * Cols +
+                        ((C + Cols - Kc) % Cols)];
+      Out[R * Cols + C] = Acc;
+    }
   return Out;
 }

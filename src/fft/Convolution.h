@@ -30,9 +30,26 @@ std::vector<CplxD> circularConvolve(const std::vector<CplxD> &A,
 /// dimensions) via pointwise spectral multiplication.
 Matrix circularConvolve2d(const Matrix &Image, const Matrix &Kernel);
 
+/// Circular 2D convolution of two real Rows x Cols fields over the
+/// irredundant half spectrum: r2c transforms, one SIMD pointwise
+/// multiply over the Rows x (Cols/2 + 1) non-redundant bins, c2r
+/// inverse. Same result as the complex path on real data at roughly
+/// half the transform arithmetic and spectral traffic.
+std::vector<double> circularConvolve2dReal(const std::vector<double> &Image,
+                                           const std::vector<double> &Kernel,
+                                           std::uint64_t Rows,
+                                           std::uint64_t Cols);
+
 /// Direct O(N^2) 1D circular convolution (test oracle).
 std::vector<CplxD> circularConvolveDirect(const std::vector<CplxD> &A,
                                           const std::vector<CplxD> &B);
+
+/// Direct O((Rows*Cols)^2) real 2D circular convolution (test oracle
+/// for circularConvolve2dReal).
+std::vector<double>
+circularConvolve2dRealDirect(const std::vector<double> &Image,
+                             const std::vector<double> &Kernel,
+                             std::uint64_t Rows, std::uint64_t Cols);
 
 } // namespace fft3d
 

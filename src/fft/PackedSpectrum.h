@@ -1,0 +1,82 @@
+//===- fft/PackedSpectrum.h - Irredundant half-spectrum packing -*- C++ -*-===//
+//
+// Part of the fft3d project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The packed representation that makes a real-input 2D FFT a
+/// first-class, bandwidth-halving citizen of the dynamic-layout memory
+/// path. Conjugate symmetry leaves a real row's r2c transform with
+/// N/2 + 1 non-redundant bins, of which bin 0 (DC) and bin N/2 (Nyquist)
+/// are purely real. Folding the Nyquist bin's real value into the unused
+/// imaginary slot of the DC bin packs each row into exactly N/2 complex
+/// elements - a power-of-two width, so the packed N x (N/2) intermediate
+/// drops straight onto BlockDynamicLayout/BlockTrace and moves exactly
+/// half the complex path's phase-2 bytes.
+///
+/// The column phase never unpacks. Packed columns 1..N/2-1 are ordinary
+/// complex columns; packed column 0 carries z[r] = dc[r] + i*nyq[r],
+/// two real sequences in one complex vector, and its plain complex FFT
+/// Z = F(z) holds BOTH spectral columns via the Hermitian split
+///
+///   DC[k]  = (Z[k] + conj(Z[(N-k) mod N])) / 2
+///   NY[k]  = (Z[k] - conj(Z[(N-k) mod N])) / (2i)
+///
+/// so the symmetry awareness lives entirely in pack/unpack - the kernels
+/// and the layout machinery stay oblivious. unpackSpectrum() performs
+/// the split when a consumer wants the logical Rows x (N/2 + 1) half
+/// spectrum back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FFT3D_FFT_PACKEDSPECTRUM_H
+#define FFT3D_FFT_PACKEDSPECTRUM_H
+
+#include "fft/Matrix.h"
+#include "fft/RealFft2d.h"
+
+#include <vector>
+
+namespace fft3d {
+
+/// Folds the N/2 + 1 Hermitian bins of one real row's r2c transform
+/// (\p Bins [0] and [N/2] purely real) into N/2 packed elements:
+/// packed[0] = (Re bins[0], Re bins[N/2]), packed[k] = bins[k] else.
+/// Pure data movement - no arithmetic, so the fold is exact.
+std::vector<CplxF> packHermitianBins(const std::vector<CplxF> &Bins);
+std::vector<CplxD> packHermitianBins(const std::vector<CplxD> &Bins);
+
+/// Inverse of packHermitianBins (bit-exact round trip).
+std::vector<CplxF> unpackHermitianBins(const std::vector<CplxF> &Packed);
+std::vector<CplxD> unpackHermitianBins(const std::vector<CplxD> &Packed);
+
+/// Host-side r2c row phase of a \p Rows x \p Cols real field, packed:
+/// returns the Rows x (Cols/2) matrix of folded row spectra in storage
+/// precision. This is the value stream the simulated phase 1 writes
+/// through the permutation network.
+Matrix packedRealRowTransform(const std::vector<double> &Field,
+                              std::uint64_t Rows, std::uint64_t Cols);
+
+/// Full host-side packed real 2D transform: packedRealRowTransform()
+/// followed by one plain complex FFT down each of the Cols/2 packed
+/// columns. The straight-line reference the dynamic-layout pipeline is
+/// bit-identical to.
+Matrix packedRealForward2d(const std::vector<double> &Field,
+                           std::uint64_t Rows, std::uint64_t Cols);
+
+/// Recovers the logical Rows x (Cols/2 + 1) half spectrum from a packed
+/// 2D result: columns 1..Cols/2-1 copy over, the packed column 0 splits
+/// into the DC (bin 0) and Nyquist (bin Cols/2) spectral columns. The
+/// split runs in double precision; exact for an exact packed transform.
+HalfSpectrum unpackSpectrum(const Matrix &Packed, std::uint64_t Cols);
+
+/// Inverse of packedRealForward2d: inverse column FFTs on the packed
+/// matrix, then per-row unfold + c2r. Round-trips the field to storage
+/// precision.
+std::vector<double> packedRealInverse2d(const Matrix &Packed,
+                                        std::uint64_t Cols);
+
+} // namespace fft3d
+
+#endif // FFT3D_FFT_PACKEDSPECTRUM_H

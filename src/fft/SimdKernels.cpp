@@ -72,7 +72,19 @@ void scalarRadix2Combine(CplxD *Data, const CplxD *Even, const CplxD *Odd,
   }
 }
 
-constexpr FftKernels ScalarKernels = {scalarRadix4Stage, scalarRadix2Combine};
+void scalarPointwiseMul(CplxD *Acc, const CplxD *Other, std::uint64_t Len) {
+  for (std::uint64_t I = 0; I != Len; ++I) {
+    // Spelled out in the (mul, mul, sub / mul, mul, add) order the
+    // vector kernels replay, rather than through operator*= whose
+    // library implementation is not pinned to an operation order.
+    const double Ar = Acc[I].real(), Ai = Acc[I].imag();
+    const double Br = Other[I].real(), Bi = Other[I].imag();
+    Acc[I] = CplxD(Ar * Br - Ai * Bi, Ar * Bi + Ai * Br);
+  }
+}
+
+constexpr FftKernels ScalarKernels = {scalarRadix4Stage, scalarRadix2Combine,
+                                      scalarPointwiseMul};
 
 } // namespace
 
@@ -166,7 +178,13 @@ void sse2Radix2Combine(CplxD *Data, const CplxD *Even, const CplxD *Odd,
   }
 }
 
-constexpr FftKernels Sse2Kernels = {sse2Radix4Stage, sse2Radix2Combine};
+void sse2PointwiseMul(CplxD *Acc, const CplxD *Other, std::uint64_t Len) {
+  for (std::uint64_t I = 0; I != Len; ++I)
+    storeC(Acc + I, cmulSse2(loadC(Acc + I), loadC(Other + I)));
+}
+
+constexpr FftKernels Sse2Kernels = {sse2Radix4Stage, sse2Radix2Combine,
+                                    sse2PointwiseMul};
 
 } // namespace
 
@@ -280,9 +298,19 @@ FFT3D_AVX2 void avx2Radix2Combine(CplxD *Data, const CplxD *Even,
                         Inverse);
 }
 
+FFT3D_AVX2 void avx2PointwiseMul(CplxD *Acc, const CplxD *Other,
+                                 std::uint64_t Len) {
+  std::uint64_t I = 0;
+  for (; I + 2 <= Len; I += 2)
+    store2C(Acc + I, cmulAvx2(load2C(Acc + I), load2C(Other + I)));
+  if (I != Len)
+    scalarPointwiseMul(Acc + I, Other + I, Len - I);
+}
+
 #undef FFT3D_AVX2
 
-constexpr FftKernels Avx2Kernels = {avx2Radix4Stage, avx2Radix2Combine};
+constexpr FftKernels Avx2Kernels = {avx2Radix4Stage, avx2Radix2Combine,
+                                    avx2PointwiseMul};
 
 } // namespace
 
@@ -380,7 +408,13 @@ void neonRadix2Combine(CplxD *Data, const CplxD *Even, const CplxD *Odd,
   }
 }
 
-constexpr FftKernels NeonKernels = {neonRadix4Stage, neonRadix2Combine};
+void neonPointwiseMul(CplxD *Acc, const CplxD *Other, std::uint64_t Len) {
+  for (std::uint64_t I = 0; I != Len; ++I)
+    storeCNeon(Acc + I, cmulNeon(loadCNeon(Acc + I), loadCNeon(Other + I)));
+}
+
+constexpr FftKernels NeonKernels = {neonRadix4Stage, neonRadix2Combine,
+                                    neonPointwiseMul};
 
 } // namespace
 

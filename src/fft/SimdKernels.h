@@ -71,6 +71,10 @@ struct FftKernels {
   /// Rom[J] (conjugated when Inverse).
   void (*Radix2Combine)(CplxD *Data, const CplxD *Even, const CplxD *Odd,
                         std::uint64_t Half, const CplxD *Rom, bool Inverse);
+  /// Pointwise spectral product Acc[I] *= Other[I] for I in [0, Len) -
+  /// the convolution theorem's multiply stage. Same naive complex-product
+  /// order as the butterfly kernels, so all levels are bit-identical.
+  void (*PointwiseMul)(CplxD *Acc, const CplxD *Other, std::uint64_t Len);
 };
 
 /// Kernels for the active level.

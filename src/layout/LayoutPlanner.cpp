@@ -46,15 +46,22 @@ double LayoutPlanner::bufferRegimeBoundary() const {
 
 BlockPlan LayoutPlanner::plan(std::uint64_t N, unsigned VaultsParallel,
                               std::uint64_t ColumnStreams) const {
-  assert(isPowerOf2(N) && "problem size must be a power of two");
+  return planRect(N, N, VaultsParallel, ColumnStreams);
+}
+
+BlockPlan LayoutPlanner::planRect(std::uint64_t Rows, std::uint64_t Cols,
+                                  unsigned VaultsParallel,
+                                  std::uint64_t ColumnStreams) const {
+  assert(isPowerOf2(Rows) && isPowerOf2(Cols) &&
+         "matrix dimensions must be powers of two");
   assert(VaultsParallel != 0 && VaultsParallel <= Geo.NumVaults &&
          "invalid vault parallelism");
   const std::uint64_t S = Geo.RowBufferBytes / ElementBytes;
-  if (N * N < S)
+  if (Rows * Cols < S)
     reportFatalError("matrix smaller than one row buffer: no block shape "
                      "with w*h = s fits");
   const std::uint64_t B = Geo.banksPerVault();
-  const std::uint64_t M = ColumnStreams == 0 ? N : ColumnStreams;
+  const std::uint64_t M = ColumnStreams == 0 ? Cols : ColumnStreams;
 
   BlockPlan Plan;
   Plan.VaultsParallel = VaultsParallel;
@@ -75,18 +82,46 @@ BlockPlan LayoutPlanner::plan(std::uint64_t N, unsigned VaultsParallel,
     Plan.RawH = Nv * static_cast<double>(Time.TDiffRow) / InRow;
   }
 
-  // Shape to hardware: h a power of two, h | N, w = s/h >= 1 and w | N.
-  // The lower clamp keeps w <= N when the matrix is narrow relative to
-  // the row buffer.
+  // Shape to hardware: h a power of two, h | Rows, w = s/h >= 1 and
+  // w | Cols. The lower clamp keeps w <= Cols when the matrix is narrow
+  // relative to the row buffer.
   std::uint64_t H = 1;
   while (H * 2 <= static_cast<std::uint64_t>(Plan.RawH))
     H *= 2;
-  H = std::min({H, S, N});
-  Plan.H = std::max<std::uint64_t>(H, ceilDiv(S, N));
+  H = std::min({H, S, Rows});
+  Plan.H = std::max<std::uint64_t>(H, ceilDiv(S, Cols));
   Plan.W = S / Plan.H;
   assert(Plan.H * Plan.W == S && "block must fill the row buffer exactly");
-  assert(Plan.H <= N && Plan.W <= N && "block exceeds the matrix");
+  assert(Plan.H <= Rows && Plan.W <= Cols && "block exceeds the matrix");
   return Plan;
+}
+
+BlockPlan LayoutPlanner::planPacked(std::uint64_t N, unsigned VaultsParallel,
+                                    std::uint64_t ColumnStreams) const {
+  assert(N >= 4 && "packed wedge needs at least two spectrum columns");
+  return planRect(N, N / 2, VaultsParallel, ColumnStreams);
+}
+
+DegradedPlan
+LayoutPlanner::planPackedDegraded(std::uint64_t N,
+                                  const std::vector<bool> &VaultOnline,
+                                  unsigned VaultsParallel,
+                                  std::uint64_t ColumnStreams) const {
+  if (VaultOnline.size() != Geo.NumVaults)
+    reportFatalError("online-vault vector does not match the geometry");
+  unsigned Healthy = 0;
+  for (const bool Online : VaultOnline)
+    Healthy += Online ? 1 : 0;
+  if (Healthy == 0)
+    reportFatalError("cannot plan a layout with every vault offline");
+
+  DegradedPlan Result;
+  Result.HealthyVaults = Healthy;
+  if (VaultsParallel != 0)
+    Result.HealthyVaults = std::min(Result.HealthyVaults, VaultsParallel);
+  Result.Plan = planPacked(N, Result.HealthyVaults, ColumnStreams);
+  Result.VaultMap = spareVaultMap(VaultOnline);
+  return Result;
 }
 
 DegradedPlan LayoutPlanner::planDegraded(std::uint64_t N,

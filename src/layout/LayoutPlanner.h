@@ -90,6 +90,30 @@ public:
   BlockPlan plan(std::uint64_t N, unsigned VaultsParallel,
                  std::uint64_t ColumnStreams = 0) const;
 
+  /// Rectangular generalization of plan() for a \p Rows x \p Cols matrix
+  /// (both powers of two): identical Eq. 1 regimes, with the block shaped
+  /// so h | Rows and w = s/h | Cols. \p ColumnStreams == 0 defaults
+  /// m = Cols - one stream per stored column.
+  BlockPlan planRect(std::uint64_t Rows, std::uint64_t Cols,
+                     unsigned VaultsParallel,
+                     std::uint64_t ColumnStreams = 0) const;
+
+  /// Plans the packed half-spectrum wedge of a real-input \p N x \p N
+  /// problem: the irredundant spectrum is stored as an N x (N/2) complex
+  /// matrix (each row's real Nyquist bin folded into the imaginary slot
+  /// of its real DC bin), so Eq. 1 is re-solved for the N x (N/2)
+  /// rectangle with m = N/2 column streams. Blocks still fill one row
+  /// buffer; only the wedge's aspect ratio changes the shaping clamps.
+  BlockPlan planPacked(std::uint64_t N, unsigned VaultsParallel,
+                       std::uint64_t ColumnStreams = 0) const;
+
+  /// planDegraded() for the packed wedge: Eq. 1 over the N x (N/2)
+  /// rectangle with the surviving vault count, plus the same spare map.
+  DegradedPlan planPackedDegraded(std::uint64_t N,
+                                  const std::vector<bool> &VaultOnline,
+                                  unsigned VaultsParallel = 0,
+                                  std::uint64_t ColumnStreams = 0) const;
+
   /// Convenience: plans and constructs the layout in one step.
   std::unique_ptr<BlockDynamicLayout>
   createLayout(std::uint64_t N, unsigned VaultsParallel, PhysAddr Base = 0,

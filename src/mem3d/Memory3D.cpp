@@ -160,8 +160,8 @@ void Memory3D::submit(const MemRequest &ReqIn, MemCallback Done) {
     const Picos NowPs = Events.now();
     Picos EffectBound = NowPs + Config.Time.AccessLatency;
     if (!Injector) {
-      const std::uint64_t Beats =
-          ceilDiv(Req.Bytes, Config.Geo.bytesPerBeat());
+      const std::uint64_t Beats = Config.Time.wireBeats(
+          ceilDiv(Req.Bytes, Config.Geo.bytesPerBeat()));
       EffectBound =
           std::max(EffectBound, Vaults[Where.Vault].busFreeTime()) +
           Beats * Config.Time.TsvPeriod;

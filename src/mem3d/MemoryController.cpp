@@ -123,7 +123,8 @@ Picos MemoryController::earliestCompletionBound(Picos QueueNext) const {
   std::uint64_t MinBeats = std::numeric_limits<std::uint64_t>::max();
   bool AnyHit = false;
   for (const PendingReq &P : Queue) {
-    MinBeats = std::min(MinBeats, ceilDiv(P.Req.Bytes, Geo.bytesPerBeat()));
+    MinBeats = std::min(
+        MinBeats, Time.wireBeats(ceilDiv(P.Req.Bytes, Geo.bytesPerBeat())));
     if (Page == PagePolicy::OpenPage &&
         TheVault.bank(P.Where.Bank).isRowHit(P.Where.Row))
       AnyHit = true;
@@ -192,7 +193,8 @@ void MemoryController::failOffline(PendingReq &P) {
 Picos MemoryController::issue(PendingReq &P) {
   Bank &B = TheVault.bank(P.Where.Bank);
   const Picos Now = Events.now();
-  const std::uint64_t Beats = ceilDiv(P.Req.Bytes, Geo.bytesPerBeat());
+  const std::uint64_t Beats =
+      Time.wireBeats(ceilDiv(P.Req.Bytes, Geo.bytesPerBeat()));
 
   const bool Hit = Page == PagePolicy::OpenPage && B.isRowHit(P.Where.Row);
   Picos CmdTime;
@@ -228,16 +230,21 @@ Picos MemoryController::issue(PendingReq &P) {
           static_cast<double>(ColInterval) * Scale + 0.5);
     }
   }
-  Picos DataEnd = DataStart + Beats * BeatInterval;
+  // The codec drain (0 when compression is off) lands after the last
+  // wire beat; the bounds deliberately omit it, so actual completions
+  // can only be later than the window planner assumed, never earlier.
+  Picos DataEnd = DataStart + Beats * BeatInterval + Time.TsvCodecLatency;
   if (Faults && !P.Req.IsWrite &&
       Faults->readTakesEccRetry(VaultIndex, P.Req.Id)) {
     // A transient read error: the ECC retry re-transfers the burst after
-    // the penalty, holding the bus for the whole exchange.
+    // the penalty, holding the bus for the whole exchange (and re-running
+    // the codec when one is configured).
     ++Stats.EccRetries;
     if (Trace && Trace->wants(TraceCatFault))
       Trace->instant(TraceCatFault, "ecc_retry", TracePid, VaultIndex,
                      DataEnd, "req", P.Req.Id);
-    DataEnd += Faults->eccRetryPenalty() + Beats * BeatInterval;
+    DataEnd += Faults->eccRetryPenalty() + Beats * BeatInterval +
+               Time.TsvCodecLatency;
   }
   B.recordColumnBurst(CmdTime, Beats, ColInterval);
   TheVault.reserveBus(DataStart, DataEnd);

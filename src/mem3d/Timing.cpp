@@ -15,6 +15,11 @@ bool Timing::isValid() const {
     return false;
   if (RefreshInterval != 0 && RefreshDuration >= RefreshInterval)
     return false;
+  // The codec can only shorten bursts; a ratio below one would make the
+  // "compressed" transfer longer than the raw one and break the
+  // wire-beats <= raw-beats assumption the lookahead bounds rely on.
+  if (TsvCompressRatio < 1.0)
+    return false;
   // The paper's latency ordering (§3.1): same-row access is fastest, then
   // cross-layer pipelined ACTs, then same-layer bank ACTs, then same-bank
   // row conflicts.
@@ -22,6 +27,9 @@ bool Timing::isValid() const {
 }
 
 void Timing::validate() const {
+  if (TsvCompressRatio < 1.0)
+    reportFatalError("invalid 3D-memory timing: TSV compression ratio must "
+                     "be >= 1.0 (1.0 disables the codec)");
   if (!isValid())
     reportFatalError("invalid 3D-memory timing: require 0 < t_in_row <= "
                      "t_in_vault <= t_diff_bank <= t_diff_row");

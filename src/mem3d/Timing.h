@@ -66,12 +66,45 @@ struct Timing {
   /// Vault-blocking duration of one all-bank refresh (tRFC-like).
   Picos RefreshDuration = nanosToPicos(160.0);
 
+  /// In-TSV link compression: bursts move ceil(beats / ratio) beats over
+  /// the TSV bundle instead of their raw beat count. 1.0 (the default)
+  /// disables the codec entirely - wireBeats() is then the identity and
+  /// no run can observe the knob. Values > 1.0 model a lossless layer
+  /// between the vault controller and the TSVs (the
+  /// irredundant/compressed-layout tradeoff the layout sweeps compare
+  /// against). Must be >= 1.0.
+  double TsvCompressRatio = 1.0;
+
+  /// One-time compress + decompress pipeline latency per burst, paid at
+  /// the end of the (shortened) data transfer. 0 when the codec is off.
+  /// Deliberately excluded from the conservative bounds below: omitting
+  /// a positive term keeps every bound a lower bound on the actual
+  /// completion, which is what the sharded engine's window protocol
+  /// requires.
+  Picos TsvCodecLatency = 0;
+
+  /// Beats a \p RawBeats-beat burst occupies on the TSV bundle after
+  /// compression (identity when the codec is off). Every beat count used
+  /// for bus occupancy, column pacing or lookahead bounds must flow
+  /// through here, or the bounds diverge from the issue path and the
+  /// parallel engine's windows become unsound.
+  std::uint64_t wireBeats(std::uint64_t RawBeats) const {
+    if (TsvCompressRatio <= 1.0 || RawBeats == 0)
+      return RawBeats;
+    const auto Compressed = static_cast<std::uint64_t>(
+        (static_cast<double>(RawBeats) + TsvCompressRatio - 1.0) /
+        TsvCompressRatio);
+    return Compressed == 0 ? 1 : Compressed;
+  }
+
   /// Per-state lookahead derivation for the sharded engine's distance-
   /// based bounds: the minimum decision-to-completion distance of a
   /// \p Beats-beat burst whose row may already be open. Every completion
   /// pays the column-access + TSV hop (AccessLatency) and then streams
   /// its beats over the vault's TSV bundle, so no request selected at
   /// decision time D can complete before D + hitPathBound(Beats).
+  /// Callers pass wire beats (post-compression); the actual transfer
+  /// additionally pays TsvCodecLatency, so the bound stays conservative.
   Picos hitPathBound(std::uint64_t Beats) const {
     return AccessLatency + Beats * TsvPeriod;
   }

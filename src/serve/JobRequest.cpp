@@ -17,3 +17,23 @@ const char *fft3d::jobPrecisionName(JobPrecision P) {
   }
   return "?";
 }
+
+const char *fft3d::jobKindName(JobKind K) {
+  switch (K) {
+  case JobKind::Fft2d:
+    return "fft2d";
+  case JobKind::Conv2d:
+    return "conv2d";
+  }
+  return "?";
+}
+
+const char *fft3d::jobInputName(JobInput I) {
+  switch (I) {
+  case JobInput::Complex:
+    return "complex";
+  case JobInput::Real:
+    return "real";
+  }
+  return "?";
+}

@@ -29,6 +29,22 @@ enum class JobPrecision { Fp32, Fp16 };
 
 const char *jobPrecisionName(JobPrecision P);
 
+/// Operation the request asks for: a plain 2D FFT, or an FFT-based 2D
+/// circular convolution (forward transform, pointwise spectral multiply,
+/// inverse transform) - the image-filtering job type. Convolution frames
+/// do not pipeline: the pointwise stage is a barrier between the
+/// forward and inverse transforms of each frame.
+enum class JobKind { Fft2d, Conv2d };
+
+const char *jobKindName(JobKind K);
+
+/// Sample domain of the request. Real-input jobs run the irredundant
+/// half-spectrum path: every phase moves half the bytes of the complex
+/// path, so they are priced at half the service time.
+enum class JobInput { Complex, Real };
+
+const char *jobInputName(JobInput I);
+
 /// One 2D-FFT service request.
 struct JobRequest {
   /// Unique, monotonically increasing id (assigned by the workload
@@ -43,6 +59,13 @@ struct JobRequest {
   unsigned Frames = 1;
 
   JobPrecision Precision = JobPrecision::Fp32;
+
+  /// Operation class; Conv2d requests carry their own SLO class in the
+  /// serving reports.
+  JobKind Kind = JobKind::Fft2d;
+
+  /// Sample domain (real rides the packed half-spectrum path).
+  JobInput Input = JobInput::Complex;
 
   /// Priority class; SMALLER values are MORE urgent (0 = highest).
   unsigned Priority = 1;

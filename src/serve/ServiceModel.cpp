@@ -113,7 +113,28 @@ void ServiceModel::prewarm(
 
 Picos ServiceModel::serviceTime(const JobRequest &Job,
                                 unsigned Vaults) const {
-  const Picos Fp32Time = estimate(Job.N, Vaults).totalTime(Job.Frames);
+  const ServiceEstimate &Est = estimate(Job.N, Vaults);
+  Picos Fp32Time;
+  if (Job.Kind == JobKind::Conv2d) {
+    // FFT-based convolution, priced in units of the measured complex
+    // PhaseTime (the cost of moving 2M bytes, M = one matrix). One REAL
+    // frame: forward half-spectrum FFT (two half-volume phases = 1
+    // PhaseTime), the pointwise multiply (read two wedges, write one:
+    // 1.5M bytes = 3/4 PhaseTime), inverse FFT (1 PhaseTime) - 11/4
+    // PhaseTime total. A complex frame moves twice the bytes at every
+    // stage. The pointwise stage is a barrier, so frames do not overlap
+    // the way the plain batch pipeline does.
+    const Picos RealFrame = 11 * Est.PhaseTime / 4;
+    const Picos Frame =
+        Job.Input == JobInput::Real ? RealFrame : 2 * RealFrame;
+    Fp32Time = static_cast<Picos>(Job.Frames) * Frame;
+  } else {
+    Fp32Time = Est.totalTime(Job.Frames);
+    // Real-input FFTs move the packed N x (N/2) wedge: half the bytes
+    // per phase of these byte-paced stages, so half the time.
+    if (Job.Input == JobInput::Real)
+      Fp32Time /= 2;
+  }
   // Half-precision packs two elements per 64-bit stream word; these
   // phases are byte-paced (kernel stream rate and vault bandwidth are
   // both in bytes), so the request finishes in half the time.

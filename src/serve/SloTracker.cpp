@@ -58,25 +58,43 @@ SloSummary SloTracker::summarize(Picos End) const {
   S.ShedRate = static_cast<double>(S.Shed) / static_cast<double>(S.Offered);
 
   Picos FirstArrival = End;
-  std::vector<double> LatencyMs, QueueMs;
+  std::vector<double> LatencyMs, QueueMs, ConvLatencyMs;
   double ServiceSumMs = 0.0;
   std::uint64_t WithDeadline = 0, Missed = 0;
+  std::uint64_t ConvWithDeadline = 0, ConvMissed = 0;
   for (const JobOutcome &O : Outcomes) {
     FirstArrival = std::min(FirstArrival, O.Job.Arrival);
     LatencyMs.push_back(picosToMillis(O.totalLatency()));
     QueueMs.push_back(picosToMillis(O.queueingDelay()));
     ServiceSumMs += picosToMillis(O.serviceTime());
+    const bool Conv = O.Job.Kind == JobKind::Conv2d;
+    if (Conv) {
+      ++S.ConvOffered;
+      ++S.ConvCompleted;
+      ConvLatencyMs.push_back(picosToMillis(O.totalLatency()));
+    }
     if (O.Job.hasDeadline()) {
       ++WithDeadline;
-      if (O.missedDeadline())
+      if (Conv)
+        ++ConvWithDeadline;
+      if (O.missedDeadline()) {
         ++Missed;
+        if (Conv)
+          ++ConvMissed;
+      }
     }
   }
   for (const JobRequest &J : ShedJobs) {
     FirstArrival = std::min(FirstArrival, J.Arrival);
+    if (J.Kind == JobKind::Conv2d)
+      ++S.ConvOffered;
     if (J.hasDeadline()) {
       ++WithDeadline;
       ++Missed;
+      if (J.Kind == JobKind::Conv2d) {
+        ++ConvWithDeadline;
+        ++ConvMissed;
+      }
     }
   }
   S.Retries = NumRetries;
@@ -107,6 +125,11 @@ SloSummary SloTracker::summarize(Picos End) const {
   if (WithDeadline != 0)
     S.DeadlineMissRate =
         static_cast<double>(Missed) / static_cast<double>(WithDeadline);
+  if (S.ConvCompleted != 0)
+    S.ConvP99LatencyMs = percentile(ConvLatencyMs, 0.99);
+  if (ConvWithDeadline != 0)
+    S.ConvDeadlineMissRate = static_cast<double>(ConvMissed) /
+                             static_cast<double>(ConvWithDeadline);
   return S;
 }
 
@@ -134,6 +157,15 @@ void SloTracker::exportTo(MetricsRegistry &Registry,
   }
   Registry.gauge("serve.deadline_miss_rate", L).set(S.DeadlineMissRate);
   Registry.gauge("serve.shed_rate", L).set(S.ShedRate);
+  if (S.ConvOffered != 0) {
+    Registry.counter("serve.conv_offered", L).add(S.ConvOffered);
+    Registry.counter("serve.conv_completed", L).add(S.ConvCompleted);
+    if (S.ConvCompleted != 0)
+      Registry.gauge("serve.conv_p99_latency_ms", L)
+          .set(S.ConvP99LatencyMs);
+    Registry.gauge("serve.conv_deadline_miss_rate", L)
+        .set(S.ConvDeadlineMissRate);
+  }
   MetricHistogram &Hist =
       Registry.histogram("serve.latency_ms", /*BucketWidth=*/1.0,
                          /*NumBuckets=*/256, L);

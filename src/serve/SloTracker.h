@@ -82,6 +82,15 @@ struct SloSummary {
   std::uint64_t BrownoutSheds = 0;
   /// Completions dispatched on a degraded device.
   std::uint64_t DegradedCompletions = 0;
+  /// Conv2d SLO class: the convolution jobs broken out of the aggregate
+  /// (they run three transforms per frame behind a pointwise barrier, so
+  /// their latency profile differs from the plain FFT classes'). All
+  /// zero when the workload carried no conv2d jobs; ConvP99LatencyMs is
+  /// meaningful only when ConvCompleted != 0.
+  std::uint64_t ConvOffered = 0;
+  std::uint64_t ConvCompleted = 0;
+  double ConvP99LatencyMs = 0.0;
+  double ConvDeadlineMissRate = 0.0;
 };
 
 /// Collects outcomes for one (policy, workload) run.

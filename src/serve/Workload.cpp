@@ -31,6 +31,27 @@ std::vector<JobTemplate> fft3d::mixedWorkloadTemplates() {
   };
 }
 
+std::vector<JobTemplate> fft3d::convWorkloadTemplates() {
+  // Image filtering traffic: real-input conv2d frames dominate, with the
+  // interactive FFT classes still in the mix so the conv SLO class is
+  // measured under cross-traffic, not in isolation. Conv frames cost
+  // 11/4 PhaseTime each (three transforms + the pointwise barrier), so
+  // their deadline slack is looser than the plain FFT classes'.
+  std::vector<JobTemplate> Mix = {
+      {2048, 1, JobPrecision::Fp32, /*Priority=*/0, /*Weight=*/2.0,
+       /*DeadlineSlack=*/8.0},
+      {2048, 1, JobPrecision::Fp32, /*Priority=*/1, /*Weight=*/3.0,
+       /*DeadlineSlack=*/10.0},
+      {4096, 1, JobPrecision::Fp32, /*Priority=*/2, /*Weight=*/1.0,
+       /*DeadlineSlack=*/8.0},
+  };
+  Mix[1].Kind = JobKind::Conv2d;
+  Mix[1].Input = JobInput::Real;
+  Mix[2].Kind = JobKind::Conv2d;
+  Mix[2].Input = JobInput::Real;
+  return Mix;
+}
+
 namespace {
 
 /// Weighted template draw.
@@ -67,6 +88,8 @@ JobRequest instantiate(const JobTemplate &T, std::uint64_t Id, Picos Arrival,
   Job.N = T.N;
   Job.Frames = T.Frames;
   Job.Precision = T.Precision;
+  Job.Kind = T.Kind;
+  Job.Input = T.Input;
   Job.Priority = T.Priority;
   Job.Arrival = Arrival;
   if (T.DeadlineSlack > 0.0) {
@@ -186,6 +209,16 @@ bool fft3d::parseJobTrace(const std::string &Text,
         ++I;
         continue;
       }
+      if (Key == "conv2d") {
+        Job.Kind = JobKind::Conv2d;
+        ++I;
+        continue;
+      }
+      if (Key == "real") {
+        Job.Input = JobInput::Real;
+        ++I;
+        continue;
+      }
       if (I + 1 >= Tokens.size())
         return traceFail(Error, LineNo,
                          "'" + Key + "' is missing its value");
@@ -230,8 +263,8 @@ bool fft3d::parseJobTrace(const std::string &Text,
       } else {
         return traceFail(Error, LineNo,
                          "unknown job attribute '" + Key +
-                             "' (expected at, n, frames, fp16, prio, "
-                             "deadline, tenant)");
+                             "' (expected at, n, frames, fp16, conv2d, "
+                             "real, prio, deadline, tenant)");
       }
     }
     if (!HaveArrival)

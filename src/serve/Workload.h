@@ -49,11 +49,20 @@ struct JobTemplate {
   /// Deadline = arrival + DeadlineSlack * full-machine service estimate;
   /// 0 disables the deadline.
   double DeadlineSlack = 0.0;
+  /// Operation drawn for this entry (plain FFT or FFT-based conv2d).
+  JobKind Kind = JobKind::Fft2d;
+  /// Sample domain (real rides the packed half-spectrum path).
+  JobInput Input = JobInput::Complex;
 };
 
 /// The standard mixed workload of the serving experiments: urgent
 /// single-frame 2048^2 requests alongside heavyweight 4096^2 batches.
 std::vector<JobTemplate> mixedWorkloadTemplates();
+
+/// The convolution serving mix: real-input conv2d frames (the
+/// image-filtering workload) alongside the interactive FFT classes -
+/// conv jobs get their own SLO class in the run summaries.
+std::vector<JobTemplate> convWorkloadTemplates();
 
 /// Pull-based arrival source: the fleet simulator draws one arrival at a
 /// time, so a 10^6-job open-loop run never materializes the whole trace
@@ -116,8 +125,8 @@ std::vector<JobRequest> generatePoissonTrace(const std::vector<JobTemplate> &Mix
 /// Parses a line-oriented job-trace text into \p Out (ids assigned 1..
 /// in line order). Grammar, one job per line, '#' starts a comment:
 ///
-///   job at <ms> n <N> [frames <F>] [fp16] [prio <P>] [deadline <ms>]
-///       [tenant <T>]
+///   job at <ms> n <N> [frames <F>] [fp16] [conv2d] [real] [prio <P>]
+///       [deadline <ms>] [tenant <T>]
 ///
 /// Arrivals must be non-decreasing, <N> a power of two, a deadline (an
 /// absolute time) after the arrival. Returns false and a line-numbered

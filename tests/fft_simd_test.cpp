@@ -183,6 +183,29 @@ TEST(SimdBitIdentity, RoundTripAtEveryLevel) {
   }
 }
 
+/// The convolution theorem's pointwise spectral product matches the
+/// scalar kernel bit for bit at every supported level, across lengths
+/// that cover full vectors, remainders and the empty product.
+TEST(SimdBitIdentity, PointwiseMulMatchesScalarAllLevels) {
+  for (std::uint64_t N : {0ull, 1ull, 2ull, 3ull, 5ull, 8ull, 64ull,
+                          1023ull, 4096ull}) {
+    const std::vector<CplxD> Acc = randomSignal(N, 211 + unsigned(N));
+    const std::vector<CplxD> Other = randomSignal(N, 503 + unsigned(N));
+
+    std::vector<CplxD> Reference = Acc;
+    kernelsFor(SimdLevel::Scalar)
+        .PointwiseMul(Reference.data(), Other.data(), N);
+
+    for (SimdLevel L : supportedLevels()) {
+      std::vector<CplxD> Out = Acc;
+      kernelsFor(L).PointwiseMul(Out.data(), Other.data(), N);
+      SCOPED_TRACE(std::string("N=") + std::to_string(N) + " level=" +
+                   simdLevelName(L));
+      expectBitIdentical(Reference, Out);
+    }
+  }
+}
+
 /// 2D forward at the best level matches scalar bit for bit - exercises
 /// the transpose-based column phase against the same kernels.
 TEST(SimdBitIdentity, Fft2dMatchesScalar) {

@@ -6,7 +6,13 @@
 
 #include "layout/LayoutPlanner.h"
 
+#include "layout/BlockDynamicLayout.h"
+#include "mem3d/Address.h"
+
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 using namespace fft3d;
 
@@ -116,4 +122,70 @@ TEST(LayoutPlanner, NarrowMatrixClampsWidthIntoRange) {
   EXPECT_LE(Plan.W, 32u);
   EXPECT_LE(Plan.H, 32u);
   EXPECT_EQ(Plan.W * Plan.H, 1024u);
+}
+
+TEST(LayoutPlanner, PackedPlanSolvesTheWedgeRectangle) {
+  const LayoutPlanner P = defaultPlanner();
+  for (std::uint64_t N : {256ull, 1024ull, 2048ull, 4096ull, 8192ull})
+    for (unsigned Nv : {1u, 4u, 16u}) {
+      const BlockPlan Packed = P.planPacked(N, Nv);
+      // planPacked is exactly Eq. 1 over the N x (N/2) wedge with the
+      // column-stream count following the narrower intermediate.
+      const BlockPlan Rect = P.planRect(N, N / 2, Nv);
+      EXPECT_EQ(Packed.H, Rect.H) << "N=" << N << " nv=" << Nv;
+      EXPECT_EQ(Packed.W, Rect.W);
+      EXPECT_EQ(Packed.Regime, Rect.Regime);
+      // The blocks still fill one row buffer and fit the wedge.
+      EXPECT_EQ(Packed.H * Packed.W, 1024u);
+      EXPECT_LE(Packed.H, N);
+      EXPECT_LE(Packed.W, N / 2);
+      EXPECT_EQ(N % Packed.H, 0u);
+      EXPECT_EQ((N / 2) % Packed.W, 0u);
+    }
+}
+
+TEST(LayoutPlanner, PackedPlanBalancesVaults) {
+  // Property: materialize the packed wedge's layout and decode every
+  // block base address - the cyclic skew must spread blocks uniformly
+  // across all vaults (exact balance, since block counts here are
+  // multiples of the vault count).
+  const Geometry Geo;
+  const LayoutPlanner P = defaultPlanner();
+  const AddressMapper Mapper(Geo, AddressMapKind::ColVaultBankRow);
+  for (std::uint64_t N : {1024ull, 2048ull}) {
+    const BlockPlan Plan = P.planPacked(N, Geo.NumVaults);
+    const BlockDynamicLayout Layout(N, N / 2, /*ElementBytes=*/8,
+                                    /*Base=*/0, Plan.W, Plan.H);
+    std::vector<std::uint64_t> PerVault(Geo.NumVaults, 0);
+    for (std::uint64_t BR = 0; BR != Layout.blocksPerCol(); ++BR)
+      for (std::uint64_t BC = 0; BC != Layout.blocksPerRow(); ++BC)
+        ++PerVault[Mapper.decode(Layout.blockBase(BR, BC)).Vault];
+    const std::uint64_t Total = Layout.blocksPerCol() * Layout.blocksPerRow();
+    const auto [MinIt, MaxIt] =
+        std::minmax_element(PerVault.begin(), PerVault.end());
+    EXPECT_EQ(*MinIt, *MaxIt) << "N=" << N;
+    EXPECT_EQ(*MinIt, Total / Geo.NumVaults);
+  }
+}
+
+TEST(LayoutPlanner, PackedDegradedReplansForSurvivors) {
+  const LayoutPlanner P = defaultPlanner();
+  std::vector<bool> Online(16, true);
+  Online[3] = Online[9] = false;
+  const DegradedPlan D = P.planPackedDegraded(2048, Online);
+  EXPECT_EQ(D.HealthyVaults, 14u);
+  // The degraded plan is the packed wedge's Eq. 1 at n_v' = 14.
+  const BlockPlan Want = P.planPacked(2048, 14);
+  EXPECT_EQ(D.Plan.H, Want.H);
+  EXPECT_EQ(D.Plan.W, Want.W);
+  ASSERT_EQ(D.VaultMap.size(), 16u);
+  // Healthy vaults map to themselves; failed ones to a healthy spare.
+  for (unsigned V = 0; V != 16; ++V) {
+    if (Online[V])
+      EXPECT_EQ(D.VaultMap[V], V);
+    else {
+      EXPECT_NE(D.VaultMap[V], V);
+      EXPECT_TRUE(Online[D.VaultMap[V]]);
+    }
+  }
 }

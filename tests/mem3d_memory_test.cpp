@@ -383,3 +383,82 @@ TEST(MemStatsExport, TotalsAndPerVaultCountersLand) {
   Stats.exportTo(R);
   EXPECT_EQ(R.findCounter("mem.reads")->value(), 14u);
 }
+
+namespace {
+
+/// Harness with a custom Timing (the compression knob lives there).
+struct TimedHarness {
+  EventQueue Events;
+  MemoryConfig Config;
+  std::unique_ptr<Memory3D> Mem;
+
+  explicit TimedHarness(const Timing &Time) {
+    Config.Time = Time;
+    Mem = std::make_unique<Memory3D>(Events, Config);
+  }
+
+  Picos complete(PhysAddr Addr, std::uint32_t Bytes) {
+    Picos Done = 0;
+    MemRequest Req;
+    Req.Addr = Addr;
+    Req.Bytes = Bytes;
+    Mem->submit(Req, [&](const MemRequest &, Picos At) { Done = At; });
+    Events.run();
+    return Done;
+  }
+};
+
+} // namespace
+
+TEST(TsvCompression, WireBeatsMath) {
+  Timing T;
+  // Off (ratio 1.0): identity for any beat count.
+  for (std::uint64_t Beats : {0ull, 1ull, 7ull, 1024ull})
+    EXPECT_EQ(T.wireBeats(Beats), Beats);
+  // 2:1 halves exactly; odd counts round up.
+  T.TsvCompressRatio = 2.0;
+  EXPECT_EQ(T.wireBeats(8), 4u);
+  EXPECT_EQ(T.wireBeats(7), 4u);
+  EXPECT_EQ(T.wireBeats(1), 1u);
+  EXPECT_EQ(T.wireBeats(0), 0u);
+  // Fractional ratios ceil: 1024 / 1.5 = 682.67 -> 683.
+  T.TsvCompressRatio = 1.5;
+  EXPECT_EQ(T.wireBeats(1024), 683u);
+}
+
+TEST(TsvCompression, RatioOneIsByteIdenticalToDefault) {
+  // The off path must be untouchable: explicitly setting ratio 1.0 and
+  // zero codec latency produces bit-identical completion times to the
+  // stock configuration on a mixed burst stream.
+  Timing Off;
+  Off.TsvCompressRatio = 1.0;
+  Off.TsvCodecLatency = 0;
+  TimedHarness A{Timing()}, B{Off};
+  for (std::uint32_t Bytes : {8u, 64u, 256u, 8192u}) {
+    const Picos WantA = A.complete(PhysAddr(Bytes) * 17, Bytes);
+    const Picos WantB = B.complete(PhysAddr(Bytes) * 17, Bytes);
+    EXPECT_EQ(WantA, WantB) << "bytes " << Bytes;
+  }
+}
+
+TEST(TsvCompression, RatioShortensBurstsByHandComputedBeats) {
+  // 64 B = 8 raw beats. Stock: 14 + 10 + 8 * 1.6 = 36.8 ns.
+  TimedHarness Stock{Timing()};
+  EXPECT_EQ(Stock.complete(0, 64), nanosToPicos(36.8));
+  // 2:1 codec: 4 wire beats -> 14 + 10 + 4 * 1.6 = 30.4 ns.
+  Timing Comp;
+  Comp.TsvCompressRatio = 2.0;
+  TimedHarness Fast{Comp};
+  EXPECT_EQ(Fast.complete(0, 64), nanosToPicos(30.4));
+  // Codec pipeline latency lands once, at the end of the transfer.
+  Comp.TsvCodecLatency = nanosToPicos(2.0);
+  TimedHarness Latent{Comp};
+  EXPECT_EQ(Latent.complete(0, 64), nanosToPicos(32.4));
+}
+
+TEST(TsvCompression, ValidateRejectsExpandingRatio) {
+  Timing T;
+  T.TsvCompressRatio = 0.5;
+  EXPECT_FALSE(T.isValid());
+  EXPECT_DEATH(T.validate(), "compression ratio");
+}

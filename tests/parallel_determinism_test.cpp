@@ -113,7 +113,8 @@ struct FaultedRun {
 /// vault-sharded engine with vault failures mid-flight, so spare
 /// redirects, failed completions and the fault Rng all ride on the
 /// parallel schedule.
-FaultedRun faultedFftWith(unsigned SimThreads) {
+FaultedRun faultedFftWith(unsigned SimThreads,
+                          InputDomain Input = InputDomain::Complex) {
   SystemConfig Config = SystemConfig::forProblemSize(512);
   auto Faults = std::make_shared<FaultSpec>();
   std::string Error;
@@ -124,6 +125,7 @@ FaultedRun faultedFftWith(unsigned SimThreads) {
       << Error;
   Config.Mem.Faults = std::move(Faults);
   Config.SimThreads = SimThreads;
+  Config.Input = Input;
   Fft2dProcessor Processor(Config);
   Tracer Trace;
   MetricsRegistry Metrics;
@@ -175,6 +177,42 @@ TEST(ParallelDeterminism, FaultedFftSimThreadCountInvariant) {
     EXPECT_EQ(A.MigrationTime, B.MigrationTime);
     // The trace digest pins event order, timing and metric values; a
     // single reordered completion anywhere shows up here.
+    EXPECT_EQ(Base.Digest, Other.Digest);
+  }
+}
+
+/// Same invariance for the packed half-spectrum pipeline: the real-input
+/// run moves an N x (N/2) intermediate over the same sharded engine and
+/// faults, and must stay byte-identical at every sim-thread count.
+TEST(ParallelDeterminism, FaultedRealInputSimThreadCountInvariant) {
+  const FaultedRun Base = faultedFftWith(1, InputDomain::Real);
+  EXPECT_EQ(Base.Report.Input, InputDomain::Real);
+  EXPECT_GT(Base.Report.RowPhase.OfflineRedirects, 0u);
+  // The wedge really is half-size: phase 2 moves half the complex run's
+  // bytes on the identical device and faults.
+  const FaultedRun Complex = faultedFftWith(1);
+  EXPECT_EQ(Base.Report.ColPhase.TotalPhaseBytes * 2,
+            Complex.Report.ColPhase.TotalPhaseBytes);
+
+  for (unsigned K : {2u, 4u}) {
+    SCOPED_TRACE("sim threads " + std::to_string(K));
+    const FaultedRun Other = faultedFftWith(K, InputDomain::Real);
+    const AppReport &A = Base.Report;
+    const AppReport &B = Other.Report;
+    for (const auto &[P, Q] : {std::make_pair(&A.RowPhase, &B.RowPhase),
+                               std::make_pair(&A.ColPhase, &B.ColPhase)}) {
+      EXPECT_EQ(P->Elapsed, Q->Elapsed);
+      EXPECT_EQ(P->BytesRead, Q->BytesRead);
+      EXPECT_EQ(P->BytesWritten, Q->BytesWritten);
+      EXPECT_EQ(P->RowActivations, Q->RowActivations);
+      EXPECT_EQ(P->ThroughputGBps, Q->ThroughputGBps);
+      EXPECT_EQ(P->MeanReqLatencyNanos, Q->MeanReqLatencyNanos);
+      EXPECT_EQ(P->OfflineRedirects, Q->OfflineRedirects);
+      EXPECT_EQ(P->SimEvents, Q->SimEvents);
+    }
+    EXPECT_EQ(A.AppThroughputGBps, B.AppThroughputGBps);
+    EXPECT_EQ(A.EstimatedTotalTime, B.EstimatedTotalTime);
+    EXPECT_EQ(A.Replanned, B.Replanned);
     EXPECT_EQ(Base.Digest, Other.Digest);
   }
 }

@@ -10,6 +10,7 @@
 //   fft3d_serve [--jobs N] [--policy fcfs|sjf|prio|vault|all] [--seed S]
 //               [--rate JOBS_PER_SEC] [--queue-cap N] [--partitions P]
 //               [--aging-ms MS] [--mix mixed|small|large]
+//               [--workload fft|conv2d] [--input complex|real]
 //               [--closed-loop CLIENTS] [--think-ms MS]
 //               [--shed-infeasible] [--vaults V]
 //
@@ -58,6 +59,13 @@ struct Cli {
   unsigned Partitions = 2;
   double AgingMs = 10.0;
   std::string Mix = "mixed";
+  /// --workload: "fft" keeps the plain 2D-FFT mixes; "conv2d" swaps in
+  /// the convolution serving mix (real-input conv2d frames with their
+  /// own SLO class).
+  std::string Workload = "fft";
+  /// --input: "real" switches every job in the mix to the packed
+  /// half-spectrum path (half the bytes per phase, priced at half).
+  std::string Input = "complex";
   unsigned ClosedLoopClients = 0;
   double ThinkMs = 20.0;
   bool ShedInfeasible = false;
@@ -77,6 +85,7 @@ struct Cli {
                "usage: %s [--jobs N] [--policy fcfs|sjf|prio|vault|all]\n"
                "  [--rate JOBS_PER_SEC] [--queue-cap N] [--partitions P]\n"
                "  [--aging-ms MS] [--mix mixed|small|large]\n"
+               "  [--workload fft|conv2d] [--input complex|real]\n"
                "  [--closed-loop CLIENTS] [--think-ms MS]\n"
                "  [--shed-infeasible] [--vaults V]\n"
                "  and the shared flags (seed defaults to 42 here):\n"
@@ -110,6 +119,10 @@ Cli parse(int Argc, char **Argv) {
       C.AgingMs = std::strtod(Value, nullptr);
     else if (consumeCliValue(Argc, Argv, I, "--mix", &Value))
       C.Mix = Value;
+    else if (consumeCliValue(Argc, Argv, I, "--workload", &Value))
+      C.Workload = Value;
+    else if (consumeCliValue(Argc, Argv, I, "--input", &Value))
+      C.Input = Value;
     else if (consumeCliValue(Argc, Argv, I, "--closed-loop", &Value))
       C.ClosedLoopClients =
           static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
@@ -146,6 +159,18 @@ Cli parse(int Argc, char **Argv) {
     std::fprintf(stderr, "error: unknown mix '%s'\n", C.Mix.c_str());
     usage(Argv[0]);
   }
+  if (C.Workload != "fft" && C.Workload != "conv2d") {
+    std::fprintf(stderr,
+                 "error: --workload must be 'fft' or 'conv2d', got '%s'\n",
+                 C.Workload.c_str());
+    usage(Argv[0]);
+  }
+  if (C.Input != "complex" && C.Input != "real") {
+    std::fprintf(stderr,
+                 "error: --input must be 'complex' or 'real', got '%s'\n",
+                 C.Input.c_str());
+    usage(Argv[0]);
+  }
   if (C.Fleet.Fleet) {
     if (C.Common.Stacks < 2) {
       std::fprintf(stderr, "error: --fleet routes across stacks; pass "
@@ -170,6 +195,28 @@ std::vector<JobTemplate> mixFor(const std::string &Name) {
     return {{4096, 1, JobPrecision::Fp32, 1, 1.0, 6.0}};
   std::fprintf(stderr, "error: unknown mix '%s'\n", Name.c_str());
   std::exit(2);
+}
+
+/// Resolves --mix / --workload / --input into the final template set:
+/// --workload conv2d replaces the mix with the convolution templates
+/// (which carry their own priorities and deadline slacks), and --input
+/// real switches every template onto the packed half-spectrum path.
+std::vector<JobTemplate> buildMix(const Cli &C) {
+  std::vector<JobTemplate> Mix =
+      C.Workload == "conv2d" ? convWorkloadTemplates() : mixFor(C.Mix);
+  if (C.Input == "real")
+    for (JobTemplate &T : Mix)
+      T.Input = JobInput::Real;
+  return Mix;
+}
+
+/// True when any template draws conv2d jobs (the conv SLO columns are
+/// only printed for workloads that can produce them).
+bool mixHasConv(const std::vector<JobTemplate> &Mix) {
+  for (const JobTemplate &T : Mix)
+    if (T.Kind == JobKind::Conv2d)
+      return true;
+  return false;
 }
 
 std::vector<PolicyKind> policiesFor(const std::string &Name) {
@@ -250,11 +297,12 @@ int runFleet(const Cli &C) {
   }
 
   std::printf("fft3d_serve fleet: %u jobs over %u stacks, router %s, "
-              "mix %s, seed %llu, %u vaults, queue cap %zu\n",
+              "%s %s, seed %llu, %u vaults, queue cap %zu%s\n",
               C.Jobs, C.Common.Stacks, C.Fleet.Router.c_str(),
-              C.Mix.c_str(),
+              C.Workload == "conv2d" ? "workload" : "mix",
+              C.Workload == "conv2d" ? "conv2d" : C.Mix.c_str(),
               static_cast<unsigned long long>(C.Common.Seed), C.Vaults,
-              C.QueueCap);
+              C.QueueCap, C.Input == "real" ? ", real input" : "");
   std::printf("open loop: Poisson arrivals at %.1f jobs/s, %u tenants, "
               "plan cache %s %.1f MiB%s\n\n",
               C.RatePerSec, C.Fleet.Tenants,
@@ -263,7 +311,7 @@ int runFleet(const Cli &C) {
               C.Fleet.CacheMb,
               Config.Autoscale.Enabled ? ", autoscaling" : "");
 
-  const std::vector<JobTemplate> Mix = mixFor(C.Mix);
+  const std::vector<JobTemplate> Mix = buildMix(C);
   {
     ThreadPool Pool(ThreadPool::resolveThreads(C.Common.Threads));
     std::vector<std::pair<std::uint64_t, unsigned>> Keys;
@@ -300,6 +348,12 @@ int runFleet(const Cli &C) {
                     std::to_string(R.ScaleDowns),
                 TableWriter::num(R.PeakOutstanding)});
   Table.print(std::cout);
+  if (S.ConvOffered != 0)
+    std::printf("conv2d class: %llu offered, %llu completed, p99 %.2f ms, "
+                "deadline miss %.1f%%\n",
+                static_cast<unsigned long long>(S.ConvOffered),
+                static_cast<unsigned long long>(S.ConvCompleted),
+                S.ConvP99LatencyMs, S.ConvDeadlineMissRate * 100.0);
 
   std::printf("\nPer-stack routing:\n");
   for (const StackEndpoint &E : R.Stacks)
@@ -368,14 +422,18 @@ int main(int Argc, char **Argv) {
   std::string StackNote;
   if (C.Common.Stacks > 1)
     StackNote = ", " + std::to_string(C.Common.Stacks) + " stacks";
-  std::printf("fft3d_serve: %u jobs, mix %s, seed %llu, %u vaults%s, "
+  if (C.Input == "real")
+    StackNote += ", real input";
+  std::printf("fft3d_serve: %u jobs, %s %s, seed %llu, %u vaults%s, "
               "queue cap %zu%s\n",
-              C.Jobs, C.Mix.c_str(),
+              C.Jobs, C.Workload == "conv2d" ? "workload" : "mix",
+              C.Workload == "conv2d" ? "conv2d" : C.Mix.c_str(),
               static_cast<unsigned long long>(C.Common.Seed), C.Vaults,
               StackNote.c_str(), C.QueueCap,
               C.ShedInfeasible ? ", shed-infeasible" : "");
 
-  const std::vector<JobTemplate> Mix = mixFor(C.Mix);
+  const std::vector<JobTemplate> Mix = buildMix(C);
+  const bool HasConv = mixHasConv(Mix);
   // Each concurrent policy run gets its own Workload: generation is
   // seed-deterministic, so per-run copies reproduce the shared-instance
   // arrival trace exactly.
@@ -433,6 +491,11 @@ int main(int Argc, char **Argv) {
                                       "jobs/s",  "p50 ms", "p95 ms",
                                       "p99 ms",  "queue p99", "miss %",
                                       "conc"};
+  if (HasConv) {
+    Headers.push_back("conv done");
+    Headers.push_back("conv p99");
+    Headers.push_back("conv miss");
+  }
   if (WithFaults) {
     Headers.push_back("retry");
     Headers.push_back("drop");
@@ -497,6 +560,11 @@ int main(int Argc, char **Argv) {
         TableWriter::num(S.P99QueueMs, 2),
         TableWriter::percent(S.DeadlineMissRate),
         TableWriter::num(std::uint64_t(R.PeakConcurrency))};
+    if (HasConv) {
+      Row.push_back(TableWriter::num(S.ConvCompleted));
+      Row.push_back(TableWriter::num(S.ConvP99LatencyMs, 2));
+      Row.push_back(TableWriter::percent(S.ConvDeadlineMissRate));
+    }
     if (WithFaults) {
       Row.push_back(TableWriter::num(S.Retries));
       Row.push_back(TableWriter::num(S.FailedDropped));
@@ -514,12 +582,19 @@ int main(int Argc, char **Argv) {
     Probe.N = T.N;
     Probe.Frames = T.Frames;
     Probe.Precision = T.Precision;
+    Probe.Kind = T.Kind;
+    Probe.Input = T.Input;
     const unsigned Share = std::max(1u, C.Vaults / C.Partitions);
-    std::printf("  %llux%llu x%u %s: %s on %u vaults, %s on %u vaults "
+    std::string OpNote;
+    if (T.Kind == JobKind::Conv2d)
+      OpNote += " conv2d";
+    if (T.Input == JobInput::Real)
+      OpNote += " real";
+    std::printf("  %llux%llu x%u %s%s: %s on %u vaults, %s on %u vaults "
                 "(block %llux%llu)\n",
                 static_cast<unsigned long long>(T.N),
                 static_cast<unsigned long long>(T.N), T.Frames,
-                jobPrecisionName(T.Precision),
+                jobPrecisionName(T.Precision), OpNote.c_str(),
                 formatDuration(Model.serviceTime(Probe, C.Vaults)).c_str(),
                 C.Vaults,
                 formatDuration(Model.serviceTime(Probe, Share)).c_str(),

@@ -47,6 +47,9 @@ namespace {
 struct Cli {
   std::uint64_t N = 2048;
   std::string Arch = "both";
+  /// --workload: "fft" here; "conv2d" is recognized but redirected to
+  /// fft3d_serve, where convolution is a job type.
+  std::string Workload = "fft";
   bool Energy = false;
   bool Tune = false;
   TuneObjective Objective = TuneObjective::Throughput;
@@ -70,6 +73,7 @@ struct Cli {
                "  [--t-diff-row=NS] [--t-diff-bank=NS] [--t-in-vault=NS]\n"
                "  [--t-in-row=NS] [--lanes=K] [--clock=MHZ] [--window=K]\n"
                "  [--vaults=K] [--energy] [--tune[=throughput|energy]]\n"
+               "  [--input=complex|real] [--workload=fft|conv2d]\n"
                "  [--replay=FILE [--replay-asap]] [--fft=2d|3d]\n"
                "  and the shared flags:\n"
                "%s%s",
@@ -166,6 +170,21 @@ Cli parse(int Argc, char **Argv) {
       const auto V = static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
       C.Config.Mem.Geo.NumVaults = V;
       C.Config.Optimized.VaultsParallel = V;
+    } else if (consume(Arg, "--input", &Value) && Value) {
+      const std::string In = Value;
+      if (In == "real")
+        C.Config.Input = InputDomain::Real;
+      else if (In == "complex")
+        C.Config.Input = InputDomain::Complex;
+      else {
+        std::fprintf(stderr,
+                     "error: --input must be 'complex' or 'real', got "
+                     "'%s'\n",
+                     Value);
+        std::exit(2);
+      }
+    } else if (consume(Arg, "--workload", &Value) && Value) {
+      C.Workload = Value;
     } else if (consume(Arg, "--fft", &Value) && Value) {
       C.ClusterFft = Value;
       if (C.ClusterFft != "2d" && C.ClusterFft != "3d")
@@ -193,6 +212,26 @@ Cli parse(int Argc, char **Argv) {
       std::fprintf(stderr, "error: --trace-cats: %s\n", Error.c_str());
       std::exit(2);
     }
+  }
+  if (C.Workload == "conv2d") {
+    std::fprintf(stderr,
+                 "error: conv2d is a serving job type, not a standalone "
+                 "simulation; run it through fft3d_serve (fft3d_serve "
+                 "--workload conv2d ...)\n");
+    std::exit(2);
+  }
+  if (C.Workload != "fft") {
+    std::fprintf(stderr,
+                 "error: --workload must be 'fft' or 'conv2d', got '%s'\n",
+                 C.Workload.c_str());
+    std::exit(2);
+  }
+  if (C.Config.Input == InputDomain::Real && C.Common.Stacks > 1) {
+    std::fprintf(stderr,
+                 "error: the cluster slab path has no real-input (packed "
+                 "half-spectrum) decomposition yet; drop --stacks or use "
+                 "--input complex\n");
+    std::exit(2);
   }
   if (C.Common.Stacks > 1 && C.N % C.Common.Stacks != 0) {
     std::fprintf(stderr, "error: --stacks must divide N\n");
@@ -438,7 +477,7 @@ int main(int Argc, char **Argv) {
   if (!C.Common.FaultsFile.empty())
     SeedNote += ", faults " + C.Common.FaultsFile;
   std::printf("fft3d_sim: N=%llu, %u vaults, peak %.1f GB/s, %s/%s, map "
-              "%s%s%s%s\n\n",
+              "%s%s%s%s%s\n\n",
               static_cast<unsigned long long>(C.N),
               C.Config.Mem.Geo.NumVaults, Model.peakGBps(),
               schedulePolicyName(C.Config.Mem.Sched),
@@ -446,6 +485,9 @@ int main(int Argc, char **Argv) {
               addressMapKindName(C.Config.Mem.MapKind),
               C.Config.Mem.XorHash ? ", xor-hash" : "",
               C.Config.Mem.Time.RefreshInterval ? ", refresh on" : "",
+              C.Config.Input == InputDomain::Real
+                  ? ", real input (packed half-spectrum)"
+                  : "",
               SeedNote.c_str());
 
   if (!C.ReplayFile.empty()) {
